@@ -1,0 +1,82 @@
+// Extension bench (not a paper table): sensitivity of ELDA-Net to its three
+// documented design knobs — the compression factor d, the embedding
+// dimension e, and the embedding anchors (a, b). The paper fixes d=4, e=24,
+// (a,b)=(-3,3) (Section V-A) without a sweep; this bench supplies the
+// missing ablation and sanity-checks that the paper's operating point is a
+// reasonable one on the synthetic cohort.
+//
+// Flags: --admissions --epochs --runs --full
+
+#include "bench/bench_common.h"
+#include "core/elda_net.h"
+#include "train/experiment.h"
+
+namespace elda {
+namespace {
+
+train::ModelStats RunConfig(const core::EldaNetConfig& config,
+                            const train::PreparedExperiment& experiment,
+                            const train::TrainerConfig& trainer,
+                            int64_t runs) {
+  return train::RunRepeated(
+      [&](uint64_t seed) {
+        core::EldaNetConfig seeded = config;
+        seeded.seed = seed;
+        return std::make_unique<core::EldaNet>(seeded);
+      },
+      experiment, trainer, runs);
+}
+
+}  // namespace
+}  // namespace elda
+
+int main(int argc, char** argv) {
+  using namespace elda;
+  bench::BenchScale scale;
+  bench::ParseBenchFlags(argc, argv, {}, &scale, /*default_admissions=*/400,
+                         /*default_epochs=*/6);
+  bench::PrintHeader(
+      "Extension: ELDA-Net hyper-parameter ablations",
+      "Sweeps the compression factor d, embedding dim e and anchors (a,b)\n"
+      "around the paper's operating point (d=4, e=24, a=-3, b=3) on\n"
+      "SynthPhysioNet2012 mortality.");
+
+  synth::CohortConfig config = bench::ScaledPhysioNet(scale);
+  data::EmrDataset cohort = synth::GenerateCohort(config);
+  train::PreparedExperiment experiment(cohort, data::Task::kMortality);
+
+  TablePrinter table({"configuration", "AUC-PR", "AUC-ROC", "params"});
+  auto add = [&](const std::string& label, const core::EldaNetConfig& cfg) {
+    train::ModelStats stats =
+        RunConfig(cfg, experiment, scale.trainer, scale.runs);
+    table.AddRow({label, TablePrinter::Num(stats.auc_pr.mean, 3),
+                  TablePrinter::Num(stats.auc_roc.mean, 3),
+                  std::to_string(stats.num_parameters)});
+    std::cout << "." << std::flush;
+  };
+
+  core::EldaNetConfig base = core::EldaNetConfig::Full();
+  add("paper point: d=4, e=24, a/b=+/-3", base);
+  for (int64_t d : {2, 8}) {
+    core::EldaNetConfig cfg = base;
+    cfg.compression = d;
+    add("compression d=" + std::to_string(d), cfg);
+  }
+  for (int64_t e : {12, 48}) {
+    core::EldaNetConfig cfg = base;
+    cfg.embed_dim = e;
+    add("embedding e=" + std::to_string(e), cfg);
+  }
+  for (float bound : {1.5f, 6.0f}) {
+    core::EldaNetConfig cfg = base;
+    cfg.lower = -bound;
+    cfg.upper = bound;
+    add("anchors a/b=+/-" + TablePrinter::Num(bound, 1), cfg);
+  }
+  std::cout << "\n" << table.ToString();
+  std::cout << "\nExpected: a broad plateau around the paper's point; very\n"
+               "small d or e underfits the interaction structure, very wide\n"
+               "anchors flatten the embedding's sensitivity to the\n"
+               "physiological range.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared scaffolding for the table/figure benchmark binaries.
+//
+// Every binary reproduces one table or figure of the paper. Because the
+// build machine is a single CPU core (vs the authors' GPU testbed), the
+// default cohort sizes and epoch budgets are scaled down; pass --full for
+// paper-scale cohorts (12,000 / 21,139 admissions) or override individual
+// knobs (--admissions, --epochs, --runs).
+
+#ifndef ELDA_BENCH_BENCH_COMMON_H_
+#define ELDA_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "synth/simulator.h"
+#include "train/trainer.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace elda {
+namespace bench {
+
+struct BenchScale {
+  int64_t physionet_admissions = 0;
+  int64_t mimic_admissions = 0;
+  train::TrainerConfig trainer;
+  int64_t runs = 1;
+};
+
+// Parses the common flags out of argv. `extra_flags` extends the accepted
+// flag set for binary-specific options; returns the Flags object so callers
+// can read them.
+inline Flags ParseBenchFlags(int argc, char** argv,
+                             std::vector<std::string> extra_flags,
+                             BenchScale* scale,
+                             int64_t default_admissions = 500,
+                             int64_t default_epochs = 8) {
+  std::vector<std::string> spec = {"full", "admissions", "epochs", "runs",
+                                   "batch-size", "lr", "verbose"};
+  for (auto& f : extra_flags) spec.push_back(std::move(f));
+  Flags flags(argc, argv, spec);
+  const bool full = flags.GetBool("full", false);
+  scale->physionet_admissions = flags.GetInt(
+      "admissions", full ? 12000 : default_admissions);
+  scale->mimic_admissions = flags.GetInt(
+      "admissions", full ? 21139 : default_admissions);
+  scale->trainer.max_epochs = flags.GetInt("epochs", full ? 30 : default_epochs);
+  scale->trainer.patience = full ? 5 : 3;
+  scale->trainer.batch_size = flags.GetInt("batch-size", 64);
+  scale->trainer.learning_rate =
+      static_cast<float>(flags.GetDouble("lr", 1e-3));
+  scale->trainer.verbose = flags.GetBool("verbose", false);
+  scale->runs = flags.GetInt("runs", 1);
+  return flags;
+}
+
+inline synth::CohortConfig ScaledPhysioNet(const BenchScale& scale) {
+  synth::CohortConfig config = synth::SynthPhysioNet2012();
+  config.num_admissions = scale.physionet_admissions;
+  return config;
+}
+
+inline synth::CohortConfig ScaledMimic(const BenchScale& scale) {
+  synth::CohortConfig config = synth::SynthMimicIii();
+  config.num_admissions = scale.mimic_admissions;
+  return config;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& notes) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!notes.empty()) std::cout << notes << "\n";
+  std::cout << std::endl;
+}
+
+}  // namespace bench
+}  // namespace elda
+
+#endif  // ELDA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,176 @@
+// Microbenchmarks of the substrate kernels and ELDA-Net's modules
+// (google-benchmark). Includes the DESIGN.md ablation: the factored
+// feature-interaction computation vs a naive O(C^2 E) pairwise loop.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/elda_net.h"
+#include "core/embedding.h"
+#include "core/feature_interaction.h"
+#include "nn/gru.h"
+#include "tensor/tensor_ops.h"
+
+namespace elda {
+namespace {
+
+Tensor RandomTensor(std::vector<int64_t> shape, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Normal(std::move(shape), 0.0f, 1.0f, &rng);
+}
+
+void BM_MatMulSquare(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = RandomTensor({n, n}, 1);
+  Tensor b = RandomTensor({n, n}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulSquare)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulBatchedSmall(benchmark::State& state) {
+  // The feature-interaction workload shape: many tiny matmuls.
+  Tensor a = RandomTensor({3072, 37, 24}, 3);
+  Tensor b = RandomTensor({3072, 24, 37}, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 3072 * 37 * 24 * 37);
+}
+BENCHMARK(BM_MatMulBatchedSmall);
+
+void BM_SoftmaxLastAxis(benchmark::State& state) {
+  Tensor a = RandomTensor({3072, 37, 37}, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(a, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_SoftmaxLastAxis);
+
+void BM_BroadcastMul(benchmark::State& state) {
+  // The embedding-module broadcast: [B,T,C,1] * [C,E].
+  Tensor a = RandomTensor({64, 48, 37, 1}, 6);
+  Tensor b = RandomTensor({37, 24}, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 48 * 37 * 24);
+}
+BENCHMARK(BM_BroadcastMul);
+
+void BM_GruForward(benchmark::State& state) {
+  Rng rng(8);
+  nn::Gru gru(37, 64, &rng);
+  ag::Variable x = ag::Constant(RandomTensor({64, 48, 37}, 9));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gru.Forward(x));
+  }
+}
+BENCHMARK(BM_GruForward);
+
+void BM_FeatureInteractionFactored(benchmark::State& state) {
+  const int64_t c = state.range(0);
+  Rng rng(10);
+  core::FeatureInteraction module(c, 24, 4, &rng);
+  ag::Variable e = ag::Constant(RandomTensor({8, 48, c, 24}, 11));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(module.Forward(e));
+  }
+}
+BENCHMARK(BM_FeatureInteractionFactored)->Arg(12)->Arg(24)->Arg(37);
+
+// The naive pairwise implementation of Eqs. 3-6 that materialises every
+// r_ij, as a reference for the DESIGN.md factoring ablation (values-only,
+// no autograd, which already favours the naive side).
+void BM_FeatureInteractionNaive(benchmark::State& state) {
+  const int64_t c = state.range(0);
+  const int64_t e_dim = 24, d = 4, bt = 8 * 48;
+  Tensor e = RandomTensor({bt, c, e_dim}, 12);
+  Tensor w = RandomTensor({c, e_dim}, 13);
+  Tensor p = RandomTensor({2 * e_dim, d}, 14);
+  for (auto _ : state) {
+    Tensor out({bt, c * d});
+    std::vector<float> scores(c), context(e_dim), combined(2 * e_dim);
+    for (int64_t s = 0; s < bt; ++s) {
+      const float* es = e.data() + s * c * e_dim;
+      for (int64_t i = 0; i < c; ++i) {
+        float max_score = -1e30f;
+        for (int64_t j = 0; j < c; ++j) {
+          if (j == i) continue;
+          float score = 0.0f;
+          for (int64_t k = 0; k < e_dim; ++k) {
+            score += w[i * e_dim + k] * es[i * e_dim + k] * es[j * e_dim + k];
+          }
+          scores[j] = score;
+          max_score = std::max(max_score, score);
+        }
+        float z = 0.0f;
+        for (int64_t j = 0; j < c; ++j) {
+          if (j == i) continue;
+          scores[j] = std::exp(scores[j] - max_score);
+          z += scores[j];
+        }
+        std::fill(context.begin(), context.end(), 0.0f);
+        for (int64_t j = 0; j < c; ++j) {
+          if (j == i) continue;
+          const float alpha = scores[j] / z;
+          for (int64_t k = 0; k < e_dim; ++k) {
+            context[k] += alpha * es[i * e_dim + k] * es[j * e_dim + k];
+          }
+        }
+        for (int64_t k = 0; k < e_dim; ++k) {
+          combined[k] = std::max(es[i * e_dim + k], 0.0f);
+          combined[e_dim + k] = std::max(context[k], 0.0f);
+        }
+        for (int64_t dd = 0; dd < d; ++dd) {
+          float f = 0.0f;
+          for (int64_t k = 0; k < 2 * e_dim; ++k) {
+            f += combined[k] * p[k * d + dd];
+          }
+          out[s * c * d + i * d + dd] = f;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FeatureInteractionNaive)->Arg(12)->Arg(24)->Arg(37);
+
+void BM_BiDirectionalEmbedding(benchmark::State& state) {
+  Rng rng(15);
+  core::BiDirectionalEmbedding embedding(
+      37, 24, core::EmbeddingVariant::kBiDirectional, -3, 3, true, &rng);
+  ag::Variable x = ag::Constant(RandomTensor({64, 48, 37}, 16));
+  Tensor mask = Tensor::Ones({64, 48, 37});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedding.Forward(x, mask));
+  }
+}
+BENCHMARK(BM_BiDirectionalEmbedding);
+
+void BM_EldaNetForwardBackward(benchmark::State& state) {
+  core::EldaNetConfig config = core::EldaNetConfig::Full();
+  core::EldaNet net(config);
+  Rng rng(17);
+  data::Batch batch;
+  batch.x = RandomTensor({64, 48, 37}, 18);
+  batch.mask = Tensor::Ones({64, 48, 37});
+  batch.delta = Tensor::Zeros({64, 48, 37});
+  batch.y = Tensor({64});
+  for (int64_t i = 0; i < 64; ++i) batch.y[i] = rng.Bernoulli(0.2);
+  for (auto _ : state) {
+    net.ZeroGrad();
+    ag::BceWithLogits(net.Forward(batch), batch.y).Backward();
+  }
+}
+BENCHMARK(BM_EldaNetForwardBackward);
+
+}  // namespace
+}  // namespace elda
+
+BENCHMARK_MAIN();

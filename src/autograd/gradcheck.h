@@ -1,0 +1,46 @@
+// Numerical gradient checking.
+//
+// Verifies the analytic gradients produced by the tape against central
+// finite differences. Used throughout the test suite: every operator and
+// every network module in this repository is grad-checked.
+
+#ifndef ELDA_AUTOGRAD_GRADCHECK_H_
+#define ELDA_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace elda {
+namespace ag {
+
+struct GradCheckOptions {
+  // Central-difference step. float32 arithmetic bounds how small this can
+  // usefully be; 1e-2 with the default tolerances works well for smooth ops.
+  float epsilon = 1e-2f;
+  // An element passes if |analytic - numeric| <= atol + rtol * |numeric|.
+  float atol = 2e-3f;
+  float rtol = 5e-2f;
+  // Check at most this many elements per parameter (subsampled evenly);
+  // <= 0 means check all.
+  int64_t max_elements_per_param = 64;
+};
+
+// Evaluates `f` (which must return a scalar Variable built from `params`),
+// runs Backward(), and compares each parameter's analytic gradient with a
+// central finite difference of f. `f` must be deterministic and must read
+// the *current* values of `params` on every call.
+//
+// Returns true if all checked elements pass; otherwise fills `error` (if
+// non-null) with the first offending parameter/element.
+bool CheckGradients(const std::function<Variable()>& f,
+                    const std::vector<Variable>& params,
+                    const GradCheckOptions& options = {},
+                    std::string* error = nullptr);
+
+}  // namespace ag
+}  // namespace elda
+
+#endif  // ELDA_AUTOGRAD_GRADCHECK_H_

@@ -1,0 +1,337 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace elda {
+namespace ag {
+
+using internal::AccumulateGrad;
+using internal::Node;
+
+Variable Constant(Tensor value) {
+  return Variable(std::move(value), /*requires_grad=*/false);
+}
+
+Variable ConstantScalar(float value) { return Constant(Tensor::Scalar(value)); }
+
+Variable Add(const Variable& a, const Variable& b) {
+  return MakeOpResult(elda::Add(a.value(), b.value()), {a, b}, [](Node* n) {
+    AccumulateGrad(n->parents[0].get(), n->grad);
+    AccumulateGrad(n->parents[1].get(), n->grad);
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  return MakeOpResult(elda::Sub(a.value(), b.value()), {a, b}, [](Node* n) {
+    AccumulateGrad(n->parents[0].get(), n->grad);
+    AccumulateGrad(n->parents[1].get(), elda::Neg(n->grad));
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Tensor va = a.value();
+  Tensor vb = b.value();
+  return MakeOpResult(elda::Mul(va, vb), {a, b}, [va, vb](Node* n) {
+    AccumulateGrad(n->parents[0].get(), elda::Mul(n->grad, vb));
+    AccumulateGrad(n->parents[1].get(), elda::Mul(n->grad, va));
+  });
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  Tensor va = a.value();
+  Tensor vb = b.value();
+  return MakeOpResult(elda::Div(va, vb), {a, b}, [va, vb](Node* n) {
+    // d/da = g / b;  d/db = -g * a / b^2
+    AccumulateGrad(n->parents[0].get(), elda::Div(n->grad, vb));
+    Tensor gb = elda::Neg(
+        elda::Div(elda::Mul(n->grad, va), elda::Mul(vb, vb)));
+    AccumulateGrad(n->parents[1].get(), gb);
+  });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  return MakeOpResult(elda::AddScalar(a.value(), s), {a}, [](Node* n) {
+    AccumulateGrad(n->parents[0].get(), n->grad);
+  });
+}
+
+Variable MulScalar(const Variable& a, float s) {
+  return MakeOpResult(elda::MulScalar(a.value(), s), {a}, [s](Node* n) {
+    AccumulateGrad(n->parents[0].get(), elda::MulScalar(n->grad, s));
+  });
+}
+
+Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
+
+Variable Exp(const Variable& a) {
+  Tensor y = elda::Exp(a.value());
+  return MakeOpResult(y, {a}, [y](Node* n) {
+    AccumulateGrad(n->parents[0].get(), elda::Mul(n->grad, y));
+  });
+}
+
+Variable Log(const Variable& a) {
+  Tensor x = a.value();
+  return MakeOpResult(elda::Log(x), {a}, [x](Node* n) {
+    // Matches the clamped forward: d log(max(x, eps)) / dx ~= 1/max(x, eps).
+    Tensor clamped = elda::Maximum(x, Tensor::Full(x.shape(), 1e-12f));
+    AccumulateGrad(n->parents[0].get(), elda::Div(n->grad, clamped));
+  });
+}
+
+Variable Square(const Variable& a) {
+  Tensor x = a.value();
+  return MakeOpResult(elda::Square(x), {a}, [x](Node* n) {
+    AccumulateGrad(n->parents[0].get(),
+                   elda::Mul(n->grad, elda::MulScalar(x, 2.0f)));
+  });
+}
+
+Variable Sqrt(const Variable& a) {
+  Tensor y = elda::Sqrt(a.value());
+  return MakeOpResult(y, {a}, [y](Node* n) {
+    Tensor denom = elda::Maximum(elda::MulScalar(y, 2.0f),
+                                 Tensor::Full(y.shape(), 1e-12f));
+    AccumulateGrad(n->parents[0].get(), elda::Div(n->grad, denom));
+  });
+}
+
+Variable Sigmoid(const Variable& a) {
+  Tensor y = elda::Sigmoid(a.value());
+  return MakeOpResult(y, {a}, [y](Node* n) {
+    // y' = y (1 - y)
+    Tensor one_minus = elda::Sub(Tensor::Ones(y.shape()), y);
+    AccumulateGrad(n->parents[0].get(),
+                   elda::Mul(n->grad, elda::Mul(y, one_minus)));
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  Tensor y = elda::Tanh(a.value());
+  return MakeOpResult(y, {a}, [y](Node* n) {
+    Tensor d = elda::Sub(Tensor::Ones(y.shape()), elda::Square(y));
+    AccumulateGrad(n->parents[0].get(), elda::Mul(n->grad, d));
+  });
+}
+
+Variable Relu(const Variable& a) {
+  Tensor x = a.value();
+  return MakeOpResult(elda::Relu(x), {a}, [x](Node* n) {
+    AccumulateGrad(n->parents[0].get(),
+                   elda::Mul(n->grad, elda::GreaterThanScalar(x, 0.0f)));
+  });
+}
+
+Variable Abs(const Variable& a) {
+  Tensor x = a.value();
+  return MakeOpResult(elda::Abs(x), {a}, [x](Node* n) {
+    Tensor sign(x.shape());
+    for (int64_t i = 0; i < x.size(); ++i) {
+      sign[i] = x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
+    }
+    AccumulateGrad(n->parents[0].get(), elda::Mul(n->grad, sign));
+  });
+}
+
+Variable Clip(const Variable& a, float lo, float hi) {
+  ELDA_CHECK_LT(lo, hi);
+  Tensor x = a.value();
+  return MakeOpResult(elda::Clip(x, lo, hi), {a}, [x, lo, hi](Node* n) {
+    Tensor inside(x.shape());
+    for (int64_t i = 0; i < x.size(); ++i) {
+      inside[i] = (x[i] > lo && x[i] < hi) ? 1.0f : 0.0f;
+    }
+    AccumulateGrad(n->parents[0].get(), elda::Mul(n->grad, inside));
+  });
+}
+
+Variable Pow(const Variable& a, float p) {
+  Tensor x = elda::Maximum(a.value(), Tensor::Full(a.value().shape(), 1e-12f));
+  Tensor y = elda::Pow(x, p);
+  return MakeOpResult(y, {a}, [x, p](Node* n) {
+    // d(x^p)/dx = p x^(p-1) on the clamped input.
+    Tensor d = elda::MulScalar(elda::Pow(x, p - 1.0f), p);
+    AccumulateGrad(n->parents[0].get(), elda::Mul(n->grad, d));
+  });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Tensor va = a.value();
+  Tensor vb = b.value();
+  return MakeOpResult(elda::MatMul(va, vb), {a, b}, [va, vb](Node* n) {
+    // dA = dC * B^T ; dB = A^T * dC. The tensor MatMul handles batched and
+    // shared-rhs layouts; ReduceToShape inside AccumulateGrad folds any
+    // broadcast batch dimension back down.
+    Node* pa = n->parents[0].get();
+    Node* pb = n->parents[1].get();
+    if (pa->requires_grad) {
+      AccumulateGrad(pa, elda::MatMul(n->grad, vb, false, true));
+    }
+    if (pb->requires_grad) {
+      if (va.dim() == 3 && vb.dim() == 2) {
+        // [B,M,K]^T x [B,M,N] would give [B,K,N]; flatten the batch instead
+        // so the shared rhs receives the summed gradient directly.
+        Tensor a2 = va.Reshape({va.shape(0) * va.shape(1), va.shape(2)});
+        Tensor g2 = n->grad.Reshape(
+            {n->grad.shape(0) * n->grad.shape(1), n->grad.shape(2)});
+        AccumulateGrad(pb, elda::MatMul(a2, g2, true, false));
+      } else {
+        AccumulateGrad(pb, elda::MatMul(va, n->grad, true, false));
+      }
+    }
+  });
+}
+
+Variable Reshape(const Variable& a, std::vector<int64_t> shape) {
+  std::vector<int64_t> old_shape = a.value().shape();
+  return MakeOpResult(a.value().Reshape(std::move(shape)), {a},
+                      [old_shape](Node* n) {
+                        AccumulateGrad(n->parents[0].get(),
+                                       n->grad.Reshape(old_shape));
+                      });
+}
+
+Variable TransposeLast2(const Variable& a) {
+  return MakeOpResult(elda::TransposeLast2(a.value()), {a}, [](Node* n) {
+    AccumulateGrad(n->parents[0].get(), elda::TransposeLast2(n->grad));
+  });
+}
+
+Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
+  ELDA_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const Variable& p : parts) values.push_back(p.value());
+  const int64_t rank = parts[0].value().dim();
+  const int64_t norm_axis = axis < 0 ? axis + rank : axis;
+  std::vector<int64_t> lens;
+  lens.reserve(parts.size());
+  for (const Tensor& v : values) lens.push_back(v.shape(norm_axis));
+  return MakeOpResult(
+      elda::Concat(values, norm_axis), parts, [norm_axis, lens](Node* n) {
+        int64_t start = 0;
+        for (size_t i = 0; i < n->parents.size(); ++i) {
+          AccumulateGrad(n->parents[i].get(),
+                         elda::Slice(n->grad, norm_axis, start, lens[i]));
+          start += lens[i];
+        }
+      });
+}
+
+Variable Slice(const Variable& a, int64_t axis, int64_t start, int64_t len) {
+  const int64_t rank = a.value().dim();
+  const int64_t norm_axis = axis < 0 ? axis + rank : axis;
+  std::vector<int64_t> in_shape = a.value().shape();
+  return MakeOpResult(
+      elda::Slice(a.value(), norm_axis, start, len), {a},
+      [norm_axis, start, len, in_shape](Node* n) {
+        // Scatter the slice gradient back into a zero tensor of input shape.
+        Tensor g(in_shape);
+        int64_t outer = 1, inner = 1;
+        for (int64_t i = 0; i < norm_axis; ++i) outer *= in_shape[i];
+        for (size_t i = norm_axis + 1; i < in_shape.size(); ++i) {
+          inner *= in_shape[i];
+        }
+        const int64_t axis_len = in_shape[norm_axis];
+        const float* src = n->grad.data();
+        float* dst = g.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          std::copy(src + o * len * inner, src + (o + 1) * len * inner,
+                    dst + (o * axis_len + start) * inner);
+        }
+        AccumulateGrad(n->parents[0].get(), g);
+      });
+}
+
+Variable Sum(const Variable& a, int64_t axis, bool keepdims) {
+  const int64_t rank = a.value().dim();
+  const int64_t norm_axis = axis < 0 ? axis + rank : axis;
+  std::vector<int64_t> in_shape = a.value().shape();
+  return MakeOpResult(
+      elda::Sum(a.value(), norm_axis, keepdims), {a},
+      [norm_axis, keepdims, in_shape](Node* n) {
+        Tensor g = n->grad;
+        if (!keepdims) {
+          std::vector<int64_t> with_axis = g.shape();
+          with_axis.insert(with_axis.begin() + norm_axis, 1);
+          g = g.Reshape(with_axis);
+        }
+        // Broadcast back across the summed axis.
+        AccumulateGrad(n->parents[0].get(),
+                       elda::Add(g, Tensor::Zeros(in_shape)));
+      });
+}
+
+Variable Mean(const Variable& a, int64_t axis, bool keepdims) {
+  const int64_t rank = a.value().dim();
+  const int64_t norm_axis = axis < 0 ? axis + rank : axis;
+  const float inv = 1.0f / static_cast<float>(a.value().shape(norm_axis));
+  return MulScalar(Sum(a, norm_axis, keepdims), inv);
+}
+
+Variable SumAll(const Variable& a) {
+  std::vector<int64_t> in_shape = a.value().shape();
+  return MakeOpResult(Tensor::Scalar(elda::SumAll(a.value())), {a},
+                      [in_shape](Node* n) {
+                        const float g = n->grad[0];
+                        AccumulateGrad(n->parents[0].get(),
+                                       Tensor::Full(in_shape, g));
+                      });
+}
+
+Variable MeanAll(const Variable& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().size());
+  return MulScalar(SumAll(a), inv);
+}
+
+Variable Softmax(const Variable& a, int64_t axis) {
+  const int64_t rank = a.value().dim();
+  const int64_t norm_axis = axis < 0 ? axis + rank : axis;
+  Tensor y = elda::Softmax(a.value(), norm_axis);
+  return MakeOpResult(y, {a}, [y, norm_axis](Node* n) {
+    // dx = y * (g - sum(g * y, axis, keepdims))
+    Tensor gy = elda::Mul(n->grad, y);
+    Tensor s = elda::Sum(gy, norm_axis, /*keepdims=*/true);
+    AccumulateGrad(n->parents[0].get(),
+                   elda::Mul(y, elda::Sub(n->grad, s)));
+  });
+}
+
+Variable Dropout(const Variable& a, float rate, bool training, Rng* rng) {
+  if (!training || rate <= 0.0f) return a;
+  ELDA_CHECK_LT(rate, 1.0f);
+  Tensor mask(a.value().shape());
+  const float scale = 1.0f / (1.0f - rate);
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask[i] = rng->Bernoulli(rate) ? 0.0f : scale;
+  }
+  return Mul(a, Constant(mask));
+}
+
+Variable BceWithLogits(const Variable& logits, const Tensor& targets) {
+  const Tensor& z = logits.value();
+  ELDA_CHECK_EQ(z.size(), targets.size());
+  const int64_t n_items = z.size();
+  double loss = 0.0;
+  for (int64_t i = 0; i < n_items; ++i) {
+    const float zi = z[i];
+    const float yi = targets[i];
+    loss += std::max(zi, 0.0f) - zi * yi + std::log1p(std::exp(-std::fabs(zi)));
+  }
+  Tensor value = Tensor::Scalar(static_cast<float>(loss / n_items));
+  Tensor zt = z;
+  Tensor yt = targets;
+  return MakeOpResult(value, {logits}, [zt, yt, n_items](Node* n) {
+    // d/dz = (sigmoid(z) - y) / N
+    Tensor g = elda::Sigmoid(zt);
+    float* p = g.data();
+    const float scale = n->grad[0] / static_cast<float>(n_items);
+    for (int64_t i = 0; i < n_items; ++i) p[i] = (p[i] - yt[i]) * scale;
+    AccumulateGrad(n->parents[0].get(), g);
+  });
+}
+
+}  // namespace ag
+}  // namespace elda

@@ -1,0 +1,89 @@
+// Differentiable operators over ag::Variable.
+//
+// Each function computes its value eagerly with the kernels in
+// tensor/tensor_ops.h and records a backward closure on the tape. Binary
+// element-wise ops broadcast like NumPy; the adjoint reduces gradients back
+// to each operand's shape.
+
+#ifndef ELDA_AUTOGRAD_OPS_H_
+#define ELDA_AUTOGRAD_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "util/rng.h"
+
+namespace elda {
+namespace ag {
+
+// Wraps a tensor as a non-differentiable constant leaf.
+Variable Constant(Tensor value);
+Variable ConstantScalar(float value);
+
+// -- Element-wise binary (broadcasting) ---------------------------------------
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable Div(const Variable& a, const Variable& b);
+
+// Scalar conveniences.
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+
+// -- Element-wise unary ---------------------------------------------------------
+Variable Neg(const Variable& a);
+Variable Exp(const Variable& a);
+Variable Log(const Variable& a);  // input clamped at 1e-12
+Variable Square(const Variable& a);
+Variable Sqrt(const Variable& a);
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Relu(const Variable& a);
+Variable Abs(const Variable& a);  // subgradient 0 at the kink
+// Clamps into [lo, hi]; gradient is 1 strictly inside the interval, 0 out.
+Variable Clip(const Variable& a, float lo, float hi);
+// Element-wise a^p for positive inputs (clamped at 1e-12 like Log).
+Variable Pow(const Variable& a, float p);
+
+// -- Linear algebra ---------------------------------------------------------------
+
+// Supported operand ranks follow tensor MatMul: 2-D x 2-D, 3-D x 3-D, and
+// 3-D x 2-D (shared right-hand side, e.g. a weight matrix applied per step).
+Variable MatMul(const Variable& a, const Variable& b);
+
+// -- Shape ----------------------------------------------------------------------------
+Variable Reshape(const Variable& a, std::vector<int64_t> shape);
+Variable TransposeLast2(const Variable& a);
+Variable Concat(const std::vector<Variable>& parts, int64_t axis);
+Variable Slice(const Variable& a, int64_t axis, int64_t start, int64_t len);
+
+// -- Reductions --------------------------------------------------------------------------
+Variable Sum(const Variable& a, int64_t axis, bool keepdims = false);
+Variable Mean(const Variable& a, int64_t axis, bool keepdims = false);
+Variable SumAll(const Variable& a);   // -> scalar
+Variable MeanAll(const Variable& a);  // -> scalar
+
+// Numerically stable softmax along `axis`. To mask entries out (e.g. the
+// diagonal of an interaction matrix, or future time steps), add a constant
+// tensor of large negative values to the logits first.
+Variable Softmax(const Variable& a, int64_t axis);
+
+// -- Regularisation ---------------------------------------------------------------------------
+
+// Inverted dropout: scales kept activations by 1/(1-rate) in training mode,
+// identity in eval mode or at rate 0.
+Variable Dropout(const Variable& a, float rate, bool training, Rng* rng);
+
+// -- Losses -------------------------------------------------------------------------------------
+
+// Mean binary cross-entropy between logits and {0,1} targets, fused with the
+// sigmoid for numerical stability:
+//   mean_i [ max(z,0) - z*y + log(1+exp(-|z|)) ]
+// Targets are treated as constants. Returns a scalar.
+Variable BceWithLogits(const Variable& logits, const Tensor& targets);
+
+}  // namespace ag
+}  // namespace elda
+
+#endif  // ELDA_AUTOGRAD_OPS_H_

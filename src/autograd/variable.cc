@@ -1,0 +1,119 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "tensor/tensor_ops.h"
+
+namespace elda {
+namespace ag {
+namespace internal {
+
+void AccumulateGrad(Node* node, const Tensor& g) {
+  if (!node->requires_grad) return;
+  Tensor reduced = ReduceToShape(g, node->value.shape());
+  if (!node->grad.defined()) {
+    node->grad = reduced.Clone();
+    return;
+  }
+  float* dst = node->grad.data();
+  const float* src = reduced.data();
+  for (int64_t i = 0; i < node->grad.size(); ++i) dst[i] += src[i];
+}
+
+}  // namespace internal
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<internal::Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  ELDA_CHECK(defined());
+  return node_->value;
+}
+
+Tensor* Variable::mutable_value() {
+  ELDA_CHECK(defined());
+  return &node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  ELDA_CHECK(defined());
+  ELDA_CHECK(node_->grad.defined()) << "no gradient accumulated";
+  return node_->grad;
+}
+
+bool Variable::has_grad() const { return defined() && node_->grad.defined(); }
+
+bool Variable::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  ELDA_CHECK(defined());
+  node_->grad = Tensor();
+}
+
+void Variable::Backward() const {
+  ELDA_CHECK(defined());
+  ELDA_CHECK_EQ(node_->value.size(), 1)
+      << "Backward() requires a scalar root";
+  // Topological order by iterative post-order DFS.
+  std::vector<internal::Node*> order;
+  std::unordered_set<internal::Node*> visited;
+  std::vector<std::pair<internal::Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, next_child] = stack.back();
+    if (next_child < n->parents.size()) {
+      internal::Node* child = n->parents[next_child++].get();
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+  // Seed and propagate in reverse topological order.
+  node_->grad = Tensor::Ones(node_->value.shape());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::Node* n = *it;
+    if (n->backward && n->grad.defined()) n->backward(n);
+  }
+}
+
+Variable Variable::Detach() const {
+  ELDA_CHECK(defined());
+  return Variable(node_->value, /*requires_grad=*/false);
+}
+
+Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+Variable MakeOpResult(Tensor value, std::vector<Variable> parents,
+                      std::function<void(internal::Node*)> backward) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  bool any_grad = false;
+  for (const Variable& p : parents) {
+    ELDA_CHECK(p.defined());
+    if (p.requires_grad()) any_grad = true;
+  }
+  node->requires_grad = any_grad;
+  if (any_grad) {
+    node->parents.reserve(parents.size());
+    for (const Variable& p : parents) node->parents.push_back(p.node());
+    node->backward = std::move(backward);
+  }
+  return Variable::FromNode(std::move(node));
+}
+
+}  // namespace ag
+}  // namespace elda

@@ -1,0 +1,87 @@
+// Reverse-mode automatic differentiation: the Variable handle and tape node.
+//
+// A Variable is a cheap value-semantic handle to a tape Node holding a value
+// tensor, an optional gradient tensor, and the backward closure that
+// propagates gradients to the node's parents. Operators live in
+// autograd/ops.h; calling them on Variables records the computation graph,
+// and Variable::Backward() runs reverse-mode accumulation from a scalar root.
+//
+// Graph lifetime is managed by shared_ptr: the root of an expression keeps
+// the whole tape alive; dropping all handles frees it. Gradients accumulate
+// across backward calls until ZeroGrad().
+
+#ifndef ELDA_AUTOGRAD_VARIABLE_H_
+#define ELDA_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace elda {
+namespace ag {
+
+class Variable;
+
+namespace internal {
+
+struct Node {
+  Tensor value;
+  Tensor grad;  // allocated lazily on first accumulation
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Propagates this node's grad into its parents' grads. Null for leaves.
+  std::function<void(Node*)> backward;
+};
+
+// Adds `g` (reduced over broadcast dims if needed) into node->grad.
+void AccumulateGrad(Node* node, const Tensor& g);
+
+}  // namespace internal
+
+class Variable {
+ public:
+  // A null handle; defined() is false.
+  Variable() = default;
+
+  // Wraps a tensor as a graph leaf. Parameters pass requires_grad = true;
+  // data/constants leave it false.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  // Mutable access for optimizers (in-place parameter updates).
+  Tensor* mutable_value();
+  // The accumulated gradient; CHECK-fails if none has been accumulated.
+  const Tensor& grad() const;
+  bool has_grad() const;
+  bool requires_grad() const;
+
+  // Drops the accumulated gradient (if any).
+  void ZeroGrad();
+
+  // Runs reverse-mode accumulation from this node, which must hold a scalar
+  // (size-1) value; seeds its gradient with 1.
+  void Backward() const;
+
+  // Returns a leaf Variable sharing this value but cut off from the graph.
+  Variable Detach() const;
+
+  // Internal: used by ops to build the graph.
+  const std::shared_ptr<internal::Node>& node() const { return node_; }
+  static Variable FromNode(std::shared_ptr<internal::Node> node);
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+// Builds an op result node. If no parent requires a gradient the parents and
+// the backward closure are dropped so dead graph segments are pruned eagerly.
+Variable MakeOpResult(Tensor value, std::vector<Variable> parents,
+                      std::function<void(internal::Node*)> backward);
+
+}  // namespace ag
+}  // namespace elda
+
+#endif  // ELDA_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,42 @@
+// Baseline model registry: constructs any of the paper's comparison models
+// (and the ELDA-Net variants) by display name with the evaluation-section
+// hyper-parameters.
+
+#ifndef ELDA_BASELINES_BASELINES_H_
+#define ELDA_BASELINES_BASELINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "train/experiment.h"
+#include "train/sequence_model.h"
+
+namespace elda {
+namespace baselines {
+
+// The eleven baseline display names in the paper's Fig. 6 / Table III order:
+// LR, FM, AFM, SAnD, GRU, RETAIN, Dipole-l, Dipole-g, Dipole-c, StageNet,
+// GRU-D, ConCare.
+const std::vector<std::string>& BaselineNames();
+
+// All model names including the ELDA-Net variants (Table III order).
+const std::vector<std::string>& AllModelNames();
+
+// Builds a model by display name (works for baselines and ELDA variants).
+// CHECK-fails on an unknown name.
+std::unique_ptr<train::SequenceModel> MakeModel(const std::string& name,
+                                                int64_t num_features,
+                                                uint64_t seed);
+
+// Trains the named registry model `num_runs` times on a prepared experiment
+// and aggregates test metrics (see train::RunRepeated).
+train::ModelStats RunModelByName(const std::string& name,
+                                 const train::PreparedExperiment& experiment,
+                                 const train::TrainerConfig& trainer_config,
+                                 int64_t num_runs);
+
+}  // namespace baselines
+}  // namespace elda
+
+#endif  // ELDA_BASELINES_BASELINES_H_

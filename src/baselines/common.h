@@ -1,0 +1,17 @@
+// Shared helpers for the baseline model implementations.
+
+#ifndef ELDA_BASELINES_COMMON_H_
+#define ELDA_BASELINES_COMMON_H_
+
+#include "autograd/ops.h"
+
+namespace elda {
+namespace baselines {
+
+// Reverses a [B, T, D] tensor along the time axis (differentiable).
+ag::Variable ReverseTime(const ag::Variable& x);
+
+}  // namespace baselines
+}  // namespace elda
+
+#endif  // ELDA_BASELINES_COMMON_H_

@@ -1,0 +1,65 @@
+#include "baselines/concare.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace elda {
+namespace baselines {
+
+ConCare::ConCare(int64_t num_features, int64_t per_feature_hidden,
+                 uint64_t seed)
+    : rng_(seed),
+      num_features_(num_features),
+      hidden_(per_feature_hidden),
+      wq_(per_feature_hidden, per_feature_hidden, /*use_bias=*/false, &rng_),
+      wk_(per_feature_hidden, per_feature_hidden, false, &rng_),
+      wv_(per_feature_hidden, per_feature_hidden, false, &rng_),
+      out_(num_features * per_feature_hidden, 1, true, &rng_) {
+  feature_grus_.reserve(num_features);
+  for (int64_t c = 0; c < num_features; ++c) {
+    feature_grus_.push_back(
+        std::make_unique<nn::Gru>(1, per_feature_hidden, &rng_));
+    RegisterSubmodule("gru" + std::to_string(c), feature_grus_[c].get());
+  }
+  RegisterSubmodule("wq", &wq_);
+  RegisterSubmodule("wk", &wk_);
+  RegisterSubmodule("wv", &wv_);
+  RegisterSubmodule("out", &out_);
+}
+
+ag::Variable ConCare::Forward(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.shape(0);
+  const int64_t steps = batch.x.shape(1);
+  ag::Variable x = ag::Constant(batch.x);
+  // Per-feature GRU encoders; keep each feature's final state.
+  std::vector<ag::Variable> summaries;
+  summaries.reserve(num_features_);
+  for (int64_t c = 0; c < num_features_; ++c) {
+    ag::Variable series = ag::Reshape(ag::Slice(x, 2, c, 1),
+                                      {batch_size, steps, 1});
+    std::vector<ag::Variable> states =
+        feature_grus_[c]->ForwardSteps(series);
+    summaries.push_back(
+        ag::Reshape(states.back(), {batch_size, 1, hidden_}));
+  }
+  ag::Variable features = ag::Concat(summaries, 1);  // [B, C, u]
+
+  // Cross-feature self-attention (single head).
+  ag::Variable q = wq_.Forward(features);
+  ag::Variable k = wk_.Forward(features);
+  ag::Variable v = wv_.Forward(features);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hidden_));
+  ag::Variable attention = ag::Softmax(
+      ag::MulScalar(ag::MatMul(q, ag::TransposeLast2(k)), scale), -1);
+  ag::Variable mixed = ag::MatMul(attention, v);  // [B, C, u]
+  // Residual connection keeps each feature's own evidence.
+  ag::Variable rep = ag::Tanh(ag::Add(features, mixed));
+  ag::Variable flat =
+      ag::Reshape(rep, {batch_size, num_features_ * hidden_});
+  return ag::Reshape(out_.Forward(flat), {batch_size});
+}
+
+}  // namespace baselines
+}  // namespace elda

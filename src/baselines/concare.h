@@ -1,0 +1,41 @@
+// ConCare (Ma et al., 2020): every medical feature's time series is encoded
+// by its *own* GRU; the per-feature summaries then exchange information
+// through dot-product self-attention across features before a linear head.
+// (The published model adds demographics and a time-aware attention decay;
+// the per-feature-GRU + cross-feature-attention core reproduced here is what
+// differentiates ConCare from a pooled GRU and drives both its accuracy and
+// its characteristic slowness in Table III.)
+
+#ifndef ELDA_BASELINES_CONCARE_H_
+#define ELDA_BASELINES_CONCARE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "train/sequence_model.h"
+
+namespace elda {
+namespace baselines {
+
+class ConCare : public train::SequenceModel {
+ public:
+  ConCare(int64_t num_features, int64_t per_feature_hidden, uint64_t seed);
+  ag::Variable Forward(const data::Batch& batch) override;
+  std::string name() const override { return "ConCare"; }
+
+ private:
+  Rng rng_;
+  int64_t num_features_;
+  int64_t hidden_;
+  std::vector<std::unique_ptr<nn::Gru>> feature_grus_;
+  nn::Linear wq_, wk_, wv_;
+  nn::Linear out_;
+};
+
+}  // namespace baselines
+}  // namespace elda
+
+#endif  // ELDA_BASELINES_CONCARE_H_

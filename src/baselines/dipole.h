@@ -1,0 +1,57 @@
+// Dipole (Ma et al., 2017): bidirectional GRU with three attention
+// mechanisms over earlier steps — location-based, general and
+// concatenation-based — combined with the final state through a tanh layer.
+// The paper evaluates all three variants (Dipole_l, Dipole_g, Dipole_c);
+// Dipole_c additionally serves as the comparison model for ELDA's
+// time-level interpretability study (Fig. 8), so the attention weights of
+// the most recent Forward are exposed.
+
+#ifndef ELDA_BASELINES_DIPOLE_H_
+#define ELDA_BASELINES_DIPOLE_H_
+
+#include <string>
+
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "train/sequence_model.h"
+
+namespace elda {
+namespace baselines {
+
+enum class DipoleAttention {
+  kLocation,  // a_t = w . h_t + b
+  kGeneral,   // a_t = h_T^T W h_t
+  kConcat,    // a_t = v . tanh(W [h_t ; h_T])
+};
+
+class Dipole : public train::SequenceModel {
+ public:
+  Dipole(int64_t num_features, int64_t hidden_dim, DipoleAttention attention,
+         uint64_t seed);
+  ag::Variable Forward(const data::Batch& batch) override;
+  std::string name() const override;
+
+  // Attention over the T-1 earlier steps from the last Forward, [B, T-1].
+  const Tensor& last_attention() const { return last_attention_; }
+
+ private:
+  Rng rng_;
+  DipoleAttention attention_;
+  int64_t hidden_dim_;  // per direction; bidirectional state is 2x
+  nn::Gru forward_gru_;
+  nn::Gru backward_gru_;
+  // Attention parameters (the unused ones stay undefined per variant).
+  ag::Variable loc_w_;     // [2H, 1]
+  ag::Variable loc_b_;     // [1]
+  ag::Variable general_w_; // [2H, 2H]
+  ag::Variable concat_w_;  // [4H, A]
+  ag::Variable concat_v_;  // [A, 1]
+  nn::Linear combine_;     // [4H] -> [2H], tanh
+  nn::Linear out_;         // [2H] -> 1
+  Tensor last_attention_;
+};
+
+}  // namespace baselines
+}  // namespace elda
+
+#endif  // ELDA_BASELINES_DIPOLE_H_

@@ -1,0 +1,25 @@
+#include "baselines/gru_classifier.h"
+
+#include "autograd/ops.h"
+
+namespace elda {
+namespace baselines {
+
+GruClassifier::GruClassifier(int64_t num_features, int64_t hidden_dim,
+                             uint64_t seed)
+    : rng_(seed),
+      gru_(num_features, hidden_dim, &rng_),
+      head_(hidden_dim, 1, /*use_bias=*/true, &rng_) {
+  RegisterSubmodule("gru", &gru_);
+  RegisterSubmodule("head", &head_);
+}
+
+ag::Variable GruClassifier::Forward(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.shape(0);
+  std::vector<ag::Variable> steps =
+      gru_.ForwardSteps(ag::Constant(batch.x));
+  return ag::Reshape(head_.Forward(steps.back()), {batch_size});
+}
+
+}  // namespace baselines
+}  // namespace elda

@@ -1,0 +1,31 @@
+// Plain GRU baseline: a GRU over the imputed series, linear head on the
+// final hidden state.
+
+#ifndef ELDA_BASELINES_GRU_CLASSIFIER_H_
+#define ELDA_BASELINES_GRU_CLASSIFIER_H_
+
+#include <string>
+
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "train/sequence_model.h"
+
+namespace elda {
+namespace baselines {
+
+class GruClassifier : public train::SequenceModel {
+ public:
+  GruClassifier(int64_t num_features, int64_t hidden_dim, uint64_t seed);
+  ag::Variable Forward(const data::Batch& batch) override;
+  std::string name() const override { return "GRU"; }
+
+ private:
+  Rng rng_;
+  nn::Gru gru_;
+  nn::Linear head_;
+};
+
+}  // namespace baselines
+}  // namespace elda
+
+#endif  // ELDA_BASELINES_GRU_CLASSIFIER_H_

@@ -1,0 +1,55 @@
+#include "baselines/gru_d.h"
+
+#include "autograd/ops.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace elda {
+namespace baselines {
+
+GruD::GruD(int64_t num_features, int64_t hidden_dim, uint64_t seed)
+    : rng_(seed),
+      num_features_(num_features),
+      hidden_dim_(hidden_dim),
+      decay_h_(num_features, hidden_dim, /*use_bias=*/true, &rng_),
+      cell_(2 * num_features, hidden_dim, &rng_),
+      out_(hidden_dim, 1, true, &rng_) {
+  decay_x_w_ = RegisterParameter("decay_x_w",
+                                 Tensor::Full({num_features}, 0.1f));
+  decay_x_b_ = RegisterParameter("decay_x_b", Tensor::Zeros({num_features}));
+  RegisterSubmodule("decay_h", &decay_h_);
+  RegisterSubmodule("cell", &cell_);
+  RegisterSubmodule("out", &out_);
+}
+
+ag::Variable GruD::Forward(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.shape(0);
+  const int64_t steps = batch.x.shape(1);
+  ag::Variable h =
+      ag::Constant(Tensor::Zeros({batch_size, hidden_dim_}));
+  for (int64_t t = 0; t < steps; ++t) {
+    Tensor xt = Slice(batch.x, 1, t, 1).Reshape({batch_size, num_features_});
+    Tensor mt =
+        Slice(batch.mask, 1, t, 1).Reshape({batch_size, num_features_});
+    Tensor dt =
+        Slice(batch.delta, 1, t, 1).Reshape({batch_size, num_features_});
+    ag::Variable x = ag::Constant(xt);
+    ag::Variable m = ag::Constant(mt);
+    ag::Variable delta = ag::Constant(dt);
+    // Input decay toward the (standardised) global mean of zero.
+    ag::Variable gamma_x = ag::Exp(ag::Neg(ag::Relu(
+        ag::Add(ag::Mul(delta, decay_x_w_), decay_x_b_))));  // [B, C]
+    ag::Variable one_minus_m = ag::Constant(Sub(Tensor::Ones(mt.shape()), mt));
+    ag::Variable x_hat = ag::Add(ag::Mul(m, x),
+                                 ag::Mul(one_minus_m, ag::Mul(gamma_x, x)));
+    // Hidden decay.
+    ag::Variable gamma_h =
+        ag::Exp(ag::Neg(ag::Relu(decay_h_.Forward(delta))));  // [B, H]
+    h = ag::Mul(gamma_h, h);
+    h = cell_.Forward(ag::Concat({x_hat, m}, 1), h);
+  }
+  return ag::Reshape(out_.Forward(h), {batch_size});
+}
+
+}  // namespace baselines
+}  // namespace elda

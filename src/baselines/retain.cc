@@ -1,0 +1,45 @@
+#include "baselines/retain.h"
+
+#include "baselines/common.h"
+
+namespace elda {
+namespace baselines {
+
+Retain::Retain(int64_t num_features, int64_t embed_dim, uint64_t seed)
+    : rng_(seed),
+      embed_dim_(embed_dim),
+      embed_(num_features, embed_dim, /*use_bias=*/true, &rng_),
+      alpha_gru_(embed_dim, embed_dim, &rng_),
+      beta_gru_(embed_dim, embed_dim, &rng_),
+      alpha_head_(embed_dim, 1, true, &rng_),
+      beta_head_(embed_dim, embed_dim, true, &rng_),
+      out_(embed_dim, 1, true, &rng_) {
+  RegisterSubmodule("embed", &embed_);
+  RegisterSubmodule("alpha_gru", &alpha_gru_);
+  RegisterSubmodule("beta_gru", &beta_gru_);
+  RegisterSubmodule("alpha_head", &alpha_head_);
+  RegisterSubmodule("beta_head", &beta_head_);
+  RegisterSubmodule("out", &out_);
+}
+
+ag::Variable Retain::Forward(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.shape(0);
+  const int64_t steps = batch.x.shape(1);
+  ag::Variable v = embed_.Forward(ag::Constant(batch.x));  // [B, T, m]
+  ag::Variable v_rev = ReverseTime(v);
+  // Reverse-time recurrences, then flip back to chronological order.
+  ag::Variable g = ReverseTime(alpha_gru_.Forward(v_rev));  // [B, T, m]
+  ag::Variable h = ReverseTime(beta_gru_.Forward(v_rev));   // [B, T, m]
+  ag::Variable alpha = ag::Softmax(
+      ag::Reshape(alpha_head_.Forward(g), {batch_size, steps}), 1);
+  ag::Variable beta = ag::Tanh(beta_head_.Forward(h));  // [B, T, m]
+  // context = sum_t alpha_t * beta_t ⊙ v_t.
+  ag::Variable gated = ag::Mul(beta, v);                // [B, T, m]
+  ag::Variable context = ag::Reshape(
+      ag::MatMul(ag::Reshape(alpha, {batch_size, 1, steps}), gated),
+      {batch_size, embed_dim_});
+  return ag::Reshape(out_.Forward(context), {batch_size});
+}
+
+}  // namespace baselines
+}  // namespace elda

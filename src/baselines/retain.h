@@ -1,0 +1,38 @@
+// RETAIN (Choi et al., 2016): an interpretable two-level attention model.
+// Events are embedded per step; two GRUs running in *reverse time* produce a
+// scalar visit-level attention alpha_t and a vector variable-level gate
+// beta_t; the context sum_t alpha_t (beta_t ⊙ v_t) feeds a linear head.
+
+#ifndef ELDA_BASELINES_RETAIN_H_
+#define ELDA_BASELINES_RETAIN_H_
+
+#include <string>
+
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "train/sequence_model.h"
+
+namespace elda {
+namespace baselines {
+
+class Retain : public train::SequenceModel {
+ public:
+  Retain(int64_t num_features, int64_t embed_dim, uint64_t seed);
+  ag::Variable Forward(const data::Batch& batch) override;
+  std::string name() const override { return "RETAIN"; }
+
+ private:
+  Rng rng_;
+  int64_t embed_dim_;
+  nn::Linear embed_;        // x_t -> v_t
+  nn::Gru alpha_gru_;       // reverse-time, scalar attention
+  nn::Gru beta_gru_;        // reverse-time, gate vector
+  nn::Linear alpha_head_;   // hidden -> 1
+  nn::Linear beta_head_;    // hidden -> embed_dim
+  nn::Linear out_;          // context -> logit
+};
+
+}  // namespace baselines
+}  // namespace elda
+
+#endif  // ELDA_BASELINES_RETAIN_H_

@@ -1,0 +1,106 @@
+#include "baselines/sand.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+
+namespace elda {
+namespace baselines {
+
+Sand::Sand(const Config& config, uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      embed_(config.num_features, config.model_dim, /*use_bias=*/true, &rng_),
+      out_(config.interpolation_factors * config.model_dim, 1, true, &rng_) {
+  RegisterSubmodule("embed", &embed_);
+  blocks_.resize(config_.num_blocks);
+  for (int64_t i = 0; i < config_.num_blocks; ++i) {
+    Block& block = blocks_[i];
+    const int64_t d = config_.model_dim;
+    block.wq = std::make_unique<nn::Linear>(d, d, false, &rng_);
+    block.wk = std::make_unique<nn::Linear>(d, d, false, &rng_);
+    block.wv = std::make_unique<nn::Linear>(d, d, false, &rng_);
+    block.wo = std::make_unique<nn::Linear>(d, d, true, &rng_);
+    block.ffn1 = std::make_unique<nn::Linear>(d, config_.ffn_dim, true, &rng_);
+    block.ffn2 = std::make_unique<nn::Linear>(config_.ffn_dim, d, true, &rng_);
+    block.norm1 = std::make_unique<nn::LayerNorm>(d);
+    block.norm2 = std::make_unique<nn::LayerNorm>(d);
+    const std::string prefix = "block" + std::to_string(i) + ".";
+    RegisterSubmodule(prefix + "wq", block.wq.get());
+    RegisterSubmodule(prefix + "wk", block.wk.get());
+    RegisterSubmodule(prefix + "wv", block.wv.get());
+    RegisterSubmodule(prefix + "wo", block.wo.get());
+    RegisterSubmodule(prefix + "ffn1", block.ffn1.get());
+    RegisterSubmodule(prefix + "ffn2", block.ffn2.get());
+    RegisterSubmodule(prefix + "norm1", block.norm1.get());
+    RegisterSubmodule(prefix + "norm2", block.norm2.get());
+  }
+  RegisterSubmodule("out", &out_);
+}
+
+void Sand::RebuildConstants(int64_t steps) {
+  if (steps == cached_steps_) return;
+  cached_steps_ = steps;
+  const int64_t d = config_.model_dim;
+  positional_ = Tensor({steps, d});
+  for (int64_t t = 0; t < steps; ++t) {
+    for (int64_t k = 0; k < d; ++k) {
+      const double angle =
+          t / std::pow(10000.0, 2.0 * (k / 2) / static_cast<double>(d));
+      positional_.at({t, k}) =
+          k % 2 == 0 ? static_cast<float>(std::sin(angle))
+                     : static_cast<float>(std::cos(angle));
+    }
+  }
+  causal_mask_ = Tensor({steps, steps});
+  for (int64_t i = 0; i < steps; ++i) {
+    for (int64_t j = i + 1; j < steps; ++j) causal_mask_.at({i, j}) = -1e9f;
+  }
+  // Dense interpolation (SAnD Alg. 1): w_{m,t} = (1 - |t/T - m/M|)^2.
+  const int64_t m_factors = config_.interpolation_factors;
+  interpolation_ = Tensor({m_factors, steps});
+  for (int64_t m = 0; m < m_factors; ++m) {
+    for (int64_t t = 0; t < steps; ++t) {
+      const double pos_t = static_cast<double>(t + 1) / steps;
+      const double pos_m = static_cast<double>(m + 1) / m_factors;
+      const double w = 1.0 - std::fabs(pos_t - pos_m);
+      interpolation_.at({m, t}) = static_cast<float>(w * w);
+    }
+  }
+}
+
+ag::Variable Sand::Forward(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.shape(0);
+  const int64_t steps = batch.x.shape(1);
+  const int64_t d = config_.model_dim;
+  RebuildConstants(steps);
+
+  ag::Variable h = ag::Add(embed_.Forward(ag::Constant(batch.x)),
+                           ag::Constant(positional_));  // [B, T, D]
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  for (Block& block : blocks_) {
+    ag::Variable q = block.wq->Forward(h);
+    ag::Variable k = block.wk->Forward(h);
+    ag::Variable v = block.wv->Forward(h);
+    ag::Variable scores = ag::MulScalar(
+        ag::MatMul(q, ag::TransposeLast2(k)), scale);  // [B, T, T]
+    scores = ag::Add(scores, ag::Constant(causal_mask_));
+    ag::Variable attention = ag::Softmax(scores, /*axis=*/-1);
+    ag::Variable attended = block.wo->Forward(ag::MatMul(attention, v));
+    attended = ag::Dropout(attended, config_.dropout, training(), &rng_);
+    h = block.norm1->Forward(ag::Add(h, attended));  // residual + norm
+    ag::Variable ffn =
+        block.ffn2->Forward(ag::Relu(block.ffn1->Forward(h)));
+    ffn = ag::Dropout(ffn, config_.dropout, training(), &rng_);
+    h = block.norm2->Forward(ag::Add(h, ffn));  // residual + norm
+  }
+  // Dense interpolation collapses time into M factors: [M,T] x [B,T,D].
+  ag::Variable interpolated =
+      ag::MatMul(ag::Constant(interpolation_), h);  // [B, M, D] (shared lhs)
+  ag::Variable flat = ag::Reshape(
+      interpolated, {batch_size, config_.interpolation_factors * d});
+  return ag::Reshape(out_.Forward(flat), {batch_size});
+}
+
+}  // namespace baselines
+}  // namespace elda

@@ -1,0 +1,57 @@
+// SAnD — "Simply Attend and Diagnose" (Song et al., 2018): a
+// transformer-style baseline with input embedding, sinusoidal positional
+// encoding, causally masked self-attention blocks, and dense interpolation
+// over time instead of recurrence.
+
+#ifndef ELDA_BASELINES_SAND_H_
+#define ELDA_BASELINES_SAND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "train/sequence_model.h"
+
+namespace elda {
+namespace baselines {
+
+class Sand : public train::SequenceModel {
+ public:
+  struct Config {
+    int64_t num_features = 37;
+    int64_t model_dim = 64;
+    int64_t ffn_dim = 128;
+    int64_t num_blocks = 2;
+    int64_t interpolation_factors = 12;  // M in the SAnD paper
+    float dropout = 0.1f;
+  };
+
+  Sand(const Config& config, uint64_t seed);
+  ag::Variable Forward(const data::Batch& batch) override;
+  std::string name() const override { return "SAnD"; }
+
+ private:
+  struct Block {
+    std::unique_ptr<nn::Linear> wq, wk, wv, wo, ffn1, ffn2;
+    std::unique_ptr<nn::LayerNorm> norm1, norm2;
+  };
+
+  Config config_;
+  Rng rng_;
+  nn::Linear embed_;
+  std::vector<Block> blocks_;
+  nn::Linear out_;
+  // Cached constants, rebuilt when the sequence length changes.
+  int64_t cached_steps_ = -1;
+  Tensor positional_;     // [T, D]
+  Tensor causal_mask_;    // [T, T] 0 / -1e9
+  Tensor interpolation_;  // [M, T] dense-interpolation weights
+  void RebuildConstants(int64_t steps);
+};
+
+}  // namespace baselines
+}  // namespace elda
+
+#endif  // ELDA_BASELINES_SAND_H_

@@ -1,0 +1,58 @@
+#include "baselines/stagenet.h"
+
+#include "autograd/ops.h"
+
+namespace elda {
+namespace baselines {
+
+StageNet::StageNet(int64_t num_features, int64_t hidden_dim,
+                   int64_t conv_kernel, int64_t conv_channels, uint64_t seed)
+    : rng_(seed),
+      hidden_dim_(hidden_dim),
+      conv_kernel_(conv_kernel),
+      conv_channels_(conv_channels),
+      lstm_(num_features, hidden_dim, &rng_),
+      stage_head_(hidden_dim, 1, /*use_bias=*/true, &rng_),
+      conv_(conv_kernel * hidden_dim, conv_channels, true, &rng_),
+      out_(hidden_dim + conv_channels, 1, true, &rng_) {
+  RegisterSubmodule("lstm", &lstm_);
+  RegisterSubmodule("stage_head", &stage_head_);
+  RegisterSubmodule("conv", &conv_);
+  RegisterSubmodule("out", &out_);
+}
+
+ag::Variable StageNet::Forward(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.shape(0);
+  const int64_t steps = batch.x.shape(1);
+  ELDA_CHECK_GE(steps, conv_kernel_);
+  ag::Variable h = lstm_.Forward(ag::Constant(batch.x));  // [B, T, H]
+
+  // Stage signal per step: how far the disease has progressed. It softly
+  // re-weights the hidden history before the progression convolution.
+  ag::Variable stage = ag::Sigmoid(stage_head_.Forward(h));  // [B, T, 1]
+  ag::Variable staged = ag::Mul(h, stage);                   // [B, T, H]
+
+  // Temporal convolution via unfolding: windows of K consecutive staged
+  // states, linearly mapped to `conv_channels` progression features.
+  std::vector<ag::Variable> windows;
+  windows.reserve(steps - conv_kernel_ + 1);
+  for (int64_t t = 0; t + conv_kernel_ <= steps; ++t) {
+    // [B, K, H] -> [B, 1, K*H]
+    windows.push_back(ag::Reshape(ag::Slice(staged, 1, t, conv_kernel_),
+                                  {batch_size, 1, conv_kernel_ * hidden_dim_}));
+  }
+  ag::Variable unfolded = ag::Concat(windows, 1);  // [B, T-K+1, K*H]
+  ag::Variable conv = ag::Relu(conv_.Forward(unfolded));
+  // Max-pool the progression features over time: max = -min(-x) via the
+  // softplus-free trick is unnecessary; mean-pool works and keeps gradients
+  // dense across the stay.
+  ag::Variable pooled = ag::Mean(conv, /*axis=*/1);  // [B, channels]
+
+  ag::Variable h_last =
+      ag::Reshape(ag::Slice(h, 1, steps - 1, 1), {batch_size, hidden_dim_});
+  ag::Variable rep = ag::Concat({h_last, pooled}, 1);
+  return ag::Reshape(out_.Forward(rep), {batch_size});
+}
+
+}  // namespace baselines
+}  // namespace elda

@@ -1,0 +1,43 @@
+// StageNet (Gao et al., 2020), implemented in its simplified faithful form
+// documented in DESIGN.md: an LSTM backbone whose hidden trajectory is
+// summarised by (a) a learned per-step stage signal that re-weights the
+// history and (b) a temporal convolution over the stacked hidden states that
+// extracts progression patterns. The published model additionally couples
+// the stage variable into the LSTM's internal gates; the progression-
+// convolution + stage-reweighting core that drives its reported gains is
+// what this implementation reproduces.
+
+#ifndef ELDA_BASELINES_STAGENET_H_
+#define ELDA_BASELINES_STAGENET_H_
+
+#include <string>
+
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "train/sequence_model.h"
+
+namespace elda {
+namespace baselines {
+
+class StageNet : public train::SequenceModel {
+ public:
+  StageNet(int64_t num_features, int64_t hidden_dim, int64_t conv_kernel,
+           int64_t conv_channels, uint64_t seed);
+  ag::Variable Forward(const data::Batch& batch) override;
+  std::string name() const override { return "StageNet"; }
+
+ private:
+  Rng rng_;
+  int64_t hidden_dim_;
+  int64_t conv_kernel_;
+  int64_t conv_channels_;
+  nn::Lstm lstm_;
+  nn::Linear stage_head_;  // h_t -> stage logit
+  nn::Linear conv_;        // [K * H] -> conv channels (unfolded conv)
+  nn::Linear out_;         // [H + channels] -> 1
+};
+
+}  // namespace baselines
+}  // namespace elda
+
+#endif  // ELDA_BASELINES_STAGENET_H_

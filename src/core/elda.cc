@@ -1,0 +1,148 @@
+#include "core/elda.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "nn/serialize.h"
+#include "tensor/tensor_ops.h"
+
+namespace elda {
+namespace core {
+
+Elda::Elda(const EldaConfig& config) : config_(config) {
+  net_ = std::make_unique<EldaNet>(config_.net);
+}
+
+train::TrainResult Elda::Fit(const data::EmrDataset& cohort,
+                             data::Task task) {
+  ELDA_CHECK_EQ(cohort.num_features(), config_.net.num_features);
+  task_ = task;
+  feature_names_ = cohort.feature_names();
+  num_steps_ = cohort.num_steps();
+  Rng split_rng(config_.split_seed);
+  std::vector<float> labels;
+  labels.reserve(cohort.size());
+  for (const data::EmrSample& s : cohort.samples()) {
+    labels.push_back(task == data::Task::kMortality ? s.mortality_label
+                                                    : s.los_gt7_label);
+  }
+  split_ = data::StratifiedSplit(labels, config_.train_fraction,
+                                 config_.val_fraction, &split_rng);
+  standardizer_.Fit(cohort, split_.train);
+  prepared_ = data::PrepareDataset(cohort, standardizer_);
+  train::Trainer trainer(config_.trainer);
+  train::TrainResult result =
+      trainer.Train(net_.get(), prepared_, split_, task);
+  fitted_ = true;
+  return result;
+}
+
+std::vector<data::PreparedSample> Elda::PrepareRaw(
+    const std::vector<data::EmrSample>& samples) const {
+  ELDA_CHECK(fitted_) << "call Fit() before predicting";
+  data::EmrDataset scratch(feature_names_, num_steps_);
+  for (const data::EmrSample& s : samples) scratch.Add(s);
+  return data::PrepareDataset(scratch, standardizer_);
+}
+
+std::vector<float> Elda::PredictRisk(
+    const std::vector<data::EmrSample>& samples) {
+  std::vector<data::PreparedSample> prepared = PrepareRaw(samples);
+  std::vector<int64_t> indices(prepared.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<int64_t>(i);
+  }
+  return train::Trainer::PredictScores(net_.get(), prepared, indices, task_);
+}
+
+std::vector<bool> Elda::TriggerAlerts(
+    const std::vector<data::EmrSample>& samples) {
+  std::vector<float> risks = PredictRisk(samples);
+  std::vector<bool> alerts(risks.size());
+  for (size_t i = 0; i < risks.size(); ++i) {
+    alerts[i] = risks[i] >= config_.alert_threshold;
+  }
+  return alerts;
+}
+
+bool Elda::Save(const std::string& path, std::string* error) const {
+  if (!fitted_) {
+    if (error != nullptr) *error = "cannot save an unfitted framework";
+    return false;
+  }
+  if (!nn::SaveParameters(*net_, path, error)) return false;
+  std::ofstream meta(path + ".meta", std::ios::trunc);
+  if (!meta) {
+    if (error != nullptr) *error = "cannot write " + path + ".meta";
+    return false;
+  }
+  meta << "task " << (task_ == data::Task::kMortality ? "mortality" : "los")
+       << "\n";
+  meta << "num_steps " << num_steps_ << "\n";
+  meta << "clean_negative " << (standardizer_.clean_negative() ? 1 : 0)
+       << "\n";
+  meta << "features " << feature_names_.size() << "\n";
+  for (size_t c = 0; c < feature_names_.size(); ++c) {
+    meta << feature_names_[c] << " " << standardizer_.mean(c) << " "
+         << standardizer_.stddev(c) << "\n";
+  }
+  return static_cast<bool>(meta);
+}
+
+bool Elda::Load(const std::string& path, std::string* error) {
+  if (!nn::LoadParameters(net_.get(), path, error)) return false;
+  std::ifstream meta(path + ".meta");
+  if (!meta) {
+    if (error != nullptr) *error = "cannot read " + path + ".meta";
+    return false;
+  }
+  std::string key, task_name;
+  int64_t num_steps = 0;
+  int clean_negative = 1;
+  size_t num_features = 0;
+  meta >> key >> task_name >> key >> num_steps >> key >> clean_negative >>
+      key >> num_features;
+  if (!meta || num_features == 0) {
+    if (error != nullptr) *error = "corrupt metadata in " + path + ".meta";
+    return false;
+  }
+  std::vector<std::string> names(num_features);
+  std::vector<float> means(num_features), stds(num_features);
+  for (size_t c = 0; c < num_features; ++c) {
+    meta >> names[c] >> means[c] >> stds[c];
+  }
+  if (!meta) {
+    if (error != nullptr) *error = "truncated metadata in " + path + ".meta";
+    return false;
+  }
+  task_ = task_name == "mortality" ? data::Task::kMortality
+                                   : data::Task::kLosGt7;
+  num_steps_ = num_steps;
+  feature_names_ = std::move(names);
+  standardizer_.Restore(std::move(means), std::move(stds),
+                        clean_negative != 0);
+  fitted_ = true;
+  return true;
+}
+
+Elda::Interpretation Elda::Interpret(const data::EmrSample& sample) {
+  std::vector<data::PreparedSample> prepared = PrepareRaw({sample});
+  data::Batch batch = data::MakeBatch(prepared, {0}, task_);
+  net_->SetTraining(false);
+  Interpretation out;
+  Tensor logits = net_->Forward(batch).value();
+  out.risk = Sigmoid(logits)[0];
+  const int64_t steps = sample.num_steps;
+  const int64_t features = sample.num_features;
+  if (config_.net.use_feature_module) {
+    out.feature_attention =
+        net_->feature_attention().Reshape({steps, features, features});
+  }
+  if (config_.net.use_time_interactions) {
+    out.time_attention = net_->time_attention().Reshape({steps - 1});
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace elda

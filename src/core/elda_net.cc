@@ -1,0 +1,115 @@
+#include "core/elda_net.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace elda {
+namespace core {
+
+EldaNetConfig EldaNetConfig::Full() { return EldaNetConfig(); }
+
+EldaNetConfig EldaNetConfig::VariantT() {
+  EldaNetConfig config;
+  config.use_feature_module = false;
+  config.display_name = "ELDA-Net-T";
+  return config;
+}
+
+EldaNetConfig EldaNetConfig::VariantFBi() {
+  EldaNetConfig config;
+  config.use_time_interactions = false;
+  config.display_name = "ELDA-Net-Fbi";
+  return config;
+}
+
+EldaNetConfig EldaNetConfig::VariantFBiStar() {
+  EldaNetConfig config = VariantFBi();
+  config.embedding = EmbeddingVariant::kBiDirectionalStar;
+  config.display_name = "ELDA-Net-Fbi*";
+  return config;
+}
+
+EldaNetConfig EldaNetConfig::VariantFFm() {
+  EldaNetConfig config = VariantFBi();
+  config.embedding = EmbeddingVariant::kFmLinear;
+  config.display_name = "ELDA-Net-Ffm";
+  return config;
+}
+
+EldaNetConfig EldaNetConfig::VariantFFmStar() {
+  EldaNetConfig config = VariantFBi();
+  config.embedding = EmbeddingVariant::kFmLinearStar;
+  config.display_name = "ELDA-Net-Ffm*";
+  return config;
+}
+
+EldaNet::EldaNet(const EldaNetConfig& config)
+    : config_(config), rng_(config.seed) {
+  int64_t temporal_input = config_.num_features;
+  if (config_.use_feature_module) {
+    const bool bi_variant =
+        config_.embedding == EmbeddingVariant::kBiDirectional ||
+        config_.embedding == EmbeddingVariant::kBiDirectionalStar;
+    embedding_ = std::make_unique<BiDirectionalEmbedding>(
+        config_.num_features, config_.embed_dim, config_.embedding,
+        config_.lower, config_.upper,
+        /*use_missing_embedding=*/bi_variant, &rng_);
+    feature_ = std::make_unique<FeatureInteraction>(
+        config_.num_features, config_.embed_dim, config_.compression, &rng_);
+    RegisterSubmodule("embedding", embedding_.get());
+    RegisterSubmodule("feature_interaction", feature_.get());
+    temporal_input = feature_->output_dim();
+  }
+  int64_t representation_dim;
+  if (config_.use_time_interactions) {
+    time_ = std::make_unique<TimeInteraction>(temporal_input,
+                                              config_.hidden_dim, &rng_);
+    RegisterSubmodule("time_interaction", time_.get());
+    representation_dim = time_->output_dim();
+  } else {
+    plain_gru_ =
+        std::make_unique<nn::Gru>(temporal_input, config_.hidden_dim, &rng_);
+    RegisterSubmodule("gru", plain_gru_.get());
+    representation_dim = config_.hidden_dim;
+  }
+  prediction_ = std::make_unique<nn::Linear>(representation_dim, 1,
+                                             /*use_bias=*/true, &rng_);
+  RegisterSubmodule("prediction", prediction_.get());
+}
+
+ag::Variable EldaNet::Forward(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.shape(0);
+  const int64_t steps = batch.x.shape(1);
+  ELDA_CHECK_EQ(batch.x.shape(2), config_.num_features);
+  ag::Variable x = ag::Constant(batch.x);
+
+  ag::Variable temporal_input = x;
+  if (config_.use_feature_module) {
+    ag::Variable e = embedding_->Forward(x, batch.mask);
+    temporal_input = feature_->Forward(e);
+  }
+
+  ag::Variable representation;
+  if (config_.use_time_interactions) {
+    representation = time_->Forward(temporal_input);
+  } else {
+    ag::Variable h = plain_gru_->Forward(temporal_input);
+    representation = ag::Reshape(ag::Slice(h, 1, steps - 1, 1),
+                                 {batch_size, config_.hidden_dim});
+  }
+  return ag::Reshape(prediction_->Forward(representation), {batch_size});
+}
+
+const Tensor& EldaNet::feature_attention() const {
+  ELDA_CHECK(feature_ != nullptr)
+      << name() << "has no feature-level interaction module";
+  return feature_->last_attention();
+}
+
+const Tensor& EldaNet::time_attention() const {
+  ELDA_CHECK(time_ != nullptr)
+      << name() << "has no time-level interaction module";
+  return time_->last_attention();
+}
+
+}  // namespace core
+}  // namespace elda

@@ -1,0 +1,72 @@
+// ELDA-Net: the end-to-end model of the paper (Section IV), composed of the
+// Bi-directional Embedding Module, the Feature-level Interaction Learning
+// Module, the Time-level Interaction Learning Module and the Prediction
+// Module. Config factories produce the ablation variants of Fig. 7.
+
+#ifndef ELDA_CORE_ELDA_NET_H_
+#define ELDA_CORE_ELDA_NET_H_
+
+#include <memory>
+#include <string>
+
+#include "core/embedding.h"
+#include "core/feature_interaction.h"
+#include "core/time_interaction.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "train/sequence_model.h"
+
+namespace elda {
+namespace core {
+
+struct EldaNetConfig {
+  int64_t num_features = 37;
+  int64_t embed_dim = 24;    // e in the paper
+  int64_t compression = 4;   // d, the compression factor
+  int64_t hidden_dim = 64;   // l, GRU hidden size
+  float lower = -3.0f;       // a, lower anchor of the embedding
+  float upper = 3.0f;        // b, upper anchor
+  EmbeddingVariant embedding = EmbeddingVariant::kBiDirectional;
+  bool use_feature_module = true;     // off in ELDA-Net-T
+  bool use_time_interactions = true;  // off in the ELDA-Net-F variants
+  std::string display_name = "ELDA-Net";
+  uint64_t seed = 1;
+
+  // The full model and the ablation variants of Fig. 7 / Table III.
+  static EldaNetConfig Full();
+  static EldaNetConfig VariantT();        // time interactions only
+  static EldaNetConfig VariantFBi();      // feature interactions, bi embed
+  static EldaNetConfig VariantFBiStar();  // ... bi* embedding
+  static EldaNetConfig VariantFFm();      // ... FM linear embedding
+  static EldaNetConfig VariantFFmStar();  // ... FM* embedding
+};
+
+class EldaNet : public train::SequenceModel {
+ public:
+  explicit EldaNet(const EldaNetConfig& config);
+
+  ag::Variable Forward(const data::Batch& batch) override;
+  std::string name() const override { return config_.display_name; }
+
+  const EldaNetConfig& config() const { return config_; }
+
+  // Interpretation surfaces captured by the most recent Forward.
+  // Feature-level attention [B, T, C, C]; CHECK-fails for ELDA-Net-T.
+  const Tensor& feature_attention() const;
+  // Time-level attention [B, T-1]; CHECK-fails for the -F variants.
+  const Tensor& time_attention() const;
+
+ private:
+  EldaNetConfig config_;
+  Rng rng_;
+  std::unique_ptr<BiDirectionalEmbedding> embedding_;
+  std::unique_ptr<FeatureInteraction> feature_;
+  std::unique_ptr<TimeInteraction> time_;  // when use_time_interactions
+  std::unique_ptr<nn::Gru> plain_gru_;     // otherwise
+  std::unique_ptr<nn::Linear> prediction_;
+};
+
+}  // namespace core
+}  // namespace elda
+
+#endif  // ELDA_CORE_ELDA_NET_H_

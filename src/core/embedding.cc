@@ -1,0 +1,132 @@
+#include "core/embedding.h"
+
+#include "nn/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace elda {
+namespace core {
+
+std::string EmbeddingVariantName(EmbeddingVariant variant) {
+  switch (variant) {
+    case EmbeddingVariant::kBiDirectional:
+      return "bi";
+    case EmbeddingVariant::kBiDirectionalStar:
+      return "bi*";
+    case EmbeddingVariant::kFmLinear:
+      return "fm";
+    case EmbeddingVariant::kFmLinearStar:
+      return "fm*";
+  }
+  return "?";
+}
+
+BiDirectionalEmbedding::BiDirectionalEmbedding(int64_t num_features,
+                                               int64_t embed_dim,
+                                               EmbeddingVariant variant,
+                                               float lower, float upper,
+                                               bool use_missing_embedding,
+                                               Rng* rng)
+    : num_features_(num_features),
+      embed_dim_(embed_dim),
+      variant_(variant),
+      lower_(lower),
+      upper_(upper),
+      use_missing_embedding_(use_missing_embedding) {
+  ELDA_CHECK_LT(lower_, upper_);
+  // Embedding tables use a unit-ish per-element scale rather than a
+  // Xavier fan over [C, E]: the attention logits of the downstream
+  // interaction module are *products* of two embeddings, so anchor vectors
+  // that are too small collapse every softmax toward uniform and starve the
+  // attention pathway of gradient.
+  const float kEmbedInitRange = 0.7f;
+  auto embed_init = [&] {
+    return Tensor::Uniform({num_features, embed_dim}, -kEmbedInitRange,
+                           kEmbedInitRange, rng);
+  };
+  const bool bi = variant_ == EmbeddingVariant::kBiDirectional ||
+                  variant_ == EmbeddingVariant::kBiDirectionalStar;
+  if (bi) {
+    // Anti-symmetric anchor initialisation: V_b starts close to -V_a, so the
+    // embedding's value-dependent component ((b-a)/2-scaled x' along
+    // V_a - V_b) dominates its constant component ((V_a + V_b)/2) from the
+    // first step. Downstream attention logits are inner products of
+    // embeddings, so this makes the attention *value-sensitive* — abnormal
+    // measurements reshape the softmax — which is the trained behaviour the
+    // paper's interpretability study reports. A fresh noise term keeps the
+    // constant component non-zero, preserving the module's defining property
+    // that a standardised zero still maps to an informative vector.
+    Tensor lower = embed_init();
+    Tensor upper = embed_init();
+    for (int64_t i = 0; i < upper.size(); ++i) {
+      upper[i] = -0.55f * lower[i] + 0.45f * upper[i];
+    }
+    v_lower_ = RegisterParameter("v_lower", lower);
+    v_upper_ = RegisterParameter("v_upper", upper);
+  } else {
+    v_linear_ = RegisterParameter("v_linear", embed_init());
+  }
+  if (use_missing_embedding_) {
+    v_missing_ = RegisterParameter("v_missing", embed_init());
+  }
+}
+
+ag::Variable BiDirectionalEmbedding::Forward(const ag::Variable& x,
+                                             const Tensor& mask) const {
+  const Tensor& xv = x.value();
+  ELDA_CHECK_EQ(xv.dim(), 3);
+  ELDA_CHECK_EQ(xv.shape(2), num_features_);
+  const int64_t batch = xv.shape(0);
+  const int64_t steps = xv.shape(1);
+
+  // [B, T, C] -> [B, T, C, 1] for broadcasting against [C, E] tables.
+  ag::Variable x4 = ag::Reshape(x, {batch, steps, num_features_, 1});
+
+  ag::Variable e;
+  const bool bi = variant_ == EmbeddingVariant::kBiDirectional ||
+                  variant_ == EmbeddingVariant::kBiDirectionalStar;
+  if (bi) {
+    const float inv_range = 1.0f / (upper_ - lower_);
+    // Interpolation weights (x' - a)/(b - a) and (b - x')/(b - a); values
+    // outside [a, b] extrapolate linearly, exactly as Eq. (2) prescribes.
+    ag::Variable wa = ag::MulScalar(ag::AddScalar(x4, -lower_), inv_range);
+    ag::Variable wb = ag::MulScalar(
+        ag::AddScalar(ag::MulScalar(x4, -1.0f), upper_), inv_range);
+    e = ag::Add(ag::Mul(wa, v_lower_), ag::Mul(wb, v_upper_));
+  } else {
+    e = ag::Mul(x4, v_linear_);
+  }
+
+  // Star variants: a standardised zero gets the all-ones vector instead
+  // (value-dependent routing; the selector itself is not differentiated).
+  if (variant_ == EmbeddingVariant::kBiDirectionalStar ||
+      variant_ == EmbeddingVariant::kFmLinearStar) {
+    Tensor zero_sel =
+        EqualScalar(xv, 0.0f, 1e-6f).Reshape({batch, steps, num_features_, 1});
+    ag::Variable keep = ag::Constant(
+        Sub(Tensor::Ones(zero_sel.shape()), zero_sel));
+    e = ag::Add(ag::Mul(e, keep), ag::Constant(zero_sel));
+  }
+
+  // Never-observed features use the learned V_m instead (paper's third
+  // category of missing data).
+  if (use_missing_embedding_) {
+    Tensor never({batch, 1, num_features_, 1});
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t c = 0; c < num_features_; ++c) {
+        bool seen = false;
+        for (int64_t t = 0; t < steps && !seen; ++t) {
+          seen = mask.at({b, t, c}) != 0.0f;
+        }
+        never.at({b, 0, c, 0}) = seen ? 0.0f : 1.0f;
+      }
+    }
+    ag::Variable never_v = ag::Constant(never);
+    ag::Variable keep_v = ag::Constant(
+        Sub(Tensor::Ones(never.shape()), never));
+    e = ag::Add(ag::Mul(e, keep_v), ag::Mul(never_v, v_missing_));
+  }
+  return e;
+}
+
+}  // namespace core
+}  // namespace elda

@@ -1,0 +1,128 @@
+#include "core/interpret.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace elda {
+namespace core {
+
+GroupTimeAttention CollectGroupTimeAttention(
+    EldaNet* net, const std::vector<data::PreparedSample>& prepared,
+    const std::vector<int64_t>& indices, data::Task task,
+    int64_t batch_size) {
+  ELDA_CHECK(net != nullptr);
+  ELDA_CHECK(!indices.empty());
+  net->SetTraining(false);
+  GroupTimeAttention out;
+  bool sized = false;
+  for (size_t start = 0; start < indices.size();
+       start += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(indices.size(), start + static_cast<size_t>(batch_size));
+    std::vector<int64_t> chunk(indices.begin() + start,
+                               indices.begin() + end);
+    data::Batch batch = data::MakeBatch(prepared, chunk, task);
+    net->Forward(batch);
+    const Tensor& beta = net->time_attention();  // [B, T-1]
+    const int64_t horizon = beta.shape(1);
+    if (!sized) {
+      out.positive_mean.assign(horizon, 0.0);
+      out.negative_mean.assign(horizon, 0.0);
+      sized = true;
+    }
+    for (int64_t b = 0; b < static_cast<int64_t>(chunk.size()); ++b) {
+      const bool positive = batch.y[b] == 1.0f;
+      double volatility = 0.0;
+      for (int64_t t = 0; t < horizon; ++t) {
+        const double a = beta.at({b, t});
+        (positive ? out.positive_mean : out.negative_mean)[t] += a;
+        if (t > 0) volatility += std::fabs(a - beta.at({b, t - 1}));
+      }
+      if (positive) {
+        out.positive_volatility += volatility;
+        ++out.positive_count;
+      } else {
+        out.negative_volatility += volatility;
+        ++out.negative_count;
+      }
+    }
+  }
+  for (double& v : out.positive_mean) {
+    v /= std::max<int64_t>(out.positive_count, 1);
+  }
+  for (double& v : out.negative_mean) {
+    v /= std::max<int64_t>(out.negative_count, 1);
+  }
+  out.positive_volatility /= std::max<int64_t>(out.positive_count, 1);
+  out.negative_volatility /= std::max<int64_t>(out.negative_count, 1);
+  return out;
+}
+
+double LateAttentionMass(const std::vector<double>& curve,
+                         int64_t late_hours) {
+  ELDA_CHECK(!curve.empty());
+  double late = 0.0, total = 0.0;
+  for (size_t t = 0; t < curve.size(); ++t) {
+    total += curve[t];
+    if (static_cast<int64_t>(curve.size() - t) <= late_hours) {
+      late += curve[t];
+    }
+  }
+  return late / std::max(total, 1e-12);
+}
+
+std::vector<InteractionScore> TopInteractions(const Tensor& attention,
+                                              int64_t hour, int64_t k) {
+  ELDA_CHECK_EQ(attention.dim(), 3);
+  const int64_t features = attention.shape(1);
+  std::vector<InteractionScore> scores;
+  scores.reserve(features * (features - 1));
+  for (int64_t i = 0; i < features; ++i) {
+    for (int64_t j = 0; j < features; ++j) {
+      if (i == j) continue;
+      scores.push_back({i, j, attention.at({hour, i, j})});
+    }
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const InteractionScore& a, const InteractionScore& b) {
+              return a.weight > b.weight;
+            });
+  if (static_cast<int64_t>(scores.size()) > k) scores.resize(k);
+  return scores;
+}
+
+std::vector<float> AttentionTrace(const Tensor& attention, int64_t source,
+                                  int64_t target) {
+  ELDA_CHECK_EQ(attention.dim(), 3);
+  const int64_t steps = attention.shape(0);
+  std::vector<float> trace(steps);
+  for (int64_t t = 0; t < steps; ++t) {
+    trace[t] = attention.at({t, source, target});
+  }
+  return trace;
+}
+
+double TraceWindowMean(const std::vector<float>& trace, int64_t from,
+                       int64_t to) {
+  ELDA_CHECK(from >= 0 && to > from &&
+             to <= static_cast<int64_t>(trace.size()));
+  double sum = 0.0;
+  for (int64_t t = from; t < to; ++t) sum += trace[t];
+  return sum / static_cast<double>(to - from);
+}
+
+double AttentionEntropy(const Tensor& attention, int64_t hour,
+                        int64_t source) {
+  ELDA_CHECK_EQ(attention.dim(), 3);
+  const int64_t features = attention.shape(1);
+  double entropy = 0.0;
+  for (int64_t j = 0; j < features; ++j) {
+    if (j == source) continue;
+    const double p = attention.at({hour, source, j});
+    if (p > 1e-12) entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+}  // namespace core
+}  // namespace elda

@@ -1,0 +1,77 @@
+// Cohort- and patient-level analyses over ELDA's attention surfaces.
+//
+// These are the reusable analytics behind the paper's interpretability
+// study (Section V-D): aggregating time-level attention over patient groups
+// (Fig. 8), ranking feature interactions (Fig. 9), and tracing one
+// feature's attention across the stay (Fig. 10). The benchmark binaries and
+// the examples are thin wrappers over this module.
+
+#ifndef ELDA_CORE_INTERPRET_H_
+#define ELDA_CORE_INTERPRET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/elda_net.h"
+#include "data/pipeline.h"
+#include "train/experiment.h"
+
+namespace elda {
+namespace core {
+
+// -- Time level (Fig. 8) -----------------------------------------------------
+
+// Mean attention-per-hour curves for two outcome groups, plus per-patient
+// curve volatility (mean |a_t - a_{t-1}|), computed over an index set.
+struct GroupTimeAttention {
+  std::vector<double> positive_mean;  // label == 1 (e.g. non-survivors)
+  std::vector<double> negative_mean;  // label == 0
+  double positive_volatility = 0.0;
+  double negative_volatility = 0.0;
+  int64_t positive_count = 0;
+  int64_t negative_count = 0;
+};
+
+// Runs `net` over `indices` (batched) and aggregates the time-level
+// attention by label. `net` must have a time-interaction module.
+GroupTimeAttention CollectGroupTimeAttention(
+    EldaNet* net, const std::vector<data::PreparedSample>& prepared,
+    const std::vector<int64_t>& indices, data::Task task,
+    int64_t batch_size = 128);
+
+// Fraction of a curve's attention mass in its final `late_hours` entries.
+double LateAttentionMass(const std::vector<double>& curve,
+                         int64_t late_hours);
+
+// -- Feature level (Figs. 9-10) ----------------------------------------------
+
+struct InteractionScore {
+  int64_t source = 0;  // the feature being processed (attention row)
+  int64_t target = 0;  // the feature attended to (attention column)
+  float weight = 0.0f;
+};
+
+// The `k` strongest off-diagonal interactions at one hour of a per-patient
+// attention tensor [T, C, C], sorted descending by weight.
+std::vector<InteractionScore> TopInteractions(const Tensor& attention,
+                                              int64_t hour, int64_t k);
+
+// The attention `source` pays to `target` at every hour: a length-T trace
+// (the curves of Fig. 10).
+std::vector<float> AttentionTrace(const Tensor& attention, int64_t source,
+                                  int64_t target);
+
+// Mean of a trace over [from, to).
+double TraceWindowMean(const std::vector<float>& trace, int64_t from,
+                       int64_t to);
+
+// Entropy (nats) of row `source` at `hour`, excluding the diagonal. Uniform
+// attention over C-1 targets gives log(C-1); sharp attention approaches 0.
+double AttentionEntropy(const Tensor& attention, int64_t hour,
+                        int64_t source);
+
+}  // namespace core
+}  // namespace elda
+
+#endif  // ELDA_CORE_INTERPRET_H_

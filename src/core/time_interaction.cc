@@ -1,0 +1,47 @@
+#include "core/time_interaction.h"
+
+#include "nn/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace elda {
+namespace core {
+
+TimeInteraction::TimeInteraction(int64_t input_dim, int64_t hidden_dim,
+                                 Rng* rng)
+    : hidden_dim_(hidden_dim), gru_(input_dim, hidden_dim, rng) {
+  RegisterSubmodule("gru", &gru_);
+  w_beta_ = RegisterParameter(
+      "w_beta", nn::XavierUniform(hidden_dim, 1, {hidden_dim, 1}, rng));
+  b_beta_ = RegisterParameter("b_beta", Tensor::Zeros({1}));
+}
+
+ag::Variable TimeInteraction::Forward(const ag::Variable& x) {
+  const int64_t batch = x.value().shape(0);
+  const int64_t steps = x.value().shape(1);
+  ELDA_CHECK_GE(steps, 2);
+
+  ag::Variable h = gru_.Forward(x);  // [B, T, H]
+  ag::Variable h_last =
+      ag::Reshape(ag::Slice(h, 1, steps - 1, 1), {batch, hidden_dim_});
+  ag::Variable h_prev = ag::Slice(h, 1, 0, steps - 1);  // [B, T-1, H]
+
+  // s_i = h_i ⊙ h_T  (Eq. 8).
+  ag::Variable s =
+      ag::Mul(h_prev, ag::Reshape(h_last, {batch, 1, hidden_dim_}));
+
+  // beta = softmax_i(w_beta . s_i + b_beta)  (Eqs. 9-10).
+  ag::Variable logits = ag::Add(ag::MatMul(s, w_beta_), b_beta_);
+  ag::Variable beta =
+      ag::Softmax(ag::Reshape(logits, {batch, steps - 1}), /*axis=*/1);
+  last_attention_ = beta.value();
+
+  // g_T = sum_i beta_i s_i  (Eq. 11), as a [B,1,T-1] x [B,T-1,H] matmul.
+  ag::Variable g = ag::Reshape(
+      ag::MatMul(ag::Reshape(beta, {batch, 1, steps - 1}), s),
+      {batch, hidden_dim_});
+
+  return ag::Concat({h_last, g}, /*axis=*/1);  // [B, 2H]
+}
+
+}  // namespace core
+}  // namespace elda

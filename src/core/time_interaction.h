@@ -1,0 +1,47 @@
+// Time-level Interaction Learning Module (paper Section IV-B, Eqs. 7-11).
+//
+// A GRU summarises the per-step patient representations; the module then
+// models the explicit interaction between each earlier step and the last
+// step as s_i = h_i ⊙ h_T, scores the interactions with an attention network
+// (w_beta, b_beta), aggregates them into g_T, and returns the comprehensive
+// representation h~_T = [h_T ; g_T].
+
+#ifndef ELDA_CORE_TIME_INTERACTION_H_
+#define ELDA_CORE_TIME_INTERACTION_H_
+
+#include "autograd/ops.h"
+#include "nn/gru.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace elda {
+namespace core {
+
+class TimeInteraction : public nn::Module {
+ public:
+  TimeInteraction(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  // x: [B, T, input_dim] per-step representations.
+  // Returns h~_T = [h_T ; g_T] of shape [B, 2*hidden].
+  ag::Variable Forward(const ag::Variable& x);
+
+  // Attention weights beta of the most recent Forward, [B, T-1]: the weight
+  // of the interaction between hour i and the final hour. This is the
+  // time-level interpretation surface of Fig. 8.
+  const Tensor& last_attention() const { return last_attention_; }
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+  int64_t output_dim() const { return 2 * hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  nn::Gru gru_;
+  ag::Variable w_beta_;  // [hidden, 1]
+  ag::Variable b_beta_;  // [1]
+  Tensor last_attention_;
+};
+
+}  // namespace core
+}  // namespace elda
+
+#endif  // ELDA_CORE_TIME_INTERACTION_H_

@@ -1,0 +1,111 @@
+#include "data/emr.h"
+
+#include <numeric>
+
+namespace elda {
+namespace data {
+
+int64_t EmrSample::NumRecords() const {
+  int64_t records = 0;
+  for (uint8_t o : observed) records += o != 0;
+  return records;
+}
+
+EmrSample TruncateToHour(const EmrSample& sample, int64_t hours) {
+  ELDA_CHECK(hours >= 0 && hours <= sample.num_steps);
+  EmrSample truncated = sample;
+  for (int64_t t = hours; t < truncated.num_steps; ++t) {
+    for (int64_t c = 0; c < truncated.num_features; ++c) {
+      truncated.set_observed(t, c, false);
+      truncated.value(t, c) = 0.0f;
+    }
+  }
+  return truncated;
+}
+
+EmrDataset::EmrDataset(std::vector<std::string> feature_names,
+                       int64_t num_steps)
+    : feature_names_(std::move(feature_names)), num_steps_(num_steps) {}
+
+void EmrDataset::Add(EmrSample sample) {
+  ELDA_CHECK_EQ(sample.num_steps, num_steps_);
+  ELDA_CHECK_EQ(sample.num_features, num_features());
+  samples_.push_back(std::move(sample));
+}
+
+int64_t EmrDataset::CountMortality() const {
+  int64_t count = 0;
+  for (const EmrSample& s : samples_) count += s.mortality_label == 1.0f;
+  return count;
+}
+
+int64_t EmrDataset::CountLosGt7() const {
+  int64_t count = 0;
+  for (const EmrSample& s : samples_) count += s.los_gt7_label == 1.0f;
+  return count;
+}
+
+double EmrDataset::AvgRecordsPerPatient() const {
+  if (samples_.empty()) return 0.0;
+  int64_t total = 0;
+  for (const EmrSample& s : samples_) total += s.NumRecords();
+  return static_cast<double>(total) / static_cast<double>(samples_.size());
+}
+
+double EmrDataset::MissingRate() const {
+  if (samples_.empty()) return 0.0;
+  const double cells = static_cast<double>(samples_.size()) * num_steps_ *
+                       num_features();
+  int64_t observed = 0;
+  for (const EmrSample& s : samples_) observed += s.NumRecords();
+  return 1.0 - static_cast<double>(observed) / cells;
+}
+
+SplitIndices SplitDataset(int64_t n, double train_fraction,
+                          double val_fraction, Rng* rng) {
+  ELDA_CHECK_GT(n, 0);
+  ELDA_CHECK(train_fraction > 0 && val_fraction >= 0 &&
+             train_fraction + val_fraction < 1.0);
+  std::vector<int64_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  rng->Shuffle(&indices);
+  const int64_t n_train = static_cast<int64_t>(n * train_fraction);
+  const int64_t n_val = static_cast<int64_t>(n * val_fraction);
+  SplitIndices split;
+  split.train.assign(indices.begin(), indices.begin() + n_train);
+  split.val.assign(indices.begin() + n_train,
+                   indices.begin() + n_train + n_val);
+  split.test.assign(indices.begin() + n_train + n_val, indices.end());
+  return split;
+}
+
+SplitIndices StratifiedSplit(const std::vector<float>& labels,
+                             double train_fraction, double val_fraction,
+                             Rng* rng) {
+  std::vector<int64_t> positives, negatives;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    ELDA_CHECK(labels[i] == 0.0f || labels[i] == 1.0f);
+    (labels[i] == 1.0f ? positives : negatives)
+        .push_back(static_cast<int64_t>(i));
+  }
+  SplitIndices split;
+  for (std::vector<int64_t>* group : {&positives, &negatives}) {
+    rng->Shuffle(group);
+    const int64_t n = static_cast<int64_t>(group->size());
+    const int64_t n_train = static_cast<int64_t>(n * train_fraction);
+    const int64_t n_val = static_cast<int64_t>(n * val_fraction);
+    split.train.insert(split.train.end(), group->begin(),
+                       group->begin() + n_train);
+    split.val.insert(split.val.end(), group->begin() + n_train,
+                     group->begin() + n_train + n_val);
+    split.test.insert(split.test.end(), group->begin() + n_train + n_val,
+                      group->end());
+  }
+  rng->Shuffle(&split.train);
+  rng->Shuffle(&split.val);
+  rng->Shuffle(&split.test);
+  return split;
+}
+
+}  // namespace data
+}  // namespace elda

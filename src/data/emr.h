@@ -1,0 +1,122 @@
+// Core EMR data structures.
+//
+// A sample is one ICU admission: a [T x C] grid of feature values on an
+// hourly raster (T = 48 in the paper's setting), an observation mask
+// (roughly 80% of cells are unobserved in both PhysioNet2012 and MIMIC-III),
+// and labels for the two prediction tasks. Values at unobserved cells are
+// meaningless until the imputation pass in pipeline.h fills them.
+
+#ifndef ELDA_DATA_EMR_H_
+#define ELDA_DATA_EMR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace elda {
+namespace data {
+
+struct EmrSample {
+  int64_t num_steps = 0;     // T
+  int64_t num_features = 0;  // |C|
+  // Row-major [T x C] grids.
+  std::vector<float> values;
+  std::vector<uint8_t> observed;
+
+  float mortality_label = 0.0f;  // 1 = died in hospital
+  float los_gt7_label = 0.0f;    // 1 = length of stay > 7 days
+
+  // Provenance fields filled by the synthetic generator; -1 when unknown.
+  // `condition` holds a synth::Condition for cohort-level analyses.
+  int64_t patient_id = -1;
+  int64_t condition = -1;
+
+  EmrSample() = default;
+  EmrSample(int64_t steps, int64_t features)
+      : num_steps(steps),
+        num_features(features),
+        values(steps * features, 0.0f),
+        observed(steps * features, 0) {}
+
+  float& value(int64_t t, int64_t c) {
+    ELDA_DCHECK(t >= 0 && t < num_steps && c >= 0 && c < num_features);
+    return values[t * num_features + c];
+  }
+  float value(int64_t t, int64_t c) const {
+    ELDA_DCHECK(t >= 0 && t < num_steps && c >= 0 && c < num_features);
+    return values[t * num_features + c];
+  }
+  bool is_observed(int64_t t, int64_t c) const {
+    return observed[t * num_features + c] != 0;
+  }
+  void set_observed(int64_t t, int64_t c, bool obs) {
+    observed[t * num_features + c] = obs ? 1 : 0;
+  }
+
+  // Number of observed cells ("records" in Table I's terminology).
+  int64_t NumRecords() const;
+};
+
+// Returns a copy of `sample` truncated to its first `hours` of observations:
+// later cells become unobserved (imputation then treats them like any other
+// missing value). Used for risk re-estimation as an admission progresses.
+EmrSample TruncateToHour(const EmrSample& sample, int64_t hours);
+
+// A cohort of admissions plus feature metadata.
+class EmrDataset {
+ public:
+  EmrDataset() = default;
+  EmrDataset(std::vector<std::string> feature_names, int64_t num_steps);
+
+  void Add(EmrSample sample);
+
+  int64_t size() const { return static_cast<int64_t>(samples_.size()); }
+  const EmrSample& sample(int64_t i) const { return samples_[i]; }
+  EmrSample* mutable_sample(int64_t i) { return &samples_[i]; }
+  const std::vector<EmrSample>& samples() const { return samples_; }
+
+  int64_t num_steps() const { return num_steps_; }
+  int64_t num_features() const {
+    return static_cast<int64_t>(feature_names_.size());
+  }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  // -- Table I statistics -----------------------------------------------------
+  int64_t CountMortality() const;
+  int64_t CountLosGt7() const;
+  double AvgRecordsPerPatient() const;
+  // Fraction of grid cells with no observation.
+  double MissingRate() const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  int64_t num_steps_ = 0;
+  std::vector<EmrSample> samples_;
+};
+
+// Index sets for the paper's 80/10/10 split (shuffled with `rng`).
+struct SplitIndices {
+  std::vector<int64_t> train;
+  std::vector<int64_t> val;
+  std::vector<int64_t> test;
+};
+SplitIndices SplitDataset(int64_t n, double train_fraction,
+                          double val_fraction, Rng* rng);
+
+// Stratified variant: splits positives and negatives separately so each
+// partition preserves the class ratio (and, in particular, small validation
+// sets on imbalanced cohorts still contain positives). `labels` must be
+// binary and have one entry per sample.
+SplitIndices StratifiedSplit(const std::vector<float>& labels,
+                             double train_fraction, double val_fraction,
+                             Rng* rng);
+
+}  // namespace data
+}  // namespace elda
+
+#endif  // ELDA_DATA_EMR_H_

@@ -1,0 +1,68 @@
+// I/O for real and synthetic EMR cohorts.
+//
+// PhysioNet2012 import: the paper's first dataset ships as one CSV per ICU
+// admission ("Time,Parameter,Value" rows, time as HH:MM) plus an outcomes
+// table. Users with PhysioNet credentials can load the real cohort through
+// these functions and run every experiment in this repository on it; the
+// synthetic cohorts remain the default for users without access.
+//
+// Cohort CSV export/import: a single long-format file
+// ("patient,hour,feature,value") plus a label header per patient, used to
+// persist generated cohorts or to hand them to external tooling.
+
+#ifndef ELDA_DATA_PHYSIONET_IO_H_
+#define ELDA_DATA_PHYSIONET_IO_H_
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "data/emr.h"
+
+namespace elda {
+namespace data {
+
+// Parses one PhysioNet2012 record stream into a [num_steps x features] grid
+// sample. Rows whose Parameter is not in `feature_names` (RecordID, Age,
+// Gender, Height, ICUType, ...) are skipped; repeated measurements within
+// the same hour keep the last value; measurements at or past `num_steps`
+// hours are dropped. Value -1 marks "not measured" in PhysioNet and is
+// skipped. Returns false (with a message in `error`) on malformed input.
+bool ParsePhysioNetRecord(std::istream& in,
+                          const std::vector<std::string>& feature_names,
+                          int64_t num_steps, EmrSample* sample,
+                          std::string* error = nullptr);
+
+// Outcome row of the PhysioNet Outcomes-*.txt table.
+struct PhysioNetOutcome {
+  int64_t record_id = -1;
+  float in_hospital_death = 0.0f;
+  float length_of_stay_days = 0.0f;
+};
+
+// Parses the outcomes CSV ("RecordID,SAPS-I,SOFA,Length_of_stay,Survival,
+// In-hospital_death").
+bool ParsePhysioNetOutcomes(std::istream& in,
+                            std::vector<PhysioNetOutcome>* outcomes,
+                            std::string* error = nullptr);
+
+// -- Cohort round-trip ---------------------------------------------------------
+
+// Writes a cohort as a long-format CSV. Layout:
+//   #labels,<patient>,<mortality>,<los_gt7>,<condition>   (one per patient)
+//   patient,hour,feature,value                            (header)
+//   0,3,Glucose,188.0                                     (observed cells)
+bool ExportCohortCsv(const EmrDataset& cohort, const std::string& path,
+                     std::string* error = nullptr);
+
+// Reads a file written by ExportCohortCsv. `num_steps` must match the
+// original grid length.
+bool ImportCohortCsv(const std::string& path,
+                     const std::vector<std::string>& feature_names,
+                     int64_t num_steps, EmrDataset* cohort,
+                     std::string* error = nullptr);
+
+}  // namespace data
+}  // namespace elda
+
+#endif  // ELDA_DATA_PHYSIONET_IO_H_

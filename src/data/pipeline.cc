@@ -1,0 +1,172 @@
+#include "data/pipeline.h"
+
+#include <cmath>
+
+namespace elda {
+namespace data {
+
+void Standardizer::Fit(const EmrDataset& dataset,
+                       const std::vector<int64_t>& train_indices,
+                       bool clean_negative) {
+  clean_negative_ = clean_negative;
+  const int64_t num_features = dataset.num_features();
+  mean_.assign(num_features, 0.0f);
+  std_.assign(num_features, 1.0f);
+  std::vector<double> sum(num_features, 0.0);
+  std::vector<double> sum_sq(num_features, 0.0);
+  std::vector<int64_t> count(num_features, 0);
+  for (int64_t idx : train_indices) {
+    const EmrSample& s = dataset.sample(idx);
+    for (int64_t t = 0; t < s.num_steps; ++t) {
+      for (int64_t c = 0; c < num_features; ++c) {
+        if (!s.is_observed(t, c)) continue;
+        const float v = s.value(t, c);
+        if (clean_negative_ && v < 0.0f) continue;
+        sum[c] += v;
+        sum_sq[c] += static_cast<double>(v) * v;
+        ++count[c];
+      }
+    }
+  }
+  for (int64_t c = 0; c < num_features; ++c) {
+    if (count[c] == 0) continue;  // never-observed feature keeps (0, 1)
+    mean_[c] = static_cast<float>(sum[c] / count[c]);
+    const double var =
+        sum_sq[c] / count[c] - static_cast<double>(mean_[c]) * mean_[c];
+    std_[c] = static_cast<float>(std::sqrt(std::max(var, 1e-8)));
+  }
+}
+
+void Standardizer::Apply(EmrSample* sample) const {
+  ELDA_CHECK(fitted());
+  ELDA_CHECK_EQ(sample->num_features, static_cast<int64_t>(mean_.size()));
+  for (int64_t t = 0; t < sample->num_steps; ++t) {
+    for (int64_t c = 0; c < sample->num_features; ++c) {
+      if (!sample->is_observed(t, c)) {
+        sample->value(t, c) = 0.0f;
+        continue;
+      }
+      const float v = sample->value(t, c);
+      if (clean_negative_ && v < 0.0f) {
+        // Recording error: drop the observation entirely.
+        sample->set_observed(t, c, false);
+        sample->value(t, c) = 0.0f;
+        continue;
+      }
+      sample->value(t, c) = (v - mean_[c]) / std_[c];
+    }
+  }
+}
+
+void Standardizer::Restore(std::vector<float> means,
+                           std::vector<float> stddevs, bool clean_negative) {
+  ELDA_CHECK_EQ(means.size(), stddevs.size());
+  ELDA_CHECK(!means.empty());
+  for (float s : stddevs) ELDA_CHECK_GT(s, 0.0f);
+  mean_ = std::move(means);
+  std_ = std::move(stddevs);
+  clean_negative_ = clean_negative;
+}
+
+std::vector<PreparedSample> PrepareDataset(const EmrDataset& dataset,
+                                           const Standardizer& standardizer) {
+  ELDA_CHECK(standardizer.fitted());
+  const int64_t num_steps = dataset.num_steps();
+  const int64_t num_features = dataset.num_features();
+  std::vector<PreparedSample> prepared;
+  prepared.reserve(dataset.size());
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    EmrSample s = dataset.sample(i);  // copy; standardisation mutates
+    standardizer.Apply(&s);
+    PreparedSample p;
+    p.x = Tensor({num_steps, num_features});
+    p.mask = Tensor({num_steps, num_features});
+    p.delta = Tensor({num_steps, num_features});
+    for (int64_t c = 0; c < num_features; ++c) {
+      float last_value = 0.0f;  // global mean in standardised space
+      float steps_since = 0.0f;
+      bool seen = false;
+      for (int64_t t = 0; t < num_steps; ++t) {
+        const bool obs = s.is_observed(t, c);
+        if (obs) {
+          last_value = s.value(t, c);
+          steps_since = 0.0f;
+          seen = true;
+        } else if (seen || t > 0) {
+          steps_since += 1.0f;
+        }
+        p.x.at({t, c}) = obs ? s.value(t, c) : last_value;
+        p.mask.at({t, c}) = obs ? 1.0f : 0.0f;
+        p.delta.at({t, c}) = steps_since;
+      }
+    }
+    p.mortality_label = s.mortality_label;
+    p.los_gt7_label = s.los_gt7_label;
+    p.condition = s.condition;
+    p.source_index = i;
+    prepared.push_back(std::move(p));
+  }
+  return prepared;
+}
+
+Batch MakeBatch(const std::vector<PreparedSample>& prepared,
+                const std::vector<int64_t>& indices, Task task) {
+  ELDA_CHECK(!indices.empty());
+  const PreparedSample& first = prepared[indices[0]];
+  const int64_t steps = first.x.shape(0);
+  const int64_t features = first.x.shape(1);
+  const int64_t batch = static_cast<int64_t>(indices.size());
+  Batch out;
+  out.x = Tensor({batch, steps, features});
+  out.mask = Tensor({batch, steps, features});
+  out.delta = Tensor({batch, steps, features});
+  out.y = Tensor({batch});
+  out.sample_indices = indices;
+  const int64_t grid = steps * features;
+  for (int64_t b = 0; b < batch; ++b) {
+    const PreparedSample& p = prepared[indices[b]];
+    std::copy(p.x.data(), p.x.data() + grid, out.x.data() + b * grid);
+    std::copy(p.mask.data(), p.mask.data() + grid, out.mask.data() + b * grid);
+    std::copy(p.delta.data(), p.delta.data() + grid,
+              out.delta.data() + b * grid);
+    out.y[b] =
+        task == Task::kMortality ? p.mortality_label : p.los_gt7_label;
+  }
+  return out;
+}
+
+Batcher::Batcher(const std::vector<PreparedSample>* prepared,
+                 std::vector<int64_t> indices, int64_t batch_size, Task task,
+                 Rng* rng)
+    : prepared_(prepared),
+      indices_(std::move(indices)),
+      batch_size_(batch_size),
+      task_(task),
+      rng_(rng) {
+  ELDA_CHECK(prepared_ != nullptr && !indices_.empty());
+  ELDA_CHECK_GT(batch_size_, 0);
+}
+
+void Batcher::StartEpoch() {
+  rng_->Shuffle(&indices_);
+  cursor_ = 0;
+}
+
+bool Batcher::Next(Batch* batch) {
+  if (cursor_ >= static_cast<int64_t>(indices_.size())) return false;
+  const int64_t end = std::min(cursor_ + batch_size_,
+                               static_cast<int64_t>(indices_.size()));
+  std::vector<int64_t> selection(indices_.begin() + cursor_,
+                                 indices_.begin() + end);
+  *batch = MakeBatch(*prepared_, selection, task_);
+  cursor_ = end;
+  return true;
+}
+
+int64_t Batcher::NumBatchesPerEpoch() const {
+  return (static_cast<int64_t>(indices_.size()) + batch_size_ - 1) /
+         batch_size_;
+}
+
+}  // namespace data
+}  // namespace elda

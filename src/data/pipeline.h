@@ -1,0 +1,123 @@
+// Preprocessing pipeline: cleaning, standardisation, imputation, batching.
+//
+// Mirrors the paper's Section IV-B / V-A protocol:
+//   1. Clean noisy values (negative physiological readings are treated as
+//      recording errors and dropped from the observation mask).
+//   2. Mean-std standardisation per feature, fitted on *observed train cells
+//      only* so that no test statistics leak into training.
+//   3. Imputation of unobserved cells: before a feature's first observation
+//      use the global (training) mean — which is exactly 0 after
+//      standardisation; afterwards carry the last observation forward.
+//   4. Batching into dense tensors X[B,T,C], M[B,T,C] (observation mask) and
+//      Delta[B,T,C] (steps since the feature was last observed, used by
+//      GRU-D's decay mechanism), plus the task label vector y[B].
+
+#ifndef ELDA_DATA_PIPELINE_H_
+#define ELDA_DATA_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/emr.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace elda {
+namespace data {
+
+enum class Task {
+  kMortality,  // in-hospital mortality within the admission
+  kLosGt7,     // length of stay > 7 days
+};
+
+// Per-feature standardisation statistics fitted on observed training cells.
+class Standardizer {
+ public:
+  // Fits mean/std per feature over the observed cells of `dataset` restricted
+  // to `train_indices`. When `clean_negative` is set, negative observed
+  // values are excluded from the statistics (and the Apply step removes them
+  // from the mask), following the paper's data-cleaning note.
+  void Fit(const EmrDataset& dataset,
+           const std::vector<int64_t>& train_indices,
+           bool clean_negative = true);
+
+  // Standardises observed cells in place; unobserved cells are zeroed (the
+  // post-standardisation global mean). Cleans negative observations if the
+  // standardizer was fitted with cleaning enabled.
+  void Apply(EmrSample* sample) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  float mean(int64_t feature) const { return mean_[feature]; }
+  float stddev(int64_t feature) const { return std_[feature]; }
+
+  // Persistence for deployment (see core::Elda::Save/Load).
+  const std::vector<float>& means() const { return mean_; }
+  const std::vector<float>& stddevs() const { return std_; }
+  bool clean_negative() const { return clean_negative_; }
+  void Restore(std::vector<float> means, std::vector<float> stddevs,
+               bool clean_negative);
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> std_;
+  bool clean_negative_ = true;
+};
+
+// A dataset after standardisation and imputation, as dense per-sample
+// tensors ready for batching.
+struct PreparedSample {
+  Tensor x;      // [T, C] standardised, imputed
+  Tensor mask;   // [T, C] 1 = observed
+  Tensor delta;  // [T, C] steps since last observation (0 when observed now)
+  float mortality_label = 0.0f;
+  float los_gt7_label = 0.0f;
+  int64_t condition = -1;
+  int64_t source_index = -1;  // index into the raw dataset
+};
+
+// Applies the full pipeline (clean + standardise + impute + delta) to every
+// sample. The standardizer must already be fitted.
+std::vector<PreparedSample> PrepareDataset(const EmrDataset& dataset,
+                                           const Standardizer& standardizer);
+
+// A dense mini-batch.
+struct Batch {
+  Tensor x;      // [B, T, C]
+  Tensor mask;   // [B, T, C]
+  Tensor delta;  // [B, T, C]
+  Tensor y;      // [B]
+  std::vector<int64_t> sample_indices;  // into the prepared vector
+};
+
+// Assembles one batch from `prepared` at the given indices for `task`.
+Batch MakeBatch(const std::vector<PreparedSample>& prepared,
+                const std::vector<int64_t>& indices, Task task);
+
+// Iterates mini-batches over a fixed index set, reshuffling every epoch.
+class Batcher {
+ public:
+  Batcher(const std::vector<PreparedSample>* prepared,
+          std::vector<int64_t> indices, int64_t batch_size, Task task,
+          Rng* rng);
+
+  // Starts a new epoch (reshuffles).
+  void StartEpoch();
+  // Fills `batch` with the next mini-batch; returns false at epoch end. The
+  // final partial batch is emitted.
+  bool Next(Batch* batch);
+
+  int64_t NumBatchesPerEpoch() const;
+
+ private:
+  const std::vector<PreparedSample>* prepared_;
+  std::vector<int64_t> indices_;
+  int64_t batch_size_;
+  Task task_;
+  Rng* rng_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace data
+}  // namespace elda
+
+#endif  // ELDA_DATA_PIPELINE_H_

@@ -1,0 +1,245 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace elda {
+namespace metrics {
+namespace {
+
+int64_t CountPositives(const std::vector<float>& labels) {
+  int64_t positives = 0;
+  for (float y : labels) {
+    ELDA_CHECK(y == 0.0f || y == 1.0f) << "labels must be binary, got" << y;
+    positives += y == 1.0f;
+  }
+  return positives;
+}
+
+}  // namespace
+
+double BceLoss(const std::vector<float>& scores,
+               const std::vector<float>& labels) {
+  ELDA_CHECK_EQ(scores.size(), labels.size());
+  ELDA_CHECK(!scores.empty());
+  double loss = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const double p =
+        std::min(std::max(static_cast<double>(scores[i]), 1e-7), 1.0 - 1e-7);
+    loss -= labels[i] == 1.0f ? std::log(p) : std::log(1.0 - p);
+  }
+  return loss / static_cast<double>(scores.size());
+}
+
+double AucRoc(const std::vector<float>& scores,
+              const std::vector<float>& labels) {
+  ELDA_CHECK_EQ(scores.size(), labels.size());
+  const int64_t n = static_cast<int64_t>(scores.size());
+  const int64_t positives = CountPositives(labels);
+  const int64_t negatives = n - positives;
+  ELDA_CHECK(positives > 0 && negatives > 0)
+      << "AUC-ROC needs both classes (" << positives << "positives)";
+  // Midranks over scores.
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int64_t a, int64_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(n);
+  int64_t i = 0;
+  while (i < n) {
+    int64_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = 0.5 * (i + j) + 1.0;  // 1-based
+    for (int64_t k = i; k <= j; ++k) rank[order[k]] = midrank;
+    i = j + 1;
+  }
+  double rank_sum_pos = 0.0;
+  for (int64_t k = 0; k < n; ++k) {
+    if (labels[k] == 1.0f) rank_sum_pos += rank[k];
+  }
+  const double u = rank_sum_pos -
+                   static_cast<double>(positives) * (positives + 1) / 2.0;
+  return u / (static_cast<double>(positives) * negatives);
+}
+
+double AucPr(const std::vector<float>& scores,
+             const std::vector<float>& labels) {
+  ELDA_CHECK_EQ(scores.size(), labels.size());
+  const int64_t n = static_cast<int64_t>(scores.size());
+  const int64_t positives = CountPositives(labels);
+  ELDA_CHECK_GT(positives, 0) << "AUC-PR needs at least one positive";
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  // Walk thresholds from the highest score down; groups of tied scores move
+  // together. Integrate precision over recall with the trapezoid rule, which
+  // matches Davis & Goadrich's interpolation between achievable PR points.
+  double area = 0.0;
+  double prev_recall = 0.0;
+  double prev_precision = 1.0;
+  int64_t tp = 0, fp = 0;
+  int64_t i = 0;
+  while (i < n) {
+    int64_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    for (int64_t k = i; k <= j; ++k) {
+      if (labels[order[k]] == 1.0f) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    }
+    const double recall = static_cast<double>(tp) / positives;
+    const double precision =
+        tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 1.0;
+    area += (recall - prev_recall) * 0.5 * (precision + prev_precision);
+    prev_recall = recall;
+    prev_precision = precision;
+    i = j + 1;
+  }
+  return area;
+}
+
+double Accuracy(const std::vector<float>& scores,
+                const std::vector<float>& labels, float threshold) {
+  ELDA_CHECK_EQ(scores.size(), labels.size());
+  ELDA_CHECK(!scores.empty());
+  int64_t correct = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const float predicted = scores[i] >= threshold ? 1.0f : 0.0f;
+    correct += predicted == labels[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+double Confusion::Precision() const {
+  const int64_t predicted = true_positives + false_positives;
+  return predicted == 0 ? 1.0
+                        : static_cast<double>(true_positives) / predicted;
+}
+
+double Confusion::Recall() const {
+  const int64_t actual = true_positives + false_negatives;
+  return actual == 0 ? 1.0 : static_cast<double>(true_positives) / actual;
+}
+
+double Confusion::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+Confusion ConfusionAt(const std::vector<float>& scores,
+                      const std::vector<float>& labels, float threshold) {
+  ELDA_CHECK_EQ(scores.size(), labels.size());
+  Confusion c;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    const bool actual = labels[i] == 1.0f;
+    if (predicted && actual) ++c.true_positives;
+    if (predicted && !actual) ++c.false_positives;
+    if (!predicted && !actual) ++c.true_negatives;
+    if (!predicted && actual) ++c.false_negatives;
+  }
+  return c;
+}
+
+double BrierScore(const std::vector<float>& scores,
+                  const std::vector<float>& labels) {
+  ELDA_CHECK_EQ(scores.size(), labels.size());
+  ELDA_CHECK(!scores.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const double d = static_cast<double>(scores[i]) - labels[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(scores.size());
+}
+
+double ExpectedCalibrationError(const std::vector<float>& scores,
+                                const std::vector<float>& labels,
+                                int64_t num_bins) {
+  ELDA_CHECK_EQ(scores.size(), labels.size());
+  ELDA_CHECK(!scores.empty());
+  ELDA_CHECK_GT(num_bins, 0);
+  std::vector<double> bin_score(num_bins, 0.0);
+  std::vector<double> bin_label(num_bins, 0.0);
+  std::vector<int64_t> bin_count(num_bins, 0);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    int64_t bin = static_cast<int64_t>(scores[i] * num_bins);
+    bin = std::min(std::max<int64_t>(bin, 0), num_bins - 1);
+    bin_score[bin] += scores[i];
+    bin_label[bin] += labels[i];
+    ++bin_count[bin];
+  }
+  double ece = 0.0;
+  for (int64_t b = 0; b < num_bins; ++b) {
+    if (bin_count[b] == 0) continue;
+    const double gap =
+        std::fabs(bin_score[b] / bin_count[b] - bin_label[b] / bin_count[b]);
+    ece += gap * bin_count[b] / static_cast<double>(scores.size());
+  }
+  return ece;
+}
+
+Interval BootstrapInterval(
+    double (*metric)(const std::vector<float>&, const std::vector<float>&),
+    const std::vector<float>& scores, const std::vector<float>& labels,
+    int64_t replicates, double confidence, uint64_t seed) {
+  ELDA_CHECK_EQ(scores.size(), labels.size());
+  ELDA_CHECK(!scores.empty());
+  ELDA_CHECK_GT(replicates, 1);
+  ELDA_CHECK(confidence > 0.0 && confidence < 1.0);
+  Interval out;
+  out.point = metric(scores, labels);
+  Rng rng(seed);
+  const int64_t n = static_cast<int64_t>(scores.size());
+  std::vector<double> values;
+  values.reserve(replicates);
+  std::vector<float> rs(n), rl(n);
+  for (int64_t r = 0; r < replicates; ++r) {
+    bool has_positive = false, has_negative = false;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t k = rng.UniformInt(n);
+      rs[i] = scores[k];
+      rl[i] = labels[k];
+      has_positive = has_positive || rl[i] == 1.0f;
+      has_negative = has_negative || rl[i] == 0.0f;
+    }
+    if (!has_positive || !has_negative) continue;  // degenerate resample
+    values.push_back(metric(rs, rl));
+  }
+  ELDA_CHECK(!values.empty()) << "all bootstrap resamples degenerate";
+  std::sort(values.begin(), values.end());
+  const double tail = (1.0 - confidence) / 2.0;
+  const auto at = [&](double q) {
+    const int64_t idx = static_cast<int64_t>(
+        q * static_cast<double>(values.size() - 1) + 0.5);
+    return values[std::min<int64_t>(idx,
+                                    static_cast<int64_t>(values.size()) - 1)];
+  };
+  out.lower = at(tail);
+  out.upper = at(1.0 - tail);
+  return out;
+}
+
+MeanStd Aggregate(const std::vector<double>& values) {
+  ELDA_CHECK(!values.empty());
+  MeanStd out;
+  for (double v : values) out.mean += v;
+  out.mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - out.mean) * (v - out.mean);
+  out.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace elda

@@ -1,0 +1,87 @@
+// Evaluation metrics for binary classification on imbalanced cohorts.
+//
+// The paper reports BCE loss, AUC-ROC and AUC-PR (Section V-A, "Evaluation").
+// AUC-ROC is computed via the Mann-Whitney U statistic with midrank tie
+// handling; AUC-PR follows Davis & Goadrich (2006): the area under the
+// piecewise PR curve obtained by descending-score thresholding, integrated
+// by the trapezoid between achievable points (equivalently, average
+// precision with linear interpolation in TP).
+
+#ifndef ELDA_METRICS_METRICS_H_
+#define ELDA_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace elda {
+namespace metrics {
+
+// Mean binary cross-entropy of probability scores against {0,1} labels.
+// Scores are clamped to [1e-7, 1-1e-7].
+double BceLoss(const std::vector<float>& scores,
+               const std::vector<float>& labels);
+
+// Area under the ROC curve; 0.5 for a random ranking. Requires at least one
+// positive and one negative label.
+double AucRoc(const std::vector<float>& scores,
+              const std::vector<float>& labels);
+
+// Area under the precision-recall curve.
+double AucPr(const std::vector<float>& scores,
+             const std::vector<float>& labels);
+
+// Classification accuracy at the given probability threshold.
+double Accuracy(const std::vector<float>& scores,
+                const std::vector<float>& labels, float threshold = 0.5f);
+
+// Confusion counts at a probability threshold.
+struct Confusion {
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t true_negatives = 0;
+  int64_t false_negatives = 0;
+
+  double Precision() const;  // 1.0 when no positive predictions were made
+  double Recall() const;     // 1.0 when there are no positives
+  double F1() const;
+};
+Confusion ConfusionAt(const std::vector<float>& scores,
+                      const std::vector<float>& labels,
+                      float threshold = 0.5f);
+
+// Brier score: mean squared error of probabilities against labels. Lower is
+// better; 0.25 for a constant 0.5 predictor.
+double BrierScore(const std::vector<float>& scores,
+                  const std::vector<float>& labels);
+
+// Expected calibration error with equal-width probability bins: the
+// prevalence-weighted mean |mean score - empirical rate| per bin.
+double ExpectedCalibrationError(const std::vector<float>& scores,
+                                const std::vector<float>& labels,
+                                int64_t num_bins = 10);
+
+// Percentile-bootstrap confidence interval for a metric of (scores, labels),
+// e.g. AucRoc or AucPr. Resamples patients with replacement. Deterministic
+// for a fixed seed. Resamples whose labels degenerate to one class are
+// skipped (counted toward `replicates` attempts).
+struct Interval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point = 0.0;
+};
+Interval BootstrapInterval(
+    double (*metric)(const std::vector<float>&, const std::vector<float>&),
+    const std::vector<float>& scores, const std::vector<float>& labels,
+    int64_t replicates = 200, double confidence = 0.95, uint64_t seed = 1);
+
+// Mean and (population) standard deviation over repeated runs.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd Aggregate(const std::vector<double>& values);
+
+}  // namespace metrics
+}  // namespace elda
+
+#endif  // ELDA_METRICS_METRICS_H_

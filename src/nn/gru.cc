@@ -1,0 +1,72 @@
+#include "nn/gru.h"
+
+#include "nn/init.h"
+
+namespace elda {
+namespace nn {
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  w_ih_ = RegisterParameter(
+      "w_ih", XavierUniform(input_size, hidden_size,
+                            {input_size, 3 * hidden_size}, rng));
+  w_hh_ = RegisterParameter(
+      "w_hh", XavierUniform(hidden_size, hidden_size,
+                            {hidden_size, 3 * hidden_size}, rng));
+  bias_ = RegisterParameter("bias", Tensor::Zeros({3 * hidden_size}));
+}
+
+ag::Variable GruCell::Forward(const ag::Variable& x,
+                              const ag::Variable& h) const {
+  const int64_t hs = hidden_size_;
+  ag::Variable xw = ag::Add(ag::MatMul(x, w_ih_), bias_);  // [B, 3H]
+  ag::Variable hu = ag::MatMul(h, w_hh_);                  // [B, 3H]
+  ag::Variable r = ag::Sigmoid(
+      ag::Add(ag::Slice(xw, 1, 0, hs), ag::Slice(hu, 1, 0, hs)));
+  ag::Variable z = ag::Sigmoid(
+      ag::Add(ag::Slice(xw, 1, hs, hs), ag::Slice(hu, 1, hs, hs)));
+  ag::Variable n = ag::Tanh(ag::Add(
+      ag::Slice(xw, 1, 2 * hs, hs), ag::Mul(r, ag::Slice(hu, 1, 2 * hs, hs))));
+  // h' = (1 - z) * n + z * h
+  ag::Variable one_minus_z =
+      ag::Sub(ag::Constant(Tensor::Ones(z.value().shape())), z);
+  return ag::Add(ag::Mul(one_minus_z, n), ag::Mul(z, h));
+}
+
+Gru::Gru(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : cell_(input_size, hidden_size, rng) {
+  RegisterSubmodule("cell", &cell_);
+}
+
+ag::Variable Gru::Forward(const ag::Variable& x) const {
+  std::vector<ag::Variable> steps = ForwardSteps(x);
+  const int64_t batch = x.value().shape(0);
+  std::vector<ag::Variable> expanded;
+  expanded.reserve(steps.size());
+  for (const ag::Variable& h : steps) {
+    expanded.push_back(ag::Reshape(h, {batch, 1, cell_.hidden_size()}));
+  }
+  return ag::Concat(expanded, 1);
+}
+
+std::vector<ag::Variable> Gru::ForwardSteps(const ag::Variable& x) const {
+  ELDA_CHECK_EQ(x.value().dim(), 3);
+  const int64_t batch = x.value().shape(0);
+  const int64_t steps = x.value().shape(1);
+  const int64_t input = x.value().shape(2);
+  ELDA_CHECK_EQ(input, cell_.input_size());
+  ag::Variable h =
+      ag::Constant(Tensor::Zeros({batch, cell_.hidden_size()}));
+  std::vector<ag::Variable> outputs;
+  outputs.reserve(steps);
+  for (int64_t t = 0; t < steps; ++t) {
+    ag::Variable xt =
+        ag::Reshape(ag::Slice(x, 1, t, 1), {batch, input});
+    h = cell_.Forward(xt, h);
+    outputs.push_back(h);
+  }
+  return outputs;
+}
+
+}  // namespace nn
+}  // namespace elda

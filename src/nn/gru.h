@@ -1,0 +1,62 @@
+// Gated Recurrent Unit (Cho et al., 2014), the temporal backbone of
+// ELDA-Net's Time-level Interaction Learning Module and of several baselines.
+//
+// Update equations (gate order r, z, n in the packed weights):
+//   r_t = sigmoid(x_t W_r + h_{t-1} U_r + b_r)
+//   z_t = sigmoid(x_t W_z + h_{t-1} U_z + b_z)
+//   n_t = tanh  (x_t W_n + r_t * (h_{t-1} U_n) + b_n)
+//   h_t = (1 - z_t) * n_t + z_t * h_{t-1}
+
+#ifndef ELDA_NN_GRU_H_
+#define ELDA_NN_GRU_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace elda {
+namespace nn {
+
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  // x: [B, input], h: [B, hidden] -> new hidden [B, hidden].
+  ag::Variable Forward(const ag::Variable& x, const ag::Variable& h) const;
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  ag::Variable w_ih_;  // [input, 3*hidden]
+  ag::Variable w_hh_;  // [hidden, 3*hidden]
+  ag::Variable bias_;  // [3*hidden]
+};
+
+// Runs a GruCell across the time axis.
+class Gru : public Module {
+ public:
+  Gru(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  // x: [B, T, input] -> all hidden states [B, T, hidden]; the initial state
+  // is zero. The last step's state is Slice(result, 1, T-1, 1).
+  ag::Variable Forward(const ag::Variable& x) const;
+
+  // As Forward but exposes the per-step states, which some models (RETAIN,
+  // ELDA's time module) consume individually without re-slicing.
+  std::vector<ag::Variable> ForwardSteps(const ag::Variable& x) const;
+
+  const GruCell& cell() const { return cell_; }
+
+ private:
+  GruCell cell_;
+};
+
+}  // namespace nn
+}  // namespace elda
+
+#endif  // ELDA_NN_GRU_H_

@@ -1,0 +1,27 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace elda {
+namespace nn {
+
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out,
+                     std::vector<int64_t> shape, Rng* rng) {
+  ELDA_CHECK_GT(fan_in + fan_out, 0);
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Uniform(std::move(shape), -limit, limit, rng);
+}
+
+Tensor XavierUniform2d(int64_t rows, int64_t cols, Rng* rng) {
+  return XavierUniform(rows, cols, {rows, cols}, rng);
+}
+
+Tensor HeNormal(int64_t fan_in, std::vector<int64_t> shape, Rng* rng) {
+  ELDA_CHECK_GT(fan_in, 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::Normal(std::move(shape), 0.0f, stddev, rng);
+}
+
+}  // namespace nn
+}  // namespace elda

@@ -1,0 +1,26 @@
+// Parameter initialisation schemes.
+
+#ifndef ELDA_NN_INIT_H_
+#define ELDA_NN_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace elda {
+namespace nn {
+
+// Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6 / (fan_in+fan_out)).
+// This is the Keras default and what the paper's implementation would use.
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out,
+                     std::vector<int64_t> shape, Rng* rng);
+
+// Convenience for 2-D weights where the shape determines the fans.
+Tensor XavierUniform2d(int64_t rows, int64_t cols, Rng* rng);
+
+// He/Kaiming normal: N(0, sqrt(2 / fan_in)); used for ReLU stacks.
+Tensor HeNormal(int64_t fan_in, std::vector<int64_t> shape, Rng* rng);
+
+}  // namespace nn
+}  // namespace elda
+
+#endif  // ELDA_NN_INIT_H_

@@ -1,0 +1,25 @@
+#include "nn/layer_norm.h"
+
+namespace elda {
+namespace nn {
+
+LayerNorm::LayerNorm(int64_t dim, float epsilon)
+    : dim_(dim), epsilon_(epsilon) {
+  gain_ = RegisterParameter("gain", Tensor::Ones({dim}));
+  bias_ = RegisterParameter("bias", Tensor::Zeros({dim}));
+}
+
+ag::Variable LayerNorm::Forward(const ag::Variable& x) const {
+  ELDA_CHECK_EQ(x.value().shape(-1), dim_);
+  const int64_t axis = x.value().dim() - 1;
+  ag::Variable mean = ag::Mean(x, axis, /*keepdims=*/true);
+  ag::Variable centred = ag::Sub(x, mean);
+  ag::Variable variance =
+      ag::Mean(ag::Square(centred), axis, /*keepdims=*/true);
+  ag::Variable normalised =
+      ag::Div(centred, ag::Sqrt(ag::AddScalar(variance, epsilon_)));
+  return ag::Add(ag::Mul(normalised, gain_), bias_);
+}
+
+}  // namespace nn
+}  // namespace elda

@@ -1,0 +1,31 @@
+// Layer normalisation (Ba et al., 2016) over the last axis, with learned
+// gain and bias. Required by the transformer-style SAnD baseline, whose
+// residual stacks diverge without it.
+
+#ifndef ELDA_NN_LAYER_NORM_H_
+#define ELDA_NN_LAYER_NORM_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace elda {
+namespace nn {
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float epsilon = 1e-5f);
+
+  // Normalises the last axis of x (any rank >= 1 with shape(-1) == dim).
+  ag::Variable Forward(const ag::Variable& x) const;
+
+ private:
+  int64_t dim_;
+  float epsilon_;
+  ag::Variable gain_;  // [dim], init 1
+  ag::Variable bias_;  // [dim], init 0
+};
+
+}  // namespace nn
+}  // namespace elda
+
+#endif  // ELDA_NN_LAYER_NORM_H_

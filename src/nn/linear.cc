@@ -1,0 +1,27 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace elda {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool use_bias,
+               Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ =
+      RegisterParameter("weight", XavierUniform2d(in_features, out_features,
+                                                  rng));
+  if (use_bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+ag::Variable Linear::Forward(const ag::Variable& x) const {
+  ELDA_CHECK_EQ(x.value().shape(-1), in_features_);
+  ag::Variable y = ag::MatMul(x, weight_);
+  if (bias_.defined()) y = ag::Add(y, bias_);
+  return y;
+}
+
+}  // namespace nn
+}  // namespace elda

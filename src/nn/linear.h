@@ -1,0 +1,35 @@
+// Fully connected layer: y = x W + b.
+
+#ifndef ELDA_NN_LINEAR_H_
+#define ELDA_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace elda {
+namespace nn {
+
+class Linear : public Module {
+ public:
+  // W is [in_features, out_features], Xavier-uniform initialised; the bias
+  // (if present) starts at zero.
+  Linear(int64_t in_features, int64_t out_features, bool use_bias, Rng* rng);
+
+  // x: [B, in] or [B, T, in] (the weight is shared across leading dims).
+  ag::Variable Forward(const ag::Variable& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  ag::Variable weight_;
+  ag::Variable bias_;  // undefined when use_bias is false
+};
+
+}  // namespace nn
+}  // namespace elda
+
+#endif  // ELDA_NN_LINEAR_H_

@@ -1,0 +1,63 @@
+#include "nn/lstm.h"
+
+#include "nn/init.h"
+
+namespace elda {
+namespace nn {
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  w_ih_ = RegisterParameter(
+      "w_ih", XavierUniform(input_size, hidden_size,
+                            {input_size, 4 * hidden_size}, rng));
+  w_hh_ = RegisterParameter(
+      "w_hh", XavierUniform(hidden_size, hidden_size,
+                            {hidden_size, 4 * hidden_size}, rng));
+  // Forget-gate bias of 1 keeps early gradients flowing (standard practice).
+  Tensor b = Tensor::Zeros({4 * hidden_size});
+  for (int64_t i = hidden_size; i < 2 * hidden_size; ++i) b[i] = 1.0f;
+  bias_ = RegisterParameter("bias", b);
+}
+
+LstmCell::State LstmCell::Forward(const ag::Variable& x,
+                                  const State& state) const {
+  const int64_t hs = hidden_size_;
+  ag::Variable gates =
+      ag::Add(ag::Add(ag::MatMul(x, w_ih_), ag::MatMul(state.h, w_hh_)),
+              bias_);  // [B, 4H]
+  ag::Variable i = ag::Sigmoid(ag::Slice(gates, 1, 0, hs));
+  ag::Variable f = ag::Sigmoid(ag::Slice(gates, 1, hs, hs));
+  ag::Variable g = ag::Tanh(ag::Slice(gates, 1, 2 * hs, hs));
+  ag::Variable o = ag::Sigmoid(ag::Slice(gates, 1, 3 * hs, hs));
+  ag::Variable c = ag::Add(ag::Mul(f, state.c), ag::Mul(i, g));
+  ag::Variable h = ag::Mul(o, ag::Tanh(c));
+  return {h, c};
+}
+
+Lstm::Lstm(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : cell_(input_size, hidden_size, rng) {
+  RegisterSubmodule("cell", &cell_);
+}
+
+ag::Variable Lstm::Forward(const ag::Variable& x) const {
+  ELDA_CHECK_EQ(x.value().dim(), 3);
+  const int64_t batch = x.value().shape(0);
+  const int64_t steps = x.value().shape(1);
+  const int64_t input = x.value().shape(2);
+  ELDA_CHECK_EQ(input, cell_.input_size());
+  LstmCell::State state{
+      ag::Constant(Tensor::Zeros({batch, cell_.hidden_size()})),
+      ag::Constant(Tensor::Zeros({batch, cell_.hidden_size()}))};
+  std::vector<ag::Variable> outputs;
+  outputs.reserve(steps);
+  for (int64_t t = 0; t < steps; ++t) {
+    ag::Variable xt = ag::Reshape(ag::Slice(x, 1, t, 1), {batch, input});
+    state = cell_.Forward(xt, state);
+    outputs.push_back(
+        ag::Reshape(state.h, {batch, 1, cell_.hidden_size()}));
+  }
+  return ag::Concat(outputs, 1);
+}
+
+}  // namespace nn
+}  // namespace elda

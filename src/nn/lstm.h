@@ -1,0 +1,63 @@
+// Long Short-Term Memory cell and layer (Hochreiter & Schmidhuber, 1997).
+// Used by the StageNet baseline, which builds its stage-aware recurrence on
+// an LSTM backbone.
+//
+// Gate order in the packed weights: i, f, g, o.
+//   i = sigmoid(x W_i + h U_i + b_i)
+//   f = sigmoid(x W_f + h U_f + b_f)   (forget bias initialised to 1)
+//   g = tanh  (x W_g + h U_g + b_g)
+//   o = sigmoid(x W_o + h U_o + b_o)
+//   c' = f * c + i * g ;  h' = o * tanh(c')
+
+#ifndef ELDA_NN_LSTM_H_
+#define ELDA_NN_LSTM_H_
+
+#include <utility>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace elda {
+namespace nn {
+
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  struct State {
+    ag::Variable h;  // [B, hidden]
+    ag::Variable c;  // [B, hidden]
+  };
+
+  State Forward(const ag::Variable& x, const State& state) const;
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  ag::Variable w_ih_;  // [input, 4*hidden]
+  ag::Variable w_hh_;  // [hidden, 4*hidden]
+  ag::Variable bias_;  // [4*hidden]
+};
+
+class Lstm : public Module {
+ public:
+  Lstm(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  // x: [B, T, input] -> all hidden states [B, T, hidden]; zero initial state.
+  ag::Variable Forward(const ag::Variable& x) const;
+
+  const LstmCell& cell() const { return cell_; }
+
+ private:
+  LstmCell cell_;
+};
+
+}  // namespace nn
+}  // namespace elda
+
+#endif  // ELDA_NN_LSTM_H_

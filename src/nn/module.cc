@@ -1,0 +1,60 @@
+#include "nn/module.h"
+
+namespace elda {
+namespace nn {
+
+std::vector<ag::Variable> Module::Parameters() const {
+  std::vector<ag::Variable> out;
+  for (const auto& [name, var] : NamedParameters()) out.push_back(var);
+  return out;
+}
+
+std::vector<std::pair<std::string, ag::Variable>> Module::NamedParameters()
+    const {
+  std::vector<std::pair<std::string, ag::Variable>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, ag::Variable>>* out) const {
+  for (const auto& [name, var] : params_) {
+    out->emplace_back(prefix + name, var);
+  }
+  for (const auto& [name, child] : submodules_) {
+    child->CollectNamed(prefix + name + ".", out);
+  }
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& [name, var] : NamedParameters()) total += var.value().size();
+  return total;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : submodules_) child->SetTraining(training);
+}
+
+void Module::ZeroGrad() {
+  for (auto& [name, var] : NamedParameters()) {
+    ag::Variable v = var;
+    v.ZeroGrad();
+  }
+}
+
+ag::Variable Module::RegisterParameter(std::string name, Tensor value) {
+  ag::Variable var(std::move(value), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), var);
+  return var;
+}
+
+void Module::RegisterSubmodule(std::string name, Module* module) {
+  ELDA_CHECK(module != nullptr);
+  submodules_.emplace_back(std::move(name), module);
+}
+
+}  // namespace nn
+}  // namespace elda

@@ -1,0 +1,66 @@
+// Base class for neural-network modules.
+//
+// A Module owns trainable parameters (as ag::Variables with
+// requires_grad=true) and may own submodules; Parameters() flattens the
+// whole tree for the optimizer. Training mode (dropout on/off) propagates
+// recursively through SetTraining().
+
+#ifndef ELDA_NN_MODULE_H_
+#define ELDA_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace elda {
+namespace nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All trainable parameters of this module and its submodules.
+  std::vector<ag::Variable> Parameters() const;
+
+  // Parameters with hierarchical names ("gru.w_ih", ...), for debugging and
+  // the parameter-count report in Table III.
+  std::vector<std::pair<std::string, ag::Variable>> NamedParameters() const;
+
+  // Total number of trainable scalars.
+  int64_t NumParameters() const;
+
+  // Switches train/eval mode for this module and all submodules.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  // Clears accumulated gradients on every parameter.
+  void ZeroGrad();
+
+ protected:
+  Module() = default;
+
+  // Wraps `value` as a trainable parameter and registers it.
+  ag::Variable RegisterParameter(std::string name, Tensor value);
+
+  // Registers a child; the pointer must outlive this module (children are
+  // typically direct members of the parent).
+  void RegisterSubmodule(std::string name, Module* module);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, ag::Variable>>* out)
+      const;
+
+  std::vector<std::pair<std::string, ag::Variable>> params_;
+  std::vector<std::pair<std::string, Module*>> submodules_;
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace elda
+
+#endif  // ELDA_NN_MODULE_H_

@@ -1,0 +1,115 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+namespace elda {
+namespace nn {
+namespace {
+
+constexpr char kMagic[4] = {'E', 'L', 'D', 'A'};
+constexpr uint32_t kVersion = 1;
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+bool SaveParameters(const Module& module, const std::string& path,
+                    std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Fail(error, "cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  const auto named = module.NamedParameters();
+  WritePod(out, static_cast<uint64_t>(named.size()));
+  for (const auto& [name, var] : named) {
+    WritePod(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const Tensor& value = var.value();
+    WritePod(out, static_cast<uint32_t>(value.dim()));
+    for (int64_t d : value.shape()) WritePod(out, d);
+    out.write(reinterpret_cast<const char*>(value.data()),
+              static_cast<std::streamsize>(value.size() * sizeof(float)));
+  }
+  out.flush();
+  if (!out) return Fail(error, "write failure on " + path);
+  return true;
+}
+
+bool LoadParameters(Module* module, const std::string& path,
+                    std::string* error) {
+  ELDA_CHECK(module != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail(error, "cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Fail(error, path + " is not an ELDA checkpoint");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Fail(error, "unsupported checkpoint version");
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return Fail(error, "truncated checkpoint");
+
+  std::map<std::string, ag::Variable> targets;
+  for (const auto& [name, var] : module->NamedParameters()) {
+    targets.emplace(name, var);
+  }
+  if (count != targets.size()) {
+    return Fail(error, "checkpoint holds " + std::to_string(count) +
+                           " parameters, module declares " +
+                           std::to_string(targets.size()));
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len) || name_len > 4096) {
+      return Fail(error, "corrupt parameter name");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t rank = 0;
+    if (!in || !ReadPod(in, &rank) || rank > 8) {
+      return Fail(error, "corrupt parameter header for " + name);
+    }
+    std::vector<int64_t> shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!ReadPod(in, &shape[d])) return Fail(error, "truncated shape");
+    }
+    auto it = targets.find(name);
+    if (it == targets.end()) {
+      return Fail(error, "checkpoint parameter " + name +
+                             " not declared by the module");
+    }
+    ag::Variable var = it->second;
+    if (var.value().shape() != shape) {
+      return Fail(error, "shape mismatch for " + name);
+    }
+    Tensor loaded(shape);
+    in.read(reinterpret_cast<char*>(loaded.data()),
+            static_cast<std::streamsize>(loaded.size() * sizeof(float)));
+    if (!in) return Fail(error, "truncated data for " + name);
+    *var.mutable_value() = loaded;
+  }
+  return true;
+}
+
+}  // namespace nn
+}  // namespace elda

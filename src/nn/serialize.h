@@ -1,0 +1,37 @@
+// Parameter checkpointing: save/load a module's named parameters to a
+// simple binary container so a trained ELDA deployment can persist its
+// model between the offline-training and online-prediction phases of the
+// paper's Fig. 2 workflow.
+//
+// Format (little-endian):
+//   magic "ELDA" | uint32 version | uint64 count |
+//   per parameter: uint32 name_len | name bytes |
+//                  uint32 rank | int64 dims[rank] | float data[volume]
+//
+// Loading is strict: the target module must declare exactly the same
+// parameter names and shapes (architecture must match the checkpoint).
+
+#ifndef ELDA_NN_SERIALIZE_H_
+#define ELDA_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace elda {
+namespace nn {
+
+// Writes all named parameters of `module` to `path`. Returns false (with a
+// message in `error` if non-null) on I/O failure.
+bool SaveParameters(const Module& module, const std::string& path,
+                    std::string* error = nullptr);
+
+// Reads a checkpoint written by SaveParameters into `module`. Returns false
+// on I/O failure, unknown/missing parameters, or shape mismatches.
+bool LoadParameters(Module* module, const std::string& path,
+                    std::string* error = nullptr);
+
+}  // namespace nn
+}  // namespace elda
+
+#endif  // ELDA_NN_SERIALIZE_H_

@@ -1,0 +1,127 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+namespace elda {
+namespace optim {
+
+Optimizer::Optimizer(std::vector<ag::Variable> params)
+    : params_(std::move(params)) {
+  for (const ag::Variable& p : params_) {
+    ELDA_CHECK(p.defined() && p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (ag::Variable& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<ag::Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const ag::Variable& p : params_) {
+      velocity_.push_back(Tensor::Zeros(p.value().shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    float* w = p.mutable_value()->data();
+    const float* gp = g.data();
+    if (momentum_ == 0.0f) {
+      for (int64_t j = 0; j < g.size(); ++j) w[j] -= lr_ * gp[j];
+    } else {
+      float* vel = velocity_[i].data();
+      for (int64_t j = 0; j < g.size(); ++j) {
+        vel[j] = momentum_ * vel[j] + gp[j];
+        w[j] -= lr_ * vel[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<ag::Variable> params, float lr, float beta1,
+           float beta2, float epsilon, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ag::Variable& p : params_) {
+    m_.push_back(Tensor::Zeros(p.value().shape()));
+    v_.push_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bc1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  const float alpha = lr_ * std::sqrt(bc2) / bc1;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    float* w = p.mutable_value()->data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p.value().size();
+    for (int64_t j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      w[j] -= alpha * m[j] / (std::sqrt(v[j]) + epsilon_);
+      if (weight_decay_ != 0.0f) w[j] -= lr_ * weight_decay_ * w[j];
+    }
+  }
+}
+
+StepDecaySchedule::StepDecaySchedule(Adam* optimizer, int64_t step_size,
+                                     float gamma)
+    : optimizer_(optimizer), step_size_(step_size), gamma_(gamma) {
+  ELDA_CHECK(optimizer_ != nullptr);
+  ELDA_CHECK_GT(step_size_, 0);
+  ELDA_CHECK_GT(gamma_, 0.0f);
+}
+
+void StepDecaySchedule::OnEpochEnd() {
+  ++epoch_;
+  if (epoch_ % step_size_ == 0) {
+    optimizer_->set_lr(optimizer_->lr() * gamma_);
+  }
+}
+
+float ClipGradNorm(const std::vector<ag::Variable>& params, float max_norm) {
+  ELDA_CHECK_GT(max_norm, 0.0f);
+  double sum_sq = 0.0;
+  for (const ag::Variable& p : params) {
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    for (int64_t j = 0; j < p.grad().size(); ++j) {
+      sum_sq += static_cast<double>(g[j]) * g[j];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(sum_sq));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (const ag::Variable& p : params) {
+      if (!p.has_grad()) continue;
+      // Gradients are logically mutable state owned by the optimizer loop.
+      float* g = const_cast<float*>(p.grad().data());
+      for (int64_t j = 0; j < p.grad().size(); ++j) g[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace optim
+}  // namespace elda

@@ -1,0 +1,102 @@
+// First-order optimizers over ag::Variable parameters.
+//
+// The training protocol in the paper is Adam with lr=1e-3 and batch size 64;
+// SGD is provided for tests and ablations. Optimizers mutate parameter
+// values in place and read the gradients accumulated by Backward().
+
+#ifndef ELDA_OPTIM_OPTIMIZER_H_
+#define ELDA_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace elda {
+namespace optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Variable> params);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update from the currently accumulated gradients. Parameters
+  // without an accumulated gradient are skipped.
+  virtual void Step() = 0;
+
+  // Clears gradients on all managed parameters.
+  void ZeroGrad();
+
+  const std::vector<ag::Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<ag::Variable> params_;
+};
+
+// SGD with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Variable> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba, 2015) with bias correction. A non-zero `weight_decay`
+// applies decoupled decay (AdamW, Loshchilov & Hutter 2019): parameters
+// shrink by lr * decay per step independent of the adaptive moments.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float epsilon = 1e-8f,
+       float weight_decay = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+// Multiplies an optimizer's learning rate by `gamma` every `step_size`
+// epochs: call OnEpochEnd() once per epoch.
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(Adam* optimizer, int64_t step_size, float gamma);
+
+  void OnEpochEnd();
+  int64_t epoch() const { return epoch_; }
+
+ private:
+  Adam* optimizer_;
+  int64_t step_size_;
+  float gamma_;
+  int64_t epoch_ = 0;
+};
+
+// Scales all gradients so their global L2 norm is at most `max_norm`.
+// Returns the pre-clip norm. A no-op (returning the norm) if already within
+// bounds. Parameters without gradients contribute zero.
+float ClipGradNorm(const std::vector<ag::Variable>& params, float max_norm);
+
+}  // namespace optim
+}  // namespace elda
+
+#endif  // ELDA_OPTIM_OPTIMIZER_H_

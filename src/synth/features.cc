@@ -1,0 +1,77 @@
+#include "synth/features.h"
+
+#include "util/logging.h"
+
+namespace elda {
+namespace synth {
+
+const std::vector<FeatureSpec>& FeatureTable() {
+  // Baselines approximate healthy adult ICU admission values; observation
+  // rates are tuned so a cohort matches Table I's ~20% observed-cell density
+  // (~359 records per patient over 48 h x 37 features).
+  static const std::vector<FeatureSpec>* kTable = new std::vector<FeatureSpec>{
+      // name          mean    std    rate   sev    floor
+      {"Albumin",      3.4f,   0.5f,  0.035f, -0.25f, 0.5f},
+      {"ALP",          90.0f,  40.0f, 0.035f, 0.15f,  5.0f},
+      {"ALT",          35.0f,  25.0f, 0.035f, 0.30f,  2.0f},
+      {"AST",          40.0f,  30.0f, 0.035f, 0.30f,  2.0f},
+      {"Bilirubin",    0.9f,   0.5f,  0.035f, 0.30f,  0.05f},
+      {"BUN",          18.0f,  7.0f,  0.070f, 0.35f,  1.0f},
+      {"Cholesterol",  160.0f, 35.0f, 0.015f, -0.05f, 40.0f},
+      {"Creatinine",   1.0f,   0.3f,  0.070f, 0.35f,  0.1f},
+      {"DiasABP",      60.0f,  10.0f, 0.450f, -0.30f, 15.0f},
+      {"FiO2",         0.30f,  0.10f, 0.200f, 0.40f,  0.21f},
+      {"GCS",          14.0f,  1.5f,  0.250f, -0.60f, 3.0f},
+      {"Glucose",      125.0f, 35.0f, 0.080f, 0.20f,  20.0f},
+      {"HCO3",         24.0f,  3.0f,  0.070f, -0.30f, 4.0f},
+      {"HCT",          32.0f,  4.5f,  0.080f, -0.10f, 10.0f},
+      {"HR",           86.0f,  14.0f, 0.550f, 0.45f,  20.0f},
+      {"K",            4.1f,   0.5f,  0.070f, 0.15f,  1.5f},
+      {"Lactate",      1.6f,   0.8f,  0.045f, 0.45f,  0.2f},
+      {"Mg",           2.0f,   0.3f,  0.060f, 0.05f,  0.5f},
+      {"MAP",          78.0f,  11.0f, 0.450f, -0.40f, 20.0f},
+      {"MechVent",     0.30f,  0.46f, 0.200f, 0.40f,  0.0f},
+      {"Na",           139.0f, 4.0f,  0.070f, 0.05f,  110.0f},
+      {"NIDiasABP",    59.0f,  11.0f, 0.300f, -0.28f, 15.0f},
+      {"NIMAP",        77.0f,  12.0f, 0.300f, -0.38f, 20.0f},
+      {"NISysABP",     119.0f, 18.0f, 0.300f, -0.35f, 40.0f},
+      {"PaCO2",        40.0f,  6.0f,  0.060f, 0.10f,  10.0f},
+      {"PaO2",         150.0f, 60.0f, 0.060f, -0.30f, 30.0f},
+      {"pH",           7.40f,  0.05f, 0.070f, -0.25f, 6.8f},
+      {"Platelets",    220.0f, 80.0f, 0.060f, -0.20f, 10.0f},
+      {"RespRate",     18.0f,  4.0f,  0.400f, 0.45f,  4.0f},
+      {"SaO2",         97.0f,  1.8f,  0.250f, -0.35f, 60.0f},
+      {"SysABP",       120.0f, 17.0f, 0.450f, -0.35f, 40.0f},
+      {"Temp",         37.0f,  0.6f,  0.300f, 0.15f,  30.0f},
+      {"TroponinI",    0.4f,   0.7f,  0.020f, 0.25f,  0.0f},
+      {"TroponinT",    0.05f,  0.10f, 0.020f, 0.25f,  0.0f},
+      {"Urine",        110.0f, 55.0f, 0.450f, -0.40f, 0.0f},
+      {"WBC",          9.5f,   3.0f,  0.070f, 0.35f,  0.5f},
+      {"Weight",       80.0f,  16.0f, 0.060f, 0.00f,  30.0f},
+  };
+  ELDA_CHECK_EQ(static_cast<int64_t>(kTable->size()), kNumFeatures);
+  return *kTable;
+}
+
+const std::vector<std::string>& FeatureNames() {
+  static const std::vector<std::string>* kNames = [] {
+    auto* names = new std::vector<std::string>();
+    for (const FeatureSpec& spec : FeatureTable()) {
+      names->push_back(spec.name);
+    }
+    return names;
+  }();
+  return *kNames;
+}
+
+int64_t FeatureIndexByName(const std::string& name) {
+  const std::vector<std::string>& names = FeatureNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int64_t>(i);
+  }
+  ELDA_CHECK(false) << "unknown feature" << name;
+  return -1;
+}
+
+}  // namespace synth
+}  // namespace elda

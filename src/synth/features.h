@@ -1,0 +1,88 @@
+// The 37 medical features of the PhysioNet2012 challenge set and their
+// physiological priors used by the patient simulator.
+//
+// Each feature has a plausible ICU baseline (mean, stddev), an hourly base
+// observation rate (vitals are charted near-hourly, labs every 8-12 hours),
+// and a generic severity loading: the direction the feature drifts as a
+// patient's latent severity rises, independent of the specific condition.
+// Condition-specific couplings (DKA, DLA, sepsis, ...) live in simulator.cc.
+
+#ifndef ELDA_SYNTH_FEATURES_H_
+#define ELDA_SYNTH_FEATURES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elda {
+namespace synth {
+
+struct FeatureSpec {
+  const char* name;
+  float baseline_mean;
+  float baseline_std;
+  // Probability that the feature is charted in a given hour for a calm
+  // patient; scaled up with acuity by the observation process.
+  float base_obs_rate;
+  // Generic severity loading in z-units per unit of latent severity.
+  float severity_loading;
+  // Values below this are physiologically impossible and clipped.
+  float floor;
+};
+
+// Index constants for the features referenced by condition couplings and the
+// interpretability experiments (Figs. 9-10, Table II).
+enum FeatureIndex : int64_t {
+  kAlbumin = 0,
+  kAlp,
+  kAlt,
+  kAst,
+  kBilirubin,
+  kBun,
+  kCholesterol,
+  kCreatinine,
+  kDiasAbp,
+  kFiO2,
+  kGcs,
+  kGlucose,
+  kHco3,
+  kHct,
+  kHr,
+  kK,
+  kLactate,
+  kMg,
+  kMap,
+  kMechVent,
+  kNa,
+  kNiDiasAbp,
+  kNiMap,
+  kNiSysAbp,
+  kPaCo2,
+  kPaO2,
+  kPh,
+  kPlatelets,
+  kRespRate,
+  kSaO2,
+  kSysAbp,
+  kTemp,
+  kTroponinI,
+  kTroponinT,
+  kUrine,
+  kWbc,
+  kWeight,
+  kNumFeatures,  // == 37
+};
+
+// The full feature table, indexed by FeatureIndex.
+const std::vector<FeatureSpec>& FeatureTable();
+
+// Feature names in index order (length 37).
+const std::vector<std::string>& FeatureNames();
+
+// Index of a feature by name; CHECK-fails if unknown.
+int64_t FeatureIndexByName(const std::string& name);
+
+}  // namespace synth
+}  // namespace elda
+
+#endif  // ELDA_SYNTH_FEATURES_H_

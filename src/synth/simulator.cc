@@ -1,0 +1,475 @@
+#include "synth/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace elda {
+namespace synth {
+namespace {
+
+using internal::RiskFeatures;
+using internal::Trajectory;
+
+float Sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+float Reluf(float x) { return x > 0.0f ? x : 0.0f; }
+
+struct ConditionParams {
+  float base_severity;   // severity at admission
+  float reversion_mean;  // OU long-run mean (before per-patient drift)
+  bool has_episode;      // acute episode machinery on/off
+};
+
+const ConditionParams& ParamsFor(Condition condition) {
+  static const ConditionParams kParams[] = {
+      /*kStable*/ {0.45f, 0.35f, false},
+      /*kDm*/ {0.70f, 0.55f, false},
+      /*kDmDka*/ {1.15f, 0.90f, true},
+      /*kDmDla*/ {1.20f, 0.95f, true},
+      /*kSepsis*/ {1.30f, 1.05f, true},
+      /*kCardiac*/ {1.05f, 0.85f, true},
+      /*kRenal*/ {0.95f, 0.85f, false},
+  };
+  return kParams[static_cast<int64_t>(condition)];
+}
+
+// True (pre-missingness) z-scores for every cell, plus the latent
+// trajectory; shared by cohort generation and the showcase patient.
+struct PatientDraw {
+  Trajectory trajectory;
+  std::vector<float> z;  // [T x C]
+  RiskFeatures risk;
+};
+
+PatientDraw DrawPatient(Condition condition, int64_t num_steps, Rng* rng) {
+  PatientDraw draw;
+  draw.trajectory = internal::SimulateTrajectory(condition, num_steps, rng);
+  const auto& table = FeatureTable();
+  draw.z.assign(num_steps * kNumFeatures, 0.0f);
+
+  // AR(1) measurement noise per feature keeps consecutive hours coherent.
+  std::vector<float> noise(kNumFeatures, 0.0f);
+  for (int64_t c = 0; c < kNumFeatures; ++c) {
+    noise[c] = static_cast<float>(rng->Normal(0.0, 0.5));
+  }
+  // Per-patient constitution: stable offsets (body weight, baseline HCT...).
+  std::vector<float> constitution(kNumFeatures, 0.0f);
+  for (int64_t c = 0; c < kNumFeatures; ++c) {
+    constitution[c] = static_cast<float>(rng->Normal(0.0, 0.45));
+  }
+
+  for (int64_t t = 0; t < num_steps; ++t) {
+    const float severity = draw.trajectory.severity[t];
+    const float episode = draw.trajectory.episode[t];
+    for (int64_t c = 0; c < kNumFeatures; ++c) {
+      noise[c] = 0.8f * noise[c] +
+                 static_cast<float>(rng->Normal(0.0, 0.3));
+      const float z = table[c].severity_loading * severity +
+                      internal::ConditionShift(condition, c, severity,
+                                               episode) +
+                      constitution[c] + noise[c];
+      draw.z[t * kNumFeatures + c] = z;
+    }
+  }
+
+  // Outcome-model risk features from the true latent values.
+  const int64_t tail = std::max<int64_t>(1, num_steps / 6);
+  float terminal = 0.0f;
+  float mean_sev = 0.0f;
+  float max_sev = 0.0f;
+  for (int64_t t = 0; t < num_steps; ++t) {
+    const float s = draw.trajectory.severity[t];
+    mean_sev += s;
+    max_sev = std::max(max_sev, s);
+    if (t >= num_steps - tail) terminal += s;
+  }
+  draw.risk.terminal_severity = terminal / static_cast<float>(tail);
+  draw.risk.mean_severity = mean_sev / static_cast<float>(num_steps);
+  draw.risk.max_severity = max_sev;
+  for (int64_t t = 0; t < num_steps; ++t) {
+    const float* zt = draw.z.data() + t * kNumFeatures;
+    draw.risk.glucose_lactate =
+        std::max(draw.risk.glucose_lactate,
+                 Reluf(zt[kGlucose]) * Reluf(zt[kLactate]) * 0.25f);
+    draw.risk.glucose_acidosis =
+        std::max(draw.risk.glucose_acidosis,
+                 Reluf(zt[kGlucose]) * Reluf(-zt[kPh]) * 0.25f);
+    draw.risk.lactate_shock =
+        std::max(draw.risk.lactate_shock,
+                 Reluf(zt[kLactate]) * Reluf(-zt[kMap]) * 0.25f);
+    draw.risk.troponin_strain =
+        std::max(draw.risk.troponin_strain,
+                 Reluf(zt[kTroponinI]) * Reluf(zt[kHr]) * 0.25f);
+  }
+  return draw;
+}
+
+// Converts a z grid into raw feature values with the observation process
+// applied. `obs_scale` calibrates density; `dense` forces near-complete
+// observation (used by the showcase patient).
+data::EmrSample RealisePatient(const PatientDraw& draw, int64_t num_steps,
+                               double obs_scale, bool dense, Rng* rng) {
+  const auto& table = FeatureTable();
+  data::EmrSample sample(num_steps, kNumFeatures);
+  sample.condition = static_cast<int64_t>(draw.trajectory.condition);
+  for (int64_t t = 0; t < num_steps; ++t) {
+    const float severity = draw.trajectory.severity[t];
+    const float episode = draw.trajectory.episode[t];
+    for (int64_t c = 0; c < kNumFeatures; ++c) {
+      const float z = draw.z[t * kNumFeatures + c];
+      float value = table[c].baseline_mean + table[c].baseline_std * z;
+      if (c == kMechVent) {
+        // Binary flag: ventilated when respiratory support demand is high.
+        value = Sigmoidf(2.0f * (severity + episode) - 2.5f) >
+                        static_cast<float>(rng->Uniform())
+                    ? 1.0f
+                    : 0.0f;
+      } else if (c == kGcs) {
+        value = std::round(std::min(15.0f, std::max(3.0f, value)));
+      } else {
+        value = std::max(value, table[c].floor);
+      }
+      // Observation probability: base rate, scaled by acuity, and boosted
+      // for the features a clinician would examine during this condition's
+      // episode (the paper's "suddenly increased glucose -> immediately
+      // examine related features" workflow).
+      float rate = table[c].base_obs_rate *
+                   (1.0f + 0.6f * std::min(severity, 3.0f) / 3.0f);
+      const float shift =
+          internal::ConditionShift(draw.trajectory.condition, c, severity,
+                                   episode);
+      if (episode > 0.3f && std::fabs(shift) > 0.45f) rate *= 3.0f;
+      rate = std::min(rate * static_cast<float>(obs_scale), 0.95f);
+      const bool observed = dense || rng->Bernoulli(rate);
+      sample.set_observed(t, c, observed);
+      sample.value(t, c) = observed ? value : 0.0f;
+    }
+  }
+  return sample;
+}
+
+// Solves for the intercept b such that mean(sigmoid(scale*risk + b)) hits
+// the target rate, then returns per-patient probabilities.
+std::vector<double> CalibrateProbabilities(const std::vector<double>& risks,
+                                           double scale, double target) {
+  double lo = -20.0, hi = 20.0;
+  std::vector<double> probs(risks.size());
+  for (int iter = 0; iter < 60; ++iter) {
+    const double b = 0.5 * (lo + hi);
+    double mean = 0.0;
+    for (double r : risks) mean += 1.0 / (1.0 + std::exp(-(scale * r + b)));
+    mean /= static_cast<double>(risks.size());
+    if (mean < target) {
+      lo = b;
+    } else {
+      hi = b;
+    }
+  }
+  const double b = 0.5 * (lo + hi);
+  for (size_t i = 0; i < risks.size(); ++i) {
+    probs[i] = 1.0 / (1.0 + std::exp(-(scale * risks[i] + b)));
+  }
+  return probs;
+}
+
+}  // namespace
+
+std::string ConditionName(Condition condition) {
+  switch (condition) {
+    case Condition::kStable:
+      return "Stable";
+    case Condition::kDm:
+      return "DM";
+    case Condition::kDmDka:
+      return "DM+DKA";
+    case Condition::kDmDla:
+      return "DM+DLA";
+    case Condition::kSepsis:
+      return "Sepsis";
+    case Condition::kCardiac:
+      return "Cardiac";
+    case Condition::kRenal:
+      return "Renal";
+    default:
+      return "Unknown";
+  }
+}
+
+namespace internal {
+
+Trajectory SimulateTrajectory(Condition condition, int64_t num_steps,
+                              Rng* rng) {
+  const ConditionParams& params = ParamsFor(condition);
+  Trajectory trajectory;
+  trajectory.condition = condition;
+  trajectory.severity.resize(num_steps);
+  trajectory.episode.assign(num_steps, 0.0f);
+
+  // Per-patient recovery (drift < 0) or deterioration (drift > 0).
+  const float drift = static_cast<float>(rng->Normal(0.0, 0.25)) +
+                      (params.base_severity - 0.8f) * 0.08f;
+  float severity =
+      params.base_severity + static_cast<float>(rng->Normal(0.0, 0.3));
+  const float mean = params.reversion_mean + drift;
+  for (int64_t t = 0; t < num_steps; ++t) {
+    severity += 0.10f * (mean - severity) +
+                static_cast<float>(rng->Normal(0.0, 0.12));
+    severity = std::min(std::max(severity, 0.0f), 4.0f);
+    trajectory.severity[t] = severity;
+  }
+
+  if (params.has_episode && rng->Bernoulli(0.85)) {
+    const int64_t onset = 4 + rng->UniformInt(std::max<int64_t>(
+                                  1, num_steps * 2 / 3 - 4));
+    const int64_t ramp = 3 + rng->UniformInt(4);      // hours to peak
+    const int64_t plateau = 4 + rng->UniformInt(7);   // hours at peak
+    const float decay_tau = 4.0f + static_cast<float>(rng->Uniform(0, 4));
+    const float peak = 0.7f + static_cast<float>(rng->Uniform(0, 0.3));
+    for (int64_t t = onset; t < num_steps; ++t) {
+      float intensity;
+      if (t < onset + ramp) {
+        intensity = peak * static_cast<float>(t - onset + 1) / ramp;
+      } else if (t < onset + ramp + plateau) {
+        intensity = peak;
+      } else {
+        intensity = peak * std::exp(-static_cast<float>(
+                               t - onset - ramp - plateau) /
+                           decay_tau);
+      }
+      trajectory.episode[t] = intensity;
+      // The episode also pushes latent severity up while active.
+      trajectory.severity[t] =
+          std::min(trajectory.severity[t] + 0.8f * intensity, 4.0f);
+    }
+  }
+  return trajectory;
+}
+
+float ConditionShift(Condition condition, int64_t feature, float severity,
+                     float episode) {
+  float shift = 0.0f;
+  const bool diabetic = condition == Condition::kDm ||
+                        condition == Condition::kDmDka ||
+                        condition == Condition::kDmDla;
+  if (diabetic && feature == kGlucose) shift += 1.4f;
+  switch (condition) {
+    // Crisis excursions are deliberately extreme in baseline-z units: real
+    // ICU crises run many standard deviations from the admission norm
+    // (lactate 10x, troponin 50x), and the value-dependent attention of
+    // Section V-D only has something to react to if that is true here too.
+    case Condition::kDmDka:
+      switch (feature) {
+        case kGlucose: shift += 4.5f * episode; break;
+        case kPh: shift -= 3.2f * episode; break;
+        case kHco3: shift -= 3.6f * episode; break;
+        case kRespRate: shift += 2.4f * episode; break;  // Kussmaul breathing
+        case kK: shift += 1.2f * episode; break;
+        default: break;
+      }
+      break;
+    case Condition::kDmDla:
+      switch (feature) {
+        case kGlucose: shift += 3.5f * episode; break;
+        case kLactate: shift += 5.0f * episode; break;
+        case kPh: shift -= 3.0f * episode; break;
+        case kHco3: shift -= 2.8f * episode; break;
+        case kTemp: shift -= 2.0f * episode; break;
+        case kMap: shift -= 2.0f * episode; break;
+        case kSysAbp: shift -= 1.4f * episode; break;
+        case kDiasAbp: shift -= 1.4f * episode; break;
+        case kFiO2: shift += 2.5f * episode; break;
+        case kHr: shift += 2.0f * episode; break;
+        default: break;
+      }
+      break;
+    case Condition::kSepsis:
+      switch (feature) {
+        case kTemp: shift += 2.5f * episode; break;
+        case kWbc: shift += 3.0f * episode; break;
+        case kLactate: shift += 2.4f * episode; break;
+        case kMap: shift -= 2.0f * episode; break;
+        case kHr: shift += 2.4f * episode; break;
+        case kRespRate: shift += 2.0f * episode; break;
+        case kFiO2: shift += 1.8f * episode; break;
+        default: break;
+      }
+      break;
+    case Condition::kCardiac:
+      switch (feature) {
+        case kTroponinI: shift += 5.0f * episode; break;
+        case kTroponinT: shift += 5.0f * episode; break;
+        case kHr: shift += 2.2f * episode; break;
+        case kMap: shift -= 1.6f * episode; break;
+        case kPaO2: shift -= 1.6f * episode; break;
+        default: break;
+      }
+      break;
+    case Condition::kRenal: {
+      // Chronic derangement scales with severity instead of an episode.
+      const float s = 0.5f * severity;
+      switch (feature) {
+        case kCreatinine: shift += 1.8f * s; break;
+        case kBun: shift += 1.6f * s; break;
+        case kK: shift += 0.9f * s; break;
+        case kUrine: shift -= 1.5f * s; break;
+        case kMg: shift += 0.5f * s; break;
+        default: break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return shift;
+}
+
+}  // namespace internal
+
+CohortConfig SynthPhysioNet2012() {
+  CohortConfig config;
+  config.name = "SynthPhysioNet2012";
+  config.num_admissions = 12000;
+  // Table I: 10293 survivors : 1707 non-survivors; 4095 LOS<=7 : 7738 LOS>7.
+  config.target_mortality_rate = 1707.0 / 12000.0;
+  config.target_los_gt7_rate = 7738.0 / (4095.0 + 7738.0);
+  config.obs_rate_scale = 1.0;
+  config.seed = 20120001;
+  return config;
+}
+
+CohortConfig SynthMimicIii() {
+  CohortConfig config;
+  config.name = "SynthMimicIii";
+  config.num_admissions = 21139;
+  // Table I: 18342 : 2797 and 9134 : 12005.
+  config.target_mortality_rate = 2797.0 / 21139.0;
+  config.target_los_gt7_rate = 12005.0 / (9134.0 + 12005.0);
+  // MIMIC-III is slightly sparser (80.52% vs 79.78% missing).
+  config.obs_rate_scale = 0.955;
+  // A different case mix: more sepsis/cardiac, fewer uncomplicated stays.
+  config.condition_mix = {0.34, 0.13, 0.08, 0.08, 0.17, 0.12, 0.08};
+  config.seed = 30001;
+  return config;
+}
+
+data::EmrDataset GenerateCohort(const CohortConfig& config) {
+  ELDA_CHECK_GT(config.num_admissions, 0);
+  Rng rng(config.seed);
+  data::EmrDataset dataset(FeatureNames(), config.num_steps);
+
+  // Normalise the condition mix into a CDF.
+  double mix_total = 0.0;
+  for (double w : config.condition_mix) mix_total += w;
+  ELDA_CHECK_GT(mix_total, 0.0);
+
+  std::vector<double> mortality_risks;
+  std::vector<double> los_risks;
+  mortality_risks.reserve(config.num_admissions);
+  los_risks.reserve(config.num_admissions);
+
+  for (int64_t i = 0; i < config.num_admissions; ++i) {
+    // Sample a condition from the mix.
+    double u = rng.Uniform() * mix_total;
+    int64_t condition_index = 0;
+    for (size_t k = 0; k < config.condition_mix.size(); ++k) {
+      u -= config.condition_mix[k];
+      if (u <= 0.0) {
+        condition_index = static_cast<int64_t>(k);
+        break;
+      }
+    }
+    const Condition condition = static_cast<Condition>(condition_index);
+    Rng patient_rng = rng.Fork();
+    PatientDraw draw = DrawPatient(condition, config.num_steps, &patient_rng);
+    data::EmrSample sample =
+        RealisePatient(draw, config.num_steps, config.obs_rate_scale,
+                       /*dense=*/false, &patient_rng);
+    sample.patient_id = i;
+
+    const RiskFeatures& r = draw.risk;
+    // Unobserved heterogeneity (comorbidities, age, ...) keeps outcomes
+    // realistically noisy: models should land in the paper's AUC band, not
+    // near-perfect separation.
+    const double frailty = rng.Normal(0.0, 1.2);
+    mortality_risks.push_back(
+        0.9 * r.terminal_severity + 0.45 * r.max_severity +
+        0.8 * std::min(r.glucose_lactate, 4.0f) +
+        0.6 * std::min(r.glucose_acidosis, 4.0f) +
+        0.7 * std::min(r.lactate_shock, 4.0f) +
+        0.5 * std::min(r.troponin_strain, 4.0f) + frailty);
+    los_risks.push_back(1.0 * r.mean_severity + 0.35 * r.max_severity +
+                        0.4 * std::min(r.glucose_lactate, 4.0f) +
+                        0.3 * std::min(r.lactate_shock, 4.0f) +
+                        rng.Normal(0.0, 0.9));
+    dataset.Add(std::move(sample));
+  }
+
+  const std::vector<double> p_mort = CalibrateProbabilities(
+      mortality_risks, /*scale=*/1.6, config.target_mortality_rate);
+  const std::vector<double> p_los = CalibrateProbabilities(
+      los_risks, /*scale=*/1.6, config.target_los_gt7_rate);
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    data::EmrSample* s = dataset.mutable_sample(i);
+    s->mortality_label = rng.Bernoulli(p_mort[i]) ? 1.0f : 0.0f;
+    s->los_gt7_label = rng.Bernoulli(p_los[i]) ? 1.0f : 0.0f;
+  }
+  return dataset;
+}
+
+data::EmrSample MakeDlaShowcasePatient(uint64_t seed) {
+  // A scripted DM+DLA course matching the narrative of Section V-D:
+  // Glucose starts climbing at hour ~12 (episode onset), the acidosis peaks
+  // through hours ~15-30, treatment takes hold and values restabilise by
+  // hour ~35.
+  const int64_t num_steps = 48;
+  Rng rng(seed);
+  Trajectory trajectory;
+  trajectory.condition = Condition::kDmDla;
+  trajectory.severity.resize(num_steps);
+  trajectory.episode.assign(num_steps, 0.0f);
+  for (int64_t t = 0; t < num_steps; ++t) {
+    float episode = 0.0f;
+    if (t >= 12 && t < 16) {
+      episode = 0.95f * static_cast<float>(t - 11) / 4.0f;
+    } else if (t >= 16 && t < 30) {
+      episode = 0.95f;
+    } else if (t >= 30) {
+      episode = 0.95f * std::exp(-static_cast<float>(t - 30) / 3.0f);
+    }
+    trajectory.episode[t] = episode;
+    trajectory.severity[t] = 0.9f + 1.2f * episode +
+                             static_cast<float>(rng.Normal(0.0, 0.05));
+  }
+
+  PatientDraw draw;
+  draw.trajectory = trajectory;
+  draw.z.assign(num_steps * kNumFeatures, 0.0f);
+  const auto& table = FeatureTable();
+  // The cohort's standardisation statistics are inflated by the acute
+  // episodes it contains, so a paper-grade severe crisis needs a stronger
+  // raw excursion to register as an extreme *standardised* value; Patient A
+  // is scripted as such a severe case.
+  constexpr float kCrisisIntensity = 1.2f;
+  std::vector<float> noise(kNumFeatures, 0.0f);
+  for (int64_t t = 0; t < num_steps; ++t) {
+    for (int64_t c = 0; c < kNumFeatures; ++c) {
+      noise[c] = 0.7f * noise[c] + static_cast<float>(rng.Normal(0.0, 0.15));
+      draw.z[t * kNumFeatures + c] =
+          table[c].severity_loading * trajectory.severity[t] +
+          internal::ConditionShift(Condition::kDmDla, c,
+                                   trajectory.severity[t],
+                                   kCrisisIntensity * trajectory.episode[t]) +
+          noise[c];
+    }
+  }
+  Rng obs_rng(seed + 1);
+  data::EmrSample sample =
+      RealisePatient(draw, num_steps, /*obs_scale=*/1.0, /*dense=*/true,
+                     &obs_rng);
+  sample.patient_id = 0;
+  sample.mortality_label = 1.0f;  // Patient A is a high-risk case
+  sample.los_gt7_label = 1.0f;
+  return sample;
+}
+
+}  // namespace synth
+}  // namespace elda

@@ -1,0 +1,115 @@
+// Mechanistic ICU patient simulator.
+//
+// This is the repository's substitution for the access-gated PhysioNet2012
+// and MIMIC-III datasets (see DESIGN.md, "Substitutions"). It generates
+// admissions whose statistics match Table I of the paper and whose signal
+// structure exercises exactly what the paper's models compete on:
+//
+//   * Latent severity: each patient carries an Ornstein-Uhlenbeck severity
+//     trajectory with a per-patient recovery/deterioration drift; acute
+//     conditions add an episode (onset -> peak -> treatment decay). Temporal
+//     models can exploit these dynamics; time-collapsed models cannot.
+//   * Conditions: the paper's DM complication taxonomy (DM only, DM+DKA,
+//     DM+DLA) plus sepsis, cardiac and renal archetypes. Each condition
+//     couples a characteristic *set* of features (e.g. DLA: Lactate up, pH
+//     down, HCO3 down, Temp down, MAP down alongside high Glucose), so
+//     pairwise feature interactions carry label information beyond any
+//     single marginal value.
+//   * Outcome model: mortality and LOS>7d probabilities depend on terminal/
+//     integrated severity *and on explicit pairwise interaction terms*
+//     (Glucose x Lactate, Glucose x low-pH, Lactate x low-MAP, Troponin x
+//     HR). Interaction-learning models therefore have real headroom.
+//   * Observation process: vitals chart near-hourly, labs sparsely, and
+//     acutely ill patients are measured more (informative missingness, the
+//     signal GRU-D exploits). Overall density calibrates to ~20% observed
+//     cells (~80% missing, ~359 records/patient as in Table I).
+
+#ifndef ELDA_SYNTH_SIMULATOR_H_
+#define ELDA_SYNTH_SIMULATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "data/emr.h"
+#include "synth/features.h"
+#include "util/rng.h"
+
+namespace elda {
+namespace synth {
+
+enum class Condition : int64_t {
+  kStable = 0,
+  kDm,        // diabetes mellitus, uncomplicated
+  kDmDka,     // DM + diabetic ketoacidosis
+  kDmDla,     // DM + diabetic lactic acidosis
+  kSepsis,
+  kCardiac,
+  kRenal,
+  kNumConditions,
+};
+
+std::string ConditionName(Condition condition);
+
+struct CohortConfig {
+  std::string name;
+  int64_t num_admissions = 0;
+  int64_t num_steps = 48;
+  double target_mortality_rate = 0.14;
+  double target_los_gt7_rate = 0.65;
+  // Global multiplier on observation rates; calibrates the missing rate.
+  double obs_rate_scale = 1.0;
+  // Sampling weights over Condition (normalised internally).
+  std::array<double, static_cast<size_t>(Condition::kNumConditions)>
+      condition_mix = {0.40, 0.14, 0.07, 0.07, 0.14, 0.10, 0.08};
+  uint64_t seed = 2022;
+};
+
+// Cohort presets calibrated against the paper's Table I.
+CohortConfig SynthPhysioNet2012();
+CohortConfig SynthMimicIii();
+
+// Generates a full cohort. Deterministic for a fixed config (incl. seed).
+data::EmrDataset GenerateCohort(const CohortConfig& config);
+
+// The representative "Patient A" of Section V-D: a DM+DLA course whose
+// Glucose starts rising around hour 12 and restabilises by hour ~35, with
+// Lactate, pH, HCO3, Temp, MAP and FiO2 deranged during the episode. The
+// sample uses a dense observation pattern so per-hour interpretation plots
+// have data at every step.
+data::EmrSample MakeDlaShowcasePatient(uint64_t seed = 7);
+
+namespace internal {
+
+// Per-hour latent state exposed for tests.
+struct Trajectory {
+  std::vector<float> severity;   // [T], >= 0
+  std::vector<float> episode;    // [T] in [0, 1]
+  Condition condition = Condition::kStable;
+};
+
+Trajectory SimulateTrajectory(Condition condition, int64_t num_steps,
+                              Rng* rng);
+
+// Condition coupling: additive z-space shift for feature `c` given episode
+// intensity and severity.
+float ConditionShift(Condition condition, int64_t feature, float severity,
+                     float episode);
+
+// Risk score used by the outcome model (computed on true latent values).
+struct RiskFeatures {
+  float terminal_severity = 0.0f;
+  float mean_severity = 0.0f;
+  float max_severity = 0.0f;
+  float glucose_lactate = 0.0f;   // DLA signature
+  float glucose_acidosis = 0.0f;  // DKA/DLA signature
+  float lactate_shock = 0.0f;     // lactate x hypotension
+  float troponin_strain = 0.0f;   // troponin x tachycardia
+};
+
+}  // namespace internal
+
+}  // namespace synth
+}  // namespace elda
+
+#endif  // ELDA_SYNTH_SIMULATOR_H_

@@ -1,0 +1,171 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace elda {
+
+int64_t ShapeVolume(const std::vector<int64_t>& shape) {
+  int64_t volume = 1;
+  for (int64_t d : shape) {
+    ELDA_CHECK_GE(d, 0);
+    volume *= d;
+  }
+  return volume;
+}
+
+std::string ShapeToString(const std::vector<int64_t>& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      size_(ShapeVolume(shape_)),
+      data_(std::make_shared<std::vector<float>>(size_, 0.0f)) {}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t{std::vector<int64_t>{}};
+  t[0] = value;
+  return t;
+}
+
+Tensor Tensor::FromData(std::vector<int64_t> shape, std::vector<float> data) {
+  const int64_t volume = ShapeVolume(shape);
+  ELDA_CHECK_EQ(volume, static_cast<int64_t>(data.size()))
+      << "shape" << ShapeToString(shape);
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.size_ = volume;
+  t.data_ = std::make_shared<std::vector<float>>(std::move(data));
+  return t;
+}
+
+Tensor Tensor::Uniform(std::vector<int64_t> shape, float lo, float hi,
+                       Rng* rng) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::Normal(std::vector<int64_t> shape, float mean, float stddev,
+                      Rng* rng) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return t;
+}
+
+int64_t Tensor::shape(int64_t axis) const {
+  if (axis < 0) axis += dim();
+  ELDA_CHECK_GE(axis, 0);
+  ELDA_CHECK_LT(axis, dim());
+  return shape_[axis];
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  ELDA_CHECK(defined());
+  int64_t inferred_axis = -1;
+  int64_t known = 1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      ELDA_CHECK_EQ(inferred_axis, -1) << "multiple -1 dims in reshape";
+      inferred_axis = static_cast<int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (inferred_axis >= 0) {
+    ELDA_CHECK_GT(known, 0);
+    ELDA_CHECK_EQ(size_ % known, 0)
+        << "cannot infer reshape dim from" << ShapeToString(shape_);
+    new_shape[inferred_axis] = size_ / known;
+  }
+  ELDA_CHECK_EQ(ShapeVolume(new_shape), size_)
+      << ShapeToString(shape_) << "->" << ShapeToString(new_shape);
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.size_ = size_;
+  t.data_ = data_;
+  return t;
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  return (*data_)[FlatIndex(idx)];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return (*data_)[FlatIndex(idx)];
+}
+
+int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
+  ELDA_CHECK_EQ(static_cast<int64_t>(idx.size()), dim());
+  int64_t flat = 0;
+  int64_t axis = 0;
+  for (int64_t i : idx) {
+    ELDA_DCHECK(i >= 0 && i < shape_[axis]);
+    flat = flat * shape_[axis] + i;
+    ++axis;
+  }
+  return flat;
+}
+
+Tensor Tensor::Clone() const {
+  if (!defined()) return Tensor();
+  Tensor t;
+  t.shape_ = shape_;
+  t.size_ = size_;
+  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  ELDA_CHECK(defined());
+  std::fill(data_->begin(), data_->end(), value);
+}
+
+std::vector<int64_t> Tensor::Strides() const {
+  std::vector<int64_t> strides(shape_.size(), 1);
+  for (int64_t i = dim() - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape_[i + 1];
+  }
+  return strides;
+}
+
+std::string Tensor::DebugString(int64_t max_values) const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape_) << " {";
+  if (defined()) {
+    for (int64_t i = 0; i < std::min(size_, max_values); ++i) {
+      if (i) out << ", ";
+      out << (*data_)[i];
+    }
+    if (size_ > max_values) out << ", ...";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace elda

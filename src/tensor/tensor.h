@@ -1,0 +1,108 @@
+// Dense float32 tensor with shared storage.
+//
+// Tensor is the numeric workhorse of this repository. Design points:
+//   - Row-major, contiguous, float32 only (matching the paper's models).
+//   - Value semantics with *shallow* copies: copying a Tensor copies the
+//     shape and a shared_ptr to the storage, like torch.Tensor. Use Clone()
+//     for a deep copy. This makes it cheap for autograd nodes to retain
+//     their inputs on the tape.
+//   - Shapes are dynamic (vector<int64_t>), rank 0 (scalar) through rank N.
+//   - Element access by multi-index is provided for tests and data prep;
+//     numeric kernels live in tensor_ops.h and operate on raw pointers.
+
+#ifndef ELDA_TENSOR_TENSOR_H_
+#define ELDA_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace elda {
+
+class Tensor {
+ public:
+  // An empty (null) tensor; size() == 0 and dim() == 0.
+  Tensor() = default;
+
+  // Zero-filled tensor of the given shape. A rank-0 shape ({}) is a scalar
+  // holding one element.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  // Copy/move are shallow (storage is shared).
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  // -- Factories ------------------------------------------------------------
+
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Ones(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  static Tensor Scalar(float value);
+  // Takes ownership of `data`; data.size() must match the shape's volume.
+  static Tensor FromData(std::vector<int64_t> shape, std::vector<float> data);
+  static Tensor Uniform(std::vector<int64_t> shape, float lo, float hi,
+                        Rng* rng);
+  static Tensor Normal(std::vector<int64_t> shape, float mean, float stddev,
+                       Rng* rng);
+
+  // -- Shape ---------------------------------------------------------------
+
+  int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t shape(int64_t axis) const;
+  int64_t size() const { return size_; }
+  bool defined() const { return data_ != nullptr; }
+
+  // Returns a tensor sharing this storage with a new shape of equal volume.
+  // One dimension may be -1 and is inferred.
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  // -- Data ----------------------------------------------------------------
+
+  float* data() { return data_->data(); }
+  const float* data() const { return data_->data(); }
+
+  // Flat element access.
+  float& operator[](int64_t i) { return (*data_)[i]; }
+  float operator[](int64_t i) const { return (*data_)[i]; }
+
+  // Multi-index access (rank checked). Convenient in tests and data prep.
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  // Deep copy.
+  Tensor Clone() const;
+
+  // Fills every element with `value`.
+  void Fill(float value);
+
+  // Row-major strides for this shape.
+  std::vector<int64_t> Strides() const;
+
+  // Human-readable summary (shape plus leading values), for debugging.
+  std::string DebugString(int64_t max_values = 16) const;
+
+ private:
+  int64_t FlatIndex(std::initializer_list<int64_t> idx) const;
+
+  std::vector<int64_t> shape_;
+  int64_t size_ = 0;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+// Volume of a shape (product of dimensions; 1 for rank 0).
+int64_t ShapeVolume(const std::vector<int64_t>& shape);
+
+// Renders a shape as "[2, 3, 4]".
+std::string ShapeToString(const std::vector<int64_t>& shape);
+
+}  // namespace elda
+
+#endif  // ELDA_TENSOR_TENSOR_H_

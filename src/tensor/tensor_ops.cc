@@ -1,0 +1,526 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace elda {
+namespace {
+
+// Applies a binary functor with NumPy broadcasting. The fast paths cover the
+// two layouts that dominate this codebase: identical shapes, and a
+// right-hand side whose shape is a suffix of the left-hand side's (e.g.
+// [B, T, C] op [C] for per-feature biases).
+template <typename F>
+Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
+  ELDA_CHECK(a.defined() && b.defined());
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    for (int64_t i = 0; i < a.size(); ++i) po[i] = f(pa[i], pb[i]);
+    return out;
+  }
+  // Suffix fast path: b's shape equals the trailing dims of a's shape.
+  if (b.dim() <= a.dim()) {
+    bool suffix = true;
+    for (int64_t i = 0; i < b.dim(); ++i) {
+      if (b.shape(b.dim() - 1 - i) != a.shape(a.dim() - 1 - i)) {
+        suffix = false;
+        break;
+      }
+    }
+    if (suffix && b.size() > 0) {
+      Tensor out(a.shape());
+      const float* pa = a.data();
+      const float* pb = b.data();
+      float* po = out.data();
+      const int64_t inner = b.size();
+      const int64_t outer = a.size() / inner;
+      for (int64_t o = 0; o < outer; ++o) {
+        const float* row = pa + o * inner;
+        float* orow = po + o * inner;
+        for (int64_t i = 0; i < inner; ++i) orow[i] = f(row[i], pb[i]);
+      }
+      return out;
+    }
+  }
+  // General broadcast: align shapes right, stride 0 on broadcast dims. The
+  // innermost dimension is peeled into a tight loop (strides there are 0 or
+  // 1), so the odometer only ticks once per inner run.
+  const std::vector<int64_t> out_shape = BroadcastShapes(a.shape(), b.shape());
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+  std::vector<int64_t> sa(rank, 0), sb(rank, 0);
+  {
+    const auto stra = a.Strides();
+    const auto strb = b.Strides();
+    for (int64_t i = 0; i < a.dim(); ++i) {
+      const int64_t o = rank - a.dim() + i;
+      sa[o] = a.shape(i) == 1 ? 0 : stra[i];
+    }
+    for (int64_t i = 0; i < b.dim(); ++i) {
+      const int64_t o = rank - b.dim() + i;
+      sb[o] = b.shape(i) == 1 ? 0 : strb[i];
+    }
+  }
+  Tensor out(out_shape);
+  float* po = out.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t inner = out_shape[rank - 1];
+  const int64_t inner_sa = sa[rank - 1];
+  const int64_t inner_sb = sb[rank - 1];
+  const int64_t outer = out.size() / std::max<int64_t>(inner, 1);
+  std::vector<int64_t> idx(rank, 0);
+  int64_t off_a = 0, off_b = 0;
+  int64_t flat = 0;
+  for (int64_t run = 0; run < outer; ++run) {
+    const float* ra = pa + off_a;
+    const float* rb = pb + off_b;
+    float* ro = po + flat;
+    if (inner_sa == 1 && inner_sb == 1) {
+      for (int64_t i = 0; i < inner; ++i) ro[i] = f(ra[i], rb[i]);
+    } else if (inner_sa == 1 && inner_sb == 0) {
+      const float bv = *rb;
+      for (int64_t i = 0; i < inner; ++i) ro[i] = f(ra[i], bv);
+    } else if (inner_sa == 0 && inner_sb == 1) {
+      const float av = *ra;
+      for (int64_t i = 0; i < inner; ++i) ro[i] = f(av, rb[i]);
+    } else {
+      const float v = f(*ra, *rb);
+      for (int64_t i = 0; i < inner; ++i) ro[i] = v;
+    }
+    flat += inner;
+    // Odometer over the remaining (outer) dimensions.
+    for (int64_t d = rank - 2; d >= 0; --d) {
+      off_a += sa[d];
+      off_b += sb[d];
+      if (++idx[d] < out_shape[d]) break;
+      idx[d] = 0;
+      off_a -= sa[d] * out_shape[d];
+      off_b -= sb[d] * out_shape[d];
+    }
+  }
+  return out;
+}
+
+template <typename F>
+Tensor UnaryOp(const Tensor& a, F f) {
+  ELDA_CHECK(a.defined());
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.size(); ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+// Decomposes a shape around `axis` into [outer, n, inner].
+void AxisDecompose(const std::vector<int64_t>& shape, int64_t axis,
+                   int64_t* outer, int64_t* n, int64_t* inner) {
+  *outer = 1;
+  *inner = 1;
+  for (int64_t i = 0; i < axis; ++i) *outer *= shape[i];
+  *n = shape[axis];
+  for (size_t i = axis + 1; i < shape.size(); ++i) *inner *= shape[i];
+}
+
+int64_t NormalizeAxis(int64_t axis, int64_t rank) {
+  if (axis < 0) axis += rank;
+  ELDA_CHECK(axis >= 0 && axis < rank) << "axis" << axis << "rank" << rank;
+  return axis;
+}
+
+// C[M,N] += A[M,K] * B[K,N], with optional logical transposes. The non-
+// transposed path uses the i-k-j ordering so the inner loop is a contiguous
+// AXPY; __restrict__ lets the compiler vectorise it.
+void Gemm(const float* __restrict__ a, const float* __restrict__ b,
+          float* __restrict__ c, int64_t m, int64_t k, int64_t n,
+          bool trans_a, bool trans_b) {
+  if (!trans_a && !trans_b) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* __restrict__ crow = c + i * n;
+      const float* arow = a + i * k;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        const float* __restrict__ brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    // A is stored [K, M].
+    for (int64_t p = 0; p < k; ++p) {
+      const float* arow = a + p * m;
+      const float* __restrict__ brow = b + p * n;
+      for (int64_t i = 0; i < m; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* __restrict__ crow = c + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    // B is stored [N, K]; each output is a dot product of contiguous rows.
+    for (int64_t i = 0; i < m; ++i) {
+      const float* __restrict__ arow = a + i * k;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* __restrict__ brow = b + j * k;
+        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+        int64_t p = 0;
+        for (; p + 4 <= k; p += 4) {
+          s0 += arow[p] * brow[p];
+          s1 += arow[p + 1] * brow[p + 1];
+          s2 += arow[p + 2] * brow[p + 2];
+          s3 += arow[p + 3] * brow[p + 3];
+        }
+        float s = (s0 + s1) + (s2 + s3);
+        for (; p < k; ++p) s += arow[p] * brow[p];
+        crow[j] += s;
+      }
+    }
+  } else {
+    // Both transposed: A stored [K, M], B stored [N, K].
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float s = 0.0f;
+        for (int64_t p = 0; p < k; ++p) s += a[p * m + i] * brow[p];
+        crow[j] += s;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<int64_t> BroadcastShapes(const std::vector<int64_t>& a,
+                                     const std::vector<int64_t>& b) {
+  const int64_t rank = std::max(a.size(), b.size());
+  std::vector<int64_t> out(rank, 1);
+  for (int64_t i = 0; i < rank; ++i) {
+    const int64_t da =
+        i < static_cast<int64_t>(rank - a.size()) ? 1 : a[i - (rank - a.size())];
+    const int64_t db =
+        i < static_cast<int64_t>(rank - b.size()) ? 1 : b[i - (rank - b.size())];
+    ELDA_CHECK(da == db || da == 1 || db == 1)
+        << "incompatible broadcast" << ShapeToString(a) << ShapeToString(b);
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor ReduceToShape(const Tensor& t, const std::vector<int64_t>& shape) {
+  if (t.shape() == shape) return t;
+  const int64_t rank = t.dim();
+  const int64_t target_rank = static_cast<int64_t>(shape.size());
+  ELDA_CHECK_LE(target_rank, rank);
+  Tensor cur = t;
+  // Sum away leading extra dims.
+  for (int64_t i = 0; i < rank - target_rank; ++i) cur = Sum(cur, 0, false);
+  // Sum (keepdims) over dims where the target is 1 but current is larger.
+  for (int64_t i = 0; i < target_rank; ++i) {
+    if (shape[i] == 1 && cur.shape(i) != 1) cur = Sum(cur, i, true);
+  }
+  ELDA_CHECK(cur.shape() == shape)
+      << ShapeToString(t.shape()) << "->" << ShapeToString(shape);
+  return cur;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, [](float x, float y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, [](float x, float y) { return std::max(x, y); });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x * s; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::log(std::max(x, 1e-12f)); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::fabs(x); });
+}
+Tensor Square(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x * x; });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](float x) {
+    // Split by sign for numerical stability at large |x|.
+    if (x >= 0.0f) {
+      const float z = std::exp(-x);
+      return 1.0f / (1.0f + z);
+    }
+    const float z = std::exp(x);
+    return z / (1.0f + z);
+  });
+}
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); });
+}
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor Clip(const Tensor& a, float lo, float hi) {
+  return UnaryOp(a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
+}
+Tensor Pow(const Tensor& a, float p) {
+  return UnaryOp(a, [p](float x) { return std::pow(x, p); });
+}
+Tensor GreaterThanScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x > s ? 1.0f : 0.0f; });
+}
+Tensor EqualScalar(const Tensor& a, float s, float tolerance) {
+  return UnaryOp(a, [s, tolerance](float x) {
+    return std::fabs(x - s) <= tolerance ? 1.0f : 0.0f;
+  });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  ELDA_CHECK(a.dim() >= 2 && b.dim() >= 2)
+      << ShapeToString(a.shape()) << ShapeToString(b.shape());
+  const int64_t am = a.shape(trans_a ? -1 : -2);
+  const int64_t ak = a.shape(trans_a ? -2 : -1);
+  const int64_t bk = b.shape(trans_b ? -1 : -2);
+  const int64_t bn = b.shape(trans_b ? -2 : -1);
+  ELDA_CHECK_EQ(ak, bk) << "matmul inner dims" << ShapeToString(a.shape())
+                        << ShapeToString(b.shape());
+  const int64_t a_mat = a.shape(-1) * a.shape(-2);
+  const int64_t b_mat = b.shape(-1) * b.shape(-2);
+  const int64_t a_batch = a.size() / a_mat;
+  const int64_t b_batch = b.size() / b_mat;
+  ELDA_CHECK(a_batch == b_batch || b_batch == 1 || a_batch == 1)
+      << "matmul batch dims" << ShapeToString(a.shape())
+      << ShapeToString(b.shape());
+  const int64_t batch = std::max(a_batch, b_batch);
+
+  std::vector<int64_t> out_shape;
+  if (a_batch >= b_batch) {
+    out_shape.assign(a.shape().begin(), a.shape().end() - 2);
+  } else {
+    out_shape.assign(b.shape().begin(), b.shape().end() - 2);
+  }
+  out_shape.push_back(am);
+  out_shape.push_back(bn);
+  Tensor out(out_shape);
+  for (int64_t i = 0; i < batch; ++i) {
+    const float* pa = a.data() + (a_batch == 1 ? 0 : i * a_mat);
+    const float* pb = b.data() + (b_batch == 1 ? 0 : i * b_mat);
+    Gemm(pa, pb, out.data() + i * am * bn, am, ak, bn, trans_a, trans_b);
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  ELDA_CHECK_EQ(a.dim(), 2);
+  return TransposeLast2(a);
+}
+
+Tensor TransposeLast2(const Tensor& a) {
+  ELDA_CHECK_GE(a.dim(), 2);
+  const int64_t rows = a.shape(-2);
+  const int64_t cols = a.shape(-1);
+  const int64_t mat = rows * cols;
+  const int64_t batch = a.size() / mat;
+  std::vector<int64_t> out_shape = a.shape();
+  std::swap(out_shape[out_shape.size() - 1], out_shape[out_shape.size() - 2]);
+  Tensor out(out_shape);
+  for (int64_t bb = 0; bb < batch; ++bb) {
+    const float* src = a.data() + bb * mat;
+    float* dst = out.data() + bb * mat;
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < cols; ++j) dst[j * rows + i] = src[i * cols + j];
+    }
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  ELDA_CHECK(!parts.empty());
+  const int64_t rank = parts[0].dim();
+  axis = NormalizeAxis(axis, rank);
+  std::vector<int64_t> out_shape = parts[0].shape();
+  int64_t total_axis = 0;
+  for (const Tensor& p : parts) {
+    ELDA_CHECK_EQ(p.dim(), rank);
+    for (int64_t d = 0; d < rank; ++d) {
+      if (d != axis) ELDA_CHECK_EQ(p.shape(d), out_shape[d]);
+    }
+    total_axis += p.shape(axis);
+  }
+  out_shape[axis] = total_axis;
+  Tensor out(out_shape);
+  int64_t outer, n_unused, inner;
+  AxisDecompose(out_shape, axis, &outer, &n_unused, &inner);
+  int64_t dst_offset = 0;
+  for (const Tensor& p : parts) {
+    const int64_t chunk = p.shape(axis) * inner;
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(out.data() + o * total_axis * inner + dst_offset,
+                  p.data() + o * chunk, chunk * sizeof(float));
+    }
+    dst_offset += chunk;
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
+  axis = NormalizeAxis(axis, a.dim());
+  ELDA_CHECK(start >= 0 && len >= 0 && start + len <= a.shape(axis))
+      << "slice [" << start << "," << start + len << ") of axis" << axis
+      << "in" << ShapeToString(a.shape());
+  std::vector<int64_t> out_shape = a.shape();
+  out_shape[axis] = len;
+  Tensor out(out_shape);
+  int64_t outer, n, inner;
+  AxisDecompose(a.shape(), axis, &outer, &n, &inner);
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(out.data() + o * len * inner,
+                a.data() + (o * n + start) * inner, len * inner * sizeof(float));
+  }
+  return out;
+}
+
+float SumAll(const Tensor& a) {
+  double s = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) s += p[i];
+  return static_cast<float>(s);
+}
+
+float MeanAll(const Tensor& a) {
+  ELDA_CHECK_GT(a.size(), 0);
+  return SumAll(a) / static_cast<float>(a.size());
+}
+
+float MaxAll(const Tensor& a) {
+  ELDA_CHECK_GT(a.size(), 0);
+  float m = a[0];
+  for (int64_t i = 1; i < a.size(); ++i) m = std::max(m, a[i]);
+  return m;
+}
+
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
+  axis = NormalizeAxis(axis, a.dim());
+  int64_t outer, n, inner;
+  AxisDecompose(a.shape(), axis, &outer, &n, &inner);
+  std::vector<int64_t> out_shape = a.shape();
+  if (keepdims) {
+    out_shape[axis] = 1;
+  } else {
+    out_shape.erase(out_shape.begin() + axis);
+  }
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t k = 0; k < n; ++k) {
+      const float* row = pa + (o * n + k) * inner;
+      float* orow = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) orow[i] += row[i];
+    }
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdims) {
+  axis = NormalizeAxis(axis, a.dim());
+  const float inv = 1.0f / static_cast<float>(a.shape(axis));
+  return MulScalar(Sum(a, axis, keepdims), inv);
+}
+
+Tensor Max(const Tensor& a, int64_t axis, bool keepdims) {
+  axis = NormalizeAxis(axis, a.dim());
+  int64_t outer, n, inner;
+  AxisDecompose(a.shape(), axis, &outer, &n, &inner);
+  ELDA_CHECK_GT(n, 0);
+  std::vector<int64_t> out_shape = a.shape();
+  if (keepdims) {
+    out_shape[axis] = 1;
+  } else {
+    out_shape.erase(out_shape.begin() + axis);
+  }
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    float* orow = po + o * inner;
+    std::memcpy(orow, pa + o * n * inner, inner * sizeof(float));
+    for (int64_t k = 1; k < n; ++k) {
+      const float* row = pa + (o * n + k) * inner;
+      for (int64_t i = 0; i < inner; ++i) orow[i] = std::max(orow[i], row[i]);
+    }
+  }
+  return out;
+}
+
+Tensor Softmax(const Tensor& a, int64_t axis) {
+  axis = NormalizeAxis(axis, a.dim());
+  int64_t outer, n, inner;
+  AxisDecompose(a.shape(), axis, &outer, &n, &inner);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      const int64_t base = o * n * inner + i;
+      float m = pa[base];
+      for (int64_t k = 1; k < n; ++k) m = std::max(m, pa[base + k * inner]);
+      float z = 0.0f;
+      for (int64_t k = 0; k < n; ++k) {
+        const float e = std::exp(pa[base + k * inner] - m);
+        po[base + k * inner] = e;
+        z += e;
+      }
+      const float inv = 1.0f / z;
+      for (int64_t k = 0; k < n; ++k) po[base + k * inner] *= inv;
+    }
+  }
+  return out;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.shape() != b.shape()) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const float diff = std::fabs(a[i] - b[i]);
+    if (diff > atol + rtol * std::fabs(b[i])) return false;
+    if (std::isnan(a[i]) || std::isnan(b[i])) return false;
+  }
+  return true;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  ELDA_CHECK(a.shape() == b.shape());
+  float m = 0.0f;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace elda

@@ -1,0 +1,100 @@
+// Numeric kernels over Tensor.
+//
+// All functions return freshly allocated tensors (inputs are never mutated
+// unless the name says so). Binary element-wise ops support full NumPy-style
+// broadcasting; matmul supports 2-D, batched 3-D, and 3-D x 2-D (shared
+// right-hand side) operands, each with optional transposition of either
+// operand (needed by autograd backward passes).
+
+#ifndef ELDA_TENSOR_TENSOR_OPS_H_
+#define ELDA_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace elda {
+
+// -- Broadcasting ------------------------------------------------------------
+
+// NumPy broadcast of two shapes; CHECK-fails if incompatible.
+std::vector<int64_t> BroadcastShapes(const std::vector<int64_t>& a,
+                                     const std::vector<int64_t>& b);
+
+// Sums `t` over its broadcast dimensions so that the result has `shape`.
+// This is the adjoint of broadcasting and is used by autograd backward.
+Tensor ReduceToShape(const Tensor& t, const std::vector<int64_t>& shape);
+
+// -- Element-wise binary (broadcasting) ---------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+
+// Scalar right-hand-side conveniences.
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+// -- Element-wise unary --------------------------------------------------------
+
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);  // clamps input at 1e-12 to keep finite
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Clip(const Tensor& a, float lo, float hi);
+Tensor Pow(const Tensor& a, float p);
+
+// 1.0 where the predicate holds, else 0.0 (used for masks / selectors).
+Tensor GreaterThanScalar(const Tensor& a, float s);
+Tensor EqualScalar(const Tensor& a, float s, float tolerance = 0.0f);
+
+// -- Matrix multiplication ------------------------------------------------------
+
+// MatMul(a, b, trans_a, trans_b): logical shapes after transposition must be
+// [.., M, K] x [.., K, N] -> [.., M, N]. Supported operand ranks:
+//   2-D x 2-D, 3-D x 3-D (equal batch), 3-D x 2-D (rhs shared across batch).
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+// -- Shape manipulation ----------------------------------------------------------
+
+// 2-D transpose.
+Tensor Transpose(const Tensor& a);
+// Swaps the last two dimensions of a rank >= 2 tensor.
+Tensor TransposeLast2(const Tensor& a);
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
+// Slice of length `len` starting at `start` along `axis`.
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len);
+
+// -- Reductions --------------------------------------------------------------------
+
+float SumAll(const Tensor& a);
+float MeanAll(const Tensor& a);
+float MaxAll(const Tensor& a);
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdims = false);
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdims = false);
+Tensor Max(const Tensor& a, int64_t axis, bool keepdims = false);
+
+// Numerically stable softmax along `axis`.
+Tensor Softmax(const Tensor& a, int64_t axis);
+
+// -- Comparisons for tests -------------------------------------------------------------
+
+// True iff shapes match and |a-b| <= atol + rtol*|b| element-wise.
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+
+// Largest absolute element-wise difference (shapes must match).
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+}  // namespace elda
+
+#endif  // ELDA_TENSOR_TENSOR_OPS_H_

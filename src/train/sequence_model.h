@@ -1,0 +1,30 @@
+// The common interface every predictive model in this repository implements:
+// ELDA-Net, its ablation variants, and all eleven baselines.
+
+#ifndef ELDA_TRAIN_SEQUENCE_MODEL_H_
+#define ELDA_TRAIN_SEQUENCE_MODEL_H_
+
+#include <string>
+
+#include "autograd/variable.h"
+#include "data/pipeline.h"
+#include "nn/module.h"
+
+namespace elda {
+namespace train {
+
+class SequenceModel : public nn::Module {
+ public:
+  // Computes pre-sigmoid risk logits [B] for a batch. Models are free to use
+  // any of x / mask / delta. Non-const because models may consume dropout
+  // randomness and cache attention maps for interpretation.
+  virtual ag::Variable Forward(const data::Batch& batch) = 0;
+
+  // Display name used in benchmark tables ("GRU-D", "ELDA-Net", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace train
+}  // namespace elda
+
+#endif  // ELDA_TRAIN_SEQUENCE_MODEL_H_

@@ -1,0 +1,153 @@
+#include "train/trainer.h"
+
+#include <iostream>
+
+#include "autograd/ops.h"
+#include "metrics/metrics.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+#include "util/stopwatch.h"
+
+namespace elda {
+namespace train {
+namespace {
+
+std::vector<float> LabelsFor(const std::vector<data::PreparedSample>& prepared,
+                             const std::vector<int64_t>& indices,
+                             data::Task task) {
+  std::vector<float> labels;
+  labels.reserve(indices.size());
+  for (int64_t i : indices) {
+    labels.push_back(task == data::Task::kMortality
+                         ? prepared[i].mortality_label
+                         : prepared[i].los_gt7_label);
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::vector<float> Trainer::PredictScores(
+    SequenceModel* model, const std::vector<data::PreparedSample>& prepared,
+    const std::vector<int64_t>& indices, data::Task task,
+    int64_t batch_size) {
+  const bool was_training = model->training();
+  model->SetTraining(false);
+  std::vector<float> scores;
+  scores.reserve(indices.size());
+  for (size_t start = 0; start < indices.size();
+       start += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(indices.size(), start + static_cast<size_t>(batch_size));
+    std::vector<int64_t> chunk(indices.begin() + start,
+                               indices.begin() + end);
+    data::Batch batch = data::MakeBatch(prepared, chunk, task);
+    Tensor probs = Sigmoid(model->Forward(batch).value());
+    for (int64_t i = 0; i < probs.size(); ++i) scores.push_back(probs[i]);
+  }
+  model->SetTraining(was_training);
+  return scores;
+}
+
+EvalResult Trainer::Evaluate(
+    SequenceModel* model, const std::vector<data::PreparedSample>& prepared,
+    const std::vector<int64_t>& indices, data::Task task,
+    int64_t batch_size) {
+  const std::vector<float> scores =
+      PredictScores(model, prepared, indices, task, batch_size);
+  const std::vector<float> labels = LabelsFor(prepared, indices, task);
+  EvalResult result;
+  result.bce = metrics::BceLoss(scores, labels);
+  result.auc_roc = metrics::AucRoc(scores, labels);
+  result.auc_pr = metrics::AucPr(scores, labels);
+  return result;
+}
+
+TrainResult Trainer::Train(SequenceModel* model,
+                           const std::vector<data::PreparedSample>& prepared,
+                           const data::SplitIndices& split,
+                           data::Task task) const {
+  TrainResult result;
+  result.num_parameters = model->NumParameters();
+  std::vector<ag::Variable> params = model->Parameters();
+  optim::Adam adam(params, config_.learning_rate);
+  Rng rng(config_.seed);
+  data::Batcher batcher(&prepared, split.train, config_.batch_size, task,
+                        &rng);
+
+  double best_val_auc_pr = -1.0;
+  std::vector<Tensor> best_params;
+  int64_t epochs_without_improvement = 0;
+  double total_batch_seconds = 0.0;
+  int64_t total_batches = 0;
+
+  for (int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    model->SetTraining(true);
+    batcher.StartEpoch();
+    data::Batch batch;
+    double epoch_loss = 0.0;
+    int64_t epoch_batches = 0;
+    while (batcher.Next(&batch)) {
+      Stopwatch sw;
+      adam.ZeroGrad();
+      ag::Variable logits = model->Forward(batch);
+      ag::Variable loss = ag::BceWithLogits(logits, batch.y);
+      loss.Backward();
+      if (config_.clip_norm > 0.0f) {
+        optim::ClipGradNorm(params, config_.clip_norm);
+      }
+      adam.Step();
+      total_batch_seconds += sw.Seconds();
+      ++total_batches;
+      epoch_loss += loss.value()[0];
+      ++epoch_batches;
+    }
+    result.epochs_run = epoch + 1;
+
+    const EvalResult val = Evaluate(model, prepared, split.val, task);
+    if (config_.verbose) {
+      std::cerr << model->name() << " epoch " << epoch
+                << " train_bce=" << epoch_loss / epoch_batches
+                << " val_auc_pr=" << val.auc_pr << "\n";
+    }
+    if (val.auc_pr > best_val_auc_pr) {
+      best_val_auc_pr = val.auc_pr;
+      result.val = val;
+      result.best_epoch = epoch;
+      epochs_without_improvement = 0;
+      best_params.clear();
+      for (const ag::Variable& p : params) {
+        best_params.push_back(p.value().Clone());
+      }
+    } else if (++epochs_without_improvement > config_.patience) {
+      break;
+    }
+  }
+
+  // Restore the best-validation parameters before the test evaluation.
+  if (!best_params.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      *params[i].mutable_value() = best_params[i];
+    }
+  }
+  result.test = Evaluate(model, prepared, split.test, task);
+  result.train_seconds_per_batch =
+      total_batches > 0 ? total_batch_seconds / total_batches : 0.0;
+
+  // Single-sample prediction latency (Table III's "Prediction (ms)").
+  if (!split.test.empty()) {
+    model->SetTraining(false);
+    const int64_t reps = 20;
+    Stopwatch sw;
+    for (int64_t r = 0; r < reps; ++r) {
+      data::Batch one =
+          data::MakeBatch(prepared, {split.test[0]}, task);
+      model->Forward(one);
+    }
+    result.predict_ms_per_sample = sw.Milliseconds() / reps;
+  }
+  return result;
+}
+
+}  // namespace train
+}  // namespace elda

@@ -1,0 +1,80 @@
+// Task-agnostic training loop used for every model in the evaluation.
+//
+// Mirrors the paper's protocol (Section V-A): Adam, initial learning rate
+// 1e-3, batch size 64, 80/10/10 split, model selection on the validation
+// set, metrics BCE / AUC-ROC / AUC-PR on the held-out test set. Early
+// stopping monitors validation AUC-PR; the best-epoch parameters are
+// restored before the final evaluation. Timing instrumentation feeds the
+// Table III efficiency bench.
+
+#ifndef ELDA_TRAIN_TRAINER_H_
+#define ELDA_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/emr.h"
+#include "data/pipeline.h"
+#include "train/sequence_model.h"
+
+namespace elda {
+namespace train {
+
+struct TrainerConfig {
+  int64_t max_epochs = 20;
+  int64_t batch_size = 64;
+  float learning_rate = 1e-3f;
+  float clip_norm = 5.0f;   // <= 0 disables clipping
+  int64_t patience = 4;     // epochs without val AUC-PR improvement
+  uint64_t seed = 1;
+  bool verbose = false;     // per-epoch progress on stderr
+};
+
+struct EvalResult {
+  double bce = 0.0;
+  double auc_roc = 0.0;
+  double auc_pr = 0.0;
+};
+
+struct TrainResult {
+  EvalResult val;
+  EvalResult test;
+  int64_t epochs_run = 0;
+  int64_t best_epoch = 0;
+  double train_seconds_per_batch = 0.0;
+  double predict_ms_per_sample = 0.0;
+  int64_t num_parameters = 0;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainerConfig config) : config_(config) {}
+
+  // Trains `model` on prepared samples under `split`, returns validation and
+  // test metrics at the best validation epoch.
+  TrainResult Train(SequenceModel* model,
+                    const std::vector<data::PreparedSample>& prepared,
+                    const data::SplitIndices& split, data::Task task) const;
+
+  // Evaluates a model (in eval mode) on the given index set.
+  static EvalResult Evaluate(SequenceModel* model,
+                             const std::vector<data::PreparedSample>& prepared,
+                             const std::vector<int64_t>& indices,
+                             data::Task task, int64_t batch_size = 256);
+
+  // Sigmoid probabilities for the given index set, in order.
+  static std::vector<float> PredictScores(
+      SequenceModel* model,
+      const std::vector<data::PreparedSample>& prepared,
+      const std::vector<int64_t>& indices, data::Task task,
+      int64_t batch_size = 256);
+
+ private:
+  TrainerConfig config_;
+};
+
+}  // namespace train
+}  // namespace elda
+
+#endif  // ELDA_TRAIN_TRAINER_H_

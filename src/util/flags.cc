@@ -1,0 +1,69 @@
+#include "util/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "util/logging.h"
+
+namespace elda {
+
+Flags::Flags(int argc, char** argv, const std::vector<std::string>& spec) {
+  auto known = [&spec](const std::string& name) {
+    return std::find(spec.begin(), spec.end(), name) != spec.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "unexpected positional argument: " << arg << "\n";
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "true";  // bare switch
+    }
+    if (!known(name)) {
+      std::cerr << "unknown flag --" << name << "; accepted flags:";
+      for (const auto& s : spec) std::cerr << " --" << s;
+      std::cerr << "\n";
+      std::exit(2);
+    }
+    values_[name] = value;
+  }
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::stoll(it->second);
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::stod(it->second);
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace elda

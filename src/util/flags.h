@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+//
+// Supports `--name value` and `--name=value` forms plus bare boolean
+// switches (`--full`). Unknown flags are a fatal error so typos in an
+// experiment invocation cannot silently change its meaning.
+
+#ifndef ELDA_UTIL_FLAGS_H_
+#define ELDA_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace elda {
+
+class Flags {
+ public:
+  // Parses argv. `spec` lists the accepted flag names (without the leading
+  // dashes); passing a flag outside the spec aborts with a usage message.
+  Flags(int argc, char** argv, const std::vector<std::string>& spec);
+
+  bool Has(const std::string& name) const;
+
+  // Typed accessors with defaults for absent flags.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace elda
+
+#endif  // ELDA_UTIL_FLAGS_H_

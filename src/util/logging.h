@@ -1,0 +1,91 @@
+// Lightweight logging and invariant-checking macros.
+//
+// This project follows the Google C++ style: exceptions are not used, and
+// violated invariants are programming errors that abort the process with a
+// diagnostic. CHECK macros are active in all build modes; DCHECK compiles out
+// in NDEBUG builds and is used on hot paths.
+
+#ifndef ELDA_UTIL_LOGGING_H_
+#define ELDA_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace elda {
+namespace internal_logging {
+
+// Accumulates a failure message and aborts on destruction. Used as the
+// right-hand side of the CHECK macros so call sites can stream extra context:
+//   CHECK(ok) << "while processing sample " << i;
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const std::string& condition) {
+    stream_ << "[CHECK failed] " << file << ":" << line << ": " << condition;
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Converts a fully streamed FatalMessage to void. operator& binds more
+// loosely than operator<<, so in `Voidify() & message << a << b` all the
+// streaming happens first — this lets call sites append context:
+//   ELDA_CHECK(ok) << "while processing sample " << i;
+class Voidify {
+ public:
+  void operator&(const FatalMessage&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace elda
+
+#define ELDA_CHECK(condition)                                 \
+  (condition) ? (void)0                                       \
+              : ::elda::internal_logging::Voidify() &         \
+                    ::elda::internal_logging::FatalMessage(   \
+                        __FILE__, __LINE__, #condition)
+
+// Binary comparison checks print both operand values on failure.
+#define ELDA_CHECK_OP(op, a, b)                                            \
+  ((a)op(b)) ? (void)0                                                     \
+             : ::elda::internal_logging::Voidify() &                       \
+                   (::elda::internal_logging::FatalMessage(                \
+                        __FILE__, __LINE__, #a " " #op " " #b)             \
+                    << "(" << (a) << " vs " << (b) << ")")
+
+#define ELDA_CHECK_EQ(a, b) ELDA_CHECK_OP(==, a, b)
+#define ELDA_CHECK_NE(a, b) ELDA_CHECK_OP(!=, a, b)
+#define ELDA_CHECK_LT(a, b) ELDA_CHECK_OP(<, a, b)
+#define ELDA_CHECK_LE(a, b) ELDA_CHECK_OP(<=, a, b)
+#define ELDA_CHECK_GT(a, b) ELDA_CHECK_OP(>, a, b)
+#define ELDA_CHECK_GE(a, b) ELDA_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define ELDA_DCHECK(condition) (void)0
+#define ELDA_DCHECK_EQ(a, b) (void)0
+#define ELDA_DCHECK_LT(a, b) (void)0
+#define ELDA_DCHECK_LE(a, b) (void)0
+#else
+#define ELDA_DCHECK(condition) ELDA_CHECK(condition)
+#define ELDA_DCHECK_EQ(a, b) ELDA_CHECK_EQ(a, b)
+#define ELDA_DCHECK_LT(a, b) ELDA_CHECK_LT(a, b)
+#define ELDA_DCHECK_LE(a, b) ELDA_CHECK_LE(a, b)
+#endif
+
+#endif  // ELDA_UTIL_LOGGING_H_

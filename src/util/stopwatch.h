@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by the training loop and the efficiency bench.
+
+#ifndef ELDA_UTIL_STOPWATCH_H_
+#define ELDA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace elda {
+
+// Measures elapsed wall-clock time in seconds. Starts running on
+// construction; Restart() resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Milliseconds() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace elda
+
+#endif  // ELDA_UTIL_STOPWATCH_H_

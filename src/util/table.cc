@@ -1,0 +1,48 @@
+#include "util/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace elda {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      out << cell << std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < widths.size()) out << "  ";
+    }
+    out << "\n";
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  if (std::isnan(value)) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace elda

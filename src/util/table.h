@@ -1,0 +1,34 @@
+// Console table rendering for the benchmark harness.
+//
+// Every table/figure bench prints the paper's reported values next to the
+// measured ones; TablePrinter keeps those reports aligned and readable.
+
+#ifndef ELDA_UTIL_TABLE_H_
+#define ELDA_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace elda {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Adds a row; missing trailing cells render as empty.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with a rule under the header.
+  std::string ToString() const;
+
+  // Formats a double with the given precision ("-" for NaN).
+  static std::string Num(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace elda
+
+#endif  // ELDA_UTIL_TABLE_H_

@@ -1,0 +1,324 @@
+#include <cmath>
+#include <string>
+
+#include "autograd/gradcheck.h"
+#include "baselines/baselines.h"
+#include "baselines/common.h"
+#include "baselines/dipole.h"
+#include "baselines/static_models.h"
+#include "gtest/gtest.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace elda {
+namespace baselines {
+namespace {
+
+data::Batch RandomBatch(int64_t batch, int64_t steps, int64_t features,
+                        uint64_t seed) {
+  Rng rng(seed);
+  data::Batch b;
+  b.x = Tensor::Normal({batch, steps, features}, 0.0f, 1.0f, &rng);
+  b.mask = Tensor({batch, steps, features});
+  for (int64_t i = 0; i < b.mask.size(); ++i) {
+    b.mask[i] = rng.Bernoulli(0.3) ? 1.0f : 0.0f;
+  }
+  b.delta = Tensor({batch, steps, features});
+  for (int64_t i = 0; i < b.delta.size(); ++i) {
+    // Strictly positive fractional gaps keep GRU-D's relu'd decay logits
+    // away from the kink, where finite differences are invalid.
+    b.delta[i] = static_cast<float>(rng.UniformInt(6)) + 0.7f;
+  }
+  b.y = Tensor({batch});
+  for (int64_t i = 0; i < batch; ++i) {
+    b.y[i] = rng.Bernoulli(0.4) ? 1.0f : 0.0f;
+  }
+  return b;
+}
+
+TEST(CommonTest, ReverseTimeFlipsAndRoundTrips) {
+  Rng rng(1);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({2, 5, 3}, 0.0f, 1.0f, &rng));
+  Tensor reversed = ReverseTime(x).value();
+  for (int64_t t = 0; t < 5; ++t) {
+    Tensor a = Slice(x.value(), 1, t, 1);
+    Tensor b = Slice(reversed, 1, 4 - t, 1);
+    EXPECT_TRUE(AllClose(a, b));
+  }
+  EXPECT_TRUE(AllClose(ReverseTime(ReverseTime(x)).value(), x.value()));
+}
+
+TEST(CommonTest, ReverseTimeGradCheck) {
+  ag::Variable x(Tensor::FromData({1, 3, 2}, {1, 2, 3, 4, 5, 6}), true);
+  std::string error;
+  EXPECT_TRUE(ag::CheckGradients(
+      [&] {
+        ag::Variable w = ag::Constant(
+            Tensor::FromData({1, 3, 2}, {1, -1, 2, -2, 3, -3}));
+        return ag::SumAll(ag::Square(ag::Mul(ReverseTime(x), w)));
+      },
+      {x}, {}, &error))
+      << error;
+}
+
+// ---- Registry-driven suites over every model ---------------------------------
+
+class AllModelsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllModelsTest, ForwardProducesFiniteLogits) {
+  auto model = MakeModel(GetParam(), 7, /*seed=*/3);
+  data::Batch batch = RandomBatch(4, 6, 7, 5);
+  Tensor logits = model->Forward(batch).value();
+  ASSERT_EQ(logits.shape(), (std::vector<int64_t>{4}));
+  for (int64_t i = 0; i < 4; ++i) EXPECT_TRUE(std::isfinite(logits[i]));
+}
+
+TEST_P(AllModelsTest, NameMatchesRegistryKey) {
+  auto model = MakeModel(GetParam(), 7, 3);
+  EXPECT_EQ(model->name(), GetParam());
+}
+
+TEST_P(AllModelsTest, DeterministicInEvalMode) {
+  auto model = MakeModel(GetParam(), 5, 11);
+  model->SetTraining(false);
+  data::Batch batch = RandomBatch(3, 5, 5, 7);
+  Tensor a = model->Forward(batch).value();
+  Tensor b = model->Forward(batch).value();
+  EXPECT_TRUE(AllClose(a, b));
+}
+
+TEST_P(AllModelsTest, BackwardPopulatesEveryParameterSomewhere) {
+  auto model = MakeModel(GetParam(), 6, 13);
+  data::Batch batch = RandomBatch(5, 6, 6, 17);
+  model->ZeroGrad();
+  ag::BceWithLogits(model->Forward(batch), batch.y).Backward();
+  int64_t with_grad = 0;
+  auto params = model->Parameters();
+  for (const auto& p : params) with_grad += p.has_grad();
+  // Every parameter participates in the loss for these architectures.
+  EXPECT_EQ(with_grad, static_cast<int64_t>(params.size()));
+}
+
+TEST_P(AllModelsTest, OneAdamStepReducesTrainingLoss) {
+  auto model = MakeModel(GetParam(), 6, 19);
+  data::Batch batch = RandomBatch(16, 6, 6, 23);
+  optim::Adam adam(model->Parameters(), 0.003f);
+  model->SetTraining(false);  // compare dropout-free losses
+  const float before =
+      ag::BceWithLogits(model->Forward(batch), batch.y).value()[0];
+  model->SetTraining(true);
+  for (int step = 0; step < 15; ++step) {
+    adam.ZeroGrad();
+    ag::BceWithLogits(model->Forward(batch), batch.y).Backward();
+    // Mirror the Trainer's protocol, including gradient clipping.
+    optim::ClipGradNorm(model->Parameters(), 5.0f);
+    adam.Step();
+  }
+  model->SetTraining(false);
+  const float after =
+      ag::BceWithLogits(model->Forward(batch), batch.y).value()[0];
+  EXPECT_LT(after, before);
+}
+
+TEST_P(AllModelsTest, GradCheckSubsampled) {
+  auto model = MakeModel(GetParam(), 4, 29);
+  data::Batch batch = RandomBatch(3, 4, 4, 31);
+  model->SetTraining(false);  // freeze dropout for finite differences
+  std::string error;
+  ag::GradCheckOptions options;
+  options.max_elements_per_param = 6;
+  // Model outputs are sums of many float32 terms; loosen slightly.
+  options.rtol = 8e-2f;
+  options.atol = 4e-3f;
+  EXPECT_TRUE(ag::CheckGradients(
+      [&] { return ag::BceWithLogits(model->Forward(batch), batch.y); },
+      model->Parameters(), options, &error))
+      << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllModelsTest,
+    ::testing::Values("LR", "FM", "AFM", "SAnD", "GRU", "RETAIN", "Dipole-l",
+                      "Dipole-g", "Dipole-c", "StageNet", "GRU-D", "ConCare",
+                      "ELDA-Net-T", "ELDA-Net-Fbi", "ELDA-Net-Fbi*",
+                      "ELDA-Net-Ffm", "ELDA-Net-Ffm*", "ELDA-Net"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+// ---- Model-specific behaviour ---------------------------------------------------
+
+TEST(RegistryTest, BaselineListMatchesPaper) {
+  EXPECT_EQ(BaselineNames().size(), 12u);
+  EXPECT_EQ(AllModelNames().size(), 16u);
+}
+
+TEST(RegistryDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(MakeModel("GPT-7", 5, 1), "unknown model");
+}
+
+TEST(LrTest, EquivalentToLinearModelOnMeans) {
+  // With weights set by hand, LR's logit must equal w . mean_t(x) + b.
+  auto model = MakeModel("LR", 2, 1);
+  auto params = model->Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  *params[0].mutable_value() = Tensor::FromData({2, 1}, {2.0f, -1.0f});
+  *params[1].mutable_value() = Tensor::FromData({1}, {0.5f});
+  data::Batch batch = RandomBatch(1, 4, 2, 3);
+  float mean0 = 0.0f, mean1 = 0.0f;
+  for (int64_t t = 0; t < 4; ++t) {
+    mean0 += batch.x.at({0, t, 0}) / 4.0f;
+    mean1 += batch.x.at({0, t, 1}) / 4.0f;
+  }
+  const float expected = 2.0f * mean0 - mean1 + 0.5f;
+  EXPECT_NEAR(model->Forward(batch).value()[0], expected, 1e-5f);
+}
+
+TEST(FmTest, PairwiseTermMatchesExplicitSum) {
+  FactorizationMachine fm(3, 4, 7);
+  auto named = fm.NamedParameters();
+  Tensor factors;
+  for (const auto& [name, var] : named) {
+    if (name == "factors") factors = var.value();
+  }
+  data::Batch batch = RandomBatch(2, 3, 3, 9);
+  Tensor logits = fm.Forward(batch).value();
+  // Recompute naively: w0 + w.x + sum_{i<j} <v_i, v_j> x_i x_j  (w, w0 = 0).
+  for (int64_t b = 0; b < 2; ++b) {
+    std::vector<float> x(3, 0.0f);
+    for (int64_t c = 0; c < 3; ++c) {
+      for (int64_t t = 0; t < 3; ++t) x[c] += batch.x.at({b, t, c}) / 3.0f;
+    }
+    double expected = 0.0;
+    for (int64_t i = 0; i < 3; ++i) {
+      for (int64_t j = i + 1; j < 3; ++j) {
+        double dot = 0.0;
+        for (int64_t k = 0; k < 4; ++k) {
+          dot += factors.at({i, k}) * factors.at({j, k});
+        }
+        expected += dot * x[i] * x[j];
+      }
+    }
+    EXPECT_NEAR(logits[b], expected, 1e-4f);
+  }
+}
+
+TEST(FmTest, CapturesMultiplicativeSignalLrCannot) {
+  // y = 1[x0 * x1 > 0] with zero-mean marginals: LR stays at chance while FM
+  // separates the classes.
+  Rng rng(41);
+  auto make = [&](int64_t n) {
+    data::Batch b;
+    b.x = Tensor::Normal({n, 1, 2}, 0.0f, 1.0f, &rng);
+    b.mask = Tensor::Ones({n, 1, 2});
+    b.delta = Tensor::Zeros({n, 1, 2});
+    b.y = Tensor({n});
+    for (int64_t i = 0; i < n; ++i) {
+      b.y[i] = b.x.at({i, 0, 0}) * b.x.at({i, 0, 1}) > 0 ? 1.0f : 0.0f;
+    }
+    return b;
+  };
+  auto fm = MakeModel("FM", 2, 43);
+  auto lr = MakeModel("LR", 2, 43);
+  optim::Adam fm_opt(fm->Parameters(), 0.05f);
+  optim::Adam lr_opt(lr->Parameters(), 0.05f);
+  for (int step = 0; step < 200; ++step) {
+    data::Batch batch = make(64);
+    fm_opt.ZeroGrad();
+    ag::BceWithLogits(fm->Forward(batch), batch.y).Backward();
+    fm_opt.Step();
+    lr_opt.ZeroGrad();
+    ag::BceWithLogits(lr->Forward(batch), batch.y).Backward();
+    lr_opt.Step();
+  }
+  data::Batch test = make(400);
+  auto accuracy = [&](train::SequenceModel* m) {
+    Tensor probs = Sigmoid(m->Forward(test).value());
+    int64_t correct = 0;
+    for (int64_t i = 0; i < 400; ++i) {
+      correct += (probs[i] >= 0.5f) == (test.y[i] == 1.0f);
+    }
+    return static_cast<double>(correct) / 400.0;
+  };
+  EXPECT_GT(accuracy(fm.get()), 0.85);
+  EXPECT_LT(accuracy(lr.get()), 0.65);
+}
+
+TEST(DipoleTest, AttentionSumsToOneAndIsExposed) {
+  Dipole dipole(5, 8, DipoleAttention::kConcat, 51);
+  data::Batch batch = RandomBatch(3, 6, 5, 53);
+  dipole.Forward(batch);
+  const Tensor& alpha = dipole.last_attention();
+  ASSERT_EQ(alpha.shape(), (std::vector<int64_t>{3, 5}));
+  for (int64_t b = 0; b < 3; ++b) {
+    float sum = 0.0f;
+    for (int64_t t = 0; t < 5; ++t) sum += alpha.at({b, t});
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(DipoleTest, VariantsHaveDistinctParameterisations) {
+  auto l = MakeModel("Dipole-l", 6, 5);
+  auto g = MakeModel("Dipole-g", 6, 5);
+  auto c = MakeModel("Dipole-c", 6, 5);
+  EXPECT_NE(l->NumParameters(), g->NumParameters());
+  EXPECT_NE(g->NumParameters(), c->NumParameters());
+}
+
+TEST(GruDTest, UsesDeltaChannel) {
+  // Changing only delta must change GRU-D's output (decay is active) while
+  // leaving the plain GRU untouched.
+  auto grud = MakeModel("GRU-D", 4, 61);
+  auto gru = MakeModel("GRU", 4, 61);
+  grud->SetTraining(false);
+  gru->SetTraining(false);
+  data::Batch batch = RandomBatch(2, 5, 4, 63);
+  Tensor base_grud = grud->Forward(batch).value();
+  Tensor base_gru = gru->Forward(batch).value();
+  data::Batch modified = batch;
+  modified.delta = AddScalar(batch.delta, 5.0f);
+  EXPECT_GT(MaxAbsDiff(grud->Forward(modified).value(), base_grud), 1e-6f);
+  EXPECT_NEAR(MaxAbsDiff(gru->Forward(modified).value(), base_gru), 0.0f,
+              1e-7f);
+}
+
+TEST(GruDTest, ZeroDeltaFullMaskReducesDecayToIdentity) {
+  // With everything observed and delta = 0: gamma = exp(0)... = 1 only when
+  // the learned bias is 0 (it is at init), so x^ = x exactly.
+  auto grud = MakeModel("GRU-D", 3, 67);
+  data::Batch batch = RandomBatch(2, 4, 3, 69);
+  batch.mask = Tensor::Ones({2, 4, 3});
+  batch.delta = Tensor::Zeros({2, 4, 3});
+  Tensor out = grud->Forward(batch).value();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out[i]));
+  }
+}
+
+TEST(ParameterScaleTest, RelativeOrderingMatchesTableThree) {
+  // Table III: LR < FM < AFM ≪ RETAIN < GRU < GRU-D < Dipole variants,
+  // StageNet and SAnD and ConCare are the big models.
+  const int64_t features = 37;
+  auto n = [&](const std::string& name) {
+    return MakeModel(name, features, 1)->NumParameters();
+  };
+  EXPECT_EQ(n("LR"), 38);
+  EXPECT_EQ(n("FM"), 630);
+  EXPECT_EQ(n("AFM"), 718);
+  EXPECT_LT(n("RETAIN"), n("GRU"));
+  EXPECT_LT(n("GRU"), n("Dipole-g"));
+  EXPECT_GT(n("SAnD"), 50000);
+  EXPECT_GT(n("StageNet"), n("GRU"));
+  EXPECT_GT(n("ELDA-Net"), n("ELDA-Net-T"));
+  // The GRU baseline matches the paper's 20k.
+  EXPECT_NEAR(static_cast<double>(n("GRU")), 20000.0, 1500.0);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace elda

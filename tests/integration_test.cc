@@ -1,0 +1,215 @@
+// Cross-module integration tests: full cohort -> pipeline -> training ->
+// evaluation -> interpretation flows, exercised end-to-end.
+
+#include <cmath>
+#include <set>
+
+#include "baselines/baselines.h"
+#include "core/elda.h"
+#include "gtest/gtest.h"
+#include "synth/simulator.h"
+#include "tensor/tensor_ops.h"
+#include "train/experiment.h"
+
+namespace elda {
+namespace {
+
+// One shared medium cohort so the expensive generation happens once.
+const data::EmrDataset& Cohort() {
+  static const data::EmrDataset* kCohort = [] {
+    synth::CohortConfig config = synth::SynthPhysioNet2012();
+    config.num_admissions = 300;
+    return new data::EmrDataset(synth::GenerateCohort(config));
+  }();
+  return *kCohort;
+}
+
+TEST(IntegrationTest, PreparedExperimentIsConsistent) {
+  train::PreparedExperiment experiment(Cohort(), data::Task::kMortality);
+  EXPECT_EQ(experiment.prepared().size(), 300u);
+  EXPECT_EQ(experiment.num_features(), 37);
+  // Split partitions everything exactly once.
+  std::set<int64_t> all;
+  for (int64_t i : experiment.split().train) all.insert(i);
+  for (int64_t i : experiment.split().val) all.insert(i);
+  for (int64_t i : experiment.split().test) all.insert(i);
+  EXPECT_EQ(all.size(), 300u);
+  // Stratification put positives in every partition.
+  auto positives = [&](const std::vector<int64_t>& idx) {
+    int64_t count = 0;
+    for (int64_t i : idx) {
+      count += experiment.prepared()[i].mortality_label == 1.0f;
+    }
+    return count;
+  };
+  EXPECT_GT(positives(experiment.split().train), 0);
+  EXPECT_GT(positives(experiment.split().val), 0);
+  EXPECT_GT(positives(experiment.split().test), 0);
+}
+
+TEST(IntegrationTest, TemporalModelBeatsChanceOnMortality) {
+  // A dedicated, larger cohort: the 300-admission shared cohort's 30-sample
+  // test split is too noisy to assert model quality on.
+  synth::CohortConfig config_cohort = synth::SynthPhysioNet2012();
+  config_cohort.num_admissions = 600;
+  config_cohort.seed = 4242;
+  data::EmrDataset cohort = synth::GenerateCohort(config_cohort);
+  train::PreparedExperiment experiment(cohort, data::Task::kMortality);
+  train::TrainerConfig config;
+  config.max_epochs = 10;
+  train::ModelStats stats =
+      baselines::RunModelByName("GRU", experiment, config, 1);
+  EXPECT_GT(stats.auc_roc.mean, 0.6);
+  // Better than the ~14% positive-rate chance level for AUC-PR.
+  EXPECT_GT(stats.auc_pr.mean, 0.18);
+}
+
+TEST(IntegrationTest, RepeatedRunsAggregateOverSeeds) {
+  train::PreparedExperiment experiment(Cohort(), data::Task::kLosGt7);
+  train::TrainerConfig config;
+  config.max_epochs = 3;
+  train::ModelStats stats =
+      baselines::RunModelByName("LR", experiment, config, 3);
+  EXPECT_EQ(stats.name, "LR");
+  // Aggregation mechanics: all fields populated and within metric ranges.
+  // (Model quality on this 300-admission toy split is covered elsewhere.)
+  EXPECT_GT(stats.auc_roc.mean, 0.0);
+  EXPECT_LT(stats.auc_roc.mean, 1.0);
+  EXPECT_GE(stats.auc_pr.mean, 0.0);
+  EXPECT_GE(stats.auc_roc.stddev, 0.0);
+  EXPECT_GT(stats.bce.mean, 0.0);
+  EXPECT_GT(stats.train_seconds_per_batch, 0.0);
+  EXPECT_GT(stats.predict_ms_per_sample, 0.0);
+  // A single-run aggregate has zero spread by definition.
+  train::ModelStats single =
+      baselines::RunModelByName("LR", experiment, config, 1);
+  EXPECT_DOUBLE_EQ(single.auc_roc.stddev, 0.0);
+}
+
+TEST(IntegrationTest, BothTasksShareTheSamePreparedTensors) {
+  train::PreparedExperiment mortality(Cohort(), data::Task::kMortality, 99);
+  train::PreparedExperiment los(Cohort(), data::Task::kLosGt7, 99);
+  // Same standardisation statistics (fit on different stratified splits is
+  // allowed to differ slightly; verify the grid content of one sample
+  // prepared under each is identical because preparation is label-free).
+  const auto& a = mortality.prepared()[0];
+  const auto& b = los.prepared()[0];
+  EXPECT_EQ(a.x.shape(), b.x.shape());
+  EXPECT_EQ(a.source_index, b.source_index);
+}
+
+TEST(IntegrationTest, EldaFrameworkAlertsAreThresholded) {
+  core::EldaConfig config;
+  config.net.embed_dim = 8;
+  config.net.compression = 2;
+  config.net.hidden_dim = 16;
+  config.trainer.max_epochs = 2;
+  config.alert_threshold = 0.3f;
+  core::Elda elda(config);
+  elda.Fit(Cohort(), data::Task::kMortality);
+  synth::CohortConfig incoming_config = synth::SynthPhysioNet2012();
+  incoming_config.num_admissions = 20;
+  incoming_config.seed = 555;
+  data::EmrDataset incoming = synth::GenerateCohort(incoming_config);
+  std::vector<data::EmrSample> patients(incoming.samples().begin(),
+                                        incoming.samples().end());
+  std::vector<float> risks = elda.PredictRisk(patients);
+  std::vector<bool> alerts = elda.TriggerAlerts(patients);
+  for (size_t i = 0; i < patients.size(); ++i) {
+    EXPECT_EQ(alerts[i], risks[i] >= 0.3f) << i;
+  }
+}
+
+TEST(IntegrationTest, InterpretationMatchesDirectNetAttention) {
+  core::EldaConfig config;
+  config.net.embed_dim = 8;
+  config.net.compression = 2;
+  config.net.hidden_dim = 16;
+  config.trainer.max_epochs = 1;
+  core::Elda elda(config);
+  elda.Fit(Cohort(), data::Task::kMortality);
+  data::EmrSample patient = synth::MakeDlaShowcasePatient();
+  core::Elda::Interpretation interp = elda.Interpret(patient);
+  // Interpret() ran a Forward on the net; its cached attention must match
+  // the returned tensors.
+  EXPECT_TRUE(AllClose(interp.feature_attention,
+                       elda.net()->feature_attention().Reshape({48, 37, 37})));
+  EXPECT_TRUE(AllClose(interp.time_attention,
+                       elda.net()->time_attention().Reshape({47})));
+  // Risk from Interpret equals PredictRisk for the same sample.
+  const float risk = elda.PredictRisk({patient})[0];
+  EXPECT_NEAR(interp.risk, risk, 1e-5f);
+}
+
+TEST(IntegrationTest, TruncatedRecordsStillScore) {
+  // The monitoring example truncates admissions to the first k hours; the
+  // pipeline must handle mostly-empty grids gracefully.
+  core::EldaConfig config;
+  config.net.embed_dim = 8;
+  config.net.compression = 2;
+  config.net.hidden_dim = 16;
+  config.trainer.max_epochs = 1;
+  core::Elda elda(config);
+  elda.Fit(Cohort(), data::Task::kMortality);
+  data::EmrSample patient = Cohort().sample(0);
+  for (int64_t t = 6; t < patient.num_steps; ++t) {
+    for (int64_t c = 0; c < patient.num_features; ++c) {
+      patient.set_observed(t, c, false);
+      patient.value(t, c) = 0.0f;
+    }
+  }
+  const float risk = elda.PredictRisk({patient})[0];
+  EXPECT_TRUE(std::isfinite(risk));
+  EXPECT_GE(risk, 0.0f);
+  EXPECT_LE(risk, 1.0f);
+}
+
+TEST(IntegrationTest, FullyUnobservedAdmissionStillScores) {
+  core::EldaConfig config;
+  config.net.embed_dim = 8;
+  config.net.compression = 2;
+  config.net.hidden_dim = 16;
+  config.trainer.max_epochs = 1;
+  core::Elda elda(config);
+  elda.Fit(Cohort(), data::Task::kMortality);
+  data::EmrSample empty(48, 37);  // no observations at all
+  const float risk = elda.PredictRisk({empty})[0];
+  EXPECT_TRUE(std::isfinite(risk));
+}
+
+TEST(IntegrationTest, ExtremeObservedValuesStayFinite) {
+  // Failure injection: absurdly large (but positive) lab values must not
+  // produce NaNs anywhere in the pipeline or model.
+  core::EldaConfig config;
+  config.net.embed_dim = 8;
+  config.net.compression = 2;
+  config.net.hidden_dim = 16;
+  config.trainer.max_epochs = 1;
+  core::Elda elda(config);
+  elda.Fit(Cohort(), data::Task::kMortality);
+  data::EmrSample crazy = Cohort().sample(1);
+  for (int64_t t = 0; t < 10; ++t) {
+    crazy.value(t, synth::kGlucose) = 1e6f;
+    crazy.set_observed(t, synth::kGlucose, true);
+  }
+  const float risk = elda.PredictRisk({crazy})[0];
+  EXPECT_TRUE(std::isfinite(risk));
+}
+
+TEST(IntegrationTest, NegativeValueCleaningFlowsThroughPrediction) {
+  core::EldaConfig config;
+  config.net.embed_dim = 8;
+  config.net.compression = 2;
+  config.net.hidden_dim = 16;
+  config.trainer.max_epochs = 1;
+  core::Elda elda(config);
+  elda.Fit(Cohort(), data::Task::kMortality);
+  data::EmrSample noisy = Cohort().sample(2);
+  noisy.value(0, synth::kHr) = -50.0f;  // recording error
+  noisy.set_observed(0, synth::kHr, true);
+  const float risk = elda.PredictRisk({noisy})[0];
+  EXPECT_TRUE(std::isfinite(risk));
+}
+
+}  // namespace
+}  // namespace elda

@@ -1,0 +1,127 @@
+#include <cmath>
+
+#include "core/interpret.h"
+#include "gtest/gtest.h"
+#include "synth/simulator.h"
+#include "tensor/tensor_ops.h"
+
+namespace elda {
+namespace core {
+namespace {
+
+// A hand-built attention tensor [T=3, C=3, C=3] with known structure.
+Tensor HandAttention() {
+  Tensor a({3, 3, 3});
+  // Hour 0: feature 0 attends mostly to 2; others uniform.
+  a.at({0, 0, 1}) = 0.2f;
+  a.at({0, 0, 2}) = 0.8f;
+  a.at({0, 1, 0}) = 0.5f;
+  a.at({0, 1, 2}) = 0.5f;
+  a.at({0, 2, 0}) = 0.5f;
+  a.at({0, 2, 1}) = 0.5f;
+  // Hour 1: all uniform.
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      if (i != j) a.at({1, i, j}) = 0.5f;
+    }
+  }
+  // Hour 2: feature 1 fully focused on 0.
+  a.at({2, 0, 1}) = 0.5f;
+  a.at({2, 0, 2}) = 0.5f;
+  a.at({2, 1, 0}) = 1.0f;
+  a.at({2, 2, 0}) = 0.5f;
+  a.at({2, 2, 1}) = 0.5f;
+  return a;
+}
+
+TEST(TopInteractionsTest, RanksOffDiagonalPairs) {
+  Tensor a = HandAttention();
+  auto top = TopInteractions(a, /*hour=*/0, /*k=*/2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].source, 0);
+  EXPECT_EQ(top[0].target, 2);
+  EXPECT_FLOAT_EQ(top[0].weight, 0.8f);
+  EXPECT_FLOAT_EQ(top[1].weight, 0.5f);
+}
+
+TEST(TopInteractionsTest, NeverReturnsDiagonal) {
+  Tensor a = HandAttention();
+  auto top = TopInteractions(a, 2, 6);
+  for (const auto& s : top) EXPECT_NE(s.source, s.target);
+}
+
+TEST(TopInteractionsTest, KLargerThanPairsReturnsAll) {
+  Tensor a = HandAttention();
+  auto top = TopInteractions(a, 1, 100);
+  EXPECT_EQ(top.size(), 6u);  // 3*2 off-diagonal entries
+}
+
+TEST(AttentionTraceTest, ExtractsPerHourSeries) {
+  Tensor a = HandAttention();
+  auto trace = AttentionTrace(a, /*source=*/1, /*target=*/0);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_FLOAT_EQ(trace[0], 0.5f);
+  EXPECT_FLOAT_EQ(trace[1], 0.5f);
+  EXPECT_FLOAT_EQ(trace[2], 1.0f);
+}
+
+TEST(AttentionTraceTest, WindowMean) {
+  std::vector<float> trace = {0.1f, 0.2f, 0.3f, 0.4f};
+  EXPECT_NEAR(TraceWindowMean(trace, 0, 2), 0.15, 1e-6);
+  EXPECT_NEAR(TraceWindowMean(trace, 1, 4), 0.3, 1e-6);
+}
+
+TEST(AttentionEntropyTest, UniformRowHasMaxEntropy) {
+  Tensor a = HandAttention();
+  // Hour 1 rows are uniform over 2 targets -> entropy log(2).
+  EXPECT_NEAR(AttentionEntropy(a, 1, 0), std::log(2.0), 1e-5);
+  // Hour 2 row 1 is fully focused -> entropy 0.
+  EXPECT_NEAR(AttentionEntropy(a, 2, 1), 0.0, 1e-6);
+  // Hour 0 row 0 (0.2/0.8) is in between.
+  const double h = AttentionEntropy(a, 0, 0);
+  EXPECT_GT(h, 0.0);
+  EXPECT_LT(h, std::log(2.0));
+}
+
+TEST(LateAttentionMassTest, ComputesTailFraction) {
+  std::vector<double> curve = {0.1, 0.1, 0.1, 0.7};
+  EXPECT_NEAR(LateAttentionMass(curve, 1), 0.7, 1e-9);
+  EXPECT_NEAR(LateAttentionMass(curve, 2), 0.8, 1e-9);
+  EXPECT_NEAR(LateAttentionMass(curve, 4), 1.0, 1e-9);
+}
+
+TEST(GroupTimeAttentionTest, SeparatesGroupsAndNormalises) {
+  // Train-free check: an untrained EldaNet still produces valid softmax
+  // attention; the aggregation must put every patient in exactly one group
+  // and produce per-hour means that sum to ~1 across the horizon.
+  synth::CohortConfig config = synth::SynthPhysioNet2012();
+  config.num_admissions = 60;
+  data::EmrDataset cohort = synth::GenerateCohort(config);
+  train::PreparedExperiment experiment(cohort, data::Task::kMortality);
+  EldaNetConfig net_config;
+  net_config.embed_dim = 6;
+  net_config.compression = 2;
+  net_config.hidden_dim = 8;
+  EldaNet net(net_config);
+
+  std::vector<int64_t> all(60);
+  for (int64_t i = 0; i < 60; ++i) all[i] = i;
+  GroupTimeAttention group = CollectGroupTimeAttention(
+      &net, experiment.prepared(), all, data::Task::kMortality, 32);
+  EXPECT_EQ(group.positive_count + group.negative_count, 60);
+  double pos_sum = 0.0, neg_sum = 0.0;
+  for (double v : group.positive_mean) pos_sum += v;
+  for (double v : group.negative_mean) neg_sum += v;
+  if (group.positive_count > 0) {
+    EXPECT_NEAR(pos_sum, 1.0, 1e-3);
+  }
+  if (group.negative_count > 0) {
+    EXPECT_NEAR(neg_sum, 1.0, 1e-3);
+  }
+  EXPECT_GE(group.positive_volatility, 0.0);
+  EXPECT_GE(group.negative_volatility, 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace elda

@@ -1,0 +1,250 @@
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "metrics/metrics.h"
+#include "util/rng.h"
+
+namespace elda {
+namespace metrics {
+namespace {
+
+// O(P*N) reference implementation of AUC-ROC with tie handling.
+double BruteForceAucRoc(const std::vector<float>& scores,
+                        const std::vector<float>& labels) {
+  double wins = 0.0;
+  int64_t pairs = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] != 1.0f) continue;
+    for (size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j] != 0.0f) continue;
+      ++pairs;
+      if (scores[i] > scores[j]) {
+        wins += 1.0;
+      } else if (scores[i] == scores[j]) {
+        wins += 0.5;
+      }
+    }
+  }
+  return wins / pairs;
+}
+
+TEST(BceLossTest, MatchesHandComputedValues) {
+  const double loss = BceLoss({0.9f, 0.1f}, {1.0f, 0.0f});
+  EXPECT_NEAR(loss, -std::log(0.9), 1e-6);
+}
+
+TEST(BceLossTest, PenalisesConfidentMistakes) {
+  const double good = BceLoss({0.9f}, {1.0f});
+  const double bad = BceLoss({0.1f}, {1.0f});
+  EXPECT_GT(bad, good);
+}
+
+TEST(BceLossTest, ClampsExtremeProbabilities) {
+  const double loss = BceLoss({0.0f, 1.0f}, {1.0f, 0.0f});
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(AucRocTest, PerfectRankingGivesOne) {
+  EXPECT_DOUBLE_EQ(AucRoc({0.9f, 0.8f, 0.2f, 0.1f}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(AucRocTest, InvertedRankingGivesZero) {
+  EXPECT_DOUBLE_EQ(AucRoc({0.1f, 0.2f, 0.8f, 0.9f}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(AucRocTest, ConstantScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(AucRoc({0.5f, 0.5f, 0.5f, 0.5f}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AucRocTest, MatchesBruteForceOnRandomData) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> scores, labels;
+    const int n = 50;
+    for (int i = 0; i < n; ++i) {
+      // Quantised scores create plenty of ties.
+      scores.push_back(static_cast<float>(rng.UniformInt(10)) / 10.0f);
+      labels.push_back(rng.Bernoulli(0.3) ? 1.0f : 0.0f);
+    }
+    labels[0] = 1.0f;  // guarantee both classes
+    labels[1] = 0.0f;
+    EXPECT_NEAR(AucRoc(scores, labels), BruteForceAucRoc(scores, labels),
+                1e-9);
+  }
+}
+
+TEST(AucRocTest, InvariantToMonotoneTransform) {
+  Rng rng(2);
+  std::vector<float> scores, labels, transformed;
+  for (int i = 0; i < 100; ++i) {
+    scores.push_back(static_cast<float>(rng.Uniform(-3, 3)));
+    labels.push_back(rng.Bernoulli(0.4) ? 1.0f : 0.0f);
+    transformed.push_back(1.0f / (1.0f + std::exp(-scores.back())));
+  }
+  labels[0] = 1.0f;
+  labels[1] = 0.0f;
+  EXPECT_NEAR(AucRoc(scores, labels), AucRoc(transformed, labels), 1e-9);
+}
+
+TEST(AucPrTest, PerfectRankingGivesOne) {
+  EXPECT_NEAR(AucPr({0.9f, 0.8f, 0.2f, 0.1f}, {1, 1, 0, 0}), 1.0, 1e-9);
+}
+
+TEST(AucPrTest, RandomScoresApproachPrevalence) {
+  Rng rng(3);
+  std::vector<float> scores, labels;
+  const int n = 20000;
+  const double prevalence = 0.2;
+  for (int i = 0; i < n; ++i) {
+    scores.push_back(static_cast<float>(rng.Uniform()));
+    labels.push_back(rng.Bernoulli(prevalence) ? 1.0f : 0.0f);
+  }
+  labels[0] = 1.0f;
+  EXPECT_NEAR(AucPr(scores, labels), prevalence, 0.02);
+}
+
+TEST(AucPrTest, KnownSmallCase) {
+  // Descending scores: labels 1, 0, 1.
+  //   after 1 item: P=1,   R=1/2
+  //   after 2 items: P=1/2, R=1/2
+  //   after 3 items: P=2/3, R=1
+  // Trapezoid from (0,1): 0.5*0.5*(1+1) + 0 + 0.5*0.5*(1/2+2/3) = 0.7916...
+  const double area = AucPr({0.9f, 0.5f, 0.1f}, {1, 0, 1});
+  EXPECT_NEAR(area, 0.5 + 0.25 * (0.5 + 2.0 / 3.0), 1e-9);
+}
+
+TEST(AucPrTest, BetterModelScoresHigherOnImbalancedData) {
+  Rng rng(4);
+  std::vector<float> good, bad, labels;
+  for (int i = 0; i < 2000; ++i) {
+    const bool y = rng.Bernoulli(0.15);
+    labels.push_back(y ? 1.0f : 0.0f);
+    good.push_back(static_cast<float>(y ? rng.Normal(1.0, 1.0)
+                                        : rng.Normal(-1.0, 1.0)));
+    bad.push_back(static_cast<float>(rng.Normal(0.0, 1.0)));
+  }
+  labels[0] = 1.0f;
+  EXPECT_GT(AucPr(good, labels), AucPr(bad, labels) + 0.2);
+}
+
+TEST(AccuracyTest, ThresholdBehaviour) {
+  EXPECT_DOUBLE_EQ(Accuracy({0.9f, 0.1f, 0.6f, 0.4f}, {1, 0, 0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(Accuracy({0.9f, 0.1f}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0.9f, 0.1f}, {1, 0}, /*threshold=*/0.95f), 0.5);
+}
+
+TEST(AggregateTest, MeanAndStd) {
+  MeanStd ms = Aggregate({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 2.5);
+  EXPECT_NEAR(ms.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(AggregateTest, SingleValueHasZeroStd) {
+  MeanStd ms = Aggregate({7.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 7.0);
+  EXPECT_DOUBLE_EQ(ms.stddev, 0.0);
+}
+
+TEST(ConfusionTest, CountsAndDerivedScores) {
+  // scores: .9 .8 .3 .1  labels: 1 0 1 0  threshold .5
+  Confusion c = ConfusionAt({0.9f, 0.8f, 0.3f, 0.1f}, {1, 0, 1, 0});
+  EXPECT_EQ(c.true_positives, 1);
+  EXPECT_EQ(c.false_positives, 1);
+  EXPECT_EQ(c.true_negatives, 1);
+  EXPECT_EQ(c.false_negatives, 1);
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(c.F1(), 0.5);
+}
+
+TEST(ConfusionTest, DegenerateCasesAreDefined) {
+  // No predicted positives: precision defined as 1, recall 0, F1 0.
+  Confusion c = ConfusionAt({0.1f, 0.2f}, {1, 1});
+  EXPECT_DOUBLE_EQ(c.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 0.0);
+}
+
+TEST(BrierTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(BrierScore({1.0f, 0.0f}, {1, 0}), 0.0);
+  EXPECT_NEAR(BrierScore({0.5f, 0.5f}, {1, 0}), 0.25, 1e-9);
+  EXPECT_NEAR(BrierScore({0.0f}, {1.0f}), 1.0, 1e-9);
+}
+
+TEST(CalibrationTest, PerfectCalibrationHasLowEce) {
+  Rng rng(10);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 20000; ++i) {
+    const float p = static_cast<float>(rng.Uniform());
+    scores.push_back(p);
+    labels.push_back(rng.Bernoulli(p) ? 1.0f : 0.0f);
+  }
+  EXPECT_LT(ExpectedCalibrationError(scores, labels), 0.03);
+}
+
+TEST(CalibrationTest, OverconfidentModelHasHighEce) {
+  // Always predicts 0.95 while the true rate is 0.5.
+  Rng rng(11);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 5000; ++i) {
+    scores.push_back(0.95f);
+    labels.push_back(rng.Bernoulli(0.5) ? 1.0f : 0.0f);
+  }
+  EXPECT_GT(ExpectedCalibrationError(scores, labels), 0.35);
+}
+
+TEST(BootstrapTest, IntervalCoversPointEstimate) {
+  Rng rng(12);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 400; ++i) {
+    const bool y = rng.Bernoulli(0.3);
+    labels.push_back(y ? 1.0f : 0.0f);
+    scores.push_back(
+        static_cast<float>(y ? rng.Normal(0.8, 0.5) : rng.Normal(0.0, 0.5)));
+  }
+  labels[0] = 1.0f;
+  labels[1] = 0.0f;
+  Interval ci = BootstrapInterval(&AucRoc, scores, labels, 200, 0.95, 7);
+  EXPECT_LE(ci.lower, ci.point);
+  EXPECT_GE(ci.upper, ci.point);
+  EXPECT_GT(ci.upper - ci.lower, 0.0);
+  EXPECT_LT(ci.upper - ci.lower, 0.3);  // reasonably tight at n=400
+}
+
+TEST(BootstrapTest, DeterministicForFixedSeed) {
+  std::vector<float> scores = {0.9f, 0.7f, 0.4f, 0.2f, 0.8f, 0.1f};
+  std::vector<float> labels = {1, 1, 0, 0, 1, 0};
+  Interval a = BootstrapInterval(&AucPr, scores, labels, 100, 0.9, 3);
+  Interval b = BootstrapInterval(&AucPr, scores, labels, 100, 0.9, 3);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(BootstrapTest, WiderConfidenceGivesWiderInterval) {
+  Rng rng(13);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 200; ++i) {
+    const bool y = rng.Bernoulli(0.4);
+    labels.push_back(y ? 1.0f : 0.0f);
+    scores.push_back(static_cast<float>(rng.Normal(y ? 0.6 : 0.4, 0.3)));
+  }
+  labels[0] = 1.0f;
+  labels[1] = 0.0f;
+  Interval narrow = BootstrapInterval(&AucRoc, scores, labels, 300, 0.8, 5);
+  Interval wide = BootstrapInterval(&AucRoc, scores, labels, 300, 0.99, 5);
+  EXPECT_GE(wide.upper - wide.lower, narrow.upper - narrow.lower);
+}
+
+TEST(MetricsDeathTest, AucRequiresBothClasses) {
+  EXPECT_DEATH(AucRoc({0.5f, 0.6f}, {1, 1}), "CHECK failed");
+  EXPECT_DEATH(AucPr({0.5f, 0.6f}, {0, 0}), "CHECK failed");
+}
+
+TEST(MetricsDeathTest, RejectsNonBinaryLabels) {
+  EXPECT_DEATH(AucRoc({0.5f, 0.6f}, {0.5f, 1.0f}), "binary");
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace elda

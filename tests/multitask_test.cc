@@ -1,0 +1,126 @@
+#include <cmath>
+
+#include "core/multitask.h"
+#include "gtest/gtest.h"
+#include "synth/simulator.h"
+#include "tensor/tensor_ops.h"
+#include "train/experiment.h"
+
+namespace elda {
+namespace core {
+namespace {
+
+EldaNetConfig SmallConfig() {
+  EldaNetConfig config;
+  config.num_features = 6;
+  config.embed_dim = 5;
+  config.compression = 2;
+  config.hidden_dim = 7;
+  return config;
+}
+
+data::Batch TinyBatch(int64_t batch, int64_t steps, int64_t features,
+                      uint64_t seed) {
+  Rng rng(seed);
+  data::Batch b;
+  b.x = Tensor::Normal({batch, steps, features}, 0.0f, 1.0f, &rng);
+  b.mask = Tensor::Ones({batch, steps, features});
+  b.delta = Tensor::Zeros({batch, steps, features});
+  b.y = Tensor({batch});
+  for (int64_t i = 0; i < batch; ++i) {
+    b.y[i] = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  return b;
+}
+
+TEST(MultiTaskTest, ForwardProducesTwoHeads) {
+  MultiTaskEldaNet net(SmallConfig());
+  data::Batch batch = TinyBatch(3, 5, 6, 1);
+  MultiTaskEldaNet::Logits logits = net.Forward(batch);
+  EXPECT_EQ(logits.mortality.value().shape(), (std::vector<int64_t>{3}));
+  EXPECT_EQ(logits.los_gt7.value().shape(), (std::vector<int64_t>{3}));
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(logits.mortality.value()[i]));
+    EXPECT_TRUE(std::isfinite(logits.los_gt7.value()[i]));
+  }
+  // Shared trunk exposes both attention surfaces.
+  EXPECT_EQ(net.feature_attention().shape(),
+            (std::vector<int64_t>{3, 5, 6, 6}));
+  EXPECT_EQ(net.time_attention().shape(), (std::vector<int64_t>{3, 4}));
+}
+
+TEST(MultiTaskTest, HeadsAreIndependentAtInit) {
+  MultiTaskEldaNet net(SmallConfig());
+  data::Batch batch = TinyBatch(4, 5, 6, 2);
+  MultiTaskEldaNet::Logits logits = net.Forward(batch);
+  // Two differently initialised heads on the same trunk output.
+  EXPECT_GT(
+      MaxAbsDiff(logits.mortality.value(), logits.los_gt7.value()), 1e-4f);
+}
+
+TEST(MultiTaskTest, JointLossBackpropagatesToTrunkAndBothHeads) {
+  MultiTaskEldaNet net(SmallConfig());
+  data::Batch batch = TinyBatch(4, 5, 6, 3);
+  Rng rng(4);
+  Tensor los({4});
+  for (int64_t i = 0; i < 4; ++i) los[i] = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+  net.ZeroGrad();
+  MultiTaskEldaNet::Logits logits = net.Forward(batch);
+  net.JointLoss(logits, batch.y, los).Backward();
+  int64_t with_grad = 0;
+  for (const auto& p : net.Parameters()) with_grad += p.has_grad();
+  EXPECT_EQ(with_grad, static_cast<int64_t>(net.Parameters().size()));
+}
+
+TEST(MultiTaskTest, JointLossIsMeanOfTaskLosses) {
+  MultiTaskEldaNet net(SmallConfig());
+  data::Batch batch = TinyBatch(4, 5, 6, 5);
+  Tensor los = batch.y;  // identical labels -> joint == each task's BCE mean
+  MultiTaskEldaNet::Logits logits = net.Forward(batch);
+  const float joint = net.JointLoss(logits, batch.y, los).value()[0];
+  const float lm = ag::BceWithLogits(logits.mortality, batch.y).value()[0];
+  const float ll = ag::BceWithLogits(logits.los_gt7, los).value()[0];
+  EXPECT_NEAR(joint, 0.5f * (lm + ll), 1e-5f);
+}
+
+TEST(MultiTaskTest, SharedTrunkIsSmallerThanTwoNets) {
+  EldaNetConfig config = SmallConfig();
+  MultiTaskEldaNet joint(config);
+  EldaNet single(config);
+  // Two independent nets would double everything; the joint model adds only
+  // one extra head over a single net.
+  EXPECT_LT(joint.NumParameters(), 2 * single.NumParameters());
+  EXPECT_GT(joint.NumParameters(), single.NumParameters());
+}
+
+TEST(MultiTaskTest, TrainsOnBothEndpointsEndToEnd) {
+  synth::CohortConfig cohort_config = synth::SynthPhysioNet2012();
+  cohort_config.num_admissions = 200;
+  data::EmrDataset cohort = synth::GenerateCohort(cohort_config);
+  train::PreparedExperiment experiment(cohort, data::Task::kMortality);
+  EldaNetConfig config;  // full-size features, small dims for speed
+  config.embed_dim = 8;
+  config.compression = 2;
+  config.hidden_dim = 12;
+  MultiTaskEldaNet net(config);
+  MultiTaskResult result =
+      TrainMultiTask(&net, experiment.prepared(), experiment.split(),
+                     /*max_epochs=*/3, /*batch_size=*/32,
+                     /*learning_rate=*/1e-3f, /*seed=*/1);
+  EXPECT_EQ(result.num_parameters, net.NumParameters());
+  // Both endpoints evaluated on the test split with sane metric ranges.
+  for (double v : {result.mortality_auc_pr, result.mortality_auc_roc,
+                   result.los_auc_pr, result.los_auc_roc}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(MultiTaskDeathTest, RequiresFullTrunk) {
+  EldaNetConfig config = EldaNetConfig::VariantT();
+  EXPECT_DEATH(MultiTaskEldaNet net(config), "full ELDA-Net");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace elda

@@ -1,0 +1,285 @@
+#include <cmath>
+#include <string>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "gtest/gtest.h"
+#include "nn/gru.h"
+#include "nn/init.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/module.h"
+#include "tensor/tensor_ops.h"
+
+namespace elda {
+namespace nn {
+namespace {
+
+void ExpectModuleGradCheck(const std::function<ag::Variable()>& f,
+                           const Module& module) {
+  std::string error;
+  ag::GradCheckOptions options;
+  options.max_elements_per_param = 24;
+  EXPECT_TRUE(ag::CheckGradients(f, module.Parameters(), options, &error))
+      << error;
+}
+
+TEST(ModuleTest, ParameterRegistrationAndCounting) {
+  Rng rng(1);
+  Linear layer(5, 3, /*use_bias=*/true, &rng);
+  EXPECT_EQ(layer.NumParameters(), 5 * 3 + 3);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+}
+
+TEST(ModuleTest, NamedParametersIncludeSubmodulePrefixes) {
+  Rng rng(2);
+  Gru gru(4, 6, &rng);
+  auto named = gru.NamedParameters();
+  ASSERT_EQ(named.size(), 3u);
+  EXPECT_EQ(named[0].first, "cell.w_ih");
+  EXPECT_EQ(named[1].first, "cell.w_hh");
+  EXPECT_EQ(named[2].first, "cell.bias");
+}
+
+TEST(ModuleTest, TrainingModePropagates) {
+  Rng rng(3);
+  Gru gru(4, 6, &rng);
+  EXPECT_TRUE(gru.training());
+  gru.SetTraining(false);
+  EXPECT_FALSE(gru.training());
+  EXPECT_FALSE(gru.cell().training());
+}
+
+TEST(ModuleTest, ZeroGradClearsAllParameters) {
+  Rng rng(4);
+  Linear layer(3, 2, true, &rng);
+  ag::Variable x = ag::Constant(Tensor::Ones({4, 3}));
+  ag::SumAll(layer.Forward(x)).Backward();
+  for (const auto& p : layer.Parameters()) EXPECT_TRUE(p.has_grad());
+  layer.ZeroGrad();
+  for (const auto& p : layer.Parameters()) EXPECT_FALSE(p.has_grad());
+}
+
+TEST(InitTest, XavierUniformWithinLimit) {
+  Rng rng(5);
+  Tensor w = XavierUniform2d(100, 50, &rng);
+  const float limit = std::sqrt(6.0f / 150.0f);
+  for (int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::fabs(w[i]), limit);
+  }
+}
+
+TEST(InitTest, HeNormalVarianceScalesWithFanIn) {
+  Rng rng(6);
+  Tensor w = HeNormal(200, {200, 100}, &rng);
+  double sum_sq = 0.0;
+  for (int64_t i = 0; i < w.size(); ++i) sum_sq += w[i] * w[i];
+  EXPECT_NEAR(sum_sq / w.size(), 2.0 / 200.0, 2e-3);
+}
+
+TEST(LinearTest, ForwardComputesAffineMap) {
+  Rng rng(7);
+  Linear layer(2, 2, true, &rng);
+  // Overwrite the parameters with known values.
+  auto params = layer.Parameters();
+  *params[0].mutable_value() = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  *params[1].mutable_value() = Tensor::FromData({2}, {10, 20});
+  ag::Variable x = ag::Constant(Tensor::FromData({1, 2}, {1, 1}));
+  Tensor y = layer.Forward(x).value();
+  EXPECT_FLOAT_EQ((y.at({0, 0})), 1 + 3 + 10);
+  EXPECT_FLOAT_EQ((y.at({0, 1})), 2 + 4 + 20);
+}
+
+TEST(LinearTest, SupportsTimeMajorInput) {
+  Rng rng(8);
+  Linear layer(5, 3, true, &rng);
+  ag::Variable x = ag::Constant(Tensor::Ones({2, 7, 5}));
+  Tensor y = layer.Forward(x).value();
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 7, 3}));
+}
+
+TEST(LinearTest, NoBiasVariantHasFewerParams) {
+  Rng rng(9);
+  Linear layer(5, 3, /*use_bias=*/false, &rng);
+  EXPECT_EQ(layer.NumParameters(), 15);
+}
+
+TEST(LinearTest, GradCheck) {
+  Rng rng(10);
+  Linear layer(4, 3, true, &rng);
+  Rng data_rng(11);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({5, 4}, 0.0f, 1.0f, &data_rng));
+  ExpectModuleGradCheck(
+      [&] { return ag::SumAll(ag::Square(layer.Forward(x))); }, layer);
+}
+
+TEST(GruTest, OutputShapeAndDeterminism) {
+  Rng rng(12);
+  Gru gru(3, 5, &rng);
+  Rng data_rng(13);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({2, 7, 3}, 0.0f, 1.0f, &data_rng));
+  Tensor h1 = gru.Forward(x).value();
+  Tensor h2 = gru.Forward(x).value();
+  EXPECT_EQ(h1.shape(), (std::vector<int64_t>{2, 7, 5}));
+  EXPECT_TRUE(AllClose(h1, h2));
+}
+
+TEST(GruTest, HiddenStaysBounded) {
+  // GRU hidden state is a convex combination of tanh outputs and previous
+  // state, so |h| <= 1 everywhere.
+  Rng rng(14);
+  Gru gru(3, 4, &rng);
+  Rng data_rng(15);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({2, 20, 3}, 0.0f, 5.0f, &data_rng));
+  Tensor h = gru.Forward(x).value();
+  for (int64_t i = 0; i < h.size(); ++i) {
+    EXPECT_LE(std::fabs(h[i]), 1.0f + 1e-5f);
+  }
+}
+
+TEST(GruTest, ZeroInputKeepsZeroBiasStateSmall) {
+  Rng rng(16);
+  Gru gru(3, 4, &rng);
+  ag::Variable x = ag::Constant(Tensor::Zeros({1, 5, 3}));
+  Tensor h = gru.Forward(x).value();
+  // With zero input and zero initial state, n_t = tanh(0) = 0 so h stays 0.
+  for (int64_t i = 0; i < h.size(); ++i) EXPECT_NEAR(h[i], 0.0f, 1e-6f);
+}
+
+TEST(GruTest, ForwardStepsMatchesForward) {
+  Rng rng(17);
+  Gru gru(3, 4, &rng);
+  Rng data_rng(18);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({2, 6, 3}, 0.0f, 1.0f, &data_rng));
+  Tensor all = gru.Forward(x).value();
+  auto steps = gru.ForwardSteps(x);
+  ASSERT_EQ(steps.size(), 6u);
+  for (int64_t t = 0; t < 6; ++t) {
+    Tensor slice = Slice(all, 1, t, 1).Reshape({2, 4});
+    EXPECT_TRUE(AllClose(slice, steps[t].value()));
+  }
+}
+
+TEST(GruTest, ParameterCountMatchesFormula) {
+  Rng rng(19);
+  Gru gru(37, 64, &rng);
+  EXPECT_EQ(gru.NumParameters(), 3 * (37 * 64 + 64 * 64 + 64));
+}
+
+TEST(GruTest, GradCheckThroughTime) {
+  Rng rng(20);
+  Gru gru(2, 3, &rng);
+  Rng data_rng(21);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({2, 4, 2}, 0.0f, 1.0f, &data_rng));
+  ExpectModuleGradCheck(
+      [&] { return ag::SumAll(ag::Square(gru.Forward(x))); }, gru);
+}
+
+TEST(LstmTest, OutputShape) {
+  Rng rng(22);
+  Lstm lstm(3, 5, &rng);
+  Rng data_rng(23);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({2, 7, 3}, 0.0f, 1.0f, &data_rng));
+  EXPECT_EQ(lstm.Forward(x).value().shape(), (std::vector<int64_t>{2, 7, 5}));
+}
+
+TEST(LstmTest, ForgetBiasInitialisedToOne) {
+  Rng rng(24);
+  Lstm lstm(3, 4, &rng);
+  auto named = lstm.NamedParameters();
+  // bias layout: [i | f | g | o], each of width 4.
+  const Tensor& bias = named[2].second.value();
+  ASSERT_EQ(named[2].first, "cell.bias");
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(bias[i], 0.0f);
+  for (int64_t i = 4; i < 8; ++i) EXPECT_EQ(bias[i], 1.0f);
+}
+
+TEST(LstmTest, HiddenBounded) {
+  Rng rng(25);
+  Lstm lstm(3, 4, &rng);
+  Rng data_rng(26);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({1, 15, 3}, 0.0f, 3.0f, &data_rng));
+  Tensor h = lstm.Forward(x).value();
+  for (int64_t i = 0; i < h.size(); ++i) {
+    EXPECT_LE(std::fabs(h[i]), 1.0f + 1e-5f);
+  }
+}
+
+TEST(LstmTest, GradCheckThroughTime) {
+  Rng rng(27);
+  Lstm lstm(2, 3, &rng);
+  Rng data_rng(28);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({2, 4, 2}, 0.0f, 1.0f, &data_rng));
+  ExpectModuleGradCheck(
+      [&] { return ag::SumAll(ag::Square(lstm.Forward(x))); }, lstm);
+}
+
+TEST(LstmTest, ParameterCountMatchesFormula) {
+  Rng rng(29);
+  Lstm lstm(10, 8, &rng);
+  EXPECT_EQ(lstm.NumParameters(), 4 * (10 * 8 + 8 * 8 + 8));
+}
+
+TEST(LayerNormTest, NormalisesLastAxisAtInit) {
+  LayerNorm norm(6);
+  Rng rng(30);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({4, 5, 6}, 3.0f, 2.0f, &rng));
+  Tensor y = norm.Forward(x).value();
+  for (int64_t b = 0; b < 4; ++b) {
+    for (int64_t t = 0; t < 5; ++t) {
+      double mean = 0.0, var = 0.0;
+      for (int64_t k = 0; k < 6; ++k) mean += y.at({b, t, k});
+      mean /= 6.0;
+      for (int64_t k = 0; k < 6; ++k) {
+        var += (y.at({b, t, k}) - mean) * (y.at({b, t, k}) - mean);
+      }
+      var /= 6.0;
+      EXPECT_NEAR(mean, 0.0, 1e-4);
+      EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+  }
+}
+
+TEST(LayerNormTest, InvariantToInputShiftAndScale) {
+  LayerNorm norm(5);
+  Rng rng(31);
+  Tensor base = Tensor::Normal({3, 5}, 0.0f, 1.0f, &rng);
+  Tensor shifted = AddScalar(MulScalar(base, 4.0f), 7.0f);
+  Tensor y1 = norm.Forward(ag::Constant(base)).value();
+  Tensor y2 = norm.Forward(ag::Constant(shifted)).value();
+  EXPECT_TRUE(AllClose(y1, y2, 1e-4f, 1e-3f));
+}
+
+TEST(LayerNormTest, GainAndBiasAreLearnable) {
+  LayerNorm norm(4);
+  EXPECT_EQ(norm.NumParameters(), 8);
+  Rng rng(32);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({3, 4}, 0.0f, 1.0f, &rng));
+  ExpectModuleGradCheck(
+      [&] { return ag::SumAll(ag::Square(norm.Forward(x))); }, norm);
+}
+
+TEST(LayerNormTest, HandlesConstantRowsWithoutNan) {
+  LayerNorm norm(4);
+  ag::Variable x = ag::Constant(Tensor::Full({2, 4}, 3.0f));
+  Tensor y = norm.Forward(x).value();
+  for (int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(y[i]));
+    EXPECT_NEAR(y[i], 0.0f, 1e-3f);  // zero-centred, epsilon-regularised
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace elda

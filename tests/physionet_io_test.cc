@@ -1,0 +1,155 @@
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "data/physionet_io.h"
+#include "gtest/gtest.h"
+#include "synth/simulator.h"
+
+namespace elda {
+namespace data {
+namespace {
+
+const std::vector<std::string> kFeatures = {"HR", "Glucose", "Lactate"};
+
+TEST(PhysioNetRecordTest, ParsesTimeStampedRows) {
+  std::istringstream in(
+      "Time,Parameter,Value\n"
+      "00:00,RecordID,132539\n"
+      "00:00,Age,54\n"
+      "00:07,HR,73\n"
+      "01:22,Glucose,185\n"
+      "01:40,Glucose,190\n"
+      "05:30,Lactate,2.4\n");
+  EmrSample sample;
+  std::string error;
+  ASSERT_TRUE(ParsePhysioNetRecord(in, kFeatures, 48, &sample, &error))
+      << error;
+  EXPECT_TRUE(sample.is_observed(0, 0));
+  EXPECT_FLOAT_EQ(sample.value(0, 0), 73.0f);
+  // Two glucose values in hour 1: the last wins.
+  EXPECT_FLOAT_EQ(sample.value(1, 1), 190.0f);
+  EXPECT_FLOAT_EQ(sample.value(5, 2), 2.4f);
+  // Unlisted parameters (RecordID, Age) are ignored.
+  EXPECT_EQ(sample.NumRecords(), 3);
+}
+
+TEST(PhysioNetRecordTest, SkipsNotMeasuredSentinelAndLateRows) {
+  std::istringstream in(
+      "Time,Parameter,Value\n"
+      "02:00,HR,-1\n"      // PhysioNet "not measured"
+      "50:10,HR,80\n"      // beyond the 48 h window
+      "03:00,HR,91\n");
+  EmrSample sample;
+  ASSERT_TRUE(ParsePhysioNetRecord(in, kFeatures, 48, &sample));
+  EXPECT_EQ(sample.NumRecords(), 1);
+  EXPECT_FLOAT_EQ(sample.value(3, 0), 91.0f);
+}
+
+TEST(PhysioNetRecordTest, RejectsMalformedInput) {
+  std::string error;
+  EmrSample sample;
+  {
+    std::istringstream in("no header here\n");
+    EXPECT_FALSE(ParsePhysioNetRecord(in, kFeatures, 48, &sample, &error));
+    EXPECT_NE(error.find("header"), std::string::npos);
+  }
+  {
+    std::istringstream in("Time,Parameter,Value\nbadline\n");
+    EXPECT_FALSE(ParsePhysioNetRecord(in, kFeatures, 48, &sample, &error));
+  }
+  {
+    std::istringstream in("Time,Parameter,Value\nxx:00,HR,70\n");
+    EXPECT_FALSE(ParsePhysioNetRecord(in, kFeatures, 48, &sample, &error));
+    EXPECT_NE(error.find("bad time"), std::string::npos);
+  }
+  {
+    std::istringstream in("Time,Parameter,Value\n01:00,HR,abc\n");
+    EXPECT_FALSE(ParsePhysioNetRecord(in, kFeatures, 48, &sample, &error));
+    EXPECT_NE(error.find("bad value"), std::string::npos);
+  }
+}
+
+TEST(PhysioNetOutcomesTest, ParsesOutcomeTable) {
+  std::istringstream in(
+      "RecordID,SAPS-I,SOFA,Length_of_stay,Survival,In-hospital_death\n"
+      "132539,6,1,5,-1,0\n"
+      "132540,16,8,19,-1,1\n");
+  std::vector<PhysioNetOutcome> outcomes;
+  std::string error;
+  ASSERT_TRUE(ParsePhysioNetOutcomes(in, &outcomes, &error)) << error;
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].record_id, 132539);
+  EXPECT_FLOAT_EQ(outcomes[0].length_of_stay_days, 5.0f);
+  EXPECT_FLOAT_EQ(outcomes[0].in_hospital_death, 0.0f);
+  EXPECT_FLOAT_EQ(outcomes[1].in_hospital_death, 1.0f);
+}
+
+TEST(PhysioNetOutcomesTest, RejectsMissingHeader) {
+  std::istringstream in("132539,6,1,5,-1,0\n");
+  std::vector<PhysioNetOutcome> outcomes;
+  std::string error;
+  EXPECT_FALSE(ParsePhysioNetOutcomes(in, &outcomes, &error));
+}
+
+TEST(CohortCsvTest, RoundTripPreservesEverything) {
+  synth::CohortConfig config = synth::SynthPhysioNet2012();
+  config.num_admissions = 25;
+  EmrDataset original = synth::GenerateCohort(config);
+  const std::string path = testing::TempDir() + "/cohort.csv";
+  std::string error;
+  ASSERT_TRUE(ExportCohortCsv(original, path, &error)) << error;
+
+  EmrDataset loaded;
+  ASSERT_TRUE(ImportCohortCsv(path, original.feature_names(), 48, &loaded,
+                              &error))
+      << error;
+  ASSERT_EQ(loaded.size(), original.size());
+  for (int64_t i = 0; i < original.size(); ++i) {
+    const EmrSample& a = original.sample(i);
+    const EmrSample& b = loaded.sample(i);
+    EXPECT_EQ(a.mortality_label, b.mortality_label) << i;
+    EXPECT_EQ(a.los_gt7_label, b.los_gt7_label) << i;
+    EXPECT_EQ(a.condition, b.condition) << i;
+    EXPECT_EQ(a.observed, b.observed) << i;
+    for (int64_t t = 0; t < a.num_steps; ++t) {
+      for (int64_t c = 0; c < a.num_features; ++c) {
+        if (!a.is_observed(t, c)) continue;
+        EXPECT_NEAR(a.value(t, c), b.value(t, c),
+                    1e-4f + 1e-5f * std::fabs(a.value(t, c)));
+      }
+    }
+  }
+}
+
+TEST(CohortCsvTest, ImportRejectsUnknownFeature) {
+  const std::string path = testing::TempDir() + "/bad_cohort.csv";
+  std::ofstream(path) << "#labels,0,0,0,-1\n"
+                         "patient,hour,feature,value\n"
+                         "0,0,NotAFeature,1.0\n";
+  EmrDataset loaded;
+  std::string error;
+  EXPECT_FALSE(ImportCohortCsv(path, kFeatures, 48, &loaded, &error));
+  EXPECT_NE(error.find("unknown feature"), std::string::npos);
+}
+
+TEST(CohortCsvTest, ImportRejectsOutOfRangeHour) {
+  const std::string path = testing::TempDir() + "/bad_hour.csv";
+  std::ofstream(path) << "patient,hour,feature,value\n"
+                         "0,99,HR,1.0\n";
+  EmrDataset loaded;
+  std::string error;
+  EXPECT_FALSE(ImportCohortCsv(path, kFeatures, 48, &loaded, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(CohortCsvTest, MissingFileFails) {
+  EmrDataset loaded;
+  std::string error;
+  EXPECT_FALSE(ImportCohortCsv("/nonexistent/x.csv", kFeatures, 48, &loaded,
+                               &error));
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace elda

@@ -1,0 +1,131 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/serialize.h"
+#include "tensor/tensor_ops.h"
+
+namespace elda {
+namespace nn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// A module with nesting, for name-path coverage.
+class SmallNet : public Module {
+ public:
+  explicit SmallNet(uint64_t seed)
+      : rng_(seed), gru_(3, 4, &rng_), head_(4, 1, true, &rng_) {
+    RegisterSubmodule("gru", &gru_);
+    RegisterSubmodule("head", &head_);
+  }
+  Rng rng_;
+  Gru gru_;
+  Linear head_;
+};
+
+TEST(SerializeTest, RoundTripRestoresExactValues) {
+  SmallNet source(1);
+  const std::string path = TempPath("roundtrip.eldaw");
+  std::string error;
+  ASSERT_TRUE(SaveParameters(source, path, &error)) << error;
+
+  SmallNet target(2);  // different init
+  // Confirm they differ before loading.
+  bool differs = false;
+  auto a = source.NamedParameters();
+  auto b = target.NamedParameters();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!AllClose(a[i].second.value(), b[i].second.value())) differs = true;
+  }
+  ASSERT_TRUE(differs);
+
+  ASSERT_TRUE(LoadParameters(&target, path, &error)) << error;
+  b = target.NamedParameters();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_TRUE(AllClose(a[i].second.value(), b[i].second.value()))
+        << a[i].first;
+  }
+}
+
+TEST(SerializeTest, LoadedModelProducesIdenticalOutputs) {
+  SmallNet source(3);
+  SmallNet target(4);
+  const std::string path = TempPath("outputs.eldaw");
+  ASSERT_TRUE(SaveParameters(source, path));
+  ASSERT_TRUE(LoadParameters(&target, path));
+  Rng rng(5);
+  ag::Variable x = ag::Constant(Tensor::Normal({2, 6, 3}, 0, 1, &rng));
+  Tensor ys = source.gru_.Forward(x).value();
+  Tensor yt = target.gru_.Forward(x).value();
+  EXPECT_TRUE(AllClose(ys, yt));
+}
+
+TEST(SerializeTest, RejectsArchitectureMismatch) {
+  SmallNet source(6);
+  const std::string path = TempPath("mismatch.eldaw");
+  ASSERT_TRUE(SaveParameters(source, path));
+  Rng rng(7);
+  Linear different(3, 4, true, &rng);  // fewer parameters, other names
+  std::string error;
+  EXPECT_FALSE(LoadParameters(&different, path, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  Rng rng1(8);
+  Linear small(3, 4, true, &rng1);
+  const std::string path = TempPath("shape.eldaw");
+  ASSERT_TRUE(SaveParameters(small, path));
+  Rng rng2(9);
+  Linear big(3, 5, true, &rng2);  // same names ("weight", "bias"), new shape
+  std::string error;
+  EXPECT_FALSE(LoadParameters(&big, path, &error));
+  EXPECT_NE(error.find("shape"), std::string::npos);
+}
+
+TEST(SerializeTest, RejectsGarbageFile) {
+  const std::string path = TempPath("garbage.eldaw");
+  std::ofstream(path) << "this is not a checkpoint";
+  Rng rng(10);
+  Linear layer(2, 2, true, &rng);
+  std::string error;
+  EXPECT_FALSE(LoadParameters(&layer, path, &error));
+  EXPECT_NE(error.find("not an ELDA checkpoint"), std::string::npos);
+}
+
+TEST(SerializeTest, RejectsTruncatedFile) {
+  SmallNet source(11);
+  const std::string path = TempPath("truncated.eldaw");
+  ASSERT_TRUE(SaveParameters(source, path));
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size() / 2));
+  out.close();
+  SmallNet target(12);
+  std::string error;
+  EXPECT_FALSE(LoadParameters(&target, path, &error));
+}
+
+TEST(SerializeTest, MissingFileFailsGracefully) {
+  Rng rng(13);
+  Linear layer(2, 2, true, &rng);
+  std::string error;
+  EXPECT_FALSE(LoadParameters(&layer, "/nonexistent/path.eldaw", &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace elda

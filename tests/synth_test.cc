@@ -1,0 +1,352 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "data/pipeline.h"
+#include "gtest/gtest.h"
+#include "synth/features.h"
+#include "synth/simulator.h"
+
+namespace elda {
+namespace synth {
+namespace {
+
+// A small cohort reused across tests (generation is the expensive part).
+const data::EmrDataset& SmallCohort() {
+  static const data::EmrDataset* kCohort = [] {
+    CohortConfig config = SynthPhysioNet2012();
+    config.num_admissions = 600;
+    return new data::EmrDataset(GenerateCohort(config));
+  }();
+  return *kCohort;
+}
+
+TEST(FeatureTableTest, HasThirtySevenFeatures) {
+  EXPECT_EQ(FeatureTable().size(), 37u);
+  EXPECT_EQ(FeatureNames().size(), 37u);
+}
+
+TEST(FeatureTableTest, IndexLookupsMatchEnum) {
+  EXPECT_EQ(FeatureIndexByName("Glucose"), kGlucose);
+  EXPECT_EQ(FeatureIndexByName("Lactate"), kLactate);
+  EXPECT_EQ(FeatureIndexByName("pH"), kPh);
+  EXPECT_EQ(FeatureIndexByName("Weight"), kWeight);
+  EXPECT_EQ(FeatureNames()[kMap], "MAP");
+}
+
+TEST(FeatureTableTest, SpecsArePhysiologicallySane) {
+  for (const FeatureSpec& spec : FeatureTable()) {
+    EXPECT_GT(spec.baseline_std, 0.0f) << spec.name;
+    EXPECT_GT(spec.base_obs_rate, 0.0f) << spec.name;
+    EXPECT_LE(spec.base_obs_rate, 1.0f) << spec.name;
+    EXPECT_LE(spec.floor, spec.baseline_mean) << spec.name;
+  }
+}
+
+TEST(TrajectoryTest, SeverityStaysInRange) {
+  Rng rng(1);
+  for (int64_t c = 0; c < static_cast<int64_t>(Condition::kNumConditions);
+       ++c) {
+    auto trajectory = internal::SimulateTrajectory(
+        static_cast<Condition>(c), 48, &rng);
+    ASSERT_EQ(trajectory.severity.size(), 48u);
+    for (float s : trajectory.severity) {
+      EXPECT_GE(s, 0.0f);
+      EXPECT_LE(s, 4.0f);
+    }
+    for (float e : trajectory.episode) {
+      EXPECT_GE(e, 0.0f);
+      EXPECT_LE(e, 1.0f);
+    }
+  }
+}
+
+TEST(TrajectoryTest, StableConditionHasNoEpisode) {
+  Rng rng(2);
+  auto trajectory =
+      internal::SimulateTrajectory(Condition::kStable, 48, &rng);
+  for (float e : trajectory.episode) EXPECT_EQ(e, 0.0f);
+}
+
+TEST(ConditionShiftTest, DlaCouplesTheExpectedFeatureSet) {
+  // At full episode intensity a DLA patient shows the Section I pattern:
+  // Lactate up, pH down, HCO3 down, Temp down, MAP down, Glucose up.
+  EXPECT_GT(internal::ConditionShift(Condition::kDmDla, kLactate, 1, 1), 1.5f);
+  EXPECT_LT(internal::ConditionShift(Condition::kDmDla, kPh, 1, 1), -1.0f);
+  EXPECT_LT(internal::ConditionShift(Condition::kDmDla, kHco3, 1, 1), -1.0f);
+  EXPECT_LT(internal::ConditionShift(Condition::kDmDla, kTemp, 1, 1), -0.5f);
+  EXPECT_LT(internal::ConditionShift(Condition::kDmDla, kMap, 1, 1), -0.5f);
+  EXPECT_GT(internal::ConditionShift(Condition::kDmDla, kGlucose, 1, 1), 2.0f);
+  // Irrelevant features stay untouched (HCT, WBC per Fig. 9 discussion).
+  EXPECT_EQ(internal::ConditionShift(Condition::kDmDla, kHct, 1, 1), 0.0f);
+  EXPECT_EQ(internal::ConditionShift(Condition::kDmDla, kWbc, 1, 1), 0.0f);
+}
+
+TEST(ConditionShiftTest, DkaRaisesGlucoseWithoutLactate) {
+  EXPECT_GT(internal::ConditionShift(Condition::kDmDka, kGlucose, 1, 1), 2.0f);
+  EXPECT_EQ(internal::ConditionShift(Condition::kDmDka, kLactate, 1, 1), 0.0f);
+  EXPECT_LT(internal::ConditionShift(Condition::kDmDka, kPh, 1, 1), -1.0f);
+}
+
+TEST(ConditionShiftTest, PlainDmOnlyElevatesGlucose) {
+  for (int64_t c = 0; c < kNumFeatures; ++c) {
+    const float shift = internal::ConditionShift(Condition::kDm, c, 1, 0);
+    if (c == kGlucose) {
+      EXPECT_GT(shift, 1.0f);
+    } else {
+      EXPECT_EQ(shift, 0.0f);
+    }
+  }
+}
+
+TEST(CohortTest, DimensionsMatchConfig) {
+  const data::EmrDataset& cohort = SmallCohort();
+  EXPECT_EQ(cohort.size(), 600);
+  EXPECT_EQ(cohort.num_steps(), 48);
+  EXPECT_EQ(cohort.num_features(), 37);
+}
+
+TEST(CohortTest, MissingRateNearTableOne) {
+  // Paper: 79.78% missing for PhysioNet2012. Allow a small band.
+  const double missing = SmallCohort().MissingRate();
+  EXPECT_GT(missing, 0.74);
+  EXPECT_LT(missing, 0.85);
+}
+
+TEST(CohortTest, RecordsPerPatientNearTableOne) {
+  // Paper: 359.19 records per patient (48 x 37 grid).
+  const double records = SmallCohort().AvgRecordsPerPatient();
+  EXPECT_GT(records, 280.0);
+  EXPECT_LT(records, 450.0);
+}
+
+TEST(CohortTest, MortalityRateNearTarget) {
+  const double rate =
+      static_cast<double>(SmallCohort().CountMortality()) / 600.0;
+  EXPECT_GT(rate, 0.09);
+  EXPECT_LT(rate, 0.20);
+}
+
+TEST(CohortTest, LosRateNearTarget) {
+  const double rate =
+      static_cast<double>(SmallCohort().CountLosGt7()) / 600.0;
+  EXPECT_GT(rate, 0.55);
+  EXPECT_LT(rate, 0.75);
+}
+
+TEST(CohortTest, DeterministicForFixedSeed) {
+  CohortConfig config = SynthPhysioNet2012();
+  config.num_admissions = 20;
+  data::EmrDataset a = GenerateCohort(config);
+  data::EmrDataset b = GenerateCohort(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.sample(i).values, b.sample(i).values);
+    EXPECT_EQ(a.sample(i).observed, b.sample(i).observed);
+    EXPECT_EQ(a.sample(i).mortality_label, b.sample(i).mortality_label);
+  }
+}
+
+TEST(CohortTest, DifferentSeedsDiffer) {
+  CohortConfig config = SynthPhysioNet2012();
+  config.num_admissions = 5;
+  data::EmrDataset a = GenerateCohort(config);
+  config.seed += 1;
+  data::EmrDataset b = GenerateCohort(config);
+  EXPECT_NE(a.sample(0).values, b.sample(0).values);
+}
+
+TEST(CohortTest, SicknessCorrelatesWithMortality) {
+  // Informative labels: the average max-Lactate z among non-survivors should
+  // exceed that among survivors.
+  const data::EmrDataset& cohort = SmallCohort();
+  const FeatureSpec& lactate = FeatureTable()[kLactate];
+  double sick_sum = 0.0, well_sum = 0.0;
+  int64_t sick_n = 0, well_n = 0;
+  for (const auto& s : cohort.samples()) {
+    float max_z = -10.0f;
+    for (int64_t t = 0; t < s.num_steps; ++t) {
+      if (!s.is_observed(t, kLactate)) continue;
+      max_z = std::max(max_z, (s.value(t, kLactate) - lactate.baseline_mean) /
+                                  lactate.baseline_std);
+    }
+    if (max_z == -10.0f) continue;
+    if (s.mortality_label == 1.0f) {
+      sick_sum += max_z;
+      ++sick_n;
+    } else {
+      well_sum += max_z;
+      ++well_n;
+    }
+  }
+  ASSERT_GT(sick_n, 10);
+  ASSERT_GT(well_n, 10);
+  EXPECT_GT(sick_sum / sick_n, well_sum / well_n + 0.2);
+}
+
+TEST(CohortTest, ValuesRespectPhysiologicalFloors) {
+  const data::EmrDataset& cohort = SmallCohort();
+  const auto& table = FeatureTable();
+  for (int64_t i = 0; i < std::min<int64_t>(cohort.size(), 100); ++i) {
+    const auto& s = cohort.sample(i);
+    for (int64_t t = 0; t < s.num_steps; ++t) {
+      for (int64_t c = 0; c < s.num_features; ++c) {
+        if (!s.is_observed(t, c)) continue;
+        if (c == kMechVent) {
+          EXPECT_TRUE(s.value(t, c) == 0.0f || s.value(t, c) == 1.0f);
+        } else {
+          EXPECT_GE(s.value(t, c), table[c].floor)
+              << table[c].name << " at t=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(CohortTest, DlaPatientsShowGlucoseLactateCooccurrence) {
+  // Within DM+DLA admissions, hours with very high glucose should also show
+  // elevated lactate (the interaction the paper's Fig. 9 visualises).
+  CohortConfig config = SynthPhysioNet2012();
+  config.num_admissions = 400;
+  config.condition_mix = {0, 0, 0, 1, 0, 0, 0};  // all DLA
+  config.seed = 99;
+  data::EmrDataset cohort = GenerateCohort(config);
+  const auto& table = FeatureTable();
+  double lactate_during_high_glucose = 0.0;
+  double lactate_otherwise = 0.0;
+  int64_t n_high = 0, n_low = 0;
+  for (const auto& s : cohort.samples()) {
+    for (int64_t t = 0; t < s.num_steps; ++t) {
+      if (!s.is_observed(t, kGlucose) || !s.is_observed(t, kLactate)) continue;
+      const float zg = (s.value(t, kGlucose) - table[kGlucose].baseline_mean) /
+                       table[kGlucose].baseline_std;
+      const float zl = (s.value(t, kLactate) - table[kLactate].baseline_mean) /
+                       table[kLactate].baseline_std;
+      if (zg > 2.0f) {
+        lactate_during_high_glucose += zl;
+        ++n_high;
+      } else {
+        lactate_otherwise += zl;
+        ++n_low;
+      }
+    }
+  }
+  ASSERT_GT(n_high, 20);
+  ASSERT_GT(n_low, 20);
+  EXPECT_GT(lactate_during_high_glucose / n_high,
+            lactate_otherwise / n_low + 0.5);
+}
+
+TEST(CohortTest, CrisesAreExtremeInCohortStandardisedUnits) {
+  // Figs. 9-10 depend on crises registering as extreme *standardised*
+  // values (real ICU crises run many sigma from the admission norm). Fit a
+  // standardizer on a mixed cohort and verify DLA lactate peaks land beyond
+  // 2.5 cohort-sigma.
+  CohortConfig config = SynthPhysioNet2012();
+  config.num_admissions = 400;
+  config.seed = 321;
+  data::EmrDataset cohort = GenerateCohort(config);
+  std::vector<int64_t> all(cohort.size());
+  for (int64_t i = 0; i < cohort.size(); ++i) all[i] = i;
+  data::Standardizer standardizer;
+  standardizer.Fit(cohort, all);
+  float max_z = 0.0f;
+  for (const auto& s : cohort.samples()) {
+    if (s.condition != static_cast<int64_t>(Condition::kDmDla)) continue;
+    for (int64_t t = 0; t < s.num_steps; ++t) {
+      if (!s.is_observed(t, kLactate)) continue;
+      const float z = (s.value(t, kLactate) - standardizer.mean(kLactate)) /
+                      standardizer.stddev(kLactate);
+      max_z = std::max(max_z, z);
+    }
+  }
+  EXPECT_GT(max_z, 2.5f);
+}
+
+TEST(ShowcaseTest, GlucoseRisesAtTwelveAndSettlesByThirtyFive) {
+  data::EmrSample patient = MakeDlaShowcasePatient();
+  const auto& table = FeatureTable();
+  auto glucose_z = [&](int64_t t) {
+    return (patient.value(t, kGlucose) - table[kGlucose].baseline_mean) /
+           table[kGlucose].baseline_std;
+  };
+  // Early hours: near-normal (only the DM baseline elevation).
+  double early = 0.0;
+  for (int64_t t = 2; t < 10; ++t) early += glucose_z(t);
+  early /= 8.0;
+  // Peak hours: strongly elevated.
+  double peak = 0.0;
+  for (int64_t t = 18; t < 28; ++t) peak += glucose_z(t);
+  peak /= 10.0;
+  // Late hours: decayed back toward the DM baseline.
+  double late = 0.0;
+  for (int64_t t = 40; t < 48; ++t) late += glucose_z(t);
+  late /= 8.0;
+  EXPECT_GT(peak, early + 1.0);
+  EXPECT_GT(peak, late + 1.0);
+}
+
+TEST(ShowcaseTest, AcidosisPatternDuringEpisode) {
+  data::EmrSample patient = MakeDlaShowcasePatient();
+  const auto& table = FeatureTable();
+  auto z = [&](int64_t t, int64_t c) {
+    return (patient.value(t, c) - table[c].baseline_mean) /
+           table[c].baseline_std;
+  };
+  // Averaged over the plateau (hours 18-28): lactate high, pH low, HCO3 low,
+  // Temp low, MAP low.
+  double lactate = 0, ph = 0, hco3 = 0, temp = 0, map = 0;
+  for (int64_t t = 18; t < 28; ++t) {
+    lactate += z(t, kLactate);
+    ph += z(t, kPh);
+    hco3 += z(t, kHco3);
+    temp += z(t, kTemp);
+    map += z(t, kMap);
+  }
+  EXPECT_GT(lactate / 10, 1.0);
+  EXPECT_LT(ph / 10, -0.7);
+  EXPECT_LT(hco3 / 10, -0.7);
+  EXPECT_LT(temp / 10, -0.4);
+  EXPECT_LT(map / 10, -0.5);
+}
+
+TEST(ShowcaseTest, DenselyObserved) {
+  data::EmrSample patient = MakeDlaShowcasePatient();
+  EXPECT_EQ(patient.NumRecords(), 48 * 37);
+}
+
+TEST(PipelineIntegrationTest, CohortFlowsThroughPreparation) {
+  CohortConfig config = SynthPhysioNet2012();
+  config.num_admissions = 50;
+  data::EmrDataset cohort = GenerateCohort(config);
+  Rng rng(11);
+  data::SplitIndices split = data::SplitDataset(cohort.size(), 0.8, 0.1, &rng);
+  data::Standardizer standardizer;
+  standardizer.Fit(cohort, split.train);
+  auto prepared = data::PrepareDataset(cohort, standardizer);
+  ASSERT_EQ(prepared.size(), 50u);
+  // Standardised observed values should be roughly centred.
+  double sum = 0.0;
+  int64_t count = 0;
+  for (const auto& p : prepared) {
+    for (int64_t i = 0; i < p.x.size(); ++i) {
+      if (p.mask[i] == 1.0f) {
+        sum += p.x[i];
+        ++count;
+        EXPECT_TRUE(std::isfinite(p.x[i]));
+        EXPECT_LT(std::fabs(p.x[i]), 30.0f);
+      }
+    }
+  }
+  EXPECT_LT(std::fabs(sum / count), 0.25);
+}
+
+TEST(ConditionNameTest, AllConditionsNamed) {
+  EXPECT_EQ(ConditionName(Condition::kDmDla), "DM+DLA");
+  EXPECT_EQ(ConditionName(Condition::kStable), "Stable");
+  EXPECT_EQ(ConditionName(Condition::kSepsis), "Sepsis");
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace elda

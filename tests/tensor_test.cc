@@ -1,0 +1,141 @@
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace elda {
+namespace {
+
+TEST(TensorTest, DefaultIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.dim(), 0);
+}
+
+TEST(TensorTest, ZeroInitialisedConstruction) {
+  Tensor t({2, 3});
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.dim(), 2);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ScalarHasRankZero) {
+  Tensor s = Tensor::Scalar(3.5f);
+  EXPECT_EQ(s.dim(), 0);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s[0], 3.5f);
+}
+
+TEST(TensorTest, FullAndOnes) {
+  Tensor f = Tensor::Full({4}, 2.5f);
+  Tensor o = Tensor::Ones({4});
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(f[i], 2.5f);
+    EXPECT_EQ(o[i], 1.0f);
+  }
+}
+
+TEST(TensorTest, FromDataPreservesOrder) {
+  Tensor t = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ((t.at({0, 0})), 1.0f);
+  EXPECT_EQ((t.at({0, 1})), 2.0f);
+  EXPECT_EQ((t.at({1, 0})), 3.0f);
+  EXPECT_EQ((t.at({1, 1})), 4.0f);
+}
+
+TEST(TensorTest, CopyIsShallow) {
+  Tensor a({3});
+  Tensor b = a;
+  b[0] = 7.0f;
+  EXPECT_EQ(a[0], 7.0f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a({3});
+  Tensor b = a.Clone();
+  b[0] = 7.0f;
+  EXPECT_EQ(a[0], 0.0f);
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = a.Reshape({3, 2});
+  EXPECT_EQ(b.dim(), 2);
+  EXPECT_EQ(b.shape(0), 3);
+  b[5] = 99.0f;
+  EXPECT_EQ(a[5], 99.0f);
+}
+
+TEST(TensorTest, ReshapeInfersMinusOne) {
+  Tensor a({4, 6});
+  Tensor b = a.Reshape({2, -1});
+  EXPECT_EQ(b.shape(1), 12);
+  Tensor c = a.Reshape({-1});
+  EXPECT_EQ(c.shape(0), 24);
+}
+
+TEST(TensorTest, NegativeAxisIndexing) {
+  Tensor a({2, 3, 4});
+  EXPECT_EQ(a.shape(-1), 4);
+  EXPECT_EQ(a.shape(-2), 3);
+  EXPECT_EQ(a.shape(-3), 2);
+}
+
+TEST(TensorTest, StridesAreRowMajor) {
+  Tensor a({2, 3, 4});
+  const std::vector<int64_t> strides = a.Strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(TensorTest, FillSetsEveryElement) {
+  Tensor a({5});
+  a.Fill(-1.5f);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(a[i], -1.5f);
+}
+
+TEST(TensorTest, UniformFactoryRespectsBounds) {
+  Rng rng(5);
+  Tensor t = Tensor::Uniform({1000}, -0.5f, 0.5f, &rng);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -0.5f);
+    EXPECT_LT(t[i], 0.5f);
+  }
+}
+
+TEST(TensorTest, NormalFactoryHasRequestedMoments) {
+  Rng rng(6);
+  Tensor t = Tensor::Normal({20000}, 1.0f, 0.5f, &rng);
+  double sum = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) sum += t[i];
+  EXPECT_NEAR(sum / t.size(), 1.0, 0.02);
+}
+
+TEST(TensorTest, ShapeVolumeAndToString) {
+  EXPECT_EQ(ShapeVolume({2, 3, 4}), 24);
+  EXPECT_EQ(ShapeVolume({}), 1);
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+}
+
+TEST(TensorTest, DebugStringShowsShapeAndValues) {
+  Tensor t = Tensor::FromData({2}, {1, 2});
+  const std::string s = t.DebugString();
+  EXPECT_NE(s.find("[2]"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(TensorDeathTest, FromDataSizeMismatchAborts) {
+  EXPECT_DEATH(Tensor::FromData({2, 2}, {1, 2, 3}), "CHECK failed");
+}
+
+TEST(TensorDeathTest, BadReshapeAborts) {
+  Tensor a({2, 3});
+  EXPECT_DEATH(a.Reshape({4, 2}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace elda

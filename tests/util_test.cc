@@ -1,0 +1,157 @@
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace elda {
+namespace {
+
+TEST(RngTest, DeterministicAtFixedSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(19);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.Shuffle(&v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // The child stream should not be a shifted copy of the parent stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.Next() == child.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(FlagsTest, ParsesSeparateValueForm) {
+  const char* argv[] = {"prog", "--epochs", "12"};
+  Flags flags(3, const_cast<char**>(argv), {"epochs"});
+  EXPECT_EQ(flags.GetInt("epochs", 0), 12);
+}
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--lr=0.05"};
+  Flags flags(2, const_cast<char**>(argv), {"lr"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.0), 0.05);
+}
+
+TEST(FlagsTest, BareSwitchIsTrue) {
+  const char* argv[] = {"prog", "--full"};
+  Flags flags(2, const_cast<char**>(argv), {"full"});
+  EXPECT_TRUE(flags.GetBool("full", false));
+}
+
+TEST(FlagsTest, AbsentFlagUsesDefault) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv), {"epochs"});
+  EXPECT_EQ(flags.GetInt("epochs", 5), 5);
+  EXPECT_EQ(flags.GetString("epochs", "x"), "x");
+  EXPECT_FALSE(flags.Has("epochs"));
+}
+
+TEST(TableTest, AlignsColumns) {
+  TablePrinter table({"model", "auc"});
+  table.AddRow({"GRU", "0.81"});
+  table.AddRow({"ELDA-Net", "0.86"});
+  const std::string s = table.ToString();
+  EXPECT_NE(s.find("model"), std::string::npos);
+  EXPECT_NE(s.find("ELDA-Net  0.86"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsAndHandlesNan) {
+  EXPECT_EQ(TablePrinter::Num(0.12345, 3), "0.123");
+  EXPECT_EQ(TablePrinter::Num(std::nan(""), 3), "-");
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  double x = 0.0;
+  for (int i = 0; i < 1000; ++i) x += i;
+  (void)x;
+  EXPECT_GE(sw.Seconds(), 0.0);
+  EXPECT_GE(sw.Milliseconds(), sw.Seconds());
+}
+
+}  // namespace
+}  // namespace elda
