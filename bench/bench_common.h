@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "par/par.h"
 #include "synth/simulator.h"
 #include "train/trainer.h"
 #include "util/flags.h"
@@ -36,8 +37,9 @@ inline Flags ParseBenchFlags(int argc, char** argv,
                              BenchScale* scale,
                              int64_t default_admissions = 500,
                              int64_t default_epochs = 8) {
-  std::vector<std::string> spec = {"full", "admissions", "epochs", "runs",
-                                   "batch-size", "lr", "verbose"};
+  std::vector<std::string> spec = {"full",       "admissions", "epochs",
+                                   "runs",       "batch-size", "lr",
+                                   "verbose",    "threads"};
   for (auto& f : extra_flags) spec.push_back(std::move(f));
   Flags flags(argc, argv, spec);
   const bool full = flags.GetBool("full", false);
@@ -52,6 +54,11 @@ inline Flags ParseBenchFlags(int argc, char** argv,
       static_cast<float>(flags.GetDouble("lr", 1e-3));
   scale->trainer.verbose = flags.GetBool("verbose", false);
   scale->runs = flags.GetInt("runs", 1);
+  // --threads overrides ELDA_THREADS / hardware_concurrency for the whole
+  // binary (0 keeps the environment-derived default).
+  const int64_t threads = flags.GetInt("threads", 0);
+  if (threads > 0) par::SetNumThreads(threads);
+  scale->trainer.num_threads = threads;
   return flags;
 }
 

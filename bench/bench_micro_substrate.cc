@@ -11,6 +11,7 @@
 #include "core/embedding.h"
 #include "core/feature_interaction.h"
 #include "nn/gru.h"
+#include "par/par.h"
 #include "tensor/tensor_ops.h"
 
 namespace elda {
@@ -21,8 +22,12 @@ Tensor RandomTensor(std::vector<int64_t> shape, uint64_t seed) {
   return Tensor::Normal(std::move(shape), 0.0f, 1.0f, &rng);
 }
 
+// The kernel benchmarks take the thread count as their last argument so a
+// single run shows the elda::par scaling curve (1 = the serial fallback).
+
 void BM_MatMulSquare(benchmark::State& state) {
   const int64_t n = state.range(0);
+  par::ScopedNumThreads scoped(state.range(1));
   Tensor a = RandomTensor({n, n}, 1);
   Tensor b = RandomTensor({n, n}, 2);
   for (auto _ : state) {
@@ -30,10 +35,16 @@ void BM_MatMulSquare(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MatMulSquare)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatMulSquare)
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 8});
 
 void BM_MatMulBatchedSmall(benchmark::State& state) {
   // The feature-interaction workload shape: many tiny matmuls.
+  par::ScopedNumThreads scoped(state.range(0));
   Tensor a = RandomTensor({3072, 37, 24}, 3);
   Tensor b = RandomTensor({3072, 24, 37}, 4);
   for (auto _ : state) {
@@ -41,16 +52,17 @@ void BM_MatMulBatchedSmall(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 3072 * 37 * 24 * 37);
 }
-BENCHMARK(BM_MatMulBatchedSmall);
+BENCHMARK(BM_MatMulBatchedSmall)->Arg(1)->Arg(2)->Arg(8);
 
 void BM_SoftmaxLastAxis(benchmark::State& state) {
+  par::ScopedNumThreads scoped(state.range(0));
   Tensor a = RandomTensor({3072, 37, 37}, 5);
   for (auto _ : state) {
     benchmark::DoNotOptimize(Softmax(a, 2));
   }
   state.SetItemsProcessed(state.iterations() * a.size());
 }
-BENCHMARK(BM_SoftmaxLastAxis);
+BENCHMARK(BM_SoftmaxLastAxis)->Arg(1)->Arg(2)->Arg(8);
 
 void BM_BroadcastMul(benchmark::State& state) {
   // The embedding-module broadcast: [B,T,C,1] * [C,E].

@@ -8,7 +8,10 @@
 // the FM family pays for pairwise terms; plain RNNs are fast; ELDA-Net sits
 // between the plain RNNs and the heavy baselines (ConCare, GRU-D, StageNet).
 //
-// Flags: --batches N (timing batches per model), --admissions, --full
+// Flags: --batches N (timing batches per model), --admissions, --full,
+// --threads N (thread count for the parallel batched-prediction columns;
+// the table reports ms/admission at 1 thread and at N threads plus the
+// speedup, exercising the elda::par batch-parallel Trainer::Predict path)
 
 #include "autograd/ops.h"
 #include "baselines/baselines.h"
@@ -75,9 +78,13 @@ int main(int argc, char** argv) {
   data::EmrDataset cohort = synth::GenerateCohort(config);
   train::PreparedExperiment experiment(cohort, data::Task::kMortality);
 
+  const int64_t par_threads = par::NumThreads();
   TablePrinter table({"model", "params (paper)", "params (ours)",
                       "train s/batch (paper)", "train s/batch (ours)",
-                      "predict ms (paper)", "predict ms (ours)"});
+                      "predict ms (paper)", "predict ms (ours)",
+                      "batch ms/adm (1 thr)",
+                      "batch ms/adm (" + std::to_string(par_threads) + " thr)",
+                      "speedup"});
   for (const std::string& name : baselines::AllModelNames()) {
     auto model = baselines::MakeModel(name, cohort.num_features(), 3);
     optim::Adam adam(model->Parameters(), 1e-3f);
@@ -107,10 +114,34 @@ int main(int argc, char** argv) {
     for (int64_t i = 0; i < reps; ++i) model->Forward(one);
     const double predict_ms = predict_watch.Milliseconds() / reps;
 
+    // Batched prediction over the whole test split through the unified
+    // Trainer::Predict API, serial vs the configured thread count. Small
+    // batches keep enough chunks in flight for the pool to spread out.
+    const std::vector<int64_t>& test_indices = experiment.split().test;
+    train::PredictOptions predict_options;
+    predict_options.batch_size = 32;
+    predict_options.num_threads = 1;
+    train::Trainer::Predict(model.get(), experiment.prepared(), test_indices,
+                            experiment.task(), predict_options);  // warm up
+    Stopwatch serial_watch;
+    train::Trainer::Predict(model.get(), experiment.prepared(), test_indices,
+                            experiment.task(), predict_options);
+    const double serial_ms =
+        serial_watch.Milliseconds() / test_indices.size();
+    predict_options.num_threads = par_threads;
+    Stopwatch parallel_watch;
+    train::Trainer::Predict(model.get(), experiment.prepared(), test_indices,
+                            experiment.task(), predict_options);
+    const double parallel_ms =
+        parallel_watch.Milliseconds() / test_indices.size();
+
     const PaperRow& paper = PaperFor(name);
     table.AddRow({name, paper.params, std::to_string(model->NumParameters()),
                   paper.train_s, TablePrinter::Num(train_s, 3),
-                  paper.predict_ms, TablePrinter::Num(predict_ms, 2)});
+                  paper.predict_ms, TablePrinter::Num(predict_ms, 2),
+                  TablePrinter::Num(serial_ms, 2),
+                  TablePrinter::Num(parallel_ms, 2),
+                  TablePrinter::Num(serial_ms / parallel_ms, 2)});
     std::cout << "." << std::flush;
   }
   std::cout << "\n" << table.ToString();

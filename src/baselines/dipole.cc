@@ -95,7 +95,10 @@ ag::Variable Dipole::Forward(const data::Batch& batch) {
     }
   }
   ag::Variable alpha = ag::Softmax(scores, 1);  // [B, T-1]
-  last_attention_ = alpha.value();
+  {
+    std::lock_guard<std::mutex> lock(attention_mu_);
+    last_attention_ = alpha.value();
+  }
   ag::Variable context = ag::Reshape(
       ag::MatMul(ag::Reshape(alpha, {batch_size, 1, steps - 1}), h_prev),
       {batch_size, state});

@@ -9,6 +9,7 @@
 #ifndef ELDA_BASELINES_DIPOLE_H_
 #define ELDA_BASELINES_DIPOLE_H_
 
+#include <mutex>
 #include <string>
 
 #include "nn/gru.h"
@@ -32,7 +33,12 @@ class Dipole : public train::SequenceModel {
   std::string name() const override;
 
   // Attention over the T-1 earlier steps from the last Forward, [B, T-1].
-  const Tensor& last_attention() const { return last_attention_; }
+  // Returned by value (shallow copy): Forward may run concurrently under
+  // batch-parallel prediction, so the cache handoff is mutex-guarded.
+  Tensor last_attention() const {
+    std::lock_guard<std::mutex> lock(attention_mu_);
+    return last_attention_;
+  }
 
  private:
   Rng rng_;
@@ -48,6 +54,7 @@ class Dipole : public train::SequenceModel {
   ag::Variable concat_v_;  // [A, 1]
   nn::Linear combine_;     // [4H] -> [2H], tanh
   nn::Linear out_;         // [2H] -> 1
+  mutable std::mutex attention_mu_;  // guards last_attention_
   Tensor last_attention_;
 };
 

@@ -73,10 +73,17 @@ ag::Variable Sand::Forward(const data::Batch& batch) {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   const int64_t d = config_.model_dim;
-  RebuildConstants(steps);
+  Tensor positional, causal_mask, interpolation;
+  {
+    std::lock_guard<std::mutex> lock(constants_mu_);
+    RebuildConstants(steps);
+    positional = positional_;
+    causal_mask = causal_mask_;
+    interpolation = interpolation_;
+  }
 
   ag::Variable h = ag::Add(embed_.Forward(ag::Constant(batch.x)),
-                           ag::Constant(positional_));  // [B, T, D]
+                           ag::Constant(positional));  // [B, T, D]
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
   for (Block& block : blocks_) {
     ag::Variable q = block.wq->Forward(h);
@@ -84,7 +91,7 @@ ag::Variable Sand::Forward(const data::Batch& batch) {
     ag::Variable v = block.wv->Forward(h);
     ag::Variable scores = ag::MulScalar(
         ag::MatMul(q, ag::TransposeLast2(k)), scale);  // [B, T, T]
-    scores = ag::Add(scores, ag::Constant(causal_mask_));
+    scores = ag::Add(scores, ag::Constant(causal_mask));
     ag::Variable attention = ag::Softmax(scores, /*axis=*/-1);
     ag::Variable attended = block.wo->Forward(ag::MatMul(attention, v));
     attended = ag::Dropout(attended, config_.dropout, training(), &rng_);
@@ -96,7 +103,7 @@ ag::Variable Sand::Forward(const data::Batch& batch) {
   }
   // Dense interpolation collapses time into M factors: [M,T] x [B,T,D].
   ag::Variable interpolated =
-      ag::MatMul(ag::Constant(interpolation_), h);  // [B, M, D] (shared lhs)
+      ag::MatMul(ag::Constant(interpolation), h);  // [B, M, D] (shared lhs)
   ag::Variable flat = ag::Reshape(
       interpolated, {batch_size, config_.interpolation_factors * d});
   return ag::Reshape(out_.Forward(flat), {batch_size});

@@ -52,7 +52,7 @@ std::vector<float> Elda::PredictRisk(
   for (size_t i = 0; i < indices.size(); ++i) {
     indices[i] = static_cast<int64_t>(i);
   }
-  return train::Trainer::PredictScores(net_.get(), prepared, indices, task_);
+  return train::Trainer::Predict(net_.get(), prepared, indices, task_).scores;
 }
 
 std::vector<bool> Elda::TriggerAlerts(

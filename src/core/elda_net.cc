@@ -99,13 +99,13 @@ ag::Variable EldaNet::Forward(const data::Batch& batch) {
   return ag::Reshape(prediction_->Forward(representation), {batch_size});
 }
 
-const Tensor& EldaNet::feature_attention() const {
+Tensor EldaNet::feature_attention() const {
   ELDA_CHECK(feature_ != nullptr)
       << name() << "has no feature-level interaction module";
   return feature_->last_attention();
 }
 
-const Tensor& EldaNet::time_attention() const {
+Tensor EldaNet::time_attention() const {
   ELDA_CHECK(time_ != nullptr)
       << name() << "has no time-level interaction module";
   return time_->last_attention();

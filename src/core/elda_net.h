@@ -52,9 +52,11 @@ class EldaNet : public train::SequenceModel {
 
   // Interpretation surfaces captured by the most recent Forward.
   // Feature-level attention [B, T, C, C]; CHECK-fails for ELDA-Net-T.
-  const Tensor& feature_attention() const;
+  // Returned by value (shallow copy): the cache may be rewritten by a
+  // concurrent Forward under batch-parallel prediction.
+  Tensor feature_attention() const;
   // Time-level attention [B, T-1]; CHECK-fails for the -F variants.
-  const Tensor& time_attention() const;
+  Tensor time_attention() const;
 
  private:
   EldaNetConfig config_;

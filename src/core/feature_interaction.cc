@@ -49,8 +49,11 @@ ag::Variable FeatureInteraction::Forward(const ag::Variable& e) {
   scores = ag::Add(scores, ag::Reshape(b_alpha_, {num_features_, 1}));
   scores = ag::Add(scores, ag::Constant(diag_mask_));
   ag::Variable alpha = ag::Softmax(scores, /*axis=*/-1);  // [BT, C, C]
-  last_attention_ =
-      alpha.value().Reshape({batch, steps, num_features_, num_features_});
+  {
+    std::lock_guard<std::mutex> lock(attention_mu_);
+    last_attention_ =
+        alpha.value().Reshape({batch, steps, num_features_, num_features_});
+  }
 
   // c_i = e_i ⊙ sum_j alpha_ij e_j.
   ag::Variable weighted = ag::MatMul(alpha, e3);       // [BT, C, E]

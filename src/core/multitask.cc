@@ -52,11 +52,11 @@ ag::Variable MultiTaskEldaNet::JointLoss(const Logits& logits,
   return ag::MulScalar(ag::Add(loss_mortality, loss_los), 0.5f);
 }
 
-const Tensor& MultiTaskEldaNet::feature_attention() const {
+Tensor MultiTaskEldaNet::feature_attention() const {
   return feature_->last_attention();
 }
 
-const Tensor& MultiTaskEldaNet::time_attention() const {
+Tensor MultiTaskEldaNet::time_attention() const {
   return time_->last_attention();
 }
 

@@ -37,9 +37,10 @@ class MultiTaskEldaNet : public nn::Module {
   ag::Variable JointLoss(const Logits& logits, const Tensor& mortality_labels,
                          const Tensor& los_labels);
 
-  // Interpretation surfaces (shared trunk -> shared attention).
-  const Tensor& feature_attention() const;
-  const Tensor& time_attention() const;
+  // Interpretation surfaces (shared trunk -> shared attention). Returned
+  // by value; see EldaNet::feature_attention().
+  Tensor feature_attention() const;
+  Tensor time_attention() const;
 
  private:
   EldaNetConfig config_;

@@ -33,7 +33,10 @@ ag::Variable TimeInteraction::Forward(const ag::Variable& x) {
   ag::Variable logits = ag::Add(ag::MatMul(s, w_beta_), b_beta_);
   ag::Variable beta =
       ag::Softmax(ag::Reshape(logits, {batch, steps - 1}), /*axis=*/1);
-  last_attention_ = beta.value();
+  {
+    std::lock_guard<std::mutex> lock(attention_mu_);
+    last_attention_ = beta.value();
+  }
 
   // g_T = sum_i beta_i s_i  (Eq. 11), as a [B,1,T-1] x [B,T-1,H] matmul.
   ag::Variable g = ag::Reshape(

@@ -9,6 +9,8 @@
 #ifndef ELDA_CORE_TIME_INTERACTION_H_
 #define ELDA_CORE_TIME_INTERACTION_H_
 
+#include <mutex>
+
 #include "autograd/ops.h"
 #include "nn/gru.h"
 #include "nn/module.h"
@@ -27,8 +29,13 @@ class TimeInteraction : public nn::Module {
 
   // Attention weights beta of the most recent Forward, [B, T-1]: the weight
   // of the interaction between hour i and the final hour. This is the
-  // time-level interpretation surface of Fig. 8.
-  const Tensor& last_attention() const { return last_attention_; }
+  // time-level interpretation surface of Fig. 8. Returned by value (shallow
+  // copy) because Forward may run concurrently under batch-parallel
+  // prediction; the mutex makes the cache handoff race-free.
+  Tensor last_attention() const {
+    std::lock_guard<std::mutex> lock(attention_mu_);
+    return last_attention_;
+  }
 
   int64_t hidden_dim() const { return hidden_dim_; }
   int64_t output_dim() const { return 2 * hidden_dim_; }
@@ -38,6 +45,7 @@ class TimeInteraction : public nn::Module {
   nn::Gru gru_;
   ag::Variable w_beta_;  // [hidden, 1]
   ag::Variable b_beta_;  // [1]
+  mutable std::mutex attention_mu_;  // guards last_attention_
   Tensor last_attention_;
 };
 

@@ -4,8 +4,17 @@
 #include <cmath>
 #include <cstring>
 
+#include "par/par.h"
+
 namespace elda {
 namespace {
+
+// Threading note: every parallel loop in this file partitions disjoint
+// *output* elements across chunks and computes each element with exactly the
+// serial instruction sequence, so results are bitwise identical for any
+// thread count (see DESIGN.md "Threading model"). Whole-tensor float sums
+// (SumAll/MeanAll) stay serial because chunked accumulation would reorder
+// the additions.
 
 // Applies a binary functor with NumPy broadcasting. The fast paths cover the
 // two layouts that dominate this codebase: identical shapes, and a
@@ -19,7 +28,10 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    for (int64_t i = 0; i < a.size(); ++i) po[i] = f(pa[i], pb[i]);
+    par::ParallelFor(0, a.size(), par::kElementGrain,
+                     [&](int64_t lo, int64_t hi) {
+                       for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+                     });
     return out;
   }
   // Suffix fast path: b's shape equals the trailing dims of a's shape.
@@ -38,11 +50,15 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
       float* po = out.data();
       const int64_t inner = b.size();
       const int64_t outer = a.size() / inner;
-      for (int64_t o = 0; o < outer; ++o) {
-        const float* row = pa + o * inner;
-        float* orow = po + o * inner;
-        for (int64_t i = 0; i < inner; ++i) orow[i] = f(row[i], pb[i]);
-      }
+      const int64_t grain =
+          std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, inner));
+      par::ParallelFor(0, outer, grain, [&](int64_t o0, int64_t o1) {
+        for (int64_t o = o0; o < o1; ++o) {
+          const float* row = pa + o * inner;
+          float* orow = po + o * inner;
+          for (int64_t i = 0; i < inner; ++i) orow[i] = f(row[i], pb[i]);
+        }
+      });
       return out;
     }
   }
@@ -72,36 +88,49 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
   const int64_t inner_sa = sa[rank - 1];
   const int64_t inner_sb = sb[rank - 1];
   const int64_t outer = out.size() / std::max<int64_t>(inner, 1);
-  std::vector<int64_t> idx(rank, 0);
-  int64_t off_a = 0, off_b = 0;
-  int64_t flat = 0;
-  for (int64_t run = 0; run < outer; ++run) {
-    const float* ra = pa + off_a;
-    const float* rb = pb + off_b;
-    float* ro = po + flat;
-    if (inner_sa == 1 && inner_sb == 1) {
-      for (int64_t i = 0; i < inner; ++i) ro[i] = f(ra[i], rb[i]);
-    } else if (inner_sa == 1 && inner_sb == 0) {
-      const float bv = *rb;
-      for (int64_t i = 0; i < inner; ++i) ro[i] = f(ra[i], bv);
-    } else if (inner_sa == 0 && inner_sb == 1) {
-      const float av = *ra;
-      for (int64_t i = 0; i < inner; ++i) ro[i] = f(av, rb[i]);
-    } else {
-      const float v = f(*ra, *rb);
-      for (int64_t i = 0; i < inner; ++i) ro[i] = v;
-    }
-    flat += inner;
-    // Odometer over the remaining (outer) dimensions.
+  const int64_t grain =
+      std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, inner));
+  par::ParallelFor(0, outer, grain, [&](int64_t r0, int64_t r1) {
+    // Seed the odometer at run r0 (mixed-radix decomposition over the outer
+    // dims, dim rank-2 fastest), then tick it across the chunk.
+    std::vector<int64_t> idx(rank, 0);
+    int64_t off_a = 0, off_b = 0;
+    int64_t rem = r0;
     for (int64_t d = rank - 2; d >= 0; --d) {
-      off_a += sa[d];
-      off_b += sb[d];
-      if (++idx[d] < out_shape[d]) break;
-      idx[d] = 0;
-      off_a -= sa[d] * out_shape[d];
-      off_b -= sb[d] * out_shape[d];
+      idx[d] = rem % out_shape[d];
+      rem /= out_shape[d];
+      off_a += idx[d] * sa[d];
+      off_b += idx[d] * sb[d];
     }
-  }
+    int64_t flat = r0 * inner;
+    for (int64_t run = r0; run < r1; ++run) {
+      const float* ra = pa + off_a;
+      const float* rb = pb + off_b;
+      float* ro = po + flat;
+      if (inner_sa == 1 && inner_sb == 1) {
+        for (int64_t i = 0; i < inner; ++i) ro[i] = f(ra[i], rb[i]);
+      } else if (inner_sa == 1 && inner_sb == 0) {
+        const float bv = *rb;
+        for (int64_t i = 0; i < inner; ++i) ro[i] = f(ra[i], bv);
+      } else if (inner_sa == 0 && inner_sb == 1) {
+        const float av = *ra;
+        for (int64_t i = 0; i < inner; ++i) ro[i] = f(av, rb[i]);
+      } else {
+        const float v = f(*ra, *rb);
+        for (int64_t i = 0; i < inner; ++i) ro[i] = v;
+      }
+      flat += inner;
+      // Odometer over the remaining (outer) dimensions.
+      for (int64_t d = rank - 2; d >= 0; --d) {
+        off_a += sa[d];
+        off_b += sb[d];
+        if (++idx[d] < out_shape[d]) break;
+        idx[d] = 0;
+        off_a -= sa[d] * out_shape[d];
+        off_b -= sb[d] * out_shape[d];
+      }
+    }
+  });
   return out;
 }
 
@@ -111,7 +140,10 @@ Tensor UnaryOp(const Tensor& a, F f) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < a.size(); ++i) po[i] = f(pa[i]);
+  par::ParallelFor(0, a.size(), par::kElementGrain,
+                   [&](int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i]);
+                   });
   return out;
 }
 
@@ -131,14 +163,18 @@ int64_t NormalizeAxis(int64_t axis, int64_t rank) {
   return axis;
 }
 
-// C[M,N] += A[M,K] * B[K,N], with optional logical transposes. The non-
+// C[M,N] += A[M,K] * B[K,N] restricted to output rows [i0, i1), with
+// optional logical transposes (full leading dimensions m/k/n are kept so a
+// row range addresses the same storage as the whole product). The non-
 // transposed path uses the i-k-j ordering so the inner loop is a contiguous
-// AXPY; __restrict__ lets the compiler vectorise it.
-void Gemm(const float* __restrict__ a, const float* __restrict__ b,
-          float* __restrict__ c, int64_t m, int64_t k, int64_t n,
-          bool trans_a, bool trans_b) {
+// AXPY; __restrict__ lets the compiler vectorise it. Restricting the row
+// range never changes the per-element accumulation order, so partitioning
+// rows across threads is bitwise identical to one serial call.
+void GemmRows(const float* __restrict__ a, const float* __restrict__ b,
+              float* __restrict__ c, int64_t m, int64_t k, int64_t n,
+              bool trans_a, bool trans_b, int64_t i0, int64_t i1) {
   if (!trans_a && !trans_b) {
-    for (int64_t i = 0; i < m; ++i) {
+    for (int64_t i = i0; i < i1; ++i) {
       float* __restrict__ crow = c + i * n;
       const float* arow = a + i * k;
       for (int64_t p = 0; p < k; ++p) {
@@ -152,7 +188,7 @@ void Gemm(const float* __restrict__ a, const float* __restrict__ b,
     for (int64_t p = 0; p < k; ++p) {
       const float* arow = a + p * m;
       const float* __restrict__ brow = b + p * n;
-      for (int64_t i = 0; i < m; ++i) {
+      for (int64_t i = i0; i < i1; ++i) {
         const float av = arow[i];
         if (av == 0.0f) continue;
         float* __restrict__ crow = c + i * n;
@@ -161,7 +197,7 @@ void Gemm(const float* __restrict__ a, const float* __restrict__ b,
     }
   } else if (!trans_a && trans_b) {
     // B is stored [N, K]; each output is a dot product of contiguous rows.
-    for (int64_t i = 0; i < m; ++i) {
+    for (int64_t i = i0; i < i1; ++i) {
       const float* __restrict__ arow = a + i * k;
       float* crow = c + i * n;
       for (int64_t j = 0; j < n; ++j) {
@@ -181,7 +217,7 @@ void Gemm(const float* __restrict__ a, const float* __restrict__ b,
     }
   } else {
     // Both transposed: A stored [K, M], B stored [N, K].
-    for (int64_t i = 0; i < m; ++i) {
+    for (int64_t i = i0; i < i1; ++i) {
       float* crow = c + i * n;
       for (int64_t j = 0; j < n; ++j) {
         const float* brow = b + j * k;
@@ -192,6 +228,10 @@ void Gemm(const float* __restrict__ a, const float* __restrict__ b,
     }
   }
 }
+
+// Minimum flops worth one parallel chunk; below this, dispatch overhead
+// dominates and the work stays on fewer threads.
+constexpr int64_t kMatMulGrainFlops = 1 << 15;
 
 }  // namespace
 
@@ -328,10 +368,27 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   out_shape.push_back(am);
   out_shape.push_back(bn);
   Tensor out(out_shape);
-  for (int64_t i = 0; i < batch; ++i) {
-    const float* pa = a.data() + (a_batch == 1 ? 0 : i * a_mat);
-    const float* pb = b.data() + (b_batch == 1 ? 0 : i * b_mat);
-    Gemm(pa, pb, out.data() + i * am * bn, am, ak, bn, trans_a, trans_b);
+  const float* base_a = a.data();
+  const float* base_b = b.data();
+  float* base_o = out.data();
+  const int64_t flops_per_item = am * ak * bn;
+  if (batch > 1) {
+    const int64_t grain = std::max<int64_t>(
+        1, kMatMulGrainFlops / std::max<int64_t>(1, flops_per_item));
+    par::ParallelFor(0, batch, grain, [&](int64_t b0, int64_t b1) {
+      for (int64_t i = b0; i < b1; ++i) {
+        const float* pa = base_a + (a_batch == 1 ? 0 : i * a_mat);
+        const float* pb = base_b + (b_batch == 1 ? 0 : i * b_mat);
+        GemmRows(pa, pb, base_o + i * am * bn, am, ak, bn, trans_a, trans_b,
+                 0, am);
+      }
+    });
+  } else {
+    const int64_t row_grain = std::max<int64_t>(
+        1, kMatMulGrainFlops / std::max<int64_t>(1, ak * bn));
+    par::ParallelFor(0, am, row_grain, [&](int64_t i0, int64_t i1) {
+      GemmRows(base_a, base_b, base_o, am, ak, bn, trans_a, trans_b, i0, i1);
+    });
   }
   return out;
 }
@@ -350,13 +407,20 @@ Tensor TransposeLast2(const Tensor& a) {
   std::vector<int64_t> out_shape = a.shape();
   std::swap(out_shape[out_shape.size() - 1], out_shape[out_shape.size() - 2]);
   Tensor out(out_shape);
-  for (int64_t bb = 0; bb < batch; ++bb) {
-    const float* src = a.data() + bb * mat;
-    float* dst = out.data() + bb * mat;
-    for (int64_t i = 0; i < rows; ++i) {
-      for (int64_t j = 0; j < cols; ++j) dst[j * rows + i] = src[i * cols + j];
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t grain =
+      std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, cols));
+  // Lane space: (batch, row) pairs; each lane writes one output column.
+  par::ParallelFor(0, batch * rows, grain, [&](int64_t l0, int64_t l1) {
+    for (int64_t l = l0; l < l1; ++l) {
+      const int64_t bb = l / rows;
+      const int64_t i = l % rows;
+      const float* src = pa + bb * mat + i * cols;
+      float* dst = po + bb * mat;
+      for (int64_t j = 0; j < cols; ++j) dst[j * rows + i] = src[j];
     }
-  }
+  });
   return out;
 }
 
@@ -407,6 +471,8 @@ Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
 }
 
 float SumAll(const Tensor& a) {
+  // Deliberately serial: a chunked parallel sum would reorder the float
+  // additions and break bitwise reproducibility across thread counts.
   double s = 0.0;
   const float* p = a.data();
   for (int64_t i = 0; i < a.size(); ++i) s += p[i];
@@ -420,9 +486,17 @@ float MeanAll(const Tensor& a) {
 
 float MaxAll(const Tensor& a) {
   ELDA_CHECK_GT(a.size(), 0);
-  float m = a[0];
-  for (int64_t i = 1; i < a.size(); ++i) m = std::max(m, a[i]);
-  return m;
+  const float* p = a.data();
+  // Max is an exact, order-independent combine, so the partitioned reduce
+  // is bitwise identical to the serial loop for every thread count.
+  return par::ParallelReduce(
+      0, a.size(), par::kElementGrain, p[0],
+      [p](int64_t lo, int64_t hi) {
+        float m = p[lo];
+        for (int64_t i = lo + 1; i < hi; ++i) m = std::max(m, p[i]);
+        return m;
+      },
+      [](float x, float y) { return std::max(x, y); });
 }
 
 Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
@@ -438,13 +512,25 @@ Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
   Tensor out(out_shape);
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t k = 0; k < n; ++k) {
-      const float* row = pa + (o * n + k) * inner;
+  // Lane space: output elements (o, i). Each lane accumulates over the
+  // reduced axis in k-order exactly as the serial loop did, so any disjoint
+  // lane partition is bitwise identical. Chunks are blocked per o-row to
+  // keep the inner loop contiguous.
+  const int64_t grain =
+      std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, n));
+  par::ParallelFor(0, outer * inner, grain, [&](int64_t l0, int64_t l1) {
+    while (l0 < l1) {
+      const int64_t o = l0 / inner;
+      const int64_t i0 = l0 % inner;
+      const int64_t i1 = std::min(inner, i0 + (l1 - l0));
       float* orow = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) orow[i] += row[i];
+      for (int64_t k = 0; k < n; ++k) {
+        const float* row = pa + (o * n + k) * inner;
+        for (int64_t i = i0; i < i1; ++i) orow[i] += row[i];
+      }
+      l0 += i1 - i0;
     }
-  }
+  });
   return out;
 }
 
@@ -468,14 +554,23 @@ Tensor Max(const Tensor& a, int64_t axis, bool keepdims) {
   Tensor out(out_shape);
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    float* orow = po + o * inner;
-    std::memcpy(orow, pa + o * n * inner, inner * sizeof(float));
-    for (int64_t k = 1; k < n; ++k) {
-      const float* row = pa + (o * n + k) * inner;
-      for (int64_t i = 0; i < inner; ++i) orow[i] = std::max(orow[i], row[i]);
+  const int64_t grain =
+      std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, n));
+  par::ParallelFor(0, outer * inner, grain, [&](int64_t l0, int64_t l1) {
+    while (l0 < l1) {
+      const int64_t o = l0 / inner;
+      const int64_t i0 = l0 % inner;
+      const int64_t i1 = std::min(inner, i0 + (l1 - l0));
+      float* orow = po + o * inner;
+      std::memcpy(orow + i0, pa + o * n * inner + i0,
+                  (i1 - i0) * sizeof(float));
+      for (int64_t k = 1; k < n; ++k) {
+        const float* row = pa + (o * n + k) * inner;
+        for (int64_t i = i0; i < i1; ++i) orow[i] = std::max(orow[i], row[i]);
+      }
+      l0 += i1 - i0;
     }
-  }
+  });
   return out;
 }
 
@@ -486,8 +581,14 @@ Tensor Softmax(const Tensor& a, int64_t axis) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
+  // Lane space: softmax fibers (o, i), in the same o-major order the serial
+  // loop used; each lane's arithmetic is untouched.
+  const int64_t grain =
+      std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, n));
+  par::ParallelFor(0, outer * inner, grain, [&](int64_t l0, int64_t l1) {
+    for (int64_t l = l0; l < l1; ++l) {
+      const int64_t o = l / inner;
+      const int64_t i = l % inner;
       const int64_t base = o * n * inner + i;
       float m = pa[base];
       for (int64_t k = 1; k < n; ++k) m = std::max(m, pa[base + k * inner]);
@@ -500,27 +601,41 @@ Tensor Softmax(const Tensor& a, int64_t axis) {
       const float inv = 1.0f / z;
       for (int64_t k = 0; k < n; ++k) po[base + k * inner] *= inv;
     }
-  }
+  });
   return out;
 }
 
 bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
   if (a.shape() != b.shape()) return false;
-  for (int64_t i = 0; i < a.size(); ++i) {
-    const float diff = std::fabs(a[i] - b[i]);
-    if (diff > atol + rtol * std::fabs(b[i])) return false;
-    if (std::isnan(a[i]) || std::isnan(b[i])) return false;
-  }
-  return true;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  return par::ParallelReduce(
+      0, a.size(), par::kElementGrain, true,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float diff = std::fabs(pa[i] - pb[i]);
+          if (diff > atol + rtol * std::fabs(pb[i])) return false;
+          if (std::isnan(pa[i]) || std::isnan(pb[i])) return false;
+        }
+        return true;
+      },
+      [](bool x, bool y) { return x && y; });
 }
 
 float MaxAbsDiff(const Tensor& a, const Tensor& b) {
   ELDA_CHECK(a.shape() == b.shape());
-  float m = 0.0f;
-  for (int64_t i = 0; i < a.size(); ++i) {
-    m = std::max(m, std::fabs(a[i] - b[i]));
-  }
-  return m;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  return par::ParallelReduce(
+      0, a.size(), par::kElementGrain, 0.0f,
+      [&](int64_t lo, int64_t hi) {
+        float m = 0.0f;
+        for (int64_t i = lo; i < hi; ++i) {
+          m = std::max(m, std::fabs(pa[i] - pb[i]));
+        }
+        return m;
+      },
+      [](float x, float y) { return std::max(x, y); });
 }
 
 }  // namespace elda

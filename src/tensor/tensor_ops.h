@@ -54,7 +54,10 @@ Tensor Pow(const Tensor& a, float p);
 
 // 1.0 where the predicate holds, else 0.0 (used for masks / selectors).
 Tensor GreaterThanScalar(const Tensor& a, float s);
-Tensor EqualScalar(const Tensor& a, float s, float tolerance = 0.0f);
+// |x - s| <= tolerance. The default tolerance absorbs float rounding when
+// the compared values are computed rather than stored constants (e.g.
+// standardised mask cells); pass 0.0f explicitly for exact bit equality.
+Tensor EqualScalar(const Tensor& a, float s, float tolerance = 1e-6f);
 
 // -- Matrix multiplication ------------------------------------------------------
 

@@ -1,10 +1,12 @@
 #include "train/trainer.h"
 
+#include <algorithm>
 #include <iostream>
 
 #include "autograd/ops.h"
 #include "metrics/metrics.h"
 #include "optim/optimizer.h"
+#include "par/par.h"
 #include "tensor/tensor_ops.h"
 #include "util/stopwatch.h"
 
@@ -27,39 +29,59 @@ std::vector<float> LabelsFor(const std::vector<data::PreparedSample>& prepared,
 
 }  // namespace
 
-std::vector<float> Trainer::PredictScores(
+PredictResult Trainer::Predict(
     SequenceModel* model, const std::vector<data::PreparedSample>& prepared,
     const std::vector<int64_t>& indices, data::Task task,
-    int64_t batch_size) {
+    const PredictOptions& options) {
+  PredictResult result;
+  result.labels = LabelsFor(prepared, indices, task);
+  result.scores.assign(indices.size(), 0.0f);
+  if (indices.empty()) return result;
+
+  const int64_t batch_size = std::max<int64_t>(1, options.batch_size);
+  const int64_t count = static_cast<int64_t>(indices.size());
+  const int64_t num_batches = (count + batch_size - 1) / batch_size;
   const bool was_training = model->training();
   model->SetTraining(false);
-  std::vector<float> scores;
-  scores.reserve(indices.size());
-  for (size_t start = 0; start < indices.size();
-       start += static_cast<size_t>(batch_size)) {
-    const size_t end =
-        std::min(indices.size(), start + static_cast<size_t>(batch_size));
-    std::vector<int64_t> chunk(indices.begin() + start,
-                               indices.begin() + end);
+
+  // Minibatch composition depends only on batch_size, and every minibatch
+  // writes a disjoint score range, so the parallel path is bitwise
+  // identical to running the batches back-to-back.
+  auto run_batch = [&](int64_t b) {
+    const int64_t start = b * batch_size;
+    const int64_t end = std::min(count, start + batch_size);
+    std::vector<int64_t> chunk(indices.begin() + start, indices.begin() + end);
     data::Batch batch = data::MakeBatch(prepared, chunk, task);
     Tensor probs = Sigmoid(model->Forward(batch).value());
-    for (int64_t i = 0; i < probs.size(); ++i) scores.push_back(probs[i]);
+    for (int64_t i = 0; i < probs.size(); ++i) {
+      result.scores[static_cast<size_t>(start + i)] = probs[i];
+    }
+  };
+  if (options.parallel) {
+    par::ParallelFor(
+        0, num_batches, /*grain=*/1,
+        [&](int64_t b0, int64_t b1) {
+          for (int64_t b = b0; b < b1; ++b) run_batch(b);
+        },
+        options.num_threads);
+  } else {
+    for (int64_t b = 0; b < num_batches; ++b) run_batch(b);
   }
+
   model->SetTraining(was_training);
-  return scores;
+  return result;
 }
 
 EvalResult Trainer::Evaluate(
     SequenceModel* model, const std::vector<data::PreparedSample>& prepared,
     const std::vector<int64_t>& indices, data::Task task,
-    int64_t batch_size) {
-  const std::vector<float> scores =
-      PredictScores(model, prepared, indices, task, batch_size);
-  const std::vector<float> labels = LabelsFor(prepared, indices, task);
+    const PredictOptions& options) {
+  const PredictResult predicted =
+      Predict(model, prepared, indices, task, options);
   EvalResult result;
-  result.bce = metrics::BceLoss(scores, labels);
-  result.auc_roc = metrics::AucRoc(scores, labels);
-  result.auc_pr = metrics::AucPr(scores, labels);
+  result.bce = metrics::BceLoss(predicted.scores, predicted.labels);
+  result.auc_roc = metrics::AucRoc(predicted.scores, predicted.labels);
+  result.auc_pr = metrics::AucPr(predicted.scores, predicted.labels);
   return result;
 }
 
@@ -67,6 +89,9 @@ TrainResult Trainer::Train(SequenceModel* model,
                            const std::vector<data::PreparedSample>& prepared,
                            const data::SplitIndices& split,
                            data::Task task) const {
+  // Pin the thread count for the whole run (kernels + eval batching);
+  // num_threads == 0 leaves the global --threads / ELDA_THREADS setting.
+  par::ScopedNumThreads scoped_threads(config_.num_threads);
   TrainResult result;
   result.num_parameters = model->NumParameters();
   std::vector<ag::Variable> params = model->Parameters();

@@ -29,6 +29,29 @@ struct TrainerConfig {
   int64_t patience = 4;     // epochs without val AUC-PR improvement
   uint64_t seed = 1;
   bool verbose = false;     // per-epoch progress on stderr
+  // Worker threads for the elda::par kernels and batched prediction during
+  // this trainer's run; 0 = automatic (ELDA_THREADS env, then
+  // hardware_concurrency). Applied for the duration of Train().
+  int64_t num_threads = 0;
+};
+
+// Batching/threading knobs for Predict/Evaluate. The eval batch size that
+// used to be a magic default on Evaluate/PredictScores lives here.
+struct PredictOptions {
+  int64_t batch_size = 256;  // eval-mode minibatch size
+  // Thread cap for batch-level parallelism in this call; 0 = the global
+  // elda::par setting (--threads / ELDA_THREADS / hardware).
+  int64_t num_threads = 0;
+  // Evaluate independent minibatches concurrently on the elda::par pool.
+  // Minibatch composition is fixed by batch_size and scores are written to
+  // disjoint ranges, so results are bitwise identical to the serial path.
+  bool parallel = true;
+};
+
+// Scores and aligned labels for one index set, in `indices` order.
+struct PredictResult {
+  std::vector<float> scores;  // sigmoid probabilities
+  std::vector<float> labels;  // task labels
 };
 
 struct EvalResult {
@@ -57,18 +80,24 @@ class Trainer {
                     const std::vector<data::PreparedSample>& prepared,
                     const data::SplitIndices& split, data::Task task) const;
 
-  // Evaluates a model (in eval mode) on the given index set.
+  // Runs the model (in eval mode) over the given index set in minibatches
+  // and returns sigmoid probabilities plus the aligned task labels, both in
+  // `indices` order. The single batching loop behind every evaluation and
+  // scoring path; independent minibatches are evaluated across the
+  // elda::par pool when `options.parallel` is set.
+  static PredictResult Predict(SequenceModel* model,
+                               const std::vector<data::PreparedSample>& prepared,
+                               const std::vector<int64_t>& indices,
+                               data::Task task,
+                               const PredictOptions& options = {});
+
+  // Thin metrics wrapper over Predict(): BCE / AUC-ROC / AUC-PR on the
+  // given index set.
   static EvalResult Evaluate(SequenceModel* model,
                              const std::vector<data::PreparedSample>& prepared,
                              const std::vector<int64_t>& indices,
-                             data::Task task, int64_t batch_size = 256);
-
-  // Sigmoid probabilities for the given index set, in order.
-  static std::vector<float> PredictScores(
-      SequenceModel* model,
-      const std::vector<data::PreparedSample>& prepared,
-      const std::vector<int64_t>& indices, data::Task task,
-      int64_t batch_size = 256);
+                             data::Task task,
+                             const PredictOptions& options = {});
 
  private:
   TrainerConfig config_;

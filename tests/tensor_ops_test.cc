@@ -137,6 +137,19 @@ TEST(UnaryTest, SelectorOps) {
   EXPECT_EQ(e[0], 0.0f);
 }
 
+TEST(UnaryTest, EqualScalarTolerance) {
+  // The default tolerance (1e-6) absorbs rounding in computed values; an
+  // explicit 0.0f restores exact comparison.
+  Tensor a = Tensor::FromData({3}, {0.0f, 5e-7f, 1e-3f});
+  Tensor e = EqualScalar(a, 0.0f);
+  EXPECT_EQ(e[0], 1.0f);
+  EXPECT_EQ(e[1], 1.0f);  // within default tolerance
+  EXPECT_EQ(e[2], 0.0f);
+  Tensor exact = EqualScalar(a, 0.0f, 0.0f);
+  EXPECT_EQ(exact[0], 1.0f);
+  EXPECT_EQ(exact[1], 0.0f);
+}
+
 TEST(MatMulTest, MatchesNaive2d) {
   Tensor a = RandomTensor({7, 5}, 1);
   Tensor b = RandomTensor({5, 9}, 2);

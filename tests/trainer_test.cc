@@ -120,17 +120,49 @@ TEST(TrainerTest, PredictScoresAreProbabilitiesInOrder) {
   auto prepared = SeparableData(50, 7);
   TinyGruModel model(3, 4, 8);
   std::vector<int64_t> indices = {4, 2, 9};
-  auto scores = Trainer::PredictScores(&model, prepared, indices,
-                                       data::Task::kMortality);
-  ASSERT_EQ(scores.size(), 3u);
-  for (float s : scores) {
+  PredictResult result =
+      Trainer::Predict(&model, prepared, indices, data::Task::kMortality);
+  ASSERT_EQ(result.scores.size(), 3u);
+  ASSERT_EQ(result.labels.size(), 3u);
+  for (float s : result.scores) {
     EXPECT_GT(s, 0.0f);
     EXPECT_LT(s, 1.0f);
   }
+  EXPECT_FLOAT_EQ(result.labels[0], prepared[4].mortality_label);
   // Order matches the indices: recomputing one at a time agrees.
-  auto single = Trainer::PredictScores(&model, prepared, {2},
-                                       data::Task::kMortality);
-  EXPECT_FLOAT_EQ(scores[1], single[0]);
+  PredictResult single =
+      Trainer::Predict(&model, prepared, {2}, data::Task::kMortality);
+  EXPECT_FLOAT_EQ(result.scores[1], single.scores[0]);
+}
+
+TEST(TrainerTest, PredictIsInvariantToBatchSizeAndThreads) {
+  auto prepared = SeparableData(70, 11);
+  TinyGruModel model(3, 4, 12);
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < 70; ++i) indices.push_back(i);
+
+  PredictOptions reference;
+  reference.batch_size = 256;
+  reference.parallel = false;
+  PredictResult base = Trainer::Predict(&model, prepared, indices,
+                                        data::Task::kMortality, reference);
+
+  for (int64_t batch_size : {1, 7, 64}) {
+    for (int64_t threads : {1, 4}) {
+      PredictOptions options;
+      options.batch_size = batch_size;
+      options.num_threads = threads;
+      PredictResult got = Trainer::Predict(&model, prepared, indices,
+                                           data::Task::kMortality, options);
+      ASSERT_EQ(got.scores.size(), base.scores.size());
+      for (size_t i = 0; i < base.scores.size(); ++i) {
+        EXPECT_EQ(got.scores[i], base.scores[i])
+            << "batch_size=" << batch_size << " threads=" << threads
+            << " i=" << i;
+      }
+      EXPECT_EQ(got.labels, base.labels);
+    }
+  }
 }
 
 TEST(TrainerTest, RestoresBestEpochParameters) {
