@@ -10,17 +10,41 @@
 //
 //   $ ./examples/mortality_monitoring [--admissions N] [--epochs E]
 //                                     [--threshold P]
+//                                     [--checkpoint PATH]
+//                                     [--checkpoint-every K] [--resume]
+//                                     [--fault-plan SPEC]
+//
+// The fault-tolerance flags exercise elda::health: --checkpoint/-every
+// write crash-safe training checkpoints, --resume continues a killed run
+// from the checkpoint, and --fault-plan injects deterministic faults (e.g.
+// "poison_grad@40" or "fail_write@0") to rehearse the recovery paths.
 
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 
 #include "core/elda.h"
+#include "health/health.h"
 #include "synth/simulator.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
   using namespace elda;
-  Flags flags(argc, argv, {"admissions", "epochs", "threshold"});
+  Flags flags(argc, argv,
+              {"admissions", "epochs", "threshold", "checkpoint",
+               "checkpoint-every", "resume", "fault-plan"});
+
+  // Optional deterministic fault injection (same syntax as ELDA_FAULT_PLAN).
+  const std::string fault_spec = flags.GetString("fault-plan", "");
+  if (!fault_spec.empty()) {
+    health::FaultPlan plan;
+    std::string parse_error;
+    if (!health::FaultPlan::Parse(fault_spec, &plan, &parse_error)) {
+      std::cerr << "bad --fault-plan: " << parse_error << "\n";
+      return EXIT_FAILURE;
+    }
+    health::GlobalFaultInjector()->Arm(plan);
+  }
 
   // Historical cohort and model training.
   synth::CohortConfig history_config = synth::SynthPhysioNet2012();
@@ -28,10 +52,27 @@ int main(int argc, char** argv) {
   data::EmrDataset history = synth::GenerateCohort(history_config);
   core::EldaConfig config;
   config.trainer.max_epochs = flags.GetInt("epochs", 6);
+  config.trainer.checkpoint_path = flags.GetString("checkpoint", "");
+  config.trainer.checkpoint_every =
+      flags.GetInt("checkpoint-every", config.trainer.checkpoint_path.empty()
+                                          ? 0
+                                          : 1);
+  config.trainer.resume = flags.GetBool("resume", false);
   config.alert_threshold =
       static_cast<float>(flags.GetDouble("threshold", 0.4));
   core::Elda elda(config);
   train::TrainResult fit = elda.Fit(history, data::Task::kMortality);
+  if (fit.status != health::TrainStatus::kOk &&
+      fit.status != health::TrainStatus::kRecovered) {
+    std::cerr << "training failed (" << health::TrainStatusName(fit.status)
+              << "): " << fit.status_message << "\n";
+    return EXIT_FAILURE;
+  }
+  if (fit.status == health::TrainStatus::kRecovered) {
+    std::cout << "training recovered from " << fit.recoveries
+              << " rollback(s), " << fit.skipped_batches
+              << " skipped batch(es)\n";
+  }
   std::cout << "monitoring model ready (test AUC-PR " << fit.test.auc_pr
             << ", alert threshold " << config.alert_threshold << ")\n\n";
 

@@ -1,5 +1,6 @@
 #include "data/pipeline.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace elda {
@@ -161,6 +162,15 @@ bool Batcher::Next(Batch* batch) {
   *batch = MakeBatch(*prepared_, selection, task_);
   cursor_ = end;
   return true;
+}
+
+void Batcher::RestoreOrder(std::vector<int64_t> order) {
+  std::vector<int64_t> a = indices_, b = order;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  ELDA_CHECK(a == b) << "restored order is not a permutation of the split";
+  indices_ = std::move(order);
+  cursor_ = 0;
 }
 
 int64_t Batcher::NumBatchesPerEpoch() const {

@@ -108,6 +108,13 @@ class Batcher {
 
   int64_t NumBatchesPerEpoch() const;
 
+  // Checkpoint/resume support: the current index permutation. StartEpoch's
+  // shuffle permutes this order in place, so restoring it (together with the
+  // Rng that drives the shuffle) replays the remaining epochs bit-for-bit.
+  const std::vector<int64_t>& order() const { return indices_; }
+  // CHECK-fails unless `order` is a permutation of the batcher's index set.
+  void RestoreOrder(std::vector<int64_t> order);
+
  private:
   const std::vector<PreparedSample>* prepared_;
   std::vector<int64_t> indices_;

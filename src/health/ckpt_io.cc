@@ -1,0 +1,167 @@
+#include "health/ckpt_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "health/crc32.h"
+#include "health/health.h"
+
+namespace elda {
+namespace health {
+namespace {
+
+constexpr char kMagic[4] = {'E', 'L', 'D', 'A'};
+constexpr uint32_t kMaxSections = 256;
+constexpr uint64_t kMaxSectionBytes = 1ULL << 33;  // 8 GiB
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+template <typename T>
+void AppendPod(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const std::string& bytes, size_t* pos, T* value) {
+  if (*pos + sizeof(T) > bytes.size()) return false;
+  std::memcpy(value, bytes.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+bool WriteSectionedFile(const std::string& path,
+                        const std::vector<Section>& sections,
+                        std::string* error) {
+  std::string buffer;
+  buffer.append(kMagic, sizeof(kMagic));
+  AppendPod(&buffer, kSectionedFormatVersion);
+  AppendPod(&buffer, static_cast<uint32_t>(sections.size()));
+  for (const Section& section : sections) {
+    AppendPod(&buffer, static_cast<uint32_t>(section.name.size()));
+    buffer.append(section.name);
+    AppendPod(&buffer, static_cast<uint64_t>(section.payload.size()));
+    buffer.append(section.payload);
+    AppendPod(&buffer, Crc32(section.payload));
+  }
+
+  int64_t flip_offset = 0;
+  const WriteFault fault =
+      GlobalFaultInjector()->NextWriteFault(&flip_offset);
+  if (fault == WriteFault::kFail) {
+    return Fail(error, "injected write failure for " + path);
+  }
+  if (fault == WriteFault::kFlipByte && !buffer.empty()) {
+    // Silent corruption: the write "succeeds" but one byte is damaged; only
+    // the CRC check at load time can catch it.
+    buffer[static_cast<size_t>(flip_offset) % buffer.size()] ^= 0x01;
+  }
+  if (fault == WriteFault::kTruncate) {
+    // A torn non-atomic write: half the bytes land in the final file.
+    std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+    torn.write(buffer.data(),
+               static_cast<std::streamsize>(buffer.size() / 2));
+    return Fail(error, "injected torn write for " + path);
+  }
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Fail(error, "cannot open " + tmp_path + " for writing");
+    }
+    out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp_path.c_str());
+      return Fail(error, "write failure on " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Fail(error, "cannot rename " + tmp_path + " over " + path);
+  }
+  return true;
+}
+
+bool ReadSectionedFile(const std::string& path, std::vector<Section>* sections,
+                       std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail(error, "cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  size_t pos = 0;
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Fail(error, path + " is not an ELDA checkpoint");
+  }
+  pos += sizeof(kMagic);
+  uint32_t version = 0;
+  if (!ReadPod(bytes, &pos, &version)) {
+    return Fail(error, path + " is truncated in the header");
+  }
+  if (version != kSectionedFormatVersion) {
+    return Fail(error, path + " has unsupported checkpoint version " +
+                           std::to_string(version));
+  }
+  uint32_t num_sections = 0;
+  if (!ReadPod(bytes, &pos, &num_sections) || num_sections > kMaxSections) {
+    return Fail(error, path + " has a corrupt section count");
+  }
+  std::vector<Section> parsed;
+  parsed.reserve(num_sections);
+  for (uint32_t i = 0; i < num_sections; ++i) {
+    Section section;
+    uint32_t name_len = 0;
+    if (!ReadPod(bytes, &pos, &name_len) || name_len > 4096 ||
+        pos + name_len > bytes.size()) {
+      return Fail(error, path + " has a corrupt section name (section " +
+                             std::to_string(i) + ")");
+    }
+    section.name.assign(bytes, pos, name_len);
+    pos += name_len;
+    uint64_t payload_size = 0;
+    if (!ReadPod(bytes, &pos, &payload_size) ||
+        payload_size > kMaxSectionBytes ||
+        pos + payload_size > bytes.size()) {
+      return Fail(error, path + " is truncated in section '" + section.name +
+                             "'");
+    }
+    section.payload.assign(bytes, pos, payload_size);
+    pos += payload_size;
+    uint32_t stored_crc = 0;
+    if (!ReadPod(bytes, &pos, &stored_crc)) {
+      return Fail(error, path + " is truncated in section '" + section.name +
+                             "'");
+    }
+    const uint32_t actual_crc = Crc32(section.payload);
+    if (actual_crc != stored_crc) {
+      return Fail(error, "checksum mismatch in section '" + section.name +
+                             "' of " + path + " (stored " +
+                             std::to_string(stored_crc) + ", computed " +
+                             std::to_string(actual_crc) + ")");
+    }
+    parsed.push_back(std::move(section));
+  }
+  if (pos != bytes.size()) {
+    return Fail(error, path + " has trailing bytes after the last section");
+  }
+  *sections = std::move(parsed);
+  return true;
+}
+
+const Section* FindSection(const std::vector<Section>& sections,
+                           const std::string& name) {
+  for (const Section& section : sections) {
+    if (section.name == name) return &section;
+  }
+  return nullptr;
+}
+
+}  // namespace health
+}  // namespace elda

@@ -1,0 +1,55 @@
+// Crash-safe sectioned checkpoint container (format v2).
+//
+// Layout (little-endian):
+//   magic "ELDA" | uint32 version (= 2) | uint32 num_sections |
+//   per section: uint32 name_len | name bytes |
+//                uint64 payload_size | payload bytes | uint32 crc32(payload)
+//
+// Writes are atomic: the file is assembled in memory, written to
+// `path + ".tmp"`, flushed, and renamed over `path`, so a crash mid-write
+// leaves the previous checkpoint intact. Every section payload carries a
+// CRC32 that the reader verifies, so torn writes and bit rot are rejected
+// with a precise error instead of being loaded as garbage.
+//
+// The writer consults the global health::FaultInjector, which lets tests
+// deterministically fail a write, tear the file mid-write (bypassing the
+// atomic rename, as a non-atomic writer would), or flip a byte in the output
+// to exercise the CRC path.
+
+#ifndef ELDA_HEALTH_CKPT_IO_H_
+#define ELDA_HEALTH_CKPT_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elda {
+namespace health {
+
+inline constexpr uint32_t kSectionedFormatVersion = 2;
+
+struct Section {
+  std::string name;
+  std::string payload;  // raw bytes
+};
+
+// Writes `sections` to `path` atomically (temp file + rename). Returns false
+// with a message in `error` on I/O failure or an injected write fault.
+bool WriteSectionedFile(const std::string& path,
+                        const std::vector<Section>& sections,
+                        std::string* error);
+
+// Reads a v2 sectioned file, verifying magic, version, structure, and every
+// section's CRC32. Returns false with a precise error (naming the bad
+// section) on any mismatch; `sections` is only filled on success.
+bool ReadSectionedFile(const std::string& path, std::vector<Section>* sections,
+                       std::string* error);
+
+// Convenience lookup; returns nullptr when absent.
+const Section* FindSection(const std::vector<Section>& sections,
+                           const std::string& name);
+
+}  // namespace health
+}  // namespace elda
+
+#endif  // ELDA_HEALTH_CKPT_IO_H_

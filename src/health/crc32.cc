@@ -1,0 +1,36 @@
+#include "health/crc32.h"
+
+#include <array>
+
+namespace elda {
+namespace health {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? kPolynomial ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace health
+}  // namespace elda

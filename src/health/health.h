@@ -1,0 +1,141 @@
+// Numerical-health monitoring and deterministic fault injection for the
+// training loop.
+//
+// Long clinical-RNN runs fail in two characteristic ways: numerically (a NaN
+// batch or exploding loss poisons the parameters) and operationally (the
+// process is killed mid-run, or a checkpoint is torn on disk). This header
+// provides the vocabulary for both:
+//
+//   * TrainStatus / RecoveryPolicy — the structured outcome of a run and the
+//     configured reaction to an unhealthy step (skip the batch, roll back to
+//     the last good snapshot with the learning rate halved, or abort).
+//   * HealthMonitor — a per-step check fusing the NaN/Inf scan over the loss
+//     and post-clip gradient norm with a loss-explosion detector (trailing
+//     window mean).
+//   * FaultPlan / FaultInjector — deterministic fault hooks (poison the
+//     gradient at step N, fail / truncate / bit-flip checkpoint write K) so
+//     every recovery path is exercised by tests instead of hoped-for.
+//     Armed programmatically or via the ELDA_FAULT_PLAN environment variable.
+
+#ifndef ELDA_HEALTH_HEALTH_H_
+#define ELDA_HEALTH_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elda {
+namespace health {
+
+// Structured outcome of a training run. Anything other than kOk/kRecovered
+// means the returned metrics describe a partial run (or no run at all).
+enum class TrainStatus {
+  kOk,              // completed with no interventions
+  kRecovered,       // completed after >= 1 skip or rollback
+  kAborted,         // stopped by the recovery policy; metrics are best-so-far
+  kEmptyTrainSplit, // nothing to train on; no metrics
+  kCheckpointError, // resume requested but the checkpoint was unusable
+};
+
+const char* TrainStatusName(TrainStatus status);
+
+// Reaction to an unhealthy training step.
+enum class RecoveryPolicy {
+  kSkipBatch,  // drop the batch's update and move on
+  kRollback,   // restore the last epoch-boundary snapshot, halve the LR
+  kAbort,      // stop training, return best-so-far metrics
+};
+
+struct HealthConfig {
+  RecoveryPolicy policy = RecoveryPolicy::kRollback;
+  // A step whose loss exceeds `loss_explosion_factor` times the trailing
+  // window mean is flagged as an explosion; <= 0 disables the detector.
+  double loss_explosion_factor = 1e3;
+  int64_t loss_window = 64;  // trailing healthy-loss window size
+  int64_t max_rollbacks = 3;          // rollback budget before aborting
+  int64_t max_skipped_batches = 16;   // skip budget before aborting
+};
+
+enum class StepVerdict {
+  kHealthy,
+  kNonFinite,      // NaN/Inf in the loss or post-clip gradient norm
+  kLossExplosion,  // finite but far above the trailing mean
+};
+
+const char* StepVerdictName(StepVerdict verdict);
+
+// Per-step monitor. Check() is pure; Observe() records a healthy step's loss
+// into the trailing window; Reset() clears the window after a rollback so
+// pre-rollback losses do not skew the detector.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(const HealthConfig& config);
+
+  StepVerdict Check(double loss, double grad_norm) const;
+  void Observe(double loss);
+  void Reset();
+
+  int64_t observed_steps() const { return observed_; }
+
+ private:
+  HealthConfig config_;
+  std::vector<double> window_;  // ring buffer of recent healthy losses
+  double window_sum_ = 0.0;
+  int64_t observed_ = 0;  // total healthy steps observed since Reset
+};
+
+// A deterministic set of faults to inject into one run. All step/write
+// indices are 0-based; -1 disables the fault. Each fault fires at most once.
+struct FaultPlan {
+  int64_t poison_grad_at_step = -1;   // optimizer step whose gradient gets NaN
+  int64_t fail_write_at = -1;         // checkpoint write that fails outright
+  int64_t truncate_write_at = -1;     // write torn mid-file (non-atomic crash)
+  int64_t flip_byte_write_at = -1;    // write whose output gets one bit flip
+  int64_t flip_byte_offset = 24;      // byte offset flipped by the above
+
+  bool Any() const;
+
+  // Parses a spec like "poison_grad@12,fail_write@0,flip_byte@1:40" —
+  // comma/semicolon-separated `fault@index` terms, flip_byte taking an
+  // optional `:offset`. Returns false with a message on malformed input.
+  static bool Parse(const std::string& spec, FaultPlan* plan,
+                    std::string* error);
+};
+
+// What ckpt_io should do to the checkpoint write it is about to perform.
+enum class WriteFault { kNone, kFail, kTruncate, kFlipByte };
+
+// Holds the armed plan and the counters that decide when each fault fires.
+// Single-threaded by design: the trainer loop and checkpoint writes happen
+// on the driver thread.
+class FaultInjector {
+ public:
+  void Arm(const FaultPlan& plan);
+  void Disarm();
+  bool armed() const { return armed_; }
+
+  // True exactly once, when `step` matches the planned poison step.
+  bool ConsumePoisonGrad(int64_t step);
+
+  // Consumes one checkpoint-write slot and reports the fault (if any) for
+  // it. `flip_offset` receives the byte offset for kFlipByte.
+  WriteFault NextWriteFault(int64_t* flip_offset);
+
+  int64_t writes_seen() const { return write_count_; }
+
+ private:
+  FaultPlan plan_;
+  bool armed_ = false;
+  bool poison_fired_ = false;
+  int64_t write_count_ = 0;
+};
+
+// Process-global injector. On first access, arms itself from the
+// ELDA_FAULT_PLAN environment variable if set (a malformed spec is fatal, so
+// a typo cannot silently disable a planned fault).
+FaultInjector* GlobalFaultInjector();
+
+}  // namespace health
+}  // namespace elda
+
+#endif  // ELDA_HEALTH_HEALTH_H_

@@ -25,7 +25,7 @@ int64_t CountPositives(const std::vector<float>& labels) {
 double BceLoss(const std::vector<float>& scores,
                const std::vector<float>& labels) {
   ELDA_CHECK_EQ(scores.size(), labels.size());
-  ELDA_CHECK(!scores.empty());
+  if (scores.empty()) return 0.0;
   double loss = 0.0;
   for (size_t i = 0; i < scores.size(); ++i) {
     const double p =
@@ -41,8 +41,9 @@ double AucRoc(const std::vector<float>& scores,
   const int64_t n = static_cast<int64_t>(scores.size());
   const int64_t positives = CountPositives(labels);
   const int64_t negatives = n - positives;
-  ELDA_CHECK(positives > 0 && negatives > 0)
-      << "AUC-ROC needs both classes (" << positives << "positives)";
+  // Degenerate label set: no positive/negative pair exists, so no ranking
+  // is measurable; chance level keeps downstream aggregation NaN-free.
+  if (positives == 0 || negatives == 0) return 0.5;
   // Midranks over scores.
   std::vector<int64_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -71,7 +72,10 @@ double AucPr(const std::vector<float>& scores,
   ELDA_CHECK_EQ(scores.size(), labels.size());
   const int64_t n = static_cast<int64_t>(scores.size());
   const int64_t positives = CountPositives(labels);
-  ELDA_CHECK_GT(positives, 0) << "AUC-PR needs at least one positive";
+  // With no positives the PR curve has no achievable points; the positive
+  // prevalence (here 0) is the defined degenerate value. The all-positive
+  // case needs no special-casing: precision stays 1 and the area is 1.
+  if (positives == 0) return 0.0;
   std::vector<int64_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {

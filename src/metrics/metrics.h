@@ -16,17 +16,25 @@
 namespace elda {
 namespace metrics {
 
+// Degenerate index sets (an all-positive, all-negative, or empty label
+// vector — routine on tiny validation splits and bootstrap resamples) yield
+// defined values rather than NaN or a crash:
+//   BceLoss -> 0.0 on empty input;
+//   AucRoc  -> 0.5 (chance) when either class is absent;
+//   AucPr   -> the positive prevalence (1.0 all-positive, 0.0 all-negative).
+
 // Mean binary cross-entropy of probability scores against {0,1} labels.
 // Scores are clamped to [1e-7, 1-1e-7].
 double BceLoss(const std::vector<float>& scores,
                const std::vector<float>& labels);
 
-// Area under the ROC curve; 0.5 for a random ranking. Requires at least one
-// positive and one negative label.
+// Area under the ROC curve; 0.5 for a random ranking or when the labels
+// contain only one class (no ranking is measurable).
 double AucRoc(const std::vector<float>& scores,
               const std::vector<float>& labels);
 
-// Area under the precision-recall curve.
+// Area under the precision-recall curve; the positive prevalence when the
+// labels are degenerate.
 double AucPr(const std::vector<float>& scores,
              const std::vector<float>& labels);
 

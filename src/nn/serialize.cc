@@ -5,12 +5,19 @@
 #include <fstream>
 #include <map>
 
+#include "health/ckpt_io.h"
+
 namespace elda {
 namespace nn {
 namespace {
 
 constexpr char kMagic[4] = {'E', 'L', 'D', 'A'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kLegacyVersion = 1;
+constexpr char kParamsSection[] = "params";
+
+// Corrupt files must not drive allocation: per-tensor volume is capped (2^28
+// floats = 1 GiB) on top of the positive-dims check.
+constexpr int64_t kMaxTensorElements = int64_t{1} << 28;
 
 bool Fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
@@ -18,38 +25,142 @@ bool Fail(std::string* error, const std::string& message) {
 }
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void AppendPod(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return in.good();
+// Bounds-checked little-endian reader over an in-memory blob.
+class BlobReader {
+ public:
+  explicit BlobReader(const std::string& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Pod(T* value) {
+    if (pos_ + sizeof(T) > bytes_.size()) return false;
+    std::memcpy(value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool String(size_t length, std::string* out) {
+    if (pos_ + length > bytes_.size()) return false;
+    out->assign(bytes_, pos_, length);
+    pos_ += length;
+    return true;
+  }
+
+  bool Floats(float* dst, int64_t count) {
+    const size_t n = static_cast<size_t>(count) * sizeof(float);
+    if (pos_ + n > bytes_.size()) return false;
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool Done() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+// Validates dims read from an untrusted file and returns the volume, or -1
+// when the shape is rejected (non-positive dim, overflow, or over the cap).
+int64_t CheckedVolume(const std::vector<int64_t>& shape) {
+  int64_t volume = 1;
+  for (int64_t d : shape) {
+    if (d <= 0) return -1;
+    if (volume > kMaxTensorElements / d) return -1;
+    volume *= d;
+  }
+  return volume;
 }
 
 }  // namespace
 
+std::string EncodeParameters(const Module& module) {
+  std::string blob;
+  const auto named = module.NamedParameters();
+  AppendPod(&blob, static_cast<uint64_t>(named.size()));
+  for (const auto& [name, var] : named) {
+    AppendPod(&blob, static_cast<uint32_t>(name.size()));
+    blob.append(name);
+    const Tensor& value = var.value();
+    AppendPod(&blob, static_cast<uint32_t>(value.dim()));
+    for (int64_t d : value.shape()) AppendPod(&blob, d);
+    blob.append(reinterpret_cast<const char*>(value.data()),
+                static_cast<size_t>(value.size()) * sizeof(float));
+  }
+  return blob;
+}
+
+bool DecodeParameters(Module* module, const std::string& blob,
+                      std::string* error) {
+  ELDA_CHECK(module != nullptr);
+  BlobReader reader(blob);
+  uint64_t count = 0;
+  if (!reader.Pod(&count)) return Fail(error, "truncated checkpoint");
+
+  std::map<std::string, ag::Variable> targets;
+  for (const auto& [name, var] : module->NamedParameters()) {
+    targets.emplace(name, var);
+  }
+  if (count != targets.size()) {
+    return Fail(error, "checkpoint holds " + std::to_string(count) +
+                           " parameters, module declares " +
+                           std::to_string(targets.size()));
+  }
+  // Decode into staging tensors first so a failure partway through leaves
+  // the module untouched.
+  std::vector<std::pair<ag::Variable, Tensor>> staged;
+  staged.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!reader.Pod(&name_len) || name_len > 4096) {
+      return Fail(error, "corrupt parameter name");
+    }
+    std::string name;
+    if (!reader.String(name_len, &name)) {
+      return Fail(error, "truncated parameter name");
+    }
+    uint32_t rank = 0;
+    if (!reader.Pod(&rank) || rank > 8) {
+      return Fail(error, "corrupt parameter header for " + name);
+    }
+    std::vector<int64_t> shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!reader.Pod(&shape[d])) return Fail(error, "truncated shape");
+    }
+    const int64_t volume = CheckedVolume(shape);
+    if (volume < 0) {
+      return Fail(error, "rejected dimensions for " + name +
+                             " (non-positive or oversized)");
+    }
+    auto it = targets.find(name);
+    if (it == targets.end()) {
+      return Fail(error, "checkpoint parameter " + name +
+                             " not declared by the module");
+    }
+    if (it->second.value().shape() != shape) {
+      return Fail(error, "shape mismatch for " + name);
+    }
+    Tensor loaded(shape);
+    if (!reader.Floats(loaded.data(), volume)) {
+      return Fail(error, "truncated data for " + name);
+    }
+    staged.emplace_back(it->second, std::move(loaded));
+  }
+  for (auto& [var, tensor] : staged) {
+    *var.mutable_value() = tensor;
+  }
+  return true;
+}
+
 bool SaveParameters(const Module& module, const std::string& path,
                     std::string* error) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Fail(error, "cannot open " + path + " for writing");
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
-  const auto named = module.NamedParameters();
-  WritePod(out, static_cast<uint64_t>(named.size()));
-  for (const auto& [name, var] : named) {
-    WritePod(out, static_cast<uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    const Tensor& value = var.value();
-    WritePod(out, static_cast<uint32_t>(value.dim()));
-    for (int64_t d : value.shape()) WritePod(out, d);
-    out.write(reinterpret_cast<const char*>(value.data()),
-              static_cast<std::streamsize>(value.size() * sizeof(float)));
-  }
-  out.flush();
-  if (!out) return Fail(error, "write failure on " + path);
-  return true;
+  std::vector<health::Section> sections;
+  sections.push_back({kParamsSection, EncodeParameters(module)});
+  return health::WriteSectionedFile(path, sections, error);
 }
 
 bool LoadParameters(Module* module, const std::string& path,
@@ -63,52 +174,25 @@ bool LoadParameters(Module* module, const std::string& path,
     return Fail(error, path + " is not an ELDA checkpoint");
   }
   uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Fail(error, "unsupported checkpoint version");
-  }
-  uint64_t count = 0;
-  if (!ReadPod(in, &count)) return Fail(error, "truncated checkpoint");
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in) return Fail(error, path + " is truncated in the header");
 
-  std::map<std::string, ag::Variable> targets;
-  for (const auto& [name, var] : module->NamedParameters()) {
-    targets.emplace(name, var);
+  if (version == kLegacyVersion) {
+    // v1: the rest of the file is the raw parameter blob, unchecksummed.
+    std::string blob((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return DecodeParameters(module, blob, error);
   }
-  if (count != targets.size()) {
-    return Fail(error, "checkpoint holds " + std::to_string(count) +
-                           " parameters, module declares " +
-                           std::to_string(targets.size()));
+  in.close();
+
+  std::vector<health::Section> sections;
+  if (!health::ReadSectionedFile(path, &sections, error)) return false;
+  const health::Section* params =
+      health::FindSection(sections, kParamsSection);
+  if (params == nullptr) {
+    return Fail(error, path + " has no '" + kParamsSection + "' section");
   }
-  for (uint64_t i = 0; i < count; ++i) {
-    uint32_t name_len = 0;
-    if (!ReadPod(in, &name_len) || name_len > 4096) {
-      return Fail(error, "corrupt parameter name");
-    }
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    uint32_t rank = 0;
-    if (!in || !ReadPod(in, &rank) || rank > 8) {
-      return Fail(error, "corrupt parameter header for " + name);
-    }
-    std::vector<int64_t> shape(rank);
-    for (uint32_t d = 0; d < rank; ++d) {
-      if (!ReadPod(in, &shape[d])) return Fail(error, "truncated shape");
-    }
-    auto it = targets.find(name);
-    if (it == targets.end()) {
-      return Fail(error, "checkpoint parameter " + name +
-                             " not declared by the module");
-    }
-    ag::Variable var = it->second;
-    if (var.value().shape() != shape) {
-      return Fail(error, "shape mismatch for " + name);
-    }
-    Tensor loaded(shape);
-    in.read(reinterpret_cast<char*>(loaded.data()),
-            static_cast<std::streamsize>(loaded.size() * sizeof(float)));
-    if (!in) return Fail(error, "truncated data for " + name);
-    *var.mutable_value() = loaded;
-  }
-  return true;
+  return DecodeParameters(module, params->payload, error);
 }
 
 }  // namespace nn

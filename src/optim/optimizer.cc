@@ -85,6 +85,30 @@ void Adam::Step() {
   }
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.step_count = step_count_;
+  state.lr = lr_;
+  state.m.reserve(m_.size());
+  state.v.reserve(v_.size());
+  for (const Tensor& t : m_) state.m.push_back(t.Clone());
+  for (const Tensor& t : v_) state.v.push_back(t.Clone());
+  return state;
+}
+
+void Adam::RestoreState(const AdamState& state) {
+  ELDA_CHECK_EQ(state.m.size(), m_.size());
+  ELDA_CHECK_EQ(state.v.size(), v_.size());
+  for (size_t i = 0; i < m_.size(); ++i) {
+    ELDA_CHECK(state.m[i].shape() == m_[i].shape());
+    ELDA_CHECK(state.v[i].shape() == v_[i].shape());
+    m_[i] = state.m[i].Clone();
+    v_[i] = state.v[i].Clone();
+  }
+  step_count_ = state.step_count;
+  lr_ = state.lr;
+}
+
 StepDecaySchedule::StepDecaySchedule(Adam* optimizer, int64_t step_size,
                                      float gamma)
     : optimizer_(optimizer), step_size_(step_size), gamma_(gamma) {
@@ -100,8 +124,7 @@ void StepDecaySchedule::OnEpochEnd() {
   }
 }
 
-float ClipGradNorm(const std::vector<ag::Variable>& params, float max_norm) {
-  ELDA_CHECK_GT(max_norm, 0.0f);
+float GlobalGradNorm(const std::vector<ag::Variable>& params) {
   double sum_sq = 0.0;
   for (const ag::Variable& p : params) {
     if (!p.has_grad()) continue;
@@ -110,7 +133,12 @@ float ClipGradNorm(const std::vector<ag::Variable>& params, float max_norm) {
       sum_sq += static_cast<double>(g[j]) * g[j];
     }
   }
-  const float norm = static_cast<float>(std::sqrt(sum_sq));
+  return static_cast<float>(std::sqrt(sum_sq));
+}
+
+float ClipGradNorm(const std::vector<ag::Variable>& params, float max_norm) {
+  ELDA_CHECK_GT(max_norm, 0.0f);
+  const float norm = GlobalGradNorm(params);
   if (norm > max_norm) {
     const float scale = max_norm / (norm + 1e-12f);
     for (const ag::Variable& p : params) {

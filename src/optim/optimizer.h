@@ -50,6 +50,16 @@ class Sgd : public Optimizer {
   std::vector<Tensor> velocity_;
 };
 
+// Complete serialisable Adam state, for crash-safe checkpoint/resume and
+// the trainer's rollback snapshots: restoring it makes subsequent steps
+// bitwise identical to an optimizer that never stopped.
+struct AdamState {
+  int64_t step_count = 0;
+  float lr = 0.0f;
+  std::vector<Tensor> m;  // first moments, deep copies
+  std::vector<Tensor> v;  // second moments, deep copies
+};
+
 // Adam (Kingma & Ba, 2015) with bias correction. A non-zero `weight_decay`
 // applies decoupled decay (AdamW, Loshchilov & Hutter 2019): parameters
 // shrink by lr * decay per step independent of the adaptive moments.
@@ -60,6 +70,12 @@ class Adam : public Optimizer {
        float weight_decay = 0.0f);
 
   void Step() override;
+
+  // Deep-copies the moment tensors, step counter and learning rate out of /
+  // back into the optimizer. RestoreState CHECK-fails on a parameter-count
+  // or shape mismatch (the state must come from an identical architecture).
+  AdamState ExportState() const;
+  void RestoreState(const AdamState& state);
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
@@ -94,7 +110,15 @@ class StepDecaySchedule {
 // Scales all gradients so their global L2 norm is at most `max_norm`.
 // Returns the pre-clip norm. A no-op (returning the norm) if already within
 // bounds. Parameters without gradients contribute zero.
+//
+// Note for health monitoring: a NaN/Inf gradient makes the returned norm
+// non-finite and leaves the gradients unscaled, so the returned value doubles
+// as a fused NaN/Inf scan over the post-clip gradients.
 float ClipGradNorm(const std::vector<ag::Variable>& params, float max_norm);
+
+// Global L2 norm of the accumulated gradients without clipping (the scan
+// half of ClipGradNorm, for runs that disable clipping).
+float GlobalGradNorm(const std::vector<ag::Variable>& params);
 
 }  // namespace optim
 }  // namespace elda

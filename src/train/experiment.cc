@@ -1,5 +1,7 @@
 #include "train/experiment.h"
 
+#include <iostream>
+
 namespace elda {
 namespace train {
 
@@ -38,17 +40,33 @@ ModelStats RunRepeated(
     Trainer trainer(config);
     TrainResult result = trainer.Train(model.get(), experiment.prepared(),
                                        experiment.split(), experiment.task());
+    if (result.status != health::TrainStatus::kOk &&
+        result.status != health::TrainStatus::kRecovered) {
+      // A failed run has no trustworthy metrics; report it instead of
+      // letting garbage skew the aggregate.
+      ++stats.failed_runs;
+      std::cerr << stats.name << " run " << run << " failed ("
+                << health::TrainStatusName(result.status) << ": "
+                << result.status_message << "); excluded from aggregates\n";
+      continue;
+    }
+    if (result.status == health::TrainStatus::kRecovered) {
+      ++stats.recovered_runs;
+    }
     bces.push_back(result.test.bce);
     rocs.push_back(result.test.auc_roc);
     prs.push_back(result.test.auc_pr);
     batch_seconds += result.train_seconds_per_batch;
     predict_ms += result.predict_ms_per_sample;
   }
+  const int64_t completed = static_cast<int64_t>(bces.size());
+  ELDA_CHECK_GT(completed, 0)
+      << "all" << num_runs << "runs of" << stats.name << "failed";
   stats.bce = metrics::Aggregate(bces);
   stats.auc_roc = metrics::Aggregate(rocs);
   stats.auc_pr = metrics::Aggregate(prs);
-  stats.train_seconds_per_batch = batch_seconds / num_runs;
-  stats.predict_ms_per_sample = predict_ms / num_runs;
+  stats.train_seconds_per_batch = batch_seconds / completed;
+  stats.predict_ms_per_sample = predict_ms / completed;
   return stats;
 }
 

@@ -52,10 +52,16 @@ struct ModelStats {
   metrics::MeanStd auc_pr;
   double train_seconds_per_batch = 0.0;
   double predict_ms_per_sample = 0.0;
+  // Runs that ended with a terminal TrainStatus (aborted / checkpoint
+  // error); their metrics are excluded from the aggregates above.
+  int64_t failed_runs = 0;
+  int64_t recovered_runs = 0;  // completed via skip/rollback recovery
 };
 
 // Trains `make_model(seed)` num_runs times on the prepared experiment and
-// aggregates the test metrics.
+// aggregates the test metrics over the runs that completed (status kOk or
+// kRecovered). Failed runs are counted in `failed_runs` and skipped; at
+// least one run must complete.
 ModelStats RunRepeated(
     const std::function<std::unique_ptr<SequenceModel>(uint64_t seed)>&
         make_model,

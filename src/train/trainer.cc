@@ -1,13 +1,18 @@
 #include "train/trainer.h"
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <limits>
 
 #include "autograd/ops.h"
+#include "health/health.h"
 #include "metrics/metrics.h"
+#include "nn/serialize.h"
 #include "optim/optimizer.h"
 #include "par/par.h"
 #include "tensor/tensor_ops.h"
+#include "train/checkpoint.h"
 #include "util/stopwatch.h"
 
 namespace elda {
@@ -26,6 +31,32 @@ std::vector<float> LabelsFor(const std::vector<data::PreparedSample>& prepared,
   }
   return labels;
 }
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+// Injected fault: corrupts the first available gradient with a NaN, the way
+// a numerically blown-up backward pass would.
+void PoisonGradients(const std::vector<ag::Variable>& params) {
+  for (const ag::Variable& p : params) {
+    if (!p.has_grad()) continue;
+    // Gradients are logically mutable state owned by the optimizer loop.
+    const_cast<float*>(p.grad().data())[0] =
+        std::numeric_limits<float>::quiet_NaN();
+    return;
+  }
+}
+
+// In-memory state captured at each epoch boundary, enough to deterministically
+// replay the epoch after a rollback (the checkpoint file holds the same state
+// plus bookkeeping for cross-process resume).
+struct RunSnapshot {
+  std::vector<Tensor> params;
+  optim::AdamState adam;
+  RngState rng;
+  std::vector<int64_t> order;
+};
 
 }  // namespace
 
@@ -94,47 +125,213 @@ TrainResult Trainer::Train(SequenceModel* model,
   par::ScopedNumThreads scoped_threads(config_.num_threads);
   TrainResult result;
   result.num_parameters = model->NumParameters();
+  if (split.train.empty()) {
+    result.status = health::TrainStatus::kEmptyTrainSplit;
+    result.status_message = "train split is empty; nothing to train on";
+    return result;
+  }
   std::vector<ag::Variable> params = model->Parameters();
   optim::Adam adam(params, config_.learning_rate);
   Rng rng(config_.seed);
   data::Batcher batcher(&prepared, split.train, config_.batch_size, task,
                         &rng);
+  health::HealthMonitor monitor(config_.health);
+  health::FaultInjector* inject = health::GlobalFaultInjector();
+  const bool checkpointing =
+      config_.checkpoint_every > 0 && !config_.checkpoint_path.empty();
 
   double best_val_auc_pr = -1.0;
   std::vector<Tensor> best_params;
   int64_t epochs_without_improvement = 0;
   double total_batch_seconds = 0.0;
   int64_t total_batches = 0;
+  int64_t start_epoch = 0;
+  int64_t global_step = 0;  // optimizer steps, for deterministic faults
 
-  for (int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
-    model->SetTraining(true);
-    batcher.StartEpoch();
-    data::Batch batch;
+  if (config_.resume && !config_.checkpoint_path.empty() &&
+      FileExists(config_.checkpoint_path)) {
+    TrainCheckpoint ckpt;
+    std::string err;
+    if (!LoadTrainCheckpoint(config_.checkpoint_path, &ckpt, &err) ||
+        !nn::DecodeParameters(model, ckpt.params_blob, &err)) {
+      result.status = health::TrainStatus::kCheckpointError;
+      result.status_message = err;
+      return result;
+    }
+    std::vector<int64_t> expected = split.train, stored = ckpt.batch_order;
+    std::sort(expected.begin(), expected.end());
+    std::sort(stored.begin(), stored.end());
+    if (expected != stored) {
+      result.status = health::TrainStatus::kCheckpointError;
+      result.status_message = config_.checkpoint_path +
+                              " was written for a different train split";
+      return result;
+    }
+    adam.RestoreState(ckpt.adam);
+    rng.RestoreState(ckpt.rng);
+    batcher.RestoreOrder(ckpt.batch_order);
+    start_epoch = ckpt.next_epoch;
+    best_val_auc_pr = ckpt.best_val_auc_pr;
+    best_params = std::move(ckpt.best_params);
+    epochs_without_improvement = ckpt.epochs_without_improvement;
+    total_batch_seconds = ckpt.total_batch_seconds;
+    total_batches = ckpt.total_batches;
+    global_step = ckpt.total_batches;
+    result.val = ckpt.best_val;
+    result.best_epoch = ckpt.best_epoch;
+    result.epochs_run = ckpt.epochs_run;
+    result.recoveries = ckpt.recoveries;
+    result.skipped_batches = ckpt.skipped_batches;
+    if (epochs_without_improvement > config_.patience) {
+      // Early stopping had already triggered when this checkpoint was
+      // written; skip straight to finalization so the resumed run matches
+      // the uninterrupted one.
+      start_epoch = config_.max_epochs;
+    }
+    if (config_.verbose) {
+      std::cerr << model->name() << " resumed from "
+                << config_.checkpoint_path << " at epoch " << start_epoch
+                << "\n";
+    }
+  }
+
+  auto take_snapshot = [&]() {
+    RunSnapshot snap;
+    snap.params.reserve(params.size());
+    for (const ag::Variable& p : params) {
+      snap.params.push_back(p.value().Clone());
+    }
+    snap.adam = adam.ExportState();
+    snap.rng = rng.SaveState();
+    snap.order = batcher.order();
+    return snap;
+  };
+  auto restore_snapshot = [&](const RunSnapshot& snap) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      *params[i].mutable_value() = snap.params[i].Clone();
+    }
+    adam.RestoreState(snap.adam);
+    rng.RestoreState(snap.rng);
+    batcher.RestoreOrder(snap.order);
+  };
+  auto write_checkpoint = [&](int64_t next_epoch) {
+    TrainCheckpoint ckpt;
+    ckpt.next_epoch = next_epoch;
+    ckpt.epochs_run = result.epochs_run;
+    ckpt.best_epoch = result.best_epoch;
+    ckpt.epochs_without_improvement = epochs_without_improvement;
+    ckpt.total_batches = total_batches;
+    ckpt.recoveries = result.recoveries;
+    ckpt.skipped_batches = result.skipped_batches;
+    ckpt.best_val_auc_pr = best_val_auc_pr;
+    ckpt.best_val = result.val;
+    ckpt.total_batch_seconds = total_batch_seconds;
+    ckpt.params_blob = nn::EncodeParameters(*model);
+    ckpt.adam = adam.ExportState();
+    ckpt.rng = rng.SaveState();
+    ckpt.batch_order = batcher.order();
+    ckpt.best_params.reserve(best_params.size());
+    for (const Tensor& t : best_params) {
+      ckpt.best_params.push_back(t.Clone());
+    }
+    std::string err;
+    if (!SaveTrainCheckpoint(config_.checkpoint_path, ckpt, &err)) {
+      ++result.checkpoint_write_failures;
+      std::cerr << model->name() << ": checkpoint write failed (" << err
+                << "); training continues\n";
+    }
+  };
+
+  bool aborted = false;
+  for (int64_t epoch = start_epoch;
+       epoch < config_.max_epochs && !aborted; ++epoch) {
+    // Last-good state for rollback recovery; refreshed each epoch boundary
+    // (before the shuffle, so a replayed epoch draws the same batches).
+    const RunSnapshot boundary = take_snapshot();
     double epoch_loss = 0.0;
     int64_t epoch_batches = 0;
-    while (batcher.Next(&batch)) {
-      Stopwatch sw;
-      adam.ZeroGrad();
-      ag::Variable logits = model->Forward(batch);
-      ag::Variable loss = ag::BceWithLogits(logits, batch.y);
-      loss.Backward();
-      if (config_.clip_norm > 0.0f) {
-        optim::ClipGradNorm(params, config_.clip_norm);
+    bool epoch_complete = false;
+    while (!epoch_complete && !aborted) {
+      model->SetTraining(true);
+      batcher.StartEpoch();
+      epoch_loss = 0.0;
+      epoch_batches = 0;
+      bool rolled_back = false;
+      data::Batch batch;
+      while (batcher.Next(&batch)) {
+        Stopwatch sw;
+        adam.ZeroGrad();
+        ag::Variable logits = model->Forward(batch);
+        ag::Variable loss = ag::BceWithLogits(logits, batch.y);
+        loss.Backward();
+        if (inject->ConsumePoisonGrad(global_step)) {
+          PoisonGradients(params);
+        }
+        // The returned norm doubles as a fused NaN/Inf scan over the
+        // post-clip gradients (non-finite norms pass through unscaled).
+        const float grad_norm =
+            config_.clip_norm > 0.0f
+                ? optim::ClipGradNorm(params, config_.clip_norm)
+                : optim::GlobalGradNorm(params);
+        const double loss_value = loss.value()[0];
+        ++global_step;
+        const health::StepVerdict verdict =
+            monitor.Check(loss_value, grad_norm);
+        if (verdict != health::StepVerdict::kHealthy) {
+          if (config_.verbose) {
+            std::cerr << model->name() << " epoch " << epoch << " step "
+                      << global_step - 1 << ": "
+                      << health::StepVerdictName(verdict) << " (loss "
+                      << loss_value << ", grad norm " << grad_norm << ")\n";
+          }
+          if (config_.health.policy == health::RecoveryPolicy::kSkipBatch &&
+              result.skipped_batches < config_.health.max_skipped_batches) {
+            ++result.skipped_batches;
+            continue;  // drop this batch's update
+          }
+          if (config_.health.policy == health::RecoveryPolicy::kRollback &&
+              result.recoveries < config_.health.max_rollbacks) {
+            ++result.recoveries;
+            const float halved_lr = adam.lr() * 0.5f;
+            restore_snapshot(boundary);
+            adam.set_lr(halved_lr);
+            monitor.Reset();
+            rolled_back = true;
+            break;  // replay the epoch from the boundary snapshot
+          }
+          // kAbort, or the skip/rollback budget is exhausted.
+          aborted = true;
+          result.status_message =
+              std::string("unhealthy step (") +
+              health::StepVerdictName(verdict) + ") at step " +
+              std::to_string(global_step - 1) + "; policy " +
+              (config_.health.policy == health::RecoveryPolicy::kAbort
+                   ? "abort"
+                   : "recovery budget exhausted");
+          break;
+        }
+        adam.Step();
+        monitor.Observe(loss_value);
+        total_batch_seconds += sw.Seconds();
+        ++total_batches;
+        epoch_loss += loss_value;
+        ++epoch_batches;
       }
-      adam.Step();
-      total_batch_seconds += sw.Seconds();
-      ++total_batches;
-      epoch_loss += loss.value()[0];
-      ++epoch_batches;
+      epoch_complete = !rolled_back;
+    }
+    if (aborted) {
+      result.epochs_run = epoch + 1;
+      break;
     }
     result.epochs_run = epoch + 1;
 
     const EvalResult val = Evaluate(model, prepared, split.val, task);
     if (config_.verbose) {
-      std::cerr << model->name() << " epoch " << epoch
-                << " train_bce=" << epoch_loss / epoch_batches
+      std::cerr << model->name() << " epoch " << epoch << " train_bce="
+                << (epoch_batches > 0 ? epoch_loss / epoch_batches : 0.0)
                 << " val_auc_pr=" << val.auc_pr << "\n";
     }
+    bool stop = false;
     if (val.auc_pr > best_val_auc_pr) {
       best_val_auc_pr = val.auc_pr;
       result.val = val;
@@ -145,8 +342,12 @@ TrainResult Trainer::Train(SequenceModel* model,
         best_params.push_back(p.value().Clone());
       }
     } else if (++epochs_without_improvement > config_.patience) {
-      break;
+      stop = true;
     }
+    if (checkpointing && (epoch + 1) % config_.checkpoint_every == 0) {
+      write_checkpoint(epoch + 1);
+    }
+    if (stop) break;
   }
 
   // Restore the best-validation parameters before the test evaluation.
@@ -156,6 +357,10 @@ TrainResult Trainer::Train(SequenceModel* model,
     }
   }
   result.test = Evaluate(model, prepared, split.test, task);
+  result.status = aborted ? health::TrainStatus::kAborted
+                  : (result.recoveries > 0 || result.skipped_batches > 0)
+                      ? health::TrainStatus::kRecovered
+                      : health::TrainStatus::kOk;
   result.train_seconds_per_batch =
       total_batches > 0 ? total_batch_seconds / total_batches : 0.0;
 

@@ -16,6 +16,7 @@
 
 #include "data/emr.h"
 #include "data/pipeline.h"
+#include "health/health.h"
 #include "train/sequence_model.h"
 
 namespace elda {
@@ -33,6 +34,21 @@ struct TrainerConfig {
   // this trainer's run; 0 = automatic (ELDA_THREADS env, then
   // hardware_concurrency). Applied for the duration of Train().
   int64_t num_threads = 0;
+
+  // -- Fault tolerance -------------------------------------------------------
+  // When `checkpoint_path` is non-empty and `checkpoint_every` > 0, the full
+  // run state (parameters, Adam moments/step, RNG, batcher order, best-val
+  // snapshot, patience counters) is written atomically to `checkpoint_path`
+  // every `checkpoint_every` epochs. With `resume` set, Train() restores
+  // from an existing checkpoint and continues; the resumed run converges to
+  // the bitwise-identical parameters and metrics of an uninterrupted run.
+  std::string checkpoint_path;
+  int64_t checkpoint_every = 0;
+  bool resume = false;
+
+  // Per-step numerical-health monitoring and the recovery policy applied to
+  // unhealthy steps (NaN/Inf loss or gradient norm, loss explosion).
+  health::HealthConfig health;
 };
 
 // Batching/threading knobs for Predict/Evaluate. The eval batch size that
@@ -68,6 +84,15 @@ struct TrainResult {
   double train_seconds_per_batch = 0.0;
   double predict_ms_per_sample = 0.0;
   int64_t num_parameters = 0;
+
+  // Structured run outcome. kOk / kRecovered mean val/test metrics are
+  // valid; anything else means the run ended early and `status_message`
+  // says why (metrics are best-so-far for kAborted, zero otherwise).
+  health::TrainStatus status = health::TrainStatus::kOk;
+  std::string status_message;
+  int64_t recoveries = 0;        // rollback-and-halve interventions taken
+  int64_t skipped_batches = 0;   // unhealthy batches dropped (skip policy)
+  int64_t checkpoint_write_failures = 0;
 };
 
 class Trainer {

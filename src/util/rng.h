@@ -13,6 +13,14 @@
 
 namespace elda {
 
+// Complete serialisable state of an Rng, for crash-safe checkpoint/resume:
+// restoring it replays the stream bit-for-bit from the capture point.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
+
 // A small, fast, deterministic random number generator.
 //
 // Not thread-safe: each thread (this project is single-threaded) or each
@@ -55,6 +63,11 @@ class Rng {
   // Returns an independent generator derived from this one's stream. Useful
   // for giving each patient / each layer its own reproducible stream.
   Rng Fork();
+
+  // Snapshot / restore of the full generator state (including the cached
+  // Box-Muller deviate), used by the trainer's checkpoint/resume path.
+  RngState SaveState() const;
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t state_[4];

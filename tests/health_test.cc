@@ -1,0 +1,265 @@
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "health/ckpt_io.h"
+#include "health/crc32.h"
+#include "health/health.h"
+
+namespace elda {
+namespace health {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Restores a pristine global injector around each test.
+class DisarmedInjector : public ::testing::Test {
+ protected:
+  void SetUp() override { GlobalFaultInjector()->Disarm(); }
+  void TearDown() override { GlobalFaultInjector()->Disarm(); }
+};
+
+TEST(Crc32Test, KnownVectors) {
+  EXPECT_EQ(Crc32(std::string("")), 0u);
+  // The standard CRC32 check value.
+  EXPECT_EQ(Crc32(std::string("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string whole = "fault tolerant healthcare analytics";
+  const uint32_t one_shot = Crc32(whole);
+  const uint32_t chained =
+      Crc32(whole.substr(10), Crc32(whole.substr(0, 10)));
+  EXPECT_EQ(chained, one_shot);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string bytes(64, 'x');
+  const uint32_t before = Crc32(bytes);
+  bytes[13] ^= 0x01;
+  EXPECT_NE(Crc32(bytes), before);
+}
+
+TEST(HealthMonitorTest, FiniteStepsAreHealthy) {
+  HealthMonitor monitor(HealthConfig{});
+  EXPECT_EQ(monitor.Check(0.7, 2.5), StepVerdict::kHealthy);
+}
+
+TEST(HealthMonitorTest, FlagsNonFiniteLossAndGradNorm) {
+  HealthMonitor monitor(HealthConfig{});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(monitor.Check(nan, 1.0), StepVerdict::kNonFinite);
+  EXPECT_EQ(monitor.Check(0.5, nan), StepVerdict::kNonFinite);
+  EXPECT_EQ(monitor.Check(inf, 1.0), StepVerdict::kNonFinite);
+  EXPECT_EQ(monitor.Check(0.5, inf), StepVerdict::kNonFinite);
+}
+
+TEST(HealthMonitorTest, FlagsLossExplosionAgainstTrailingMean) {
+  HealthConfig config;
+  config.loss_explosion_factor = 10.0;
+  HealthMonitor monitor(config);
+  for (int i = 0; i < 20; ++i) monitor.Observe(1.0);
+  EXPECT_EQ(monitor.Check(5.0, 1.0), StepVerdict::kHealthy);
+  EXPECT_EQ(monitor.Check(100.0, 1.0), StepVerdict::kLossExplosion);
+  // Reset clears the window, so the detector needs fresh observations.
+  monitor.Reset();
+  EXPECT_EQ(monitor.Check(100.0, 1.0), StepVerdict::kHealthy);
+}
+
+TEST(HealthMonitorTest, ExplosionDetectorCanBeDisabled) {
+  HealthConfig config;
+  config.loss_explosion_factor = 0.0;
+  HealthMonitor monitor(config);
+  for (int i = 0; i < 5; ++i) monitor.Observe(1.0);
+  EXPECT_EQ(monitor.Check(1e12, 1.0), StepVerdict::kHealthy);
+}
+
+TEST(FaultPlanTest, ParsesFullSpec) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(
+      "poison_grad@12,fail_write@0;truncate_write@2,flip_byte@1:40", &plan,
+      &error))
+      << error;
+  EXPECT_EQ(plan.poison_grad_at_step, 12);
+  EXPECT_EQ(plan.fail_write_at, 0);
+  EXPECT_EQ(plan.truncate_write_at, 2);
+  EXPECT_EQ(plan.flip_byte_write_at, 1);
+  EXPECT_EQ(plan.flip_byte_offset, 40);
+  EXPECT_TRUE(plan.Any());
+}
+
+TEST(FaultPlanTest, EmptySpecIsNoFaults) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse("", &plan, &error));
+  EXPECT_FALSE(plan.Any());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(FaultPlan::Parse("poison_grad", &plan, &error));
+  EXPECT_FALSE(FaultPlan::Parse("poison_grad@abc", &plan, &error));
+  EXPECT_FALSE(FaultPlan::Parse("unknown_fault@1", &plan, &error));
+  EXPECT_FALSE(FaultPlan::Parse("poison_grad@3:4", &plan, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FaultInjectorTest, PoisonFiresExactlyOnce) {
+  FaultInjector injector;
+  FaultPlan plan;
+  plan.poison_grad_at_step = 5;
+  injector.Arm(plan);
+  EXPECT_FALSE(injector.ConsumePoisonGrad(4));
+  EXPECT_TRUE(injector.ConsumePoisonGrad(5));
+  EXPECT_FALSE(injector.ConsumePoisonGrad(5));
+}
+
+TEST(FaultInjectorTest, WriteFaultsFireOnTheirSlot) {
+  FaultInjector injector;
+  FaultPlan plan;
+  plan.fail_write_at = 1;
+  plan.flip_byte_write_at = 2;
+  plan.flip_byte_offset = 17;
+  injector.Arm(plan);
+  int64_t offset = 0;
+  EXPECT_EQ(injector.NextWriteFault(&offset), WriteFault::kNone);
+  EXPECT_EQ(injector.NextWriteFault(&offset), WriteFault::kFail);
+  EXPECT_EQ(injector.NextWriteFault(&offset), WriteFault::kFlipByte);
+  EXPECT_EQ(offset, 17);
+  EXPECT_EQ(injector.NextWriteFault(&offset), WriteFault::kNone);
+  EXPECT_EQ(injector.writes_seen(), 4);
+}
+
+using SectionedFileTest = DisarmedInjector;
+
+TEST_F(SectionedFileTest, RoundTripPreservesSections) {
+  const std::string path = TempPath("sections_roundtrip.ckpt");
+  std::vector<Section> sections = {{"alpha", std::string("payload-a")},
+                                   {"beta", std::string(300, '\x7f')}};
+  std::string error;
+  ASSERT_TRUE(WriteSectionedFile(path, sections, &error)) << error;
+  std::vector<Section> loaded;
+  ASSERT_TRUE(ReadSectionedFile(path, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "alpha");
+  EXPECT_EQ(loaded[0].payload, "payload-a");
+  EXPECT_EQ(loaded[1].name, "beta");
+  EXPECT_EQ(loaded[1].payload, sections[1].payload);
+  EXPECT_NE(FindSection(loaded, "beta"), nullptr);
+  EXPECT_EQ(FindSection(loaded, "gamma"), nullptr);
+}
+
+TEST_F(SectionedFileTest, RejectsOnDiskBitFlipWithPreciseError) {
+  const std::string path = TempPath("sections_bitflip.ckpt");
+  std::string error;
+  ASSERT_TRUE(WriteSectionedFile(
+      path, {{"blob", std::string(100, 'q')}}, &error));
+  std::string bytes = ReadFile(path);
+  // Header is 12 bytes, section header 16 more: offset 30 is inside the
+  // payload.
+  bytes[30] ^= 0x01;
+  WriteFile(path, bytes);
+  std::vector<Section> loaded;
+  EXPECT_FALSE(ReadSectionedFile(path, &loaded, &error));
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+  EXPECT_NE(error.find("blob"), std::string::npos) << error;
+}
+
+TEST_F(SectionedFileTest, RejectsTruncatedFile) {
+  const std::string path = TempPath("sections_truncated.ckpt");
+  std::string error;
+  ASSERT_TRUE(WriteSectionedFile(
+      path, {{"blob", std::string(100, 'q')}}, &error));
+  const std::string bytes = ReadFile(path);
+  WriteFile(path, bytes.substr(0, bytes.size() / 2));
+  std::vector<Section> loaded;
+  EXPECT_FALSE(ReadSectionedFile(path, &loaded, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST_F(SectionedFileTest, RejectsGarbageAndWrongVersion) {
+  const std::string path = TempPath("sections_garbage.ckpt");
+  WriteFile(path, "certainly not a checkpoint");
+  std::vector<Section> loaded;
+  std::string error;
+  EXPECT_FALSE(ReadSectionedFile(path, &loaded, &error));
+  EXPECT_NE(error.find("not an ELDA checkpoint"), std::string::npos);
+
+  // Correct magic, unsupported version.
+  std::string bytes = "ELDA";
+  const uint32_t bad_version = 77;
+  bytes.append(reinterpret_cast<const char*>(&bad_version),
+               sizeof(bad_version));
+  WriteFile(path, bytes);
+  EXPECT_FALSE(ReadSectionedFile(path, &loaded, &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST_F(SectionedFileTest, InjectedFailureLeavesPreviousFileIntact) {
+  const std::string path = TempPath("sections_atomic.ckpt");
+  std::string error;
+  ASSERT_TRUE(WriteSectionedFile(path, {{"gen", std::string("one")}},
+                                 &error));
+  FaultPlan plan;
+  plan.fail_write_at = 0;
+  GlobalFaultInjector()->Arm(plan);
+  EXPECT_FALSE(WriteSectionedFile(path, {{"gen", std::string("two")}},
+                                  &error));
+  EXPECT_NE(error.find("injected"), std::string::npos);
+  GlobalFaultInjector()->Disarm();
+  // The failed write must not have damaged the previous checkpoint.
+  std::vector<Section> loaded;
+  ASSERT_TRUE(ReadSectionedFile(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded[0].payload, "one");
+}
+
+TEST_F(SectionedFileTest, InjectedTornWriteIsRejectedAtLoad) {
+  const std::string path = TempPath("sections_torn.ckpt");
+  FaultPlan plan;
+  plan.truncate_write_at = 0;
+  GlobalFaultInjector()->Arm(plan);
+  std::string error;
+  EXPECT_FALSE(WriteSectionedFile(
+      path, {{"blob", std::string(100, 'z')}}, &error));
+  GlobalFaultInjector()->Disarm();
+  std::vector<Section> loaded;
+  EXPECT_FALSE(ReadSectionedFile(path, &loaded, &error));
+}
+
+TEST_F(SectionedFileTest, InjectedByteFlipIsCaughtByCrc) {
+  const std::string path = TempPath("sections_flip.ckpt");
+  FaultPlan plan;
+  plan.flip_byte_write_at = 0;
+  plan.flip_byte_offset = 30;  // inside the payload
+  GlobalFaultInjector()->Arm(plan);
+  std::string error;
+  // The write itself "succeeds": the corruption is silent until load.
+  ASSERT_TRUE(WriteSectionedFile(
+      path, {{"blob", std::string(100, 'q')}}, &error));
+  GlobalFaultInjector()->Disarm();
+  std::vector<Section> loaded;
+  EXPECT_FALSE(ReadSectionedFile(path, &loaded, &error));
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace health
+}  // namespace elda

@@ -236,9 +236,27 @@ TEST(BootstrapTest, WiderConfidenceGivesWiderInterval) {
   EXPECT_GE(wide.upper - wide.lower, narrow.upper - narrow.lower);
 }
 
-TEST(MetricsDeathTest, AucRequiresBothClasses) {
-  EXPECT_DEATH(AucRoc({0.5f, 0.6f}, {1, 1}), "CHECK failed");
-  EXPECT_DEATH(AucPr({0.5f, 0.6f}, {0, 0}), "CHECK failed");
+// Degenerate label sets are routine on tiny validation splits; all three
+// reported metrics must return defined values, not NaN or a crash.
+TEST(DegenerateLabelsTest, AucRocSingleClassIsChance) {
+  EXPECT_DOUBLE_EQ(AucRoc({0.5f, 0.6f}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(AucRoc({0.5f, 0.6f}, {0, 0}), 0.5);
+}
+
+TEST(DegenerateLabelsTest, AucPrSingleClassIsPrevalence) {
+  EXPECT_DOUBLE_EQ(AucPr({0.5f, 0.6f}, {0, 0}), 0.0);
+  EXPECT_NEAR(AucPr({0.5f, 0.6f, 0.7f}, {1, 1, 1}), 1.0, 1e-12);
+}
+
+TEST(DegenerateLabelsTest, BceLossSingleClassIsFinite) {
+  EXPECT_TRUE(std::isfinite(BceLoss({0.5f, 0.6f}, {1, 1})));
+  EXPECT_TRUE(std::isfinite(BceLoss({0.5f, 0.6f}, {0, 0})));
+}
+
+TEST(DegenerateLabelsTest, EmptyIndexSetIsDefined) {
+  EXPECT_DOUBLE_EQ(BceLoss({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(AucRoc({}, {}), 0.5);
+  EXPECT_DOUBLE_EQ(AucPr({}, {}), 0.0);
 }
 
 TEST(MetricsDeathTest, RejectsNonBinaryLabels) {

@@ -16,6 +16,25 @@ std::string TempPath(const std::string& name) {
   return testing::TempDir() + "/" + name;
 }
 
+template <typename T>
+void AppendPod(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Legacy v1 layout: magic | uint32 1 | uint64 count | per parameter:
+// uint32 name_len | name | uint32 rank | int64 dims | float data.
+std::string V1Header(uint64_t count) {
+  std::string bytes = "ELDA";
+  AppendPod(&bytes, static_cast<uint32_t>(1));
+  AppendPod(&bytes, count);
+  return bytes;
+}
+
 // A module with nesting, for name-path coverage.
 class SmallNet : public Module {
  public:
@@ -116,6 +135,94 @@ TEST(SerializeTest, RejectsTruncatedFile) {
   SmallNet target(12);
   std::string error;
   EXPECT_FALSE(LoadParameters(&target, path, &error));
+}
+
+TEST(SerializeTest, LegacyV1FileStillLoads) {
+  Rng rng(20);
+  Linear layer(2, 2, true, &rng);
+  const auto named = layer.NamedParameters();
+  std::string bytes = V1Header(named.size());
+  std::vector<float> expected;
+  float next = 0.25f;
+  for (const auto& [name, var] : named) {
+    AppendPod(&bytes, static_cast<uint32_t>(name.size()));
+    bytes.append(name);
+    const Tensor& value = var.value();
+    AppendPod(&bytes, static_cast<uint32_t>(value.dim()));
+    for (int64_t d : value.shape()) AppendPod(&bytes, d);
+    for (int64_t i = 0; i < value.size(); ++i) {
+      AppendPod(&bytes, next);
+      expected.push_back(next);
+      next += 0.25f;
+    }
+  }
+  const std::string path = TempPath("legacy_v1.eldaw");
+  WriteBytes(path, bytes);
+
+  std::string error;
+  ASSERT_TRUE(LoadParameters(&layer, path, &error)) << error;
+  size_t k = 0;
+  for (const auto& [name, var] : layer.NamedParameters()) {
+    const Tensor& value = var.value();
+    for (int64_t i = 0; i < value.size(); ++i) {
+      EXPECT_FLOAT_EQ(value[i], expected[k++]) << name;
+    }
+  }
+}
+
+TEST(SerializeTest, RejectsNonPositiveDims) {
+  Rng rng(21);
+  Linear layer(2, 2, true, &rng);
+  std::string bytes = V1Header(layer.NamedParameters().size());
+  const std::string name = "weight";
+  AppendPod(&bytes, static_cast<uint32_t>(name.size()));
+  bytes.append(name);
+  AppendPod(&bytes, static_cast<uint32_t>(1));        // rank
+  AppendPod(&bytes, static_cast<int64_t>(-4));        // negative dim
+  const std::string path = TempPath("negative_dims.eldaw");
+  WriteBytes(path, bytes);
+
+  std::string error;
+  EXPECT_FALSE(LoadParameters(&layer, path, &error));
+  EXPECT_NE(error.find("rejected dimensions"), std::string::npos) << error;
+}
+
+TEST(SerializeTest, RejectsOversizedDimsBeforeAllocating) {
+  Rng rng(22);
+  Linear layer(2, 2, true, &rng);
+  std::string bytes = V1Header(layer.NamedParameters().size());
+  const std::string name = "weight";
+  AppendPod(&bytes, static_cast<uint32_t>(name.size()));
+  bytes.append(name);
+  AppendPod(&bytes, static_cast<uint32_t>(2));  // rank
+  // 2^20 x 2^20 floats = 4 TiB: must be rejected by the volume cap, not
+  // attempted as an allocation.
+  AppendPod(&bytes, int64_t{1} << 20);
+  AppendPod(&bytes, int64_t{1} << 20);
+  const std::string path = TempPath("oversized_dims.eldaw");
+  WriteBytes(path, bytes);
+
+  std::string error;
+  EXPECT_FALSE(LoadParameters(&layer, path, &error));
+  EXPECT_NE(error.find("rejected dimensions"), std::string::npos) << error;
+}
+
+TEST(SerializeTest, BitFlippedV2FileIsRejectedByChecksum) {
+  SmallNet source(23);
+  const std::string path = TempPath("bitflip.eldaw");
+  ASSERT_TRUE(SaveParameters(source, path));
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 50u);
+  bytes[40] ^= 0x01;  // inside the params payload
+  WriteBytes(path, bytes);
+
+  SmallNet target(24);
+  std::string error;
+  EXPECT_FALSE(LoadParameters(&target, path, &error));
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
 }
 
 TEST(SerializeTest, MissingFileFailsGracefully) {

@@ -165,6 +165,23 @@ TEST(TrainerTest, PredictIsInvariantToBatchSizeAndThreads) {
   }
 }
 
+TEST(TrainerTest, EmptyTrainSplitReturnsStructuredStatus) {
+  auto prepared = SeparableData(20, 13);
+  data::SplitIndices split;  // train empty on purpose
+  for (int64_t i = 0; i < 10; ++i) split.val.push_back(i);
+  for (int64_t i = 10; i < 20; ++i) split.test.push_back(i);
+  TinyGruModel model(3, 4, 14);
+  Trainer trainer(TrainerConfig{});
+  TrainResult result =
+      trainer.Train(&model, prepared, split, data::Task::kMortality);
+  EXPECT_EQ(result.status, health::TrainStatus::kEmptyTrainSplit);
+  EXPECT_FALSE(result.status_message.empty());
+  EXPECT_EQ(result.epochs_run, 0);
+  // No division by zero leaked into the averages.
+  EXPECT_EQ(result.train_seconds_per_batch, 0.0);
+  EXPECT_FALSE(std::isnan(result.train_seconds_per_batch));
+}
+
 TEST(TrainerTest, RestoresBestEpochParameters) {
   // With a huge learning rate the model degrades after early epochs; the
   // returned test metrics must come from the best-validation snapshot, so
