@@ -1,15 +1,28 @@
 // Microbenchmarks of the substrate kernels and ELDA-Net's modules
 // (google-benchmark). Includes the DESIGN.md ablation: the factored
 // feature-interaction computation vs a naive O(C^2 E) pairwise loop.
+//
+// Besides the console table, every run writes a machine-readable
+// BENCH_micro.json (override the path with --json_out=PATH) with one record
+// per benchmark: op, args, threads, ns/iter, and items/s where the
+// benchmark reports throughput. Run with ELDA_PROF=1 to get the op-level
+// profile (per-op time, allocation, pool hit rate) appended after the
+// table.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/elda_net.h"
 #include "core/embedding.h"
 #include "core/feature_interaction.h"
+#include "mem/prof.h"
 #include "nn/gru.h"
 #include "par/par.h"
 #include "tensor/tensor_ops.h"
@@ -41,6 +54,27 @@ BENCHMARK(BM_MatMulSquare)
     ->Args({256, 1})
     ->Args({256, 2})
     ->Args({256, 8});
+
+// All four transpose combinations at one packed-kernel shape: the NT/TT
+// pack-time gathers and the TN packing of A have different memory access
+// patterns, so they are tracked separately.
+void BM_MatMulTranspose(benchmark::State& state) {
+  const int64_t n = 256;
+  const bool trans_a = state.range(0) != 0;
+  const bool trans_b = state.range(1) != 0;
+  par::ScopedNumThreads scoped(state.range(2));
+  Tensor a = RandomTensor({n, n}, 20);
+  Tensor b = RandomTensor({n, n}, 21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b, trans_a, trans_b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulTranspose)
+    ->Args({0, 0, 1})
+    ->Args({0, 1, 1})
+    ->Args({1, 0, 1})
+    ->Args({1, 1, 1});
 
 void BM_MatMulBatchedSmall(benchmark::State& state) {
   // The feature-interaction workload shape: many tiny matmuls.
@@ -182,7 +216,116 @@ void BM_EldaNetForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_EldaNetForwardBackward);
 
+// Collects every finished run alongside the normal console output, then
+// writes BENCH_micro.json. The name encodes op and args as
+// "BM_Op/arg0/arg1/..."; args are re-parsed from it since the reporter only
+// sees the formatted name.
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Record {
+    std::string name;
+    std::string op;
+    std::vector<int64_t> args;
+    int64_t threads = 1;
+    double ns_per_iter = 0.0;
+    double items_per_second = -1.0;  // < 0: benchmark reports no throughput
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Record rec;
+      rec.name = run.benchmark_name();
+      const size_t slash = rec.name.find('/');
+      rec.op = rec.name.substr(0, slash);
+      if (slash != std::string::npos) {
+        std::string rest = rec.name.substr(slash + 1);
+        size_t pos = 0;
+        while (pos < rest.size()) {
+          const size_t next = rest.find('/', pos);
+          const std::string tok = rest.substr(pos, next - pos);
+          rec.args.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+          if (next == std::string::npos) break;
+          pos = next + 1;
+        }
+      }
+      rec.threads = ThreadsArg(rec.op, rec.args);
+      rec.ns_per_iter = run.GetAdjustedRealTime();
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) rec.items_per_second = it->second;
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool WriteJson(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"schema\": \"elda-bench-micro-v1\",\n  \"results\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out << "    {\"name\": \"" << r.name << "\", \"op\": \"" << r.op
+          << "\", \"args\": [";
+      for (size_t j = 0; j < r.args.size(); ++j) {
+        if (j) out << ", ";
+        out << r.args[j];
+      }
+      out << "], \"threads\": " << r.threads
+          << ", \"ns_per_iter\": " << r.ns_per_iter;
+      if (r.items_per_second >= 0.0) {
+        out << ", \"items_per_second\": " << r.items_per_second;
+      }
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  // Which positional argument carries the elda::par thread count, per
+  // benchmark family (1 for benches that run at the default).
+  static int64_t ThreadsArg(const std::string& op,
+                            const std::vector<int64_t>& args) {
+    if (op == "BM_MatMulSquare" && args.size() >= 2) return args[1];
+    if (op == "BM_MatMulTranspose" && args.size() >= 3) return args[2];
+    if ((op == "BM_MatMulBatchedSmall" || op == "BM_SoftmaxLastAxis") &&
+        !args.empty()) {
+      return args[0];
+    }
+    return 1;
+  }
+
+  std::vector<Record> records_;
+};
+
 }  // namespace
 }  // namespace elda
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull out our own --json_out flag before google-benchmark sees the args.
+  std::string json_path = "BENCH_micro.json";
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char kFlag[] = "--json_out=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      json_path = argv[i] + sizeof(kFlag) - 1;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  elda::JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (reporter.WriteJson(json_path)) {
+    std::cout << "wrote " << json_path << "\n";
+  } else {
+    std::cerr << "failed to write " << json_path << "\n";
+    return 1;
+  }
+  elda::prof::ReportIfEnabled(std::cout);
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "autograd/ops.h"
 #include "baselines/baselines.h"
 #include "bench/bench_common.h"
+#include "mem/prof.h"
 #include "optim/optimizer.h"
 #include "train/experiment.h"
 #include "util/stopwatch.h"
@@ -145,5 +146,8 @@ int main(int argc, char** argv) {
     std::cout << "." << std::flush;
   }
   std::cout << "\n" << table.ToString();
+  // With ELDA_PROF=1, append the op-level profile (per-op time, allocation
+  // volume, pool hit rate) so efficiency numbers come with their breakdown.
+  prof::ReportIfEnabled(std::cout);
   return 0;
 }

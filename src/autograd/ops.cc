@@ -127,7 +127,7 @@ Variable Relu(const Variable& a) {
 Variable Abs(const Variable& a) {
   Tensor x = a.value();
   return MakeOpResult(elda::Abs(x), {a}, [x](Node* n) {
-    Tensor sign(x.shape());
+    Tensor sign = Tensor::Empty(x.shape());
     for (int64_t i = 0; i < x.size(); ++i) {
       sign[i] = x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
     }
@@ -139,7 +139,7 @@ Variable Clip(const Variable& a, float lo, float hi) {
   ELDA_CHECK_LT(lo, hi);
   Tensor x = a.value();
   return MakeOpResult(elda::Clip(x, lo, hi), {a}, [x, lo, hi](Node* n) {
-    Tensor inside(x.shape());
+    Tensor inside = Tensor::Empty(x.shape());
     for (int64_t i = 0; i < x.size(); ++i) {
       inside[i] = (x[i] > lo && x[i] < hi) ? 1.0f : 0.0f;
     }
@@ -302,7 +302,7 @@ Variable Softmax(const Variable& a, int64_t axis) {
 Variable Dropout(const Variable& a, float rate, bool training, Rng* rng) {
   if (!training || rate <= 0.0f) return a;
   ELDA_CHECK_LT(rate, 1.0f);
-  Tensor mask(a.value().shape());
+  Tensor mask = Tensor::Empty(a.value().shape());
   const float scale = 1.0f / (1.0f - rate);
   for (int64_t i = 0; i < mask.size(); ++i) {
     mask[i] = rng->Bernoulli(rate) ? 0.0f : scale;

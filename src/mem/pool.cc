@@ -1,0 +1,170 @@
+#include "mem/pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+
+#include "mem/prof.h"
+#include "util/logging.h"
+
+namespace elda {
+namespace mem {
+namespace {
+
+constexpr std::align_val_t kAlignment{64};  // one cache line / one zmm
+
+float* AllocRaw(int64_t floats) {
+  return static_cast<float*>(::operator new(
+      static_cast<size_t>(floats) * sizeof(float), kAlignment));
+}
+
+void FreeRaw(float* p) { ::operator delete(p, kAlignment); }
+
+bool DefaultEnabled() {
+  if (const char* env = std::getenv("ELDA_POOL")) {
+    return !(env[0] == '0' && env[1] == '\0');
+  }
+#if defined(__SANITIZE_ADDRESS__)
+  // Recycling hides use-after-free from ASan; default off so the sanitizer
+  // suites keep full coverage. ELDA_POOL=1 re-enables explicitly.
+  return false;
+#else
+  return true;
+#endif
+}
+
+int64_t DefaultMaxCachedBytes() {
+  if (const char* env = std::getenv("ELDA_POOL_MAX_MB")) {
+    char* end = nullptr;
+    const long long mb = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && mb >= 0) return mb * (1ll << 20);
+  }
+  return 1ll << 30;  // 1 GiB
+}
+
+}  // namespace
+
+Pool::Pool()
+    : enabled_(DefaultEnabled()),
+      max_cached_bytes_(DefaultMaxCachedBytes()),
+      free_(kNumBuckets) {}
+
+Pool::~Pool() { Trim(); }
+
+Pool& Pool::Global() {
+  // Leaked so that buffers released during static destruction (e.g. tensors
+  // held by function-local statics) still find a live pool.
+  static Pool* pool = new Pool();
+  return *pool;
+}
+
+int64_t Pool::BucketCapacity(int32_t bucket) {
+  ELDA_CHECK(bucket >= 0 && bucket < kNumBuckets);
+  return int64_t{1} << (kMinLog2 + bucket);
+}
+
+int32_t Pool::BucketFor(int64_t n) {
+  if (n > (int64_t{1} << kMaxLog2)) return kHugeBucket;
+  int32_t bucket = 0;
+  while (BucketCapacity(bucket) < n) ++bucket;
+  return bucket;
+}
+
+float* Pool::Acquire(int64_t n, int32_t* bucket) {
+  ELDA_CHECK_GE(n, 0);
+  if (n < kMinPooledFloats) {
+    // Small tier: exact-size plain new. glibc serves this churn from
+    // compact, coalesced arena memory; routing it through process-lifetime
+    // freelists instead scatters a hot working set across every region the
+    // process ever ran in (see the locality note in pool.h).
+    *bucket = kSmallBucket;
+    small_acquires_.fetch_add(1, std::memory_order_relaxed);
+    const int64_t bytes =
+        std::max<int64_t>(n, 1) * static_cast<int64_t>(sizeof(float));
+    prof::RecordAlloc(bytes, prof::AllocKind::kSmall);
+    return static_cast<float*>(::operator new(static_cast<size_t>(bytes)));
+  }
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  const int32_t b = BucketFor(n);
+  *bucket = b;
+  if (b == kHugeBucket) {
+    huge_acquires_.fetch_add(1, std::memory_order_relaxed);
+    const int64_t bytes = n * static_cast<int64_t>(sizeof(float));
+    bytes_allocated_.fetch_add(bytes, std::memory_order_relaxed);
+    prof::RecordAlloc(bytes, prof::AllocKind::kPoolMiss);
+    return AllocRaw(n);
+  }
+  const int64_t capacity = BucketCapacity(b);
+  const int64_t bytes = capacity * static_cast<int64_t>(sizeof(float));
+  if (enabled()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<float*>& list = free_[static_cast<size_t>(b)];
+    if (!list.empty()) {
+      float* p = list.back();
+      list.pop_back();
+      bytes_cached_.fetch_sub(bytes, std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      prof::RecordAlloc(bytes, prof::AllocKind::kPoolHit);
+      return p;
+    }
+  }
+  bytes_allocated_.fetch_add(bytes, std::memory_order_relaxed);
+  prof::RecordAlloc(bytes, prof::AllocKind::kPoolMiss);
+  return AllocRaw(capacity);
+}
+
+void Pool::Release(float* p, int32_t bucket) {
+  if (p == nullptr) return;
+  if (bucket == kSmallBucket) {
+    ::operator delete(p);
+    return;
+  }
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  if (bucket != kHugeBucket && enabled()) {
+    const int64_t bytes =
+        BucketCapacity(bucket) * static_cast<int64_t>(sizeof(float));
+    if (bytes_cached_.load(std::memory_order_relaxed) + bytes <=
+        max_cached_bytes_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      free_[static_cast<size_t>(bucket)].push_back(p);
+      bytes_cached_.fetch_add(bytes, std::memory_order_relaxed);
+      return;
+    }
+  }
+  FreeRaw(p);
+}
+
+PoolStats Pool::Stats() const {
+  PoolStats s;
+  s.acquires = acquires_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.releases = releases_.load(std::memory_order_relaxed);
+  s.bytes_allocated = bytes_allocated_.load(std::memory_order_relaxed);
+  s.bytes_cached = bytes_cached_.load(std::memory_order_relaxed);
+  s.huge_acquires = huge_acquires_.load(std::memory_order_relaxed);
+  s.small_acquires = small_acquires_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Pool::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t b = 0; b < free_.size(); ++b) {
+    const int64_t bytes = BucketCapacity(static_cast<int32_t>(b)) *
+                          static_cast<int64_t>(sizeof(float));
+    for (float* p : free_[b]) {
+      FreeRaw(p);
+      bytes_cached_.fetch_sub(bytes, std::memory_order_relaxed);
+    }
+    free_[b].clear();
+  }
+}
+
+std::shared_ptr<float[]> AcquireShared(int64_t n) {
+  int32_t bucket;
+  float* p = Pool::Global().Acquire(n, &bucket);
+  return std::shared_ptr<float[]>(
+      p, [bucket](float* q) { Pool::Global().Release(q, bucket); });
+}
+
+}  // namespace mem
+}  // namespace elda

@@ -1,0 +1,175 @@
+// Size-bucketed buffer pool backing Tensor storage and kernel scratch space.
+//
+// Every tensor op in this repo allocates its result fresh (tensors are
+// immutable values on the autograd tape), so a training step churns through
+// thousands of identically-sized float buffers. The pool turns that churn
+// into O(1) freelist hits: buffers are rounded up to power-of-two buckets,
+// returned to the bucket's freelist on last release, and handed back
+// *uninitialized* on the next acquire. `Tensor::Empty` exposes that directly;
+// `Tensor::Zeros` (and the legacy shape constructor) memset on top.
+//
+// The pool is two-tier. Only requests of at least kMinPooledFloats (32 KiB)
+// go through the bucket freelists; smaller requests are served exact-size by
+// plain operator new (bucket id kSmallBucket). Recycling small buffers
+// through a process-lifetime freelist is a measured anti-optimization: after
+// a large-batch training phase the small-bucket freelists hold thousands of
+// buffers scattered across hundreds of MiB of heap, and a subsequent
+// single-admission predict loop that pops them walks one page per tensor —
+// 3x slower from TLB/cache misses alone (ConCare B=1 forward: 30 ms -> 104
+// ms). glibc malloc serves the same churn from compact, coalesced arena
+// memory. Large buffers are where pooling wins: glibc mmap/munmaps them,
+// so recycling saves the syscall plus the page faults on every first touch.
+//
+// Thread safety: Acquire/Release are callable from any thread, including
+// pool workers inside a ParallelFor chunk — a buffer may be acquired on one
+// thread and released on another (autograd tapes and batch-parallel
+// prediction both do this). One mutex guards the freelists; statistics are
+// relaxed atomics so readers never block allocation.
+//
+// The pool caches at most `max_cached_bytes` (ELDA_POOL_MAX_MB, default
+// 1024 MiB); releases beyond the cap free eagerly. Requests above the
+// largest bucket bypass the pool entirely (bucket id kHugeBucket).
+// ELDA_POOL=0 disables recycling at runtime (every acquire allocates, every
+// release frees) — useful for debugging lifetime bugs; under
+// AddressSanitizer builds the pool defaults to disabled so ASan keeps its
+// use-after-free detection power over tensor storage.
+
+#ifndef ELDA_MEM_POOL_H_
+#define ELDA_MEM_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace elda {
+namespace mem {
+
+struct PoolStats {
+  int64_t acquires = 0;        // pooled (bucket-eligible) Acquire calls
+  int64_t hits = 0;            // served from a freelist
+  int64_t releases = 0;        // pooled Release calls
+  int64_t bytes_allocated = 0; // cumulative pooled bytes obtained from the system
+  int64_t bytes_cached = 0;    // bytes currently sitting in freelists
+  int64_t huge_acquires = 0;   // requests above the largest bucket
+  int64_t small_acquires = 0;  // requests below kMinPooledFloats (malloc'd)
+
+  int64_t misses() const { return acquires - hits; }
+  // Hit rate over the requests the freelists manage; small and huge
+  // requests bypass the pool by design and are excluded.
+  double hit_rate() const {
+    return acquires > 0 ? static_cast<double>(hits) / acquires : 0.0;
+  }
+};
+
+class Pool {
+ public:
+  // Buckets hold exactly 2^(kMinLog2 + b) floats, b in [0, kNumBuckets).
+  static constexpr int64_t kMinLog2 = 6;   // 64 floats = 256 B
+  static constexpr int64_t kMaxLog2 = 28;  // 2^28 floats = 1 GiB
+  static constexpr int32_t kNumBuckets =
+      static_cast<int32_t>(kMaxLog2 - kMinLog2 + 1);
+  static constexpr int32_t kHugeBucket = -1;
+  // Requests below this never touch the freelists (see the file comment for
+  // why small-buffer recycling is a locality trap); they are served
+  // exact-size by plain operator new under bucket id kSmallBucket.
+  static constexpr int64_t kMinPooledFloats = int64_t{1} << 13;  // 32 KiB
+  static constexpr int32_t kSmallBucket = -2;
+
+  Pool();
+  ~Pool();
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  // The process-wide pool (intentionally leaked, like par::GlobalPool, so
+  // buffers released during static destruction stay valid).
+  static Pool& Global();
+
+  // Returns an *uninitialized* buffer with capacity of at least `n` floats;
+  // `*bucket` receives the id to pass back to Release. Pooled buffers
+  // (n >= kMinPooledFloats) are 64-byte aligned; small buffers have malloc's
+  // default alignment (every kernel uses unaligned vector loads). Never
+  // returns nullptr.
+  float* Acquire(int64_t n, int32_t* bucket);
+
+  // Returns a buffer to its bucket's freelist (or frees it: small or huge
+  // buffers, pool disabled, or cache cap reached).
+  void Release(float* p, int32_t bucket);
+
+  // Capacity in floats of a bucket id (huge buckets are exact-size and have
+  // no fixed capacity; CHECK-fails on kHugeBucket).
+  static int64_t BucketCapacity(int32_t bucket);
+
+  // Bucket id that a request for `n` floats lands in.
+  static int32_t BucketFor(int64_t n);
+
+  PoolStats Stats() const;
+
+  // Frees every cached buffer (freelists only; live buffers unaffected).
+  void Trim();
+
+  // Runtime switch; also resolved from ELDA_POOL at startup. Disabling does
+  // not invalidate live buffers — they free correctly on release.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> enabled_;
+  int64_t max_cached_bytes_;
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<float*>> free_;  // one freelist per bucket
+
+  std::atomic<int64_t> acquires_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> releases_{0};
+  std::atomic<int64_t> bytes_allocated_{0};
+  std::atomic<int64_t> bytes_cached_{0};
+  std::atomic<int64_t> huge_acquires_{0};
+  std::atomic<int64_t> small_acquires_{0};
+};
+
+// Shared handle over a pooled buffer: the last owner returns the memory to
+// the pool. This is what Tensor stores.
+std::shared_ptr<float[]> AcquireShared(int64_t n);
+
+// RAII scratch buffer for kernels (e.g. GEMM packing panels). Cheap enough
+// to acquire once per ParallelFor chunk.
+class ScopedBuffer {
+ public:
+  explicit ScopedBuffer(int64_t n) {
+    data_ = Pool::Global().Acquire(n, &bucket_);
+  }
+  ~ScopedBuffer() { Pool::Global().Release(data_, bucket_); }
+  ScopedBuffer(const ScopedBuffer&) = delete;
+  ScopedBuffer& operator=(const ScopedBuffer&) = delete;
+
+  float* data() { return data_; }
+
+ private:
+  float* data_;
+  int32_t bucket_;
+};
+
+// RAII pool enable/disable override for tests.
+class ScopedPoolEnabled {
+ public:
+  explicit ScopedPoolEnabled(bool enabled)
+      : prev_(Pool::Global().enabled()) {
+    Pool::Global().SetEnabled(enabled);
+  }
+  ~ScopedPoolEnabled() { Pool::Global().SetEnabled(prev_); }
+  ScopedPoolEnabled(const ScopedPoolEnabled&) = delete;
+  ScopedPoolEnabled& operator=(const ScopedPoolEnabled&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace mem
+}  // namespace elda
+
+#endif  // ELDA_MEM_POOL_H_

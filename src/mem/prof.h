@@ -1,0 +1,75 @@
+// Op-level profiling, activated by ELDA_PROF=1 in the environment.
+//
+// Each tensor kernel opens an ELDA_PROF_SCOPE("Name") at its entry; the
+// scope records one call, the wall time of the op (inclusive of nested ops —
+// e.g. a Mean that called Sum would bill the Sum time to both), and every
+// pool allocation made on the same thread while the scope is open. The
+// report — per-op call counts / total time / bytes allocated / pool hit
+// rate, plus the global pool and dispatch statistics — is dumped to stderr
+// at process exit, or earlier by calling ReportIfEnabled (the bench binaries
+// do this so the numbers land next to their tables).
+//
+// When ELDA_PROF is unset the scope is a single branch on a cached bool;
+// the kernels pay nothing measurable.
+
+#ifndef ELDA_MEM_PROF_H_
+#define ELDA_MEM_PROF_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace elda {
+namespace prof {
+
+// True when profiling is active (ELDA_PROF set to anything but "0", or
+// forced by SetEnabled). Cached; first call reads the environment.
+bool Enabled();
+
+// Programmatic override (tests and tools). Passing true also arms the
+// at-exit dump.
+void SetEnabled(bool enabled);
+
+// How an allocation was served: from a pool freelist, fresh from the system
+// for a pool-eligible size, or exact-size malloc for a small request (the
+// pool's small tier; see mem/pool.h). Small allocations count toward an
+// op's allocation volume but not its pool hit rate.
+enum class AllocKind { kPoolHit, kPoolMiss, kSmall };
+
+// Records a pool allocation against the current thread's open op scope (or
+// the "(outside op)" row when no scope is open). Called by mem::Pool.
+void RecordAlloc(int64_t bytes, AllocKind kind);
+
+// Writes the per-op table plus pool / dispatch summaries. Unconditional:
+// prints whatever has been collected (an empty table when profiling never
+// ran). Marks the report as delivered so the at-exit hook stays quiet.
+void Report(std::ostream& os);
+
+// Report(os) if profiling is enabled; returns whether it printed.
+bool ReportIfEnabled(std::ostream& os);
+
+// Clears all collected statistics (test support).
+void Reset();
+
+// RAII op scope. Inactive (one branch) when profiling is disabled.
+class ScopedOp {
+ public:
+  explicit ScopedOp(const char* name);
+  ~ScopedOp();
+  ScopedOp(const ScopedOp&) = delete;
+  ScopedOp& operator=(const ScopedOp&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null when inactive
+  const char* prev_ = nullptr;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace prof
+}  // namespace elda
+
+#define ELDA_PROF_CONCAT_INNER(a, b) a##b
+#define ELDA_PROF_CONCAT(a, b) ELDA_PROF_CONCAT_INNER(a, b)
+#define ELDA_PROF_SCOPE(name) \
+  ::elda::prof::ScopedOp ELDA_PROF_CONCAT(elda_prof_scope_, __LINE__)(name)
+
+#endif  // ELDA_MEM_PROF_H_

@@ -15,6 +15,10 @@ constexpr int64_t kMaxWorkers = 256;
 
 std::atomic<int64_t> g_num_threads_override{0};
 
+std::atomic<int64_t> g_parallel_dispatches{0};
+std::atomic<int64_t> g_chunks{0};
+std::atomic<int64_t> g_inline_runs{0};
+
 thread_local bool tls_in_parallel_region = false;
 
 struct InParallelScope {
@@ -57,6 +61,14 @@ int64_t ConfiguredNumThreads() {
 }
 
 bool InParallelRegion() { return tls_in_parallel_region; }
+
+ParStats Stats() {
+  ParStats s;
+  s.parallel_dispatches = g_parallel_dispatches.load(std::memory_order_relaxed);
+  s.chunks = g_chunks.load(std::memory_order_relaxed);
+  s.inline_runs = g_inline_runs.load(std::memory_order_relaxed);
+  return s;
+}
 
 Pool::Pool(int64_t num_workers) { EnsureWorkers(num_workers); }
 
@@ -171,6 +183,7 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   threads = std::min(threads, max_chunks);
   if (threads <= 1 || InParallelRegion()) {
     // Exact serial fallback: one chunk over the whole range, same functor.
+    g_inline_runs.fetch_add(1, std::memory_order_relaxed);
     InParallelScope scope;
     fn(begin, end);
     return;
@@ -179,6 +192,8 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   // does not stall the whole dispatch; chunk layout does not affect results
   // because every parallelized functor writes disjoint outputs.
   const int64_t chunks = std::min(max_chunks, threads * 4);
+  g_parallel_dispatches.fetch_add(1, std::memory_order_relaxed);
+  g_chunks.fetch_add(chunks, std::memory_order_relaxed);
   const int64_t base = n / chunks;
   const int64_t remainder = n % chunks;
   Pool& pool = GlobalPool();

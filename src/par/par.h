@@ -55,6 +55,17 @@ int64_t ConfiguredNumThreads();
 // caller). Nested parallel calls detect this and run inline.
 bool InParallelRegion();
 
+// Dispatch counters since process start (relaxed atomics; surfaced by the
+// ELDA_PROF report so pool-vs-inline behaviour is visible next to the
+// per-op numbers).
+struct ParStats {
+  int64_t parallel_dispatches = 0;  // ParallelFor calls that used the pool
+  int64_t chunks = 0;               // chunks executed by those dispatches
+  int64_t inline_runs = 0;          // serial fallbacks (1 thread, small
+                                    // range, or nested region)
+};
+ParStats Stats();
+
 // RAII override of the global thread count; n <= 0 leaves it untouched.
 class ScopedNumThreads {
  public:

@@ -1,6 +1,10 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
+#include <cstring>
 #include <sstream>
+
+#include "mem/pool.h"
 
 namespace elda {
 
@@ -27,7 +31,17 @@ std::string ShapeToString(const std::vector<int64_t>& shape) {
 Tensor::Tensor(std::vector<int64_t> shape)
     : shape_(std::move(shape)),
       size_(ShapeVolume(shape_)),
-      data_(std::make_shared<std::vector<float>>(size_, 0.0f)) {}
+      data_(mem::AcquireShared(size_)) {
+  std::memset(data_.get(), 0, static_cast<size_t>(size_) * sizeof(float));
+}
+
+Tensor Tensor::Empty(std::vector<int64_t> shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.size_ = ShapeVolume(t.shape_);
+  t.data_ = mem::AcquireShared(t.size_);
+  return t;
+}
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape) {
   return Tensor(std::move(shape));
@@ -38,13 +52,13 @@ Tensor Tensor::Ones(std::vector<int64_t> shape) {
 }
 
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   t.Fill(value);
   return t;
 }
 
 Tensor Tensor::Scalar(float value) {
-  Tensor t{std::vector<int64_t>{}};
+  Tensor t = Empty(std::vector<int64_t>{});
   t[0] = value;
   return t;
 }
@@ -53,16 +67,15 @@ Tensor Tensor::FromData(std::vector<int64_t> shape, std::vector<float> data) {
   const int64_t volume = ShapeVolume(shape);
   ELDA_CHECK_EQ(volume, static_cast<int64_t>(data.size()))
       << "shape" << ShapeToString(shape);
-  Tensor t;
-  t.shape_ = std::move(shape);
-  t.size_ = volume;
-  t.data_ = std::make_shared<std::vector<float>>(std::move(data));
+  Tensor t = Empty(std::move(shape));
+  std::memcpy(t.data(), data.data(),
+              static_cast<size_t>(volume) * sizeof(float));
   return t;
 }
 
 Tensor Tensor::Uniform(std::vector<int64_t> shape, float lo, float hi,
                        Rng* rng) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   for (int64_t i = 0; i < t.size(); ++i) {
     t[i] = static_cast<float>(rng->Uniform(lo, hi));
   }
@@ -71,7 +84,7 @@ Tensor Tensor::Uniform(std::vector<int64_t> shape, float lo, float hi,
 
 Tensor Tensor::Normal(std::vector<int64_t> shape, float mean, float stddev,
                       Rng* rng) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   for (int64_t i = 0; i < t.size(); ++i) {
     t[i] = static_cast<float>(rng->Normal(mean, stddev));
   }
@@ -113,11 +126,11 @@ Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
 }
 
 float& Tensor::at(std::initializer_list<int64_t> idx) {
-  return (*data_)[FlatIndex(idx)];
+  return data_.get()[FlatIndex(idx)];
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
-  return (*data_)[FlatIndex(idx)];
+  return data_.get()[FlatIndex(idx)];
 }
 
 int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
@@ -134,16 +147,14 @@ int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
 
 Tensor Tensor::Clone() const {
   if (!defined()) return Tensor();
-  Tensor t;
-  t.shape_ = shape_;
-  t.size_ = size_;
-  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  Tensor t = Empty(shape_);
+  std::memcpy(t.data(), data(), static_cast<size_t>(size_) * sizeof(float));
   return t;
 }
 
 void Tensor::Fill(float value) {
   ELDA_CHECK(defined());
-  std::fill(data_->begin(), data_->end(), value);
+  std::fill(data_.get(), data_.get() + size_, value);
 }
 
 std::vector<int64_t> Tensor::Strides() const {
@@ -160,7 +171,7 @@ std::string Tensor::DebugString(int64_t max_values) const {
   if (defined()) {
     for (int64_t i = 0; i < std::min(size_, max_values); ++i) {
       if (i) out << ", ";
-      out << (*data_)[i];
+      out << data_.get()[i];
     }
     if (size_ > max_values) out << ", ...";
   }

@@ -3,9 +3,14 @@
 // Tensor is the numeric workhorse of this repository. Design points:
 //   - Row-major, contiguous, float32 only (matching the paper's models).
 //   - Value semantics with *shallow* copies: copying a Tensor copies the
-//     shape and a shared_ptr to the storage, like torch.Tensor. Use Clone()
-//     for a deep copy. This makes it cheap for autograd nodes to retain
-//     their inputs on the tape.
+//     shape and a shared handle to the storage, like torch.Tensor. Use
+//     Clone() for a deep copy. This makes it cheap for autograd nodes to
+//     retain their inputs on the tape.
+//   - Storage comes from the elda::mem buffer pool (see DESIGN.md "Memory
+//     model"): the last handle to go away returns the buffer to the pool,
+//     and `Empty` hands out pooled memory *uninitialized* — only kernels
+//     that overwrite every output element may use it. `Zeros` (and the
+//     shape constructor, kept for compatibility) zero-fill on top.
 //   - Shapes are dynamic (vector<int64_t>), rank 0 (scalar) through rank N.
 //   - Element access by multi-index is provided for tests and data prep;
 //     numeric kernels live in tensor_ops.h and operate on raw pointers.
@@ -41,6 +46,11 @@ class Tensor {
 
   // -- Factories ------------------------------------------------------------
 
+  // Uninitialized tensor of the given shape (pooled memory, whatever bits
+  // the previous owner left behind). Callers must overwrite every element
+  // before reading any; kernels that accumulate into their output (`+=`)
+  // must use Zeros instead.
+  static Tensor Empty(std::vector<int64_t> shape);
   static Tensor Zeros(std::vector<int64_t> shape);
   static Tensor Ones(std::vector<int64_t> shape);
   static Tensor Full(std::vector<int64_t> shape, float value);
@@ -66,12 +76,12 @@ class Tensor {
 
   // -- Data ----------------------------------------------------------------
 
-  float* data() { return data_->data(); }
-  const float* data() const { return data_->data(); }
+  float* data() { return data_.get(); }
+  const float* data() const { return data_.get(); }
 
   // Flat element access.
-  float& operator[](int64_t i) { return (*data_)[i]; }
-  float operator[](int64_t i) const { return (*data_)[i]; }
+  float& operator[](int64_t i) { return data_.get()[i]; }
+  float operator[](int64_t i) const { return data_.get()[i]; }
 
   // Multi-index access (rank checked). Convenient in tests and data prep.
   float& at(std::initializer_list<int64_t> idx);
@@ -94,7 +104,9 @@ class Tensor {
 
   std::vector<int64_t> shape_;
   int64_t size_ = 0;
-  std::shared_ptr<std::vector<float>> data_;
+  // Pooled storage handle: the deleter returns the buffer to mem::Pool on
+  // last release (see mem/pool.h).
+  std::shared_ptr<float[]> data_;
 };
 
 // Volume of a shape (product of dimensions; 1 for rank 0).

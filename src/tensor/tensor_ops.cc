@@ -4,6 +4,12 @@
 #include <cmath>
 #include <cstring>
 
+#if defined(__AVX512F__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+#include "mem/pool.h"
+#include "mem/prof.h"
 #include "par/par.h"
 
 namespace elda {
@@ -15,16 +21,23 @@ namespace {
 // thread count (see DESIGN.md "Threading model"). Whole-tensor float sums
 // (SumAll/MeanAll) stay serial because chunked accumulation would reorder
 // the additions.
+//
+// Allocation note: kernels here allocate their outputs with Tensor::Empty
+// (uninitialized pooled memory) because they overwrite every output element.
+// The one exception is the simple GEMM path, which accumulates with `+=`
+// and therefore zero-fills first (see DESIGN.md "Memory model").
 
 // Applies a binary functor with NumPy broadcasting. The fast paths cover the
 // two layouts that dominate this codebase: identical shapes, and a
 // right-hand side whose shape is a suffix of the left-hand side's (e.g.
 // [B, T, C] op [C] for per-feature biases).
 template <typename F>
-Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
+Tensor BinaryBroadcast(const char* prof_name, const Tensor& a, const Tensor& b,
+                       F f) {
+  ELDA_PROF_SCOPE(prof_name);
   ELDA_CHECK(a.defined() && b.defined());
   if (a.shape() == b.shape()) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::Empty(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
@@ -44,7 +57,7 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
       }
     }
     if (suffix && b.size() > 0) {
-      Tensor out(a.shape());
+      Tensor out = Tensor::Empty(a.shape());
       const float* pa = a.data();
       const float* pb = b.data();
       float* po = out.data();
@@ -80,7 +93,7 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
       sb[o] = b.shape(i) == 1 ? 0 : strb[i];
     }
   }
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
   float* po = out.data();
   const float* pa = a.data();
   const float* pb = b.data();
@@ -135,9 +148,10 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
 }
 
 template <typename F>
-Tensor UnaryOp(const Tensor& a, F f) {
+Tensor UnaryOp(const char* prof_name, const Tensor& a, F f) {
+  ELDA_PROF_SCOPE(prof_name);
   ELDA_CHECK(a.defined());
-  Tensor out(a.shape());
+  Tensor out = Tensor::Empty(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   par::ParallelFor(0, a.size(), par::kElementGrain,
@@ -163,16 +177,190 @@ int64_t NormalizeAxis(int64_t axis, int64_t rank) {
   return axis;
 }
 
-// C[M,N] += A[M,K] * B[K,N] restricted to output rows [i0, i1), with
-// optional logical transposes (full leading dimensions m/k/n are kept so a
-// row range addresses the same storage as the whole product). The non-
-// transposed path uses the i-k-j ordering so the inner loop is a contiguous
-// AXPY; __restrict__ lets the compiler vectorise it. Restricting the row
-// range never changes the per-element accumulation order, so partitioning
-// rows across threads is bitwise identical to one serial call.
-void GemmRows(const float* __restrict__ a, const float* __restrict__ b,
-              float* __restrict__ c, int64_t m, int64_t k, int64_t n,
-              bool trans_a, bool trans_b, int64_t i0, int64_t i1) {
+// ---------------------------------------------------------------------------
+// GEMM.
+//
+// Determinism contract (DESIGN.md "Memory model"): every output element is
+// computed as
+//     acc = +0;  for p = 0..K-1 ascending:  acc = fma(A[i,p], B[p,j], acc)
+// — one fused multiply-add per k step, strictly in k order. Both production
+// kernels (the simple loops for small products and the packed cache-blocked
+// kernel for large ones) implement exactly this per-element sequence, as
+// does GemmReference. Packing, register tiling, and thread partitioning
+// only change *which elements* are computed when, never the arithmetic
+// inside one element, so results are bitwise identical across kernels,
+// tile shapes, and thread counts. fma is exactly rounded, so scalar
+// std::fma and vector FMA lanes agree bit-for-bit.
+//
+// Operand storage conventions match the logical transposes: A is stored
+// [M,K] ([K,M] when trans_a), B is stored [K,N] ([N,K] when trans_b), C is
+// always [M,N] row-major.
+
+// Register microtile: kMR output rows by kNR output columns.
+#if defined(__AVX512F__) && defined(__FMA__)
+constexpr int64_t kMR = 8;
+constexpr int64_t kNR = 32;  // two zmm vectors
+#else
+constexpr int64_t kMR = 4;
+constexpr int64_t kNR = 16;
+#endif
+
+// Floats needed to hold all packed B panels for a [K,N] product.
+int64_t PackedBFloats(int64_t k, int64_t n) {
+  return ((n + kNR - 1) / kNR) * kNR * std::max<int64_t>(k, 1);
+}
+
+// Packs the column panel [j0, j0+kNR) of logical B[K,N] into bp[k][kNR],
+// zero-padding past column n (padded lanes are computed by the microkernel
+// but never stored).
+void PackBPanel(const float* __restrict__ b, float* __restrict__ bp,
+                int64_t k, int64_t n, int64_t j0, bool trans_b) {
+  const int64_t nr = std::min(kNR, n - j0);
+  if (!trans_b) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float* src = b + p * n + j0;
+      float* dst = bp + p * kNR;
+      for (int64_t j = 0; j < nr; ++j) dst[j] = src[j];
+      for (int64_t j = nr; j < kNR; ++j) dst[j] = 0.0f;
+    }
+  } else {
+    // B stored [N, K]: read each logical column contiguously.
+    for (int64_t j = 0; j < nr; ++j) {
+      const float* src = b + (j0 + j) * k;
+      for (int64_t p = 0; p < k; ++p) bp[p * kNR + j] = src[p];
+    }
+    for (int64_t j = nr; j < kNR; ++j) {
+      for (int64_t p = 0; p < k; ++p) bp[p * kNR + j] = 0.0f;
+    }
+  }
+}
+
+void PackBAll(const float* b, float* bp, int64_t k, int64_t n, bool trans_b) {
+  for (int64_t j0 = 0, panel = 0; j0 < n; j0 += kNR, ++panel) {
+    PackBPanel(b, bp + panel * k * kNR, k, n, j0, trans_b);
+  }
+}
+
+// Packs logical rows [i0, i0+mr) of A[M,K] into ap[k][kMR], zero-padding to
+// kMR rows.
+void PackABlock(const float* __restrict__ a, float* __restrict__ ap,
+                int64_t m, int64_t k, int64_t i0, int64_t mr, bool trans_a) {
+  if (!trans_a) {
+    for (int64_t r = 0; r < mr; ++r) {
+      const float* src = a + (i0 + r) * k;
+      for (int64_t p = 0; p < k; ++p) ap[p * kMR + r] = src[p];
+    }
+  } else {
+    // A stored [K, M].
+    for (int64_t p = 0; p < k; ++p) {
+      const float* src = a + p * m + i0;
+      float* dst = ap + p * kMR;
+      for (int64_t r = 0; r < mr; ++r) dst[r] = src[r];
+    }
+  }
+  for (int64_t r = mr; r < kMR; ++r) {
+    for (int64_t p = 0; p < k; ++p) ap[p * kMR + r] = 0.0f;
+  }
+}
+
+#if defined(__AVX512F__) && defined(__FMA__)
+
+// 8x32 register tile: 16 zmm accumulators, two B vectors streamed per k
+// step, A broadcast from the packed block. Each accumulator lane is one
+// output element's strict-k fma chain.
+void MicroKernel(const float* __restrict__ ap, const float* __restrict__ bp,
+                 int64_t k, float* __restrict__ c, int64_t ldc, int64_t mr,
+                 int64_t nr) {
+  __m512 acc[kMR][2];
+  for (int64_t r = 0; r < kMR; ++r) {
+    acc[r][0] = _mm512_setzero_ps();
+    acc[r][1] = _mm512_setzero_ps();
+  }
+  for (int64_t p = 0; p < k; ++p) {
+    const __m512 b0 = _mm512_loadu_ps(bp + p * kNR);
+    const __m512 b1 = _mm512_loadu_ps(bp + p * kNR + 16);
+    const float* arow = ap + p * kMR;
+    for (int64_t r = 0; r < kMR; ++r) {
+      const __m512 av = _mm512_set1_ps(arow[r]);
+      acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  if (nr == kNR) {
+    for (int64_t r = 0; r < mr; ++r) {
+      _mm512_storeu_ps(c + r * ldc, acc[r][0]);
+      _mm512_storeu_ps(c + r * ldc + 16, acc[r][1]);
+    }
+  } else {
+    const __mmask16 m0 =
+        nr >= 16 ? static_cast<__mmask16>(0xFFFF)
+                 : static_cast<__mmask16>((1u << nr) - 1u);
+    const __mmask16 m1 =
+        nr > 16 ? static_cast<__mmask16>((1u << (nr - 16)) - 1u)
+                : static_cast<__mmask16>(0);
+    for (int64_t r = 0; r < mr; ++r) {
+      _mm512_mask_storeu_ps(c + r * ldc, m0, acc[r][0]);
+      if (m1) _mm512_mask_storeu_ps(c + r * ldc + 16, m1, acc[r][1]);
+    }
+  }
+}
+
+#else
+
+// Portable microkernel: identical per-element fma sequence; the compiler
+// vectorizes the jr lanes as far as the target allows.
+void MicroKernel(const float* __restrict__ ap, const float* __restrict__ bp,
+                 int64_t k, float* __restrict__ c, int64_t ldc, int64_t mr,
+                 int64_t nr) {
+  float acc[kMR][kNR];
+  for (int64_t r = 0; r < kMR; ++r) {
+    for (int64_t j = 0; j < kNR; ++j) acc[r][j] = 0.0f;
+  }
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = ap + p * kMR;
+    const float* brow = bp + p * kNR;
+    for (int64_t r = 0; r < kMR; ++r) {
+      const float av = arow[r];
+      for (int64_t j = 0; j < kNR; ++j) {
+        acc[r][j] = std::fma(av, brow[j], acc[r][j]);
+      }
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+#endif
+
+// Computes output rows [i0, i1) of C[M,N] against pre-packed B panels.
+// ap_scratch holds one packed A block (k * kMR floats). Restricting the row
+// range never changes any element's accumulation, so partitioning rows
+// across threads (with arbitrary, even tile-misaligned, boundaries) is
+// bitwise identical to one serial call.
+void GemmPackedRows(const float* a, const float* bp, float* c, int64_t m,
+                    int64_t k, int64_t n, bool trans_a, int64_t i0,
+                    int64_t i1, float* ap_scratch) {
+  for (int64_t ib = i0; ib < i1; ib += kMR) {
+    const int64_t mr = std::min(kMR, i1 - ib);
+    PackABlock(a, ap_scratch, m, k, ib, mr, trans_a);
+    for (int64_t jp = 0, panel = 0; jp < n; jp += kNR, ++panel) {
+      const int64_t nr = std::min(kNR, n - jp);
+      MicroKernel(ap_scratch, bp + panel * k * kNR, k, c + ib * n + jp, n,
+                  mr, nr);
+    }
+  }
+}
+
+// Small-product kernel, rows [i0, i1): no packing, same per-element
+// contract. The two AXPY-style paths (NN, TN) accumulate into C, which must
+// be zero on entry; the dot-style paths (NT, TT) overwrite. Dot products
+// run kLanes output columns at a time — independent strict-k chains, for
+// instruction-level parallelism without touching any chain's order.
+void GemmSimpleRows(const float* __restrict__ a, const float* __restrict__ b,
+                    float* __restrict__ c, int64_t m, int64_t k, int64_t n,
+                    bool trans_a, bool trans_b, int64_t i0, int64_t i1) {
+  constexpr int64_t kLanes = 8;
   if (!trans_a && !trans_b) {
     for (int64_t i = i0; i < i1; ++i) {
       float* __restrict__ crow = c + i * n;
@@ -180,7 +368,9 @@ void GemmRows(const float* __restrict__ a, const float* __restrict__ b,
       for (int64_t p = 0; p < k; ++p) {
         const float av = arow[p];
         const float* __restrict__ brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] = std::fma(av, brow[j], crow[j]);
+        }
       }
     }
   } else if (trans_a && !trans_b) {
@@ -190,9 +380,10 @@ void GemmRows(const float* __restrict__ a, const float* __restrict__ b,
       const float* __restrict__ brow = b + p * n;
       for (int64_t i = i0; i < i1; ++i) {
         const float av = arow[i];
-        if (av == 0.0f) continue;
         float* __restrict__ crow = c + i * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] = std::fma(av, brow[j], crow[j]);
+        }
       }
     }
   } else if (!trans_a && trans_b) {
@@ -200,33 +391,56 @@ void GemmRows(const float* __restrict__ a, const float* __restrict__ b,
     for (int64_t i = i0; i < i1; ++i) {
       const float* __restrict__ arow = a + i * k;
       float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* __restrict__ brow = b + j * k;
-        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-        int64_t p = 0;
-        for (; p + 4 <= k; p += 4) {
-          s0 += arow[p] * brow[p];
-          s1 += arow[p + 1] * brow[p + 1];
-          s2 += arow[p + 2] * brow[p + 2];
-          s3 += arow[p + 3] * brow[p + 3];
+      int64_t j = 0;
+      for (; j + kLanes <= n; j += kLanes) {
+        float s[kLanes] = {};
+        for (int64_t p = 0; p < k; ++p) {
+          const float av = arow[p];
+          for (int64_t jj = 0; jj < kLanes; ++jj) {
+            s[jj] = std::fma(av, b[(j + jj) * k + p], s[jj]);
+          }
         }
-        float s = (s0 + s1) + (s2 + s3);
-        for (; p < k; ++p) s += arow[p] * brow[p];
-        crow[j] += s;
+        for (int64_t jj = 0; jj < kLanes; ++jj) crow[j + jj] = s[jj];
+      }
+      for (; j < n; ++j) {
+        const float* __restrict__ brow = b + j * k;
+        float s = 0.0f;
+        for (int64_t p = 0; p < k; ++p) s = std::fma(arow[p], brow[p], s);
+        crow[j] = s;
       }
     }
   } else {
     // Both transposed: A stored [K, M], B stored [N, K].
     for (int64_t i = i0; i < i1; ++i) {
       float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
+      int64_t j = 0;
+      for (; j + kLanes <= n; j += kLanes) {
+        float s[kLanes] = {};
+        for (int64_t p = 0; p < k; ++p) {
+          const float av = a[p * m + i];
+          for (int64_t jj = 0; jj < kLanes; ++jj) {
+            s[jj] = std::fma(av, b[(j + jj) * k + p], s[jj]);
+          }
+        }
+        for (int64_t jj = 0; jj < kLanes; ++jj) crow[j + jj] = s[jj];
+      }
+      for (; j < n; ++j) {
         const float* brow = b + j * k;
         float s = 0.0f;
-        for (int64_t p = 0; p < k; ++p) s += a[p * m + i] * brow[p];
-        crow[j] += s;
+        for (int64_t p = 0; p < k; ++p) s = std::fma(a[p * m + i], brow[p], s);
+        crow[j] = s;
       }
     }
   }
+}
+
+// Products below this flop count (or too skinny for a tile) skip the packed
+// kernel: two packing passes plus tile padding are not worth it.
+constexpr int64_t kPackedMinFlops = 1 << 14;
+
+bool UsePackedGemm(int64_t m, int64_t k, int64_t n) {
+  if (m < kMR || n < kNR / 2) return false;
+  return m * k * n >= kPackedMinFlops;
 }
 
 // Minimum flops worth one parallel chunk; below this, dispatch overhead
@@ -234,6 +448,21 @@ void GemmRows(const float* __restrict__ a, const float* __restrict__ b,
 constexpr int64_t kMatMulGrainFlops = 1 << 15;
 
 }  // namespace
+
+void GemmReference(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n, bool trans_a, bool trans_b) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[p * m + i] : a[i * k + p];
+        const float bv = trans_b ? b[j * k + p] : b[p * n + j];
+        acc = std::fma(av, bv, acc);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
 
 std::vector<int64_t> BroadcastShapes(const std::vector<int64_t>& a,
                                      const std::vector<int64_t>& b) {
@@ -269,48 +498,49 @@ Tensor ReduceToShape(const Tensor& t, const std::vector<int64_t>& shape) {
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast(a, b, [](float x, float y) { return x + y; });
+  return BinaryBroadcast("Add", a, b, [](float x, float y) { return x + y; });
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast(a, b, [](float x, float y) { return x - y; });
+  return BinaryBroadcast("Sub", a, b, [](float x, float y) { return x - y; });
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast(a, b, [](float x, float y) { return x * y; });
+  return BinaryBroadcast("Mul", a, b, [](float x, float y) { return x * y; });
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast(a, b, [](float x, float y) { return x / y; });
+  return BinaryBroadcast("Div", a, b, [](float x, float y) { return x / y; });
 }
 Tensor Maximum(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast(a, b, [](float x, float y) { return std::max(x, y); });
+  return BinaryBroadcast("Maximum", a, b,
+                         [](float x, float y) { return std::max(x, y); });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x + s; });
+  return UnaryOp("AddScalar", a, [s](float x) { return x + s; });
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x * s; });
+  return UnaryOp("MulScalar", a, [s](float x) { return x * s; });
 }
 
 Tensor Neg(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return -x; });
+  return UnaryOp("Neg", a, [](float x) { return -x; });
 }
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::exp(x); });
+  return UnaryOp("Exp", a, [](float x) { return std::exp(x); });
 }
 Tensor Log(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::log(std::max(x, 1e-12f)); });
+  return UnaryOp("Log", a, [](float x) { return std::log(std::max(x, 1e-12f)); });
 }
 Tensor Sqrt(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+  return UnaryOp("Sqrt", a, [](float x) { return std::sqrt(x); });
 }
 Tensor Abs(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::fabs(x); });
+  return UnaryOp("Abs", a, [](float x) { return std::fabs(x); });
 }
 Tensor Square(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x * x; });
+  return UnaryOp("Square", a, [](float x) { return x * x; });
 }
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(a, [](float x) {
+  return UnaryOp("Sigmoid", a, [](float x) {
     // Split by sign for numerical stability at large |x|.
     if (x >= 0.0f) {
       const float z = std::exp(-x);
@@ -321,27 +551,30 @@ Tensor Sigmoid(const Tensor& a) {
   });
 }
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::tanh(x); });
+  return UnaryOp("Tanh", a, [](float x) { return std::tanh(x); });
 }
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return UnaryOp("Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; });
 }
 Tensor Clip(const Tensor& a, float lo, float hi) {
-  return UnaryOp(a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
+  return UnaryOp("Clip", a,
+                 [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
 }
 Tensor Pow(const Tensor& a, float p) {
-  return UnaryOp(a, [p](float x) { return std::pow(x, p); });
+  return UnaryOp("Pow", a, [p](float x) { return std::pow(x, p); });
 }
 Tensor GreaterThanScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x > s ? 1.0f : 0.0f; });
+  return UnaryOp("GreaterThanScalar", a,
+                 [s](float x) { return x > s ? 1.0f : 0.0f; });
 }
 Tensor EqualScalar(const Tensor& a, float s, float tolerance) {
-  return UnaryOp(a, [s, tolerance](float x) {
+  return UnaryOp("EqualScalar", a, [s, tolerance](float x) {
     return std::fabs(x - s) <= tolerance ? 1.0f : 0.0f;
   });
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  ELDA_PROF_SCOPE("MatMul");
   ELDA_CHECK(a.dim() >= 2 && b.dim() >= 2)
       << ShapeToString(a.shape()) << ShapeToString(b.shape());
   const int64_t am = a.shape(trans_a ? -1 : -2);
@@ -352,8 +585,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
                         << ShapeToString(b.shape());
   const int64_t a_mat = a.shape(-1) * a.shape(-2);
   const int64_t b_mat = b.shape(-1) * b.shape(-2);
-  const int64_t a_batch = a.size() / a_mat;
-  const int64_t b_batch = b.size() / b_mat;
+  // max(.., 1) guards zero-sized matrices (a zero batch just runs no work).
+  const int64_t a_batch = a.size() / std::max<int64_t>(a_mat, 1);
+  const int64_t b_batch = b.size() / std::max<int64_t>(b_mat, 1);
   ELDA_CHECK(a_batch == b_batch || b_batch == 1 || a_batch == 1)
       << "matmul batch dims" << ShapeToString(a.shape())
       << ShapeToString(b.shape());
@@ -367,7 +601,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   }
   out_shape.push_back(am);
   out_shape.push_back(bn);
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
+  const bool packed = UsePackedGemm(am, ak, bn);
+  if (!packed && !trans_b) {
+    // The simple NN/TN kernels accumulate into C; the dot-style NT/TT and
+    // the packed kernel overwrite, so only this case needs the zero-fill.
+    std::memset(out.data(), 0, static_cast<size_t>(out.size()) * sizeof(float));
+  }
   const float* base_a = a.data();
   const float* base_b = b.data();
   float* base_o = out.data();
@@ -376,19 +616,45 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
     const int64_t grain = std::max<int64_t>(
         1, kMatMulGrainFlops / std::max<int64_t>(1, flops_per_item));
     par::ParallelFor(0, batch, grain, [&](int64_t b0, int64_t b1) {
-      for (int64_t i = b0; i < b1; ++i) {
-        const float* pa = base_a + (a_batch == 1 ? 0 : i * a_mat);
-        const float* pb = base_b + (b_batch == 1 ? 0 : i * b_mat);
-        GemmRows(pa, pb, base_o + i * am * bn, am, ak, bn, trans_a, trans_b,
-                 0, am);
+      if (packed) {
+        mem::ScopedBuffer bp(PackedBFloats(ak, bn));
+        mem::ScopedBuffer ap(std::max<int64_t>(ak, 1) * kMR);
+        for (int64_t i = b0; i < b1; ++i) {
+          const float* pa = base_a + (a_batch == 1 ? 0 : i * a_mat);
+          const float* pb = base_b + (b_batch == 1 ? 0 : i * b_mat);
+          // A shared B is packed once per chunk, per-item B every time.
+          if (b_batch != 1 || i == b0) {
+            PackBAll(pb, bp.data(), ak, bn, trans_b);
+          }
+          GemmPackedRows(pa, bp.data(), base_o + i * am * bn, am, ak, bn,
+                         trans_a, 0, am, ap.data());
+        }
+      } else {
+        for (int64_t i = b0; i < b1; ++i) {
+          const float* pa = base_a + (a_batch == 1 ? 0 : i * a_mat);
+          const float* pb = base_b + (b_batch == 1 ? 0 : i * b_mat);
+          GemmSimpleRows(pa, pb, base_o + i * am * bn, am, ak, bn, trans_a,
+                         trans_b, 0, am);
+        }
       }
     });
   } else {
     const int64_t row_grain = std::max<int64_t>(
         1, kMatMulGrainFlops / std::max<int64_t>(1, ak * bn));
-    par::ParallelFor(0, am, row_grain, [&](int64_t i0, int64_t i1) {
-      GemmRows(base_a, base_b, base_o, am, ak, bn, trans_a, trans_b, i0, i1);
-    });
+    if (packed) {
+      mem::ScopedBuffer bp(PackedBFloats(ak, bn));
+      PackBAll(base_b, bp.data(), ak, bn, trans_b);
+      par::ParallelFor(0, am, row_grain, [&](int64_t i0, int64_t i1) {
+        mem::ScopedBuffer ap(std::max<int64_t>(ak, 1) * kMR);
+        GemmPackedRows(base_a, bp.data(), base_o, am, ak, bn, trans_a, i0, i1,
+                       ap.data());
+      });
+    } else {
+      par::ParallelFor(0, am, row_grain, [&](int64_t i0, int64_t i1) {
+        GemmSimpleRows(base_a, base_b, base_o, am, ak, bn, trans_a, trans_b,
+                       i0, i1);
+      });
+    }
   }
   return out;
 }
@@ -399,14 +665,15 @@ Tensor Transpose(const Tensor& a) {
 }
 
 Tensor TransposeLast2(const Tensor& a) {
+  ELDA_PROF_SCOPE("Transpose");
   ELDA_CHECK_GE(a.dim(), 2);
   const int64_t rows = a.shape(-2);
   const int64_t cols = a.shape(-1);
   const int64_t mat = rows * cols;
-  const int64_t batch = a.size() / mat;
+  const int64_t batch = a.size() / std::max<int64_t>(mat, 1);
   std::vector<int64_t> out_shape = a.shape();
   std::swap(out_shape[out_shape.size() - 1], out_shape[out_shape.size() - 2]);
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
   const float* pa = a.data();
   float* po = out.data();
   const int64_t grain =
@@ -425,6 +692,7 @@ Tensor TransposeLast2(const Tensor& a) {
 }
 
 Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  ELDA_PROF_SCOPE("Concat");
   ELDA_CHECK(!parts.empty());
   const int64_t rank = parts[0].dim();
   axis = NormalizeAxis(axis, rank);
@@ -438,39 +706,65 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
     total_axis += p.shape(axis);
   }
   out_shape[axis] = total_axis;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
   int64_t outer, n_unused, inner;
   AxisDecompose(out_shape, axis, &outer, &n_unused, &inner);
+  // Per-part source pointer, copy length, and destination offset inside one
+  // outer slice; the outer dimension is then partitioned across threads
+  // (disjoint output ranges, so bitwise-deterministic for free).
+  std::vector<const float*> srcs(parts.size());
+  std::vector<int64_t> chunks(parts.size());
+  std::vector<int64_t> offsets(parts.size());
   int64_t dst_offset = 0;
-  for (const Tensor& p : parts) {
-    const int64_t chunk = p.shape(axis) * inner;
-    for (int64_t o = 0; o < outer; ++o) {
-      std::memcpy(out.data() + o * total_axis * inner + dst_offset,
-                  p.data() + o * chunk, chunk * sizeof(float));
-    }
-    dst_offset += chunk;
+  for (size_t pi = 0; pi < parts.size(); ++pi) {
+    srcs[pi] = parts[pi].data();
+    chunks[pi] = parts[pi].shape(axis) * inner;
+    offsets[pi] = dst_offset;
+    dst_offset += chunks[pi];
   }
+  const int64_t row = total_axis * inner;  // floats per outer slice
+  float* po = out.data();
+  const int64_t grain =
+      std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, row));
+  par::ParallelFor(0, outer, grain, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      float* dst = po + o * row;
+      for (size_t pi = 0; pi < srcs.size(); ++pi) {
+        std::memcpy(dst + offsets[pi], srcs[pi] + o * chunks[pi],
+                    static_cast<size_t>(chunks[pi]) * sizeof(float));
+      }
+    }
+  });
   return out;
 }
 
 Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
+  ELDA_PROF_SCOPE("Slice");
   axis = NormalizeAxis(axis, a.dim());
   ELDA_CHECK(start >= 0 && len >= 0 && start + len <= a.shape(axis))
       << "slice [" << start << "," << start + len << ") of axis" << axis
       << "in" << ShapeToString(a.shape());
   std::vector<int64_t> out_shape = a.shape();
   out_shape[axis] = len;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
   int64_t outer, n, inner;
   AxisDecompose(a.shape(), axis, &outer, &n, &inner);
-  for (int64_t o = 0; o < outer; ++o) {
-    std::memcpy(out.data() + o * len * inner,
-                a.data() + (o * n + start) * inner, len * inner * sizeof(float));
-  }
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t row = len * inner;
+  const int64_t grain =
+      std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, row));
+  par::ParallelFor(0, outer, grain, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      std::memcpy(po + o * row, pa + (o * n + start) * inner,
+                  static_cast<size_t>(row) * sizeof(float));
+    }
+  });
   return out;
 }
 
 float SumAll(const Tensor& a) {
+  ELDA_PROF_SCOPE("SumAll");
   // Deliberately serial: a chunked parallel sum would reorder the float
   // additions and break bitwise reproducibility across thread counts.
   double s = 0.0;
@@ -485,6 +779,7 @@ float MeanAll(const Tensor& a) {
 }
 
 float MaxAll(const Tensor& a) {
+  ELDA_PROF_SCOPE("MaxAll");
   ELDA_CHECK_GT(a.size(), 0);
   const float* p = a.data();
   // Max is an exact, order-independent combine, so the partitioned reduce
@@ -500,6 +795,7 @@ float MaxAll(const Tensor& a) {
 }
 
 Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
+  ELDA_PROF_SCOPE("Sum");
   axis = NormalizeAxis(axis, a.dim());
   int64_t outer, n, inner;
   AxisDecompose(a.shape(), axis, &outer, &n, &inner);
@@ -509,13 +805,17 @@ Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
   } else {
     out_shape.erase(out_shape.begin() + axis);
   }
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
+  if (n == 0) {
+    std::memset(out.data(), 0, static_cast<size_t>(out.size()) * sizeof(float));
+    return out;
+  }
   const float* pa = a.data();
   float* po = out.data();
-  // Lane space: output elements (o, i). Each lane accumulates over the
-  // reduced axis in k-order exactly as the serial loop did, so any disjoint
-  // lane partition is bitwise identical. Chunks are blocked per o-row to
-  // keep the inner loop contiguous.
+  // Lane space: output elements (o, i). Each lane assigns the k = 0 slice
+  // and then accumulates k = 1..n-1 in order, exactly as the serial loop
+  // did, so any disjoint lane partition is bitwise identical. Chunks are
+  // blocked per o-row to keep the inner loop contiguous.
   const int64_t grain =
       std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, n));
   par::ParallelFor(0, outer * inner, grain, [&](int64_t l0, int64_t l1) {
@@ -524,8 +824,10 @@ Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
       const int64_t i0 = l0 % inner;
       const int64_t i1 = std::min(inner, i0 + (l1 - l0));
       float* orow = po + o * inner;
-      for (int64_t k = 0; k < n; ++k) {
-        const float* row = pa + (o * n + k) * inner;
+      const float* row0 = pa + o * n * inner;
+      for (int64_t i = i0; i < i1; ++i) orow[i] = row0[i];
+      for (int64_t kk = 1; kk < n; ++kk) {
+        const float* row = pa + (o * n + kk) * inner;
         for (int64_t i = i0; i < i1; ++i) orow[i] += row[i];
       }
       l0 += i1 - i0;
@@ -535,12 +837,51 @@ Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
 }
 
 Tensor Mean(const Tensor& a, int64_t axis, bool keepdims) {
+  ELDA_PROF_SCOPE("Mean");
   axis = NormalizeAxis(axis, a.dim());
-  const float inv = 1.0f / static_cast<float>(a.shape(axis));
-  return MulScalar(Sum(a, axis, keepdims), inv);
+  int64_t outer, n, inner;
+  AxisDecompose(a.shape(), axis, &outer, &n, &inner);
+  const float inv = 1.0f / static_cast<float>(n);
+  std::vector<int64_t> out_shape = a.shape();
+  if (keepdims) {
+    out_shape[axis] = 1;
+  } else {
+    out_shape.erase(out_shape.begin() + axis);
+  }
+  Tensor out = Tensor::Empty(out_shape);
+  if (n == 0) {
+    out.Fill(0.0f * inv);  // matches Sum-then-MulScalar: 0 * inf = NaN
+    return out;
+  }
+  const float* pa = a.data();
+  float* po = out.data();
+  // Fused Sum + scale: one allocation and one pass fewer than the previous
+  // MulScalar(Sum(...)). Per lane the k-order sum is identical to Sum's and
+  // the 1/n multiply happens after the sum completes, so results match the
+  // two-op form bit-for-bit.
+  const int64_t grain =
+      std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, n));
+  par::ParallelFor(0, outer * inner, grain, [&](int64_t l0, int64_t l1) {
+    while (l0 < l1) {
+      const int64_t o = l0 / inner;
+      const int64_t i0 = l0 % inner;
+      const int64_t i1 = std::min(inner, i0 + (l1 - l0));
+      float* orow = po + o * inner;
+      const float* row0 = pa + o * n * inner;
+      for (int64_t i = i0; i < i1; ++i) orow[i] = row0[i];
+      for (int64_t kk = 1; kk < n; ++kk) {
+        const float* row = pa + (o * n + kk) * inner;
+        for (int64_t i = i0; i < i1; ++i) orow[i] += row[i];
+      }
+      for (int64_t i = i0; i < i1; ++i) orow[i] *= inv;
+      l0 += i1 - i0;
+    }
+  });
+  return out;
 }
 
 Tensor Max(const Tensor& a, int64_t axis, bool keepdims) {
+  ELDA_PROF_SCOPE("Max");
   axis = NormalizeAxis(axis, a.dim());
   int64_t outer, n, inner;
   AxisDecompose(a.shape(), axis, &outer, &n, &inner);
@@ -551,7 +892,7 @@ Tensor Max(const Tensor& a, int64_t axis, bool keepdims) {
   } else {
     out_shape.erase(out_shape.begin() + axis);
   }
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
   const float* pa = a.data();
   float* po = out.data();
   const int64_t grain =
@@ -575,10 +916,11 @@ Tensor Max(const Tensor& a, int64_t axis, bool keepdims) {
 }
 
 Tensor Softmax(const Tensor& a, int64_t axis) {
+  ELDA_PROF_SCOPE("Softmax");
   axis = NormalizeAxis(axis, a.dim());
   int64_t outer, n, inner;
   AxisDecompose(a.shape(), axis, &outer, &n, &inner);
-  Tensor out(a.shape());
+  Tensor out = Tensor::Empty(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   // Lane space: softmax fibers (o, i), in the same o-major order the serial

@@ -64,8 +64,20 @@ Tensor EqualScalar(const Tensor& a, float s, float tolerance = 1e-6f);
 // MatMul(a, b, trans_a, trans_b): logical shapes after transposition must be
 // [.., M, K] x [.., K, N] -> [.., M, N]. Supported operand ranks:
 //   2-D x 2-D, 3-D x 3-D (equal batch), 3-D x 2-D (rhs shared across batch).
+//
+// Determinism contract: every output element is acc = +0 then
+// acc = fma(a_ip, b_pj, acc) for p ascending — the sequence GemmReference
+// spells out below. The production kernels (simple and packed/blocked) are
+// bitwise identical to GemmReference for all inputs and thread counts.
 Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
               bool trans_b = false);
+
+// The executable definition of the GEMM contract: naive i-j-k loops, one
+// std::fma per k step. C = op(A) * op(B) with A stored [M,K] ([K,M] when
+// trans_a), B stored [K,N] ([N,K] when trans_b), C stored [M,N]. Slow; used
+// by tests to pin the optimized kernels bit-for-bit.
+void GemmReference(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n, bool trans_a, bool trans_b);
 
 // -- Shape manipulation ----------------------------------------------------------
 

@@ -1,0 +1,264 @@
+// Tests for the elda::mem buffer pool and the ELDA_PROF op profiler.
+//
+// The reuse assertions force the pool on via ScopedPoolEnabled: under
+// AddressSanitizer builds the pool defaults to disabled (so ASan keeps its
+// use-after-free power), and these tests must not depend on that default.
+// The stress test is the ThreadSanitizer target for cross-thread
+// acquire/release (tensors allocated on one thread, dropped on another).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "mem/pool.h"
+#include "mem/prof.h"
+#include "par/par.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace elda {
+namespace mem {
+namespace {
+
+TEST(PoolBucketTest, RoundsUpToPowerOfTwoCapacities) {
+  EXPECT_EQ(Pool::BucketFor(0), 0);
+  EXPECT_EQ(Pool::BucketFor(1), 0);
+  EXPECT_EQ(Pool::BucketFor(64), 0);
+  EXPECT_EQ(Pool::BucketFor(65), 1);
+  EXPECT_EQ(Pool::BucketCapacity(0), 64);
+  EXPECT_EQ(Pool::BucketCapacity(1), 128);
+  EXPECT_EQ(Pool::BucketFor(int64_t{1} << 28), Pool::kNumBuckets - 1);
+  EXPECT_EQ(Pool::BucketFor((int64_t{1} << 28) + 1), Pool::kHugeBucket);
+  for (int64_t n : {1, 63, 64, 65, 100, 1000, 4096, 1 << 20}) {
+    const int32_t bucket = Pool::BucketFor(n);
+    ASSERT_NE(bucket, Pool::kHugeBucket);
+    EXPECT_GE(Pool::BucketCapacity(bucket), n) << "n=" << n;
+  }
+}
+
+TEST(PoolTest, ReleasedBufferIsReusedForSameBucket) {
+  ScopedPoolEnabled force(true);
+  Pool& pool = Pool::Global();
+  pool.Trim();
+  int32_t b1 = 0, b2 = 0;
+  float* p1 = pool.Acquire(16000, &b1);
+  pool.Release(p1, b1);
+  float* p2 = pool.Acquire(9000, &b2);  // same 16384-float bucket
+  EXPECT_EQ(b1, b2);
+  EXPECT_EQ(p1, p2);
+  pool.Release(p2, b2);
+}
+
+TEST(PoolTest, PooledBuffersAre64ByteAligned) {
+  int32_t bucket = 0;
+  float* p = Pool::Global().Acquire(Pool::kMinPooledFloats, &bucket);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+  Pool::Global().Release(p, bucket);
+}
+
+// Requests below kMinPooledFloats are served exact-size by operator new and
+// never enter (or come back out of) the freelists — recycling them through
+// a process-lifetime pool scatters hot small tensors across the whole heap
+// once a large-batch phase has run (see mem/pool.h).
+TEST(PoolTest, SmallRequestsBypassFreelists) {
+  ScopedPoolEnabled force(true);
+  Pool& pool = Pool::Global();
+  pool.Trim();
+  const PoolStats before = pool.Stats();
+  int32_t bucket = 0;
+  float* p = pool.Acquire(256, &bucket);
+  EXPECT_EQ(bucket, Pool::kSmallBucket);
+  p[0] = 1.0f;
+  p[255] = 2.0f;
+  pool.Release(p, bucket);
+  const PoolStats after = pool.Stats();
+  EXPECT_EQ(after.small_acquires - before.small_acquires, 1);
+  EXPECT_EQ(after.acquires, before.acquires);        // not a pooled acquire
+  EXPECT_EQ(after.bytes_cached, before.bytes_cached);  // nothing cached
+}
+
+TEST(PoolTest, ZerosTensorIsZeroAfterDirtyReuse) {
+  ScopedPoolEnabled force(true);
+  Pool::Global().Trim();
+  const int64_t n = Pool::kMinPooledFloats;  // pooled: release really caches
+  { Tensor dirty = Tensor::Full({n}, 42.0f); }  // released with live bits
+  Tensor z = Tensor::Zeros({n});
+  for (int64_t i = 0; i < z.size(); ++i) ASSERT_EQ(z[i], 0.0f) << i;
+}
+
+TEST(PoolTest, StatsCountAcquiresHitsReleases) {
+  ScopedPoolEnabled force(true);
+  Pool& pool = Pool::Global();
+  pool.Trim();
+  const PoolStats before = pool.Stats();
+  int32_t bucket = 0;
+  float* p = pool.Acquire(Pool::kMinPooledFloats, &bucket);
+  pool.Release(p, bucket);
+  float* q = pool.Acquire(Pool::kMinPooledFloats, &bucket);
+  pool.Release(q, bucket);
+  const PoolStats after = pool.Stats();
+  EXPECT_EQ(after.acquires - before.acquires, 2);
+  EXPECT_GE(after.hits - before.hits, 1);
+  EXPECT_EQ(after.releases - before.releases, 2);
+  EXPECT_GT(after.hit_rate(), 0.0);
+}
+
+TEST(PoolTest, DisabledPoolStillServesValidBuffers) {
+  ScopedPoolEnabled force(false);
+  int32_t bucket = 0;
+  float* p = Pool::Global().Acquire(128, &bucket);
+  ASSERT_NE(p, nullptr);
+  p[0] = 1.0f;
+  p[127] = 2.0f;
+  Pool::Global().Release(p, bucket);
+}
+
+TEST(PoolTest, HugeRequestBypassesBuckets) {
+  ScopedPoolEnabled force(true);
+  Pool& pool = Pool::Global();
+  const PoolStats before = pool.Stats();
+  int32_t bucket = 0;
+  // One float past the largest bucket; only the first page is touched, so
+  // the 1 GiB reservation stays virtual.
+  float* p = pool.Acquire((int64_t{1} << 28) + 1, &bucket);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(bucket, Pool::kHugeBucket);
+  p[0] = 1.0f;
+  pool.Release(p, bucket);
+  const PoolStats after = pool.Stats();
+  EXPECT_EQ(after.huge_acquires - before.huge_acquires, 1);
+}
+
+TEST(PoolTest, TrimEmptiesTheCache) {
+  ScopedPoolEnabled force(true);
+  Pool& pool = Pool::Global();
+  int32_t bucket = 0;
+  float* p = pool.Acquire(Pool::kMinPooledFloats, &bucket);
+  pool.Release(p, bucket);
+  EXPECT_GT(pool.Stats().bytes_cached, 0);
+  pool.Trim();
+  EXPECT_EQ(pool.Stats().bytes_cached, 0);
+}
+
+TEST(PoolTest, ScopedBufferWorksInsideParallelChunks) {
+  par::ScopedNumThreads scoped(4);
+  std::atomic<int64_t> touched{0};
+  par::ParallelFor(0, 64, 1, [&](int64_t lo, int64_t hi) {
+    ScopedBuffer buf(512);
+    for (int64_t i = lo; i < hi; ++i) {
+      buf.data()[i % 512] = static_cast<float>(i);
+      touched.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(touched.load(), 64);
+}
+
+// ThreadSanitizer target: buffers acquired on producer threads, released on
+// consumer threads, while tensor kernels churn the same pool from a
+// ParallelFor region. Any missing synchronization in Acquire/Release or the
+// stats counters trips TSan here.
+TEST(PoolStressTest, CrossThreadRecycleUnderKernelChurn) {
+  ScopedPoolEnabled force(true);
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr int kItersPerProducer = 500;
+  std::mutex mu;
+  std::vector<std::pair<float*, int32_t>> handoff;
+  std::atomic<bool> producers_done{false};
+  std::vector<std::thread> producers;
+  std::vector<std::thread> consumers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerProducer; ++i) {
+        int32_t bucket = 0;
+        // Sizes straddle kMinPooledFloats so both the malloc tier and the
+        // freelist tier see cross-thread traffic.
+        float* p = Pool::Global().Acquire(
+            4096 + (t * 1031 + i * 157) % 12000, &bucket);
+        p[0] = static_cast<float>(i);  // touch on the acquiring thread
+        std::lock_guard<std::mutex> lock(mu);
+        handoff.emplace_back(p, bucket);
+      }
+    });
+  }
+  for (int t = 0; t < kConsumers; ++t) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        std::pair<float*, int32_t> item(nullptr, 0);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!handoff.empty()) {
+            item = handoff.back();
+            handoff.pop_back();
+          }
+        }
+        if (item.first != nullptr) {
+          item.first[0] += 1.0f;  // touch on the releasing thread
+          Pool::Global().Release(item.first, item.second);
+        } else if (producers_done.load()) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  {
+    par::ScopedNumThreads scoped(4);
+    Rng rng(7);
+    Tensor a = Tensor::Normal({64, 64}, 0.0f, 1.0f, &rng);
+    for (int i = 0; i < 25; ++i) {
+      Tensor c = MatMul(a, a, false, i % 2 == 1);
+      a = MulScalar(c, 1.0f / 64.0f);
+    }
+  }
+  for (std::thread& t : producers) t.join();
+  producers_done.store(true);
+  for (std::thread& t : consumers) t.join();
+  const PoolStats stats = Pool::Global().Stats();
+  EXPECT_GE(stats.acquires + stats.small_acquires,
+            kProducers * kItersPerProducer);
+}
+
+TEST(ProfTest, ReportListsOpsPoolAndDispatchStats) {
+  prof::Reset();
+  prof::SetEnabled(true);
+  {
+    Tensor a = Tensor::Ones({32, 32});
+    Tensor b = Tensor::Ones({32, 32});
+    Tensor c = MatMul(a, b);
+    Tensor d = Add(c, b);
+    Tensor m = Mean(d, 0);
+    (void)m;
+  }
+  prof::SetEnabled(false);
+  std::ostringstream os;
+  prof::Report(os);
+  const std::string report = os.str();
+  EXPECT_NE(report.find("MatMul"), std::string::npos) << report;
+  EXPECT_NE(report.find("Add"), std::string::npos) << report;
+  EXPECT_NE(report.find("Mean"), std::string::npos) << report;
+  EXPECT_NE(report.find("pool:"), std::string::npos) << report;
+  EXPECT_NE(report.find("par:"), std::string::npos) << report;
+  prof::Reset();
+}
+
+TEST(ProfTest, DisabledScopeRecordsNothing) {
+  prof::SetEnabled(false);
+  prof::Reset();
+  {
+    ELDA_PROF_SCOPE("NeverRecorded");
+  }
+  std::ostringstream os;
+  prof::Report(os);
+  EXPECT_EQ(os.str().find("NeverRecorded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mem
+}  // namespace elda
