@@ -25,15 +25,15 @@ using core::GroupTimeAttention;
 using core::LateAttentionMass;
 
 // Dipole-side collector mirroring core::CollectGroupTimeAttention (the
-// library version is typed to EldaNet; Dipole exposes the same
-// last_attention() surface).
-GroupTimeAttention CollectDipole(baselines::Dipole* model,
+// library version is typed to EldaNet; Dipole publishes the same
+// "time_attention" capture surface).
+GroupTimeAttention CollectDipole(const baselines::Dipole* model,
                                  const train::PreparedExperiment& experiment,
                                  int64_t steps) {
   GroupTimeAttention curves;
   curves.positive_mean.assign(steps - 1, 0.0);
   curves.negative_mean.assign(steps - 1, 0.0);
-  model->SetTraining(false);
+  ag::NoGradScope no_grad;
   const auto& indices = experiment.split().test;
   for (size_t start = 0; start < indices.size(); start += 128) {
     const size_t end = std::min(indices.size(), start + 128);
@@ -41,8 +41,11 @@ GroupTimeAttention CollectDipole(baselines::Dipole* model,
                                indices.begin() + end);
     data::Batch batch =
         data::MakeBatch(experiment.prepared(), chunk, experiment.task());
-    model->Forward(batch);
-    const Tensor& beta = model->last_attention();  // [B, T-1]
+    nn::CaptureSink sink;
+    nn::ForwardContext ctx;
+    ctx.capture = &sink;
+    model->Forward(batch, &ctx);
+    const Tensor beta = sink.Get("time_attention");  // [B, T-1]
     for (int64_t b = 0; b < static_cast<int64_t>(chunk.size()); ++b) {
       const bool died = batch.y[b] == 1.0f;
       double volatility = 0.0;

@@ -22,6 +22,7 @@
 #include "core/elda_net.h"
 #include "core/embedding.h"
 #include "core/feature_interaction.h"
+#include "mem/pool.h"
 #include "mem/prof.h"
 #include "nn/gru.h"
 #include "par/par.h"
@@ -216,6 +217,49 @@ void BM_EldaNetForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_EldaNetForwardBackward);
 
+// Forward-only inference latency, taped vs graph-free: arg0 = batch size,
+// arg1 = 1 to run under ag::NoGradScope. Counters report autograd tape
+// nodes and pooled buffer acquires per forward — the no-grad rows must show
+// zero tape nodes and less allocation traffic at identical outputs.
+void BM_EldaNetInference(benchmark::State& state) {
+  const int64_t batch_size = state.range(0);
+  const bool no_grad = state.range(1) != 0;
+  core::EldaNetConfig config = core::EldaNetConfig::Full();
+  core::EldaNet net(config);
+  data::Batch batch;
+  batch.x = RandomTensor({batch_size, 48, 37}, 19);
+  batch.mask = Tensor::Ones({batch_size, 48, 37});
+  batch.delta = Tensor::Zeros({batch_size, 48, 37});
+  int64_t tape_nodes = 0;
+  int64_t acquires = 0;
+  auto total_acquires = [] {
+    const mem::PoolStats stats = mem::Pool::Global().Stats();
+    return stats.acquires + stats.small_acquires + stats.huge_acquires;
+  };
+  for (auto _ : state) {
+    const int64_t nodes_before = ag::TapeNodesAllocated();
+    const int64_t acquires_before = total_acquires();
+    if (no_grad) {
+      ag::NoGradScope scope;
+      benchmark::DoNotOptimize(net.Forward(batch));
+    } else {
+      benchmark::DoNotOptimize(net.Forward(batch));
+    }
+    tape_nodes += ag::TapeNodesAllocated() - nodes_before;
+    acquires += total_acquires() - acquires_before;
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["tape_nodes_per_iter"] =
+      benchmark::Counter(static_cast<double>(tape_nodes) / iters);
+  state.counters["buffer_acquires_per_iter"] =
+      benchmark::Counter(static_cast<double>(acquires) / iters);
+}
+BENCHMARK(BM_EldaNetInference)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
+
 // Collects every finished run alongside the normal console output, then
 // writes BENCH_micro.json. The name encodes op and args as
 // "BM_Op/arg0/arg1/..."; args are re-parsed from it since the reporter only
@@ -229,6 +273,7 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
     int64_t threads = 1;
     double ns_per_iter = 0.0;
     double items_per_second = -1.0;  // < 0: benchmark reports no throughput
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -253,6 +298,11 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
       rec.ns_per_iter = run.GetAdjustedRealTime();
       const auto it = run.counters.find("items_per_second");
       if (it != run.counters.end()) rec.items_per_second = it->second;
+      for (const auto& [counter_name, counter] : run.counters) {
+        if (counter_name == "items_per_second") continue;
+        rec.counters.emplace_back(counter_name,
+                                  static_cast<double>(counter));
+      }
       records_.push_back(std::move(rec));
     }
     ConsoleReporter::ReportRuns(runs);
@@ -274,6 +324,9 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
           << ", \"ns_per_iter\": " << r.ns_per_iter;
       if (r.items_per_second >= 0.0) {
         out << ", \"items_per_second\": " << r.items_per_second;
+      }
+      for (const auto& [counter_name, value] : r.counters) {
+        out << ", \"" << counter_name << "\": " << value;
       }
       out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }

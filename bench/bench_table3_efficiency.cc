@@ -8,10 +8,18 @@
 // the FM family pays for pairwise terms; plain RNNs are fast; ELDA-Net sits
 // between the plain RNNs and the heavy baselines (ConCare, GRU-D, StageNet).
 //
+// Inference-latency columns (B=1 and B=256) run on the graph-free no-grad
+// path, the same configuration Trainer::Predict uses. Every run also writes
+// a machine-readable BENCH_table3.json with the measured columns per model
+// (override the path with --json_out=PATH).
+//
 // Flags: --batches N (timing batches per model), --admissions, --full,
-// --threads N (thread count for the parallel batched-prediction columns;
-// the table reports ms/admission at 1 thread and at N threads plus the
-// speedup, exercising the elda::par batch-parallel Trainer::Predict path)
+// --json_out PATH, --threads N (thread count for the parallel
+// batched-prediction columns; the table reports ms/admission at 1 thread
+// and at N threads plus the speedup, exercising the elda::par
+// batch-parallel Trainer::Predict path)
+
+#include <fstream>
 
 #include "autograd/ops.h"
 #include "baselines/baselines.h"
@@ -64,10 +72,13 @@ const PaperRow& PaperFor(const std::string& name) {
 int main(int argc, char** argv) {
   using namespace elda;
   bench::BenchScale scale;
-  Flags flags = bench::ParseBenchFlags(argc, argv, {"batches"}, &scale,
+  Flags flags = bench::ParseBenchFlags(argc, argv, {"batches", "json_out"},
+                                       &scale,
                                        /*default_admissions=*/256,
                                        /*default_epochs=*/1);
   const int64_t timing_batches = flags.GetInt("batches", 5);
+  const std::string json_path =
+      flags.GetString("json_out", "BENCH_table3.json");
   bench::PrintHeader(
       "Table III: parameters and runtime",
       "Paper columns: Keras/TF on Xeon W-2133 + RTX 2080 Ti; measured\n"
@@ -82,38 +93,73 @@ int main(int argc, char** argv) {
   const int64_t par_threads = par::NumThreads();
   TablePrinter table({"model", "params (paper)", "params (ours)",
                       "train s/batch (paper)", "train s/batch (ours)",
-                      "predict ms (paper)", "predict ms (ours)",
+                      "predict ms (paper)", "infer ms B=1",
+                      "infer ms/adm B=256",
                       "batch ms/adm (1 thr)",
                       "batch ms/adm (" + std::to_string(par_threads) + " thr)",
                       "speedup"});
+  struct JsonRow {
+    std::string name;
+    int64_t params = 0;
+    double train_s = 0.0;
+    double infer_ms_b1 = 0.0;
+    double infer_ms_per_adm_b256 = 0.0;
+    double batch_ms_serial = 0.0;
+    double batch_ms_parallel = 0.0;
+  };
+  std::vector<JsonRow> json_rows;
   for (const std::string& name : baselines::AllModelNames()) {
     auto model = baselines::MakeModel(name, cohort.num_features(), 3);
     optim::Adam adam(model->Parameters(), 1e-3f);
-    // Timed training batches (forward + backward + step).
+    // Timed training batches (forward + backward + step) under a
+    // training-mode context (dropout active where the model has it).
+    Rng train_rng(17);
+    nn::ForwardContext train_ctx;
+    train_ctx.training = true;
+    train_ctx.rng = &train_rng;
     std::vector<int64_t> indices(experiment.split().train.begin(),
                                  experiment.split().train.begin() + 64);
     data::Batch batch =
         data::MakeBatch(experiment.prepared(), indices, experiment.task());
-    model->SetTraining(true);
-    model->Forward(batch);  // warm up
+    model->Forward(batch, &train_ctx);  // warm up
     Stopwatch train_watch;
     for (int64_t i = 0; i < timing_batches; ++i) {
       adam.ZeroGrad();
-      ag::BceWithLogits(model->Forward(batch), batch.y).Backward();
+      ag::BceWithLogits(model->Forward(batch, &train_ctx), batch.y)
+          .Backward();
       optim::ClipGradNorm(model->Parameters(), 5.0f);
       adam.Step();
     }
     const double train_s = train_watch.Seconds() / timing_batches;
-    // Single-admission prediction latency.
-    model->SetTraining(false);
-    data::Batch one = data::MakeBatch(experiment.prepared(),
-                                      {experiment.split().test[0]},
-                                      experiment.task());
-    model->Forward(one);  // warm up
-    Stopwatch predict_watch;
+
+    // Graph-free inference latency at B=1 and B=256 (no-grad, eval-mode
+    // context) — the configuration Trainer::Predict runs in.
     const int64_t reps = 20;
-    for (int64_t i = 0; i < reps; ++i) model->Forward(one);
-    const double predict_ms = predict_watch.Milliseconds() / reps;
+    double predict_ms = 0.0;
+    double predict_ms_b256 = 0.0;
+    {
+      ag::NoGradScope no_grad;
+      data::Batch one = data::MakeBatch(experiment.prepared(),
+                                        {experiment.split().test[0]},
+                                        experiment.task());
+      model->Forward(one);  // warm up
+      Stopwatch predict_watch;
+      for (int64_t i = 0; i < reps; ++i) model->Forward(one);
+      predict_ms = predict_watch.Milliseconds() / reps;
+
+      std::vector<int64_t> big;
+      for (int64_t i = 0; i < 256; ++i) {
+        const auto& test = experiment.split().test;
+        big.push_back(test[i % test.size()]);
+      }
+      data::Batch wide =
+          data::MakeBatch(experiment.prepared(), big, experiment.task());
+      model->Forward(wide);  // warm up
+      Stopwatch wide_watch;
+      const int64_t wide_reps = 3;
+      for (int64_t i = 0; i < wide_reps; ++i) model->Forward(wide);
+      predict_ms_b256 = wide_watch.Milliseconds() / wide_reps / 256.0;
+    }
 
     // Batched prediction over the whole test split through the unified
     // Trainer::Predict API, serial vs the configured thread count. Small
@@ -140,12 +186,43 @@ int main(int argc, char** argv) {
     table.AddRow({name, paper.params, std::to_string(model->NumParameters()),
                   paper.train_s, TablePrinter::Num(train_s, 3),
                   paper.predict_ms, TablePrinter::Num(predict_ms, 2),
+                  TablePrinter::Num(predict_ms_b256, 2),
                   TablePrinter::Num(serial_ms, 2),
                   TablePrinter::Num(parallel_ms, 2),
                   TablePrinter::Num(serial_ms / parallel_ms, 2)});
+    JsonRow row;
+    row.name = name;
+    row.params = model->NumParameters();
+    row.train_s = train_s;
+    row.infer_ms_b1 = predict_ms;
+    row.infer_ms_per_adm_b256 = predict_ms_b256;
+    row.batch_ms_serial = serial_ms;
+    row.batch_ms_parallel = parallel_ms;
+    json_rows.push_back(std::move(row));
     std::cout << "." << std::flush;
   }
   std::cout << "\n" << table.ToString();
+  {
+    std::ofstream out(json_path);
+    if (out) {
+      out << "{\n  \"schema\": \"elda-bench-table3-v1\",\n"
+          << "  \"threads\": " << par_threads << ",\n  \"models\": [\n";
+      for (size_t i = 0; i < json_rows.size(); ++i) {
+        const JsonRow& r = json_rows[i];
+        out << "    {\"name\": \"" << r.name << "\", \"params\": "
+            << r.params << ", \"train_s_per_batch\": " << r.train_s
+            << ", \"infer_ms_b1\": " << r.infer_ms_b1
+            << ", \"infer_ms_per_adm_b256\": " << r.infer_ms_per_adm_b256
+            << ", \"batch_ms_per_adm_serial\": " << r.batch_ms_serial
+            << ", \"batch_ms_per_adm_parallel\": " << r.batch_ms_parallel
+            << "}" << (i + 1 < json_rows.size() ? "," : "") << "\n";
+      }
+      out << "  ]\n}\n";
+      std::cout << "wrote " << json_path << "\n";
+    } else {
+      std::cerr << "failed to write " << json_path << "\n";
+    }
+  }
   // With ELDA_PROF=1, append the op-level profile (per-op time, allocation
   // volume, pool hit rate) so efficiency numbers come with their breakdown.
   prof::ReportIfEnabled(std::cout);

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hyperparams.dir/bench_ablation_hyperparams.cc.o"
+  "CMakeFiles/bench_ablation_hyperparams.dir/bench_ablation_hyperparams.cc.o.d"
+  "bench_ablation_hyperparams"
+  "bench_ablation_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

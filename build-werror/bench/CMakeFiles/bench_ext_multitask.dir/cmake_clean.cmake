@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multitask.dir/bench_ext_multitask.cc.o"
+  "CMakeFiles/bench_ext_multitask.dir/bench_ext_multitask.cc.o.d"
+  "bench_ext_multitask"
+  "bench_ext_multitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_attention_trace.dir/bench_fig10_attention_trace.cc.o"
+  "CMakeFiles/bench_fig10_attention_trace.dir/bench_fig10_attention_trace.cc.o.d"
+  "bench_fig10_attention_trace"
+  "bench_fig10_attention_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_attention_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

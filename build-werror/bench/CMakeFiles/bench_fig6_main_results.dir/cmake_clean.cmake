@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_main_results.dir/bench_fig6_main_results.cc.o"
+  "CMakeFiles/bench_fig6_main_results.dir/bench_fig6_main_results.cc.o.d"
+  "bench_fig6_main_results"
+  "bench_fig6_main_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_main_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_time_attention.dir/bench_fig8_time_attention.cc.o"
+  "CMakeFiles/bench_fig8_time_attention.dir/bench_fig8_time_attention.cc.o.d"
+  "bench_fig8_time_attention"
+  "bench_fig8_time_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_time_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_time_attention.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_feature_attention.dir/bench_fig9_feature_attention.cc.o"
+  "CMakeFiles/bench_fig9_feature_attention.dir/bench_fig9_feature_attention.cc.o.d"
+  "bench_fig9_feature_attention"
+  "bench_fig9_feature_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_feature_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

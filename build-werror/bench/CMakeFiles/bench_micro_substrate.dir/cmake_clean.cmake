@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_substrate.dir/bench_micro_substrate.cc.o"
+  "CMakeFiles/bench_micro_substrate.dir/bench_micro_substrate.cc.o.d"
+  "bench_micro_substrate"
+  "bench_micro_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_efficiency.dir/bench_table3_efficiency.cc.o"
+  "CMakeFiles/bench_table3_efficiency.dir/bench_table3_efficiency.cc.o.d"
+  "bench_table3_efficiency"
+  "bench_table3_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

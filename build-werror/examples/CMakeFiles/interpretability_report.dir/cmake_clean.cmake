@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpretability_report.dir/interpretability_report.cc.o"
+  "CMakeFiles/interpretability_report.dir/interpretability_report.cc.o.d"
+  "interpretability_report"
+  "interpretability_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpretability_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/los_prediction.dir/los_prediction.cc.o"
+  "CMakeFiles/los_prediction.dir/los_prediction.cc.o.d"
+  "los_prediction"
+  "los_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/los_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for los_prediction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mortality_monitoring.dir/mortality_monitoring.cc.o"
+  "CMakeFiles/mortality_monitoring.dir/mortality_monitoring.cc.o.d"
+  "mortality_monitoring"
+  "mortality_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mortality_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mortality_monitoring.
+# This may be replaced when dependencies are built.

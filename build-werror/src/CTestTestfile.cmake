@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-werror/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("health")
+subdirs("par")
+subdirs("mem")
+subdirs("tensor")
+subdirs("autograd")
+subdirs("nn")
+subdirs("optim")
+subdirs("metrics")
+subdirs("data")
+subdirs("synth")
+subdirs("train")
+subdirs("baselines")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elda_autograd.dir/gradcheck.cc.o"
+  "CMakeFiles/elda_autograd.dir/gradcheck.cc.o.d"
+  "CMakeFiles/elda_autograd.dir/ops.cc.o"
+  "CMakeFiles/elda_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/elda_autograd.dir/variable.cc.o"
+  "CMakeFiles/elda_autograd.dir/variable.cc.o.d"
+  "libelda_autograd.a"
+  "libelda_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elda_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

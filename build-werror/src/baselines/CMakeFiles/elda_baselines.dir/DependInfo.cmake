@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baselines.cc" "src/baselines/CMakeFiles/elda_baselines.dir/baselines.cc.o" "gcc" "src/baselines/CMakeFiles/elda_baselines.dir/baselines.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/elda_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/elda_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/concare.cc" "src/baselines/CMakeFiles/elda_baselines.dir/concare.cc.o" "gcc" "src/baselines/CMakeFiles/elda_baselines.dir/concare.cc.o.d"
+  "/root/repo/src/baselines/dipole.cc" "src/baselines/CMakeFiles/elda_baselines.dir/dipole.cc.o" "gcc" "src/baselines/CMakeFiles/elda_baselines.dir/dipole.cc.o.d"
+  "/root/repo/src/baselines/gru_classifier.cc" "src/baselines/CMakeFiles/elda_baselines.dir/gru_classifier.cc.o" "gcc" "src/baselines/CMakeFiles/elda_baselines.dir/gru_classifier.cc.o.d"
+  "/root/repo/src/baselines/gru_d.cc" "src/baselines/CMakeFiles/elda_baselines.dir/gru_d.cc.o" "gcc" "src/baselines/CMakeFiles/elda_baselines.dir/gru_d.cc.o.d"
+  "/root/repo/src/baselines/retain.cc" "src/baselines/CMakeFiles/elda_baselines.dir/retain.cc.o" "gcc" "src/baselines/CMakeFiles/elda_baselines.dir/retain.cc.o.d"
+  "/root/repo/src/baselines/sand.cc" "src/baselines/CMakeFiles/elda_baselines.dir/sand.cc.o" "gcc" "src/baselines/CMakeFiles/elda_baselines.dir/sand.cc.o.d"
+  "/root/repo/src/baselines/stagenet.cc" "src/baselines/CMakeFiles/elda_baselines.dir/stagenet.cc.o" "gcc" "src/baselines/CMakeFiles/elda_baselines.dir/stagenet.cc.o.d"
+  "/root/repo/src/baselines/static_models.cc" "src/baselines/CMakeFiles/elda_baselines.dir/static_models.cc.o" "gcc" "src/baselines/CMakeFiles/elda_baselines.dir/static_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/train/CMakeFiles/elda_train.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/nn/CMakeFiles/elda_nn.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/core/CMakeFiles/elda_core.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/data/CMakeFiles/elda_data.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/optim/CMakeFiles/elda_optim.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/metrics/CMakeFiles/elda_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/health/CMakeFiles/elda_health.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/autograd/CMakeFiles/elda_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/tensor/CMakeFiles/elda_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/mem/CMakeFiles/elda_mem.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/par/CMakeFiles/elda_par.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/util/CMakeFiles/elda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

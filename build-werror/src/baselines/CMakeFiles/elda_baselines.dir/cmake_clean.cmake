@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elda_baselines.dir/baselines.cc.o"
+  "CMakeFiles/elda_baselines.dir/baselines.cc.o.d"
+  "CMakeFiles/elda_baselines.dir/common.cc.o"
+  "CMakeFiles/elda_baselines.dir/common.cc.o.d"
+  "CMakeFiles/elda_baselines.dir/concare.cc.o"
+  "CMakeFiles/elda_baselines.dir/concare.cc.o.d"
+  "CMakeFiles/elda_baselines.dir/dipole.cc.o"
+  "CMakeFiles/elda_baselines.dir/dipole.cc.o.d"
+  "CMakeFiles/elda_baselines.dir/gru_classifier.cc.o"
+  "CMakeFiles/elda_baselines.dir/gru_classifier.cc.o.d"
+  "CMakeFiles/elda_baselines.dir/gru_d.cc.o"
+  "CMakeFiles/elda_baselines.dir/gru_d.cc.o.d"
+  "CMakeFiles/elda_baselines.dir/retain.cc.o"
+  "CMakeFiles/elda_baselines.dir/retain.cc.o.d"
+  "CMakeFiles/elda_baselines.dir/sand.cc.o"
+  "CMakeFiles/elda_baselines.dir/sand.cc.o.d"
+  "CMakeFiles/elda_baselines.dir/stagenet.cc.o"
+  "CMakeFiles/elda_baselines.dir/stagenet.cc.o.d"
+  "CMakeFiles/elda_baselines.dir/static_models.cc.o"
+  "CMakeFiles/elda_baselines.dir/static_models.cc.o.d"
+  "libelda_baselines.a"
+  "libelda_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elda_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elda_core.dir/elda.cc.o"
+  "CMakeFiles/elda_core.dir/elda.cc.o.d"
+  "CMakeFiles/elda_core.dir/elda_net.cc.o"
+  "CMakeFiles/elda_core.dir/elda_net.cc.o.d"
+  "CMakeFiles/elda_core.dir/embedding.cc.o"
+  "CMakeFiles/elda_core.dir/embedding.cc.o.d"
+  "CMakeFiles/elda_core.dir/feature_interaction.cc.o"
+  "CMakeFiles/elda_core.dir/feature_interaction.cc.o.d"
+  "CMakeFiles/elda_core.dir/interpret.cc.o"
+  "CMakeFiles/elda_core.dir/interpret.cc.o.d"
+  "CMakeFiles/elda_core.dir/multitask.cc.o"
+  "CMakeFiles/elda_core.dir/multitask.cc.o.d"
+  "CMakeFiles/elda_core.dir/time_interaction.cc.o"
+  "CMakeFiles/elda_core.dir/time_interaction.cc.o.d"
+  "libelda_core.a"
+  "libelda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/emr.cc" "src/data/CMakeFiles/elda_data.dir/emr.cc.o" "gcc" "src/data/CMakeFiles/elda_data.dir/emr.cc.o.d"
+  "/root/repo/src/data/physionet_io.cc" "src/data/CMakeFiles/elda_data.dir/physionet_io.cc.o" "gcc" "src/data/CMakeFiles/elda_data.dir/physionet_io.cc.o.d"
+  "/root/repo/src/data/pipeline.cc" "src/data/CMakeFiles/elda_data.dir/pipeline.cc.o" "gcc" "src/data/CMakeFiles/elda_data.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/tensor/CMakeFiles/elda_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/mem/CMakeFiles/elda_mem.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/par/CMakeFiles/elda_par.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/util/CMakeFiles/elda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

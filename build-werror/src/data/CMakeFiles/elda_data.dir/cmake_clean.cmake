@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elda_data.dir/emr.cc.o"
+  "CMakeFiles/elda_data.dir/emr.cc.o.d"
+  "CMakeFiles/elda_data.dir/physionet_io.cc.o"
+  "CMakeFiles/elda_data.dir/physionet_io.cc.o.d"
+  "CMakeFiles/elda_data.dir/pipeline.cc.o"
+  "CMakeFiles/elda_data.dir/pipeline.cc.o.d"
+  "libelda_data.a"
+  "libelda_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elda_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elda_health.dir/ckpt_io.cc.o"
+  "CMakeFiles/elda_health.dir/ckpt_io.cc.o.d"
+  "CMakeFiles/elda_health.dir/crc32.cc.o"
+  "CMakeFiles/elda_health.dir/crc32.cc.o.d"
+  "CMakeFiles/elda_health.dir/health.cc.o"
+  "CMakeFiles/elda_health.dir/health.cc.o.d"
+  "libelda_health.a"
+  "libelda_health.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elda_health.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/pool.cc" "src/mem/CMakeFiles/elda_mem.dir/pool.cc.o" "gcc" "src/mem/CMakeFiles/elda_mem.dir/pool.cc.o.d"
+  "/root/repo/src/mem/prof.cc" "src/mem/CMakeFiles/elda_mem.dir/prof.cc.o" "gcc" "src/mem/CMakeFiles/elda_mem.dir/prof.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/util/CMakeFiles/elda_util.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/par/CMakeFiles/elda_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elda_mem.dir/pool.cc.o"
+  "CMakeFiles/elda_mem.dir/pool.cc.o.d"
+  "CMakeFiles/elda_mem.dir/prof.cc.o"
+  "CMakeFiles/elda_mem.dir/prof.cc.o.d"
+  "libelda_mem.a"
+  "libelda_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elda_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

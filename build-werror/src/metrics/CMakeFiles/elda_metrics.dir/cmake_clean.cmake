@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elda_metrics.dir/metrics.cc.o"
+  "CMakeFiles/elda_metrics.dir/metrics.cc.o.d"
+  "libelda_metrics.a"
+  "libelda_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elda_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/elda_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/elda_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/elda_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/elda_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/nn/CMakeFiles/elda_nn.dir/layer_norm.cc.o" "gcc" "src/nn/CMakeFiles/elda_nn.dir/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/elda_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/elda_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/elda_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/elda_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/elda_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/elda_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/elda_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/elda_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/autograd/CMakeFiles/elda_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/health/CMakeFiles/elda_health.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/tensor/CMakeFiles/elda_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/mem/CMakeFiles/elda_mem.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/par/CMakeFiles/elda_par.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/util/CMakeFiles/elda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elda_nn.dir/gru.cc.o"
+  "CMakeFiles/elda_nn.dir/gru.cc.o.d"
+  "CMakeFiles/elda_nn.dir/init.cc.o"
+  "CMakeFiles/elda_nn.dir/init.cc.o.d"
+  "CMakeFiles/elda_nn.dir/layer_norm.cc.o"
+  "CMakeFiles/elda_nn.dir/layer_norm.cc.o.d"
+  "CMakeFiles/elda_nn.dir/linear.cc.o"
+  "CMakeFiles/elda_nn.dir/linear.cc.o.d"
+  "CMakeFiles/elda_nn.dir/lstm.cc.o"
+  "CMakeFiles/elda_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/elda_nn.dir/module.cc.o"
+  "CMakeFiles/elda_nn.dir/module.cc.o.d"
+  "CMakeFiles/elda_nn.dir/serialize.cc.o"
+  "CMakeFiles/elda_nn.dir/serialize.cc.o.d"
+  "libelda_nn.a"
+  "libelda_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elda_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

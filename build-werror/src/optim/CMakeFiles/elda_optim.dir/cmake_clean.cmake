@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elda_optim.dir/optimizer.cc.o"
+  "CMakeFiles/elda_optim.dir/optimizer.cc.o.d"
+  "libelda_optim.a"
+  "libelda_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elda_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elda_par.dir/par.cc.o"
+  "CMakeFiles/elda_par.dir/par.cc.o.d"
+  "libelda_par.a"
+  "libelda_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elda_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elda_synth.dir/features.cc.o"
+  "CMakeFiles/elda_synth.dir/features.cc.o.d"
+  "CMakeFiles/elda_synth.dir/simulator.cc.o"
+  "CMakeFiles/elda_synth.dir/simulator.cc.o.d"
+  "libelda_synth.a"
+  "libelda_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elda_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elda_tensor.dir/tensor.cc.o"
+  "CMakeFiles/elda_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/elda_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/elda_tensor.dir/tensor_ops.cc.o.d"
+  "libelda_tensor.a"
+  "libelda_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elda_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

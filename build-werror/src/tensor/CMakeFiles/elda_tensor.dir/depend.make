@@ -1,0 +1,2 @@
+# Empty dependencies file for elda_tensor.
+# This may be replaced when dependencies are built.

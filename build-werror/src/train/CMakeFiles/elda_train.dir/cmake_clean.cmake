@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elda_train.dir/checkpoint.cc.o"
+  "CMakeFiles/elda_train.dir/checkpoint.cc.o.d"
+  "CMakeFiles/elda_train.dir/experiment.cc.o"
+  "CMakeFiles/elda_train.dir/experiment.cc.o.d"
+  "CMakeFiles/elda_train.dir/trainer.cc.o"
+  "CMakeFiles/elda_train.dir/trainer.cc.o.d"
+  "libelda_train.a"
+  "libelda_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elda_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelda_train.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/flags.cc" "src/util/CMakeFiles/elda_util.dir/flags.cc.o" "gcc" "src/util/CMakeFiles/elda_util.dir/flags.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/elda_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/elda_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/elda_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/elda_util.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

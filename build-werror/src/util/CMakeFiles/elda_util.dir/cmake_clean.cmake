@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elda_util.dir/flags.cc.o"
+  "CMakeFiles/elda_util.dir/flags.cc.o.d"
+  "CMakeFiles/elda_util.dir/rng.cc.o"
+  "CMakeFiles/elda_util.dir/rng.cc.o.d"
+  "CMakeFiles/elda_util.dir/table.cc.o"
+  "CMakeFiles/elda_util.dir/table.cc.o.d"
+  "libelda_util.a"
+  "libelda_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elda_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

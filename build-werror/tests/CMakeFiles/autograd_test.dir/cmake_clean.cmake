@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_test.dir/autograd_test.cc.o"
+  "CMakeFiles/autograd_test.dir/autograd_test.cc.o.d"
+  "autograd_test"
+  "autograd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

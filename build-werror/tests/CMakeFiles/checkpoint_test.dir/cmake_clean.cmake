@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_test.dir/checkpoint_test.cc.o"
+  "CMakeFiles/checkpoint_test.dir/checkpoint_test.cc.o.d"
+  "checkpoint_test"
+  "checkpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_case_test.dir/edge_case_test.cc.o"
+  "CMakeFiles/edge_case_test.dir/edge_case_test.cc.o.d"
+  "edge_case_test"
+  "edge_case_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_case_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for edge_case_test.
+# This may be replaced when dependencies are built.

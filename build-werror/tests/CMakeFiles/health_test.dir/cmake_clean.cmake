@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_test.dir/health_test.cc.o"
+  "CMakeFiles/health_test.dir/health_test.cc.o.d"
+  "health_test"
+  "health_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

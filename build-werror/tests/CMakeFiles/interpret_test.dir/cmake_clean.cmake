@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpret_test.dir/interpret_test.cc.o"
+  "CMakeFiles/interpret_test.dir/interpret_test.cc.o.d"
+  "interpret_test"
+  "interpret_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpret_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitask_test.dir/multitask_test.cc.o"
+  "CMakeFiles/multitask_test.dir/multitask_test.cc.o.d"
+  "multitask_test"
+  "multitask_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test.dir/nn_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn_test.cc.o.d"
+  "nn_test"
+  "nn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

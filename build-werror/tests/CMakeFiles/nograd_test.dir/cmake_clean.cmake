@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nograd_test.dir/nograd_test.cc.o"
+  "CMakeFiles/nograd_test.dir/nograd_test.cc.o.d"
+  "nograd_test"
+  "nograd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nograd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

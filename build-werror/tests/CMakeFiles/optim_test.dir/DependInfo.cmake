@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/optim_test.cc" "tests/CMakeFiles/optim_test.dir/optim_test.cc.o" "gcc" "tests/CMakeFiles/optim_test.dir/optim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/optim/CMakeFiles/elda_optim.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/nn/CMakeFiles/elda_nn.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/autograd/CMakeFiles/elda_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/tensor/CMakeFiles/elda_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/mem/CMakeFiles/elda_mem.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/par/CMakeFiles/elda_par.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/health/CMakeFiles/elda_health.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/util/CMakeFiles/elda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

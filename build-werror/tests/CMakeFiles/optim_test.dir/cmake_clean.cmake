@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optim_test.dir/optim_test.cc.o"
+  "CMakeFiles/optim_test.dir/optim_test.cc.o.d"
+  "optim_test"
+  "optim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/par_test.dir/par_test.cc.o"
+  "CMakeFiles/par_test.dir/par_test.cc.o.d"
+  "par_test"
+  "par_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/par_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physionet_io_test.dir/physionet_io_test.cc.o"
+  "CMakeFiles/physionet_io_test.dir/physionet_io_test.cc.o.d"
+  "physionet_io_test"
+  "physionet_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physionet_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/reentrancy_test.cc" "tests/CMakeFiles/reentrancy_test.dir/reentrancy_test.cc.o" "gcc" "tests/CMakeFiles/reentrancy_test.dir/reentrancy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/baselines/CMakeFiles/elda_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/core/CMakeFiles/elda_core.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/train/CMakeFiles/elda_train.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/data/CMakeFiles/elda_data.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/optim/CMakeFiles/elda_optim.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/metrics/CMakeFiles/elda_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/nn/CMakeFiles/elda_nn.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/health/CMakeFiles/elda_health.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/autograd/CMakeFiles/elda_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/tensor/CMakeFiles/elda_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/mem/CMakeFiles/elda_mem.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/par/CMakeFiles/elda_par.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/util/CMakeFiles/elda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reentrancy_test.dir/reentrancy_test.cc.o"
+  "CMakeFiles/reentrancy_test.dir/reentrancy_test.cc.o.d"
+  "reentrancy_test"
+  "reentrancy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reentrancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

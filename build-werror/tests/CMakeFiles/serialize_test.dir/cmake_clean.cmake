@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialize_test.dir/serialize_test.cc.o"
+  "CMakeFiles/serialize_test.dir/serialize_test.cc.o.d"
+  "serialize_test"
+  "serialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_ops_test.dir/tensor_ops_test.cc.o"
+  "CMakeFiles/tensor_ops_test.dir/tensor_ops_test.cc.o.d"
+  "tensor_ops_test"
+  "tensor_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

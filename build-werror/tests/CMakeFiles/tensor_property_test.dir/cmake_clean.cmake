@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_property_test.dir/tensor_property_test.cc.o"
+  "CMakeFiles/tensor_property_test.dir/tensor_property_test.cc.o.d"
+  "tensor_property_test"
+  "tensor_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

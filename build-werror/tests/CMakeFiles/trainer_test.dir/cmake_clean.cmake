@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainer_test.dir/trainer_test.cc.o"
+  "CMakeFiles/trainer_test.dir/trainer_test.cc.o.d"
+  "trainer_test"
+  "trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

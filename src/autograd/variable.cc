@@ -2,10 +2,18 @@
 
 #include <unordered_set>
 
+#include "mem/prof.h"
 #include "tensor/tensor_ops.h"
 
 namespace elda {
 namespace ag {
+namespace {
+
+thread_local bool tls_grad_enabled = true;
+thread_local int64_t tls_tape_nodes = 0;
+
+}  // namespace
+
 namespace internal {
 
 void AccumulateGrad(Node* node, const Tensor& g) {
@@ -101,6 +109,12 @@ Variable MakeOpResult(Tensor value, std::vector<Variable> parents,
                       std::function<void(internal::Node*)> backward) {
   auto node = std::make_shared<internal::Node>();
   node->value = std::move(value);
+  if (!tls_grad_enabled) {
+    // Graph-free mode: the result is a detached leaf. Parents and the
+    // backward closure are dropped without even inspecting requires_grad,
+    // so inference through parameter-holding modules allocates no tape.
+    return Variable::FromNode(std::move(node));
+  }
   bool any_grad = false;
   for (const Variable& p : parents) {
     ELDA_CHECK(p.defined());
@@ -111,9 +125,21 @@ Variable MakeOpResult(Tensor value, std::vector<Variable> parents,
     node->parents.reserve(parents.size());
     for (const Variable& p : parents) node->parents.push_back(p.node());
     node->backward = std::move(backward);
+    ++tls_tape_nodes;
+    prof::RecordTapeNode();
   }
   return Variable::FromNode(std::move(node));
 }
+
+bool GradEnabled() { return tls_grad_enabled; }
+
+NoGradScope::NoGradScope() : prev_(tls_grad_enabled) {
+  tls_grad_enabled = false;
+}
+
+NoGradScope::~NoGradScope() { tls_grad_enabled = prev_; }
+
+int64_t TapeNodesAllocated() { return tls_tape_nodes; }
 
 }  // namespace ag
 }  // namespace elda

@@ -9,6 +9,12 @@
 // Graph lifetime is managed by shared_ptr: the root of an expression keeps
 // the whole tape alive; dropping all handles frees it. Gradients accumulate
 // across backward calls until ZeroGrad().
+//
+// Grad mode is a thread-local flag. Under a NoGradScope every op skips the
+// tape entirely — MakeOpResult returns a detached leaf with no parents and
+// no backward closure — so inference pays for the value computation only.
+// Values are bitwise identical to the taped path (the same kernels run);
+// only the bookkeeping differs.
 
 #ifndef ELDA_AUTOGRAD_VARIABLE_H_
 #define ELDA_AUTOGRAD_VARIABLE_H_
@@ -76,10 +82,37 @@ class Variable {
   std::shared_ptr<internal::Node> node_;
 };
 
-// Builds an op result node. If no parent requires a gradient the parents and
-// the backward closure are dropped so dead graph segments are pruned eagerly.
+// Builds an op result node. If no parent requires a gradient — or grad mode
+// is off on this thread — the parents and the backward closure are dropped
+// so dead graph segments are pruned eagerly.
 Variable MakeOpResult(Tensor value, std::vector<Variable> parents,
                       std::function<void(internal::Node*)> backward);
+
+// -- Grad mode ----------------------------------------------------------------
+
+// Whether ops on this thread record the tape. Defaults to true.
+bool GradEnabled();
+
+// RAII guard disabling tape construction on the current thread. Nestable;
+// the previous mode is restored on destruction. Each worker thread carries
+// its own flag, so a scope opened inside an elda::par task body only affects
+// that worker.
+class NoGradScope {
+ public:
+  NoGradScope();
+  ~NoGradScope();
+  NoGradScope(const NoGradScope&) = delete;
+  NoGradScope& operator=(const NoGradScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+// Number of tape nodes (nodes retaining parents + a backward closure) built
+// on the current thread since it started. Monotonic; tests assert on deltas
+// — zero across a NoGradScope forward — and ELDA_PROF bills each node to
+// the open op scope for its report.
+int64_t TapeNodesAllocated();
 
 }  // namespace ag
 }  // namespace elda

@@ -29,7 +29,8 @@ ConCare::ConCare(int64_t num_features, int64_t per_feature_hidden,
   RegisterSubmodule("out", &out_);
 }
 
-ag::Variable ConCare::Forward(const data::Batch& batch) {
+ag::Variable ConCare::Forward(const data::Batch& batch,
+                              nn::ForwardContext*) const {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   ag::Variable x = ag::Constant(batch.x);

@@ -23,7 +23,9 @@ namespace baselines {
 class ConCare : public train::SequenceModel {
  public:
   ConCare(int64_t num_features, int64_t per_feature_hidden, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch) override;
+  ag::Variable Forward(const data::Batch& batch,
+                       nn::ForwardContext* ctx) const override;
+  using train::SequenceModel::Forward;
   std::string name() const override { return "ConCare"; }
 
  private:

@@ -55,7 +55,8 @@ std::string Dipole::name() const {
   return "Dipole";
 }
 
-ag::Variable Dipole::Forward(const data::Batch& batch) {
+ag::Variable Dipole::Forward(const data::Batch& batch,
+                             nn::ForwardContext* ctx) const {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   const int64_t state = 2 * hidden_dim_;
@@ -95,10 +96,7 @@ ag::Variable Dipole::Forward(const data::Batch& batch) {
     }
   }
   ag::Variable alpha = ag::Softmax(scores, 1);  // [B, T-1]
-  {
-    std::lock_guard<std::mutex> lock(attention_mu_);
-    last_attention_ = alpha.value();
-  }
+  if (ctx != nullptr) ctx->Capture("time_attention", alpha.value());
   ag::Variable context = ag::Reshape(
       ag::MatMul(ag::Reshape(alpha, {batch_size, 1, steps - 1}), h_prev),
       {batch_size, state});

@@ -3,13 +3,12 @@
 // concatenation-based — combined with the final state through a tanh layer.
 // The paper evaluates all three variants (Dipole_l, Dipole_g, Dipole_c);
 // Dipole_c additionally serves as the comparison model for ELDA's
-// time-level interpretability study (Fig. 8), so the attention weights of
-// the most recent Forward are exposed.
+// time-level interpretability study (Fig. 8), so Forward publishes its
+// attention weights to the caller's capture sink under "time_attention".
 
 #ifndef ELDA_BASELINES_DIPOLE_H_
 #define ELDA_BASELINES_DIPOLE_H_
 
-#include <mutex>
 #include <string>
 
 #include "nn/gru.h"
@@ -29,16 +28,14 @@ class Dipole : public train::SequenceModel {
  public:
   Dipole(int64_t num_features, int64_t hidden_dim, DipoleAttention attention,
          uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch) override;
+  // With a capture sink in `ctx`, records the attention over the T-1
+  // earlier steps under "time_attention" as [B, T-1] (the same key
+  // EldaNet's time module uses, so interpretation tooling can compare the
+  // two without special-casing).
+  ag::Variable Forward(const data::Batch& batch,
+                       nn::ForwardContext* ctx) const override;
+  using train::SequenceModel::Forward;
   std::string name() const override;
-
-  // Attention over the T-1 earlier steps from the last Forward, [B, T-1].
-  // Returned by value (shallow copy): Forward may run concurrently under
-  // batch-parallel prediction, so the cache handoff is mutex-guarded.
-  Tensor last_attention() const {
-    std::lock_guard<std::mutex> lock(attention_mu_);
-    return last_attention_;
-  }
 
  private:
   Rng rng_;
@@ -54,8 +51,6 @@ class Dipole : public train::SequenceModel {
   ag::Variable concat_v_;  // [A, 1]
   nn::Linear combine_;     // [4H] -> [2H], tanh
   nn::Linear out_;         // [2H] -> 1
-  mutable std::mutex attention_mu_;  // guards last_attention_
-  Tensor last_attention_;
 };
 
 }  // namespace baselines

@@ -14,7 +14,8 @@ GruClassifier::GruClassifier(int64_t num_features, int64_t hidden_dim,
   RegisterSubmodule("head", &head_);
 }
 
-ag::Variable GruClassifier::Forward(const data::Batch& batch) {
+ag::Variable GruClassifier::Forward(const data::Batch& batch,
+                              nn::ForwardContext*) const {
   const int64_t batch_size = batch.x.shape(0);
   std::vector<ag::Variable> steps =
       gru_.ForwardSteps(ag::Constant(batch.x));

@@ -22,7 +22,8 @@ GruD::GruD(int64_t num_features, int64_t hidden_dim, uint64_t seed)
   RegisterSubmodule("out", &out_);
 }
 
-ag::Variable GruD::Forward(const data::Batch& batch) {
+ag::Variable GruD::Forward(const data::Batch& batch,
+                              nn::ForwardContext*) const {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   ag::Variable h =

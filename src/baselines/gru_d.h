@@ -27,7 +27,9 @@ namespace baselines {
 class GruD : public train::SequenceModel {
  public:
   GruD(int64_t num_features, int64_t hidden_dim, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch) override;
+  ag::Variable Forward(const data::Batch& batch,
+                       nn::ForwardContext* ctx) const override;
+  using train::SequenceModel::Forward;
   std::string name() const override { return "GRU-D"; }
 
  private:

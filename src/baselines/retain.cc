@@ -22,7 +22,8 @@ Retain::Retain(int64_t num_features, int64_t embed_dim, uint64_t seed)
   RegisterSubmodule("out", &out_);
 }
 
-ag::Variable Retain::Forward(const data::Batch& batch) {
+ag::Variable Retain::Forward(const data::Batch& batch,
+                              nn::ForwardContext*) const {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   ag::Variable v = embed_.Forward(ag::Constant(batch.x));  // [B, T, m]

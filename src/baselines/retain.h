@@ -18,7 +18,9 @@ namespace baselines {
 class Retain : public train::SequenceModel {
  public:
   Retain(int64_t num_features, int64_t embed_dim, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch) override;
+  ag::Variable Forward(const data::Batch& batch,
+                       nn::ForwardContext* ctx) const override;
+  using train::SequenceModel::Forward;
   std::string name() const override { return "RETAIN"; }
 
  private:

@@ -7,7 +7,6 @@
 #define ELDA_BASELINES_SAND_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,7 +29,9 @@ class Sand : public train::SequenceModel {
   };
 
   Sand(const Config& config, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch) override;
+  ag::Variable Forward(const data::Batch& batch,
+                       nn::ForwardContext* ctx) const override;
+  using train::SequenceModel::Forward;
   std::string name() const override { return "SAnD"; }
 
  private:
@@ -44,16 +45,9 @@ class Sand : public train::SequenceModel {
   nn::Linear embed_;
   std::vector<Block> blocks_;
   nn::Linear out_;
-  // Cached constants, rebuilt when the sequence length changes. The mutex
-  // makes the lazy rebuild safe under batch-parallel prediction; Forward
-  // takes shallow copies under the lock so a later rebuild (different T)
-  // cannot swap the tensors out from under an in-flight evaluation.
-  mutable std::mutex constants_mu_;
-  int64_t cached_steps_ = -1;
-  Tensor positional_;     // [T, D]
-  Tensor causal_mask_;    // [T, T] 0 / -1e9
-  Tensor interpolation_;  // [M, T] dense-interpolation weights
-  void RebuildConstants(int64_t steps);  // caller must hold constants_mu_
+  // Positional encoding, causal mask, and interpolation weights depend only
+  // on (model_dim, interpolation_factors, steps); they live in a file-local
+  // immutable memo (see sand.cc) so Forward stays const and lock-free.
 };
 
 }  // namespace baselines

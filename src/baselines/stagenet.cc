@@ -21,7 +21,8 @@ StageNet::StageNet(int64_t num_features, int64_t hidden_dim,
   RegisterSubmodule("out", &out_);
 }
 
-ag::Variable StageNet::Forward(const data::Batch& batch) {
+ag::Variable StageNet::Forward(const data::Batch& batch,
+                              nn::ForwardContext*) const {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   ELDA_CHECK_GE(steps, conv_kernel_);

@@ -23,7 +23,9 @@ class StageNet : public train::SequenceModel {
  public:
   StageNet(int64_t num_features, int64_t hidden_dim, int64_t conv_kernel,
            int64_t conv_channels, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch) override;
+  ag::Variable Forward(const data::Batch& batch,
+                       nn::ForwardContext* ctx) const override;
+  using train::SequenceModel::Forward;
   std::string name() const override { return "StageNet"; }
 
  private:

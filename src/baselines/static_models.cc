@@ -16,7 +16,8 @@ LogisticRegression::LogisticRegression(int64_t num_features, uint64_t seed)
   RegisterSubmodule("linear", &linear_);
 }
 
-ag::Variable LogisticRegression::Forward(const data::Batch& batch) {
+ag::Variable LogisticRegression::Forward(const data::Batch& batch,
+                              nn::ForwardContext*) const {
   const int64_t batch_size = batch.x.shape(0);
   return ag::Reshape(linear_.Forward(TimeMeanInput(batch)), {batch_size});
 }
@@ -31,7 +32,8 @@ FactorizationMachine::FactorizationMachine(int64_t num_features,
                                 &rng_));
 }
 
-ag::Variable FactorizationMachine::Forward(const data::Batch& batch) {
+ag::Variable FactorizationMachine::Forward(const data::Batch& batch,
+                              nn::ForwardContext*) const {
   const int64_t batch_size = batch.x.shape(0);
   ag::Variable x = TimeMeanInput(batch);  // [B, C]
   // xv_i = v_i * x_i : [B, C, 1] * [C, k] -> [B, C, k].
@@ -70,7 +72,7 @@ AttentionalFactorizationMachine::AttentionalFactorizationMachine(
 }
 
 ag::Variable AttentionalFactorizationMachine::Forward(
-    const data::Batch& batch) {
+    const data::Batch& batch, nn::ForwardContext*) const {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t c = num_features_;
   const int64_t k = factor_dim_;

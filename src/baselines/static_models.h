@@ -23,7 +23,9 @@ ag::Variable TimeMeanInput(const data::Batch& batch);
 class LogisticRegression : public train::SequenceModel {
  public:
   LogisticRegression(int64_t num_features, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch) override;
+  ag::Variable Forward(const data::Batch& batch,
+                       nn::ForwardContext* ctx) const override;
+  using train::SequenceModel::Forward;
   std::string name() const override { return "LR"; }
 
  private:
@@ -37,7 +39,9 @@ class FactorizationMachine : public train::SequenceModel {
  public:
   FactorizationMachine(int64_t num_features, int64_t factor_dim,
                        uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch) override;
+  ag::Variable Forward(const data::Batch& batch,
+                       nn::ForwardContext* ctx) const override;
+  using train::SequenceModel::Forward;
   std::string name() const override { return "FM"; }
 
  protected:
@@ -55,7 +59,9 @@ class AttentionalFactorizationMachine : public train::SequenceModel {
  public:
   AttentionalFactorizationMachine(int64_t num_features, int64_t factor_dim,
                                   int64_t attention_dim, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch) override;
+  ag::Variable Forward(const data::Batch& batch,
+                       nn::ForwardContext* ctx) const override;
+  using train::SequenceModel::Forward;
   std::string name() const override { return "AFM"; }
 
  private:

@@ -128,18 +128,23 @@ bool Elda::Load(const std::string& path, std::string* error) {
 Elda::Interpretation Elda::Interpret(const data::EmrSample& sample) {
   std::vector<data::PreparedSample> prepared = PrepareRaw({sample});
   data::Batch batch = data::MakeBatch(prepared, {0}, task_);
-  net_->SetTraining(false);
+  // Interpretation is pure inference: graph-free forward, surfaces via the
+  // capture sink owned by this call.
+  ag::NoGradScope no_grad;
+  nn::CaptureSink sink;
+  nn::ForwardContext ctx;
+  ctx.capture = &sink;
   Interpretation out;
-  Tensor logits = net_->Forward(batch).value();
+  Tensor logits = net_->Forward(batch, &ctx).value();
   out.risk = Sigmoid(logits)[0];
   const int64_t steps = sample.num_steps;
   const int64_t features = sample.num_features;
   if (config_.net.use_feature_module) {
     out.feature_attention =
-        net_->feature_attention().Reshape({steps, features, features});
+        sink.Get("feature_attention").Reshape({steps, features, features});
   }
   if (config_.net.use_time_interactions) {
-    out.time_attention = net_->time_attention().Reshape({steps - 1});
+    out.time_attention = sink.Get("time_attention").Reshape({steps - 1});
   }
   return out;
 }

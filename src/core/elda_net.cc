@@ -76,7 +76,8 @@ EldaNet::EldaNet(const EldaNetConfig& config)
   RegisterSubmodule("prediction", prediction_.get());
 }
 
-ag::Variable EldaNet::Forward(const data::Batch& batch) {
+ag::Variable EldaNet::Forward(const data::Batch& batch,
+                              nn::ForwardContext* ctx) const {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   ELDA_CHECK_EQ(batch.x.shape(2), config_.num_features);
@@ -85,30 +86,18 @@ ag::Variable EldaNet::Forward(const data::Batch& batch) {
   ag::Variable temporal_input = x;
   if (config_.use_feature_module) {
     ag::Variable e = embedding_->Forward(x, batch.mask);
-    temporal_input = feature_->Forward(e);
+    temporal_input = feature_->Forward(e, ctx);
   }
 
   ag::Variable representation;
   if (config_.use_time_interactions) {
-    representation = time_->Forward(temporal_input);
+    representation = time_->Forward(temporal_input, ctx);
   } else {
     ag::Variable h = plain_gru_->Forward(temporal_input);
     representation = ag::Reshape(ag::Slice(h, 1, steps - 1, 1),
                                  {batch_size, config_.hidden_dim});
   }
   return ag::Reshape(prediction_->Forward(representation), {batch_size});
-}
-
-Tensor EldaNet::feature_attention() const {
-  ELDA_CHECK(feature_ != nullptr)
-      << name() << "has no feature-level interaction module";
-  return feature_->last_attention();
-}
-
-Tensor EldaNet::time_attention() const {
-  ELDA_CHECK(time_ != nullptr)
-      << name() << "has no time-level interaction module";
-  return time_->last_attention();
 }
 
 }  // namespace core

@@ -45,18 +45,15 @@ class EldaNet : public train::SequenceModel {
  public:
   explicit EldaNet(const EldaNetConfig& config);
 
-  ag::Variable Forward(const data::Batch& batch) override;
+  // With a capture sink in `ctx`, the interpretation surfaces land under
+  // "feature_attention" ([B, T, C, C]; absent for ELDA-Net-T) and
+  // "time_attention" ([B, T-1]; absent for the -F variants).
+  ag::Variable Forward(const data::Batch& batch,
+                       nn::ForwardContext* ctx) const override;
+  using train::SequenceModel::Forward;
   std::string name() const override { return config_.display_name; }
 
   const EldaNetConfig& config() const { return config_; }
-
-  // Interpretation surfaces captured by the most recent Forward.
-  // Feature-level attention [B, T, C, C]; CHECK-fails for ELDA-Net-T.
-  // Returned by value (shallow copy): the cache may be rewritten by a
-  // concurrent Forward under batch-parallel prediction.
-  Tensor feature_attention() const;
-  // Time-level attention [B, T-1]; CHECK-fails for the -F variants.
-  Tensor time_attention() const;
 
  private:
   EldaNetConfig config_;

@@ -29,7 +29,8 @@ FeatureInteraction::FeatureInteraction(int64_t num_features,
   }
 }
 
-ag::Variable FeatureInteraction::Forward(const ag::Variable& e) {
+ag::Variable FeatureInteraction::Forward(const ag::Variable& e,
+                                         const nn::ForwardContext* ctx) const {
   const Tensor& ev = e.value();
   ELDA_CHECK_EQ(ev.dim(), 4);
   const int64_t batch = ev.shape(0);
@@ -49,10 +50,9 @@ ag::Variable FeatureInteraction::Forward(const ag::Variable& e) {
   scores = ag::Add(scores, ag::Reshape(b_alpha_, {num_features_, 1}));
   scores = ag::Add(scores, ag::Constant(diag_mask_));
   ag::Variable alpha = ag::Softmax(scores, /*axis=*/-1);  // [BT, C, C]
-  {
-    std::lock_guard<std::mutex> lock(attention_mu_);
-    last_attention_ =
-        alpha.value().Reshape({batch, steps, num_features_, num_features_});
+  if (ctx != nullptr) {
+    ctx->Capture("feature_attention", alpha.value().Reshape(
+                     {batch, steps, num_features_, num_features_}));
   }
 
   // c_i = e_i ⊙ sum_j alpha_ij e_j.

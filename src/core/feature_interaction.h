@@ -20,9 +20,8 @@
 #ifndef ELDA_CORE_FEATURE_INTERACTION_H_
 #define ELDA_CORE_FEATURE_INTERACTION_H_
 
-#include <mutex>
-
 #include "autograd/ops.h"
+#include "nn/forward_context.h"
 #include "nn/module.h"
 #include "util/rng.h"
 
@@ -38,18 +37,14 @@ class FeatureInteraction : public nn::Module {
   // e: [B, T, C, E] feature embeddings.
   // Returns the per-step patient representation x~ = [f_1; ...; f_C] of
   // shape [B, T, C*d].
-  ag::Variable Forward(const ag::Variable& e);
-
-  // Attention weights alpha of the most recent Forward, [B, T, C, C];
-  // row i holds the weights used when processing feature i (the diagonal is
-  // masked to zero). This is the feature-level interpretation surface of
-  // Figs. 9-10. Returned by value (a shallow Tensor copy): Forward may run
-  // concurrently under batch-parallel prediction, and the mutex makes the
-  // last-writer-wins cache handoff race-free.
-  Tensor last_attention() const {
-    std::lock_guard<std::mutex> lock(attention_mu_);
-    return last_attention_;
-  }
+  //
+  // When `ctx` carries a capture sink, the attention weights alpha are
+  // stored under "feature_attention" as [B, T, C, C]; row i holds the
+  // weights used when processing feature i (the diagonal is masked to
+  // zero). This is the feature-level interpretation surface of Figs. 9-10.
+  // Stateless per call, so concurrent Forwards need no locking.
+  ag::Variable Forward(const ag::Variable& e,
+                       const nn::ForwardContext* ctx = nullptr) const;
 
   int64_t output_dim() const { return num_features_ * compression_; }
 
@@ -61,8 +56,6 @@ class FeatureInteraction : public nn::Module {
   ag::Variable b_alpha_;  // [C]     per-feature attention bias b_i
   ag::Variable p_;        // [2E, d] shared compression map (Eq. 6)
   Tensor diag_mask_;      // [C, C] constant: -1e9 on the diagonal
-  mutable std::mutex attention_mu_;  // guards last_attention_
-  Tensor last_attention_;
 };
 
 }  // namespace core

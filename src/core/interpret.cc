@@ -12,7 +12,8 @@ GroupTimeAttention CollectGroupTimeAttention(
     int64_t batch_size) {
   ELDA_CHECK(net != nullptr);
   ELDA_CHECK(!indices.empty());
-  net->SetTraining(false);
+  // Pure inference: no tape, attention via the capture sink.
+  ag::NoGradScope no_grad;
   GroupTimeAttention out;
   bool sized = false;
   for (size_t start = 0; start < indices.size();
@@ -22,8 +23,11 @@ GroupTimeAttention CollectGroupTimeAttention(
     std::vector<int64_t> chunk(indices.begin() + start,
                                indices.begin() + end);
     data::Batch batch = data::MakeBatch(prepared, chunk, task);
-    net->Forward(batch);
-    const Tensor& beta = net->time_attention();  // [B, T-1]
+    nn::CaptureSink sink;
+    nn::ForwardContext ctx;
+    ctx.capture = &sink;
+    net->Forward(batch, &ctx);
+    const Tensor beta = sink.Get("time_attention");  // [B, T-1]
     const int64_t horizon = beta.shape(1);
     if (!sized) {
       out.positive_mean.assign(horizon, 0.0);

@@ -31,11 +31,12 @@ MultiTaskEldaNet::MultiTaskEldaNet(const EldaNetConfig& config)
   RegisterSubmodule("los_head", los_head_.get());
 }
 
-MultiTaskEldaNet::Logits MultiTaskEldaNet::Forward(const data::Batch& batch) {
+MultiTaskEldaNet::Logits MultiTaskEldaNet::Forward(
+    const data::Batch& batch, nn::ForwardContext* ctx) const {
   const int64_t batch_size = batch.x.shape(0);
   ag::Variable x = ag::Constant(batch.x);
   ag::Variable e = embedding_->Forward(x, batch.mask);
-  ag::Variable trunk = time_->Forward(feature_->Forward(e));
+  ag::Variable trunk = time_->Forward(feature_->Forward(e, ctx), ctx);
   Logits logits;
   logits.mortality =
       ag::Reshape(mortality_head_->Forward(trunk), {batch_size});
@@ -50,14 +51,6 @@ ag::Variable MultiTaskEldaNet::JointLoss(const Logits& logits,
       ag::BceWithLogits(logits.mortality, mortality_labels);
   ag::Variable loss_los = ag::BceWithLogits(logits.los_gt7, los_labels);
   return ag::MulScalar(ag::Add(loss_mortality, loss_los), 0.5f);
-}
-
-Tensor MultiTaskEldaNet::feature_attention() const {
-  return feature_->last_attention();
-}
-
-Tensor MultiTaskEldaNet::time_attention() const {
-  return time_->last_attention();
 }
 
 namespace {
@@ -88,21 +81,23 @@ MultiTaskResult TrainMultiTask(
   // the prepared samples via the batch's index list.
   data::Batcher batcher(&prepared, split.train, batch_size,
                         data::Task::kMortality, &rng);
+  nn::ForwardContext train_ctx;
+  train_ctx.training = true;
+  train_ctx.rng = &rng;
   for (int64_t epoch = 0; epoch < max_epochs; ++epoch) {
-    net->SetTraining(true);
     batcher.StartEpoch();
     data::Batch batch;
     while (batcher.Next(&batch)) {
       adam.ZeroGrad();
-      MultiTaskEldaNet::Logits logits = net->Forward(batch);
+      MultiTaskEldaNet::Logits logits = net->Forward(batch, &train_ctx);
       Tensor los = LosLabels(prepared, batch.sample_indices);
       net->JointLoss(logits, batch.y, los).Backward();
       optim::ClipGradNorm(params, 5.0f);
       adam.Step();
     }
   }
-  // Test evaluation for both heads.
-  net->SetTraining(false);
+  // Test evaluation for both heads: graph-free forward passes.
+  ag::NoGradScope no_grad;
   std::vector<float> mortality_scores, los_scores, mortality_labels,
       los_labels;
   for (size_t start = 0; start < split.test.size(); start += 256) {

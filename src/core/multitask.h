@@ -29,18 +29,16 @@ class MultiTaskEldaNet : public nn::Module {
     ag::Variable los_gt7;    // [B]
   };
 
-  // Shared trunk, two heads. Uses x and mask like EldaNet.
-  Logits Forward(const data::Batch& batch);
+  // Shared trunk, two heads. Uses x and mask like EldaNet. With a capture
+  // sink in `ctx`, the shared trunk's interpretation surfaces land under
+  // "feature_attention" and "time_attention" (see EldaNet::Forward).
+  Logits Forward(const data::Batch& batch,
+                 nn::ForwardContext* ctx = nullptr) const;
 
   // Joint loss: mean of the two BCE terms; `los_labels` must be passed
   // separately because data::Batch carries one task's labels.
   ag::Variable JointLoss(const Logits& logits, const Tensor& mortality_labels,
                          const Tensor& los_labels);
-
-  // Interpretation surfaces (shared trunk -> shared attention). Returned
-  // by value; see EldaNet::feature_attention().
-  Tensor feature_attention() const;
-  Tensor time_attention() const;
 
  private:
   EldaNetConfig config_;

@@ -15,7 +15,8 @@ TimeInteraction::TimeInteraction(int64_t input_dim, int64_t hidden_dim,
   b_beta_ = RegisterParameter("b_beta", Tensor::Zeros({1}));
 }
 
-ag::Variable TimeInteraction::Forward(const ag::Variable& x) {
+ag::Variable TimeInteraction::Forward(const ag::Variable& x,
+                                      const nn::ForwardContext* ctx) const {
   const int64_t batch = x.value().shape(0);
   const int64_t steps = x.value().shape(1);
   ELDA_CHECK_GE(steps, 2);
@@ -33,10 +34,7 @@ ag::Variable TimeInteraction::Forward(const ag::Variable& x) {
   ag::Variable logits = ag::Add(ag::MatMul(s, w_beta_), b_beta_);
   ag::Variable beta =
       ag::Softmax(ag::Reshape(logits, {batch, steps - 1}), /*axis=*/1);
-  {
-    std::lock_guard<std::mutex> lock(attention_mu_);
-    last_attention_ = beta.value();
-  }
+  if (ctx != nullptr) ctx->Capture("time_attention", beta.value());
 
   // g_T = sum_i beta_i s_i  (Eq. 11), as a [B,1,T-1] x [B,T-1,H] matmul.
   ag::Variable g = ag::Reshape(

@@ -9,9 +9,8 @@
 #ifndef ELDA_CORE_TIME_INTERACTION_H_
 #define ELDA_CORE_TIME_INTERACTION_H_
 
-#include <mutex>
-
 #include "autograd/ops.h"
+#include "nn/forward_context.h"
 #include "nn/gru.h"
 #include "nn/module.h"
 #include "util/rng.h"
@@ -25,17 +24,14 @@ class TimeInteraction : public nn::Module {
 
   // x: [B, T, input_dim] per-step representations.
   // Returns h~_T = [h_T ; g_T] of shape [B, 2*hidden].
-  ag::Variable Forward(const ag::Variable& x);
-
-  // Attention weights beta of the most recent Forward, [B, T-1]: the weight
-  // of the interaction between hour i and the final hour. This is the
-  // time-level interpretation surface of Fig. 8. Returned by value (shallow
-  // copy) because Forward may run concurrently under batch-parallel
-  // prediction; the mutex makes the cache handoff race-free.
-  Tensor last_attention() const {
-    std::lock_guard<std::mutex> lock(attention_mu_);
-    return last_attention_;
-  }
+  //
+  // When `ctx` carries a capture sink, the attention weights beta are
+  // stored under "time_attention" as [B, T-1]: the weight of the
+  // interaction between hour i and the final hour — the time-level
+  // interpretation surface of Fig. 8. Stateless per call, so concurrent
+  // Forwards need no locking.
+  ag::Variable Forward(const ag::Variable& x,
+                       const nn::ForwardContext* ctx = nullptr) const;
 
   int64_t hidden_dim() const { return hidden_dim_; }
   int64_t output_dim() const { return 2 * hidden_dim_; }
@@ -45,8 +41,6 @@ class TimeInteraction : public nn::Module {
   nn::Gru gru_;
   ag::Variable w_beta_;  // [hidden, 1]
   ag::Variable b_beta_;  // [1]
-  mutable std::mutex attention_mu_;  // guards last_attention_
-  Tensor last_attention_;
 };
 
 }  // namespace core

@@ -27,6 +27,7 @@ struct OpStats {
   int64_t alloc_bytes = 0;
   int64_t pool_allocs = 0;  // pool-eligible allocations (hit or miss)
   int64_t pool_hits = 0;
+  int64_t tape_nodes = 0;   // autograd nodes recorded under this op
 };
 
 std::atomic<bool> g_enabled{false};
@@ -104,6 +105,13 @@ void RecordAlloc(int64_t bytes, AllocKind kind) {
   if (kind == AllocKind::kPoolHit) ++s.pool_hits;
 }
 
+void RecordTapeNode() {
+  if (!Enabled()) return;
+  const char* op = tls_current_op ? tls_current_op : "(outside op)";
+  std::lock_guard<std::mutex> lock(g_mu);
+  ++Table()[op].tape_nodes;
+}
+
 ScopedOp::ScopedOp(const char* name) {
   if (!Enabled()) return;
   name_ = name;
@@ -135,7 +143,8 @@ void Report(std::ostream& os) {
   os << "\n=== ELDA_PROF op report ===\n";
   os << std::left << std::setw(18) << "op" << std::right << std::setw(12)
      << "calls" << std::setw(12) << "total ms" << std::setw(12) << "ns/call"
-     << std::setw(12) << "alloc" << std::setw(10) << "hit%" << "\n";
+     << std::setw(12) << "alloc" << std::setw(10) << "hit%" << std::setw(10)
+     << "tape" << "\n";
   for (const auto& [name, s] : rows) {
     os << std::left << std::setw(18) << name << std::right << std::setw(12)
        << s.calls << std::setw(12) << std::fixed << std::setprecision(2)
@@ -146,10 +155,11 @@ void Report(std::ostream& os) {
     // nothing but small (malloc-tier) buffers have no pool hit rate.
     if (s.pool_allocs > 0) {
       os << std::setw(9) << std::setprecision(1)
-         << 100.0 * s.pool_hits / s.pool_allocs << "%\n";
+         << 100.0 * s.pool_hits / s.pool_allocs << "%";
     } else {
-      os << std::setw(10) << "-" << "\n";
+      os << std::setw(10) << "-";
     }
+    os << std::setw(10) << s.tape_nodes << "\n";
   }
   const mem::PoolStats pool = mem::Pool::Global().Stats();
   os << "pool: " << pool.acquires << " acquires, " << pool.hits << " hits ("

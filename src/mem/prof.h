@@ -39,6 +39,12 @@ enum class AllocKind { kPoolHit, kPoolMiss, kSmall };
 // the "(outside op)" row when no scope is open). Called by mem::Pool.
 void RecordAlloc(int64_t bytes, AllocKind kind);
 
+// Records one autograd tape node (node + parents + backward closure)
+// against the current thread's open op scope. Called by ag::MakeOpResult;
+// the per-op tape column in the report shows which ops build graph and
+// confirms the no-grad inference path builds none.
+void RecordTapeNode();
+
 // Writes the per-op table plus pool / dispatch summaries. Unconditional:
 // prints whatever has been collected (an empty table when profiling never
 // ran). Marks the report as delivered so the at-exit hook stays quiet.

@@ -1,0 +1,98 @@
+// Per-call context threaded through model Forward paths.
+//
+// ForwardContext is what makes Forward logically const and safe to call
+// concurrently: everything that used to be smuggled through mutable model
+// members — the train/eval flag, the dropout RNG stream, and the attention
+// surfaces models expose for interpretation — travels in the context
+// instead. Each caller (a trainer loop, one Predict worker thread, an
+// interpretation pass) owns its own context, so two concurrent Forwards on
+// the same model never share per-call state.
+//
+// The capture sink is the interpretation output channel. A model writes its
+// attention surfaces into the sink under stable names ("feature_attention",
+// "time_attention"); a caller that wants them supplies a sink, everyone
+// else passes none and the capture is skipped for free. The caller owns the
+// sink and must keep it alive for the duration of the Forward call; the
+// stored tensors are shallow copies whose storage stays valid after the
+// call's graph is dropped.
+
+#ifndef ELDA_NN_FORWARD_CONTEXT_H_
+#define ELDA_NN_FORWARD_CONTEXT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace elda {
+
+class Rng;
+
+namespace nn {
+
+// Named tensor captures from one Forward call. Last writer wins per name,
+// so running several batches through the same sink leaves the most recent
+// batch's surfaces — the same semantics the old per-model caches had,
+// without the shared mutable state. Not thread-safe: use one sink per
+// thread.
+class CaptureSink {
+ public:
+  void Put(std::string name, Tensor value) {
+    for (auto& [key, stored] : entries_) {
+      if (key == name) {
+        stored = std::move(value);
+        return;
+      }
+    }
+    entries_.emplace_back(std::move(name), std::move(value));
+  }
+
+  // Null when no capture under `name` has been made.
+  const Tensor* Find(const std::string& name) const {
+    for (const auto& [key, stored] : entries_) {
+      if (key == name) return &stored;
+    }
+    return nullptr;
+  }
+
+  // CHECK-fails when absent; shallow copy otherwise.
+  Tensor Get(const std::string& name) const {
+    const Tensor* found = Find(name);
+    ELDA_CHECK(found != nullptr) << "no capture named " << name;
+    return *found;
+  }
+
+  bool Contains(const std::string& name) const {
+    return Find(name) != nullptr;
+  }
+
+  void Clear() { entries_.clear(); }
+
+  const std::vector<std::pair<std::string, Tensor>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> entries_;
+};
+
+// The per-call context. Plain aggregate: cheap to build on the stack at
+// every call site. `rng` must be non-null when `training` is set and the
+// model uses dropout; `capture` may always be null (no interpretation
+// requested).
+struct ForwardContext {
+  bool training = false;
+  Rng* rng = nullptr;
+  CaptureSink* capture = nullptr;
+
+  // Stores `value` under `name` when a sink is attached; no-op otherwise.
+  void Capture(const char* name, Tensor value) const {
+    if (capture != nullptr) capture->Put(name, std::move(value));
+  }
+};
+
+}  // namespace nn
+}  // namespace elda
+
+#endif  // ELDA_NN_FORWARD_CONTEXT_H_

@@ -3,10 +3,29 @@
 namespace elda {
 namespace nn {
 
-std::vector<ag::Variable> Module::Parameters() const {
-  std::vector<ag::Variable> out;
-  for (const auto& [name, var] : NamedParameters()) out.push_back(var);
-  return out;
+const std::vector<ag::Variable>& Module::Parameters() const {
+  // A fresh module's empty cache is valid at tree version 0; any
+  // registration bumps the version and forces a rebuild.
+  const uint64_t version = TreeVersion();
+  if (param_cache_version_ != version || param_cache_.empty()) {
+    param_cache_.clear();
+    CollectParams(&param_cache_);
+    param_cache_version_ = version;
+  }
+  return param_cache_;
+}
+
+void Module::CollectParams(std::vector<ag::Variable>* out) const {
+  for (const auto& [name, var] : params_) out->push_back(var);
+  for (const auto& [name, child] : submodules_) child->CollectParams(out);
+}
+
+uint64_t Module::TreeVersion() const {
+  uint64_t version = version_;
+  for (const auto& [name, child] : submodules_) {
+    version += child->TreeVersion();
+  }
+  return version;
 }
 
 std::vector<std::pair<std::string, ag::Variable>> Module::NamedParameters()
@@ -29,7 +48,7 @@ void Module::CollectNamed(
 
 int64_t Module::NumParameters() const {
   int64_t total = 0;
-  for (const auto& [name, var] : NamedParameters()) total += var.value().size();
+  for (const ag::Variable& var : Parameters()) total += var.value().size();
   return total;
 }
 
@@ -39,7 +58,7 @@ void Module::SetTraining(bool training) {
 }
 
 void Module::ZeroGrad() {
-  for (auto& [name, var] : NamedParameters()) {
+  for (const ag::Variable& var : Parameters()) {
     ag::Variable v = var;
     v.ZeroGrad();
   }
@@ -48,12 +67,14 @@ void Module::ZeroGrad() {
 ag::Variable Module::RegisterParameter(std::string name, Tensor value) {
   ag::Variable var(std::move(value), /*requires_grad=*/true);
   params_.emplace_back(std::move(name), var);
+  ++version_;
   return var;
 }
 
 void Module::RegisterSubmodule(std::string name, Module* module) {
   ELDA_CHECK(module != nullptr);
   submodules_.emplace_back(std::move(name), module);
+  ++version_;
 }
 
 }  // namespace nn

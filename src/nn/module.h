@@ -23,8 +23,13 @@ class Module {
   Module(const Module&) = delete;
   Module& operator=(const Module&) = delete;
 
-  // All trainable parameters of this module and its submodules.
-  std::vector<ag::Variable> Parameters() const;
+  // All trainable parameters of this module and its submodules. The
+  // flattened list is cached and invalidated by structural mutation
+  // (RegisterParameter/RegisterSubmodule anywhere in the tree), so the
+  // optimizer loop and per-step gradient clipping don't re-walk the module
+  // tree on every call. Not thread-safe: construction and training are
+  // single-threaded by design (concurrent Forward never touches it).
+  const std::vector<ag::Variable>& Parameters() const;
 
   // Parameters with hierarchical names ("gru.w_ih", ...), for debugging and
   // the parameter-count report in Table III.
@@ -54,10 +59,17 @@ class Module {
   void CollectNamed(const std::string& prefix,
                     std::vector<std::pair<std::string, ag::Variable>>* out)
       const;
+  void CollectParams(std::vector<ag::Variable>* out) const;
+  // Sum of structural versions over this module and all submodules; any
+  // registration anywhere in the tree changes it, invalidating caches.
+  uint64_t TreeVersion() const;
 
   std::vector<std::pair<std::string, ag::Variable>> params_;
   std::vector<std::pair<std::string, Module*>> submodules_;
   bool training_ = true;
+  uint64_t version_ = 0;  // bumped by RegisterParameter/RegisterSubmodule
+  mutable std::vector<ag::Variable> param_cache_;
+  mutable uint64_t param_cache_version_ = 0;  // TreeVersion at last rebuild
 };
 
 }  // namespace nn

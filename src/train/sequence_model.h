@@ -8,6 +8,7 @@
 
 #include "autograd/variable.h"
 #include "data/pipeline.h"
+#include "nn/forward_context.h"
 #include "nn/module.h"
 
 namespace elda {
@@ -16,9 +17,22 @@ namespace train {
 class SequenceModel : public nn::Module {
  public:
   // Computes pre-sigmoid risk logits [B] for a batch. Models are free to use
-  // any of x / mask / delta. Non-const because models may consume dropout
-  // randomness and cache attention maps for interpretation.
-  virtual ag::Variable Forward(const data::Batch& batch) = 0;
+  // any of x / mask / delta. Logically const and safe to call concurrently:
+  // all per-call state (train/eval mode, the dropout RNG stream, captured
+  // interpretation surfaces) lives in `ctx`, which the caller owns — one
+  // context per thread. `ctx` is never null.
+  virtual ag::Variable Forward(const data::Batch& batch,
+                               nn::ForwardContext* ctx) const = 0;
+
+  // Convenience overload: inference-mode forward (dropout off, nothing
+  // captured). Derived classes re-expose it with
+  // `using train::SequenceModel::Forward;`. Note this fixes the mode
+  // regardless of Module::training(); training runs must pass an explicit
+  // context.
+  ag::Variable Forward(const data::Batch& batch) const {
+    nn::ForwardContext ctx;
+    return Forward(batch, &ctx);
+  }
 
   // Display name used in benchmark tables ("GRU-D", "ELDA-Net", ...).
   virtual std::string name() const = 0;

@@ -61,7 +61,8 @@ struct RunSnapshot {
 }  // namespace
 
 PredictResult Trainer::Predict(
-    SequenceModel* model, const std::vector<data::PreparedSample>& prepared,
+    const SequenceModel* model,
+    const std::vector<data::PreparedSample>& prepared,
     const std::vector<int64_t>& indices, data::Task task,
     const PredictOptions& options) {
   PredictResult result;
@@ -72,18 +73,16 @@ PredictResult Trainer::Predict(
   const int64_t batch_size = std::max<int64_t>(1, options.batch_size);
   const int64_t count = static_cast<int64_t>(indices.size());
   const int64_t num_batches = (count + batch_size - 1) / batch_size;
-  const bool was_training = model->training();
-  model->SetTraining(false);
 
   // Minibatch composition depends only on batch_size, and every minibatch
   // writes a disjoint score range, so the parallel path is bitwise
   // identical to running the batches back-to-back.
-  auto run_batch = [&](int64_t b) {
+  auto run_batch = [&](int64_t b, nn::ForwardContext* ctx) {
     const int64_t start = b * batch_size;
     const int64_t end = std::min(count, start + batch_size);
     std::vector<int64_t> chunk(indices.begin() + start, indices.begin() + end);
     data::Batch batch = data::MakeBatch(prepared, chunk, task);
-    Tensor probs = Sigmoid(model->Forward(batch).value());
+    Tensor probs = Sigmoid(model->Forward(batch, ctx).value());
     for (int64_t i = 0; i < probs.size(); ++i) {
       result.scores[static_cast<size_t>(start + i)] = probs[i];
     }
@@ -92,19 +91,24 @@ PredictResult Trainer::Predict(
     par::ParallelFor(
         0, num_batches, /*grain=*/1,
         [&](int64_t b0, int64_t b1) {
-          for (int64_t b = b0; b < b1; ++b) run_batch(b);
+          // Grad mode is a thread-local flag, so the scope must be opened
+          // on each worker, not around the ParallelFor call.
+          ag::NoGradScope no_grad;
+          nn::ForwardContext ctx;  // inference mode, one per worker range
+          for (int64_t b = b0; b < b1; ++b) run_batch(b, &ctx);
         },
         options.num_threads);
   } else {
-    for (int64_t b = 0; b < num_batches; ++b) run_batch(b);
+    ag::NoGradScope no_grad;
+    nn::ForwardContext ctx;
+    for (int64_t b = 0; b < num_batches; ++b) run_batch(b, &ctx);
   }
-
-  model->SetTraining(was_training);
   return result;
 }
 
 EvalResult Trainer::Evaluate(
-    SequenceModel* model, const std::vector<data::PreparedSample>& prepared,
+    const SequenceModel* model,
+    const std::vector<data::PreparedSample>& prepared,
     const std::vector<int64_t>& indices, data::Task task,
     const PredictOptions& options) {
   const PredictResult predicted =
@@ -242,6 +246,13 @@ TrainResult Trainer::Train(SequenceModel* model,
     }
   };
 
+  // Training-mode forward context. Dropout draws come from the trainer's
+  // checkpoint-saved RNG so interrupted-and-resumed runs stay bitwise
+  // identical to uninterrupted ones.
+  nn::ForwardContext train_ctx;
+  train_ctx.training = true;
+  train_ctx.rng = &rng;
+
   bool aborted = false;
   for (int64_t epoch = start_epoch;
        epoch < config_.max_epochs && !aborted; ++epoch) {
@@ -252,7 +263,6 @@ TrainResult Trainer::Train(SequenceModel* model,
     int64_t epoch_batches = 0;
     bool epoch_complete = false;
     while (!epoch_complete && !aborted) {
-      model->SetTraining(true);
       batcher.StartEpoch();
       epoch_loss = 0.0;
       epoch_batches = 0;
@@ -261,7 +271,7 @@ TrainResult Trainer::Train(SequenceModel* model,
       while (batcher.Next(&batch)) {
         Stopwatch sw;
         adam.ZeroGrad();
-        ag::Variable logits = model->Forward(batch);
+        ag::Variable logits = model->Forward(batch, &train_ctx);
         ag::Variable loss = ag::BceWithLogits(logits, batch.y);
         loss.Backward();
         if (inject->ConsumePoisonGrad(global_step)) {
@@ -364,9 +374,10 @@ TrainResult Trainer::Train(SequenceModel* model,
   result.train_seconds_per_batch =
       total_batches > 0 ? total_batch_seconds / total_batches : 0.0;
 
-  // Single-sample prediction latency (Table III's "Prediction (ms)").
+  // Single-sample prediction latency (Table III's "Prediction (ms)"),
+  // measured on the graph-free inference path like Predict().
   if (!split.test.empty()) {
-    model->SetTraining(false);
+    ag::NoGradScope no_grad;
     const int64_t reps = 20;
     Stopwatch sw;
     for (int64_t r = 0; r < reps; ++r) {

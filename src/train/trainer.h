@@ -105,12 +105,13 @@ class Trainer {
                     const std::vector<data::PreparedSample>& prepared,
                     const data::SplitIndices& split, data::Task task) const;
 
-  // Runs the model (in eval mode) over the given index set in minibatches
-  // and returns sigmoid probabilities plus the aligned task labels, both in
-  // `indices` order. The single batching loop behind every evaluation and
-  // scoring path; independent minibatches are evaluated across the
-  // elda::par pool when `options.parallel` is set.
-  static PredictResult Predict(SequenceModel* model,
+  // Runs the model graph-free (ag::NoGradScope, inference-mode
+  // ForwardContext) over the given index set in minibatches and returns
+  // sigmoid probabilities plus the aligned task labels, both in `indices`
+  // order. The single batching loop behind every evaluation and scoring
+  // path; independent minibatches are evaluated across the elda::par pool
+  // when `options.parallel` is set, each worker with its own context.
+  static PredictResult Predict(const SequenceModel* model,
                                const std::vector<data::PreparedSample>& prepared,
                                const std::vector<int64_t>& indices,
                                data::Task task,
@@ -118,7 +119,7 @@ class Trainer {
 
   // Thin metrics wrapper over Predict(): BCE / AUC-ROC / AUC-PR on the
   // given index set.
-  static EvalResult Evaluate(SequenceModel* model,
+  static EvalResult Evaluate(const SequenceModel* model,
                              const std::vector<data::PreparedSample>& prepared,
                              const std::vector<int64_t>& indices,
                              data::Task task,

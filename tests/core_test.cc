@@ -272,19 +272,26 @@ TEST(FeatureInteractionTest, FactoredMatchesNaiveReference) {
   }
   Rng data_rng(15);
   Tensor e = Tensor::Normal({2, 3, 5, 6}, 0.0f, 0.7f, &data_rng);
-  ag::Variable out = module.Forward(ag::Constant(e));
+  nn::CaptureSink sink;
+  nn::ForwardContext ctx;
+  ctx.capture = &sink;
+  ag::Variable out = module.Forward(ag::Constant(e), &ctx);
   Tensor alpha_ref;
   Tensor out_ref = NaiveFeatureInteraction(e, w_alpha, b_alpha, p, &alpha_ref);
   EXPECT_TRUE(AllClose(out.value(), out_ref, 1e-4f, 1e-3f));
   // Attention matches too (diagonal is zero in both).
-  EXPECT_TRUE(AllClose(module.last_attention(), alpha_ref, 1e-5f, 1e-4f));
+  EXPECT_TRUE(
+      AllClose(sink.Get("feature_attention"), alpha_ref, 1e-5f, 1e-4f));
 }
 
 TEST(FeatureInteractionTest, AttentionRowsSumToOneOffDiagonal) {
   Rng rng(16);
   FeatureInteraction module(7, 4, 2, &rng);
-  module.Forward(RandomInput({3, 5, 7, 4}, 17));
-  const Tensor& alpha = module.last_attention();
+  nn::CaptureSink sink;
+  nn::ForwardContext ctx;
+  ctx.capture = &sink;
+  module.Forward(RandomInput({3, 5, 7, 4}, 17), &ctx);
+  const Tensor alpha = sink.Get("feature_attention");
   for (int64_t b = 0; b < 3; ++b) {
     for (int64_t t = 0; t < 5; ++t) {
       for (int64_t i = 0; i < 7; ++i) {
@@ -302,8 +309,11 @@ TEST(FeatureInteractionTest, AttentionIsAsymmetric) {
   // paper highlights this (pH attends to Lactate more than vice versa).
   Rng rng(18);
   FeatureInteraction module(4, 5, 2, &rng);
-  module.Forward(RandomInput({1, 1, 4, 5}, 19));
-  const Tensor& alpha = module.last_attention();
+  nn::CaptureSink sink;
+  nn::ForwardContext ctx;
+  ctx.capture = &sink;
+  module.Forward(RandomInput({1, 1, 4, 5}, 19), &ctx);
+  const Tensor alpha = sink.Get("feature_attention");
   float max_gap = 0.0f;
   for (int64_t i = 0; i < 4; ++i) {
     for (int64_t j = 0; j < 4; ++j) {
@@ -340,9 +350,12 @@ TEST(FeatureInteractionTest, GradCheck) {
 TEST(TimeInteractionTest, OutputShapeAndAttention) {
   Rng rng(24);
   TimeInteraction module(6, 5, &rng);
-  ag::Variable out = module.Forward(RandomInput({3, 8, 6}, 25));
+  nn::CaptureSink sink;
+  nn::ForwardContext ctx;
+  ctx.capture = &sink;
+  ag::Variable out = module.Forward(RandomInput({3, 8, 6}, 25), &ctx);
   EXPECT_EQ(out.value().shape(), (std::vector<int64_t>{3, 10}));
-  const Tensor& beta = module.last_attention();
+  const Tensor beta = sink.Get("time_attention");
   EXPECT_EQ(beta.shape(), (std::vector<int64_t>{3, 7}));
   for (int64_t b = 0; b < 3; ++b) {
     float row = 0.0f;
@@ -358,11 +371,15 @@ TEST(TimeInteractionTest, DeterministicAndConsistentAcrossCalls) {
   Rng rng(26);
   TimeInteraction module(4, 3, &rng);
   ag::Variable x = RandomInput({2, 6, 4}, 27);
-  Tensor out1 = module.Forward(x).value();
-  Tensor beta1 = module.last_attention().Clone();
-  Tensor out2 = module.Forward(x).value();
+  nn::CaptureSink sink1, sink2;
+  nn::ForwardContext ctx1, ctx2;
+  ctx1.capture = &sink1;
+  ctx2.capture = &sink2;
+  Tensor out1 = module.Forward(x, &ctx1).value();
+  Tensor beta1 = sink1.Get("time_attention").Clone();
+  Tensor out2 = module.Forward(x, &ctx2).value();
   EXPECT_TRUE(AllClose(out1, out2));
-  EXPECT_TRUE(AllClose(beta1, module.last_attention()));
+  EXPECT_TRUE(AllClose(beta1, sink2.Get("time_attention")));
 }
 
 TEST(TimeInteractionTest, UniformHiddenStatesGiveUniformAttention) {
@@ -373,8 +390,11 @@ TEST(TimeInteractionTest, UniformHiddenStatesGiveUniformAttention) {
   // Constant input over time leads to h_t converging, but not exactly equal;
   // instead feed a 2-step sequence where T-1 = 1 so there is one weight.
   ag::Variable x = RandomInput({2, 2, 4}, 261);
-  module.Forward(x);
-  const Tensor& beta = module.last_attention();
+  nn::CaptureSink sink;
+  nn::ForwardContext ctx;
+  ctx.capture = &sink;
+  module.Forward(x, &ctx);
+  const Tensor beta = sink.Get("time_attention");
   ASSERT_EQ(beta.shape(), (std::vector<int64_t>{2, 1}));
   EXPECT_NEAR((beta.at({0, 0})), 1.0f, 1e-6f);
 }
@@ -452,17 +472,26 @@ TEST(EldaNetTest, FullModelExposesBothAttentions) {
   EldaNetConfig config = SmallConfig();
   EldaNet net(config);
   data::Batch batch = TinyBatch(2, 4, 6, 32);
-  net.Forward(batch);
-  EXPECT_EQ(net.feature_attention().shape(),
+  nn::CaptureSink sink;
+  nn::ForwardContext ctx;
+  ctx.capture = &sink;
+  net.Forward(batch, &ctx);
+  EXPECT_EQ(sink.Get("feature_attention").shape(),
             (std::vector<int64_t>{2, 4, 6, 6}));
-  EXPECT_EQ(net.time_attention().shape(), (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(sink.Get("time_attention").shape(), (std::vector<int64_t>{2, 3}));
 }
 
-TEST(EldaNetDeathTest, VariantTHasNoFeatureAttention) {
+TEST(EldaNetTest, VariantTCapturesNoFeatureAttention) {
   EldaNetConfig config = SmallConfig();
   config.use_feature_module = false;
   EldaNet net(config);
-  EXPECT_DEATH(net.feature_attention(), "CHECK failed");
+  data::Batch batch = TinyBatch(2, 4, 6, 320);
+  nn::CaptureSink sink;
+  nn::ForwardContext ctx;
+  ctx.capture = &sink;
+  net.Forward(batch, &ctx);
+  EXPECT_FALSE(sink.Contains("feature_attention"));
+  EXPECT_TRUE(sink.Contains("time_attention"));
 }
 
 TEST(EldaNetTest, GradCheckFullModelSmall) {
@@ -530,7 +559,6 @@ TEST(EldaNetTest, LearnsInteractionSignal) {
   }
   // Evaluate accuracy on fresh data.
   data::Batch test = make_batch(256);
-  net.SetTraining(false);
   Tensor probs = Sigmoid(net.Forward(test).value());
   int64_t correct = 0;
   for (int64_t i = 0; i < 256; ++i) {

@@ -36,17 +36,20 @@ data::Batch TinyBatch(int64_t batch, int64_t steps, int64_t features,
 TEST(MultiTaskTest, ForwardProducesTwoHeads) {
   MultiTaskEldaNet net(SmallConfig());
   data::Batch batch = TinyBatch(3, 5, 6, 1);
-  MultiTaskEldaNet::Logits logits = net.Forward(batch);
+  nn::CaptureSink sink;
+  nn::ForwardContext ctx;
+  ctx.capture = &sink;
+  MultiTaskEldaNet::Logits logits = net.Forward(batch, &ctx);
   EXPECT_EQ(logits.mortality.value().shape(), (std::vector<int64_t>{3}));
   EXPECT_EQ(logits.los_gt7.value().shape(), (std::vector<int64_t>{3}));
   for (int64_t i = 0; i < 3; ++i) {
     EXPECT_TRUE(std::isfinite(logits.mortality.value()[i]));
     EXPECT_TRUE(std::isfinite(logits.los_gt7.value()[i]));
   }
-  // Shared trunk exposes both attention surfaces.
-  EXPECT_EQ(net.feature_attention().shape(),
+  // Shared trunk captures both attention surfaces.
+  EXPECT_EQ(sink.Get("feature_attention").shape(),
             (std::vector<int64_t>{3, 5, 6, 6}));
-  EXPECT_EQ(net.time_attention().shape(), (std::vector<int64_t>{3, 4}));
+  EXPECT_EQ(sink.Get("time_attention").shape(), (std::vector<int64_t>{3, 4}));
 }
 
 TEST(MultiTaskTest, HeadsAreIndependentAtInit) {

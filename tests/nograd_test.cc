@@ -1,0 +1,95 @@
+// No-grad inference equivalence: under ag::NoGradScope every registry model
+// must produce bitwise-identical predictions to the taped path while
+// allocating zero tape nodes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "baselines/baselines.h"
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace elda {
+namespace {
+
+data::Batch RandomBatch(int64_t batch, int64_t steps, int64_t features,
+                        uint64_t seed) {
+  Rng rng(seed);
+  data::Batch b;
+  b.x = Tensor::Normal({batch, steps, features}, 0.0f, 1.0f, &rng);
+  b.mask = Tensor({batch, steps, features});
+  for (int64_t i = 0; i < b.mask.size(); ++i) {
+    b.mask[i] = rng.Bernoulli(0.6) ? 1.0f : 0.0f;
+  }
+  b.delta = Tensor({batch, steps, features});
+  for (int64_t i = 0; i < b.delta.size(); ++i) {
+    b.delta[i] = static_cast<float>(rng.Uniform() * 3.0);
+  }
+  b.y = Tensor({batch});
+  for (int64_t i = 0; i < batch; ++i) {
+    b.y[i] = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  return b;
+}
+
+std::vector<std::string> AllRegistryNames() {
+  std::vector<std::string> names = baselines::AllModelNames();
+  names.push_back("ELDA-Net-Fbi*");
+  names.push_back("ELDA-Net-Ffm*");
+  return names;
+}
+
+TEST(NoGradTest, GradModeIsScopedAndRestored) {
+  EXPECT_TRUE(ag::GradEnabled());
+  {
+    ag::NoGradScope outer;
+    EXPECT_FALSE(ag::GradEnabled());
+    {
+      ag::NoGradScope inner;
+      EXPECT_FALSE(ag::GradEnabled());
+    }
+    EXPECT_FALSE(ag::GradEnabled());
+  }
+  EXPECT_TRUE(ag::GradEnabled());
+}
+
+TEST(NoGradTest, DetachedOpsCannotBackward) {
+  ag::NoGradScope no_grad;
+  ag::Variable w(Tensor::Ones({2, 2}), /*requires_grad=*/true);
+  ag::Variable out = ag::SumAll(ag::Square(w));
+  EXPECT_FALSE(out.requires_grad());
+}
+
+TEST(NoGradTest, EveryRegistryModelIsBitwiseIdenticalWithZeroTapeNodes) {
+  const int64_t features = 5;
+  const data::Batch batch = RandomBatch(4, 6, features, 77);
+  for (const std::string& name : AllRegistryNames()) {
+    SCOPED_TRACE(name);
+    auto model = baselines::MakeModel(name, features, /*seed=*/3);
+
+    const int64_t taped_before = ag::TapeNodesAllocated();
+    const Tensor taped = model->Forward(batch).value();
+    const int64_t taped_nodes = ag::TapeNodesAllocated() - taped_before;
+    EXPECT_GT(taped_nodes, 0) << "taped forward should build a graph";
+
+    Tensor inference;
+    int64_t nograd_nodes = -1;
+    {
+      ag::NoGradScope no_grad;
+      const int64_t before = ag::TapeNodesAllocated();
+      inference = model->Forward(batch).value();
+      nograd_nodes = ag::TapeNodesAllocated() - before;
+    }
+    EXPECT_EQ(nograd_nodes, 0) << "no-grad forward must not build a tape";
+
+    ASSERT_EQ(inference.size(), taped.size());
+    for (int64_t i = 0; i < taped.size(); ++i) {
+      EXPECT_EQ(inference[i], taped[i]) << "logit " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace elda

@@ -1,0 +1,133 @@
+// Forward reentrancy: with per-call contexts and no mutable model state,
+// concurrent inference on one model instance must be race-free (run under
+// TSan in the sanitizer suite) and bitwise identical to the serial path.
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "baselines/baselines.h"
+#include "gtest/gtest.h"
+#include "train/trainer.h"
+
+namespace elda {
+namespace {
+
+std::vector<data::PreparedSample> RandomSamples(int64_t n, int64_t steps,
+                                                int64_t features,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<data::PreparedSample> prepared;
+  prepared.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    data::PreparedSample p;
+    p.x = Tensor::Normal({steps, features}, 0.0f, 1.0f, &rng);
+    p.mask = Tensor({steps, features});
+    for (int64_t j = 0; j < p.mask.size(); ++j) {
+      p.mask[j] = rng.Bernoulli(0.6) ? 1.0f : 0.0f;
+    }
+    p.delta = Tensor({steps, features});
+    for (int64_t j = 0; j < p.delta.size(); ++j) {
+      p.delta[j] = static_cast<float>(rng.Uniform() * 3.0);
+    }
+    p.mortality_label = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+    p.los_gt7_label = p.mortality_label;
+    prepared.push_back(std::move(p));
+  }
+  return prepared;
+}
+
+std::vector<std::string> AllRegistryNames() {
+  std::vector<std::string> names = baselines::AllModelNames();
+  names.push_back("ELDA-Net-Fbi*");
+  names.push_back("ELDA-Net-Ffm*");
+  return names;
+}
+
+TEST(ReentrancyTest, ConcurrentPredictMatchesSerialForEveryModel) {
+  const int64_t features = 5;
+  const auto prepared = RandomSamples(60, 6, features, 19);
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < 60; ++i) indices.push_back(i);
+
+  for (const std::string& name : AllRegistryNames()) {
+    SCOPED_TRACE(name);
+    auto model = baselines::MakeModel(name, features, /*seed=*/7);
+
+    train::PredictOptions serial;
+    serial.batch_size = 8;
+    serial.parallel = false;
+    const train::PredictResult base = train::Trainer::Predict(
+        model.get(), prepared, indices, data::Task::kMortality, serial);
+
+    train::PredictOptions parallel;
+    parallel.batch_size = 8;
+    parallel.parallel = true;
+    parallel.num_threads = 4;
+    const train::PredictResult got = train::Trainer::Predict(
+        model.get(), prepared, indices, data::Task::kMortality, parallel);
+
+    ASSERT_EQ(got.scores.size(), base.scores.size());
+    for (size_t i = 0; i < base.scores.size(); ++i) {
+      EXPECT_EQ(got.scores[i], base.scores[i]) << "i=" << i;
+    }
+  }
+}
+
+TEST(ReentrancyTest, ConcurrentCapturesMatchSerialSurfaces) {
+  // Four threads forward four different batches through one shared model,
+  // each into its own sink; every thread must see exactly the surfaces the
+  // serial pass produced for its batch.
+  const int64_t features = 5;
+  const int64_t kThreads = 4;
+  const auto prepared = RandomSamples(32, 6, features, 23);
+
+  for (const std::string& name :
+       {std::string("ELDA-Net"), std::string("Dipole-c")}) {
+    SCOPED_TRACE(name);
+    auto model = baselines::MakeModel(name, features, /*seed=*/5);
+
+    std::vector<data::Batch> batches;
+    std::vector<Tensor> serial_attention;
+    for (int64_t t = 0; t < kThreads; ++t) {
+      std::vector<int64_t> chunk;
+      for (int64_t i = 0; i < 8; ++i) chunk.push_back(t * 8 + i);
+      batches.push_back(
+          data::MakeBatch(prepared, chunk, data::Task::kMortality));
+      ag::NoGradScope no_grad;
+      nn::CaptureSink sink;
+      nn::ForwardContext ctx;
+      ctx.capture = &sink;
+      model->Forward(batches.back(), &ctx);
+      serial_attention.push_back(sink.Get("time_attention").Clone());
+    }
+
+    std::vector<Tensor> threaded_attention(kThreads);
+    std::vector<std::thread> workers;
+    for (int64_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        ag::NoGradScope no_grad;
+        nn::CaptureSink sink;
+        nn::ForwardContext ctx;
+        ctx.capture = &sink;
+        model->Forward(batches[t], &ctx);
+        threaded_attention[t] = sink.Get("time_attention").Clone();
+      });
+    }
+    for (std::thread& w : workers) w.join();
+
+    for (int64_t t = 0; t < kThreads; ++t) {
+      const Tensor& expected = serial_attention[t];
+      const Tensor& got = threaded_attention[t];
+      ASSERT_EQ(got.shape(), expected.shape()) << "thread " << t;
+      for (int64_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got[i], expected[i]) << "thread " << t << " i=" << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace elda

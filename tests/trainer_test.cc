@@ -21,7 +21,9 @@ class TinyGruModel : public SequenceModel {
     RegisterSubmodule("head", &head_);
   }
 
-  ag::Variable Forward(const data::Batch& batch) override {
+  ag::Variable Forward(const data::Batch& batch,
+                       nn::ForwardContext*) const override {
+
     const int64_t b = batch.x.shape(0);
     const int64_t t = batch.x.shape(1);
     ag::Variable h = gru_.Forward(ag::Constant(batch.x));
@@ -30,6 +32,7 @@ class TinyGruModel : public SequenceModel {
     return ag::Reshape(head_.Forward(last), {b});
   }
 
+  using SequenceModel::Forward;
   std::string name() const override { return "TinyGRU"; }
 
  private:
