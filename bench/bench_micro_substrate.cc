@@ -25,6 +25,7 @@
 #include "mem/pool.h"
 #include "mem/prof.h"
 #include "nn/gru.h"
+#include "nn/recurrent_sweep.h"
 #include "par/par.h"
 #include "tensor/tensor_ops.h"
 
@@ -119,6 +120,65 @@ void BM_GruForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GruForward);
+
+// The recurrence-engine ablation: arg0 = batch size, arg1 = 1 for the
+// time-major hoisted sweep (one [T*B,C] x [C,3H] input GEMM, fused gate
+// kernel, zero-copy per-step views), 0 for the op-by-op per-step
+// composition it replaced (T separate Slice/Reshape/GEMM/Sigmoid/... op
+// chains — the pre-sweep nn::Gru::Forward). Both produce bitwise-identical
+// [B,T,H] outputs (asserted in tests/recurrence_test.cc); the counter shows
+// the tape-node reduction on top of the wall-clock win.
+void BM_RecurrentSweep(benchmark::State& state) {
+  const int64_t batch_size = state.range(0);
+  const bool hoisted = state.range(1) != 0;
+  const int64_t steps = 48, features = 37, hidden = 64;
+  Rng rng(22);
+  nn::Gru gru(features, hidden, &rng);
+  const nn::GruCell& cell = gru.cell();
+  ag::Variable x =
+      ag::Constant(RandomTensor({batch_size, steps, features}, 23));
+  int64_t tape_nodes = 0;
+  for (auto _ : state) {
+    const int64_t nodes_before = ag::TapeNodesAllocated();
+    if (hoisted) {
+      benchmark::DoNotOptimize(gru.Forward(x));
+    } else {
+      // Verbatim pre-sweep time loop: slice step t out of [B,T,C], build
+      // the gates from individual tape ops, stack the states back up.
+      ag::Variable h = ag::Constant(Tensor::Zeros({batch_size, hidden}));
+      std::vector<ag::Variable> states;
+      states.reserve(steps);
+      for (int64_t t = 0; t < steps; ++t) {
+        ag::Variable x_t =
+            ag::Reshape(ag::Slice(x, 1, t, 1), {batch_size, features});
+        ag::Variable xw = ag::Add(ag::MatMul(x_t, cell.w_ih()), cell.bias());
+        ag::Variable hu = ag::MatMul(h, cell.w_hh());
+        ag::Variable r = ag::Sigmoid(
+            ag::Add(ag::Slice(xw, 1, 0, hidden), ag::Slice(hu, 1, 0, hidden)));
+        ag::Variable z = ag::Sigmoid(ag::Add(ag::Slice(xw, 1, hidden, hidden),
+                                             ag::Slice(hu, 1, hidden, hidden)));
+        ag::Variable n = ag::Tanh(
+            ag::Add(ag::Slice(xw, 1, 2 * hidden, hidden),
+                    ag::Mul(r, ag::Slice(hu, 1, 2 * hidden, hidden))));
+        ag::Variable one_minus_z =
+            ag::Sub(ag::Constant(Tensor::Ones(z.value().shape())), z);
+        h = ag::Add(ag::Mul(one_minus_z, n), ag::Mul(z, h));
+        states.push_back(ag::Reshape(h, {batch_size, 1, hidden}));
+      }
+      benchmark::DoNotOptimize(ag::Concat(states, 1));
+    }
+    tape_nodes += ag::TapeNodesAllocated() - nodes_before;
+  }
+  state.counters["tape_nodes_per_iter"] = benchmark::Counter(
+      static_cast<double>(tape_nodes) /
+      static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() * batch_size * steps);
+}
+BENCHMARK(BM_RecurrentSweep)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
 
 void BM_FeatureInteractionFactored(benchmark::State& state) {
   const int64_t c = state.range(0);

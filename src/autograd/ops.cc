@@ -1,5 +1,6 @@
 #include "autograd/ops.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/tensor_ops.h"
@@ -242,6 +243,67 @@ Variable Slice(const Variable& a, int64_t axis, int64_t start, int64_t len) {
                     dst + (o * axis_len + start) * inner);
         }
         AccumulateGrad(n->parents[0].get(), g);
+      });
+}
+
+Variable Transpose01(const Variable& a) {
+  return MakeOpResult(elda::Transpose01(a.value()), {a}, [](Node* n) {
+    // The adjoint of a permutation is its inverse; swapping the first two
+    // axes is an involution.
+    AccumulateGrad(n->parents[0].get(), elda::Transpose01(n->grad));
+  });
+}
+
+Variable ReverseAxis(const Variable& a, int64_t axis) {
+  const int64_t rank = a.value().dim();
+  const int64_t norm_axis = axis < 0 ? axis + rank : axis;
+  return MakeOpResult(elda::ReverseAxis(a.value(), norm_axis), {a},
+                      [norm_axis](Node* n) {
+                        AccumulateGrad(n->parents[0].get(),
+                                       elda::ReverseAxis(n->grad, norm_axis));
+                      });
+}
+
+Variable RowsView(const Variable& a, int64_t start, int64_t len) {
+  const Tensor& v = a.value();
+  ELDA_CHECK_GE(v.dim(), 1);
+  const int64_t row = v.size() / std::max<int64_t>(v.shape(0), 1);
+  const int64_t offset = start * row;
+  return MakeOpResult(v.ViewRows(start, len), {a}, [offset](Node* n) {
+    internal::AccumulateGradRange(n->parents[0].get(), n->grad, offset);
+  });
+}
+
+Variable StepView(const Variable& a, int64_t t) {
+  const Tensor& v = a.value();
+  ELDA_CHECK_GE(v.dim(), 2);
+  std::vector<int64_t> step_shape(v.shape().begin() + 1, v.shape().end());
+  const int64_t row = v.size() / v.shape(0);
+  const int64_t offset = t * row;
+  // ViewRows keeps the leading axis as [1, rest...]; Reshape on a view is a
+  // shallow shape swap (same aliasing storage), so the step stays zero-copy.
+  return MakeOpResult(v.ViewRows(t, 1).Reshape(std::move(step_shape)), {a},
+                      [offset](Node* n) {
+                        internal::AccumulateGradRange(n->parents[0].get(),
+                                                      n->grad, offset);
+                      });
+}
+
+Variable Stack0(const std::vector<Variable>& parts) {
+  ELDA_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const Variable& p : parts) values.push_back(p.value());
+  std::vector<int64_t> part_shape = values[0].shape();
+  return MakeOpResult(
+      elda::StackRows(values), parts, [part_shape](Node* n) {
+        // Each parent's gradient is a zero-copy view of one stacked row
+        // block; AccumulateGrad's same-shape fast path adds it in place.
+        for (size_t i = 0; i < n->parents.size(); ++i) {
+          AccumulateGrad(
+              n->parents[i].get(),
+              n->grad.ViewRows(static_cast<int64_t>(i), 1).Reshape(part_shape));
+        }
       });
 }
 

@@ -55,8 +55,34 @@ Variable MatMul(const Variable& a, const Variable& b);
 // -- Shape ----------------------------------------------------------------------------
 Variable Reshape(const Variable& a, std::vector<int64_t> shape);
 Variable TransposeLast2(const Variable& a);
+// Swaps the first two axes ([B, T, ...] <-> [T, B, ...]); the relayout
+// between batch-major model tensors and the time-major recurrence engine.
+Variable Transpose01(const Variable& a);
+// Reverses entry order along `axis` (e.g. the time axis for bidirectional
+// recurrences). One tape node, unlike the old T-slices-plus-Concat idiom.
+Variable ReverseAxis(const Variable& a, int64_t axis);
 Variable Concat(const std::vector<Variable>& parts, int64_t axis);
 Variable Slice(const Variable& a, int64_t axis, int64_t start, int64_t len);
+
+// -- Zero-copy views ------------------------------------------------------------------
+//
+// The forward values of these ops alias their input's storage (no copy, no
+// allocation; see Tensor::ViewRows) and their backward adds the incoming
+// gradient into just the viewed block of the parent's grad buffer
+// (AccumulateGradRange) — no full-size scatter tensor is built. They are
+// how the recurrence engine reads per-step inputs out of a hoisted
+// time-major buffer for free.
+
+// View of rows [start, start + len) along axis 0.
+Variable RowsView(const Variable& a, int64_t start, int64_t len);
+// View of entry `t` along axis 0 with the leading axis dropped:
+// a [T, B, H] input yields the [B, H] step tensor.
+Variable StepView(const Variable& a, int64_t t);
+
+// Stacks N same-shaped parts into [N, shape...] (the inverse of N StepView
+// reads): one tape node whose backward hands each parent a zero-copy view
+// of the stacked gradient.
+Variable Stack0(const std::vector<Variable>& parts);
 
 // -- Reductions --------------------------------------------------------------------------
 Variable Sum(const Variable& a, int64_t axis, bool keepdims = false);

@@ -28,6 +28,19 @@ void AccumulateGrad(Node* node, const Tensor& g) {
   for (int64_t i = 0; i < node->grad.size(); ++i) dst[i] += src[i];
 }
 
+void AccumulateGradRange(Node* node, const Tensor& g, int64_t offset) {
+  if (!node->requires_grad) return;
+  if (!node->grad.defined()) {
+    node->grad = Tensor(node->value.shape());  // zero-filled
+  }
+  ELDA_CHECK(offset >= 0 && offset + g.size() <= node->grad.size())
+      << "grad range [" << offset << "," << offset + g.size() << ") of "
+      << node->grad.size();
+  float* dst = node->grad.data() + offset;
+  const float* src = g.data();
+  for (int64_t i = 0; i < g.size(); ++i) dst[i] += src[i];
+}
+
 }  // namespace internal
 
 Variable::Variable(Tensor value, bool requires_grad) {

@@ -44,6 +44,14 @@ struct Node {
 // Adds `g` (reduced over broadcast dims if needed) into node->grad.
 void AccumulateGrad(Node* node, const Tensor& g);
 
+// Adds `g` into the contiguous element range [offset, offset + g.size()) of
+// node->grad, allocating the grad buffer (zero-filled) on first use. This
+// is the scatter-free adjoint of a zero-copy row view (ag::RowsView /
+// ag::StepView): instead of materialising a full-sized zero tensor per
+// step — O(T) work per step, O(T^2) per sweep — each view's backward adds
+// only its own block.
+void AccumulateGradRange(Node* node, const Tensor& g, int64_t offset);
+
 }  // namespace internal
 
 class Variable {

@@ -5,13 +5,7 @@ namespace baselines {
 
 ag::Variable ReverseTime(const ag::Variable& x) {
   ELDA_CHECK_EQ(x.value().dim(), 3);
-  const int64_t steps = x.value().shape(1);
-  std::vector<ag::Variable> slices;
-  slices.reserve(steps);
-  for (int64_t t = steps - 1; t >= 0; --t) {
-    slices.push_back(ag::Slice(x, 1, t, 1));
-  }
-  return ag::Concat(slices, 1);
+  return ag::ReverseAxis(x, /*axis=*/1);
 }
 
 }  // namespace baselines

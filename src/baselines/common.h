@@ -8,7 +8,10 @@
 namespace elda {
 namespace baselines {
 
-// Reverses a [B, T, D] tensor along the time axis (differentiable).
+// Reverses a [B, T, D] tensor along the time axis (differentiable; a single
+// ag::ReverseAxis node). Models with reverse-time recurrences no longer need
+// this — a reversed nn::Sweep consumes the input in place — but it remains
+// for callers that want the flipped tensor itself.
 ag::Variable ReverseTime(const ag::Variable& x);
 
 }  // namespace baselines

@@ -1,7 +1,7 @@
 #include "baselines/dipole.h"
 
-#include "baselines/common.h"
 #include "nn/init.h"
+#include "nn/recurrent_sweep.h"
 
 namespace elda {
 namespace baselines {
@@ -61,12 +61,20 @@ ag::Variable Dipole::Forward(const data::Batch& batch,
   const int64_t steps = batch.x.shape(1);
   const int64_t state = 2 * hidden_dim_;
   ag::Variable x = ag::Constant(batch.x);
-  ag::Variable h_fwd = forward_gru_.Forward(x);
-  ag::Variable h_bwd = ReverseTime(backward_gru_.Forward(ReverseTime(x)));
-  ag::Variable h = ag::Concat({h_fwd, h_bwd}, /*axis=*/2);  // [B, T, 2H]
+  nn::SweepOptions fwd_opts;
+  fwd_opts.label = "Dipole/forward-gru";
+  nn::SweepOptions bwd_opts;
+  bwd_opts.reversed = true;
+  bwd_opts.label = "Dipole/backward-gru";
+  nn::SweepResult fwd = nn::GruSweep(forward_gru_.cell(), x, fwd_opts);
+  nn::SweepResult bwd = nn::GruSweep(backward_gru_.cell(), x, bwd_opts);
+  ag::Variable h =
+      ag::Concat({fwd.Stacked(), bwd.Stacked()}, /*axis=*/2);  // [B, T, 2H]
 
+  // Both sweeps file states chronologically, so index T-1 is the forward
+  // sweep's final state and the backward sweep's first-computed one.
   ag::Variable h_last =
-      ag::Reshape(ag::Slice(h, 1, steps - 1, 1), {batch_size, state});
+      ag::Concat({fwd.steps.back(), bwd.steps.back()}, /*axis=*/1);
   ag::Variable h_prev = ag::Slice(h, 1, 0, steps - 1);  // [B, T-1, 2H]
 
   ag::Variable scores;  // [B, T-1]

@@ -1,7 +1,7 @@
 #include "baselines/gru_d.h"
 
 #include "autograd/ops.h"
-
+#include "nn/recurrent_sweep.h"
 #include "tensor/tensor_ops.h"
 
 namespace elda {
@@ -26,30 +26,45 @@ ag::Variable GruD::Forward(const data::Batch& batch,
                               nn::ForwardContext*) const {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
-  ag::Variable h =
-      ag::Constant(Tensor::Zeros({batch_size, hidden_dim_}));
-  for (int64_t t = 0; t < steps; ++t) {
-    Tensor xt = Slice(batch.x, 1, t, 1).Reshape({batch_size, num_features_});
-    Tensor mt =
-        Slice(batch.mask, 1, t, 1).Reshape({batch_size, num_features_});
-    Tensor dt =
-        Slice(batch.delta, 1, t, 1).Reshape({batch_size, num_features_});
-    ag::Variable x = ag::Constant(xt);
-    ag::Variable m = ag::Constant(mt);
-    ag::Variable delta = ag::Constant(dt);
-    // Input decay toward the (standardised) global mean of zero.
-    ag::Variable gamma_x = ag::Exp(ag::Neg(ag::Relu(
-        ag::Add(ag::Mul(delta, decay_x_w_), decay_x_b_))));  // [B, C]
-    ag::Variable one_minus_m = ag::Constant(Sub(Tensor::Ones(mt.shape()), mt));
-    ag::Variable x_hat = ag::Add(ag::Mul(m, x),
-                                 ag::Mul(one_minus_m, ag::Mul(gamma_x, x)));
-    // Hidden decay.
-    ag::Variable gamma_h =
-        ag::Exp(ag::Neg(ag::Relu(decay_h_.Forward(delta))));  // [B, H]
-    h = ag::Mul(gamma_h, h);
-    h = cell_.Forward(ag::Concat({x_hat, m}, 1), h);
-  }
-  return ag::Reshape(out_.Forward(h), {batch_size});
+  // All decay math is loop-invariant (each step reads only its own rows of
+  // x/mask/delta), so it runs once over the whole [B, T, C] batch; the same
+  // broadcasting pairs each element with the same weight as the old
+  // per-step [B, C] version.
+  ag::Variable x = ag::Constant(batch.x);
+  ag::Variable m = ag::Constant(batch.mask);
+  ag::Variable delta = ag::Constant(batch.delta);
+  // Input decay toward the (standardised) global mean of zero.
+  ag::Variable gamma_x = ag::Exp(ag::Neg(ag::Relu(
+      ag::Add(ag::Mul(delta, decay_x_w_), decay_x_b_))));  // [B, T, C]
+  ag::Variable one_minus_m =
+      ag::Constant(Sub(Tensor::Ones(batch.mask.shape()), batch.mask));
+  ag::Variable x_hat = ag::Add(ag::Mul(m, x),
+                               ag::Mul(one_minus_m, ag::Mul(gamma_x, x)));
+  // Hidden decay.
+  ag::Variable gamma_h =
+      ag::Exp(ag::Neg(ag::Relu(decay_h_.Forward(delta))));  // [B, T, H]
+
+  // Time-major [T*B, .] blocks: the hoisted cell-input GEMM over
+  // [x^ ; m], and the per-step hidden decay factors.
+  ag::Variable u = ag::Reshape(ag::Transpose01(ag::Concat({x_hat, m}, 2)),
+                               {steps * batch_size, 2 * num_features_});
+  ag::Variable xw_all = cell_.PrecomputeInput(u);  // [T*B, 3H]
+  ag::Variable gamma_h_tm = ag::Reshape(ag::Transpose01(gamma_h),
+                                        {steps * batch_size, hidden_dim_});
+
+  nn::SweepOptions opts;
+  opts.label = "GruD/sweep";
+  ag::Variable h0 = ag::Constant(Tensor::Zeros({batch_size, hidden_dim_}));
+  nn::SweepResult sweep = nn::Sweep(
+      steps, h0,
+      [&](int64_t t, const ag::Variable& h) {
+        ag::Variable decayed = ag::Mul(
+            ag::RowsView(gamma_h_tm, t * batch_size, batch_size), h);
+        return cell_.Step(
+            ag::RowsView(xw_all, t * batch_size, batch_size), decayed);
+      },
+      opts);
+  return ag::Reshape(out_.Forward(sweep.last()), {batch_size});
 }
 
 }  // namespace baselines

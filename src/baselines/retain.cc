@@ -1,6 +1,6 @@
 #include "baselines/retain.h"
 
-#include "baselines/common.h"
+#include "nn/recurrent_sweep.h"
 
 namespace elda {
 namespace baselines {
@@ -27,10 +27,16 @@ ag::Variable Retain::Forward(const data::Batch& batch,
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   ag::Variable v = embed_.Forward(ag::Constant(batch.x));  // [B, T, m]
-  ag::Variable v_rev = ReverseTime(v);
-  // Reverse-time recurrences, then flip back to chronological order.
-  ag::Variable g = ReverseTime(alpha_gru_.Forward(v_rev));  // [B, T, m]
-  ag::Variable h = ReverseTime(beta_gru_.Forward(v_rev));   // [B, T, m]
+  // Reverse-time recurrences. A reversed sweep walks t = T-1 .. 0 and files
+  // each state chronologically, so no ReverseTime copies are needed on
+  // either side of the GRUs.
+  nn::SweepOptions reversed;
+  reversed.reversed = true;
+  reversed.label = "Retain/reversed-gru";
+  ag::Variable g =
+      nn::GruSweep(alpha_gru_.cell(), v, reversed).Stacked();  // [B, T, m]
+  ag::Variable h =
+      nn::GruSweep(beta_gru_.cell(), v, reversed).Stacked();   // [B, T, m]
   ag::Variable alpha = ag::Softmax(
       ag::Reshape(alpha_head_.Forward(g), {batch_size, steps}), 1);
   ag::Variable beta = ag::Tanh(beta_head_.Forward(h));  // [B, T, m]

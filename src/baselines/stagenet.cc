@@ -1,6 +1,7 @@
 #include "baselines/stagenet.h"
 
 #include "autograd/ops.h"
+#include "nn/recurrent_sweep.h"
 
 namespace elda {
 namespace baselines {
@@ -26,7 +27,11 @@ ag::Variable StageNet::Forward(const data::Batch& batch,
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   ELDA_CHECK_GE(steps, conv_kernel_);
-  ag::Variable h = lstm_.Forward(ag::Constant(batch.x));  // [B, T, H]
+  nn::SweepOptions opts;
+  opts.label = "StageNet/lstm";
+  nn::SweepResult sweep =
+      nn::LstmSweep(lstm_.cell(), ag::Constant(batch.x), opts);
+  ag::Variable h = sweep.Stacked();  // [B, T, H]
 
   // Stage signal per step: how far the disease has progressed. It softly
   // re-weights the hidden history before the progression convolution.
@@ -49,8 +54,7 @@ ag::Variable StageNet::Forward(const data::Batch& batch,
   // dense across the stay.
   ag::Variable pooled = ag::Mean(conv, /*axis=*/1);  // [B, channels]
 
-  ag::Variable h_last =
-      ag::Reshape(ag::Slice(h, 1, steps - 1, 1), {batch_size, hidden_dim_});
+  ag::Variable h_last = sweep.steps.back();  // [B, H]
   ag::Variable rep = ag::Concat({h_last, pooled}, 1);
   return ag::Reshape(out_.Forward(rep), {batch_size});
 }

@@ -79,7 +79,6 @@ EldaNet::EldaNet(const EldaNetConfig& config)
 ag::Variable EldaNet::Forward(const data::Batch& batch,
                               nn::ForwardContext* ctx) const {
   const int64_t batch_size = batch.x.shape(0);
-  const int64_t steps = batch.x.shape(1);
   ELDA_CHECK_EQ(batch.x.shape(2), config_.num_features);
   ag::Variable x = ag::Constant(batch.x);
 
@@ -93,9 +92,9 @@ ag::Variable EldaNet::Forward(const data::Batch& batch,
   if (config_.use_time_interactions) {
     representation = time_->Forward(temporal_input, ctx);
   } else {
-    ag::Variable h = plain_gru_->Forward(temporal_input);
-    representation = ag::Reshape(ag::Slice(h, 1, steps - 1, 1),
-                                 {batch_size, config_.hidden_dim});
+    // Ablations only need the final state; the sweep hands it out directly
+    // instead of stacking all T states and slicing one back off.
+    representation = plain_gru_->ForwardSteps(temporal_input).back();
   }
   return ag::Reshape(prediction_->Forward(representation), {batch_size});
 }

@@ -1,6 +1,7 @@
 #include "core/time_interaction.h"
 
 #include "nn/init.h"
+#include "nn/recurrent_sweep.h"
 #include "tensor/tensor_ops.h"
 
 namespace elda {
@@ -21,10 +22,17 @@ ag::Variable TimeInteraction::Forward(const ag::Variable& x,
   const int64_t steps = x.value().shape(1);
   ELDA_CHECK_GE(steps, 2);
 
-  ag::Variable h = gru_.Forward(x);  // [B, T, H]
-  ag::Variable h_last =
-      ag::Reshape(ag::Slice(h, 1, steps - 1, 1), {batch, hidden_dim_});
-  ag::Variable h_prev = ag::Slice(h, 1, 0, steps - 1);  // [B, T-1, H]
+  nn::SweepOptions opts;
+  opts.label = "TimeInteraction/gru";
+  nn::SweepResult sweep = nn::GruSweep(gru_.cell(), x, opts);
+  // The attention below needs the final state and the earlier states as
+  // separate tensors; taking them straight from the sweep avoids stacking
+  // all T states only to slice them apart again.
+  ag::Variable h_last = sweep.steps.back();  // [B, H]
+  std::vector<ag::Variable> prev(sweep.steps.begin(),
+                                 sweep.steps.end() - 1);
+  ag::Variable h_prev =
+      ag::Transpose01(ag::Stack0(prev));  // [B, T-1, H]
 
   // s_i = h_i ⊙ h_T  (Eq. 8).
   ag::Variable s =

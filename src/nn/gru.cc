@@ -1,6 +1,8 @@
 #include "nn/gru.h"
 
 #include "nn/init.h"
+#include "nn/recurrent_sweep.h"
+#include "tensor/tensor_ops.h"
 
 namespace elda {
 namespace nn {
@@ -18,19 +20,87 @@ GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng* rng)
 
 ag::Variable GruCell::Forward(const ag::Variable& x,
                               const ag::Variable& h) const {
+  return Step(PrecomputeInput(x), h);
+}
+
+ag::Variable GruCell::PrecomputeInput(const ag::Variable& x) const {
+  return ag::Add(ag::MatMul(x, w_ih_), bias_);
+}
+
+ag::Variable GruCell::Step(const ag::Variable& xw,
+                           const ag::Variable& h) const {
   const int64_t hs = hidden_size_;
-  ag::Variable xw = ag::Add(ag::MatMul(x, w_ih_), bias_);  // [B, 3H]
-  ag::Variable hu = ag::MatMul(h, w_hh_);                  // [B, 3H]
-  ag::Variable r = ag::Sigmoid(
-      ag::Add(ag::Slice(xw, 1, 0, hs), ag::Slice(hu, 1, 0, hs)));
-  ag::Variable z = ag::Sigmoid(
-      ag::Add(ag::Slice(xw, 1, hs, hs), ag::Slice(hu, 1, hs, hs)));
-  ag::Variable n = ag::Tanh(ag::Add(
-      ag::Slice(xw, 1, 2 * hs, hs), ag::Mul(r, ag::Slice(hu, 1, 2 * hs, hs))));
-  // h' = (1 - z) * n + z * h
-  ag::Variable one_minus_z =
-      ag::Sub(ag::Constant(Tensor::Ones(z.value().shape())), z);
-  return ag::Add(ag::Mul(one_minus_z, n), ag::Mul(z, h));
+  const Tensor w_hh = w_hh_.value();
+  const Tensor hu = elda::MatMul(h.value(), w_hh);  // [B, 3H]
+  const bool taped = ag::GradEnabled();
+  Tensor r, z, n;
+  Tensor h_new =
+      elda::GruGates(xw.value(), hu, h.value(), taped ? &r : nullptr,
+                     taped ? &z : nullptr, taped ? &n : nullptr);
+  const Tensor h_prev = h.value();
+  return ag::MakeOpResult(
+      std::move(h_new), {xw, h, w_hh_},
+      [hs, hu, r, z, n, h_prev, w_hh](ag::internal::Node* node) {
+        // Hand-derived adjoint of the fused step. With pre-activation
+        // gradients d*_pre:
+        //   dn_pre = dh' * (1-z) * (1-n^2)
+        //   dz_pre = dh' * (h - n) * z * (1-z)
+        //   dr_pre = dn_pre * (hU_n) * r * (1-r)
+        //   dxw    = [dr_pre | dz_pre | dn_pre]
+        //   dhu    = [dr_pre | dz_pre | dn_pre * r]
+        //   dh     = dh' * z + dhu W_hh^T
+        //   dW_hh  = h^T dhu
+        const int64_t bsz = node->grad.shape(0);
+        Tensor dxw({bsz, 3 * hs});
+        Tensor dhu({bsz, 3 * hs});
+        Tensor dh({bsz, hs});
+        const float* pg = node->grad.data();
+        const float* pr = r.data();
+        const float* pz = z.data();
+        const float* pn = n.data();
+        const float* ph = h_prev.data();
+        const float* phu = hu.data();
+        float* pdxw = dxw.data();
+        float* pdhu = dhu.data();
+        float* pdh = dh.data();
+        for (int64_t b = 0; b < bsz; ++b) {
+          const int64_t rh = b * hs;
+          const int64_t rg = b * 3 * hs;
+          for (int64_t k = 0; k < hs; ++k) {
+            const float gv = pg[rh + k];
+            const float rv = pr[rh + k];
+            const float zv = pz[rh + k];
+            const float nv = pn[rh + k];
+            const float dn_pre = gv * (1.0f - zv) * (1.0f - nv * nv);
+            const float dz_pre =
+                gv * (ph[rh + k] - nv) * zv * (1.0f - zv);
+            const float dr_pre =
+                dn_pre * phu[rg + 2 * hs + k] * rv * (1.0f - rv);
+            pdxw[rg + k] = dr_pre;
+            pdxw[rg + hs + k] = dz_pre;
+            pdxw[rg + 2 * hs + k] = dn_pre;
+            pdhu[rg + k] = dr_pre;
+            pdhu[rg + hs + k] = dz_pre;
+            pdhu[rg + 2 * hs + k] = dn_pre * rv;
+            pdh[rh + k] = gv * zv;
+          }
+        }
+        ag::internal::Node* p_xw = node->parents[0].get();
+        ag::internal::Node* p_h = node->parents[1].get();
+        ag::internal::Node* p_whh = node->parents[2].get();
+        if (p_xw->requires_grad) ag::internal::AccumulateGrad(p_xw, dxw);
+        if (p_h->requires_grad) {
+          const Tensor dh_hu = elda::MatMul(dhu, w_hh, false, true);
+          float* dst = dh.data();
+          const float* src = dh_hu.data();
+          for (int64_t i = 0; i < dh.size(); ++i) dst[i] += src[i];
+          ag::internal::AccumulateGrad(p_h, dh);
+        }
+        if (p_whh->requires_grad) {
+          ag::internal::AccumulateGrad(
+              p_whh, elda::MatMul(h_prev, dhu, true, false));
+        }
+      });
 }
 
 Gru::Gru(int64_t input_size, int64_t hidden_size, Rng* rng)
@@ -39,33 +109,11 @@ Gru::Gru(int64_t input_size, int64_t hidden_size, Rng* rng)
 }
 
 ag::Variable Gru::Forward(const ag::Variable& x) const {
-  std::vector<ag::Variable> steps = ForwardSteps(x);
-  const int64_t batch = x.value().shape(0);
-  std::vector<ag::Variable> expanded;
-  expanded.reserve(steps.size());
-  for (const ag::Variable& h : steps) {
-    expanded.push_back(ag::Reshape(h, {batch, 1, cell_.hidden_size()}));
-  }
-  return ag::Concat(expanded, 1);
+  return GruSweep(cell_, x).Stacked();
 }
 
 std::vector<ag::Variable> Gru::ForwardSteps(const ag::Variable& x) const {
-  ELDA_CHECK_EQ(x.value().dim(), 3);
-  const int64_t batch = x.value().shape(0);
-  const int64_t steps = x.value().shape(1);
-  const int64_t input = x.value().shape(2);
-  ELDA_CHECK_EQ(input, cell_.input_size());
-  ag::Variable h =
-      ag::Constant(Tensor::Zeros({batch, cell_.hidden_size()}));
-  std::vector<ag::Variable> outputs;
-  outputs.reserve(steps);
-  for (int64_t t = 0; t < steps; ++t) {
-    ag::Variable xt =
-        ag::Reshape(ag::Slice(x, 1, t, 1), {batch, input});
-    h = cell_.Forward(xt, h);
-    outputs.push_back(h);
-  }
-  return outputs;
+  return GruSweep(cell_, x).steps;
 }
 
 }  // namespace nn

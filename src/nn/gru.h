@@ -6,6 +6,14 @@
 //   z_t = sigmoid(x_t W_z + h_{t-1} U_z + b_z)
 //   n_t = tanh  (x_t W_n + r_t * (h_{t-1} U_n) + b_n)
 //   h_t = (1 - z_t) * n_t + z_t * h_{t-1}
+//
+// The cell exposes the recurrence split the sweep engine
+// (nn/recurrent_sweep.h) is built on: PrecomputeInput hoists the
+// input-to-gates transform x W_ih + b out of the time loop (one GEMM over
+// all steps instead of T small ones — bitwise identical under the strict-k
+// MatMul contract, since each output row depends only on its own input
+// row), and Step consumes one precomputed [B, 3H] block per timestep as a
+// single fused tape node covering the recurrent GEMM and all gate math.
 
 #ifndef ELDA_NN_GRU_H_
 #define ELDA_NN_GRU_H_
@@ -24,10 +32,28 @@ class GruCell : public Module {
   GruCell(int64_t input_size, int64_t hidden_size, Rng* rng);
 
   // x: [B, input], h: [B, hidden] -> new hidden [B, hidden].
+  // Equivalent to Step(PrecomputeInput(x), h).
   ag::Variable Forward(const ag::Variable& x, const ag::Variable& h) const;
+
+  // Input-to-gates transform x W_ih + b for any batch of inputs
+  // ([N, input] -> [N, 3*hidden], gate order r|z|n). Time-independent, so a
+  // sweep computes it once for all steps ([T*B, input] rows) and feeds Step
+  // zero-copy row views of the result.
+  ag::Variable PrecomputeInput(const ag::Variable& x) const;
+
+  // One timestep as a single fused tape node: xw = precomputed gate inputs
+  // for this step ([B, 3*hidden]), h = previous hidden ([B, hidden]) ->
+  // next hidden. Runs the recurrent GEMM h W_hh and all gate math in one
+  // kernel pass (tensor GruGates); values are bitwise identical to the
+  // op-by-op composition.
+  ag::Variable Step(const ag::Variable& xw, const ag::Variable& h) const;
 
   int64_t input_size() const { return input_size_; }
   int64_t hidden_size() const { return hidden_size_; }
+
+  const ag::Variable& w_ih() const { return w_ih_; }
+  const ag::Variable& w_hh() const { return w_hh_; }
+  const ag::Variable& bias() const { return bias_; }
 
  private:
   int64_t input_size_;
@@ -37,7 +63,7 @@ class GruCell : public Module {
   ag::Variable bias_;  // [3*hidden]
 };
 
-// Runs a GruCell across the time axis.
+// Runs a GruCell across the time axis (via nn::GruSweep).
 class Gru : public Module {
  public:
   Gru(int64_t input_size, int64_t hidden_size, Rng* rng);

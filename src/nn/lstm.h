@@ -8,6 +8,14 @@
 //   g = tanh  (x W_g + h U_g + b_g)
 //   o = sigmoid(x W_o + h U_o + b_o)
 //   c' = f * c + i * g ;  h' = o * tanh(c')
+//
+// Like GruCell, the cell splits into PrecomputeInput (the hoistable
+// input-to-gates GEMM — here withOUT the bias, which the original
+// composition adds after the recurrent GEMM as (xW + hU) + b, an order the
+// fused step preserves for bitwise identity) and Step. Step carries both
+// recurrent tensors as one packed state [2, B, H] (h in row block 0, c in
+// row block 1) so a whole timestep is a single fused tape node; the h half
+// is exposed as a zero-copy row view.
 
 #ifndef ELDA_NN_LSTM_H_
 #define ELDA_NN_LSTM_H_
@@ -31,10 +39,27 @@ class LstmCell : public Module {
     ag::Variable c;  // [B, hidden]
   };
 
+  // Packs h and c (pure copy) / views them back out (zero-copy).
+  ag::Variable Pack(const State& state) const;
+  State Unpack(const ag::Variable& packed) const;
+
   State Forward(const ag::Variable& x, const State& state) const;
+
+  // Input-to-gates transform x W_ih, no bias ([N, input] -> [N, 4*hidden],
+  // gate order i|f|g|o).
+  ag::Variable PrecomputeInput(const ag::Variable& x) const;
+
+  // One timestep as a single fused tape node: xw [B, 4*hidden], packed
+  // state [2, B, hidden] -> next packed state. Covers the recurrent GEMM,
+  // the bias add, and all gate math (tensor LstmGates).
+  ag::Variable Step(const ag::Variable& xw, const ag::Variable& packed) const;
 
   int64_t input_size() const { return input_size_; }
   int64_t hidden_size() const { return hidden_size_; }
+
+  const ag::Variable& w_ih() const { return w_ih_; }
+  const ag::Variable& w_hh() const { return w_hh_; }
+  const ag::Variable& bias() const { return bias_; }
 
  private:
   int64_t input_size_;

@@ -1,0 +1,82 @@
+// The time-major recurrence engine: one place that owns the time loop for
+// every sequence model in the repo (GRU, LSTM, RETAIN/Dipole's reversed
+// passes, GRU-D's decayed steps, ConCare's per-feature recurrences).
+//
+// A sweep relayouts the input batch-major -> time-major ([B, T, C] ->
+// [T, B, C]), hoists the input-to-gates GEMM over all T steps at once
+// ([T*B, C] x [C, gH] — bitwise identical to T per-step GEMMs under the
+// strict-k MatMul contract, because each output row depends only on its own
+// input row), then walks the steps feeding the cell zero-copy row views of
+// the precomputed block. Each step is a constant, small number of tape
+// nodes (a view + one fused cell op) instead of the ~20 the op-by-op
+// composition recorded.
+//
+// Reversed sweeps iterate t = T-1 .. 0 but still file each state under its
+// chronological index, which is exactly the
+// ReverseTime -> forward sweep -> ReverseTime composition without either
+// copy.
+//
+// Every sweep opens an ELDA_PROF scope (options.label), so ELDA_PROF=1
+// reports per-sweep call counts, wall time, allocation volume, and tape
+// nodes as one row.
+
+#ifndef ELDA_NN_RECURRENT_SWEEP_H_
+#define ELDA_NN_RECURRENT_SWEEP_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/gru.h"
+#include "nn/lstm.h"
+
+namespace elda {
+namespace nn {
+
+struct SweepOptions {
+  // Iterate t = T-1 .. 0. States in SweepResult::steps stay chronological;
+  // last() is the final state the sweep computed (steps.front() when
+  // reversed).
+  bool reversed = false;
+  // ELDA_PROF scope name billed with the whole sweep (forward pass only).
+  const char* label = "RecurrentSweep";
+};
+
+struct SweepResult {
+  // Per-step hidden states [B, H], indexed by chronological time.
+  std::vector<ag::Variable> steps;
+  bool reversed = false;
+
+  // All states stacked batch-major [B, T, H] (one Stack0 + one Transpose01
+  // node; element-for-element identical to the old per-step
+  // Reshape-and-Concat).
+  ag::Variable Stacked() const;
+
+  // The state the sweep computed last: steps.back() forward, steps.front()
+  // reversed.
+  const ag::Variable& last() const;
+};
+
+// Runs `cell` over x [B, T, input] with a zero initial state.
+SweepResult GruSweep(const GruCell& cell, const ag::Variable& x,
+                     const SweepOptions& options = {});
+
+// LSTM sweep; steps are the h halves of the packed per-step state
+// (zero-copy views).
+SweepResult LstmSweep(const LstmCell& cell, const ag::Variable& x,
+                      const SweepOptions& options = {});
+
+// Generic sweep for cells with extra per-step inputs (e.g. GRU-D's decay):
+// `step` maps (chronological index t, previous state) -> next state; the
+// engine owns iteration order, chronological filing, and profiling. The
+// state can be any per-step tensor shape (GRU's [B, H], LSTM's packed
+// [2, B, H]).
+SweepResult Sweep(
+    int64_t num_steps, const ag::Variable& initial_state,
+    const std::function<ag::Variable(int64_t, const ag::Variable&)>& step,
+    const SweepOptions& options = {});
+
+}  // namespace nn
+}  // namespace elda
+
+#endif  // ELDA_NN_RECURRENT_SWEEP_H_

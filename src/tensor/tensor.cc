@@ -125,6 +125,23 @@ Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
   return t;
 }
 
+Tensor Tensor::ViewRows(int64_t start, int64_t len) const {
+  ELDA_CHECK(defined());
+  ELDA_CHECK_GE(dim(), 1);
+  ELDA_CHECK(start >= 0 && len >= 0 && start + len <= shape_[0])
+      << "rows [" << start << "," << start + len << ") of"
+      << ShapeToString(shape_);
+  const int64_t row = size_ / std::max<int64_t>(shape_[0], 1);
+  Tensor t;
+  t.shape_ = shape_;
+  t.shape_[0] = len;
+  t.size_ = len * row;
+  // Aliasing handle: shares the control block (keeps the pooled buffer
+  // alive) but points at the first viewed row.
+  t.data_ = std::shared_ptr<float[]>(data_, data_.get() + start * row);
+  return t;
+}
+
 float& Tensor::at(std::initializer_list<int64_t> idx) {
   return data_.get()[FlatIndex(idx)];
 }

@@ -74,6 +74,16 @@ class Tensor {
   // One dimension may be -1 and is inferred.
   Tensor Reshape(std::vector<int64_t> new_shape) const;
 
+  // Zero-copy view of rows [start, start + len) along axis 0. The view
+  // shares (aliases) this tensor's storage — no allocation, no copy; the
+  // underlying pooled buffer stays alive for as long as any view does.
+  // Because storage is row-major and contiguous, an axis-0 range is itself
+  // contiguous, so the view is an ordinary Tensor; writes through it alias
+  // the parent. This is what makes per-timestep reads in the time-major
+  // recurrence engine allocation-free (see DESIGN.md "Recurrence
+  // execution").
+  Tensor ViewRows(int64_t start, int64_t len) const;
+
   // -- Data ----------------------------------------------------------------
 
   float* data() { return data_.get(); }

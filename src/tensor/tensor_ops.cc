@@ -147,6 +147,21 @@ Tensor BinaryBroadcast(const char* prof_name, const Tensor& a, const Tensor& b,
   return out;
 }
 
+// Scalar activation bodies shared by the elementwise kernels and the fused
+// recurrent gate kernels, so both paths run literally the same float
+// expressions (the fused kernels' bitwise-identity contract relies on it).
+inline float SigmoidScalar(float x) {
+  // Split by sign for numerical stability at large |x|. Both branches share
+  // exp(-|x|) (fabs is exact, so the bits match the sign-split form), which
+  // keeps the data-dependent branch off the exp call: the compiler emits a
+  // select over two cheap expressions instead of two exp paths, and random
+  // gate pre-activations stop paying a misprediction per element.
+  const float z = std::exp(-std::fabs(x));
+  return x >= 0.0f ? 1.0f / (1.0f + z) : z / (1.0f + z);
+}
+
+inline float TanhScalar(float x) { return std::tanh(x); }
+
 template <typename F>
 Tensor UnaryOp(const char* prof_name, const Tensor& a, F f) {
   ELDA_PROF_SCOPE(prof_name);
@@ -540,18 +555,10 @@ Tensor Square(const Tensor& a) {
   return UnaryOp("Square", a, [](float x) { return x * x; });
 }
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp("Sigmoid", a, [](float x) {
-    // Split by sign for numerical stability at large |x|.
-    if (x >= 0.0f) {
-      const float z = std::exp(-x);
-      return 1.0f / (1.0f + z);
-    }
-    const float z = std::exp(x);
-    return z / (1.0f + z);
-  });
+  return UnaryOp("Sigmoid", a, [](float x) { return SigmoidScalar(x); });
 }
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp("Tanh", a, [](float x) { return std::tanh(x); });
+  return UnaryOp("Tanh", a, [](float x) { return TanhScalar(x); });
 }
 Tensor Relu(const Tensor& a) {
   return UnaryOp("Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; });
@@ -761,6 +768,223 @@ Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
     }
   });
   return out;
+}
+
+Tensor Transpose01(const Tensor& a) {
+  ELDA_PROF_SCOPE("Transpose01");
+  ELDA_CHECK_GE(a.dim(), 2);
+  const int64_t d0 = a.shape(0);
+  const int64_t d1 = a.shape(1);
+  const int64_t inner = a.size() / std::max<int64_t>(d0 * d1, 1);
+  std::vector<int64_t> out_shape = a.shape();
+  std::swap(out_shape[0], out_shape[1]);
+  Tensor out = Tensor::Empty(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t grain =
+      std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, inner));
+  // Lane space: output (j, i) pairs; each lane copies one inner run.
+  par::ParallelFor(0, d1 * d0, grain, [&](int64_t l0, int64_t l1) {
+    for (int64_t l = l0; l < l1; ++l) {
+      const int64_t j = l / d0;
+      const int64_t i = l % d0;
+      std::memcpy(po + l * inner, pa + (i * d1 + j) * inner,
+                  static_cast<size_t>(inner) * sizeof(float));
+    }
+  });
+  return out;
+}
+
+Tensor ReverseAxis(const Tensor& a, int64_t axis) {
+  ELDA_PROF_SCOPE("ReverseAxis");
+  axis = NormalizeAxis(axis, a.dim());
+  int64_t outer, n, inner;
+  AxisDecompose(a.shape(), axis, &outer, &n, &inner);
+  Tensor out = Tensor::Empty(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t grain =
+      std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, inner));
+  par::ParallelFor(0, outer * n, grain, [&](int64_t l0, int64_t l1) {
+    for (int64_t l = l0; l < l1; ++l) {
+      const int64_t o = l / n;
+      const int64_t i = l % n;
+      std::memcpy(po + (o * n + i) * inner,
+                  pa + (o * n + (n - 1 - i)) * inner,
+                  static_cast<size_t>(inner) * sizeof(float));
+    }
+  });
+  return out;
+}
+
+Tensor StackRows(const std::vector<Tensor>& parts) {
+  ELDA_PROF_SCOPE("StackRows");
+  ELDA_CHECK(!parts.empty());
+  const std::vector<int64_t>& part_shape = parts[0].shape();
+  const int64_t part_size = parts[0].size();
+  std::vector<int64_t> out_shape;
+  out_shape.reserve(part_shape.size() + 1);
+  out_shape.push_back(static_cast<int64_t>(parts.size()));
+  out_shape.insert(out_shape.end(), part_shape.begin(), part_shape.end());
+  Tensor out = Tensor::Empty(out_shape);
+  float* po = out.data();
+  const int64_t grain =
+      std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, part_size));
+  par::ParallelFor(
+      0, static_cast<int64_t>(parts.size()), grain, [&](int64_t p0, int64_t p1) {
+        for (int64_t p = p0; p < p1; ++p) {
+          ELDA_CHECK(parts[p].shape() == part_shape)
+              << "stack part" << p << ShapeToString(parts[p].shape()) << "vs"
+              << ShapeToString(part_shape);
+          std::memcpy(po + p * part_size, parts[p].data(),
+                      static_cast<size_t>(part_size) * sizeof(float));
+        }
+      });
+  return out;
+}
+
+Tensor GruGates(const Tensor& xw, const Tensor& hu, const Tensor& h,
+                Tensor* r_out, Tensor* z_out, Tensor* n_out) {
+  ELDA_PROF_SCOPE("GruGates");
+  ELDA_CHECK_EQ(xw.dim(), 2);
+  const int64_t batch = xw.shape(0);
+  const int64_t hidden = xw.shape(1) / 3;
+  ELDA_CHECK_EQ(xw.shape(1), 3 * hidden);
+  ELDA_CHECK(hu.shape() == xw.shape());
+  ELDA_CHECK(h.shape() == (std::vector<int64_t>{batch, hidden}));
+  Tensor h_new = Tensor::Empty({batch, hidden});
+  const bool capture = r_out != nullptr;
+  if (capture) {
+    *r_out = Tensor::Empty({batch, hidden});
+    *z_out = Tensor::Empty({batch, hidden});
+    *n_out = Tensor::Empty({batch, hidden});
+  }
+  const float* pxw = xw.data();
+  const float* phu = hu.data();
+  const float* ph = h.data();
+  float* po = h_new.data();
+  float* pr = capture ? r_out->data() : nullptr;
+  float* pz = capture ? z_out->data() : nullptr;
+  float* pn = capture ? n_out->data() : nullptr;
+  // Row-major loops: per-row pointer hoisting and the capture branch lifted
+  // out of the inner loop keep the hot path at three transcendental calls
+  // plus contiguous loads. Same float expressions, in the same order, as
+  // the composed Slice/Add/Sigmoid/Mul/Tanh/Sub kernels.
+  const int64_t row_grain =
+      std::max<int64_t>(1, par::kElementGrain / (3 * hidden));
+  par::ParallelFor(0, batch, row_grain, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const float* xr = pxw + b * 3 * hidden;
+      const float* ur = phu + b * 3 * hidden;
+      const float* hp = ph + b * hidden;
+      float* out = po + b * hidden;
+      if (pr != nullptr) {
+        float* rr = pr + b * hidden;
+        float* zr = pz + b * hidden;
+        float* nr = pn + b * hidden;
+        for (int64_t k = 0; k < hidden; ++k) {
+          const float r = SigmoidScalar(xr[k] + ur[k]);
+          const float z = SigmoidScalar(xr[hidden + k] + ur[hidden + k]);
+          const float n =
+              TanhScalar(xr[2 * hidden + k] + (r * ur[2 * hidden + k]));
+          out[k] = ((1.0f - z) * n) + (z * hp[k]);
+          rr[k] = r;
+          zr[k] = z;
+          nr[k] = n;
+        }
+      } else {
+        for (int64_t k = 0; k < hidden; ++k) {
+          const float r = SigmoidScalar(xr[k] + ur[k]);
+          const float z = SigmoidScalar(xr[hidden + k] + ur[hidden + k]);
+          const float n =
+              TanhScalar(xr[2 * hidden + k] + (r * ur[2 * hidden + k]));
+          out[k] = ((1.0f - z) * n) + (z * hp[k]);
+        }
+      }
+    }
+  });
+  return h_new;
+}
+
+Tensor LstmGates(const Tensor& xw, const Tensor& hu, const Tensor& bias,
+                 const Tensor& c, Tensor* i_out, Tensor* f_out, Tensor* g_out,
+                 Tensor* o_out, Tensor* tc_out) {
+  ELDA_PROF_SCOPE("LstmGates");
+  ELDA_CHECK_EQ(xw.dim(), 2);
+  const int64_t batch = xw.shape(0);
+  const int64_t hidden = xw.shape(1) / 4;
+  ELDA_CHECK_EQ(xw.shape(1), 4 * hidden);
+  ELDA_CHECK(hu.shape() == xw.shape());
+  ELDA_CHECK_EQ(bias.size(), 4 * hidden);
+  ELDA_CHECK(c.shape() == (std::vector<int64_t>{batch, hidden}));
+  Tensor packed = Tensor::Empty({2, batch, hidden});
+  const bool capture = i_out != nullptr;
+  if (capture) {
+    *i_out = Tensor::Empty({batch, hidden});
+    *f_out = Tensor::Empty({batch, hidden});
+    *g_out = Tensor::Empty({batch, hidden});
+    *o_out = Tensor::Empty({batch, hidden});
+    *tc_out = Tensor::Empty({batch, hidden});
+  }
+  const float* pxw = xw.data();
+  const float* phu = hu.data();
+  const float* pb = bias.data();
+  const float* pc = c.data();
+  float* ph_new = packed.data();
+  float* pc_new = packed.data() + batch * hidden;
+  float* pi = capture ? i_out->data() : nullptr;
+  float* pf = capture ? f_out->data() : nullptr;
+  float* pg = capture ? g_out->data() : nullptr;
+  float* po = capture ? o_out->data() : nullptr;
+  float* ptc = capture ? tc_out->data() : nullptr;
+  // Row-major loops with the capture branch lifted out of the inner loop;
+  // gate pre-activations exactly as Add(Add(xw, hu), bias).
+  const int64_t row_grain =
+      std::max<int64_t>(1, par::kElementGrain / (4 * hidden));
+  par::ParallelFor(0, batch, row_grain, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const float* xr = pxw + b * 4 * hidden;
+      const float* ur = phu + b * 4 * hidden;
+      const float* cp = pc + b * hidden;
+      float* hr = ph_new + b * hidden;
+      float* cr = pc_new + b * hidden;
+      if (pi != nullptr) {
+        for (int64_t k = 0; k < hidden; ++k) {
+          const float i = SigmoidScalar((xr[k] + ur[k]) + pb[k]);
+          const float f = SigmoidScalar(
+              (xr[hidden + k] + ur[hidden + k]) + pb[hidden + k]);
+          const float g = TanhScalar(
+              (xr[2 * hidden + k] + ur[2 * hidden + k]) + pb[2 * hidden + k]);
+          const float o = SigmoidScalar(
+              (xr[3 * hidden + k] + ur[3 * hidden + k]) + pb[3 * hidden + k]);
+          const float c_new = (f * cp[k]) + (i * g);
+          const float tc = TanhScalar(c_new);
+          hr[k] = o * tc;
+          cr[k] = c_new;
+          pi[b * hidden + k] = i;
+          pf[b * hidden + k] = f;
+          pg[b * hidden + k] = g;
+          po[b * hidden + k] = o;
+          ptc[b * hidden + k] = tc;
+        }
+      } else {
+        for (int64_t k = 0; k < hidden; ++k) {
+          const float i = SigmoidScalar((xr[k] + ur[k]) + pb[k]);
+          const float f = SigmoidScalar(
+              (xr[hidden + k] + ur[hidden + k]) + pb[hidden + k]);
+          const float g = TanhScalar(
+              (xr[2 * hidden + k] + ur[2 * hidden + k]) + pb[2 * hidden + k]);
+          const float o = SigmoidScalar(
+              (xr[3 * hidden + k] + ur[3 * hidden + k]) + pb[3 * hidden + k]);
+          const float c_new = (f * cp[k]) + (i * g);
+          const float tc = TanhScalar(c_new);
+          hr[k] = o * tc;
+          cr[k] = c_new;
+        }
+      }
+    }
+  });
+  return packed;
 }
 
 float SumAll(const Tensor& a) {

@@ -85,9 +85,45 @@ void GemmReference(const float* a, const float* b, float* c, int64_t m,
 Tensor Transpose(const Tensor& a);
 // Swaps the last two dimensions of a rank >= 2 tensor.
 Tensor TransposeLast2(const Tensor& a);
+// Swaps the first two dimensions of a rank >= 2 tensor: [A, B, rest...] ->
+// [B, A, rest...]. This is the batch-major <-> time-major relayout of the
+// recurrence engine ([B, T, C] <-> [T, B, C]); a pure permutation copy, so
+// every element value is preserved bit-for-bit.
+Tensor Transpose01(const Tensor& a);
+// Reverses the order of entries along `axis` (a pure permutation copy).
+Tensor ReverseAxis(const Tensor& a, int64_t axis);
+// Stacks N same-shaped tensors into [N, shape...]. Unlike Concat it adds a
+// new leading axis, which keeps the result time-major when the parts are
+// per-step states.
+Tensor StackRows(const std::vector<Tensor>& parts);
 Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
 // Slice of length `len` starting at `start` along `axis`.
 Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len);
+
+// -- Fused recurrent gate kernels -------------------------------------------------
+//
+// One pass over the gate pre-activations instead of ~10 elementwise kernel
+// dispatches per timestep. Per element these run exactly the float
+// expressions the composed kernels (Slice + Add + Sigmoid/Tanh + Mul + Sub)
+// would, in the same order, so the fused path is bitwise identical to the
+// op-by-op path for all inputs and thread counts.
+
+// GRU step. xw = x_t*W_ih + b (packed [B, 3H], gate order r|z|n), hu =
+// h_{t-1}*W_hh ([B, 3H]), h = h_{t-1} ([B, H]). Returns h_t. When the
+// capture pointers are non-null the gate activations r, z, n are written
+// out (retained by autograd for the backward pass); pass nullptr in no-grad
+// mode to skip storing them.
+Tensor GruGates(const Tensor& xw, const Tensor& hu, const Tensor& h,
+                Tensor* r_out, Tensor* z_out, Tensor* n_out);
+
+// LSTM step. xw = x_t*W_ih ([B, 4H], gate order i|f|g|o), hu = h_{t-1}*W_hh
+// ([B, 4H]), bias [4H], c = c_{t-1} ([B, H]). Returns the packed next state
+// [2, B, H] with h_t in row block 0 and c_t in row block 1 (time-major
+// packing keeps both exposable as zero-copy ViewRows). Optional captures:
+// gate activations i, f, g, o and tanh(c_t).
+Tensor LstmGates(const Tensor& xw, const Tensor& hu, const Tensor& bias,
+                 const Tensor& c, Tensor* i_out, Tensor* f_out, Tensor* g_out,
+                 Tensor* o_out, Tensor* tc_out);
 
 // -- Reductions --------------------------------------------------------------------
 

@@ -1,0 +1,479 @@
+// The time-major recurrence engine's contract: sweeps are bitwise identical
+// to the per-step op-by-op composition they replaced — for every shape,
+// thread count, grad mode, and sweep direction — while allocating a
+// fraction of the tape. The per-step references below are verbatim
+// re-creations of the pre-sweep GruCell/Lstm forward code, built from the
+// same parameters through the cells' weight accessors.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "baselines/baselines.h"
+#include "baselines/common.h"
+#include "data/pipeline.h"
+#include "gtest/gtest.h"
+#include "nn/recurrent_sweep.h"
+#include "nn/serialize.h"
+#include "par/par.h"
+#include "tensor/tensor_ops.h"
+#include "train/trainer.h"
+
+namespace elda {
+namespace {
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(pa[i], pb[i]) << "element " << i;
+  }
+}
+
+// -- Pre-sweep reference implementations ------------------------------------
+//
+// These reproduce, op for op, the recurrence code the sweep engine replaced:
+// per-step input slices, a per-step input GEMM, gate math composed from
+// Slice/Add/Mul/Sigmoid/Tanh nodes, and Reshape+Concat output assembly.
+
+ag::Variable RefGruStep(const nn::GruCell& cell, const ag::Variable& x,
+                        const ag::Variable& h) {
+  const int64_t hs = cell.hidden_size();
+  ag::Variable xw = ag::Add(ag::MatMul(x, cell.w_ih()), cell.bias());
+  ag::Variable hu = ag::MatMul(h, cell.w_hh());
+  ag::Variable r = ag::Sigmoid(
+      ag::Add(ag::Slice(xw, 1, 0, hs), ag::Slice(hu, 1, 0, hs)));
+  ag::Variable z = ag::Sigmoid(
+      ag::Add(ag::Slice(xw, 1, hs, hs), ag::Slice(hu, 1, hs, hs)));
+  ag::Variable n = ag::Tanh(ag::Add(
+      ag::Slice(xw, 1, 2 * hs, hs), ag::Mul(r, ag::Slice(hu, 1, 2 * hs, hs))));
+  ag::Variable one_minus_z =
+      ag::Sub(ag::Constant(Tensor::Ones(z.value().shape())), z);
+  return ag::Add(ag::Mul(one_minus_z, n), ag::Mul(z, h));
+}
+
+std::vector<ag::Variable> RefGruSteps(const nn::GruCell& cell,
+                                      const ag::Variable& x) {
+  const int64_t batch = x.value().shape(0);
+  const int64_t steps = x.value().shape(1);
+  const int64_t input = x.value().shape(2);
+  ag::Variable h = ag::Constant(Tensor::Zeros({batch, cell.hidden_size()}));
+  std::vector<ag::Variable> outputs;
+  outputs.reserve(steps);
+  for (int64_t t = 0; t < steps; ++t) {
+    ag::Variable xt = ag::Reshape(ag::Slice(x, 1, t, 1), {batch, input});
+    h = RefGruStep(cell, xt, h);
+    outputs.push_back(h);
+  }
+  return outputs;
+}
+
+ag::Variable RefGruForward(const nn::GruCell& cell, const ag::Variable& x) {
+  std::vector<ag::Variable> steps = RefGruSteps(cell, x);
+  const int64_t batch = x.value().shape(0);
+  std::vector<ag::Variable> expanded;
+  expanded.reserve(steps.size());
+  for (const ag::Variable& h : steps) {
+    expanded.push_back(ag::Reshape(h, {batch, 1, cell.hidden_size()}));
+  }
+  return ag::Concat(expanded, 1);
+}
+
+ag::Variable RefLstmForward(const nn::LstmCell& cell, const ag::Variable& x) {
+  const int64_t batch = x.value().shape(0);
+  const int64_t steps = x.value().shape(1);
+  const int64_t input = x.value().shape(2);
+  const int64_t hs = cell.hidden_size();
+  ag::Variable h = ag::Constant(Tensor::Zeros({batch, hs}));
+  ag::Variable c = ag::Constant(Tensor::Zeros({batch, hs}));
+  std::vector<ag::Variable> outputs;
+  outputs.reserve(steps);
+  for (int64_t t = 0; t < steps; ++t) {
+    ag::Variable xt = ag::Reshape(ag::Slice(x, 1, t, 1), {batch, input});
+    ag::Variable gates = ag::Add(
+        ag::Add(ag::MatMul(xt, cell.w_ih()), ag::MatMul(h, cell.w_hh())),
+        cell.bias());
+    ag::Variable i = ag::Sigmoid(ag::Slice(gates, 1, 0, hs));
+    ag::Variable f = ag::Sigmoid(ag::Slice(gates, 1, hs, hs));
+    ag::Variable g = ag::Tanh(ag::Slice(gates, 1, 2 * hs, hs));
+    ag::Variable o = ag::Sigmoid(ag::Slice(gates, 1, 3 * hs, hs));
+    c = ag::Add(ag::Mul(f, c), ag::Mul(i, g));
+    h = ag::Mul(o, ag::Tanh(c));
+    outputs.push_back(ag::Reshape(h, {batch, 1, hs}));
+  }
+  return ag::Concat(outputs, 1);
+}
+
+// The old ReverseTime: T length-1 slices concatenated in reverse order.
+ag::Variable RefReverseTime(const ag::Variable& x) {
+  const int64_t steps = x.value().shape(1);
+  std::vector<ag::Variable> slices;
+  slices.reserve(steps);
+  for (int64_t t = steps - 1; t >= 0; --t) {
+    slices.push_back(ag::Slice(x, 1, t, 1));
+  }
+  return ag::Concat(slices, 1);
+}
+
+struct Shape3 {
+  int64_t batch, steps, input, hidden;
+};
+
+const Shape3 kShapes[] = {
+    {1, 1, 1, 1}, {2, 6, 3, 4}, {3, 7, 5, 5}, {8, 12, 2, 6}};
+
+// -- Bitwise sweep-vs-reference equivalence ----------------------------------
+
+TEST(RecurrenceTest, GruSweepBitwiseMatchesPerStepReference) {
+  for (const Shape3& s : kShapes) {
+    SCOPED_TRACE(::testing::Message() << "B=" << s.batch << " T=" << s.steps
+                                      << " C=" << s.input << " H=" << s.hidden);
+    Rng rng(11);
+    nn::GruCell cell(s.input, s.hidden, &rng);
+    nn::Gru gru(s.input, s.hidden, &rng);
+    Rng data_rng(12);
+    ag::Variable x = ag::Constant(
+        Tensor::Normal({s.batch, s.steps, s.input}, 0.0f, 1.0f, &data_rng));
+    const Tensor reference = RefGruForward(cell, x).value().Clone();
+    const std::vector<ag::Variable> ref_steps = RefGruSteps(cell, x);
+    for (int64_t threads : {1, 2, 8}) {
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+      par::ScopedNumThreads scoped(threads);
+      // Taped sweep.
+      nn::SweepResult sweep = nn::GruSweep(cell, x);
+      ExpectBitwiseEqual(sweep.Stacked().value(), reference);
+      ASSERT_EQ(sweep.steps.size(), ref_steps.size());
+      for (size_t t = 0; t < ref_steps.size(); ++t) {
+        ExpectBitwiseEqual(sweep.steps[t].value(), ref_steps[t].value());
+      }
+      // Graph-free sweep: same values, zero tape.
+      {
+        ag::NoGradScope no_grad;
+        const int64_t before = ag::TapeNodesAllocated();
+        ExpectBitwiseEqual(nn::GruSweep(cell, x).Stacked().value(),
+                           reference);
+        EXPECT_EQ(ag::TapeNodesAllocated(), before);
+      }
+    }
+  }
+}
+
+TEST(RecurrenceTest, LstmSweepBitwiseMatchesPerStepReference) {
+  for (const Shape3& s : kShapes) {
+    SCOPED_TRACE(::testing::Message() << "B=" << s.batch << " T=" << s.steps
+                                      << " C=" << s.input << " H=" << s.hidden);
+    Rng rng(21);
+    nn::LstmCell cell(s.input, s.hidden, &rng);
+    Rng data_rng(22);
+    ag::Variable x = ag::Constant(
+        Tensor::Normal({s.batch, s.steps, s.input}, 0.0f, 1.0f, &data_rng));
+    const Tensor reference = RefLstmForward(cell, x).value().Clone();
+    for (int64_t threads : {1, 2, 8}) {
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+      par::ScopedNumThreads scoped(threads);
+      ExpectBitwiseEqual(nn::LstmSweep(cell, x).Stacked().value(), reference);
+      {
+        ag::NoGradScope no_grad;
+        const int64_t before = ag::TapeNodesAllocated();
+        ExpectBitwiseEqual(nn::LstmSweep(cell, x).Stacked().value(),
+                           reference);
+        EXPECT_EQ(ag::TapeNodesAllocated(), before);
+      }
+    }
+  }
+}
+
+TEST(RecurrenceTest, ReversedSweepMatchesReverseTimeComposition) {
+  // A reversed sweep must equal the old ReverseTime -> forward recurrence ->
+  // ReverseTime sandwich, without either copy.
+  Rng rng(31);
+  nn::GruCell cell(3, 5, &rng);
+  Rng data_rng(32);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({4, 9, 3}, 0.0f, 1.0f, &data_rng));
+  const Tensor reference =
+      RefReverseTime(RefGruForward(cell, RefReverseTime(x))).value().Clone();
+  nn::SweepOptions reversed;
+  reversed.reversed = true;
+  nn::SweepResult sweep = nn::GruSweep(cell, x, reversed);
+  ExpectBitwiseEqual(sweep.Stacked().value(), reference);
+  // last() is the state computed last: chronological index 0 when reversed.
+  ExpectBitwiseEqual(sweep.last().value(), sweep.steps.front().value());
+  // ReverseTime itself is now one ReverseAxis node with the same values.
+  ExpectBitwiseEqual(baselines::ReverseTime(x).value(),
+                     RefReverseTime(x).value());
+}
+
+// -- Gradients through the fused path ----------------------------------------
+
+TEST(RecurrenceTest, ReversedSweepGradCheck) {
+  Rng rng(41);
+  nn::GruCell cell(2, 3, &rng);
+  Rng data_rng(42);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({2, 4, 2}, 0.0f, 1.0f, &data_rng));
+  nn::SweepOptions reversed;
+  reversed.reversed = true;
+  std::string error;
+  ag::GradCheckOptions options;
+  options.max_elements_per_param = 24;
+  EXPECT_TRUE(ag::CheckGradients(
+      [&] {
+        return ag::SumAll(
+            ag::Square(nn::GruSweep(cell, x, reversed).Stacked()));
+      },
+      cell.Parameters(), options, &error))
+      << error;
+}
+
+TEST(RecurrenceTest, GenericSweepWithPerStepStateEditGradCheck) {
+  // The GRU-D pattern: a generic sweep whose step decays the carried state
+  // before the fused cell step, with the decay factors read through
+  // RowsView from a hoisted time-major block.
+  Rng rng(51);
+  nn::GruCell cell(2, 3, &rng);
+  Rng data_rng(52);
+  const int64_t batch = 2, steps = 4;
+  ag::Variable x = ag::Constant(
+      Tensor::Normal({batch, steps, 2}, 0.0f, 1.0f, &data_rng));
+  ag::Variable decay(
+      Tensor::Normal({batch, steps, 3}, 0.0f, 0.5f, &data_rng),
+      /*requires_grad=*/true);
+  std::vector<ag::Variable> checked = cell.Parameters();
+  checked.push_back(decay);
+  std::string error;
+  ag::GradCheckOptions options;
+  options.max_elements_per_param = 24;
+  EXPECT_TRUE(ag::CheckGradients(
+      [&] {
+        ag::Variable xw = cell.PrecomputeInput(
+            ag::Reshape(ag::Transpose01(x), {steps * batch, 2}));
+        ag::Variable gamma = ag::Sigmoid(ag::Reshape(
+            ag::Transpose01(decay), {steps * batch, 3}));
+        ag::Variable h0 = ag::Constant(Tensor::Zeros({batch, 3}));
+        nn::SweepResult sweep = nn::Sweep(
+            steps, h0,
+            [&](int64_t t, const ag::Variable& h) {
+              ag::Variable decayed = ag::Mul(
+                  ag::RowsView(gamma, t * batch, batch), h);
+              return cell.Step(ag::RowsView(xw, t * batch, batch), decayed);
+            });
+        return ag::SumAll(ag::Square(sweep.Stacked()));
+      },
+      checked, options, &error))
+      << error;
+}
+
+TEST(RecurrenceTest, ViewAndPermutationOpsGradCheck) {
+  Rng rng(61);
+  ag::Variable a(Tensor::Normal({4, 3, 2}, 0.0f, 1.0f, &rng),
+                 /*requires_grad=*/true);
+  ag::Variable b(Tensor::Normal({2, 5}, 0.0f, 1.0f, &rng),
+                 /*requires_grad=*/true);
+  std::string error;
+  struct Case {
+    const char* name;
+    std::function<ag::Variable()> f;
+  };
+  const Case cases[] = {
+      {"Transpose01",
+       [&] { return ag::SumAll(ag::Square(ag::Transpose01(a))); }},
+      {"ReverseAxis",
+       [&] { return ag::SumAll(ag::Square(ag::ReverseAxis(a, 1))); }},
+      {"RowsView",
+       // Two overlapping-free views so the range accumulation covers
+       // disjoint blocks plus an untouched remainder.
+       [&] {
+         return ag::Add(
+             ag::SumAll(ag::Square(ag::RowsView(a, 0, 2))),
+             ag::SumAll(ag::Square(ag::RowsView(a, 3, 1))));
+       }},
+      {"StepView",
+       [&] {
+         return ag::Add(ag::SumAll(ag::Square(ag::StepView(a, 1))),
+                        ag::SumAll(ag::Square(ag::StepView(a, 1))));
+       }},
+      {"Stack0", [&] {
+         return ag::SumAll(
+             ag::Square(ag::Stack0({b, ag::MulScalar(b, 2.0f), b})));
+       }}};
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    EXPECT_TRUE(ag::CheckGradients(c.f, {a, b}, {}, &error)) << error;
+  }
+}
+
+// -- Whole-registry invariance ------------------------------------------------
+
+std::vector<data::PreparedSample> RandomSamples(int64_t n, int64_t steps,
+                                                int64_t features,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<data::PreparedSample> prepared;
+  prepared.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    data::PreparedSample p;
+    p.x = Tensor::Normal({steps, features}, 0.0f, 1.0f, &rng);
+    p.mask = Tensor({steps, features});
+    for (int64_t j = 0; j < p.mask.size(); ++j) {
+      p.mask[j] = rng.Bernoulli(0.6) ? 1.0f : 0.0f;
+    }
+    p.delta = Tensor({steps, features});
+    for (int64_t j = 0; j < p.delta.size(); ++j) {
+      p.delta[j] = static_cast<float>(rng.Uniform() * 3.0);
+    }
+    p.mortality_label = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+    p.los_gt7_label = p.mortality_label;
+    prepared.push_back(std::move(p));
+  }
+  return prepared;
+}
+
+std::vector<std::string> AllRegistryNames() {
+  std::vector<std::string> names = baselines::AllModelNames();
+  names.push_back("ELDA-Net-Fbi*");
+  names.push_back("ELDA-Net-Ffm*");
+  return names;
+}
+
+TEST(RecurrenceTest, RegistryForwardBitwiseAcrossThreadsAndGradModes) {
+  const int64_t features = 5;
+  const auto prepared = RandomSamples(8, 6, features, 71);
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < 8; ++i) indices.push_back(i);
+  const data::Batch batch =
+      data::MakeBatch(prepared, indices, data::Task::kMortality);
+
+  for (const std::string& name : AllRegistryNames()) {
+    SCOPED_TRACE(name);
+    auto model = baselines::MakeModel(name, features, /*seed=*/7);
+    const Tensor reference = model->Forward(batch, nullptr).value().Clone();
+    for (int64_t threads : {1, 2, 8}) {
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+      par::ScopedNumThreads scoped(threads);
+      ExpectBitwiseEqual(model->Forward(batch, nullptr).value(), reference);
+      ag::NoGradScope no_grad;
+      ExpectBitwiseEqual(model->Forward(batch, nullptr).value(), reference);
+    }
+  }
+}
+
+TEST(RecurrenceTest, TrainingIsBitwiseIdenticalAcrossThreadCounts) {
+  // Two short training runs from the same seed must produce byte-identical
+  // parameters at different thread counts: backward through the fused steps
+  // is as deterministic as forward.
+  const auto prepared = RandomSamples(48, 6, 4, 81);
+  data::SplitIndices split;
+  for (int64_t i = 0; i < 40; ++i) split.train.push_back(i);
+  for (int64_t i = 40; i < 44; ++i) split.val.push_back(i);
+  for (int64_t i = 44; i < 48; ++i) split.test.push_back(i);
+  train::TrainerConfig config;
+  config.max_epochs = 2;
+  config.batch_size = 16;
+  config.learning_rate = 0.01f;
+
+  std::string params_1thread;
+  {
+    par::ScopedNumThreads scoped(1);
+    auto model = baselines::MakeModel("GRU", 4, /*seed=*/3);
+    train::Trainer(config).Train(model.get(), prepared, split,
+                                 data::Task::kMortality);
+    params_1thread = nn::EncodeParameters(*model);
+  }
+  {
+    par::ScopedNumThreads scoped(4);
+    auto model = baselines::MakeModel("GRU", 4, /*seed=*/3);
+    train::Trainer(config).Train(model.get(), prepared, split,
+                                 data::Task::kMortality);
+    EXPECT_EQ(nn::EncodeParameters(*model), params_1thread);
+  }
+}
+
+// -- Tape budgets --------------------------------------------------------------
+
+TEST(RecurrenceTest, SweepTapeIsAtLeastHalvedVersusPerStepComposition) {
+  Rng rng(91);
+  nn::GruCell gru_cell(5, 8, &rng);
+  nn::LstmCell lstm_cell(5, 8, &rng);
+  Rng data_rng(92);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({4, 12, 5}, 0.0f, 1.0f, &data_rng));
+
+  int64_t before = ag::TapeNodesAllocated();
+  { ag::Variable keep = RefGruForward(gru_cell, x); }
+  const int64_t gru_reference = ag::TapeNodesAllocated() - before;
+
+  before = ag::TapeNodesAllocated();
+  { ag::Variable keep = nn::GruSweep(gru_cell, x).Stacked(); }
+  const int64_t gru_sweep = ag::TapeNodesAllocated() - before;
+
+  before = ag::TapeNodesAllocated();
+  { ag::Variable keep = RefLstmForward(lstm_cell, x); }
+  const int64_t lstm_reference = ag::TapeNodesAllocated() - before;
+
+  before = ag::TapeNodesAllocated();
+  { ag::Variable keep = nn::LstmSweep(lstm_cell, x).Stacked(); }
+  const int64_t lstm_sweep = ag::TapeNodesAllocated() - before;
+
+  // The acceptance bar is a 2x reduction; the fused steps actually land far
+  // below half (2 nodes per GRU step against ~22).
+  EXPECT_LE(gru_sweep * 2, gru_reference)
+      << "sweep " << gru_sweep << " vs reference " << gru_reference;
+  EXPECT_LE(lstm_sweep * 2, lstm_reference)
+      << "sweep " << lstm_sweep << " vs reference " << lstm_reference;
+}
+
+TEST(RecurrenceTest, PerModelTapeBudgetsHold) {
+  // Pinned ceilings on tape nodes per taped forward (B=8, T=6, C=5). These
+  // are regression tripwires: a change that quietly reintroduces per-step
+  // graph building blows the budget immediately. Measured values sit
+  // 10-25% below each pin.
+  const struct {
+    const char* name;
+    int64_t budget;
+  } kBudgets[] = {
+      {"LR", 4},             {"FM", 17},
+      {"AFM", 29},           {"SAnD", 110},
+      {"GRU", 22},           {"RETAIN", 65},
+      {"Dipole-l", 62},      {"Dipole-g", 64},
+      {"Dipole-c", 68},      {"StageNet", 55},
+      {"GRU-D", 60},         {"ConCare", 115},
+      {"ELDA-Net-T", 38},    {"ELDA-Net-Fbi", 50},
+      {"ELDA-Net-Ffm", 44},  {"ELDA-Net", 65},
+      {"ELDA-Net-Fbi*", 52}, {"ELDA-Net-Ffm*", 46},
+  };
+  const int64_t features = 5;
+  const auto prepared = RandomSamples(8, 6, features, 93);
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < 8; ++i) indices.push_back(i);
+  const data::Batch batch =
+      data::MakeBatch(prepared, indices, data::Task::kMortality);
+  std::vector<std::string> covered;
+  for (const auto& entry : kBudgets) {
+    SCOPED_TRACE(entry.name);
+    auto model = baselines::MakeModel(entry.name, features, /*seed=*/7);
+    const int64_t before = ag::TapeNodesAllocated();
+    { ag::Variable keep = model->Forward(batch, nullptr); }
+    const int64_t used = ag::TapeNodesAllocated() - before;
+    std::printf("[tape] %-14s %4lld nodes (budget %lld)\n", entry.name,
+                static_cast<long long>(used),
+                static_cast<long long>(entry.budget));
+    EXPECT_LE(used, entry.budget) << "tape nodes per forward: " << used;
+    EXPECT_GT(used, 0);
+    covered.push_back(entry.name);
+  }
+  // Every registry model carries a pinned budget.
+  for (const std::string& name : AllRegistryNames()) {
+    EXPECT_NE(std::find(covered.begin(), covered.end(), name), covered.end())
+        << "no tape budget pinned for " << name;
+  }
+}
+
+}  // namespace
+}  // namespace elda
