@@ -16,6 +16,7 @@
 #include "par/par.h"
 #include "synth/simulator.h"
 #include "train/trainer.h"
+#include "util/argparse.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -60,6 +61,76 @@ inline Flags ParseBenchFlags(int argc, char** argv,
   if (threads > 0) par::SetNumThreads(threads);
   scale->trainer.num_threads = threads;
   return flags;
+}
+
+// ArgParser-based successor to ParseBenchFlags. Binaries register the
+// common scale flags on their own parser (so binary-specific flags share
+// the same --help page), Parse, then resolve the sentinel defaults:
+//
+//   bench::BenchFlagValues values;
+//   util::ArgParser parser("bench_x", "...");
+//   bench::RegisterBenchFlags(&parser, &values);
+//   parser.Int("batches", &batches, "...");   // binary-specific
+//   parser.Parse(argc, argv);
+//   bench::BenchScale scale;
+//   bench::ResolveBenchScale(values, &scale, /*default_admissions=*/256);
+struct BenchFlagValues {
+  bool full = false;
+  int64_t admissions = -1;  // -1: derived from --full / per-binary default
+  int64_t epochs = -1;      // -1: derived from --full / per-binary default
+  int64_t runs = 1;
+  int64_t batch_size = 64;
+  double lr = 1e-3;
+  bool verbose = false;
+  int64_t threads = 0;  // 0: ELDA_THREADS / hardware default
+};
+
+inline void RegisterBenchFlags(util::ArgParser* parser,
+                               BenchFlagValues* values) {
+  parser->Bool("full", &values->full,
+               "paper-scale cohorts and epoch budgets");
+  parser->Int("admissions", &values->admissions,
+              "cohort admissions (-1: scale default)");
+  parser->Int("epochs", &values->epochs,
+              "training epochs (-1: scale default)");
+  parser->Int("runs", &values->runs, "independent runs to average");
+  parser->Int("batch-size", &values->batch_size, "training batch size");
+  parser->Double("lr", &values->lr, "learning rate");
+  parser->Bool("verbose", &values->verbose, "per-epoch progress");
+  parser->Int("threads", &values->threads,
+              "thread-pool size (0: environment default)");
+}
+
+inline void ResolveBenchScale(const BenchFlagValues& values, BenchScale* scale,
+                              int64_t default_admissions = 500,
+                              int64_t default_epochs = 8) {
+  scale->physionet_admissions =
+      values.admissions >= 0 ? values.admissions
+                             : (values.full ? 12000 : default_admissions);
+  scale->mimic_admissions =
+      values.admissions >= 0 ? values.admissions
+                             : (values.full ? 21139 : default_admissions);
+  scale->trainer.max_epochs =
+      values.epochs >= 0 ? values.epochs
+                         : (values.full ? 30 : default_epochs);
+  scale->trainer.patience = values.full ? 5 : 3;
+  scale->trainer.batch_size = values.batch_size;
+  scale->trainer.learning_rate = static_cast<float>(values.lr);
+  scale->trainer.verbose = values.verbose;
+  scale->runs = values.runs;
+  if (values.threads > 0) par::SetNumThreads(values.threads);
+  scale->trainer.num_threads = values.threads;
+}
+
+// Short git revision baked in at configure time; "unknown" outside a git
+// checkout. Emitted by every --json_out writer so result files are
+// attributable to a commit.
+inline const char* GitRev() {
+#ifdef ELDA_GIT_REV
+  return ELDA_GIT_REV;
+#else
+  return "unknown";
+#endif
 }
 
 inline synth::CohortConfig ScaledPhysioNet(const BenchScale& scale) {

@@ -371,7 +371,19 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
   bool WriteJson(const std::string& path) const {
     std::ofstream out(path);
     if (!out) return false;
-    out << "{\n  \"schema\": \"elda-bench-micro-v1\",\n  \"results\": [\n";
+    // Top-level keys (schema/threads/git_rev/benchmarks) are shared with
+    // the table benchmark binaries' --json_out so result files aggregate
+    // uniformly. The top-level `threads` is the pool default for the run;
+    // per-record `threads` is the benchmark's own scaling argument.
+    out << "{\n  \"schema\": \"elda-bench-micro-v2\",\n"
+        << "  \"threads\": " << par::NumThreads() << ",\n"
+        << "  \"git_rev\": \""
+#ifdef ELDA_GIT_REV
+        << ELDA_GIT_REV
+#else
+        << "unknown"
+#endif
+        << "\",\n  \"benchmarks\": [\n";
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       out << "    {\"name\": \"" << r.name << "\", \"op\": \"" << r.op

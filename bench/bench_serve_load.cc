@@ -1,0 +1,261 @@
+// Load generator for elda::serve — the streaming inference service.
+//
+// Two phases:
+//
+//  1. Load: admits --sessions resident patients (default 100k, scales to
+//     1M), then --clients threads stream --rounds observations per patient
+//     through ObserveAsync with a bounded pipeline of in-flight requests,
+//     so concurrent singles coalesce in the micro-batcher. Reports p50/p99
+//     per-observation latency (submit -> future resolved) and sustained
+//     observations/second, plus the realised mean micro-batch size.
+//
+//  2. T-sweep: one patient observed --t-sweep times through the sync
+//     (inline, no linger) service, per-observation latency bucketed by
+//     history length. For models with an incremental StepForward the
+//     buckets stay flat — cost is O(1) in T; window-replay fallback models
+//     grow until the rolling window caps the replay at --window steps.
+//
+// The service sees an untrained registry model: serving cost does not
+// depend on the weights, only on the architecture's step path.
+//
+// Flags: --model (registry name), --sessions, --rounds, --clients,
+// --depth (per-client in-flight pipeline), --batch (micro-batch cap),
+// --window (rolling-window capacity), --delay-us (batcher linger),
+// --threads (kernel threads inside the scoring step), --t-sweep (0 skips),
+// --json_out PATH.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "bench/bench_common.h"
+#include "serve/service.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace elda {
+namespace {
+
+constexpr int64_t kNumFeatures = 37;  // PhysioNet-2012 channel count
+
+serve::Observation MakeObservation(Rng* rng) {
+  serve::Observation obs;
+  obs.x.resize(kNumFeatures);
+  obs.mask.resize(kNumFeatures);
+  obs.delta.resize(kNumFeatures);
+  for (int64_t c = 0; c < kNumFeatures; ++c) {
+    const bool seen = rng->Bernoulli(0.3);
+    obs.x[c] = static_cast<float>(rng->Normal());
+    obs.mask[c] = seen ? 1.0f : 0.0f;
+    obs.delta[c] = seen ? 0.0f : 1.0f;
+  }
+  return obs;
+}
+
+double PercentileUs(const std::vector<double>& sorted_us, double pct) {
+  if (sorted_us.empty()) return 0.0;
+  const int64_t n = static_cast<int64_t>(sorted_us.size());
+  int64_t idx = static_cast<int64_t>(pct / 100.0 * static_cast<double>(n));
+  if (idx >= n) idx = n - 1;
+  return sorted_us[idx];
+}
+
+}  // namespace
+}  // namespace elda
+
+int main(int argc, char** argv) {
+  using namespace elda;
+  using Clock = std::chrono::steady_clock;
+
+  std::string model_name = "GRU";
+  int64_t sessions = 100000;
+  int64_t rounds = 3;
+  int64_t clients = 4;
+  int64_t depth = 64;
+  int64_t batch = 64;
+  int64_t window = 32;
+  int64_t delay_us = 200;
+  int64_t threads = 1;
+  int64_t t_sweep = 256;
+  std::string json_path = "BENCH_serve.json";
+  util::ArgParser parser("bench_serve_load",
+                         "Streaming inference load generator: latency and "
+                         "throughput with resident per-patient state.");
+  parser.String("model", &model_name, "registry model to serve")
+      .Int("sessions", &sessions, "resident patients to admit")
+      .Int("rounds", &rounds, "observations streamed per patient")
+      .Int("clients", &clients, "client threads submitting observations")
+      .Int("depth", &depth, "per-client in-flight request pipeline")
+      .Int("batch", &batch, "micro-batch coalescing cap")
+      .Int("window", &window, "rolling-window capacity per session")
+      .Int("delay-us", &delay_us, "micro-batcher linger before partial batch")
+      .Int("threads", &threads, "kernel threads inside the scoring step")
+      .Int("t-sweep", &t_sweep,
+           "history length for the latency-vs-T table (0: skip)")
+      .String("json_out", &json_path, "machine-readable results path");
+  parser.Parse(argc, argv);
+
+  auto model = baselines::MakeModel(model_name, kNumFeatures, /*seed=*/3);
+  bench::PrintHeader(
+      "serve load: " + model_name,
+      model->has_incremental_step()
+          ? "incremental StepForward (O(1) per observation)"
+          : "window-replay fallback (O(window) per observation)");
+
+  // ---- Phase 1: resident-session load -----------------------------------
+  serve::ServeConfig config;
+  config.infer.batch_size = batch;
+  config.infer.num_threads = threads;
+  config.window_capacity = window;
+  config.max_sessions = sessions + 1;
+  config.max_delay_us = delay_us;
+  config.async = true;
+  serve::InferenceService service(model.get(), config);
+
+  std::vector<serve::SessionId> ids;
+  ids.reserve(static_cast<size_t>(sessions));
+  Stopwatch admit_watch;
+  for (int64_t i = 0; i < sessions; ++i) {
+    ids.push_back(service.Admit());
+  }
+  std::cout << "admitted " << sessions << " sessions in "
+            << TablePrinter::Num(admit_watch.Seconds(), 2) << " s\n";
+
+  const int64_t total_obs = sessions * rounds;
+  std::vector<std::vector<double>> client_latencies(
+      static_cast<size_t>(clients));
+  Stopwatch load_watch;
+  {
+    std::vector<std::thread> workers;
+    for (int64_t w = 0; w < clients; ++w) {
+      workers.emplace_back([&, w] {
+        Rng rng(static_cast<uint64_t>(w) * 7919 + 1);
+        std::vector<double>& latencies = client_latencies[static_cast<size_t>(w)];
+        latencies.reserve(static_cast<size_t>(total_obs / clients + 1));
+        std::vector<std::pair<Clock::time_point, std::future<serve::StepResult>>>
+            inflight;
+        auto harvest_one = [&] {
+          auto& [t0, fut] = inflight.front();
+          fut.wait();
+          latencies.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                  .count());
+          inflight.erase(inflight.begin());
+        };
+        for (int64_t r = 0; r < rounds; ++r) {
+          // Shard sessions across clients round-robin; each session is only
+          // ever touched by one client, so per-session FIFO order holds.
+          for (int64_t i = w; i < sessions; i += clients) {
+            if (static_cast<int64_t>(inflight.size()) >= depth) harvest_one();
+            inflight.emplace_back(Clock::now(),
+                                  service.ObserveAsync(ids[static_cast<size_t>(i)],
+                                                       MakeObservation(&rng)));
+          }
+        }
+        while (!inflight.empty()) harvest_one();
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  const double load_s = load_watch.Seconds();
+
+  std::vector<double> all_us;
+  all_us.reserve(static_cast<size_t>(total_obs));
+  for (const auto& v : client_latencies) {
+    all_us.insert(all_us.end(), v.begin(), v.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+  const double p50 = PercentileUs(all_us, 50.0);
+  const double p99 = PercentileUs(all_us, 99.0);
+  const double obs_per_sec = static_cast<double>(total_obs) / load_s;
+  const serve::MicroBatcher::Stats stats = service.batcher_stats();
+
+  TablePrinter load_table({"sessions", "observations", "clients", "p50 us",
+                           "p99 us", "obs/sec", "mean batch"});
+  load_table.AddRow({std::to_string(sessions), std::to_string(total_obs),
+                     std::to_string(clients), TablePrinter::Num(p50, 1),
+                     TablePrinter::Num(p99, 1),
+                     TablePrinter::Num(obs_per_sec, 0),
+                     TablePrinter::Num(stats.mean_batch_size, 1)});
+  std::cout << load_table.ToString();
+
+  // ---- Phase 2: latency vs history length -------------------------------
+  std::vector<double> bucket_mean_us;
+  int64_t bucket_width = 0;
+  if (t_sweep > 0) {
+    serve::ServeConfig sweep_config = config;
+    sweep_config.max_sessions = 2;
+    sweep_config.async = false;  // inline scoring: no linger in the numbers
+    serve::InferenceService sweep(model.get(), sweep_config);
+    const serve::SessionId pid = sweep.Admit("t-sweep");
+    Rng rng(42);
+    constexpr int64_t kBuckets = 8;
+    bucket_width = (t_sweep + kBuckets - 1) / kBuckets;
+    std::vector<double> sums(kBuckets, 0.0);
+    std::vector<int64_t> counts(kBuckets, 0);
+    for (int64_t t = 0; t < t_sweep; ++t) {
+      const auto t0 = Clock::now();
+      sweep.Observe(pid, MakeObservation(&rng));
+      const double us =
+          std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+      const int64_t b = t / bucket_width;
+      sums[static_cast<size_t>(b)] += us;
+      ++counts[static_cast<size_t>(b)];
+    }
+    std::cout << "\nper-observation latency vs history length T (window "
+              << window << "):\n";
+    std::vector<std::string> header, row;
+    for (int64_t b = 0; b < kBuckets; ++b) {
+      if (counts[static_cast<size_t>(b)] == 0) continue;
+      const double mean =
+          sums[static_cast<size_t>(b)] / counts[static_cast<size_t>(b)];
+      bucket_mean_us.push_back(mean);
+      header.push_back("T<" + std::to_string((b + 1) * bucket_width) + " us");
+      row.push_back(TablePrinter::Num(mean, 1));
+    }
+    TablePrinter sweep_table(header);
+    sweep_table.AddRow(row);
+    std::cout << sweep_table.ToString();
+  }
+
+  // ---- JSON (top-level keys shared with the other --json_out writers) ---
+  {
+    std::ofstream out(json_path);
+    if (out) {
+      out << "{\n  \"schema\": \"elda-bench-serve-v1\",\n"
+          << "  \"threads\": " << threads << ",\n"
+          << "  \"git_rev\": \"" << bench::GitRev() << "\",\n"
+          << "  \"benchmarks\": [\n"
+          << "    {\"name\": \"load\", \"model\": \"" << model_name
+          << "\", \"incremental\": "
+          << (model->has_incremental_step() ? "true" : "false")
+          << ", \"sessions\": " << sessions
+          << ", \"observations\": " << total_obs
+          << ", \"clients\": " << clients << ", \"p50_us\": " << p50
+          << ", \"p99_us\": " << p99 << ", \"obs_per_sec\": " << obs_per_sec
+          << ", \"mean_batch\": " << stats.mean_batch_size << "}";
+      if (!bucket_mean_us.empty()) {
+        out << ",\n    {\"name\": \"t_sweep\", \"model\": \"" << model_name
+            << "\", \"bucket_width\": " << bucket_width
+            << ", \"bucket_mean_us\": [";
+        for (size_t i = 0; i < bucket_mean_us.size(); ++i) {
+          if (i) out << ", ";
+          out << bucket_mean_us[i];
+        }
+        out << "]}";
+      }
+      out << "\n  ]\n}\n";
+      std::cout << "wrote " << json_path << "\n";
+    } else {
+      std::cerr << "failed to write " << json_path << "\n";
+    }
+  }
+  return 0;
+}

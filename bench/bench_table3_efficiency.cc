@@ -71,14 +71,20 @@ const PaperRow& PaperFor(const std::string& name) {
 
 int main(int argc, char** argv) {
   using namespace elda;
+  bench::BenchFlagValues values;
+  int64_t timing_batches = 5;
+  std::string json_path = "BENCH_table3.json";
+  util::ArgParser parser("bench_table3_efficiency",
+                         "Table III: parameters, training throughput and "
+                         "inference latency per model.");
+  bench::RegisterBenchFlags(&parser, &values);
+  parser.Int("batches", &timing_batches, "timing batches per model")
+      .String("json_out", &json_path, "machine-readable results path");
+  parser.Parse(argc, argv);
   bench::BenchScale scale;
-  Flags flags = bench::ParseBenchFlags(argc, argv, {"batches", "json_out"},
-                                       &scale,
-                                       /*default_admissions=*/256,
-                                       /*default_epochs=*/1);
-  const int64_t timing_batches = flags.GetInt("batches", 5);
-  const std::string json_path =
-      flags.GetString("json_out", "BENCH_table3.json");
+  bench::ResolveBenchScale(values, &scale,
+                           /*default_admissions=*/256,
+                           /*default_epochs=*/1);
   bench::PrintHeader(
       "Table III: parameters and runtime",
       "Paper columns: Keras/TF on Xeon W-2133 + RTX 2080 Ti; measured\n"
@@ -165,7 +171,7 @@ int main(int argc, char** argv) {
     // Trainer::Predict API, serial vs the configured thread count. Small
     // batches keep enough chunks in flight for the pool to spread out.
     const std::vector<int64_t>& test_indices = experiment.split().test;
-    train::PredictOptions predict_options;
+    train::InferenceOptions predict_options;
     predict_options.batch_size = 32;
     predict_options.num_threads = 1;
     train::Trainer::Predict(model.get(), experiment.prepared(), test_indices,
@@ -205,8 +211,13 @@ int main(int argc, char** argv) {
   {
     std::ofstream out(json_path);
     if (out) {
-      out << "{\n  \"schema\": \"elda-bench-table3-v1\",\n"
-          << "  \"threads\": " << par_threads << ",\n  \"models\": [\n";
+      // Top-level keys (schema/threads/git_rev/benchmarks) are shared with
+      // bench_micro_substrate's --json_out so result files aggregate
+      // uniformly.
+      out << "{\n  \"schema\": \"elda-bench-table3-v2\",\n"
+          << "  \"threads\": " << par_threads << ",\n"
+          << "  \"git_rev\": \"" << bench::GitRev() << "\",\n"
+          << "  \"benchmarks\": [\n";
       for (size_t i = 0; i < json_rows.size(); ++i) {
         const JsonRow& r = json_rows[i];
         out << "    {\"name\": \"" << r.name << "\", \"params\": "

@@ -26,16 +26,32 @@
 #include "core/elda.h"
 #include "health/health.h"
 #include "synth/simulator.h"
-#include "util/flags.h"
+#include "util/argparse.h"
 
 int main(int argc, char** argv) {
   using namespace elda;
-  Flags flags(argc, argv,
-              {"admissions", "epochs", "threshold", "checkpoint",
-               "checkpoint-every", "resume", "fault-plan"});
+  int64_t admissions = 400;
+  int64_t epochs = 6;
+  double threshold = 0.4;
+  std::string checkpoint;
+  int64_t checkpoint_every = -1;  // default derived from --checkpoint below
+  bool resume = false;
+  std::string fault_spec;
+  util::ArgParser parser(
+      "mortality_monitoring",
+      "Continuous mortality-risk monitoring on a synthetic ICU ward.");
+  parser.Int("admissions", &admissions, "historical training admissions")
+      .Int("epochs", &epochs, "training epochs")
+      .Double("threshold", &threshold, "alert threshold on predicted risk")
+      .String("checkpoint", &checkpoint, "crash-safe checkpoint path")
+      .Int("checkpoint-every", &checkpoint_every,
+           "checkpoint every K epochs (-1: 1 when --checkpoint set)")
+      .Bool("resume", &resume, "resume training from the checkpoint")
+      .String("fault-plan", &fault_spec,
+              "deterministic fault injection spec, e.g. poison_grad@40");
+  parser.Parse(argc, argv);
 
   // Optional deterministic fault injection (same syntax as ELDA_FAULT_PLAN).
-  const std::string fault_spec = flags.GetString("fault-plan", "");
   if (!fault_spec.empty()) {
     health::FaultPlan plan;
     std::string parse_error;
@@ -48,18 +64,15 @@ int main(int argc, char** argv) {
 
   // Historical cohort and model training.
   synth::CohortConfig history_config = synth::SynthPhysioNet2012();
-  history_config.num_admissions = flags.GetInt("admissions", 400);
+  history_config.num_admissions = admissions;
   data::EmrDataset history = synth::GenerateCohort(history_config);
   core::EldaConfig config;
-  config.trainer.max_epochs = flags.GetInt("epochs", 6);
-  config.trainer.checkpoint_path = flags.GetString("checkpoint", "");
+  config.trainer.max_epochs = epochs;
+  config.trainer.checkpoint_path = checkpoint;
   config.trainer.checkpoint_every =
-      flags.GetInt("checkpoint-every", config.trainer.checkpoint_path.empty()
-                                          ? 0
-                                          : 1);
-  config.trainer.resume = flags.GetBool("resume", false);
-  config.alert_threshold =
-      static_cast<float>(flags.GetDouble("threshold", 0.4));
+      checkpoint_every >= 0 ? checkpoint_every : (checkpoint.empty() ? 0 : 1);
+  config.trainer.resume = resume;
+  config.alert_threshold = static_cast<float>(threshold);
   core::Elda elda(config);
   train::TrainResult fit = elda.Fit(history, data::Task::kMortality);
   if (fit.status != health::TrainStatus::kOk &&

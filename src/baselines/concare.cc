@@ -1,12 +1,21 @@
 #include "baselines/concare.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "autograd/ops.h"
 #include "tensor/tensor_ops.h"
+#include "util/logging.h"
 
 namespace elda {
 namespace baselines {
+namespace {
+
+struct ConCareStreamState : nn::StepState {
+  Tensor h;  // [C, u] — feature c's GRU state in row c
+};
+
+}  // namespace
 
 ConCare::ConCare(int64_t num_features, int64_t per_feature_hidden,
                  uint64_t seed)
@@ -60,6 +69,67 @@ ag::Variable ConCare::Forward(const data::Batch& batch,
   ag::Variable flat =
       ag::Reshape(rep, {batch_size, num_features_ * hidden_});
   return ag::Reshape(out_.Forward(flat), {batch_size});
+}
+
+std::unique_ptr<nn::StepState> ConCare::MakeStepState(
+    int64_t /*window_capacity*/) const {
+  auto state = std::make_unique<ConCareStreamState>();
+  state->h = Tensor::Zeros({num_features_, hidden_});
+  return state;
+}
+
+ag::Variable ConCare::StepForward(const train::StepBatch& obs,
+                                  const std::vector<nn::StepState*>& states,
+                                  nn::ForwardContext*) const {
+  const int64_t n = static_cast<int64_t>(states.size());
+  ELDA_CHECK_EQ(obs.x.shape(0), n);
+  ELDA_CHECK_EQ(obs.x.shape(1), num_features_);
+  std::vector<ConCareStreamState*> ss(static_cast<size_t>(n));
+  for (int64_t b = 0; b < n; ++b) {
+    ss[b] = dynamic_cast<ConCareStreamState*>(states[b]);
+    ELDA_CHECK(ss[b] != nullptr);
+  }
+
+  // Advance every feature's cell by one step — the same PrecomputeInput /
+  // Step kernels the per-feature sweeps run, on this step's scalar column.
+  Tensor col = Tensor::Empty({n, 1});
+  Tensor h_prev = Tensor::Empty({n, hidden_});
+  for (int64_t c = 0; c < num_features_; ++c) {
+    for (int64_t b = 0; b < n; ++b) {
+      col.data()[b] = obs.x.data()[b * num_features_ + c];
+      std::memcpy(h_prev.data() + b * hidden_,
+                  ss[b]->h.data() + c * hidden_,
+                  static_cast<size_t>(hidden_) * sizeof(float));
+    }
+    const nn::GruCell& cell = feature_grus_[c]->cell();
+    ag::Variable xw = cell.PrecomputeInput(ag::Constant(col));
+    ag::Variable h = cell.Step(xw, ag::Constant(h_prev));
+    for (int64_t b = 0; b < n; ++b) {
+      std::memcpy(ss[b]->h.data() + c * hidden_,
+                  h.value().data() + b * hidden_,
+                  static_cast<size_t>(hidden_) * sizeof(float));
+    }
+  }
+
+  // Cross-feature attention over the updated summaries. Each session's
+  // state slab is already the [C, u] features slice Forward would build.
+  Tensor feat = Tensor::Empty({n, num_features_, hidden_});
+  for (int64_t b = 0; b < n; ++b) {
+    std::memcpy(feat.data() + b * num_features_ * hidden_, ss[b]->h.data(),
+                static_cast<size_t>(num_features_ * hidden_) * sizeof(float));
+    ++ss[b]->steps_seen;
+  }
+  ag::Variable features = ag::Constant(feat);
+  ag::Variable q = wq_.Forward(features);
+  ag::Variable k = wk_.Forward(features);
+  ag::Variable v = wv_.Forward(features);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hidden_));
+  ag::Variable attention = ag::Softmax(
+      ag::MulScalar(ag::MatMul(q, ag::TransposeLast2(k)), scale), -1);
+  ag::Variable mixed = ag::MatMul(attention, v);
+  ag::Variable rep = ag::Tanh(ag::Add(features, mixed));
+  ag::Variable flat = ag::Reshape(rep, {n, num_features_ * hidden_});
+  return ag::Reshape(out_.Forward(flat), {n});
 }
 
 }  // namespace baselines

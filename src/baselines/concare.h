@@ -28,6 +28,16 @@ class ConCare : public train::SequenceModel {
   using train::SequenceModel::Forward;
   std::string name() const override { return "ConCare"; }
 
+  // Streaming: one resident [C, u] slab of per-feature GRU states; each
+  // observation advances every feature cell once and re-runs the (per-row)
+  // cross-feature attention on the updated summaries.
+  std::unique_ptr<nn::StepState> MakeStepState(
+      int64_t window_capacity) const override;
+  ag::Variable StepForward(const train::StepBatch& obs,
+                           const std::vector<nn::StepState*>& states,
+                           nn::ForwardContext* ctx) const override;
+  bool has_incremental_step() const override { return true; }
+
  private:
   Rng rng_;
   int64_t num_features_;

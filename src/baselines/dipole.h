@@ -37,6 +37,13 @@ class Dipole : public train::SequenceModel {
   using train::SequenceModel::Forward;
   std::string name() const override;
 
+  // Streaming: the backward GRU reads the window in reverse time, so every
+  // new observation changes all earlier backward states — there is no O(1)
+  // incremental update. Dipole uses the base-class rolling-window replay
+  // (has_incremental_step() stays false); attention over "earlier steps"
+  // needs at least two of them.
+  int64_t min_steps_to_score() const override { return 2; }
+
  private:
   Rng rng_;
   DipoleAttention attention_;

@@ -1,9 +1,19 @@
 #include "baselines/gru_classifier.h"
 
+#include <cstring>
+
 #include "autograd/ops.h"
+#include "util/logging.h"
 
 namespace elda {
 namespace baselines {
+namespace {
+
+struct GruStreamState : nn::StepState {
+  Tensor h;  // [hidden]
+};
+
+}  // namespace
 
 GruClassifier::GruClassifier(int64_t num_features, int64_t hidden_dim,
                              uint64_t seed)
@@ -20,6 +30,40 @@ ag::Variable GruClassifier::Forward(const data::Batch& batch,
   std::vector<ag::Variable> steps =
       gru_.ForwardSteps(ag::Constant(batch.x));
   return ag::Reshape(head_.Forward(steps.back()), {batch_size});
+}
+
+std::unique_ptr<nn::StepState> GruClassifier::MakeStepState(
+    int64_t /*window_capacity*/) const {
+  auto state = std::make_unique<GruStreamState>();
+  state->h = Tensor::Zeros({gru_.cell().hidden_size()});
+  return state;
+}
+
+ag::Variable GruClassifier::StepForward(
+    const train::StepBatch& obs, const std::vector<nn::StepState*>& states,
+    nn::ForwardContext*) const {
+  const int64_t n = static_cast<int64_t>(states.size());
+  ELDA_CHECK_EQ(obs.x.shape(0), n);
+  const int64_t hidden = gru_.cell().hidden_size();
+  Tensor h_prev = Tensor::Empty({n, hidden});
+  std::vector<GruStreamState*> ss(static_cast<size_t>(n));
+  for (int64_t b = 0; b < n; ++b) {
+    ss[b] = dynamic_cast<GruStreamState*>(states[b]);
+    ELDA_CHECK(ss[b] != nullptr);
+    std::memcpy(h_prev.data() + b * hidden, ss[b]->h.data(),
+                static_cast<size_t>(hidden) * sizeof(float));
+  }
+  // One observation is one sweep step: the same fused PrecomputeInput /
+  // Step kernels as GruSweep, applied to this step's rows, so row b matches
+  // the batched sweep over the full window bitwise.
+  ag::Variable xw = gru_.cell().PrecomputeInput(ag::Constant(obs.x));
+  ag::Variable h = gru_.cell().Step(xw, ag::Constant(h_prev));
+  for (int64_t b = 0; b < n; ++b) {
+    std::memcpy(ss[b]->h.data(), h.value().data() + b * hidden,
+                static_cast<size_t>(hidden) * sizeof(float));
+    ++ss[b]->steps_seen;
+  }
+  return ag::Reshape(head_.Forward(h), {n});
 }
 
 }  // namespace baselines

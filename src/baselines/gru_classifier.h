@@ -21,6 +21,14 @@ class GruClassifier : public train::SequenceModel {
   using train::SequenceModel::Forward;
   std::string name() const override { return "GRU"; }
 
+  // Streaming: resident hidden state, one fused cell step per observation.
+  std::unique_ptr<nn::StepState> MakeStepState(
+      int64_t window_capacity) const override;
+  ag::Variable StepForward(const train::StepBatch& obs,
+                           const std::vector<nn::StepState*>& states,
+                           nn::ForwardContext* ctx) const override;
+  bool has_incremental_step() const override { return true; }
+
  private:
   Rng rng_;
   nn::Gru gru_;

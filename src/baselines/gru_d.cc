@@ -1,11 +1,21 @@
 #include "baselines/gru_d.h"
 
+#include <cstring>
+
 #include "autograd/ops.h"
 #include "nn/recurrent_sweep.h"
 #include "tensor/tensor_ops.h"
+#include "util/logging.h"
 
 namespace elda {
 namespace baselines {
+namespace {
+
+struct GruDStreamState : nn::StepState {
+  Tensor h;  // [hidden]
+};
+
+}  // namespace
 
 GruD::GruD(int64_t num_features, int64_t hidden_dim, uint64_t seed)
     : rng_(seed),
@@ -65,6 +75,53 @@ ag::Variable GruD::Forward(const data::Batch& batch,
       },
       opts);
   return ag::Reshape(out_.Forward(sweep.last()), {batch_size});
+}
+
+std::unique_ptr<nn::StepState> GruD::MakeStepState(
+    int64_t /*window_capacity*/) const {
+  auto state = std::make_unique<GruDStreamState>();
+  state->h = Tensor::Zeros({hidden_dim_});
+  return state;
+}
+
+ag::Variable GruD::StepForward(const train::StepBatch& obs,
+                               const std::vector<nn::StepState*>& states,
+                               nn::ForwardContext*) const {
+  const int64_t n = static_cast<int64_t>(states.size());
+  ELDA_CHECK_EQ(obs.x.shape(0), n);
+  ELDA_CHECK_EQ(obs.x.shape(1), num_features_);
+  Tensor h_prev = Tensor::Empty({n, hidden_dim_});
+  std::vector<GruDStreamState*> ss(static_cast<size_t>(n));
+  for (int64_t b = 0; b < n; ++b) {
+    ss[b] = dynamic_cast<GruDStreamState*>(states[b]);
+    ELDA_CHECK(ss[b] != nullptr);
+    std::memcpy(h_prev.data() + b * hidden_dim_, ss[b]->h.data(),
+                static_cast<size_t>(hidden_dim_) * sizeof(float));
+  }
+  // The same decay / imputation expressions as Forward, evaluated on this
+  // step's [B, C] rows instead of the whole [B, T, C] batch: every op is
+  // per-element or per-row, so values match the batched sweep bitwise.
+  ag::Variable x = ag::Constant(obs.x);
+  ag::Variable m = ag::Constant(obs.mask);
+  ag::Variable delta = ag::Constant(obs.delta);
+  ag::Variable gamma_x = ag::Exp(ag::Neg(ag::Relu(
+      ag::Add(ag::Mul(delta, decay_x_w_), decay_x_b_))));  // [B, C]
+  ag::Variable one_minus_m =
+      ag::Constant(Sub(Tensor::Ones(obs.mask.shape()), obs.mask));
+  ag::Variable x_hat = ag::Add(ag::Mul(m, x),
+                               ag::Mul(one_minus_m, ag::Mul(gamma_x, x)));
+  ag::Variable gamma_h =
+      ag::Exp(ag::Neg(ag::Relu(decay_h_.Forward(delta))));  // [B, H]
+  ag::Variable u = ag::Concat({x_hat, m}, 1);               // [B, 2C]
+  ag::Variable xw = cell_.PrecomputeInput(u);
+  ag::Variable decayed = ag::Mul(gamma_h, ag::Constant(h_prev));
+  ag::Variable h = cell_.Step(xw, decayed);
+  for (int64_t b = 0; b < n; ++b) {
+    std::memcpy(ss[b]->h.data(), h.value().data() + b * hidden_dim_,
+                static_cast<size_t>(hidden_dim_) * sizeof(float));
+    ++ss[b]->steps_seen;
+  }
+  return ag::Reshape(out_.Forward(h), {n});
 }
 
 }  // namespace baselines

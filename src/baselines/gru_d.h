@@ -32,6 +32,16 @@ class GruD : public train::SequenceModel {
   using train::SequenceModel::Forward;
   std::string name() const override { return "GRU-D"; }
 
+  // Streaming: decay factors depend only on the current delta row, so the
+  // resident hidden state advances with one decay + cell step per
+  // observation.
+  std::unique_ptr<nn::StepState> MakeStepState(
+      int64_t window_capacity) const override;
+  ag::Variable StepForward(const train::StepBatch& obs,
+                           const std::vector<nn::StepState*>& states,
+                           nn::ForwardContext* ctx) const override;
+  bool has_incremental_step() const override { return true; }
+
  private:
   Rng rng_;
   int64_t num_features_;

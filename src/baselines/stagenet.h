@@ -28,6 +28,19 @@ class StageNet : public train::SequenceModel {
   using train::SequenceModel::Forward;
   std::string name() const override { return "StageNet"; }
 
+  // Streaming: resident LSTM state plus a ring of the last K-1 staged
+  // states and a running sum of the per-window conv outputs. The Mean
+  // pooling accumulates windows left-to-right and scales once at the end,
+  // so the running sum reproduces it bitwise at any horizon — the state is
+  // O(K*H) regardless of stay length, with no history eviction.
+  std::unique_ptr<nn::StepState> MakeStepState(
+      int64_t window_capacity) const override;
+  ag::Variable StepForward(const train::StepBatch& obs,
+                           const std::vector<nn::StepState*>& states,
+                           nn::ForwardContext* ctx) const override;
+  bool has_incremental_step() const override { return true; }
+  int64_t min_steps_to_score() const override { return conv_kernel_; }
+
  private:
   Rng rng_;
   int64_t hidden_dim_;

@@ -55,7 +55,29 @@ class EldaNet : public train::SequenceModel {
 
   const EldaNetConfig& config() const { return config_; }
 
+  // Streaming: embedding + feature interaction are per-step, so each
+  // observation embeds once and advances a resident GRU state; the time
+  // module re-scores its attention over a bounded history of resident
+  // states. The one non-causal piece is V_m (bi embeddings): a feature
+  // observed for the first time after step 0 retroactively changes earlier
+  // embeddings, so that session replays its retained window — bounded at
+  // most C times per stay.
+  std::unique_ptr<nn::StepState> MakeStepState(
+      int64_t window_capacity) const override;
+  ag::Variable StepForward(const train::StepBatch& obs,
+                           const std::vector<nn::StepState*>& states,
+                           nn::ForwardContext* ctx) const override;
+  bool has_incremental_step() const override { return true; }
+  int64_t min_steps_to_score() const override {
+    return config_.use_time_interactions ? 2 : 1;
+  }
+
  private:
+  // True when the embedding substitutes V_m for never-observed features —
+  // the only window-global (non-causal) computation in the model.
+  bool uses_missing_embedding() const {
+    return embedding_ != nullptr && embedding_->use_missing_embedding();
+  }
   EldaNetConfig config_;
   Rng rng_;
   std::unique_ptr<BiDirectionalEmbedding> embedding_;

@@ -74,6 +74,31 @@ ag::Variable BiDirectionalEmbedding::Forward(const ag::Variable& x,
                                              const Tensor& mask) const {
   const Tensor& xv = x.value();
   ELDA_CHECK_EQ(xv.dim(), 3);
+  const int64_t batch = xv.shape(0);
+  const int64_t steps = xv.shape(1);
+  Tensor never;
+  // Never-observed features use the learned V_m instead (paper's third
+  // category of missing data). "Never" is a whole-window property of the
+  // mask, computed here and applied in ForwardWithNever.
+  if (use_missing_embedding_) {
+    never = Tensor({batch, 1, num_features_, 1});
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t c = 0; c < num_features_; ++c) {
+        bool seen = false;
+        for (int64_t t = 0; t < steps && !seen; ++t) {
+          seen = mask.at({b, t, c}) != 0.0f;
+        }
+        never.at({b, 0, c, 0}) = seen ? 0.0f : 1.0f;
+      }
+    }
+  }
+  return ForwardWithNever(x, never);
+}
+
+ag::Variable BiDirectionalEmbedding::ForwardWithNever(
+    const ag::Variable& x, const Tensor& never) const {
+  const Tensor& xv = x.value();
+  ELDA_CHECK_EQ(xv.dim(), 3);
   ELDA_CHECK_EQ(xv.shape(2), num_features_);
   const int64_t batch = xv.shape(0);
   const int64_t steps = xv.shape(1);
@@ -107,19 +132,8 @@ ag::Variable BiDirectionalEmbedding::Forward(const ag::Variable& x,
     e = ag::Add(ag::Mul(e, keep), ag::Constant(zero_sel));
   }
 
-  // Never-observed features use the learned V_m instead (paper's third
-  // category of missing data).
   if (use_missing_embedding_) {
-    Tensor never({batch, 1, num_features_, 1});
-    for (int64_t b = 0; b < batch; ++b) {
-      for (int64_t c = 0; c < num_features_; ++c) {
-        bool seen = false;
-        for (int64_t t = 0; t < steps && !seen; ++t) {
-          seen = mask.at({b, t, c}) != 0.0f;
-        }
-        never.at({b, 0, c, 0}) = seen ? 0.0f : 1.0f;
-      }
-    }
+    ELDA_CHECK(never.defined());
     ag::Variable never_v = ag::Constant(never);
     ag::Variable keep_v = ag::Constant(
         Sub(Tensor::Ones(never.shape()), never));

@@ -56,6 +56,17 @@ class BiDirectionalEmbedding : public nn::Module {
   // Returns embeddings [B, T, C, E].
   ag::Variable Forward(const ag::Variable& x, const Tensor& mask) const;
 
+  // Like Forward, but with the never-observed indicator supplied by the
+  // caller: `never` is [B, 1, C, 1], 1 where the feature has not been
+  // observed anywhere in the window (may be undefined when the module does
+  // not use V_m). The streaming path maintains this indicator per session
+  // instead of rescanning a window's mask; Forward computes it from `mask`
+  // and delegates here, so both paths run the same ops (bitwise).
+  ag::Variable ForwardWithNever(const ag::Variable& x,
+                                const Tensor& never) const;
+
+  bool use_missing_embedding() const { return use_missing_embedding_; }
+
   int64_t embed_dim() const { return embed_dim_; }
   int64_t num_features() const { return num_features_; }
   EmbeddingVariant variant() const { return variant_; }

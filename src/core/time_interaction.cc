@@ -18,7 +18,6 @@ TimeInteraction::TimeInteraction(int64_t input_dim, int64_t hidden_dim,
 
 ag::Variable TimeInteraction::Forward(const ag::Variable& x,
                                       const nn::ForwardContext* ctx) const {
-  const int64_t batch = x.value().shape(0);
   const int64_t steps = x.value().shape(1);
   ELDA_CHECK_GE(steps, 2);
 
@@ -33,6 +32,15 @@ ag::Variable TimeInteraction::Forward(const ag::Variable& x,
                                  sweep.steps.end() - 1);
   ag::Variable h_prev =
       ag::Transpose01(ag::Stack0(prev));  // [B, T-1, H]
+  return ScoreFromStates(h_prev, h_last, ctx);
+}
+
+ag::Variable TimeInteraction::ScoreFromStates(
+    const ag::Variable& h_prev, const ag::Variable& h_last,
+    const nn::ForwardContext* ctx) const {
+  const int64_t batch = h_prev.value().shape(0);
+  const int64_t prev_steps = h_prev.value().shape(1);
+  ELDA_CHECK_GE(prev_steps, 1);
 
   // s_i = h_i ⊙ h_T  (Eq. 8).
   ag::Variable s =
@@ -41,12 +49,12 @@ ag::Variable TimeInteraction::Forward(const ag::Variable& x,
   // beta = softmax_i(w_beta . s_i + b_beta)  (Eqs. 9-10).
   ag::Variable logits = ag::Add(ag::MatMul(s, w_beta_), b_beta_);
   ag::Variable beta =
-      ag::Softmax(ag::Reshape(logits, {batch, steps - 1}), /*axis=*/1);
+      ag::Softmax(ag::Reshape(logits, {batch, prev_steps}), /*axis=*/1);
   if (ctx != nullptr) ctx->Capture("time_attention", beta.value());
 
-  // g_T = sum_i beta_i s_i  (Eq. 11), as a [B,1,T-1] x [B,T-1,H] matmul.
+  // g_T = sum_i beta_i s_i  (Eq. 11), as a [B,1,P] x [B,P,H] matmul.
   ag::Variable g = ag::Reshape(
-      ag::MatMul(ag::Reshape(beta, {batch, 1, steps - 1}), s),
+      ag::MatMul(ag::Reshape(beta, {batch, 1, prev_steps}), s),
       {batch, hidden_dim_});
 
   return ag::Concat({h_last, g}, /*axis=*/1);  // [B, 2H]

@@ -33,6 +33,19 @@ class TimeInteraction : public nn::Module {
   ag::Variable Forward(const ag::Variable& x,
                        const nn::ForwardContext* ctx = nullptr) const;
 
+  // The attention tail of Forward on already-computed GRU states: h_prev
+  // [B, P, H] are the earlier states, h_last [B, H] the final one. Exposed
+  // for the streaming path, which keeps the state history resident and
+  // re-scores it without re-running the sweep; Forward routes through this,
+  // so both paths are the same ops (bitwise).
+  ag::Variable ScoreFromStates(const ag::Variable& h_prev,
+                               const ag::Variable& h_last,
+                               const nn::ForwardContext* ctx = nullptr) const;
+
+  // The GRU cell, for streaming callers advancing the recurrence one
+  // observation at a time.
+  const nn::GruCell& cell() const { return gru_.cell(); }
+
   int64_t hidden_dim() const { return hidden_dim_; }
   int64_t output_dim() const { return 2 * hidden_dim_; }
 

@@ -1,0 +1,60 @@
+#include "nn/step_state.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace elda {
+namespace nn {
+
+StepState::~StepState() = default;
+
+RollingWindow::RollingWindow(int64_t capacity) : capacity_(capacity) {
+  ELDA_CHECK_GE(capacity, 1);
+}
+
+void RollingWindow::Append(const float* row, int64_t width) {
+  ELDA_CHECK_GE(width, 1);
+  if (width_ == 0) {
+    width_ = width;
+    data_.resize(static_cast<size_t>(capacity_ * width_));
+  }
+  ELDA_CHECK_EQ(width, width_);
+  const int64_t slot =
+      size_ < capacity_ ? (start_ + size_) % capacity_ : start_;
+  std::memcpy(data_.data() + slot * width_, row,
+              static_cast<size_t>(width_) * sizeof(float));
+  if (size_ < capacity_) {
+    ++size_;
+  } else {
+    start_ = (start_ + 1) % capacity_;  // evicted the oldest row
+  }
+}
+
+const float* RollingWindow::row(int64_t i) const {
+  ELDA_CHECK_GE(i, 0);
+  ELDA_CHECK_LT(i, size_);
+  return data_.data() + ((start_ + i) % capacity_) * width_;
+}
+
+void RollingWindow::CopyInto(float* dst) const {
+  for (int64_t i = 0; i < size_; ++i) {
+    std::memcpy(dst + i * width_, row(i),
+                static_cast<size_t>(width_) * sizeof(float));
+  }
+}
+
+Tensor RollingWindow::Materialize() const {
+  Tensor out = Tensor::Empty({size_, width_ == 0 ? 0 : width_});
+  if (size_ > 0) CopyInto(out.data());
+  return out;
+}
+
+void RollingWindow::Clear() {
+  start_ = 0;
+  size_ = 0;
+}
+
+}  // namespace nn
+}  // namespace elda

@@ -1,0 +1,74 @@
+// Resident per-sequence state for step-level (streaming) inference.
+//
+// A StepState is the opaque memory one live sequence carries between
+// observations: recurrent hidden vectors for models with an O(1) step,
+// bounded rolling windows of raw observations for models that can only
+// score a whole window. Each model allocates its own concrete state via
+// train::SequenceModel::MakeStepState() and advances it in StepForward();
+// callers (the serve session table, tests, benches) treat it as a black
+// box with a step counter.
+
+#ifndef ELDA_NN_STEP_STATE_H_
+#define ELDA_NN_STEP_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace elda {
+namespace nn {
+
+// Base class for model-specific streaming state. Polymorphic so model
+// implementations can downcast to their own concrete type (checked).
+struct StepState {
+  virtual ~StepState();
+
+  // Observations consumed so far, maintained by StepForward.
+  int64_t steps_seen = 0;
+};
+
+// Bounded chronological ring buffer of fixed-width float rows — the storage
+// behind every windowed StepState (raw-observation windows for replay
+// models, hidden-state histories for attention scoring). Appending beyond
+// `capacity` evicts the oldest row, so resident memory is O(capacity) no
+// matter how long the stay runs.
+//
+// The row width is fixed by the first Append, which keeps window states
+// usable from code that cannot know the model's input width up front.
+class RollingWindow {
+ public:
+  explicit RollingWindow(int64_t capacity);
+
+  // Copies `width` floats. The first call fixes the row width; later calls
+  // must pass the same width. Evicts the oldest row when full.
+  void Append(const float* row, int64_t width);
+
+  int64_t size() const { return size_; }
+  int64_t capacity() const { return capacity_; }
+  int64_t width() const { return width_; }
+
+  // Row i in chronological order (0 = oldest retained).
+  const float* row(int64_t i) const;
+
+  // Copies all retained rows, oldest first, into dst (size()*width()
+  // floats) — the layout of one [T, width] slab of a batch tensor.
+  void CopyInto(float* dst) const;
+
+  // The retained window as a fresh [size, width] tensor.
+  Tensor Materialize() const;
+
+  void Clear();
+
+ private:
+  int64_t capacity_;
+  int64_t width_ = 0;  // fixed by the first Append
+  int64_t start_ = 0;  // ring index of the oldest row
+  int64_t size_ = 0;
+  std::vector<float> data_;  // capacity * width floats once width is known
+};
+
+}  // namespace nn
+}  // namespace elda
+
+#endif  // ELDA_NN_STEP_STATE_H_

@@ -1,0 +1,161 @@
+#include "serve/micro_batcher.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+
+#include "autograd/variable.h"
+#include "par/par.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace elda {
+namespace serve {
+
+MicroBatcher::MicroBatcher(const train::SequenceModel* model,
+                           const train::InferenceOptions& options,
+                           int64_t max_delay_us)
+    : model_(model), options_(options), max_delay_us_(max_delay_us) {
+  ELDA_CHECK(model != nullptr);
+  ELDA_CHECK_GE(options.batch_size, 1);
+  ELDA_CHECK_GE(max_delay_us, 0);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+std::future<StepResult> MicroBatcher::Submit(std::shared_ptr<Session> session,
+                                             Observation obs) {
+  ELDA_CHECK(session != nullptr);
+  ELDA_CHECK_EQ(obs.x.size(), obs.mask.size());
+  ELDA_CHECK_EQ(obs.x.size(), obs.delta.size());
+  Request request;
+  request.session = std::move(session);
+  request.obs = std::move(obs);
+  std::future<StepResult> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ELDA_CHECK(!stopping_) << "Submit after MicroBatcher shutdown";
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+MicroBatcher::Stats MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.observations = observations_;
+  s.batches = batches_;
+  s.mean_batch_size =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(observations_) / batches_;
+  return s;
+}
+
+void MicroBatcher::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty() && stopping_) return;
+      // Linger briefly for arrivals to coalesce — a full batch (or
+      // shutdown) proceeds immediately.
+      if (max_delay_us_ > 0 && !stopping_ &&
+          static_cast<int64_t>(queue_.size()) < options_.batch_size) {
+        cv_.wait_for(lock, std::chrono::microseconds(max_delay_us_),
+                     [this] {
+                       return stopping_ ||
+                              static_cast<int64_t>(queue_.size()) >=
+                                  options_.batch_size;
+                     });
+      }
+      // Take up to batch_size requests for distinct sessions; a second
+      // request for a session already in this batch stays queued (FIFO),
+      // preserving its per-session order.
+      std::unordered_set<SessionId> in_batch;
+      std::deque<Request> deferred;
+      while (!queue_.empty() &&
+             static_cast<int64_t>(batch.size()) < options_.batch_size) {
+        Request r = std::move(queue_.front());
+        queue_.pop_front();
+        if (in_batch.count(r.session->id) > 0) {
+          deferred.push_back(std::move(r));
+        } else {
+          in_batch.insert(r.session->id);
+          batch.push_back(std::move(r));
+        }
+      }
+      while (!deferred.empty()) {
+        queue_.push_front(std::move(deferred.back()));
+        deferred.pop_back();
+      }
+    }
+    if (!batch.empty()) {
+      // Account before fulfilling any promise: a caller who observed its
+      // future resolve must find its observation already counted.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        observations_ += static_cast<int64_t>(batch.size());
+        ++batches_;
+      }
+      RunBatch(&batch);
+    }
+  }
+}
+
+void MicroBatcher::RunBatch(std::vector<Request>* batch) {
+  const int64_t n = static_cast<int64_t>(batch->size());
+  const int64_t cols = static_cast<int64_t>((*batch)[0].obs.x.size());
+  train::StepBatch sb;
+  sb.x = Tensor::Empty({n, cols});
+  sb.mask = Tensor::Empty({n, cols});
+  sb.delta = Tensor::Empty({n, cols});
+  std::vector<nn::StepState*> states(static_cast<size_t>(n));
+  for (int64_t b = 0; b < n; ++b) {
+    const Observation& obs = (*batch)[static_cast<size_t>(b)].obs;
+    ELDA_CHECK_EQ(static_cast<int64_t>(obs.x.size()), cols);
+    std::memcpy(sb.x.data() + b * cols, obs.x.data(),
+                static_cast<size_t>(cols) * sizeof(float));
+    std::memcpy(sb.mask.data() + b * cols, obs.mask.data(),
+                static_cast<size_t>(cols) * sizeof(float));
+    std::memcpy(sb.delta.data() + b * cols, obs.delta.data(),
+                static_cast<size_t>(cols) * sizeof(float));
+    states[static_cast<size_t>(b)] =
+        (*batch)[static_cast<size_t>(b)].session->state.get();
+  }
+  par::ScopedNumThreads scoped_threads(options_.num_threads);
+  ag::NoGradScope no_grad;
+  nn::ForwardContext ctx;
+  ctx.capture = options_.capture;
+  ag::Variable logits = model_->StepForward(sb, states, &ctx);
+  // The same sigmoid kernel Trainer::Predict applies, so a streamed risk
+  // equals the batch-scored risk for the same window bitwise.
+  Tensor probs = Sigmoid(logits.value());
+  for (int64_t b = 0; b < n; ++b) {
+    Request& r = (*batch)[static_cast<size_t>(b)];
+    StepResult result;
+    result.risk = probs[b];
+    result.scored = !std::isnan(result.risk);
+    result.step = states[static_cast<size_t>(b)]->steps_seen;
+    r.session->observations.store(result.step, std::memory_order_relaxed);
+    if (result.scored) {
+      r.session->last_risk.store(result.risk, std::memory_order_relaxed);
+      r.session->ever_scored.store(true, std::memory_order_relaxed);
+    }
+    r.promise.set_value(result);
+  }
+}
+
+}  // namespace serve
+}  // namespace elda

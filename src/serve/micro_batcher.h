@@ -1,0 +1,83 @@
+// Dynamic micro-batcher: coalesces concurrent single-patient scoring
+// requests into one batched StepForward call.
+//
+// Clients submit (session, observation) pairs from any thread and get a
+// future; a single worker thread drains the queue, groups up to
+// `max_batch` requests for *distinct* sessions into one StepBatch, runs
+// the model once under ag::NoGradScope, and fulfils the futures. Because
+// every kernel on the step path computes output rows independently, a
+// coalesced batch scores each session bitwise-identically to a serial
+// B=1 call — batching is purely a throughput optimisation.
+//
+// Two requests for the same session are never placed in one batch (a
+// session advances one step per call); the later one stays queued in FIFO
+// order, so per-session observation order equals submission order.
+
+#ifndef ELDA_SERVE_MICRO_BATCHER_H_
+#define ELDA_SERVE_MICRO_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/session.h"
+#include "train/trainer.h"
+
+namespace elda {
+namespace serve {
+
+class MicroBatcher {
+ public:
+  // `options.batch_size` caps the coalesced batch; `options.num_threads`
+  // bounds the elda::par kernels inside the batched call. `max_delay_us`
+  // is the linger: how long the worker waits for more requests to coalesce
+  // before scoring a non-full batch (0 = score whatever is queued).
+  MicroBatcher(const train::SequenceModel* model,
+               const train::InferenceOptions& options, int64_t max_delay_us);
+  ~MicroBatcher();  // drains the queue, then joins the worker
+
+  // Enqueues one observation for `session`. The observation slabs must all
+  // be the model's feature width. Thread-safe.
+  std::future<StepResult> Submit(std::shared_ptr<Session> session,
+                                 Observation obs);
+
+  struct Stats {
+    int64_t observations = 0;  // requests scored
+    int64_t batches = 0;       // StepForward calls issued
+    double mean_batch_size = 0.0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Request {
+    std::shared_ptr<Session> session;
+    Observation obs;
+    std::promise<StepResult> promise;
+  };
+
+  void WorkerLoop();
+  void RunBatch(std::vector<Request>* batch);
+
+  const train::SequenceModel* model_;
+  const train::InferenceOptions options_;
+  const int64_t max_delay_us_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  int64_t observations_ = 0;
+  int64_t batches_ = 0;
+
+  std::thread worker_;
+};
+
+}  // namespace serve
+}  // namespace elda
+
+#endif  // ELDA_SERVE_MICRO_BATCHER_H_

@@ -1,0 +1,105 @@
+#include "serve/service.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "autograd/variable.h"
+#include "par/par.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace elda {
+namespace serve {
+
+InferenceService::InferenceService(const train::SequenceModel* model,
+                                   ServeConfig config)
+    : model_(model),
+      config_(std::move(config)),
+      table_(model, config_.window_capacity, config_.max_sessions) {
+  ELDA_CHECK(model != nullptr);
+  if (config_.async) {
+    batcher_ = std::make_unique<MicroBatcher>(model_, config_.infer,
+                                              config_.max_delay_us);
+  }
+}
+
+SessionId InferenceService::Admit(std::string tag) {
+  std::shared_ptr<Session> session = table_.Admit(std::move(tag));
+  return session == nullptr ? kInvalidSession : session->id;
+}
+
+bool InferenceService::Discharge(SessionId id) { return table_.Discharge(id); }
+
+StepResult InferenceService::Observe(SessionId id, Observation obs) {
+  std::shared_ptr<Session> session = table_.Get(id);
+  if (session == nullptr) {
+    StepResult result;
+    result.ok = false;
+    return result;
+  }
+  if (config_.async) {
+    return batcher_->Submit(std::move(session), std::move(obs)).get();
+  }
+  return ObserveInline(session, obs);
+}
+
+std::future<StepResult> InferenceService::ObserveAsync(SessionId id,
+                                                       Observation obs) {
+  std::shared_ptr<Session> session = table_.Get(id);
+  if (session == nullptr) {
+    std::promise<StepResult> failed;
+    StepResult result;
+    result.ok = false;
+    failed.set_value(result);
+    return failed.get_future();
+  }
+  if (config_.async) {
+    return batcher_->Submit(std::move(session), std::move(obs));
+  }
+  std::promise<StepResult> done;
+  done.set_value(ObserveInline(session, obs));
+  return done.get_future();
+}
+
+StepResult InferenceService::ObserveInline(
+    const std::shared_ptr<Session>& session, const Observation& obs) {
+  std::lock_guard<std::mutex> lock(inline_mu_);
+  const int64_t cols = static_cast<int64_t>(obs.x.size());
+  ELDA_CHECK_EQ(obs.mask.size(), obs.x.size());
+  ELDA_CHECK_EQ(obs.delta.size(), obs.x.size());
+  train::StepBatch sb;
+  sb.x = Tensor::Empty({1, cols});
+  sb.mask = Tensor::Empty({1, cols});
+  sb.delta = Tensor::Empty({1, cols});
+  std::memcpy(sb.x.data(), obs.x.data(),
+              static_cast<size_t>(cols) * sizeof(float));
+  std::memcpy(sb.mask.data(), obs.mask.data(),
+              static_cast<size_t>(cols) * sizeof(float));
+  std::memcpy(sb.delta.data(), obs.delta.data(),
+              static_cast<size_t>(cols) * sizeof(float));
+  std::vector<nn::StepState*> states = {session->state.get()};
+  par::ScopedNumThreads scoped_threads(config_.infer.num_threads);
+  ag::NoGradScope no_grad;
+  nn::ForwardContext ctx;
+  ctx.capture = config_.infer.capture;
+  ag::Variable logits = model_->StepForward(sb, states, &ctx);
+  Tensor probs = Sigmoid(logits.value());
+  StepResult result;
+  result.risk = probs[0];
+  result.scored = !std::isnan(result.risk);
+  result.step = session->state->steps_seen;
+  session->observations.store(result.step, std::memory_order_relaxed);
+  if (result.scored) {
+    session->last_risk.store(result.risk, std::memory_order_relaxed);
+    session->ever_scored.store(true, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+MicroBatcher::Stats InferenceService::batcher_stats() const {
+  return batcher_ == nullptr ? MicroBatcher::Stats() : batcher_->stats();
+}
+
+}  // namespace serve
+}  // namespace elda

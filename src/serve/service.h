@@ -1,0 +1,81 @@
+// elda::serve::InferenceService — the streaming inference front door.
+//
+// Wraps a trained SequenceModel behind an admit / observe / discharge API:
+// each admitted patient carries resident step state (allocated via the
+// model's MakeStepState), every new observation advances it one step via
+// StepForward — O(1) per observation for incremental models instead of an
+// O(T) window replay — and concurrent observations coalesce through the
+// micro-batcher into batched no-grad calls. See DESIGN.md "Serving path".
+
+#ifndef ELDA_SERVE_SERVICE_H_
+#define ELDA_SERVE_SERVICE_H_
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/micro_batcher.h"
+#include "serve/session.h"
+#include "train/trainer.h"
+
+namespace elda {
+namespace serve {
+
+struct ServeConfig {
+  // Shared inference knobs (train/trainer.h): batch_size caps the
+  // micro-batch, num_threads bounds the kernels, capture taps attention
+  // surfaces. `parallel` is ignored here (one scoring thread).
+  train::InferenceOptions infer;
+  // Bound on any per-session history (replay windows, attention
+  // histories). Stays beyond it score on the retained suffix window.
+  int64_t window_capacity = 64;
+  // Admission capacity of the session table.
+  int64_t max_sessions = 1 << 20;
+  // Micro-batcher linger before scoring a non-full batch.
+  int64_t max_delay_us = 200;
+  // true: requests queue through the micro-batcher's worker thread
+  // (thread-safe, coalescing). false: Observe scores inline on the caller
+  // thread under a service mutex — lower fixed latency for
+  // single-threaded callers, no coalescing.
+  bool async = true;
+};
+
+class InferenceService {
+ public:
+  InferenceService(const train::SequenceModel* model, ServeConfig config);
+
+  // Admission: allocates resident state. kInvalidSession when the table is
+  // full.
+  SessionId Admit(std::string tag = std::string());
+
+  // Discharge: evicts the session; its memory is freed once in-flight
+  // requests drain. Later Observe calls on the id fail (ok = false).
+  bool Discharge(SessionId id);
+
+  // Scores one new observation for an admitted patient (blocking).
+  StepResult Observe(SessionId id, Observation obs);
+
+  // As Observe, without blocking the caller. In sync mode (async = false)
+  // the future is already resolved on return.
+  std::future<StepResult> ObserveAsync(SessionId id, Observation obs);
+
+  const SessionTable& sessions() const { return table_; }
+  MicroBatcher::Stats batcher_stats() const;
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  StepResult ObserveInline(const std::shared_ptr<Session>& session,
+                           const Observation& obs);
+
+  const train::SequenceModel* model_;
+  const ServeConfig config_;
+  SessionTable table_;
+  std::unique_ptr<MicroBatcher> batcher_;  // async mode only
+  std::mutex inline_mu_;                   // sync mode serialisation
+};
+
+}  // namespace serve
+}  // namespace elda
+
+#endif  // ELDA_SERVE_SERVICE_H_

@@ -1,0 +1,73 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace elda {
+namespace serve {
+
+SessionTable::SessionTable(const train::SequenceModel* model,
+                           int64_t window_capacity, int64_t max_sessions)
+    : model_(model),
+      window_capacity_(window_capacity),
+      max_sessions_(max_sessions) {
+  ELDA_CHECK(model != nullptr);
+  ELDA_CHECK_GE(window_capacity, 1);
+  ELDA_CHECK_GE(max_sessions, 1);
+}
+
+std::shared_ptr<Session> SessionTable::Admit(std::string tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int64_t>(sessions_.size()) >= max_sessions_) {
+    return nullptr;
+  }
+  auto session = std::make_shared<Session>();
+  session->id = next_id_++;
+  session->tag = std::move(tag);
+  session->state = model_->MakeStepState(window_capacity_);
+  sessions_.emplace(session->id, session);
+  ++admitted_;
+  high_water_ =
+      std::max(high_water_, static_cast<int64_t>(sessions_.size()));
+  return session;
+}
+
+std::shared_ptr<Session> SessionTable::Get(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool SessionTable::Discharge(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  sessions_.erase(it);
+  ++discharged_;
+  return true;
+}
+
+int64_t SessionTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+int64_t SessionTable::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+int64_t SessionTable::discharged_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return discharged_;
+}
+
+int64_t SessionTable::high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+}  // namespace serve
+}  // namespace elda

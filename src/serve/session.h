@@ -1,0 +1,104 @@
+// Per-patient session lifecycle for the streaming inference service.
+//
+// A Session owns the resident StepState one admitted patient carries
+// between observations; the SessionTable maps admissions to sessions,
+// enforces a capacity bound, and frees state on discharge. Sessions are
+// handed out as shared_ptrs so an in-flight scoring request finishes
+// safely even if the patient is discharged concurrently — discharge
+// removes the table entry (new requests fail), the last holder frees it.
+
+#ifndef ELDA_SERVE_SESSION_H_
+#define ELDA_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "train/sequence_model.h"
+
+namespace elda {
+namespace serve {
+
+using SessionId = int64_t;
+inline constexpr SessionId kInvalidSession = -1;
+
+// One prepared observation row (C entries per slab): standardized LOCF
+// value, observation mask, steps since last observation — the same
+// semantics as one timestep of a data::Batch. StreamingImputer produces
+// these from raw monitor readings.
+struct Observation {
+  std::vector<float> x;
+  std::vector<float> mask;
+  std::vector<float> delta;
+};
+
+// Outcome of scoring one observation.
+struct StepResult {
+  // Sigmoid risk probability; quiet NaN while the model cannot score yet.
+  float risk = 0.0f;
+  // False while the session has fewer observations than the model's
+  // minimum scorable window.
+  bool scored = false;
+  // 1-based observation count after this update.
+  int64_t step = 0;
+  // False when the session was unknown or already discharged (risk/step
+  // are meaningless then).
+  bool ok = true;
+};
+
+struct Session {
+  SessionId id = kInvalidSession;
+  std::string tag;  // caller-supplied patient identifier, for display
+  std::unique_ptr<nn::StepState> state;
+  // Monitoring mirrors of the state, readable without touching `state`
+  // (which only the scoring thread may access).
+  std::atomic<int64_t> observations{0};
+  std::atomic<float> last_risk{0.0f};
+  std::atomic<bool> ever_scored{false};
+};
+
+// Thread-safe admission/discharge registry with bounded occupancy.
+class SessionTable {
+ public:
+  // `model` supplies MakeStepState for admissions; `window_capacity` is
+  // passed through to it; `max_sessions` bounds resident memory.
+  SessionTable(const train::SequenceModel* model, int64_t window_capacity,
+               int64_t max_sessions);
+
+  // Admits a new patient and allocates their resident state. Returns
+  // nullptr when the table is at capacity.
+  std::shared_ptr<Session> Admit(std::string tag);
+
+  // nullptr when unknown or discharged.
+  std::shared_ptr<Session> Get(SessionId id) const;
+
+  // Removes the session; its state memory is freed once in-flight requests
+  // drain. Returns false when unknown.
+  bool Discharge(SessionId id);
+
+  int64_t size() const;
+  int64_t max_sessions() const { return max_sessions_; }
+  int64_t admitted_total() const;
+  int64_t discharged_total() const;
+  int64_t high_water() const;
+
+ private:
+  const train::SequenceModel* model_;
+  const int64_t window_capacity_;
+  const int64_t max_sessions_;
+  mutable std::mutex mu_;
+  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+  SessionId next_id_ = 1;
+  int64_t admitted_ = 0;
+  int64_t discharged_ = 0;
+  int64_t high_water_ = 0;
+};
+
+}  // namespace serve
+}  // namespace elda
+
+#endif  // ELDA_SERVE_SESSION_H_

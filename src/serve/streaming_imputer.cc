@@ -1,0 +1,58 @@
+#include "serve/streaming_imputer.h"
+
+#include "util/logging.h"
+
+namespace elda {
+namespace serve {
+
+StreamingImputer::StreamingImputer(const data::Standardizer* standardizer,
+                                   int64_t num_features)
+    : standardizer_(standardizer), num_features_(num_features) {
+  ELDA_CHECK(standardizer != nullptr);
+  ELDA_CHECK(standardizer->fitted());
+  ELDA_CHECK_EQ(static_cast<int64_t>(standardizer->means().size()),
+                num_features);
+  Reset();
+}
+
+void StreamingImputer::Reset() {
+  t_ = 0;
+  last_value_.assign(static_cast<size_t>(num_features_), 0.0f);
+  steps_since_.assign(static_cast<size_t>(num_features_), 0.0f);
+  seen_.assign(static_cast<size_t>(num_features_), 0);
+}
+
+Observation StreamingImputer::Next(const float* values,
+                                   const uint8_t* observed) {
+  Observation row;
+  row.x.resize(static_cast<size_t>(num_features_));
+  row.mask.resize(static_cast<size_t>(num_features_));
+  row.delta.resize(static_cast<size_t>(num_features_));
+  const bool clean_negative = standardizer_->clean_negative();
+  for (int64_t c = 0; c < num_features_; ++c) {
+    const size_t ci = static_cast<size_t>(c);
+    bool obs = observed[ci] != 0;
+    float v = values[ci];
+    // Same cleaning rule as Standardizer::Apply: a negative observed value
+    // is a recording error and drops from the mask entirely.
+    if (obs && clean_negative && v < 0.0f) obs = false;
+    if (obs) {
+      // Identical expression to Apply, so the standardised value is
+      // bitwise what the batch pipeline produces.
+      v = (v - standardizer_->mean(c)) / standardizer_->stddev(c);
+      last_value_[ci] = v;
+      steps_since_[ci] = 0.0f;
+      seen_[ci] = 1;
+    } else if (seen_[ci] != 0 || t_ > 0) {
+      steps_since_[ci] += 1.0f;
+    }
+    row.x[ci] = obs ? v : last_value_[ci];
+    row.mask[ci] = obs ? 1.0f : 0.0f;
+    row.delta[ci] = steps_since_[ci];
+  }
+  ++t_;
+  return row;
+}
+
+}  // namespace serve
+}  // namespace elda

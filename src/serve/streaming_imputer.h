@@ -1,0 +1,52 @@
+// StreamingImputer: converts one patient's raw monitor readings, arriving
+// one step at a time, into the prepared observation rows the models
+// consume — the streaming twin of the batch pipeline's clean /
+// standardise / LOCF-impute / delta stage (data/pipeline.cc).
+//
+// The arithmetic is kept operation-for-operation identical to
+// Standardizer::Apply + PrepareDataset, so feeding a sample's T raw steps
+// through Next() yields exactly (bitwise) the T rows PrepareDataset emits
+// for that sample; serve_test asserts this.
+
+#ifndef ELDA_SERVE_STREAMING_IMPUTER_H_
+#define ELDA_SERVE_STREAMING_IMPUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/pipeline.h"
+#include "serve/session.h"
+
+namespace elda {
+namespace serve {
+
+class StreamingImputer {
+ public:
+  // `standardizer` must be fitted (the one fitted at training time,
+  // persisted with the model) and outlive the imputer.
+  StreamingImputer(const data::Standardizer* standardizer,
+                   int64_t num_features);
+
+  // One raw step: `values[c]` is the reading for feature c, `observed[c]`
+  // non-zero when it was actually measured. Returns the prepared row
+  // (standardised LOCF value, mask, steps-since-observation).
+  Observation Next(const float* values, const uint8_t* observed);
+
+  // Forgets all carried state (new patient).
+  void Reset();
+
+  int64_t steps() const { return t_; }
+
+ private:
+  const data::Standardizer* standardizer_;
+  const int64_t num_features_;
+  int64_t t_ = 0;
+  std::vector<float> last_value_;   // per feature, standardised space
+  std::vector<float> steps_since_;  // per feature
+  std::vector<uint8_t> seen_;
+};
+
+}  // namespace serve
+}  // namespace elda
+
+#endif  // ELDA_SERVE_STREAMING_IMPUTER_H_

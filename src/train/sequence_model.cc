@@ -1,0 +1,87 @@
+#include "train/sequence_model.h"
+
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+
+namespace elda {
+namespace train {
+namespace {
+
+// Default resident state: a bounded rolling window of the raw prepared
+// observation rows, replayed through Forward() on every step. Correct for
+// any model (the window is exactly the prefix a batch-mode caller would
+// score) at O(window) cost per observation.
+struct WindowReplayState : nn::StepState {
+  explicit WindowReplayState(int64_t capacity)
+      : x(capacity), mask(capacity), delta(capacity) {}
+
+  nn::RollingWindow x;
+  nn::RollingWindow mask;
+  nn::RollingWindow delta;
+};
+
+}  // namespace
+
+std::unique_ptr<nn::StepState> SequenceModel::MakeStepState(
+    int64_t window_capacity) const {
+  ELDA_CHECK_GE(window_capacity, 1);
+  return std::make_unique<WindowReplayState>(window_capacity);
+}
+
+ag::Variable SequenceModel::StepForward(
+    const StepBatch& obs, const std::vector<nn::StepState*>& states,
+    nn::ForwardContext* ctx) const {
+  const int64_t n = static_cast<int64_t>(states.size());
+  ELDA_CHECK_EQ(obs.x.shape(0), n);
+  ELDA_CHECK_EQ(obs.mask.shape(0), n);
+  ELDA_CHECK_EQ(obs.delta.shape(0), n);
+  const int64_t cols = obs.x.shape(1);
+
+  std::vector<WindowReplayState*> ws(static_cast<size_t>(n));
+  for (int64_t b = 0; b < n; ++b) {
+    ws[b] = dynamic_cast<WindowReplayState*>(states[b]);
+    ELDA_CHECK(ws[b] != nullptr)
+        << "StepForward given a state not made by this model's MakeStepState";
+    ws[b]->x.Append(obs.x.data() + b * cols, cols);
+    ws[b]->mask.Append(obs.mask.data() + b * cols, cols);
+    ws[b]->delta.Append(obs.delta.data() + b * cols, cols);
+    ++ws[b]->steps_seen;
+  }
+
+  Tensor logits =
+      Tensor::Full({n}, std::numeric_limits<float>::quiet_NaN());
+  // Group sequences by current window length so each length replays as one
+  // batched Forward call. Rows of a batch are computed independently, so
+  // grouping does not change any value.
+  std::map<int64_t, std::vector<int64_t>> by_len;
+  const int64_t min_steps = min_steps_to_score();
+  for (int64_t b = 0; b < n; ++b) {
+    if (ws[b]->x.size() >= min_steps) by_len[ws[b]->x.size()].push_back(b);
+  }
+  for (const auto& [len, group] : by_len) {
+    const int64_t g = static_cast<int64_t>(group.size());
+    data::Batch batch;
+    batch.x = Tensor::Empty({g, len, cols});
+    batch.mask = Tensor::Empty({g, len, cols});
+    batch.delta = Tensor::Empty({g, len, cols});
+    batch.y = Tensor::Zeros({g});
+    for (int64_t gi = 0; gi < g; ++gi) {
+      WindowReplayState* w = ws[group[gi]];
+      w->x.CopyInto(batch.x.data() + gi * len * cols);
+      w->mask.CopyInto(batch.mask.data() + gi * len * cols);
+      w->delta.CopyInto(batch.delta.data() + gi * len * cols);
+    }
+    ag::Variable out = Forward(batch, ctx);
+    ELDA_CHECK_EQ(out.value().size(), g);
+    const float* src = out.value().data();
+    for (int64_t gi = 0; gi < g; ++gi) logits.data()[group[gi]] = src[gi];
+  }
+  return ag::Constant(logits);
+}
+
+}  // namespace train
+}  // namespace elda

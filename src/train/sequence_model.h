@@ -4,15 +4,31 @@
 #ifndef ELDA_TRAIN_SEQUENCE_MODEL_H_
 #define ELDA_TRAIN_SEQUENCE_MODEL_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "autograd/variable.h"
 #include "data/pipeline.h"
 #include "nn/forward_context.h"
 #include "nn/module.h"
+#include "nn/step_state.h"
 
 namespace elda {
 namespace train {
+
+// One observation for each of B live sequences — the step-level analogue of
+// data::Batch. Row b belongs to the b-th StepState passed to StepForward.
+// All three slabs are [B, C] with the same prepared semantics as one
+// timestep of data::Batch (standardized LOCF values, observation mask,
+// steps-since-last-observation).
+struct StepBatch {
+  Tensor x;
+  Tensor mask;
+  Tensor delta;
+
+  int64_t size() const { return x.defined() ? x.shape(0) : 0; }
+};
 
 class SequenceModel : public nn::Module {
  public:
@@ -36,6 +52,47 @@ class SequenceModel : public nn::Module {
 
   // Display name used in benchmark tables ("GRU-D", "ELDA-Net", ...).
   virtual std::string name() const = 0;
+
+  // -- Step-level inference (the serving path; see DESIGN.md) ---------------
+  //
+  // A streaming client admits one StepState per live sequence and calls
+  // StepForward once per new observation instead of replaying the whole
+  // window through Forward. Models with a causal recurrence override these
+  // with resident-state implementations doing O(1) work per observation;
+  // the base-class default keeps a bounded rolling window of raw
+  // observations and replays it, which is correct for every model but O(T)
+  // per step.
+
+  // Allocates the resident state for one sequence. `window_capacity` bounds
+  // any history the state retains (raw-observation windows for replay
+  // models, hidden-state histories for attention scoring); purely
+  // incremental states ignore it. Once a stay outruns the capacity the
+  // oldest steps are evicted and scores follow the retained suffix window.
+  virtual std::unique_ptr<nn::StepState> MakeStepState(
+      int64_t window_capacity) const;
+
+  // Advances each of the B sequences by one observation (row b of `obs`
+  // belongs to states[b], which must come from this model's MakeStepState)
+  // and returns pre-sigmoid risk logits [B]. Because every kernel on the
+  // inference path computes output rows independently (strict-k GEMM,
+  // elementwise gate math, per-row softmax), row b is bitwise identical to
+  // Forward() over the window states[b] has seen, regardless of how
+  // sequences are batched together. Sequences with fewer than
+  // min_steps_to_score() observations get a quiet-NaN logit but still
+  // advance. Inference-only: call under ag::NoGradScope; the returned
+  // variable is detached (no tape).
+  virtual ag::Variable StepForward(const StepBatch& obs,
+                                   const std::vector<nn::StepState*>& states,
+                                   nn::ForwardContext* ctx) const;
+
+  // True when StepForward advances resident recurrent state in O(1) per
+  // observation; false when it replays the bounded rolling window (the
+  // base-class default).
+  virtual bool has_incremental_step() const { return false; }
+
+  // Fewest observations before the model can score a window at all (e.g.
+  // StageNet's conv kernel, attention modules needing two steps).
+  virtual int64_t min_steps_to_score() const { return 1; }
 };
 
 }  // namespace train

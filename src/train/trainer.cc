@@ -64,7 +64,7 @@ PredictResult Trainer::Predict(
     const SequenceModel* model,
     const std::vector<data::PreparedSample>& prepared,
     const std::vector<int64_t>& indices, data::Task task,
-    const PredictOptions& options) {
+    const InferenceOptions& options) {
   PredictResult result;
   result.labels = LabelsFor(prepared, indices, task);
   result.scores.assign(indices.size(), 0.0f);
@@ -87,7 +87,9 @@ PredictResult Trainer::Predict(
       result.scores[static_cast<size_t>(start + i)] = probs[i];
     }
   };
-  if (options.parallel) {
+  // A capture sink is shared last-writer-wins state, so capturing forces
+  // the serial path regardless of options.parallel.
+  if (options.parallel && options.capture == nullptr) {
     par::ParallelFor(
         0, num_batches, /*grain=*/1,
         [&](int64_t b0, int64_t b1) {
@@ -101,6 +103,7 @@ PredictResult Trainer::Predict(
   } else {
     ag::NoGradScope no_grad;
     nn::ForwardContext ctx;
+    ctx.capture = options.capture;
     for (int64_t b = 0; b < num_batches; ++b) run_batch(b, &ctx);
   }
   return result;
@@ -110,7 +113,7 @@ EvalResult Trainer::Evaluate(
     const SequenceModel* model,
     const std::vector<data::PreparedSample>& prepared,
     const std::vector<int64_t>& indices, data::Task task,
-    const PredictOptions& options) {
+    const InferenceOptions& options) {
   const PredictResult predicted =
       Predict(model, prepared, indices, task, options);
   EvalResult result;

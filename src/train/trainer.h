@@ -51,17 +51,27 @@ struct TrainerConfig {
   health::HealthConfig health;
 };
 
-// Batching/threading knobs for Predict/Evaluate. The eval batch size that
-// used to be a magic default on Evaluate/PredictScores lives here.
-struct PredictOptions {
-  int64_t batch_size = 256;  // eval-mode minibatch size
-  // Thread cap for batch-level parallelism in this call; 0 = the global
-  // elda::par setting (--threads / ELDA_THREADS / hardware).
+// Batching/threading knobs shared by every inference surface: batched
+// Trainer::Predict / Evaluate and the serve-side micro-batcher
+// (serve/service.h). One struct so a knob added for one path exists on the
+// other — there is deliberately no serve-local options type.
+struct InferenceOptions {
+  // Minibatch size: eval-mode batch for Predict, the coalescing cap for the
+  // micro-batcher (most observations arriving within one flush window that
+  // are scored as a single StepForward call).
+  int64_t batch_size = 256;
+  // Thread cap for the elda::par kernels during this call; 0 = the global
+  // setting (--threads / ELDA_THREADS / hardware).
   int64_t num_threads = 0;
   // Evaluate independent minibatches concurrently on the elda::par pool.
   // Minibatch composition is fixed by batch_size and scores are written to
   // disjoint ranges, so results are bitwise identical to the serial path.
+  // Ignored by the micro-batcher (one scoring thread by construction).
   bool parallel = true;
+  // Optional attention-capture sink threaded into every ForwardContext on
+  // this path (nullptr = capture nothing). Forces Predict onto the serial
+  // path: concurrent workers would interleave last-writer-wins captures.
+  nn::CaptureSink* capture = nullptr;
 };
 
 // Scores and aligned labels for one index set, in `indices` order.
@@ -115,7 +125,7 @@ class Trainer {
                                const std::vector<data::PreparedSample>& prepared,
                                const std::vector<int64_t>& indices,
                                data::Task task,
-                               const PredictOptions& options = {});
+                               const InferenceOptions& options = {});
 
   // Thin metrics wrapper over Predict(): BCE / AUC-ROC / AUC-PR on the
   // given index set.
@@ -123,7 +133,7 @@ class Trainer {
                              const std::vector<data::PreparedSample>& prepared,
                              const std::vector<int64_t>& indices,
                              data::Task task,
-                             const PredictOptions& options = {});
+                             const InferenceOptions& options = {});
 
  private:
   TrainerConfig config_;

@@ -56,13 +56,13 @@ TEST(ReentrancyTest, ConcurrentPredictMatchesSerialForEveryModel) {
     SCOPED_TRACE(name);
     auto model = baselines::MakeModel(name, features, /*seed=*/7);
 
-    train::PredictOptions serial;
+    train::InferenceOptions serial;
     serial.batch_size = 8;
     serial.parallel = false;
     const train::PredictResult base = train::Trainer::Predict(
         model.get(), prepared, indices, data::Task::kMortality, serial);
 
-    train::PredictOptions parallel;
+    train::InferenceOptions parallel;
     parallel.batch_size = 8;
     parallel.parallel = true;
     parallel.num_threads = 4;

@@ -144,7 +144,7 @@ TEST(TrainerTest, PredictIsInvariantToBatchSizeAndThreads) {
   std::vector<int64_t> indices;
   for (int64_t i = 0; i < 70; ++i) indices.push_back(i);
 
-  PredictOptions reference;
+  InferenceOptions reference;
   reference.batch_size = 256;
   reference.parallel = false;
   PredictResult base = Trainer::Predict(&model, prepared, indices,
@@ -152,7 +152,7 @@ TEST(TrainerTest, PredictIsInvariantToBatchSizeAndThreads) {
 
   for (int64_t batch_size : {1, 7, 64}) {
     for (int64_t threads : {1, 4}) {
-      PredictOptions options;
+      InferenceOptions options;
       options.batch_size = batch_size;
       options.num_threads = threads;
       PredictResult got = Trainer::Predict(&model, prepared, indices,

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "util/argparse.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -11,6 +12,67 @@
 
 namespace elda {
 namespace {
+
+TEST(ArgParserTest, TypedAssignmentAndProvided) {
+  std::string name = "GRU";
+  int64_t count = 10;
+  double rate = 0.5;
+  bool flag = false;
+  bool untouched = true;
+  util::ArgParser parser("prog", "test");
+  parser.String("name", &name, "a string")
+      .Int("count", &count, "an int")
+      .Double("rate", &rate, "a double")
+      .Bool("flag", &flag, "a switch")
+      .Bool("untouched", &untouched, "left alone");
+  const char* argv[] = {"prog", "--name", "LSTM", "--count=42", "--rate",
+                        "1.25", "--flag"};
+  parser.Parse(7, const_cast<char**>(argv));
+  EXPECT_EQ(name, "LSTM");
+  EXPECT_EQ(count, 42);
+  EXPECT_EQ(rate, 1.25);
+  EXPECT_TRUE(flag);
+  EXPECT_TRUE(untouched);  // default preserved
+  EXPECT_TRUE(parser.Provided("count"));
+  EXPECT_FALSE(parser.Provided("untouched"));
+}
+
+TEST(ArgParserTest, ExplicitBoolValuesAndNegatives) {
+  bool on = true;
+  int64_t offset = 0;
+  util::ArgParser parser("prog", "test");
+  parser.Bool("on", &on, "switch").Int("offset", &offset, "signed");
+  const char* argv[] = {"prog", "--on=false", "--offset", "-7"};
+  parser.Parse(4, const_cast<char**>(argv));
+  EXPECT_FALSE(on);
+  EXPECT_EQ(offset, -7);
+}
+
+TEST(ArgParserTest, UsageListsEveryFlagWithDefault) {
+  std::string path = "out.json";
+  int64_t n = 5;
+  util::ArgParser parser("prog", "A test program.");
+  parser.String("path", &path, "output path").Int("n", &n, "how many");
+  const std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("A test program."), std::string::npos);
+  EXPECT_NE(usage.find("--path <string>"), std::string::npos);
+  EXPECT_NE(usage.find("out.json"), std::string::npos);
+  EXPECT_NE(usage.find("--n <int>"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+TEST(ArgParserDeathTest, UnknownFlagAndMalformedValueExitWithUsage) {
+  int64_t n = 0;
+  util::ArgParser parser("prog", "test");
+  parser.Int("n", &n, "an int");
+  const char* unknown[] = {"prog", "--bogus", "3"};
+  EXPECT_EXIT(parser.Parse(3, const_cast<char**>(unknown)),
+              ::testing::ExitedWithCode(2), "unknown flag --bogus");
+  const char* malformed[] = {"prog", "--n", "3x"};
+  EXPECT_EXIT(parser.Parse(3, const_cast<char**>(malformed)),
+              ::testing::ExitedWithCode(2), "invalid int value");
+}
+
 
 TEST(RngTest, DeterministicAtFixedSeed) {
   Rng a(42);
