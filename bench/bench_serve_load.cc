@@ -1,15 +1,24 @@
 // Load generator for elda::serve — the streaming inference service.
 //
-// Two phases:
+// Three phases:
 //
-//  1. Load: admits --sessions resident patients (default 100k, scales to
-//     1M), then --clients threads stream --rounds observations per patient
-//     through ObserveAsync with a bounded pipeline of in-flight requests,
-//     so concurrent singles coalesce in the micro-batcher. Reports p50/p99
-//     per-observation latency (submit -> future resolved) and sustained
-//     observations/second, plus the realised mean micro-batch size.
+//  1. Load, swept over worker counts (--workers, default "1,2,4"): admits
+//     --sessions resident patients (default 100k, scales to 1M), then
+//     --clients threads stream --rounds observations per patient through
+//     ObserveAsync with a bounded pipeline of in-flight requests, so
+//     concurrent singles coalesce in the sharded micro-batcher fleet
+//     (sessions route to workers by id, preserving per-session FIFO).
+//     Reports p50/p99 per-observation latency (submit -> future resolved)
+//     and sustained observations/second per worker count. NOTE: on a
+//     single-core box the worker sweep measures coordination overhead,
+//     not parallel speedup — the rows are honest, the cores are absent.
 //
-//  2. T-sweep: one patient observed --t-sweep times through the sync
+//  2. Snapshot overhead (after the last sweep row, on the live service):
+//     wall time to checkpoint every resident session's state to disk
+//     (SaveSnapshotTo quiesces scoring, serializes, CRCs, atomic-renames)
+//     and to restore the file into a fresh service, plus the file size.
+//
+//  3. T-sweep: one patient observed --t-sweep times through the sync
 //     (inline, no linger) service, per-observation latency bucketed by
 //     history length. For models with an incremental StepForward the
 //     buckets stay flat — cost is O(1) in T; window-replay fallback models
@@ -19,17 +28,21 @@
 // depend on the weights, only on the architecture's step path.
 //
 // Flags: --model (registry name), --sessions, --rounds, --clients,
-// --depth (per-client in-flight pipeline), --batch (micro-batch cap),
-// --window (rolling-window capacity), --delay-us (batcher linger),
-// --threads (kernel threads inside the scoring step), --t-sweep (0 skips),
-// --json_out PATH.
+// --workers (comma-separated scoring-worker counts), --depth (per-client
+// in-flight pipeline), --batch (micro-batch cap), --window
+// (rolling-window capacity), --delay-us (batcher linger), --threads
+// (kernel threads inside the scoring step), --t-sweep (0 skips),
+// --snapshot-path (where phase 2 writes; empty skips), --json_out PATH.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <sys/stat.h>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -67,6 +80,35 @@ double PercentileUs(const std::vector<double>& sorted_us, double pct) {
   return sorted_us[idx];
 }
 
+std::vector<int64_t> ParseWorkerCounts(const std::string& spec) {
+  std::vector<int64_t> counts;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const int64_t w = std::atoll(item.c_str());
+    if (w >= 1) counts.push_back(w);
+  }
+  if (counts.empty()) counts.push_back(1);
+  return counts;
+}
+
+struct LoadResult {
+  int64_t workers = 1;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double obs_per_sec = 0.0;
+  double mean_batch = 0.0;
+};
+
+struct SnapshotResult {
+  bool ran = false;
+  double save_ms = 0.0;
+  double restore_ms = 0.0;
+  int64_t bytes = 0;
+  int64_t quarantined = 0;
+};
+
 }  // namespace
 }  // namespace elda
 
@@ -78,20 +120,25 @@ int main(int argc, char** argv) {
   int64_t sessions = 100000;
   int64_t rounds = 3;
   int64_t clients = 4;
+  std::string workers_spec = "1,2,4";
   int64_t depth = 64;
   int64_t batch = 64;
   int64_t window = 32;
   int64_t delay_us = 200;
   int64_t threads = 1;
   int64_t t_sweep = 256;
+  std::string snapshot_path = "BENCH_serve_snapshot.ckpt";
   std::string json_path = "BENCH_serve.json";
   util::ArgParser parser("bench_serve_load",
                          "Streaming inference load generator: latency and "
-                         "throughput with resident per-patient state.");
+                         "throughput with resident per-patient state, "
+                         "multi-worker sweep, and snapshot overhead.");
   parser.String("model", &model_name, "registry model to serve")
       .Int("sessions", &sessions, "resident patients to admit")
       .Int("rounds", &rounds, "observations streamed per patient")
       .Int("clients", &clients, "client threads submitting observations")
+      .String("workers", &workers_spec,
+              "comma-separated scoring-worker counts to sweep")
       .Int("depth", &depth, "per-client in-flight request pipeline")
       .Int("batch", &batch, "micro-batch coalescing cap")
       .Int("window", &window, "rolling-window capacity per session")
@@ -99,9 +146,12 @@ int main(int argc, char** argv) {
       .Int("threads", &threads, "kernel threads inside the scoring step")
       .Int("t-sweep", &t_sweep,
            "history length for the latency-vs-T table (0: skip)")
+      .String("snapshot-path", &snapshot_path,
+              "session checkpoint file for the overhead phase (empty: skip)")
       .String("json_out", &json_path, "machine-readable results path");
   parser.Parse(argc, argv);
 
+  const std::vector<int64_t> worker_counts = ParseWorkerCounts(workers_spec);
   auto model = baselines::MakeModel(model_name, kNumFeatures, /*seed=*/3);
   bench::PrintHeader(
       "serve load: " + model_name,
@@ -109,88 +159,146 @@ int main(int argc, char** argv) {
           ? "incremental StepForward (O(1) per observation)"
           : "window-replay fallback (O(window) per observation)");
 
-  // ---- Phase 1: resident-session load -----------------------------------
-  serve::ServeConfig config;
-  config.infer.batch_size = batch;
-  config.infer.num_threads = threads;
-  config.window_capacity = window;
-  config.max_sessions = sessions + 1;
-  config.max_delay_us = delay_us;
-  config.async = true;
-  serve::InferenceService service(model.get(), config);
-
-  std::vector<serve::SessionId> ids;
-  ids.reserve(static_cast<size_t>(sessions));
-  Stopwatch admit_watch;
-  for (int64_t i = 0; i < sessions; ++i) {
-    ids.push_back(service.Admit());
-  }
-  std::cout << "admitted " << sessions << " sessions in "
-            << TablePrinter::Num(admit_watch.Seconds(), 2) << " s\n";
-
+  // ---- Phase 1: resident-session load, swept over worker counts ---------
   const int64_t total_obs = sessions * rounds;
-  std::vector<std::vector<double>> client_latencies(
-      static_cast<size_t>(clients));
-  Stopwatch load_watch;
-  {
-    std::vector<std::thread> workers;
-    for (int64_t w = 0; w < clients; ++w) {
-      workers.emplace_back([&, w] {
-        Rng rng(static_cast<uint64_t>(w) * 7919 + 1);
-        std::vector<double>& latencies = client_latencies[static_cast<size_t>(w)];
-        latencies.reserve(static_cast<size_t>(total_obs / clients + 1));
-        std::vector<std::pair<Clock::time_point, std::future<serve::StepResult>>>
-            inflight;
-        auto harvest_one = [&] {
-          auto& [t0, fut] = inflight.front();
-          fut.wait();
-          latencies.push_back(
-              std::chrono::duration<double, std::micro>(Clock::now() - t0)
-                  .count());
-          inflight.erase(inflight.begin());
-        };
-        for (int64_t r = 0; r < rounds; ++r) {
-          // Shard sessions across clients round-robin; each session is only
-          // ever touched by one client, so per-session FIFO order holds.
-          for (int64_t i = w; i < sessions; i += clients) {
-            if (static_cast<int64_t>(inflight.size()) >= depth) harvest_one();
-            inflight.emplace_back(Clock::now(),
-                                  service.ObserveAsync(ids[static_cast<size_t>(i)],
-                                                       MakeObservation(&rng)));
-          }
-        }
-        while (!inflight.empty()) harvest_one();
-      });
+  std::vector<LoadResult> load_results;
+  SnapshotResult snapshot;
+  TablePrinter load_table({"workers", "sessions", "observations", "clients",
+                           "p50 us", "p99 us", "obs/sec", "mean batch"});
+  for (size_t wi = 0; wi < worker_counts.size(); ++wi) {
+    const int64_t num_workers = worker_counts[wi];
+    serve::ServeConfig config;
+    config.infer.batch_size = batch;
+    config.infer.num_threads = threads;
+    config.window_capacity = window;
+    config.max_sessions = sessions + 1;
+    config.max_delay_us = delay_us;
+    config.async = true;
+    config.num_workers = num_workers;
+    serve::InferenceService service(model.get(), config);
+
+    std::vector<serve::SessionId> ids;
+    ids.reserve(static_cast<size_t>(sessions));
+    Stopwatch admit_watch;
+    for (int64_t i = 0; i < sessions; ++i) {
+      ids.push_back(service.Admit());
     }
-    for (std::thread& t : workers) t.join();
-  }
-  const double load_s = load_watch.Seconds();
+    if (wi == 0) {
+      std::cout << "admitted " << sessions << " sessions in "
+                << TablePrinter::Num(admit_watch.Seconds(), 2) << " s\n";
+    }
 
-  std::vector<double> all_us;
-  all_us.reserve(static_cast<size_t>(total_obs));
-  for (const auto& v : client_latencies) {
-    all_us.insert(all_us.end(), v.begin(), v.end());
-  }
-  std::sort(all_us.begin(), all_us.end());
-  const double p50 = PercentileUs(all_us, 50.0);
-  const double p99 = PercentileUs(all_us, 99.0);
-  const double obs_per_sec = static_cast<double>(total_obs) / load_s;
-  const serve::MicroBatcher::Stats stats = service.batcher_stats();
+    std::vector<std::vector<double>> client_latencies(
+        static_cast<size_t>(clients));
+    Stopwatch load_watch;
+    {
+      std::vector<std::thread> client_threads;
+      for (int64_t w = 0; w < clients; ++w) {
+        client_threads.emplace_back([&, w] {
+          Rng rng(static_cast<uint64_t>(w) * 7919 + 1);
+          std::vector<double>& latencies =
+              client_latencies[static_cast<size_t>(w)];
+          latencies.reserve(static_cast<size_t>(total_obs / clients + 1));
+          std::vector<
+              std::pair<Clock::time_point, std::future<serve::StepResult>>>
+              inflight;
+          auto harvest_one = [&] {
+            auto& [t0, fut] = inflight.front();
+            fut.wait();
+            latencies.push_back(
+                std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                    .count());
+            inflight.erase(inflight.begin());
+          };
+          for (int64_t r = 0; r < rounds; ++r) {
+            // Shard sessions across clients round-robin; each session is
+            // only ever touched by one client, so per-session FIFO order
+            // holds.
+            for (int64_t i = w; i < sessions; i += clients) {
+              if (static_cast<int64_t>(inflight.size()) >= depth) {
+                harvest_one();
+              }
+              inflight.emplace_back(
+                  Clock::now(),
+                  service.ObserveAsync(ids[static_cast<size_t>(i)],
+                                       MakeObservation(&rng)));
+            }
+          }
+          while (!inflight.empty()) harvest_one();
+        });
+      }
+      for (std::thread& t : client_threads) t.join();
+    }
+    const double load_s = load_watch.Seconds();
 
-  TablePrinter load_table({"sessions", "observations", "clients", "p50 us",
-                           "p99 us", "obs/sec", "mean batch"});
-  load_table.AddRow({std::to_string(sessions), std::to_string(total_obs),
-                     std::to_string(clients), TablePrinter::Num(p50, 1),
-                     TablePrinter::Num(p99, 1),
-                     TablePrinter::Num(obs_per_sec, 0),
-                     TablePrinter::Num(stats.mean_batch_size, 1)});
+    std::vector<double> all_us;
+    all_us.reserve(static_cast<size_t>(total_obs));
+    for (const auto& v : client_latencies) {
+      all_us.insert(all_us.end(), v.begin(), v.end());
+    }
+    std::sort(all_us.begin(), all_us.end());
+    const serve::MicroBatcher::Stats stats = service.batcher_stats();
+    LoadResult result;
+    result.workers = num_workers;
+    result.p50_us = PercentileUs(all_us, 50.0);
+    result.p99_us = PercentileUs(all_us, 99.0);
+    result.obs_per_sec = static_cast<double>(total_obs) / load_s;
+    result.mean_batch = stats.mean_batch_size;
+    load_results.push_back(result);
+    load_table.AddRow(
+        {std::to_string(num_workers), std::to_string(sessions),
+         std::to_string(total_obs), std::to_string(clients),
+         TablePrinter::Num(result.p50_us, 1),
+         TablePrinter::Num(result.p99_us, 1),
+         TablePrinter::Num(result.obs_per_sec, 0),
+         TablePrinter::Num(result.mean_batch, 1)});
+
+    // ---- Phase 2: snapshot overhead on the last (still-live) service ----
+    if (wi + 1 == worker_counts.size() && !snapshot_path.empty()) {
+      std::string error;
+      Stopwatch save_watch;
+      if (!service.SaveSnapshotTo(snapshot_path, &error)) {
+        std::cerr << "snapshot save failed: " << error << "\n";
+      } else {
+        snapshot.ran = true;
+        snapshot.save_ms = save_watch.Seconds() * 1e3;
+        struct stat st;
+        if (::stat(snapshot_path.c_str(), &st) == 0) {
+          snapshot.bytes = static_cast<int64_t>(st.st_size);
+        }
+        serve::InferenceService restored(model.get(), config);
+        Stopwatch restore_watch;
+        if (!restored.RestoreSnapshot(snapshot_path, &error)) {
+          std::cerr << "snapshot restore failed: " << error << "\n";
+          snapshot.ran = false;
+        } else {
+          snapshot.restore_ms = restore_watch.Seconds() * 1e3;
+          snapshot.quarantined = restored.stats().quarantined_total;
+        }
+        std::remove(snapshot_path.c_str());
+      }
+    }
+  }
   std::cout << load_table.ToString();
+  if (snapshot.ran) {
+    TablePrinter snap_table(
+        {"snapshot sessions", "save ms", "restore ms", "file MB"});
+    snap_table.AddRow(
+        {std::to_string(sessions), TablePrinter::Num(snapshot.save_ms, 1),
+         TablePrinter::Num(snapshot.restore_ms, 1),
+         TablePrinter::Num(static_cast<double>(snapshot.bytes) / 1e6, 1)});
+    std::cout << "\nsession checkpoint overhead (all resident states):\n"
+              << snap_table.ToString();
+  }
 
-  // ---- Phase 2: latency vs history length -------------------------------
+  // ---- Phase 3: latency vs history length -------------------------------
   std::vector<double> bucket_mean_us;
   int64_t bucket_width = 0;
   if (t_sweep > 0) {
-    serve::ServeConfig sweep_config = config;
+    serve::ServeConfig sweep_config;
+    sweep_config.infer.batch_size = batch;
+    sweep_config.infer.num_threads = threads;
+    sweep_config.window_capacity = window;
     sweep_config.max_sessions = 2;
     sweep_config.async = false;  // inline scoring: no linger in the numbers
     serve::InferenceService sweep(model.get(), sweep_config);
@@ -232,17 +340,35 @@ int main(int argc, char** argv) {
       out << "{\n  \"schema\": \"elda-bench-serve-v1\",\n"
           << "  \"threads\": " << threads << ",\n"
           << "  \"git_rev\": \"" << bench::GitRev() << "\",\n"
-          << "  \"benchmarks\": [\n"
-          << "    {\"name\": \"load\", \"model\": \"" << model_name
-          << "\", \"incremental\": "
-          << (model->has_incremental_step() ? "true" : "false")
-          << ", \"sessions\": " << sessions
-          << ", \"observations\": " << total_obs
-          << ", \"clients\": " << clients << ", \"p50_us\": " << p50
-          << ", \"p99_us\": " << p99 << ", \"obs_per_sec\": " << obs_per_sec
-          << ", \"mean_batch\": " << stats.mean_batch_size << "}";
+          << "  \"benchmarks\": [\n";
+      bool first = true;
+      for (const LoadResult& r : load_results) {
+        if (!first) out << ",\n";
+        first = false;
+        out << "    {\"name\": \"load\", \"model\": \"" << model_name
+            << "\", \"incremental\": "
+            << (model->has_incremental_step() ? "true" : "false")
+            << ", \"workers\": " << r.workers
+            << ", \"sessions\": " << sessions
+            << ", \"observations\": " << total_obs
+            << ", \"clients\": " << clients << ", \"p50_us\": " << r.p50_us
+            << ", \"p99_us\": " << r.p99_us
+            << ", \"obs_per_sec\": " << r.obs_per_sec
+            << ", \"mean_batch\": " << r.mean_batch << "}";
+      }
+      if (snapshot.ran) {
+        if (!first) out << ",\n";
+        first = false;
+        out << "    {\"name\": \"snapshot\", \"model\": \"" << model_name
+            << "\", \"sessions\": " << sessions
+            << ", \"save_ms\": " << snapshot.save_ms
+            << ", \"restore_ms\": " << snapshot.restore_ms
+            << ", \"bytes\": " << snapshot.bytes
+            << ", \"quarantined\": " << snapshot.quarantined << "}";
+      }
       if (!bucket_mean_us.empty()) {
-        out << ",\n    {\"name\": \"t_sweep\", \"model\": \"" << model_name
+        if (!first) out << ",\n";
+        out << "    {\"name\": \"t_sweep\", \"model\": \"" << model_name
             << "\", \"bucket_width\": " << bucket_width
             << ", \"bucket_mean_us\": [";
         for (size_t i = 0; i < bucket_mean_us.size(); ++i) {

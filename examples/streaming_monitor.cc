@@ -11,12 +11,24 @@
 // coalesces them into single batched no-grad calls; the final stats line
 // shows the realised batch size.
 //
+// Kill-and-resume: with --snapshot-path the service checkpoints every
+// session's resident state halfway through the stream, is destroyed
+// ("killed"), and a fresh service restores the file and carries on —
+// session ids, observation counts, and the risk trajectory all survive.
+// With --restore the example instead starts from an existing snapshot
+// file (a previous run's), skipping the already-absorbed hours: the
+// cross-process resume. Training is deterministic, so a restored run
+// with the same flags serves the same weights the snapshot was taken
+// under (the restore validates model name and window capacity).
+//
 //   $ ./examples/streaming_monitor [--model NAME] [--admissions N]
 //                                  [--epochs E] [--threshold P] [--ward W]
+//                                  [--snapshot-path F] [--restore]
 
 #include <future>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,6 +47,8 @@ int main(int argc, char** argv) {
   int64_t epochs = 4;
   double threshold = 0.4;
   int64_t ward_size = 6;
+  std::string snapshot_path;
+  bool restore = false;
   util::ArgParser parser("streaming_monitor",
                          "Live ward monitoring with resident per-patient "
                          "state and step-level scoring.");
@@ -42,8 +56,18 @@ int main(int argc, char** argv) {
       .Int("admissions", &admissions, "historical training admissions")
       .Int("epochs", &epochs, "training epochs")
       .Double("threshold", &threshold, "alert threshold on predicted risk")
-      .Int("ward", &ward_size, "patients on the live ward");
+      .Int("ward", &ward_size, "patients on the live ward")
+      .String("snapshot-path", &snapshot_path,
+              "session checkpoint file; enables the mid-stream "
+              "kill-and-resume demo")
+      .Bool("restore", &restore,
+            "resume from an existing --snapshot-path file instead of "
+            "streaming from hour 0");
   parser.Parse(argc, argv);
+  if (restore && snapshot_path.empty()) {
+    std::cerr << "--restore requires --snapshot-path\n";
+    return 2;
+  }
 
   // Train on a historical cohort.
   synth::CohortConfig history_config = synth::SynthPhysioNet2012();
@@ -69,7 +93,8 @@ int main(int argc, char** argv) {
   // observations coalesce in the micro-batcher.
   serve::ServeConfig serve_config;
   serve_config.infer.batch_size = ward_size;
-  serve::InferenceService service(model.get(), serve_config);
+  auto service =
+      std::make_unique<serve::InferenceService>(model.get(), serve_config);
 
   // The live ward: raw admissions, observed hour by hour. Each patient
   // gets a session (resident model state) and a streaming imputer
@@ -85,16 +110,50 @@ int main(int argc, char** argv) {
     serve::StreamingImputer imputer;
     bool alerted = false;
     float risk = 0.0f;
+    int64_t absorbed = 0;  // hours already scored before this process
   };
   std::vector<WardPatient> patients;
   int64_t hours = 0;
+  if (restore) {
+    // Cross-process resume: the service rehydrates every session from the
+    // snapshot (same ids, same mid-stream state). Beds re-bind by tag; a
+    // bed missing from the file (never admitted before the save) starts
+    // cold. The client-side imputer state is rebuilt below by replaying
+    // the already-absorbed hours through the imputer only — no scoring.
+    std::string error;
+    if (!service->RestoreSnapshot(snapshot_path, &error)) {
+      std::cerr << "restore failed: " << error << "\n";
+      return 1;
+    }
+    std::cout << "restored " << service->sessions().size() << " sessions from "
+              << snapshot_path << "\n";
+  }
   for (int64_t i = 0; i < ward.size(); ++i) {
-    patients.push_back({service.Admit("bed-" + std::to_string(i)),
+    const std::string tag = "bed-" + std::to_string(i);
+    serve::SessionId id = serve::kInvalidSession;
+    int64_t absorbed = 0;
+    float last_risk = 0.0f;
+    if (restore) {
+      for (const auto& session : service->sessions().Resident()) {
+        if (session->tag == tag) {
+          id = session->id;
+          absorbed = session->observations.load();
+          if (session->ever_scored.load()) last_risk = session->last_risk.load();
+          break;
+        }
+      }
+    }
+    if (id == serve::kInvalidSession) id = service->Admit(tag);
+    patients.push_back({id,
                         serve::StreamingImputer(&experiment.standardizer(),
                                                 num_features),
-                        false, 0.0f});
+                        false, last_risk, absorbed});
     hours = std::max(hours, ward.sample(i).num_steps);
   }
+  // With --snapshot-path (and not restoring), checkpoint + kill + restore
+  // the service halfway through the stream.
+  const int64_t kill_hour =
+      (!snapshot_path.empty() && !restore) ? hours / 2 : -1;
 
   std::cout << "streaming " << ward_size << " patients, " << hours
             << " hours; risk snapshots every 12h (* = above threshold "
@@ -111,8 +170,11 @@ int main(int argc, char** argv) {
       serve::Observation obs = patient.imputer.Next(
           raw.values.data() + t * num_features,
           raw.observed.data() + t * num_features);
+      // Hours the restored session already scored only refresh the
+      // client-side imputer; the resident model state has seen them.
+      if (t < patient.absorbed) continue;
       inflight.emplace_back(i,
-                            service.ObserveAsync(patient.id, std::move(obs)));
+                            service->ObserveAsync(patient.id, std::move(obs)));
     }
     for (auto& [i, future] : inflight) {
       const serve::StepResult result = future.get();
@@ -133,14 +195,36 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
     }
+    if (t + 1 == kill_hour) {
+      // Checkpoint every resident state, destroy the service (in-flight
+      // work has drained: the wave above was harvested), and restore into
+      // a brand-new one. Session ids are preserved, so the patient
+      // handles above keep working and the risk trajectory continues as
+      // if nothing happened.
+      std::string error;
+      if (!service->SaveSnapshotTo(snapshot_path, &error)) {
+        std::cerr << "snapshot failed: " << error << "\n";
+        return 1;
+      }
+      service.reset();
+      service =
+          std::make_unique<serve::InferenceService>(model.get(), serve_config);
+      if (!service->RestoreSnapshot(snapshot_path, &error)) {
+        std::cerr << "restore failed: " << error << "\n";
+        return 1;
+      }
+      std::cout << "  -- h" << std::setw(2) << (t + 1) << " snapshot -> "
+                << snapshot_path << "; service killed and restored with "
+                << service->sessions().size() << " sessions (ids preserved)\n";
+    }
   }
 
-  for (WardPatient& patient : patients) service.Discharge(patient.id);
-  const serve::MicroBatcher::Stats stats = service.batcher_stats();
+  for (WardPatient& patient : patients) service->Discharge(patient.id);
+  const serve::MicroBatcher::Stats stats = service->batcher_stats();
   std::cout << "\n" << stats.observations << " observations in "
             << stats.batches << " batched calls (mean batch "
             << std::setprecision(1) << stats.mean_batch_size
-            << "); sessions admitted " << service.sessions().admitted_total()
-            << ", resident now " << service.sessions().size() << "\n";
+            << "); sessions admitted " << service->sessions().admitted_total()
+            << ", resident now " << service->sessions().size() << "\n";
   return 0;
 }

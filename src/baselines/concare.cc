@@ -12,6 +12,14 @@ namespace baselines {
 namespace {
 
 struct ConCareStreamState : nn::StepState {
+  void Save(nn::StateWriter* w) const override {
+    nn::StepState::Save(w);
+    w->TensorData(h);
+  }
+  bool Load(nn::StateReader* r) override {
+    return nn::StepState::Load(r) && r->TensorInto(&h);
+  }
+
   Tensor h;  // [C, u] — feature c's GRU state in row c
 };
 

@@ -10,6 +10,14 @@ namespace baselines {
 namespace {
 
 struct GruStreamState : nn::StepState {
+  void Save(nn::StateWriter* w) const override {
+    nn::StepState::Save(w);
+    w->TensorData(h);
+  }
+  bool Load(nn::StateReader* r) override {
+    return nn::StepState::Load(r) && r->TensorInto(&h);
+  }
+
   Tensor h;  // [hidden]
 };
 

@@ -14,6 +14,20 @@ namespace {
 struct StageNetStreamState : nn::StepState {
   explicit StageNetStreamState(int64_t ring_capacity) : staged(ring_capacity) {}
 
+  void Save(nn::StateWriter* w) const override {
+    nn::StepState::Save(w);
+    w->TensorData(h);
+    w->TensorData(c);
+    w->Window(staged);
+    w->TensorData(conv_sum);
+    w->I64(windows);
+  }
+  bool Load(nn::StateReader* r) override {
+    return nn::StepState::Load(r) && r->TensorInto(&h) && r->TensorInto(&c) &&
+           r->WindowInto(&staged) && r->TensorInto(&conv_sum) &&
+           r->I64(&windows);
+  }
+
   Tensor h;                 // [hidden]
   Tensor c;                 // [hidden]
   nn::RollingWindow staged; // last K-1 staged states (window assembly)

@@ -16,6 +16,22 @@ struct EldaNetStreamState : nn::StepState {
       : h_prev(window_capacity), obs_x(window_capacity),
         obs_mask(window_capacity) {}
 
+  void Save(nn::StateWriter* w) const override {
+    nn::StepState::Save(w);
+    w->TensorData(h);
+    w->Window(h_prev);
+    w->Window(obs_x);
+    w->Window(obs_mask);
+    w->Bytes(seen);
+  }
+  bool Load(nn::StateReader* r) override {
+    const size_t seen_size = seen.size();
+    return nn::StepState::Load(r) && r->TensorInto(&h) &&
+           r->WindowInto(&h_prev) && r->WindowInto(&obs_x) &&
+           r->WindowInto(&obs_mask) && r->Bytes(&seen) &&
+           seen.size() == seen_size;
+  }
+
   Tensor h;                  // [H] current GRU state (full history)
   nn::RollingWindow h_prev;  // earlier states, for time-attention scoring
   // Raw observation window + observed-so-far bitmask, kept only for V_m

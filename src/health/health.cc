@@ -67,7 +67,9 @@ void HealthMonitor::Reset() {
 
 bool FaultPlan::Any() const {
   return poison_grad_at_step >= 0 || fail_write_at >= 0 ||
-         truncate_write_at >= 0 || flip_byte_write_at >= 0;
+         truncate_write_at >= 0 || flip_byte_write_at >= 0 ||
+         drop_snapshot_at >= 0 || poison_state_at >= 0 ||
+         slow_worker_index >= 0;
 }
 
 namespace {
@@ -107,7 +109,7 @@ bool FaultPlan::Parse(const std::string& spec, FaultPlan* plan,
     int64_t offset = -1;
     const size_t colon = index_text.find(':');
     if (colon != std::string::npos) {
-      if (name != "flip_byte" ||
+      if ((name != "flip_byte" && name != "slow_worker") ||
           !ParseIndex(index_text.substr(colon + 1), &offset)) {
         return ParseFail(error, "bad fault term '" + term + "'");
       }
@@ -126,6 +128,13 @@ bool FaultPlan::Parse(const std::string& spec, FaultPlan* plan,
     } else if (name == "flip_byte") {
       plan->flip_byte_write_at = index;
       if (offset >= 0) plan->flip_byte_offset = offset;
+    } else if (name == "drop_snapshot") {
+      plan->drop_snapshot_at = index;
+    } else if (name == "poison_state") {
+      plan->poison_state_at = index;
+    } else if (name == "slow_worker") {
+      plan->slow_worker_index = index;
+      if (offset >= 0) plan->slow_worker_delay_us = offset;
     } else {
       return ParseFail(error, "unknown fault '" + name + "'");
     }
@@ -134,20 +143,32 @@ bool FaultPlan::Parse(const std::string& spec, FaultPlan* plan,
 }
 
 void FaultInjector::Arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
   plan_ = plan;
   armed_ = true;
   poison_fired_ = false;
+  poison_state_fired_ = false;
   write_count_ = 0;
+  snapshot_count_ = 0;
 }
 
 void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
   plan_ = FaultPlan();
   armed_ = false;
   poison_fired_ = false;
+  poison_state_fired_ = false;
   write_count_ = 0;
+  snapshot_count_ = 0;
+}
+
+bool FaultInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return armed_;
 }
 
 bool FaultInjector::ConsumePoisonGrad(int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!armed_ || poison_fired_ || plan_.poison_grad_at_step < 0 ||
       step != plan_.poison_grad_at_step) {
     return false;
@@ -157,6 +178,7 @@ bool FaultInjector::ConsumePoisonGrad(int64_t step) {
 }
 
 WriteFault FaultInjector::NextWriteFault(int64_t* flip_offset) {
+  std::lock_guard<std::mutex> lock(mu_);
   const int64_t write = write_count_++;
   if (!armed_) return WriteFault::kNone;
   if (write == plan_.fail_write_at) return WriteFault::kFail;
@@ -166,6 +188,41 @@ WriteFault FaultInjector::NextWriteFault(int64_t* flip_offset) {
     return WriteFault::kFlipByte;
   }
   return WriteFault::kNone;
+}
+
+int64_t FaultInjector::writes_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_count_;
+}
+
+bool FaultInjector::ConsumeDropSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t snapshot = snapshot_count_++;
+  return armed_ && snapshot == plan_.drop_snapshot_at;
+}
+
+bool FaultInjector::ConsumePoisonState(int64_t record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_ || poison_state_fired_ || plan_.poison_state_at < 0 ||
+      record != plan_.poison_state_at) {
+    return false;
+  }
+  poison_state_fired_ = true;
+  return true;
+}
+
+int64_t FaultInjector::SlowWorkerDelayUs(int64_t worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_ || plan_.slow_worker_index < 0 ||
+      worker != plan_.slow_worker_index) {
+    return 0;
+  }
+  return plan_.slow_worker_delay_us;
+}
+
+int64_t FaultInjector::snapshots_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_count_;
 }
 
 FaultInjector* GlobalFaultInjector() {

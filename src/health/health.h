@@ -21,6 +21,7 @@
 #define ELDA_HEALTH_HEALTH_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -85,7 +86,8 @@ class HealthMonitor {
 };
 
 // A deterministic set of faults to inject into one run. All step/write
-// indices are 0-based; -1 disables the fault. Each fault fires at most once.
+// indices are 0-based; -1 disables the fault. Each fault fires at most once,
+// except slow_worker, which delays every batch its worker scores.
 struct FaultPlan {
   int64_t poison_grad_at_step = -1;   // optimizer step whose gradient gets NaN
   int64_t fail_write_at = -1;         // checkpoint write that fails outright
@@ -93,11 +95,19 @@ struct FaultPlan {
   int64_t flip_byte_write_at = -1;    // write whose output gets one bit flip
   int64_t flip_byte_offset = 24;      // byte offset flipped by the above
 
+  // -- Serving-path faults (elda::serve) -------------------------------------
+  int64_t drop_snapshot_at = -1;     // Nth session-snapshot write dropped
+  int64_t poison_state_at = -1;      // session record N corrupted in snapshot
+  int64_t slow_worker_index = -1;    // scoring worker delayed on every batch
+  int64_t slow_worker_delay_us = 2000;  // delay injected by the above
+
   bool Any() const;
 
-  // Parses a spec like "poison_grad@12,fail_write@0,flip_byte@1:40" —
-  // comma/semicolon-separated `fault@index` terms, flip_byte taking an
-  // optional `:offset`. Returns false with a message on malformed input.
+  // Parses a spec like "poison_grad@12,fail_write@0,flip_byte@1:40,
+  // drop_snapshot@0,poison_state@2,slow_worker@1:500" — comma/semicolon-
+  // separated `fault@index` terms; flip_byte takes an optional `:offset`,
+  // slow_worker an optional `:delay_us`. Returns false with a message on
+  // malformed input.
   static bool Parse(const std::string& spec, FaultPlan* plan,
                     std::string* error);
 };
@@ -106,13 +116,14 @@ struct FaultPlan {
 enum class WriteFault { kNone, kFail, kTruncate, kFlipByte };
 
 // Holds the armed plan and the counters that decide when each fault fires.
-// Single-threaded by design: the trainer loop and checkpoint writes happen
-// on the driver thread.
+// The training-path hooks (poison_grad, write faults) run on the driver
+// thread; the serving-path hooks are called from snapshot and scoring
+// worker threads, so the whole injector is mutex-guarded.
 class FaultInjector {
  public:
   void Arm(const FaultPlan& plan);
   void Disarm();
-  bool armed() const { return armed_; }
+  bool armed() const;
 
   // True exactly once, when `step` matches the planned poison step.
   bool ConsumePoisonGrad(int64_t step);
@@ -121,13 +132,33 @@ class FaultInjector {
   // it. `flip_offset` receives the byte offset for kFlipByte.
   WriteFault NextWriteFault(int64_t* flip_offset);
 
-  int64_t writes_seen() const { return write_count_; }
+  int64_t writes_seen() const;
+
+  // -- Serving-path hooks ----------------------------------------------------
+
+  // Consumes one session-snapshot write slot; true when this write is the
+  // planned drop (the snapshot must fail without touching the file).
+  bool ConsumeDropSnapshot();
+
+  // True exactly once, when serializing snapshot session record `record` —
+  // the writer corrupts that record's state bytes after computing their
+  // CRC, simulating silent rot only the per-session checksum can catch.
+  bool ConsumePoisonState(int64_t record);
+
+  // Microseconds of delay to inject into every batch scored by micro-batch
+  // worker `worker`; 0 when the fault targets another worker or is unarmed.
+  int64_t SlowWorkerDelayUs(int64_t worker) const;
+
+  int64_t snapshots_seen() const;
 
  private:
+  mutable std::mutex mu_;
   FaultPlan plan_;
   bool armed_ = false;
   bool poison_fired_ = false;
+  bool poison_state_fired_ = false;
   int64_t write_count_ = 0;
+  int64_t snapshot_count_ = 0;
 };
 
 // Process-global injector. On first access, arms itself from the

@@ -10,6 +10,10 @@ namespace nn {
 
 StepState::~StepState() = default;
 
+void StepState::Save(StateWriter* writer) const { writer->I64(steps_seen); }
+
+bool StepState::Load(StateReader* reader) { return reader->I64(&steps_seen); }
+
 RollingWindow::RollingWindow(int64_t capacity) : capacity_(capacity) {
   ELDA_CHECK_GE(capacity, 1);
 }
@@ -54,6 +58,94 @@ Tensor RollingWindow::Materialize() const {
 void RollingWindow::Clear() {
   start_ = 0;
   size_ = 0;
+}
+
+void StateWriter::I64(int64_t value) {
+  out_.append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void StateWriter::F32(float value) {
+  out_.append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void StateWriter::TensorData(const Tensor& tensor) {
+  I64(tensor.size());
+  out_.append(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<size_t>(tensor.size()) * sizeof(float));
+}
+
+void StateWriter::Window(const RollingWindow& window) {
+  I64(window.width());
+  I64(window.size());
+  for (int64_t i = 0; i < window.size(); ++i) {
+    out_.append(reinterpret_cast<const char*>(window.row(i)),
+                static_cast<size_t>(window.width()) * sizeof(float));
+  }
+}
+
+void StateWriter::Bytes(const std::vector<uint8_t>& bytes) {
+  I64(static_cast<int64_t>(bytes.size()));
+  out_.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+StateReader::StateReader(const char* data, size_t size)
+    : data_(data), size_(size) {}
+
+bool StateReader::Raw(void* dst, size_t n) {
+  if (!ok_ || pos_ + n > size_) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(dst, data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool StateReader::I64(int64_t* value) { return Raw(value, sizeof(*value)); }
+
+bool StateReader::F32(float* value) { return Raw(value, sizeof(*value)); }
+
+bool StateReader::TensorInto(Tensor* tensor) {
+  int64_t count = 0;
+  if (!I64(&count)) return false;
+  if (count != tensor->size()) {
+    ok_ = false;
+    return false;
+  }
+  return Raw(tensor->data(), static_cast<size_t>(count) * sizeof(float));
+}
+
+bool StateReader::WindowInto(RollingWindow* window) {
+  int64_t width = 0;
+  int64_t size = 0;
+  if (!I64(&width) || !I64(&size)) return false;
+  if (width < 0 || size < 0 || size > window->capacity() ||
+      (size > 0 && width == 0) ||
+      (window->width() != 0 && width != 0 && width != window->width())) {
+    ok_ = false;
+    return false;
+  }
+  window->Clear();
+  if (size == 0) return true;
+  std::vector<float> row(static_cast<size_t>(width));
+  for (int64_t i = 0; i < size; ++i) {
+    if (!Raw(row.data(), static_cast<size_t>(width) * sizeof(float))) {
+      return false;
+    }
+    window->Append(row.data(), width);
+  }
+  return true;
+}
+
+bool StateReader::Bytes(std::vector<uint8_t>* bytes) {
+  int64_t count = 0;
+  if (!I64(&count)) return false;
+  if (count < 0 || static_cast<size_t>(count) > size_ - pos_) {
+    ok_ = false;
+    return false;
+  }
+  bytes->resize(static_cast<size_t>(count));
+  return count == 0 || Raw(bytes->data(), static_cast<size_t>(count));
 }
 
 }  // namespace nn

@@ -7,26 +7,25 @@
 // train::SequenceModel::MakeStepState() and advances it in StepForward();
 // callers (the serve session table, tests, benches) treat it as a black
 // box with a step counter.
+//
+// Every concrete state also knows how to serialize itself (Save/Load via
+// StateWriter/StateReader), which is what makes the serving layer's
+// session checkpoint/restore possible: a state written by Save and read
+// back by Load into a fresh MakeStepState allocation carries bitwise the
+// same tensors, rings, and counters, so post-restore StepForward calls
+// score exactly as the uninterrupted stream would have.
 
 #ifndef ELDA_NN_STEP_STATE_H_
 #define ELDA_NN_STEP_STATE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.h"
 
 namespace elda {
 namespace nn {
-
-// Base class for model-specific streaming state. Polymorphic so model
-// implementations can downcast to their own concrete type (checked).
-struct StepState {
-  virtual ~StepState();
-
-  // Observations consumed so far, maintained by StepForward.
-  int64_t steps_seen = 0;
-};
 
 // Bounded chronological ring buffer of fixed-width float rows — the storage
 // behind every windowed StepState (raw-observation windows for replay
@@ -66,6 +65,83 @@ class RollingWindow {
   int64_t start_ = 0;  // ring index of the oldest row
   int64_t size_ = 0;
   std::vector<float> data_;  // capacity * width floats once width is known
+};
+
+// Append-only byte sink the StepState::Save overrides write into. Raw
+// little-endian float/int payloads: the values are copied bit-for-bit, so
+// a round trip through Save/Load cannot perturb any score.
+class StateWriter {
+ public:
+  void I64(int64_t value);
+  void F32(float value);
+  // Element count followed by the raw float payload. Shapes are implied by
+  // the model's MakeStepState allocation, so only the flat data travels.
+  void TensorData(const Tensor& tensor);
+  // Width, retained row count, then the rows in chronological order. The
+  // ring's internal rotation is not persisted — a restored window holds the
+  // same rows starting at slot 0, which behaves identically.
+  void Window(const RollingWindow& window);
+  void Bytes(const std::vector<uint8_t>& bytes);
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+// Bounds-checked reader over one Save payload. Every accessor returns
+// false (and poisons the reader) instead of reading past the end or into a
+// mismatched destination, so a truncated or corrupt state payload is
+// rejected rather than loaded as garbage.
+class StateReader {
+ public:
+  StateReader(const char* data, size_t size);
+  explicit StateReader(const std::string& bytes)
+      : StateReader(bytes.data(), bytes.size()) {}
+
+  bool I64(int64_t* value);
+  bool F32(float* value);
+  // Fails unless the stored element count equals tensor->size(); the
+  // destination keeps the shape MakeStepState gave it.
+  bool TensorInto(Tensor* tensor);
+  // Clears `window` and re-appends the stored rows. Fails when the stored
+  // row count exceeds the window's capacity or the widths conflict.
+  bool WindowInto(RollingWindow* window);
+  bool Bytes(std::vector<uint8_t>* bytes);
+
+  // True when every read so far succeeded.
+  bool ok() const { return ok_; }
+  // True when the whole payload was consumed (trailing garbage check).
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+
+ private:
+  bool Raw(void* dst, size_t n);
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Base class for model-specific streaming state. Polymorphic so model
+// implementations can downcast to their own concrete type (checked).
+struct StepState {
+  virtual ~StepState();
+
+  // Serializes everything the state carries. Concrete states must override
+  // both Save and Load together and call the base implementation first
+  // (it persists `steps_seen`).
+  virtual void Save(StateWriter* writer) const;
+
+  // Restores from a Save payload into a state freshly allocated by the
+  // same model's MakeStepState with the same window capacity. Returns
+  // false on truncated or mismatched input, leaving the state unusable —
+  // callers must discard it (the serve layer quarantines the session).
+  virtual bool Load(StateReader* reader);
+
+  // Observations consumed so far, maintained by StepForward.
+  int64_t steps_seen = 0;
 };
 
 }  // namespace nn

@@ -1,6 +1,8 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -16,55 +18,92 @@ InferenceService::InferenceService(const train::SequenceModel* model,
                                    ServeConfig config)
     : model_(model),
       config_(std::move(config)),
-      table_(model, config_.window_capacity, config_.max_sessions) {
+      table_(model, config_.window_capacity, config_.max_sessions,
+             config_.eviction) {
   ELDA_CHECK(model != nullptr);
+  ELDA_CHECK_GE(config_.num_workers, 1);
   if (config_.async) {
-    batcher_ = std::make_unique<MicroBatcher>(model_, config_.infer,
-                                              config_.max_delay_us);
+    batchers_.reserve(static_cast<size_t>(config_.num_workers));
+    for (int64_t w = 0; w < config_.num_workers; ++w) {
+      batchers_.push_back(std::make_unique<MicroBatcher>(
+          model_, config_.infer, config_.max_delay_us, w, config_.max_queue,
+          config_.block_when_full));
+    }
   }
+  const bool periodic_snapshot =
+      !config_.snapshot_path.empty() && config_.snapshot_every_ms > 0;
+  const bool idle_sweep = config_.idle_ttl > 0 &&
+                          config_.eviction != EvictionPolicy::kRejectAdmits;
+  if (periodic_snapshot || idle_sweep) {
+    maintenance_ = std::thread([this] { MaintenanceLoop(); });
+  }
+}
+
+InferenceService::~InferenceService() {
+  if (maintenance_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(maint_mu_);
+      maint_stop_ = true;
+    }
+    maint_cv_.notify_all();
+    maintenance_.join();
+  }
+  // batchers_ drain and join in their destructors.
 }
 
 SessionId InferenceService::Admit(std::string tag) {
   std::shared_ptr<Session> session = table_.Admit(std::move(tag));
-  return session == nullptr ? kInvalidSession : session->id;
+  if (session == nullptr) return kInvalidSession;
+  session->last_observed.store(table_.Tick(), std::memory_order_relaxed);
+  return session->id;
 }
 
 bool InferenceService::Discharge(SessionId id) { return table_.Discharge(id); }
 
-StepResult InferenceService::Observe(SessionId id, Observation obs) {
-  std::shared_ptr<Session> session = table_.Get(id);
-  if (session == nullptr) {
-    StepResult result;
-    result.ok = false;
-    return result;
-  }
-  if (config_.async) {
-    return batcher_->Submit(std::move(session), std::move(obs)).get();
-  }
-  return ObserveInline(session, obs);
+MicroBatcher* InferenceService::ShardFor(SessionId id) const {
+  // Session-affine routing: one session always lands on one worker, so
+  // per-session FIFO (and bitwise reproducibility) survives the fan-out.
+  const size_t shard = static_cast<size_t>(
+      id % static_cast<SessionId>(batchers_.size()));
+  return batchers_[shard].get();
 }
 
-std::future<StepResult> InferenceService::ObserveAsync(SessionId id,
-                                                       Observation obs) {
+StepResult InferenceService::Observe(SessionId id, Observation obs,
+                                     nn::CaptureSink* capture) {
+  return ObserveAsync(id, std::move(obs), capture).get();
+}
+
+std::future<StepResult> InferenceService::ObserveAsync(
+    SessionId id, Observation obs, nn::CaptureSink* capture,
+    Deadline deadline) {
   std::shared_ptr<Session> session = table_.Get(id);
   if (session == nullptr) {
     std::promise<StepResult> failed;
     StepResult result;
     result.ok = false;
+    result.status = StepStatus::kUnknownSession;
     failed.set_value(result);
     return failed.get_future();
   }
+  session->last_observed.store(table_.Tick(), std::memory_order_relaxed);
   if (config_.async) {
-    return batcher_->Submit(std::move(session), std::move(obs));
+    if (deadline == kNoDeadline && config_.deadline_us > 0) {
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::microseconds(config_.deadline_us);
+    }
+    return ShardFor(id)->Submit(std::move(session), std::move(obs), capture,
+                                deadline);
   }
   std::promise<StepResult> done;
-  done.set_value(ObserveInline(session, obs));
+  done.set_value(ObserveInline(session, obs, capture));
   return done.get_future();
 }
 
 StepResult InferenceService::ObserveInline(
-    const std::shared_ptr<Session>& session, const Observation& obs) {
-  std::lock_guard<std::mutex> lock(inline_mu_);
+    const std::shared_ptr<Session>& session, const Observation& obs,
+    nn::CaptureSink* capture) {
+  std::unique_lock<std::mutex> lock(inline_mu_);
+  inline_cv_.wait(lock, [this] { return !inline_paused_; });
   const int64_t cols = static_cast<int64_t>(obs.x.size());
   ELDA_CHECK_EQ(obs.mask.size(), obs.x.size());
   ELDA_CHECK_EQ(obs.delta.size(), obs.x.size());
@@ -82,7 +121,7 @@ StepResult InferenceService::ObserveInline(
   par::ScopedNumThreads scoped_threads(config_.infer.num_threads);
   ag::NoGradScope no_grad;
   nn::ForwardContext ctx;
-  ctx.capture = config_.infer.capture;
+  ctx.capture = capture != nullptr ? capture : config_.infer.capture;
   ag::Variable logits = model_->StepForward(sb, states, &ctx);
   Tensor probs = Sigmoid(logits.value());
   StepResult result;
@@ -97,8 +136,155 @@ StepResult InferenceService::ObserveInline(
   return result;
 }
 
+void InferenceService::PauseScoring() {
+  if (config_.async) {
+    for (auto& batcher : batchers_) batcher->Pause();
+  } else {
+    std::lock_guard<std::mutex> lock(inline_mu_);
+    inline_paused_ = true;
+  }
+}
+
+void InferenceService::ResumeScoring() {
+  if (config_.async) {
+    for (auto& batcher : batchers_) batcher->Resume();
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(inline_mu_);
+      inline_paused_ = false;
+    }
+    inline_cv_.notify_all();
+  }
+}
+
+bool InferenceService::SaveSnapshotTo(const std::string& path,
+                                      std::string* error) {
+  PauseScoring();
+  SnapshotStats snap;
+  std::string local_error;
+  const bool ok = SaveSessionSnapshot(table_, path, &snap, &local_error);
+  ResumeScoring();
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    if (ok) {
+      ++snapshots_written_;
+      has_snapshot_ = true;
+      last_snapshot_ = std::chrono::steady_clock::now();
+    } else {
+      ++snapshot_failures_;
+    }
+  }
+  if (!ok && error != nullptr) *error = local_error;
+  return ok;
+}
+
+bool InferenceService::SaveSnapshot(std::string* error) {
+  ELDA_CHECK(!config_.snapshot_path.empty())
+      << "SaveSnapshot without ServeConfig::snapshot_path";
+  return SaveSnapshotTo(config_.snapshot_path, error);
+}
+
+bool InferenceService::RestoreSnapshot(const std::string& path,
+                                       std::string* error) {
+  PauseScoring();
+  SnapshotStats snap;
+  const bool ok = RestoreSessionSnapshot(&table_, path, &snap, error);
+  ResumeScoring();
+  if (ok) {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    quarantined_total_ += snap.quarantined;
+  }
+  return ok;
+}
+
+int64_t InferenceService::SweepIdle() {
+  if (config_.idle_ttl <= 0) return 0;
+  PauseScoring();
+  const int64_t evicted = table_.EvictIdle(config_.idle_ttl);
+  ResumeScoring();
+  return evicted;
+}
+
+void InferenceService::MaintenanceLoop() {
+  const bool periodic_snapshot =
+      !config_.snapshot_path.empty() && config_.snapshot_every_ms > 0;
+  const bool idle_sweep = config_.idle_ttl > 0 &&
+                          config_.eviction != EvictionPolicy::kRejectAdmits;
+  // Wake at the snapshot period, or a short sweep cadence when only the
+  // idle sweep is on (the sweep itself is cheap: one pass over the table).
+  int64_t period_ms = periodic_snapshot ? config_.snapshot_every_ms : 50;
+  if (periodic_snapshot && idle_sweep) {
+    period_ms = std::min<int64_t>(period_ms, 50);
+  }
+  auto next_snapshot = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(config_.snapshot_every_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(maint_mu_);
+      maint_cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                         [this] { return maint_stop_; });
+      if (maint_stop_) return;
+    }
+    if (idle_sweep) SweepIdle();
+    if (periodic_snapshot &&
+        std::chrono::steady_clock::now() >= next_snapshot) {
+      std::string error;
+      if (!SaveSnapshot(&error)) {
+        // A dropped/failed periodic snapshot is an operational event, not
+        // a service failure: the previous file is intact, the failure
+        // counter ticks, and the next period retries.
+        std::fprintf(stderr, "[elda::serve] periodic snapshot failed: %s\n",
+                     error.c_str());
+      }
+      next_snapshot = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(config_.snapshot_every_ms);
+    }
+  }
+}
+
 MicroBatcher::Stats InferenceService::batcher_stats() const {
-  return batcher_ == nullptr ? MicroBatcher::Stats() : batcher_->stats();
+  MicroBatcher::Stats total;
+  for (const auto& batcher : batchers_) {
+    const MicroBatcher::Stats s = batcher->stats();
+    total.observations += s.observations;
+    total.batches += s.batches;
+    total.queue_depth += s.queue_depth;
+    total.rejected += s.rejected;
+    total.expired += s.expired;
+  }
+  total.mean_batch_size =
+      total.batches == 0
+          ? 0.0
+          : static_cast<double>(total.observations) / total.batches;
+  return total;
+}
+
+ServiceStats InferenceService::stats() const {
+  ServiceStats s;
+  s.resident_sessions = table_.size();
+  s.max_idle_age = table_.MaxIdleAge();
+  s.evicted = table_.evicted_total();
+  s.parked = table_.parked_count();
+  s.rehydrated = table_.rehydrated_total();
+  const MicroBatcher::Stats b = batcher_stats();
+  s.queue_depth = b.queue_depth;
+  s.rejected = b.rejected;
+  s.expired = b.expired;
+  s.observations = b.observations;
+  s.batches = b.batches;
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    s.snapshots_written = snapshots_written_;
+    s.snapshot_failures = snapshot_failures_;
+    s.quarantined_total = quarantined_total_;
+    if (has_snapshot_) {
+      s.snapshot_age_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - last_snapshot_)
+              .count();
+    }
+  }
+  return s;
 }
 
 }  // namespace serve

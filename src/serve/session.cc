@@ -1,18 +1,41 @@
 #include "serve/session.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
+#include "nn/step_state.h"
 #include "util/logging.h"
 
 namespace elda {
 namespace serve {
 
+const char* StepStatusName(StepStatus status) {
+  switch (status) {
+    case StepStatus::kOk: return "ok";
+    case StepStatus::kUnknownSession: return "unknown-session";
+    case StepStatus::kRejected: return "rejected";
+    case StepStatus::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kRejectAdmits: return "reject-admits";
+    case EvictionPolicy::kEvict: return "evict";
+    case EvictionPolicy::kCheckpointThenEvict: return "checkpoint-then-evict";
+  }
+  return "unknown";
+}
+
 SessionTable::SessionTable(const train::SequenceModel* model,
-                           int64_t window_capacity, int64_t max_sessions)
+                           int64_t window_capacity, int64_t max_sessions,
+                           EvictionPolicy policy)
     : model_(model),
       window_capacity_(window_capacity),
-      max_sessions_(max_sessions) {
+      max_sessions_(max_sessions),
+      policy_(policy) {
   ELDA_CHECK(model != nullptr);
   ELDA_CHECK_GE(window_capacity, 1);
   ELDA_CHECK_GE(max_sessions, 1);
@@ -21,14 +44,40 @@ SessionTable::SessionTable(const train::SequenceModel* model,
 std::shared_ptr<Session> SessionTable::Admit(std::string tag) {
   std::lock_guard<std::mutex> lock(mu_);
   if (static_cast<int64_t>(sessions_.size()) >= max_sessions_) {
-    return nullptr;
+    if (policy_ == EvictionPolicy::kRejectAdmits) return nullptr;
+    if (!EvictLruLocked()) return nullptr;
   }
   auto session = std::make_shared<Session>();
-  session->id = next_id_++;
   session->tag = std::move(tag);
   session->state = model_->MakeStepState(window_capacity_);
+  // A tag matching a parked (checkpoint-then-evicted) session resumes it
+  // mid-stream: same id, state rehydrated from the parked bytes.
+  bool rehydrated = false;
+  if (!session->tag.empty()) {
+    auto parked_it = parked_.find(session->tag);
+    if (parked_it != parked_.end()) {
+      nn::StateReader reader(parked_it->second.state);
+      if (session->state->Load(&reader) && reader.ok()) {
+        session->id = parked_it->second.id;
+        session->observations.store(session->state->steps_seen,
+                                    std::memory_order_relaxed);
+        rehydrated = true;
+      } else {
+        // Unreadable parked bytes: fall through to a cold admission
+        // rather than refusing the patient.
+        session->state = model_->MakeStepState(window_capacity_);
+      }
+      parked_.erase(parked_it);
+    }
+  }
+  if (!rehydrated) {
+    session->id = next_id_++;
+  }
+  session->last_observed.store(clock_.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
   sessions_.emplace(session->id, session);
   ++admitted_;
+  if (rehydrated) ++rehydrated_;
   high_water_ =
       std::max(high_water_, static_cast<int64_t>(sessions_.size()));
   return session;
@@ -44,9 +93,80 @@ bool SessionTable::Discharge(SessionId id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
+  if (!it->second->tag.empty()) parked_.erase(it->second->tag);
   sessions_.erase(it);
   ++discharged_;
   return true;
+}
+
+int64_t SessionTable::Tick() {
+  return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+int64_t SessionTable::clock() const {
+  return clock_.load(std::memory_order_relaxed);
+}
+
+bool SessionTable::EvictLruLocked() {
+  if (sessions_.empty()) return false;
+  SessionId lru = kInvalidSession;
+  int64_t oldest = std::numeric_limits<int64_t>::max();
+  for (const auto& [id, session] : sessions_) {
+    const int64_t seen =
+        session->last_observed.load(std::memory_order_relaxed);
+    if (seen < oldest || (seen == oldest && id < lru)) {
+      oldest = seen;
+      lru = id;
+    }
+  }
+  EvictLocked(lru);
+  return true;
+}
+
+void SessionTable::EvictLocked(SessionId id) {
+  auto it = sessions_.find(id);
+  ELDA_CHECK(it != sessions_.end());
+  Session& session = *it->second;
+  if (policy_ == EvictionPolicy::kCheckpointThenEvict &&
+      !session.tag.empty()) {
+    nn::StateWriter writer;
+    session.state->Save(&writer);
+    ParkedSession parked;
+    parked.id = session.id;
+    parked.last_observed =
+        session.last_observed.load(std::memory_order_relaxed);
+    parked.state = writer.Take();
+    parked_[session.tag] = std::move(parked);
+  }
+  sessions_.erase(it);
+  ++evicted_;
+}
+
+int64_t SessionTable::EvictIdle(int64_t ttl) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (policy_ == EvictionPolicy::kRejectAdmits) return 0;
+  const int64_t now = clock_.load(std::memory_order_relaxed);
+  std::vector<SessionId> expired;
+  for (const auto& [id, session] : sessions_) {
+    const int64_t seen =
+        session->last_observed.load(std::memory_order_relaxed);
+    if (now - seen > ttl) expired.push_back(id);
+  }
+  for (SessionId id : expired) EvictLocked(id);
+  return static_cast<int64_t>(expired.size());
+}
+
+int64_t SessionTable::MaxIdleAge() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = clock_.load(std::memory_order_relaxed);
+  int64_t max_age = 0;
+  for (const auto& [id, session] : sessions_) {
+    (void)id;
+    const int64_t age =
+        now - session->last_observed.load(std::memory_order_relaxed);
+    max_age = std::max(max_age, age);
+  }
+  return max_age;
 }
 
 int64_t SessionTable::size() const {
@@ -64,9 +184,74 @@ int64_t SessionTable::discharged_total() const {
   return discharged_;
 }
 
+int64_t SessionTable::evicted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+int64_t SessionTable::rehydrated_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rehydrated_;
+}
+
+int64_t SessionTable::parked_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(parked_.size());
+}
+
 int64_t SessionTable::high_water() const {
   std::lock_guard<std::mutex> lock(mu_);
   return high_water_;
+}
+
+std::vector<std::shared_ptr<Session>> SessionTable::Resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Session>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    (void)id;
+    out.push_back(session);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const std::shared_ptr<Session>& a,
+               const std::shared_ptr<Session>& b) { return a->id < b->id; });
+  return out;
+}
+
+std::unordered_map<std::string, ParkedSession> SessionTable::Parked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parked_;
+}
+
+void SessionTable::RestoreSession(std::shared_ptr<Session> session) {
+  ELDA_CHECK(session != nullptr);
+  ELDA_CHECK(session->state != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  const SessionId id = session->id;
+  ELDA_CHECK(sessions_.find(id) == sessions_.end())
+      << "duplicate session id " << id << " during restore";
+  sessions_.emplace(id, std::move(session));
+  high_water_ =
+      std::max(high_water_, static_cast<int64_t>(sessions_.size()));
+}
+
+void SessionTable::RestoreParked(std::string tag, ParkedSession parked) {
+  std::lock_guard<std::mutex> lock(mu_);
+  parked_[std::move(tag)] = std::move(parked);
+}
+
+SessionId SessionTable::next_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_;
+}
+
+void SessionTable::set_next_id(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_id_ = id;
+}
+
+void SessionTable::set_clock(int64_t clock) {
+  clock_.store(clock, std::memory_order_relaxed);
 }
 
 }  // namespace serve

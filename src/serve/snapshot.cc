@@ -1,0 +1,285 @@
+#include "serve/snapshot.h"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "health/ckpt_io.h"
+#include "health/crc32.h"
+#include "health/health.h"
+#include "nn/step_state.h"
+#include "util/logging.h"
+
+namespace elda {
+namespace serve {
+
+namespace {
+
+constexpr const char kMetaSection[] = "serve_meta";
+constexpr const char kSessionsSection[] = "serve_sessions";
+constexpr const char kParkedSection[] = "serve_parked";
+
+// -- Flat little-endian record encoding over std::string ----------------------
+
+void PutI64(std::string* out, int64_t value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void PutU32(std::string* out, uint32_t value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void PutF32(std::string* out, float value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void PutString(std::string* out, const std::string& value) {
+  PutI64(out, static_cast<int64_t>(value.size()));
+  out->append(value);
+}
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& bytes) : bytes_(bytes) {}
+
+  bool I64(int64_t* value) { return Raw(value, sizeof(*value)); }
+  bool U32(uint32_t* value) { return Raw(value, sizeof(*value)); }
+  bool F32(float* value) { return Raw(value, sizeof(*value)); }
+
+  bool String(std::string* value) {
+    int64_t size = 0;
+    if (!I64(&size) || size < 0 ||
+        static_cast<size_t>(size) > bytes_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    value->assign(bytes_.data() + pos_, static_cast<size_t>(size));
+    pos_ += static_cast<size_t>(size);
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  bool Raw(void* dst, size_t n) {
+    if (!ok_ || n > bytes_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const std::string& bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// One serialized state payload with its own CRC: length, bytes, crc32.
+// `record` numbers sessions for the poison_state fault, which flips a byte
+// AFTER the CRC is computed — the mismatch is what restore must catch.
+void PutStateRecord(std::string* out, std::string state, int64_t record) {
+  const uint32_t crc = health::Crc32(state);
+  if (record >= 0 &&
+      health::GlobalFaultInjector()->ConsumePoisonState(record) &&
+      !state.empty()) {
+    state[state.size() / 2] ^= 0x40;
+  }
+  PutString(out, state);
+  PutU32(out, crc);
+}
+
+// Reads a state record and verifies its CRC; `*intact` reports whether the
+// bytes survived.
+bool GetStateRecord(Cursor* cursor, std::string* state, bool* intact) {
+  uint32_t crc = 0;
+  if (!cursor->String(state) || !cursor->U32(&crc)) return false;
+  *intact = health::Crc32(*state) == crc;
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool SaveSessionSnapshot(const SessionTable& table, const std::string& path,
+                         SnapshotStats* stats, std::string* error) {
+  if (health::GlobalFaultInjector()->ConsumeDropSnapshot()) {
+    return Fail(error, "fault-injected snapshot drop (drop_snapshot)");
+  }
+  const std::vector<std::shared_ptr<Session>> resident = table.Resident();
+  const std::unordered_map<std::string, ParkedSession> parked =
+      table.Parked();
+
+  std::string meta;
+  PutString(&meta, table.model()->name());
+  PutI64(&meta, table.window_capacity());
+  PutI64(&meta, table.next_id());
+  PutI64(&meta, table.clock());
+
+  std::string sessions;
+  PutI64(&sessions, static_cast<int64_t>(resident.size()));
+  int64_t record = 0;
+  for (const std::shared_ptr<Session>& session : resident) {
+    PutI64(&sessions, session->id);
+    PutString(&sessions, session->tag);
+    PutI64(&sessions,
+           session->last_observed.load(std::memory_order_relaxed));
+    PutI64(&sessions,
+           session->observations.load(std::memory_order_relaxed));
+    PutF32(&sessions, session->last_risk.load(std::memory_order_relaxed));
+    PutI64(&sessions,
+           session->ever_scored.load(std::memory_order_relaxed) ? 1 : 0);
+    nn::StateWriter writer;
+    session->state->Save(&writer);
+    PutStateRecord(&sessions, writer.Take(), record++);
+  }
+
+  // Parked states already passed through Save at eviction; persist them so
+  // a restored service still rehydrates returning patients.
+  std::string parked_payload;
+  PutI64(&parked_payload, static_cast<int64_t>(parked.size()));
+  for (const auto& [tag, park] : parked) {
+    PutString(&parked_payload, tag);
+    PutI64(&parked_payload, park.id);
+    PutI64(&parked_payload, park.last_observed);
+    PutStateRecord(&parked_payload, park.state, -1);
+  }
+
+  std::vector<health::Section> sections;
+  sections.push_back({kMetaSection, std::move(meta)});
+  sections.push_back({kSessionsSection, std::move(sessions)});
+  sections.push_back({kParkedSection, std::move(parked_payload)});
+  if (!health::WriteSectionedFile(path, sections, error)) return false;
+  if (stats != nullptr) {
+    stats->sessions = static_cast<int64_t>(resident.size());
+    stats->parked = static_cast<int64_t>(parked.size());
+    stats->quarantined = 0;
+  }
+  return true;
+}
+
+bool RestoreSessionSnapshot(SessionTable* table, const std::string& path,
+                            SnapshotStats* stats, std::string* error) {
+  ELDA_CHECK(table != nullptr);
+  if (table->size() != 0) {
+    return Fail(error, "snapshot restore requires an empty session table");
+  }
+  std::vector<health::Section> sections;
+  if (!health::ReadSectionedFile(path, &sections, error)) return false;
+  const health::Section* meta = health::FindSection(sections, kMetaSection);
+  const health::Section* sess =
+      health::FindSection(sections, kSessionsSection);
+  const health::Section* park =
+      health::FindSection(sections, kParkedSection);
+  if (meta == nullptr || sess == nullptr || park == nullptr) {
+    return Fail(error, "snapshot is missing a serve section");
+  }
+
+  Cursor meta_cursor(meta->payload);
+  std::string model_name;
+  int64_t window_capacity = 0;
+  int64_t next_id = 0;
+  int64_t clock = 0;
+  if (!meta_cursor.String(&model_name) ||
+      !meta_cursor.I64(&window_capacity) || !meta_cursor.I64(&next_id) ||
+      !meta_cursor.I64(&clock) || !meta_cursor.AtEnd()) {
+    return Fail(error, "snapshot meta section is malformed");
+  }
+  if (model_name != table->model()->name()) {
+    return Fail(error, "snapshot was written by model '" + model_name +
+                           "', table serves '" + table->model()->name() +
+                           "'");
+  }
+  if (window_capacity != table->window_capacity()) {
+    return Fail(error, "snapshot window capacity mismatch");
+  }
+
+  SnapshotStats local;
+  Cursor cursor(sess->payload);
+  int64_t count = 0;
+  if (!cursor.I64(&count) || count < 0) {
+    return Fail(error, "snapshot sessions section is malformed");
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    auto session = std::make_shared<Session>();
+    int64_t last_observed = 0;
+    int64_t observations = 0;
+    float last_risk = 0.0f;
+    int64_t ever_scored = 0;
+    std::string state_bytes;
+    bool intact = false;
+    if (!cursor.I64(&session->id) || !cursor.String(&session->tag) ||
+        !cursor.I64(&last_observed) || !cursor.I64(&observations) ||
+        !cursor.F32(&last_risk) || !cursor.I64(&ever_scored) ||
+        !GetStateRecord(&cursor, &state_bytes, &intact)) {
+      return Fail(error, "snapshot sessions section is truncated");
+    }
+    session->state = table->model()->MakeStepState(window_capacity);
+    bool loaded = false;
+    if (intact) {
+      nn::StateReader reader(state_bytes);
+      loaded = session->state->Load(&reader) && reader.AtEnd();
+    }
+    if (loaded) {
+      session->observations.store(observations, std::memory_order_relaxed);
+      session->last_risk.store(last_risk, std::memory_order_relaxed);
+      session->ever_scored.store(ever_scored != 0,
+                                 std::memory_order_relaxed);
+    } else {
+      // Quarantine: the record failed its CRC (or decoded inconsistently).
+      // The patient stays admitted under the same id/tag but scores from
+      // fresh state — a cold restart for one session, not a poisoned
+      // fleet and not an aborted restore.
+      session->state = table->model()->MakeStepState(window_capacity);
+      ++local.quarantined;
+    }
+    session->last_observed.store(last_observed, std::memory_order_relaxed);
+    table->RestoreSession(std::move(session));
+    ++local.sessions;
+  }
+  if (!cursor.AtEnd()) {
+    return Fail(error, "snapshot sessions section has trailing bytes");
+  }
+
+  Cursor park_cursor(park->payload);
+  int64_t park_count = 0;
+  if (!park_cursor.I64(&park_count) || park_count < 0) {
+    return Fail(error, "snapshot parked section is malformed");
+  }
+  for (int64_t i = 0; i < park_count; ++i) {
+    std::string tag;
+    ParkedSession parked;
+    bool intact = false;
+    if (!park_cursor.String(&tag) || !park_cursor.I64(&parked.id) ||
+        !park_cursor.I64(&parked.last_observed) ||
+        !GetStateRecord(&park_cursor, &parked.state, &intact)) {
+      return Fail(error, "snapshot parked section is truncated");
+    }
+    // A rotten parked record is simply dropped: its patient re-admits cold,
+    // the same outcome Admit falls back to on unreadable parked bytes.
+    if (!intact) {
+      ++local.quarantined;
+      continue;
+    }
+    table->RestoreParked(std::move(tag), std::move(parked));
+    ++local.parked;
+  }
+  if (!park_cursor.AtEnd()) {
+    return Fail(error, "snapshot parked section has trailing bytes");
+  }
+
+  table->set_next_id(next_id);
+  table->set_clock(clock);
+  if (stats != nullptr) *stats = local;
+  return true;
+}
+
+}  // namespace serve
+}  // namespace elda

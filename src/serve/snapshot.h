@@ -1,0 +1,60 @@
+// Session-table checkpoint/restore for the streaming inference service.
+//
+// SaveSessionSnapshot serializes every resident session's StepState (plus
+// the parked checkpoint-then-evicted states and the table's lifecycle
+// counters) through the crash-safe sectioned container of health/ckpt_io
+// — atomic tmp+rename, CRC32 per section. Because ckpt_io bounds the
+// section count, all sessions travel inside ONE "serve_sessions" section
+// as repeated records, each record carrying its own CRC32 over its state
+// bytes: the outer section CRC catches a torn file, the per-record CRC
+// localises silent rot to one patient.
+//
+// RestoreSessionSnapshot rebuilds an empty table so post-restore scores
+// are bitwise-identical to the uninterrupted stream (the StepState
+// Save/Load contract). A session record whose CRC or Load fails is
+// QUARANTINED — re-admitted under its id/tag with fresh state, counted in
+// SnapshotStats::quarantined — rather than aborting the restore or
+// silently scoring from garbage.
+//
+// Fault hooks (health::FaultPlan): drop_snapshot@N fails the Nth save
+// without touching the file (the previous snapshot stays valid);
+// poison_state@N corrupts session record N's state bytes after its CRC is
+// computed, exercising the quarantine path end-to-end.
+
+#ifndef ELDA_SERVE_SNAPSHOT_H_
+#define ELDA_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/session.h"
+
+namespace elda {
+namespace serve {
+
+struct SnapshotStats {
+  int64_t sessions = 0;     // resident session records written/read
+  int64_t parked = 0;       // parked (evicted-with-checkpoint) records
+  int64_t quarantined = 0;  // restore only: records re-admitted cold
+};
+
+// Writes the table to `path`. The caller must guarantee scoring is
+// quiesced (the service pauses its workers first) — resident states are
+// read directly. Returns false with `error` set on I/O failure or an
+// injected drop_snapshot fault; the previous file at `path` is untouched
+// either way. `stats`, when non-null, receives the record counts.
+bool SaveSessionSnapshot(const SessionTable& table, const std::string& path,
+                         SnapshotStats* stats, std::string* error);
+
+// Restores `path` into `table`, which must be empty and built over the
+// same model name and window capacity the snapshot records (validated).
+// Corrupt session records quarantine (fresh state, same id/tag) instead
+// of failing the restore. Returns false with `error` set only when the
+// container itself is unreadable or the meta section mismatches.
+bool RestoreSessionSnapshot(SessionTable* table, const std::string& path,
+                            SnapshotStats* stats, std::string* error);
+
+}  // namespace serve
+}  // namespace elda
+
+#endif  // ELDA_SERVE_SNAPSHOT_H_

@@ -19,6 +19,18 @@ struct WindowReplayState : nn::StepState {
   explicit WindowReplayState(int64_t capacity)
       : x(capacity), mask(capacity), delta(capacity) {}
 
+  void Save(nn::StateWriter* w) const override {
+    nn::StepState::Save(w);
+    w->Window(x);
+    w->Window(mask);
+    w->Window(delta);
+  }
+
+  bool Load(nn::StateReader* r) override {
+    return nn::StepState::Load(r) && r->WindowInto(&x) &&
+           r->WindowInto(&mask) && r->WindowInto(&delta);
+  }
+
   nn::RollingWindow x;
   nn::RollingWindow mask;
   nn::RollingWindow delta;

@@ -68,6 +68,11 @@ class SequenceModel : public nn::Module {
   // models, hidden-state histories for attention scoring); purely
   // incremental states ignore it. Once a stay outruns the capacity the
   // oldest steps are evicted and scores follow the retained suffix window.
+  //
+  // Every concrete state implements nn::StepState::Save/Load, so a state
+  // serialized mid-stream and loaded into a fresh MakeStepState allocation
+  // (same model, same window_capacity) continues scoring bitwise-identically
+  // — the contract the serving layer's session checkpoint/restore builds on.
   virtual std::unique_ptr<nn::StepState> MakeStepState(
       int64_t window_capacity) const;
 

@@ -1,0 +1,874 @@
+// Fleet-grade serving contracts: session checkpoint/restore, idle
+// eviction, backpressure, deadlines, multi-worker sharding, and the
+// fault-injected failure paths.
+//
+// The load-bearing identity throughout is bitwise: a session killed and
+// restored from a snapshot — or evicted with checkpoint and rehydrated —
+// must continue scoring exactly the risks the uninterrupted stream would
+// have produced, for every registry model (incremental and replay
+// fallback alike). The fault-plan tests drive the serve faults
+// (drop_snapshot, poison_state, slow_worker) end-to-end: a corrupt
+// session record quarantines rather than poisoning its fleet, a dropped
+// snapshot leaves the previous file intact, a slow worker changes no
+// value anywhere.
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "data/pipeline.h"
+#include "gtest/gtest.h"
+#include "health/health.h"
+#include "nn/forward_context.h"
+#include "nn/step_state.h"
+#include "serve/micro_batcher.h"
+#include "serve/service.h"
+#include "serve/session.h"
+#include "serve/snapshot.h"
+#include "train/trainer.h"
+
+namespace elda {
+namespace {
+
+constexpr int64_t kFeatures = 5;
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+data::Batch RandomPatient(int64_t steps, uint64_t seed) {
+  Rng rng(seed);
+  data::Batch b;
+  b.x = Tensor::Normal({1, steps, kFeatures}, 0.0f, 1.0f, &rng);
+  b.mask = Tensor({1, steps, kFeatures});
+  for (int64_t i = 0; i < b.mask.size(); ++i) {
+    b.mask[i] = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  b.delta = Tensor({1, steps, kFeatures});
+  for (int64_t i = 0; i < b.delta.size(); ++i) {
+    b.delta[i] = static_cast<float>(rng.Uniform() * 3.0);
+  }
+  b.y = Tensor::Zeros({1});
+  return b;
+}
+
+serve::Observation RowObservation(const data::Batch& patient, int64_t t) {
+  serve::Observation obs;
+  obs.x.assign(patient.x.data() + t * kFeatures,
+               patient.x.data() + (t + 1) * kFeatures);
+  obs.mask.assign(patient.mask.data() + t * kFeatures,
+                  patient.mask.data() + (t + 1) * kFeatures);
+  obs.delta.assign(patient.delta.data() + t * kFeatures,
+                   patient.delta.data() + (t + 1) * kFeatures);
+  return obs;
+}
+
+std::vector<std::string> AllRegistryNames() {
+  std::vector<std::string> names = baselines::AllModelNames();
+  names.push_back("ELDA-Net-Fbi*");
+  names.push_back("ELDA-Net-Ffm*");
+  return names;
+}
+
+// Risks from streaming `patient` through a fresh sync service — the
+// uninterrupted reference every restore/rehydrate test compares against.
+std::vector<float> UninterruptedRisks(const train::SequenceModel* model,
+                                      const data::Batch& patient, int64_t T,
+                                      int64_t window_capacity) {
+  serve::ServeConfig config;
+  config.async = false;
+  config.window_capacity = window_capacity;
+  serve::InferenceService service(model, config);
+  const serve::SessionId id = service.Admit();
+  std::vector<float> risks;
+  for (int64_t t = 0; t < T; ++t) {
+    risks.push_back(service.Observe(id, RowObservation(patient, t)).risk);
+  }
+  return risks;
+}
+
+void ExpectSameRisk(float got, float want, const char* what, int64_t t) {
+  if (std::isnan(want)) {
+    EXPECT_TRUE(std::isnan(got)) << what << " step " << t;
+  } else {
+    EXPECT_EQ(got, want) << what << " step " << t;
+  }
+}
+
+class FaultPlanGuard {
+ public:
+  explicit FaultPlanGuard(const health::FaultPlan& plan) {
+    health::GlobalFaultInjector()->Arm(plan);
+  }
+  ~FaultPlanGuard() { health::GlobalFaultInjector()->Disarm(); }
+};
+
+// -- StepState Save/Load -----------------------------------------------------
+
+// The state-level contract under everything else: Save into bytes, Load
+// into a fresh MakeStepState allocation, and both copies keep producing
+// bitwise-equal logits — for every registry model.
+TEST(ServeRobustnessTest, StateSaveLoadRoundTripBitwise) {
+  const int64_t T = 7;
+  const int64_t split = 3;
+  for (const std::string& name : AllRegistryNames()) {
+    SCOPED_TRACE(name);
+    auto model = baselines::MakeModel(name, kFeatures, /*seed=*/3);
+    const data::Batch patient = RandomPatient(T, 41);
+    ag::NoGradScope no_grad;
+    auto original = model->MakeStepState(T);
+    for (int64_t t = 0; t < split; ++t) {
+      serve::Observation obs = RowObservation(patient, t);
+      train::StepBatch sb;
+      sb.x = Tensor::Empty({1, kFeatures});
+      sb.mask = Tensor::Empty({1, kFeatures});
+      sb.delta = Tensor::Empty({1, kFeatures});
+      std::memcpy(sb.x.data(), obs.x.data(), sizeof(float) * kFeatures);
+      std::memcpy(sb.mask.data(), obs.mask.data(),
+                  sizeof(float) * kFeatures);
+      std::memcpy(sb.delta.data(), obs.delta.data(),
+                  sizeof(float) * kFeatures);
+      model->StepForward(sb, {original.get()}, nullptr);
+    }
+    nn::StateWriter writer;
+    original->Save(&writer);
+    const std::string bytes = writer.Take();
+    auto restored = model->MakeStepState(T);
+    nn::StateReader reader(bytes);
+    ASSERT_TRUE(restored->Load(&reader));
+    ASSERT_TRUE(reader.AtEnd()) << "trailing bytes after Load";
+    ASSERT_EQ(restored->steps_seen, original->steps_seen);
+    for (int64_t t = split; t < T; ++t) {
+      serve::Observation obs = RowObservation(patient, t);
+      train::StepBatch sb;
+      sb.x = Tensor::Empty({1, kFeatures});
+      sb.mask = Tensor::Empty({1, kFeatures});
+      sb.delta = Tensor::Empty({1, kFeatures});
+      std::memcpy(sb.x.data(), obs.x.data(), sizeof(float) * kFeatures);
+      std::memcpy(sb.mask.data(), obs.mask.data(),
+                  sizeof(float) * kFeatures);
+      std::memcpy(sb.delta.data(), obs.delta.data(),
+                  sizeof(float) * kFeatures);
+      const Tensor a =
+          model->StepForward(sb, {original.get()}, nullptr).value();
+      const Tensor b =
+          model->StepForward(sb, {restored.get()}, nullptr).value();
+      if (std::isnan(a[0])) {
+        EXPECT_TRUE(std::isnan(b[0])) << "step " << t;
+      } else {
+        EXPECT_EQ(a[0], b[0]) << "step " << t;
+      }
+    }
+  }
+}
+
+// A truncated state payload is rejected by Load, never half-applied.
+TEST(ServeRobustnessTest, TruncatedStatePayloadRejected) {
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  auto state = model->MakeStepState(8);
+  const data::Batch patient = RandomPatient(2, 9);
+  ag::NoGradScope no_grad;
+  train::StepBatch sb;
+  sb.x = Tensor::Empty({1, kFeatures});
+  sb.mask = Tensor::Empty({1, kFeatures});
+  sb.delta = Tensor::Empty({1, kFeatures});
+  serve::Observation obs = RowObservation(patient, 0);
+  std::memcpy(sb.x.data(), obs.x.data(), sizeof(float) * kFeatures);
+  std::memcpy(sb.mask.data(), obs.mask.data(), sizeof(float) * kFeatures);
+  std::memcpy(sb.delta.data(), obs.delta.data(), sizeof(float) * kFeatures);
+  model->StepForward(sb, {state.get()}, nullptr);
+  nn::StateWriter writer;
+  state->Save(&writer);
+  const std::string bytes = writer.Take();
+  for (size_t cut : {size_t{0}, size_t{4}, bytes.size() - 1}) {
+    auto fresh = model->MakeStepState(8);
+    nn::StateReader reader(bytes.data(), cut);
+    EXPECT_FALSE(fresh->Load(&reader) && reader.AtEnd())
+        << "cut=" << cut << " accepted";
+  }
+}
+
+// -- Kill-and-restore --------------------------------------------------------
+
+// The tentpole identity: snapshot mid-stream, destroy the service (the
+// "kill"), restore into a fresh one, keep streaming — every post-restore
+// risk is bitwise what the uninterrupted stream produced. Every registry
+// model.
+TEST(ServeRobustnessTest, KillAndRestoreBitwiseIdentity) {
+  const int64_t T = 8;
+  const int64_t kill_at = 4;
+  const std::string path = TempPath("serve_kill_restore.ckpt");
+  for (const std::string& name : AllRegistryNames()) {
+    SCOPED_TRACE(name);
+    auto model = baselines::MakeModel(name, kFeatures, /*seed=*/3);
+    const data::Batch patient = RandomPatient(T, 51);
+    const std::vector<float> want =
+        UninterruptedRisks(model.get(), patient, T, T);
+
+    serve::ServeConfig config;
+    config.async = false;
+    config.window_capacity = T;
+    serve::SessionId id;
+    {
+      serve::InferenceService service(model.get(), config);
+      id = service.Admit("bed-7");
+      for (int64_t t = 0; t < kill_at; ++t) {
+        ExpectSameRisk(service.Observe(id, RowObservation(patient, t)).risk,
+                       want[static_cast<size_t>(t)], "pre-kill", t);
+      }
+      ASSERT_TRUE(service.SaveSnapshotTo(path));
+    }  // service destroyed: the kill
+
+    serve::InferenceService revived(model.get(), config);
+    std::string error;
+    ASSERT_TRUE(revived.RestoreSnapshot(path, &error)) << error;
+    ASSERT_EQ(revived.sessions().size(), 1);
+    const std::shared_ptr<serve::Session> session =
+        revived.sessions().Get(id);
+    ASSERT_NE(session, nullptr) << "restored session lost its id";
+    EXPECT_EQ(session->tag, "bed-7");
+    EXPECT_EQ(session->observations.load(), kill_at);
+    for (int64_t t = kill_at; t < T; ++t) {
+      ExpectSameRisk(revived.Observe(id, RowObservation(patient, t)).risk,
+                     want[static_cast<size_t>(t)], "post-restore", t);
+    }
+  }
+}
+
+// The same identity through the async multi-worker path: snapshot under a
+// live batcher fleet (Pause/Resume quiesce), restore, continue async.
+TEST(ServeRobustnessTest, AsyncKillAndRestoreBitwise) {
+  const int64_t T = 8;
+  const int64_t kill_at = 4;
+  const int64_t num_sessions = 6;
+  const std::string path = TempPath("serve_async_kill_restore.ckpt");
+  auto model = baselines::MakeModel("ELDA-Net", kFeatures, /*seed=*/3);
+  std::vector<data::Batch> patients;
+  std::vector<std::vector<float>> want;
+  for (int64_t s = 0; s < num_sessions; ++s) {
+    patients.push_back(RandomPatient(T, 700 + static_cast<uint64_t>(s)));
+    want.push_back(UninterruptedRisks(model.get(), patients.back(), T, T));
+  }
+
+  serve::ServeConfig config;
+  config.async = true;
+  config.num_workers = 2;
+  config.window_capacity = T;
+  std::vector<serve::SessionId> ids;
+  {
+    serve::InferenceService service(model.get(), config);
+    for (int64_t s = 0; s < num_sessions; ++s) {
+      ids.push_back(service.Admit("bed-" + std::to_string(s)));
+    }
+    for (int64_t t = 0; t < kill_at; ++t) {
+      std::vector<std::future<serve::StepResult>> futures;
+      for (int64_t s = 0; s < num_sessions; ++s) {
+        futures.push_back(
+            service.ObserveAsync(ids[s], RowObservation(patients[s], t)));
+      }
+      for (int64_t s = 0; s < num_sessions; ++s) {
+        ExpectSameRisk(futures[static_cast<size_t>(s)].get().risk,
+                       want[static_cast<size_t>(s)][static_cast<size_t>(t)],
+                       "pre-kill", t);
+      }
+    }
+    ASSERT_TRUE(service.SaveSnapshotTo(path));
+  }
+
+  serve::InferenceService revived(model.get(), config);
+  std::string error;
+  ASSERT_TRUE(revived.RestoreSnapshot(path, &error)) << error;
+  ASSERT_EQ(revived.sessions().size(), num_sessions);
+  for (int64_t t = kill_at; t < T; ++t) {
+    std::vector<std::future<serve::StepResult>> futures;
+    for (int64_t s = 0; s < num_sessions; ++s) {
+      futures.push_back(
+          revived.ObserveAsync(ids[s], RowObservation(patients[s], t)));
+    }
+    for (int64_t s = 0; s < num_sessions; ++s) {
+      ExpectSameRisk(futures[static_cast<size_t>(s)].get().risk,
+                     want[static_cast<size_t>(s)][static_cast<size_t>(t)],
+                     "post-restore", t);
+    }
+  }
+}
+
+// Restore is strict about what it accepts: a non-empty table, a different
+// model, or a different window capacity are refused outright.
+TEST(ServeRobustnessTest, RestoreValidatesMetaAndEmptiness) {
+  const std::string path = TempPath("serve_restore_validate.ckpt");
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(3, 5);
+  serve::ServeConfig config;
+  config.async = false;
+  config.window_capacity = 8;
+  {
+    serve::InferenceService service(model.get(), config);
+    const serve::SessionId id = service.Admit();
+    service.Observe(id, RowObservation(patient, 0));
+    ASSERT_TRUE(service.SaveSnapshotTo(path));
+  }
+  {
+    // Non-empty table.
+    serve::InferenceService busy(model.get(), config);
+    busy.Admit();
+    EXPECT_FALSE(busy.RestoreSnapshot(path));
+  }
+  {
+    // Wrong model.
+    auto other = baselines::MakeModel("GRU-D", kFeatures, /*seed=*/3);
+    serve::InferenceService mismatched(other.get(), config);
+    std::string error;
+    EXPECT_FALSE(mismatched.RestoreSnapshot(path, &error));
+    EXPECT_NE(error.find("GRU"), std::string::npos);
+  }
+  {
+    // Wrong window capacity.
+    serve::ServeConfig narrow = config;
+    narrow.window_capacity = 4;
+    serve::InferenceService mismatched(model.get(), narrow);
+    EXPECT_FALSE(mismatched.RestoreSnapshot(path));
+  }
+}
+
+// -- Eviction ----------------------------------------------------------------
+
+// checkpoint-then-evict parks the LRU session's serialized state;
+// re-admission under the same tag rehydrates it and scoring continues
+// bitwise as if never evicted.
+TEST(ServeRobustnessTest, EvictThenRehydrateBitwise) {
+  const int64_t T = 8;
+  const int64_t evict_at = 4;
+  auto model = baselines::MakeModel("GRU-D", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(T, 61);
+  const std::vector<float> want =
+      UninterruptedRisks(model.get(), patient, T, T);
+
+  serve::ServeConfig config;
+  config.async = false;
+  config.window_capacity = T;
+  config.max_sessions = 2;
+  config.eviction = serve::EvictionPolicy::kCheckpointThenEvict;
+  serve::InferenceService service(model.get(), config);
+  const serve::SessionId id = service.Admit("bed-a");
+  for (int64_t t = 0; t < evict_at; ++t) {
+    ExpectSameRisk(service.Observe(id, RowObservation(patient, t)).risk,
+                   want[static_cast<size_t>(t)], "pre-evict", t);
+  }
+  // Fill the table past capacity: bed-a is the LRU, so the third
+  // admission parks it.
+  ASSERT_NE(service.Admit("bed-b"), serve::kInvalidSession);
+  ASSERT_NE(service.Admit("bed-c"), serve::kInvalidSession);
+  EXPECT_EQ(service.sessions().evicted_total(), 1);
+  EXPECT_EQ(service.sessions().parked_count(), 1);
+  EXPECT_EQ(service.sessions().Get(id), nullptr);
+  EXPECT_FALSE(service.Observe(id, RowObservation(patient, evict_at)).ok);
+
+  // Re-admission under the tag rehydrates: same id, mid-stream state.
+  // (Making room parks bed-b in turn, so one parked entry remains.)
+  const serve::SessionId back = service.Admit("bed-a");
+  EXPECT_EQ(back, id);
+  EXPECT_EQ(service.sessions().rehydrated_total(), 1);
+  EXPECT_EQ(service.sessions().parked_count(), 1);
+  for (int64_t t = evict_at; t < T; ++t) {
+    ExpectSameRisk(service.Observe(back, RowObservation(patient, t)).risk,
+                   want[static_cast<size_t>(t)], "post-rehydrate", t);
+  }
+}
+
+// Under plain kEvict the shed session is gone for good: re-admission gets
+// a fresh id and cold state.
+TEST(ServeRobustnessTest, PlainEvictStartsCold) {
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(4, 71);
+  serve::ServeConfig config;
+  config.async = false;
+  config.max_sessions = 1;
+  config.eviction = serve::EvictionPolicy::kEvict;
+  serve::InferenceService service(model.get(), config);
+  const serve::SessionId id = service.Admit("bed-a");
+  service.Observe(id, RowObservation(patient, 0));
+  service.Observe(id, RowObservation(patient, 1));
+  ASSERT_NE(service.Admit("bed-b"), serve::kInvalidSession);
+  EXPECT_EQ(service.sessions().evicted_total(), 1);
+  EXPECT_EQ(service.sessions().parked_count(), 0);
+  const serve::SessionId again = service.Admit("bed-a");
+  EXPECT_NE(again, id);
+  const serve::StepResult r =
+      service.Observe(again, RowObservation(patient, 0));
+  EXPECT_EQ(r.step, 1) << "rehydrated instead of cold";
+}
+
+// The idle-TTL sweep evicts exactly the sessions whose idle age exceeds
+// the TTL, and parked sessions survive a snapshot/restore cycle.
+TEST(ServeRobustnessTest, IdleTtlSweepAndParkedSurviveSnapshot) {
+  const std::string path = TempPath("serve_idle_parked.ckpt");
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(8, 81);
+  serve::ServeConfig config;
+  config.async = false;
+  config.window_capacity = 8;
+  config.eviction = serve::EvictionPolicy::kCheckpointThenEvict;
+  config.idle_ttl = 4;  // swept manually below; no maintenance thread
+  serve::InferenceService service(model.get(), config);
+  const serve::SessionId idle_id = service.Admit("bed-idle");
+  const serve::SessionId busy_id = service.Admit("bed-busy");
+  service.Observe(idle_id, RowObservation(patient, 0));
+  for (int64_t t = 0; t < 6; ++t) {
+    service.Observe(busy_id, RowObservation(patient, t));
+  }
+  EXPECT_EQ(service.SweepIdle(), 1);
+  EXPECT_EQ(service.sessions().size(), 1);
+  EXPECT_EQ(service.sessions().parked_count(), 1);
+  EXPECT_NE(service.sessions().Get(busy_id), nullptr);
+
+  // The parked state rides the snapshot into a fresh service and still
+  // rehydrates there.
+  ASSERT_TRUE(service.SaveSnapshotTo(path));
+  serve::InferenceService revived(model.get(), config);
+  std::string error;
+  ASSERT_TRUE(revived.RestoreSnapshot(path, &error)) << error;
+  EXPECT_EQ(revived.sessions().parked_count(), 1);
+  const serve::SessionId back = revived.Admit("bed-idle");
+  EXPECT_EQ(back, idle_id);
+  EXPECT_EQ(revived.sessions().rehydrated_total(), 1);
+  const serve::StepResult r =
+      revived.Observe(back, RowObservation(patient, 1));
+  EXPECT_EQ(r.step, 2) << "parked state did not survive the snapshot";
+}
+
+// Even with eviction disabled (kRejectAdmits), a pinned stale admission
+// is visible: max_idle_age grows while the session sits unobserved and
+// collapses once it scores again.
+TEST(ServeRobustnessTest, MaxIdleAgeVisibleWithoutEviction) {
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(8, 91);
+  serve::ServeConfig config;
+  config.async = false;
+  serve::InferenceService service(model.get(), config);
+  const serve::SessionId pinned = service.Admit("bed-pinned");
+  const serve::SessionId busy = service.Admit("bed-busy");
+  for (int64_t t = 0; t < 6; ++t) {
+    service.Observe(busy, RowObservation(patient, t));
+  }
+  const serve::ServiceStats before = service.stats();
+  EXPECT_GE(before.max_idle_age, 6) << "pinned session not visible";
+  service.Observe(pinned, RowObservation(patient, 0));
+  const serve::ServiceStats after = service.stats();
+  EXPECT_LT(after.max_idle_age, before.max_idle_age);
+}
+
+// -- Backpressure and deadlines ---------------------------------------------
+
+// A flood against a full bounded queue is rejected explicitly (kRejected)
+// while everything already queued scores normally after resume.
+TEST(ServeRobustnessTest, BackpressureRejectsFloodExplicitly) {
+  const int64_t kQueue = 4;
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(1, 101);
+  serve::ServeConfig config;
+  config.async = true;
+  config.max_queue = kQueue;
+  config.max_delay_us = 0;
+  serve::InferenceService service(model.get(), config);
+  std::vector<serve::SessionId> ids;
+  for (int64_t s = 0; s < 12; ++s) {
+    ids.push_back(service.Admit());
+  }
+  service.PauseScoring();  // wedge the worker: the queue can only fill
+  std::vector<std::future<serve::StepResult>> futures;
+  for (int64_t s = 0; s < 12; ++s) {
+    futures.push_back(
+        service.ObserveAsync(ids[s], RowObservation(patient, 0)));
+  }
+  // The first kQueue requests sit in the queue; the rest bounced.
+  int64_t rejected = 0;
+  for (int64_t s = kQueue; s < 12; ++s) {
+    const serve::StepResult r = futures[static_cast<size_t>(s)].get();
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.status, serve::StepStatus::kRejected);
+    ++rejected;
+  }
+  EXPECT_EQ(rejected, 12 - kQueue);
+  EXPECT_EQ(service.stats().rejected, 12 - kQueue);
+  EXPECT_EQ(service.stats().queue_depth, kQueue);
+  service.ResumeScoring();
+  for (int64_t s = 0; s < kQueue; ++s) {
+    const serve::StepResult r = futures[static_cast<size_t>(s)].get();
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.step, 1);
+  }
+  // A rejected observation never advanced its session: resubmission is
+  // step 1, not step 2.
+  const serve::StepResult retry =
+      service.Observe(ids[kQueue], RowObservation(patient, 0));
+  EXPECT_TRUE(retry.ok);
+  EXPECT_EQ(retry.step, 1);
+}
+
+// block_when_full parks the submitter instead of rejecting; the blocked
+// submission completes once the worker drains.
+TEST(ServeRobustnessTest, BackpressureBlocksWhenConfigured) {
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(1, 111);
+  serve::ServeConfig config;
+  config.async = true;
+  config.max_queue = 2;
+  config.block_when_full = true;
+  config.max_delay_us = 0;
+  serve::InferenceService service(model.get(), config);
+  std::vector<serve::SessionId> ids;
+  for (int64_t s = 0; s < 4; ++s) ids.push_back(service.Admit());
+  service.PauseScoring();
+  std::vector<std::future<serve::StepResult>> queued;
+  for (int64_t s = 0; s < 2; ++s) {
+    queued.push_back(
+        service.ObserveAsync(ids[s], RowObservation(patient, 0)));
+  }
+  // The next submission blocks until the worker resumes and drains.
+  std::thread unblocker([&service] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    service.ResumeScoring();
+  });
+  const serve::StepResult blocked =
+      service.Observe(ids[2], RowObservation(patient, 0));
+  unblocker.join();
+  EXPECT_TRUE(blocked.ok);
+  EXPECT_EQ(blocked.step, 1);
+  for (auto& f : queued) EXPECT_TRUE(f.get().ok);
+  EXPECT_EQ(service.stats().rejected, 0);
+}
+
+// A request whose deadline passes while queued resolves kExpired and does
+// NOT advance its session, so the observation can be resubmitted.
+TEST(ServeRobustnessTest, DeadlineExpiresQueuedWork) {
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(2, 121);
+  serve::ServeConfig config;
+  config.async = true;
+  config.max_delay_us = 0;
+  serve::InferenceService service(model.get(), config);
+  const serve::SessionId id = service.Admit();
+  service.PauseScoring();
+  // Already-expired deadline: the worker must drop it at assembly.
+  std::future<serve::StepResult> doomed = service.ObserveAsync(
+      id, RowObservation(patient, 0), nullptr,
+      std::chrono::steady_clock::now() - std::chrono::microseconds(1));
+  // A fresh no-deadline request behind it scores normally.
+  std::future<serve::StepResult> fine =
+      service.ObserveAsync(id, RowObservation(patient, 0));
+  service.ResumeScoring();
+  const serve::StepResult dead = doomed.get();
+  EXPECT_FALSE(dead.ok);
+  EXPECT_EQ(dead.status, serve::StepStatus::kExpired);
+  const serve::StepResult live = fine.get();
+  EXPECT_TRUE(live.ok);
+  EXPECT_EQ(live.step, 1) << "expired request advanced the session";
+  EXPECT_EQ(service.stats().expired, 1);
+}
+
+// -- Multi-worker sharding ---------------------------------------------------
+
+// N workers score exactly what 1 worker scores: session-affine sharding
+// keeps per-session FIFO, and row independence keeps every value bitwise.
+TEST(ServeRobustnessTest, FourWorkersMatchOneWorkerBitwise) {
+  const int64_t T = 6;
+  const int64_t num_sessions = 8;
+  auto model = baselines::MakeModel("ELDA-Net", kFeatures, /*seed=*/3);
+  std::vector<data::Batch> patients;
+  for (int64_t s = 0; s < num_sessions; ++s) {
+    patients.push_back(RandomPatient(T, 900 + static_cast<uint64_t>(s)));
+  }
+  auto run = [&](int64_t workers) {
+    serve::ServeConfig config;
+    config.async = true;
+    config.num_workers = workers;
+    config.window_capacity = T;
+    config.infer.batch_size = num_sessions;
+    serve::InferenceService service(model.get(), config);
+    std::vector<serve::SessionId> ids;
+    for (int64_t s = 0; s < num_sessions; ++s) {
+      ids.push_back(service.Admit());
+    }
+    std::vector<std::vector<float>> risks(
+        num_sessions, std::vector<float>(static_cast<size_t>(T)));
+    // Submit all T observations per session up front (per-session order),
+    // racing across sessions and workers.
+    std::vector<std::vector<std::future<serve::StepResult>>> futures(
+        static_cast<size_t>(num_sessions));
+    for (int64_t s = 0; s < num_sessions; ++s) {
+      for (int64_t t = 0; t < T; ++t) {
+        futures[static_cast<size_t>(s)].push_back(
+            service.ObserveAsync(ids[s], RowObservation(patients[s], t)));
+      }
+    }
+    for (int64_t s = 0; s < num_sessions; ++s) {
+      for (int64_t t = 0; t < T; ++t) {
+        const serve::StepResult r =
+            futures[static_cast<size_t>(s)][static_cast<size_t>(t)].get();
+        EXPECT_TRUE(r.ok);
+        EXPECT_EQ(r.step, t + 1) << "FIFO broke on worker fan-out";
+        risks[static_cast<size_t>(s)][static_cast<size_t>(t)] = r.risk;
+      }
+    }
+    return risks;
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  for (int64_t s = 0; s < num_sessions; ++s) {
+    for (int64_t t = 0; t < T; ++t) {
+      ExpectSameRisk(four[static_cast<size_t>(s)][static_cast<size_t>(t)],
+                     one[static_cast<size_t>(s)][static_cast<size_t>(t)],
+                     "4-worker vs 1-worker", t);
+    }
+  }
+}
+
+// -- Fault plans -------------------------------------------------------------
+
+TEST(ServeRobustnessTest, FaultPlanParsesServeTerms) {
+  health::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(health::FaultPlan::Parse(
+      "drop_snapshot@0,poison_state@2,slow_worker@1:500", &plan, &error))
+      << error;
+  EXPECT_EQ(plan.drop_snapshot_at, 0);
+  EXPECT_EQ(plan.poison_state_at, 2);
+  EXPECT_EQ(plan.slow_worker_index, 1);
+  EXPECT_EQ(plan.slow_worker_delay_us, 500);
+  EXPECT_TRUE(plan.Any());
+  ASSERT_TRUE(health::FaultPlan::Parse("slow_worker@0", &plan, &error));
+  EXPECT_EQ(plan.slow_worker_delay_us, 2000) << "default delay lost";
+  EXPECT_FALSE(health::FaultPlan::Parse("poison_state@x", &plan, &error));
+  EXPECT_FALSE(health::FaultPlan::Parse("drop_snapshot@0:4", &plan, &error))
+      << "drop_snapshot must not take a colon suffix";
+}
+
+// poison_state@N rots exactly one session record inside the snapshot; the
+// restore quarantines that session (fresh state, same id/tag) and brings
+// every other session back bitwise.
+TEST(ServeRobustnessTest, CorruptSessionRecordQuarantines) {
+  const int64_t T = 6;
+  const int64_t kill_at = 3;
+  const int64_t num_sessions = 3;
+  const int64_t poisoned = 1;  // record index == admission order here
+  const std::string path = TempPath("serve_poison_state.ckpt");
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  std::vector<data::Batch> patients;
+  std::vector<std::vector<float>> want;
+  for (int64_t s = 0; s < num_sessions; ++s) {
+    patients.push_back(RandomPatient(T, 1100 + static_cast<uint64_t>(s)));
+    want.push_back(UninterruptedRisks(model.get(), patients.back(), T, T));
+  }
+  serve::ServeConfig config;
+  config.async = false;
+  config.window_capacity = T;
+  std::vector<serve::SessionId> ids;
+  {
+    serve::InferenceService service(model.get(), config);
+    for (int64_t s = 0; s < num_sessions; ++s) {
+      ids.push_back(service.Admit("bed-" + std::to_string(s)));
+    }
+    for (int64_t t = 0; t < kill_at; ++t) {
+      for (int64_t s = 0; s < num_sessions; ++s) {
+        service.Observe(ids[s], RowObservation(patients[s], t));
+      }
+    }
+    health::FaultPlan plan;
+    plan.poison_state_at = poisoned;
+    FaultPlanGuard guard(plan);
+    ASSERT_TRUE(service.SaveSnapshotTo(path));
+  }
+
+  serve::InferenceService revived(model.get(), config);
+  std::string error;
+  ASSERT_TRUE(revived.RestoreSnapshot(path, &error)) << error;
+  EXPECT_EQ(revived.stats().quarantined_total, 1);
+  ASSERT_EQ(revived.sessions().size(), num_sessions);
+  for (int64_t s = 0; s < num_sessions; ++s) {
+    const std::shared_ptr<serve::Session> session =
+        revived.sessions().Get(ids[s]);
+    ASSERT_NE(session, nullptr) << "session " << s;
+    if (s == poisoned) {
+      // Quarantined: still admitted, but scoring restarts from cold.
+      EXPECT_EQ(session->state->steps_seen, 0);
+      const serve::StepResult r =
+          revived.Observe(ids[s], RowObservation(patients[s], 0));
+      EXPECT_TRUE(r.ok);
+      EXPECT_EQ(r.step, 1);
+    } else {
+      EXPECT_EQ(session->state->steps_seen, kill_at);
+      for (int64_t t = kill_at; t < T; ++t) {
+        ExpectSameRisk(
+            revived.Observe(ids[s], RowObservation(patients[s], t)).risk,
+            want[static_cast<size_t>(s)][static_cast<size_t>(t)],
+            "intact sibling", t);
+      }
+    }
+  }
+}
+
+// drop_snapshot@N fails the Nth save without touching the file: the
+// previous snapshot stays restorable, and the failure is counted.
+TEST(ServeRobustnessTest, DropSnapshotKeepsPreviousFile) {
+  const std::string path = TempPath("serve_drop_snapshot.ckpt");
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(6, 131);
+  serve::ServeConfig config;
+  config.async = false;
+  config.window_capacity = 8;
+  serve::SessionId id;
+  {
+    serve::InferenceService service(model.get(), config);
+    id = service.Admit("bed-1");
+    service.Observe(id, RowObservation(patient, 0));
+    service.Observe(id, RowObservation(patient, 1));
+    ASSERT_TRUE(service.SaveSnapshotTo(path));  // good snapshot at step 2
+    service.Observe(id, RowObservation(patient, 2));
+    health::FaultPlan plan;
+    plan.drop_snapshot_at = 0;
+    FaultPlanGuard guard(plan);
+    std::string error;
+    EXPECT_FALSE(service.SaveSnapshotTo(path, &error));
+    EXPECT_NE(error.find("drop_snapshot"), std::string::npos);
+    EXPECT_EQ(service.stats().snapshot_failures, 1);
+    EXPECT_EQ(service.stats().snapshots_written, 1);
+  }
+  // The surviving file is the step-2 snapshot.
+  serve::InferenceService revived(model.get(), config);
+  std::string error;
+  ASSERT_TRUE(revived.RestoreSnapshot(path, &error)) << error;
+  const std::shared_ptr<serve::Session> session =
+      revived.sessions().Get(id);
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->state->steps_seen, 2);
+}
+
+// A slow worker changes throughput, never values: with slow_worker armed
+// against one of two workers, every risk still matches the serial
+// reference and per-session FIFO holds.
+TEST(ServeRobustnessTest, SlowWorkerChangesNoValues) {
+  const int64_t T = 4;
+  const int64_t num_sessions = 6;
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  std::vector<data::Batch> patients;
+  std::vector<std::vector<float>> want;
+  for (int64_t s = 0; s < num_sessions; ++s) {
+    patients.push_back(RandomPatient(T, 1300 + static_cast<uint64_t>(s)));
+    want.push_back(UninterruptedRisks(model.get(), patients.back(), T, 8));
+  }
+  health::FaultPlan plan;
+  plan.slow_worker_index = 1;
+  plan.slow_worker_delay_us = 1000;
+  FaultPlanGuard guard(plan);
+  serve::ServeConfig config;
+  config.async = true;
+  config.num_workers = 2;
+  config.window_capacity = 8;
+  serve::InferenceService service(model.get(), config);
+  std::vector<serve::SessionId> ids;
+  for (int64_t s = 0; s < num_sessions; ++s) ids.push_back(service.Admit());
+  std::vector<std::vector<std::future<serve::StepResult>>> futures(
+      static_cast<size_t>(num_sessions));
+  for (int64_t s = 0; s < num_sessions; ++s) {
+    for (int64_t t = 0; t < T; ++t) {
+      futures[static_cast<size_t>(s)].push_back(
+          service.ObserveAsync(ids[s], RowObservation(patients[s], t)));
+    }
+  }
+  for (int64_t s = 0; s < num_sessions; ++s) {
+    for (int64_t t = 0; t < T; ++t) {
+      const serve::StepResult r =
+          futures[static_cast<size_t>(s)][static_cast<size_t>(t)].get();
+      EXPECT_TRUE(r.ok);
+      EXPECT_EQ(r.step, t + 1);
+      ExpectSameRisk(r.risk,
+                     want[static_cast<size_t>(s)][static_cast<size_t>(t)],
+                     "slow-worker fleet", t);
+    }
+  }
+}
+
+// -- Capture routing ---------------------------------------------------------
+
+// A per-request CaptureSink rides through the micro-batcher: the tagged
+// request scores bitwise-identically to its sink-less twin AND its sink
+// holds the attention surfaces; sink-less requests in the same flood stay
+// capture-free.
+TEST(ServeRobustnessTest, CaptureSinkRoutedThroughBatcher) {
+  const int64_t T = 4;
+  auto model = baselines::MakeModel("ELDA-Net", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(T, 141);
+  const std::vector<float> want =
+      UninterruptedRisks(model.get(), patient, T, T);
+  serve::ServeConfig config;
+  config.async = true;
+  config.window_capacity = T;
+  serve::InferenceService service(model.get(), config);
+  const serve::SessionId plain = service.Admit();
+  const serve::SessionId tapped = service.Admit();
+  nn::CaptureSink sink;
+  for (int64_t t = 0; t < T; ++t) {
+    std::future<serve::StepResult> a =
+        service.ObserveAsync(plain, RowObservation(patient, t));
+    std::future<serve::StepResult> b =
+        service.ObserveAsync(tapped, RowObservation(patient, t), &sink);
+    ExpectSameRisk(a.get().risk, want[static_cast<size_t>(t)], "plain", t);
+    ExpectSameRisk(b.get().risk, want[static_cast<size_t>(t)], "tapped", t);
+  }
+  EXPECT_TRUE(sink.Contains("feature_attention") ||
+              sink.Contains("time_attention"))
+      << "capture sink never received an attention surface";
+}
+
+// -- Periodic snapshots ------------------------------------------------------
+
+// The maintenance thread writes snapshots on its period; stats report the
+// count and a bounded age.
+TEST(ServeRobustnessTest, PeriodicSnapshotThreadWrites) {
+  const std::string path = TempPath("serve_periodic.ckpt");
+  std::remove(path.c_str());
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(4, 151);
+  serve::ServeConfig config;
+  config.async = true;
+  config.snapshot_path = path;
+  config.snapshot_every_ms = 20;
+  serve::ServiceStats stats;
+  serve::SessionId id;
+  {
+    serve::InferenceService service(model.get(), config);
+    id = service.Admit("bed-1");
+    for (int64_t t = 0; t < 4; ++t) {
+      service.Observe(id, RowObservation(patient, t));
+    }
+    // Give the maintenance thread a few periods.
+    for (int wait = 0; wait < 100; ++wait) {
+      if (service.stats().snapshots_written > 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    stats = service.stats();
+  }
+  EXPECT_GE(stats.snapshots_written, 1);
+  EXPECT_GE(stats.snapshot_age_ms, 0.0);
+  // And the file on disk restores. The revived service gets no periodic
+  // snapshots of its own, so it cannot overwrite the file before reading.
+  serve::ServeConfig revive_config = config;
+  revive_config.snapshot_every_ms = 0;
+  serve::InferenceService revived(model.get(), revive_config);
+  std::string error;
+  ASSERT_TRUE(revived.RestoreSnapshot(path, &error)) << error;
+  EXPECT_NE(revived.sessions().Get(id), nullptr);
+}
+
+}  // namespace
+}  // namespace elda
