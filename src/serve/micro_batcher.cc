@@ -95,14 +95,19 @@ std::future<StepResult> MicroBatcher::Submit(std::shared_ptr<Session> session,
 
 void MicroBatcher::Pause() {
   std::unique_lock<std::mutex> lock(mu_);
-  paused_ = true;
+  ++pause_depth_;
+  // A worker lingering in its coalesce wait must wake and re-check the
+  // pause before it assembles a batch; kick it now so the quiescence this
+  // Pause establishes is not outrun by a linger timeout.
+  cv_.notify_all();
   quiesce_cv_.wait(lock, [this] { return !worker_busy_; });
 }
 
 void MicroBatcher::Resume() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    paused_ = false;
+    ELDA_CHECK_GT(pause_depth_, 0) << "Resume without matching Pause";
+    if (--pause_depth_ > 0) return;  // an outer quiesce window still holds
   }
   cv_.notify_all();
 }
@@ -129,26 +134,35 @@ void MicroBatcher::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       worker_busy_ = false;
       quiesce_cv_.notify_all();
-      // stopping_ overrides paused_ so destruction always drains.
+      // stopping_ overrides the pause so destruction always drains.
       cv_.wait(lock, [this] {
-        return stopping_ || (!paused_ && !queue_.empty());
+        return stopping_ || (pause_depth_ == 0 && !queue_.empty());
       });
       if (queue_.empty() && stopping_) return;
-      // Linger briefly for arrivals to coalesce — a full batch (or
-      // shutdown) proceeds immediately.
+      // Linger briefly for arrivals to coalesce — a full batch, a pause,
+      // or shutdown proceeds immediately.
       if (max_delay_us_ > 0 && !stopping_ &&
           static_cast<int64_t>(queue_.size()) < options_.batch_size) {
         cv_.wait_for(lock, std::chrono::microseconds(max_delay_us_),
                      [this] {
-                       return stopping_ ||
+                       return stopping_ || pause_depth_ > 0 ||
                               static_cast<int64_t>(queue_.size()) >=
                                   options_.batch_size;
                      });
       }
+      // A Pause may have landed (and returned — worker_busy_ is false)
+      // while the mutex was released inside the linger wait. Assembling a
+      // batch now would score concurrently with whatever the pause holder
+      // is doing to session states, so park again instead.
+      if (pause_depth_ > 0 && !stopping_) continue;
       // Take up to batch_size requests for distinct sessions; a second
       // request for a session already in this batch stays queued (FIFO),
       // preserving its per-session order. Requests past their deadline
-      // resolve as expired here, without advancing their session.
+      // resolve as expired here, without advancing their session; requests
+      // for a session the table evicted while they queued resolve as
+      // unknown — the evicted state must not advance past its parked
+      // bytes (eviction is quiesced, so the flag is always set before
+      // this assembly runs).
       const Deadline now = std::chrono::steady_clock::now();
       std::unordered_set<SessionId> in_batch;
       std::deque<Request> deferred;
@@ -156,7 +170,9 @@ void MicroBatcher::WorkerLoop() {
              static_cast<int64_t>(batch.size()) < options_.batch_size) {
         Request r = std::move(queue_.front());
         queue_.pop_front();
-        if (r.deadline != kNoDeadline && now >= r.deadline) {
+        if (r.session->retired.load(std::memory_order_acquire)) {
+          r.promise.set_value(FailedResult(StepStatus::kUnknownSession));
+        } else if (r.deadline != kNoDeadline && now >= r.deadline) {
           ++expired_;
           r.promise.set_value(FailedResult(StepStatus::kExpired));
         } else if (in_batch.count(r.session->id) > 0) {

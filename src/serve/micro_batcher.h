@@ -86,6 +86,10 @@ class MicroBatcher {
   // Parks the worker between batches; returns once no batch is in flight,
   // so resident session states are safe to read until Resume(). Queued
   // requests wait (Submit stays open, subject to the queue bound).
+  // Pause/Resume nest (a depth count, not a flag): overlapping quiesce
+  // windows — a snapshot inside an eviction sweep, say — each stay in
+  // force until their own Resume, so one window's end cannot un-pause
+  // another still reading session states.
   void Pause();
   void Resume();
 
@@ -130,7 +134,7 @@ class MicroBatcher {
   std::condition_variable quiesce_cv_;  // Pause waits for batch-in-flight
   std::deque<Request> queue_;
   bool stopping_ = false;
-  bool paused_ = false;
+  int64_t pause_depth_ = 0;   // > 0: worker parked between batches
   bool worker_busy_ = false;  // a batch is being scored outside mu_
   int64_t observations_ = 0;
   int64_t batches_ = 0;

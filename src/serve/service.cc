@@ -30,6 +30,12 @@ InferenceService::InferenceService(const train::SequenceModel* model,
           config_.block_when_full));
     }
   }
+  // The table quiesces scoring around any eviction that serializes live
+  // state (at-capacity Admit, TTL sweep): an evicted session's StepState
+  // must never be Save()d while a worker is mid-StepForward on it. The
+  // hooks nest, so an eviction inside an already-paused window is fine.
+  table_.SetQuiesceHooks([this] { PauseScoring(); },
+                         [this] { ResumeScoring(); });
   const bool periodic_snapshot =
       !config_.snapshot_path.empty() && config_.snapshot_every_ms > 0;
   const bool idle_sweep = config_.idle_ttl > 0 &&
@@ -103,7 +109,7 @@ StepResult InferenceService::ObserveInline(
     const std::shared_ptr<Session>& session, const Observation& obs,
     nn::CaptureSink* capture) {
   std::unique_lock<std::mutex> lock(inline_mu_);
-  inline_cv_.wait(lock, [this] { return !inline_paused_; });
+  inline_cv_.wait(lock, [this] { return inline_pause_depth_ == 0; });
   const int64_t cols = static_cast<int64_t>(obs.x.size());
   ELDA_CHECK_EQ(obs.mask.size(), obs.x.size());
   ELDA_CHECK_EQ(obs.delta.size(), obs.x.size());
@@ -141,7 +147,7 @@ void InferenceService::PauseScoring() {
     for (auto& batcher : batchers_) batcher->Pause();
   } else {
     std::lock_guard<std::mutex> lock(inline_mu_);
-    inline_paused_ = true;
+    ++inline_pause_depth_;
   }
 }
 
@@ -151,7 +157,9 @@ void InferenceService::ResumeScoring() {
   } else {
     {
       std::lock_guard<std::mutex> lock(inline_mu_);
-      inline_paused_ = false;
+      ELDA_CHECK_GT(inline_pause_depth_, 0)
+          << "ResumeScoring without matching PauseScoring";
+      if (--inline_pause_depth_ > 0) return;
     }
     inline_cv_.notify_all();
   }
@@ -159,6 +167,7 @@ void InferenceService::ResumeScoring() {
 
 bool InferenceService::SaveSnapshotTo(const std::string& path,
                                       std::string* error) {
+  std::lock_guard<std::mutex> op_lock(table_op_mu_);
   PauseScoring();
   SnapshotStats snap;
   std::string local_error;
@@ -186,6 +195,7 @@ bool InferenceService::SaveSnapshot(std::string* error) {
 
 bool InferenceService::RestoreSnapshot(const std::string& path,
                                        std::string* error) {
+  std::lock_guard<std::mutex> op_lock(table_op_mu_);
   PauseScoring();
   SnapshotStats snap;
   const bool ok = RestoreSessionSnapshot(&table_, path, &snap, error);
@@ -199,10 +209,10 @@ bool InferenceService::RestoreSnapshot(const std::string& path,
 
 int64_t InferenceService::SweepIdle() {
   if (config_.idle_ttl <= 0) return 0;
-  PauseScoring();
-  const int64_t evicted = table_.EvictIdle(config_.idle_ttl);
-  ResumeScoring();
-  return evicted;
+  // EvictIdle quiesces via the table's hooks only when it actually sheds
+  // sessions; no extra pause here, just the op serialisation.
+  std::lock_guard<std::mutex> op_lock(table_op_mu_);
+  return table_.EvictIdle(config_.idle_ttl);
 }
 
 void InferenceService::MaintenanceLoop() {

@@ -156,8 +156,12 @@ class InferenceService {
                        std::string* error = nullptr);
 
   // Parks every scoring worker between batches (async) or locks out
-  // inline scoring (sync); Resume undoes it. Exposed for tests and
-  // external sweeps; SaveSnapshotTo pauses internally.
+  // inline scoring (sync); Resume undoes it. Pause/Resume nest: scoring
+  // restarts only when every outstanding Pause has been Resumed, so
+  // overlapping quiesce windows (a user pause over the maintenance
+  // thread's snapshot, an eviction inside a sweep) cannot cancel each
+  // other. Exposed for tests and external sweeps; SaveSnapshotTo and the
+  // eviction paths pause internally.
   void PauseScoring();
   void ResumeScoring();
 
@@ -182,11 +186,16 @@ class InferenceService {
   SessionTable table_;
   std::vector<std::unique_ptr<MicroBatcher>> batchers_;  // async mode only
   // Sync-mode serialisation: inline scoring holds inline_mu_ for the whole
-  // call and waits out inline_paused_, so PauseScoring's flag-set under the
-  // lock guarantees quiescence.
+  // call and waits out inline_pause_depth_, so PauseScoring's increment
+  // under the lock guarantees quiescence (refcounted, like the batcher's).
   std::mutex inline_mu_;
   std::condition_variable inline_cv_;
-  bool inline_paused_ = false;
+  int64_t inline_pause_depth_ = 0;
+  // Serialises the whole-table operations (SaveSnapshotTo/RestoreSnapshot/
+  // SweepIdle) against each other: each is a multi-step read-or-rebuild of
+  // the table, and interleaving two of them — even fully quiesced — could
+  // observe the table mid-rebuild.
+  std::mutex table_op_mu_;
 
   // Snapshot bookkeeping (guarded by snap_mu_).
   mutable std::mutex snap_mu_;

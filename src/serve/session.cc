@@ -41,11 +41,27 @@ SessionTable::SessionTable(const train::SequenceModel* model,
   ELDA_CHECK_GE(max_sessions, 1);
 }
 
+void SessionTable::SetQuiesceHooks(std::function<void()> pause,
+                                   std::function<void()> resume) {
+  ELDA_CHECK(static_cast<bool>(pause) == static_cast<bool>(resume));
+  std::lock_guard<std::mutex> lock(mu_);
+  quiesce_pause_ = std::move(pause);
+  quiesce_resume_ = std::move(resume);
+}
+
 std::shared_ptr<Session> SessionTable::Admit(std::string tag) {
   std::lock_guard<std::mutex> lock(mu_);
   if (static_cast<int64_t>(sessions_.size()) >= max_sessions_) {
     if (policy_ == EvictionPolicy::kRejectAdmits) return nullptr;
-    if (!EvictLruLocked()) return nullptr;
+    // The shed session's state may be mid-StepForward on a worker (Admit
+    // does not pause the fleet on its own), so quiesce scoring around the
+    // eviction — EvictLocked serializes live state under
+    // kCheckpointThenEvict, and retiring the session must not race the
+    // batch that still holds it.
+    if (quiesce_pause_) quiesce_pause_();
+    const bool made_room = EvictLruLocked();
+    if (quiesce_resume_) quiesce_resume_();
+    if (!made_room) return nullptr;
   }
   auto session = std::make_shared<Session>();
   session->tag = std::move(tag);
@@ -56,11 +72,18 @@ std::shared_ptr<Session> SessionTable::Admit(std::string tag) {
   if (!session->tag.empty()) {
     auto parked_it = parked_.find(session->tag);
     if (parked_it != parked_.end()) {
+      // Same strictness as snapshot restore: the payload must decode AND
+      // consume every byte — trailing garbage means the bytes are not the
+      // state that was parked.
       nn::StateReader reader(parked_it->second.state);
-      if (session->state->Load(&reader) && reader.ok()) {
+      if (session->state->Load(&reader) && reader.AtEnd()) {
         session->id = parked_it->second.id;
         session->observations.store(session->state->steps_seen,
                                     std::memory_order_relaxed);
+        session->last_risk.store(parked_it->second.last_risk,
+                                 std::memory_order_relaxed);
+        session->ever_scored.store(parked_it->second.ever_scored,
+                                   std::memory_order_relaxed);
         rehydrated = true;
       } else {
         // Unreadable parked bytes: fall through to a cold admission
@@ -136,8 +159,15 @@ void SessionTable::EvictLocked(SessionId id) {
     parked.last_observed =
         session.last_observed.load(std::memory_order_relaxed);
     parked.state = writer.Take();
+    parked.last_risk = session.last_risk.load(std::memory_order_relaxed);
+    parked.ever_scored =
+        session.ever_scored.load(std::memory_order_relaxed);
     parked_[session.tag] = std::move(parked);
   }
+  // Requests already queued for this session still hold its shared_ptr;
+  // retiring it makes them resolve kUnknownSession at batch assembly
+  // instead of advancing a state that was just parked (or dropped).
+  session.retired.store(true, std::memory_order_release);
   sessions_.erase(it);
   ++evicted_;
 }
@@ -152,7 +182,10 @@ int64_t SessionTable::EvictIdle(int64_t ttl) {
         session->last_observed.load(std::memory_order_relaxed);
     if (now - seen > ttl) expired.push_back(id);
   }
+  if (expired.empty()) return 0;
+  if (quiesce_pause_) quiesce_pause_();
   for (SessionId id : expired) EvictLocked(id);
+  if (quiesce_resume_) quiesce_resume_();
   return static_cast<int64_t>(expired.size());
 }
 
@@ -204,8 +237,7 @@ int64_t SessionTable::high_water() const {
   return high_water_;
 }
 
-std::vector<std::shared_ptr<Session>> SessionTable::Resident() const {
-  std::lock_guard<std::mutex> lock(mu_);
+std::vector<std::shared_ptr<Session>> SessionTable::ResidentLocked() const {
   std::vector<std::shared_ptr<Session>> out;
   out.reserve(sessions_.size());
   for (const auto& [id, session] : sessions_) {
@@ -218,9 +250,24 @@ std::vector<std::shared_ptr<Session>> SessionTable::Resident() const {
   return out;
 }
 
+std::vector<std::shared_ptr<Session>> SessionTable::Resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ResidentLocked();
+}
+
 std::unordered_map<std::string, ParkedSession> SessionTable::Parked() const {
   std::lock_guard<std::mutex> lock(mu_);
   return parked_;
+}
+
+SessionTable::View SessionTable::SnapshotView() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  View view;
+  view.resident = ResidentLocked();
+  view.parked = parked_;
+  view.next_id = next_id_;
+  view.clock = clock_.load(std::memory_order_relaxed);
+  return view;
 }
 
 void SessionTable::RestoreSession(std::shared_ptr<Session> session) {

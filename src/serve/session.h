@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -90,6 +91,12 @@ struct Session {
   // Logical-clock tick of the last admission/observation touch; the
   // eviction sweep and the idle-age stats read it.
   std::atomic<int64_t> last_observed{0};
+  // Set when the table evicts this session. A queued request that still
+  // holds the shared_ptr resolves kUnknownSession at batch assembly
+  // instead of scoring — an evicted session's state must never advance
+  // past its parked bytes. (Discharge does NOT set this: an in-flight
+  // request for a discharged patient finishes normally, as documented.)
+  std::atomic<bool> retired{false};
 };
 
 // What the table does when it must shed a session: at-capacity admission
@@ -110,11 +117,15 @@ enum class EvictionPolicy {
 const char* EvictionPolicyName(EvictionPolicy policy);
 
 // A parked (checkpoint-then-evicted) session: everything needed to
-// rehydrate it on re-admission, keyed by tag in the table.
+// rehydrate it on re-admission, keyed by tag in the table. The monitoring
+// mirrors (last_risk/ever_scored) ride along so a rehydrated session's
+// stats resume where the evicted one left off.
 struct ParkedSession {
   SessionId id = kInvalidSession;
   int64_t last_observed = 0;
   std::string state;  // StateWriter payload of the evicted StepState
+  float last_risk = 0.0f;
+  bool ever_scored = false;
 };
 
 // Thread-safe admission/discharge registry with bounded occupancy.
@@ -127,11 +138,20 @@ class SessionTable {
                int64_t max_sessions,
                EvictionPolicy policy = EvictionPolicy::kRejectAdmits);
 
+  // Registers the pause/resume pair the table invokes around any eviction
+  // that serializes live state (at-capacity admission, TTL sweep), so an
+  // evicted session's StepState is never Save()d while a scoring worker
+  // may be writing it. The hooks must be nestable (refcounted pause): an
+  // eviction can fire inside an already-quiesced window. Call once, before
+  // any concurrent use of the table.
+  void SetQuiesceHooks(std::function<void()> pause,
+                       std::function<void()> resume);
+
   // Admits a patient and allocates (or rehydrates) their resident state.
   // A non-empty tag matching a parked session resumes it: same id, same
   // serialized mid-stream state. At capacity, kRejectAdmits returns
   // nullptr; the eviction policies shed the least-recently-observed
-  // session to make room.
+  // session to make room (under the quiesce hooks, when registered).
   std::shared_ptr<Session> Admit(std::string tag);
 
   // nullptr when unknown, discharged, or evicted.
@@ -149,9 +169,9 @@ class SessionTable {
   int64_t clock() const;
 
   // Evicts every session idle for more than `ttl` ticks, per the table's
-  // policy (no-op under kRejectAdmits). Returns the number evicted. The
-  // caller must guarantee no in-flight scoring touches the evicted
-  // sessions' states (the service pauses its workers first).
+  // policy (no-op under kRejectAdmits). Returns the number evicted.
+  // Evictions run under the quiesce hooks; without hooks the caller must
+  // guarantee no in-flight scoring touches the evicted sessions' states.
   int64_t EvictIdle(int64_t ttl);
 
   // Largest idle age (clock - last_observed) over resident sessions; 0
@@ -181,6 +201,17 @@ class SessionTable {
   // Copy of the parked-state map (tag -> ParkedSession).
   std::unordered_map<std::string, ParkedSession> Parked() const;
 
+  // Everything the snapshot writer needs, copied under ONE lock hold so a
+  // concurrent eviction cannot leave a session both resident and parked
+  // in the same snapshot.
+  struct View {
+    std::vector<std::shared_ptr<Session>> resident;  // ascending id
+    std::unordered_map<std::string, ParkedSession> parked;
+    SessionId next_id = 1;
+    int64_t clock = 0;
+  };
+  View SnapshotView() const;
+
   // Inserts a fully-built session during restore. CHECK-fails on a
   // duplicate id; the caller (snapshot restore) guarantees an empty table.
   void RestoreSession(std::shared_ptr<Session> session);
@@ -197,11 +228,18 @@ class SessionTable {
   // Returns false when the table is empty. mu_ must be held.
   bool EvictLruLocked();
   void EvictLocked(SessionId id);
+  // Sorted copy of sessions_. mu_ must be held.
+  std::vector<std::shared_ptr<Session>> ResidentLocked() const;
 
   const train::SequenceModel* model_;
   const int64_t window_capacity_;
   const int64_t max_sessions_;
   const EvictionPolicy policy_;
+  // Invoked (while mu_ is held; the hooks must not re-enter the table)
+  // around state-serializing evictions. Empty hooks mean the caller
+  // guarantees quiescence itself.
+  std::function<void()> quiesce_pause_;
+  std::function<void()> quiesce_resume_;
   mutable std::mutex mu_;
   std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
   std::unordered_map<std::string, ParkedSession> parked_;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -113,15 +114,19 @@ bool SaveSessionSnapshot(const SessionTable& table, const std::string& path,
   if (health::GlobalFaultInjector()->ConsumeDropSnapshot()) {
     return Fail(error, "fault-injected snapshot drop (drop_snapshot)");
   }
-  const std::vector<std::shared_ptr<Session>> resident = table.Resident();
-  const std::unordered_map<std::string, ParkedSession> parked =
-      table.Parked();
+  // One-lock copy: a concurrent eviction can move a session from resident
+  // to parked, and separate Resident()/Parked() reads could catch it in
+  // both lists (or neither). The view is the point-in-time truth.
+  const SessionTable::View view = table.SnapshotView();
+  const std::vector<std::shared_ptr<Session>>& resident = view.resident;
+  const std::unordered_map<std::string, ParkedSession>& parked =
+      view.parked;
 
   std::string meta;
   PutString(&meta, table.model()->name());
   PutI64(&meta, table.window_capacity());
-  PutI64(&meta, table.next_id());
-  PutI64(&meta, table.clock());
+  PutI64(&meta, view.next_id);
+  PutI64(&meta, view.clock);
 
   std::string sessions;
   PutI64(&sessions, static_cast<int64_t>(resident.size()));
@@ -149,6 +154,8 @@ bool SaveSessionSnapshot(const SessionTable& table, const std::string& path,
     PutString(&parked_payload, tag);
     PutI64(&parked_payload, park.id);
     PutI64(&parked_payload, park.last_observed);
+    PutF32(&parked_payload, park.last_risk);
+    PutI64(&parked_payload, park.ever_scored ? 1 : 0);
     PutStateRecord(&parked_payload, park.state, -1);
   }
 
@@ -207,6 +214,14 @@ bool RestoreSessionSnapshot(SessionTable* table, const std::string& path,
   if (!cursor.I64(&count) || count < 0) {
     return Fail(error, "snapshot sessions section is malformed");
   }
+  if (count > table->max_sessions()) {
+    // Restoring past the bound would silently overshoot capacity — and
+    // the next Admit under an eviction policy would immediately shed
+    // freshly-restored sessions. Make the mismatch explicit instead.
+    return Fail(error, "snapshot holds " + std::to_string(count) +
+                           " sessions, table capacity is " +
+                           std::to_string(table->max_sessions()));
+  }
   for (int64_t i = 0; i < count; ++i) {
     auto session = std::make_shared<Session>();
     int64_t last_observed = 0;
@@ -256,12 +271,16 @@ bool RestoreSessionSnapshot(SessionTable* table, const std::string& path,
   for (int64_t i = 0; i < park_count; ++i) {
     std::string tag;
     ParkedSession parked;
+    int64_t ever_scored = 0;
     bool intact = false;
     if (!park_cursor.String(&tag) || !park_cursor.I64(&parked.id) ||
         !park_cursor.I64(&parked.last_observed) ||
+        !park_cursor.F32(&parked.last_risk) ||
+        !park_cursor.I64(&ever_scored) ||
         !GetStateRecord(&park_cursor, &parked.state, &intact)) {
       return Fail(error, "snapshot parked section is truncated");
     }
+    parked.ever_scored = ever_scored != 0;
     // A rotten parked record is simply dropped: its patient re-admits cold,
     // the same outcome Admit falls back to on unreadable parked bytes.
     if (!intact) {

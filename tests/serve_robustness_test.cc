@@ -446,6 +446,85 @@ TEST(ServeRobustnessTest, IdleTtlSweepAndParkedSurviveSnapshot) {
   EXPECT_EQ(r.step, 2) << "parked state did not survive the snapshot";
 }
 
+// Parked bytes with trailing garbage are rejected exactly like snapshot
+// restore rejects them (Load must consume every byte): the re-admission
+// falls back to a cold session instead of trusting a suspect payload.
+TEST(ServeRobustnessTest, RehydrationRejectsTrailingGarbage) {
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  serve::SessionTable table(model.get(), /*window_capacity=*/8,
+                            /*max_sessions=*/4,
+                            serve::EvictionPolicy::kCheckpointThenEvict);
+  // A genuine serialized state, then one stray byte appended.
+  auto state = model->MakeStepState(8);
+  nn::StateWriter writer;
+  state->Save(&writer);
+  serve::ParkedSession parked;
+  parked.id = 7;
+  parked.state = writer.Take() + '\x01';
+  table.RestoreParked("bed-x", parked);
+  const std::shared_ptr<serve::Session> session = table.Admit("bed-x");
+  ASSERT_NE(session, nullptr);
+  EXPECT_NE(session->id, 7) << "trailing garbage rehydrated anyway";
+  EXPECT_EQ(session->state->steps_seen, 0);
+  EXPECT_EQ(table.rehydrated_total(), 0);
+  EXPECT_EQ(table.parked_count(), 0) << "suspect parked bytes kept";
+}
+
+// A checkpoint-then-evicted session carries its monitoring mirrors
+// (last_risk / ever_scored) through the park and back.
+TEST(ServeRobustnessTest, RehydrationRestoresMonitoringMirrors) {
+  const int64_t T = 4;
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(T, 201);
+  serve::ServeConfig config;
+  config.async = false;
+  config.window_capacity = T;
+  config.max_sessions = 1;
+  config.eviction = serve::EvictionPolicy::kCheckpointThenEvict;
+  serve::InferenceService service(model.get(), config);
+  const serve::SessionId id = service.Admit("bed-a");
+  float last = 0.0f;
+  for (int64_t t = 0; t < T; ++t) {
+    last = service.Observe(id, RowObservation(patient, t)).risk;
+  }
+  ASSERT_NE(service.Admit("bed-b"), serve::kInvalidSession);  // parks bed-a
+  const serve::SessionId back = service.Admit("bed-a");
+  const std::shared_ptr<serve::Session> session =
+      service.sessions().Get(back);
+  ASSERT_NE(session, nullptr);
+  EXPECT_TRUE(session->ever_scored.load());
+  EXPECT_EQ(session->last_risk.load(), last);
+}
+
+// Restoring a snapshot with more resident sessions than the target
+// table's bound is refused outright, not silently overshot.
+TEST(ServeRobustnessTest, RestoreRefusesOverCapacitySnapshot) {
+  const std::string path = TempPath("serve_over_capacity.ckpt");
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(1, 211);
+  serve::ServeConfig config;
+  config.async = false;
+  config.max_sessions = 8;
+  {
+    serve::InferenceService service(model.get(), config);
+    for (int64_t s = 0; s < 3; ++s) {
+      service.Observe(service.Admit(), RowObservation(patient, 0));
+    }
+    ASSERT_TRUE(service.SaveSnapshotTo(path));
+  }
+  serve::ServeConfig narrow = config;
+  narrow.max_sessions = 2;
+  serve::InferenceService small(model.get(), narrow);
+  std::string error;
+  EXPECT_FALSE(small.RestoreSnapshot(path, &error));
+  EXPECT_NE(error.find("capacity"), std::string::npos) << error;
+  EXPECT_EQ(small.sessions().size(), 0);
+  // The same snapshot restores fine at the bound it was written under.
+  serve::InferenceService roomy(model.get(), config);
+  EXPECT_TRUE(roomy.RestoreSnapshot(path, &error)) << error;
+  EXPECT_EQ(roomy.sessions().size(), 3);
+}
+
 // Even with eviction disabled (kRejectAdmits), a pinned stale admission
 // is visible: max_idle_age grows while the session sits unobserved and
 // collapses once it scores again.
@@ -574,6 +653,163 @@ TEST(ServeRobustnessTest, DeadlineExpiresQueuedWork) {
   EXPECT_TRUE(live.ok);
   EXPECT_EQ(live.step, 1) << "expired request advanced the session";
   EXPECT_EQ(service.stats().expired, 1);
+}
+
+// -- Quiescence --------------------------------------------------------------
+
+// Pause() must quiesce a worker that is lingering for batch coalescing,
+// not just one parked on the empty-queue wait: after Pause returns, a
+// queued request must NOT score until Resume, even once the linger delay
+// has long elapsed.
+TEST(ServeRobustnessTest, PauseDuringLingerQuiescesWorker) {
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(1, 161);
+  serve::ServeConfig config;
+  config.async = true;
+  config.max_delay_us = 100000;  // 100ms linger: the worker waits in it
+  serve::InferenceService service(model.get(), config);
+  const serve::SessionId id = service.Admit();
+  std::future<serve::StepResult> future =
+      service.ObserveAsync(id, RowObservation(patient, 0));
+  // Give the worker time to pick the request up and enter its linger.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.PauseScoring();
+  // Outlive the linger: a worker that ignored the pause would have
+  // assembled and scored the batch by now.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout)
+      << "request scored while the service was paused";
+  EXPECT_EQ(service.stats().observations, 0);
+  service.ResumeScoring();
+  const serve::StepResult r = future.get();
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.step, 1);
+}
+
+// Pause/Resume nest: a snapshot taken inside a user-held pause (its own
+// internal Pause/Resume pair) must not un-pause the workers the user is
+// still relying on.
+TEST(ServeRobustnessTest, NestedPauseSurvivesInnerSnapshot) {
+  const std::string path = TempPath("serve_nested_pause.ckpt");
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(1, 171);
+  serve::ServeConfig config;
+  config.async = true;
+  config.max_delay_us = 0;
+  serve::InferenceService service(model.get(), config);
+  const serve::SessionId id = service.Admit();
+  service.PauseScoring();
+  std::future<serve::StepResult> future =
+      service.ObserveAsync(id, RowObservation(patient, 0));
+  // The snapshot pauses and resumes internally — one level deeper than
+  // the pause this test still holds.
+  ASSERT_TRUE(service.SaveSnapshotTo(path));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout)
+      << "inner snapshot's Resume un-paused the outer quiesce window";
+  service.ResumeScoring();
+  EXPECT_TRUE(future.get().ok);
+}
+
+// At-capacity eviction with requests still queued for the victim: the
+// eviction parks the state as-of-now, the queued requests resolve
+// kUnknownSession (they must not advance a state that was just parked),
+// and same-tag re-admission rehydrates bitwise.
+TEST(ServeRobustnessTest, EvictionFailsQueuedRequestsAndParksCleanly) {
+  const int64_t T = 6;
+  const int64_t evict_at = 2;
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(T, 181);
+  const std::vector<float> want =
+      UninterruptedRisks(model.get(), patient, T, T);
+  serve::ServeConfig config;
+  config.async = true;
+  config.max_delay_us = 0;
+  config.window_capacity = T;
+  config.max_sessions = 2;
+  config.eviction = serve::EvictionPolicy::kCheckpointThenEvict;
+  serve::InferenceService service(model.get(), config);
+  const serve::SessionId a = service.Admit("bed-a");
+  const serve::SessionId b = service.Admit("bed-b");
+  for (int64_t t = 0; t < evict_at; ++t) {
+    ExpectSameRisk(service.Observe(a, RowObservation(patient, t)).risk,
+                   want[static_cast<size_t>(t)], "pre-evict", t);
+  }
+  service.PauseScoring();
+  std::vector<std::future<serve::StepResult>> stranded;
+  for (int64_t k = 0; k < 3; ++k) {
+    stranded.push_back(
+        service.ObserveAsync(a, RowObservation(patient, evict_at)));
+  }
+  // Touch bed-b AFTER stranding bed-a's requests: submission bumps
+  // last_observed, so bed-a only stays the LRU victim if something else
+  // was touched later — exactly the under-load shape (a session whose
+  // requests sit on a paused worker while its neighbours keep streaming).
+  std::future<serve::StepResult> keep_b =
+      service.ObserveAsync(b, RowObservation(patient, 0));
+  // Admitting at capacity evicts bed-a (nested inside the held pause)
+  // with the three requests above still queued behind it.
+  ASSERT_NE(service.Admit("bed-c"), serve::kInvalidSession);
+  EXPECT_EQ(service.sessions().parked_count(), 1);
+  EXPECT_EQ(service.sessions().Get(a), nullptr) << "evicted the wrong bed";
+  service.ResumeScoring();
+  EXPECT_TRUE(keep_b.get().ok);
+  for (auto& f : stranded) {
+    const serve::StepResult r = f.get();
+    EXPECT_FALSE(r.ok) << "request scored against an evicted session";
+    EXPECT_EQ(r.status, serve::StepStatus::kUnknownSession);
+  }
+  // Rehydration resumes exactly at the parked step — the stranded
+  // requests advanced nothing.
+  const serve::SessionId back = service.Admit("bed-a");
+  EXPECT_EQ(back, a);
+  for (int64_t t = evict_at; t < T; ++t) {
+    ExpectSameRisk(service.Observe(back, RowObservation(patient, t)).risk,
+                   want[static_cast<size_t>(t)], "post-rehydrate", t);
+  }
+}
+
+// TSan stress for eviction-vs-scoring: client threads flood observations
+// while admissions churn the table past capacity, so every eviction races
+// live scoring. Values are checked only for sanity (ok or a clean
+// eviction/rejection status); the suite's real assertion is TSan finding
+// no data race between StepState::Save and StepForward.
+TEST(ServeRobustnessTest, EvictionChurnUnderConcurrentScoring) {
+  const int64_t kClients = 3;
+  const int64_t kRounds = 40;
+  auto model = baselines::MakeModel("GRU", kFeatures, /*seed=*/3);
+  const data::Batch patient = RandomPatient(1, 191);
+  serve::ServeConfig config;
+  config.async = true;
+  config.num_workers = 2;
+  config.max_delay_us = 0;
+  config.max_sessions = 4;
+  config.eviction = serve::EvictionPolicy::kCheckpointThenEvict;
+  serve::InferenceService service(model.get(), config);
+  std::vector<serve::SessionId> ids;
+  for (int64_t s = 0; s < 4; ++s) {
+    ids.push_back(service.Admit("seed-" + std::to_string(s)));
+  }
+  std::vector<std::thread> clients;
+  for (int64_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &ids, &patient, c] {
+      for (int64_t i = 0; i < kRounds; ++i) {
+        const serve::StepResult r = service.Observe(
+            ids[static_cast<size_t>((c + i) % 4)],
+            RowObservation(patient, 0));
+        if (!r.ok) {
+          EXPECT_EQ(r.status, serve::StepStatus::kUnknownSession);
+        }
+      }
+    });
+  }
+  for (int64_t i = 0; i < kRounds; ++i) {
+    service.Admit("churn-" + std::to_string(i));
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_GE(service.sessions().evicted_total(), kRounds);
 }
 
 // -- Multi-worker sharding ---------------------------------------------------
