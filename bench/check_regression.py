@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_micro.json against the committed baseline.
+
+Usage:
+    python3 bench/check_regression.py FRESH.json [BASELINE.json]
+        [--threshold 0.15] [--all]
+
+Reads both files (baseline defaults to the committed BENCH_micro.json next
+to the repo root), joins rows by benchmark name, and fails (exit 1) when any
+*key op* regressed by more than the threshold (default 15% slower in
+ns_per_iter). Key ops are the single-thread rows of the performance
+substrate plus the end-to-end model benches -- rows whose timing is stable
+on one machine across runs. Multi-thread scaling rows are reported but not
+gated: their baseline numbers depend on the core count of the machine that
+recorded them.
+
+Accepts both the v1 schema ("results") and the v2 schema ("benchmarks").
+Rows present in only one file are reported and skipped. --all widens the
+gate to every joined row.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Rows gated by default: deterministic single-thread substrate ops and the
+# end-to-end model paths. A >threshold slowdown on any of these fails CI.
+KEY_OPS = [
+    "BM_MatMulSquare/256/1",
+    "BM_MatMulBatchedSmall/1",
+    "BM_SoftmaxLastAxis/1",
+    "BM_BroadcastMul",
+    "BM_GruForward",
+    "BM_RecurrentSweep/256/0",
+    "BM_RecurrentSweep/256/1",
+    "BM_FeatureInteractionFactored/37",
+    "BM_EldaNetForwardBackward",
+    "BM_EldaNetInference/256/1",
+]
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("benchmarks", doc.get("results", []))
+    out = {}
+    for row in rows:
+        name = row.get("name")
+        ns = row.get("ns_per_iter")
+        if name is not None and ns is not None:
+            out[name] = float(ns)
+    if not out:
+        raise SystemExit(f"{path}: no benchmark rows found "
+                         "(expected 'benchmarks' or 'results')")
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("fresh", help="freshly measured BENCH_micro.json")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             os.pardir, "BENCH_micro.json"),
+        help="baseline json (default: committed BENCH_micro.json)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="fail when ns_per_iter grows by more than this "
+                             "fraction (default 0.15)")
+    parser.add_argument("--all", action="store_true",
+                        help="gate every joined row, not just the key ops")
+    args = parser.parse_args()
+
+    fresh = load_rows(args.fresh)
+    base = load_rows(args.baseline)
+
+    joined = sorted(set(fresh) & set(base))
+    gated = set(joined) if args.all else {n for n in KEY_OPS if n in joined}
+    missing_keys = [n for n in KEY_OPS if n not in joined]
+
+    failures = []
+    print(f"{'benchmark':<40} {'baseline ns':>14} {'fresh ns':>14} "
+          f"{'delta':>8}  gate")
+    for name in joined:
+        old, new = base[name], fresh[name]
+        delta = (new - old) / old if old > 0 else 0.0
+        is_gated = name in gated
+        verdict = ""
+        if is_gated and delta > args.threshold:
+            verdict = "REGRESSION"
+            failures.append((name, old, new, delta))
+        elif is_gated:
+            verdict = "ok"
+        print(f"{name:<40} {old:>14.0f} {new:>14.0f} {delta:>+7.1%}  "
+              f"{verdict}")
+
+    for name in sorted(set(base) - set(fresh)):
+        print(f"{name:<40} {'(missing from fresh run)':>30}")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"{name:<40} {'(new, no baseline)':>30}")
+    if missing_keys:
+        print(f"note: key ops absent from the join: {', '.join(missing_keys)}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} key op(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for name, old, new, delta in failures:
+            print(f"  {name}: {old:.0f} -> {new:.0f} ns/iter ({delta:+.1%})")
+        return 1
+    print(f"\nOK: no key op regressed more than {args.threshold:.0%} "
+          f"({len(gated)} gated, {len(joined)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,18 +102,46 @@ Variable Sqrt(const Variable& a) {
 Variable Sigmoid(const Variable& a) {
   Tensor y = elda::Sigmoid(a.value());
   return MakeOpResult(y, {a}, [y](Node* n) {
-    // y' = y (1 - y)
-    Tensor one_minus = elda::Sub(Tensor::Ones(y.shape()), y);
-    AccumulateGrad(n->parents[0].get(),
-                   elda::Mul(n->grad, elda::Mul(y, one_minus)));
+    // y' = y (1 - y); the fused kernel evaluates g * (y * (1 - y)) exactly
+    // as the old Ones/Sub/Mul/Mul composition did, in one pass.
+    AccumulateGrad(n->parents[0].get(), elda::SigmoidGrad(n->grad, y));
   });
 }
 
 Variable Tanh(const Variable& a) {
   Tensor y = elda::Tanh(a.value());
   return MakeOpResult(y, {a}, [y](Node* n) {
-    Tensor d = elda::Sub(Tensor::Ones(y.shape()), elda::Square(y));
-    AccumulateGrad(n->parents[0].get(), elda::Mul(n->grad, d));
+    // y' = 1 - y^2, fused as g * (1 - y*y) — same floats as the composed
+    // Ones/Square/Sub/Mul chain.
+    AccumulateGrad(n->parents[0].get(), elda::TanhGrad(n->grad, y));
+  });
+}
+
+Variable AddSigmoid(const Variable& a, const Variable& b) {
+  Tensor y = elda::AddSigmoid(a.value(), b.value());
+  return MakeOpResult(y, {a, b}, [y](Node* n) {
+    // d sigmoid(a+b) is the same for both operands; AccumulateGrad reduces
+    // it to each parent's shape when the forward broadcast.
+    Tensor d = elda::SigmoidGrad(n->grad, y);
+    AccumulateGrad(n->parents[0].get(), d);
+    AccumulateGrad(n->parents[1].get(), d);
+  });
+}
+
+Variable AddTanh(const Variable& a, const Variable& b) {
+  Tensor y = elda::AddTanh(a.value(), b.value());
+  return MakeOpResult(y, {a, b}, [y](Node* n) {
+    Tensor d = elda::TanhGrad(n->grad, y);
+    AccumulateGrad(n->parents[0].get(), d);
+    AccumulateGrad(n->parents[1].get(), d);
+  });
+}
+
+Variable ExpNegRelu(const Variable& a) {
+  Tensor x = a.value();
+  Tensor y = elda::ExpNegRelu(x);
+  return MakeOpResult(y, {a}, [x, y](Node* n) {
+    AccumulateGrad(n->parents[0].get(), elda::ExpNegReluGrad(n->grad, y, x));
   });
 }
 
@@ -352,8 +380,16 @@ Variable Softmax(const Variable& a, int64_t axis) {
   const int64_t rank = a.value().dim();
   const int64_t norm_axis = axis < 0 ? axis + rank : axis;
   Tensor y = elda::Softmax(a.value(), norm_axis);
-  return MakeOpResult(y, {a}, [y, norm_axis](Node* n) {
-    // dx = y * (g - sum(g * y, axis, keepdims))
+  const bool last_axis = norm_axis == rank - 1;
+  return MakeOpResult(y, {a}, [y, norm_axis, last_axis](Node* n) {
+    // dx = y * (g - sum(g * y, axis, keepdims)). On the last axis the fused
+    // row kernel computes the dot under the 8-lane reduction contract in
+    // one pass; other axes keep the composed Mul/Sum/Sub/Mul chain.
+    if (last_axis) {
+      AccumulateGrad(n->parents[0].get(),
+                     elda::SoftmaxLastAxisGrad(n->grad, y));
+      return;
+    }
     Tensor gy = elda::Mul(n->grad, y);
     Tensor s = elda::Sum(gy, norm_axis, /*keepdims=*/true);
     AccumulateGrad(n->parents[0].get(),

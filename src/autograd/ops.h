@@ -46,6 +46,20 @@ Variable Clip(const Variable& a, float lo, float hi);
 // Element-wise a^p for positive inputs (clamped at 1e-12 like Log).
 Variable Pow(const Variable& a, float p);
 
+// -- Fused element-wise chains ----------------------------------------------
+//
+// Each runs its whole chain as one kernel pass and one tape node (no
+// intermediate Variables, no pooled temporaries) with a hand-derived
+// backward. Forward AND backward are bitwise identical to the composed ops
+// they replace (tensor/tensor_ops.h "Fused elementwise chains"), so models
+// may swap them in without perturbing checkpoint/resume or the
+// streamed-vs-batch equality — as long as Forward and StepForward switch
+// together.
+
+Variable AddSigmoid(const Variable& a, const Variable& b);  // sigmoid(a + b)
+Variable AddTanh(const Variable& a, const Variable& b);     // tanh(a + b)
+Variable ExpNegRelu(const Variable& a);                     // exp(-relu(a))
+
 // -- Linear algebra ---------------------------------------------------------------
 
 // Supported operand ranks follow tensor MatMul: 2-D x 2-D, 3-D x 3-D, and

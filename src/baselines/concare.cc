@@ -73,7 +73,7 @@ ag::Variable ConCare::Forward(const data::Batch& batch,
       ag::MulScalar(ag::MatMul(q, ag::TransposeLast2(k)), scale), -1);
   ag::Variable mixed = ag::MatMul(attention, v);  // [B, C, u]
   // Residual connection keeps each feature's own evidence.
-  ag::Variable rep = ag::Tanh(ag::Add(features, mixed));
+  ag::Variable rep = ag::AddTanh(features, mixed);
   ag::Variable flat =
       ag::Reshape(rep, {batch_size, num_features_ * hidden_});
   return ag::Reshape(out_.Forward(flat), {batch_size});
@@ -135,7 +135,7 @@ ag::Variable ConCare::StepForward(const train::StepBatch& obs,
   ag::Variable attention = ag::Softmax(
       ag::MulScalar(ag::MatMul(q, ag::TransposeLast2(k)), scale), -1);
   ag::Variable mixed = ag::MatMul(attention, v);
-  ag::Variable rep = ag::Tanh(ag::Add(features, mixed));
+  ag::Variable rep = ag::AddTanh(features, mixed);
   ag::Variable flat = ag::Reshape(rep, {n, num_features_ * hidden_});
   return ag::Reshape(out_.Forward(flat), {n});
 }

@@ -52,15 +52,15 @@ ag::Variable GruD::Forward(const data::Batch& batch,
   ag::Variable m = ag::Constant(batch.mask);
   ag::Variable delta = ag::Constant(batch.delta);
   // Input decay toward the (standardised) global mean of zero.
-  ag::Variable gamma_x = ag::Exp(ag::Neg(ag::Relu(
-      ag::Add(ag::Mul(delta, decay_x_w_), decay_x_b_))));  // [B, T, C]
+  ag::Variable gamma_x = ag::ExpNegRelu(
+      ag::Add(ag::Mul(delta, decay_x_w_), decay_x_b_));  // [B, T, C]
   ag::Variable one_minus_m =
       ag::Constant(Sub(Tensor::Ones(batch.mask.shape()), batch.mask));
   ag::Variable x_hat = ag::Add(ag::Mul(m, x),
                                ag::Mul(one_minus_m, ag::Mul(gamma_x, x)));
   // Hidden decay.
   ag::Variable gamma_h =
-      ag::Exp(ag::Neg(ag::Relu(decay_h_.Forward(delta))));  // [B, T, H]
+      ag::ExpNegRelu(decay_h_.Forward(delta));  // [B, T, H]
 
   // Time-major [T*B, .] blocks: the hoisted cell-input GEMM over
   // [x^ ; m], and the per-step hidden decay factors.
@@ -112,14 +112,14 @@ ag::Variable GruD::StepForward(const train::StepBatch& obs,
   ag::Variable x = ag::Constant(obs.x);
   ag::Variable m = ag::Constant(obs.mask);
   ag::Variable delta = ag::Constant(obs.delta);
-  ag::Variable gamma_x = ag::Exp(ag::Neg(ag::Relu(
-      ag::Add(ag::Mul(delta, decay_x_w_), decay_x_b_))));  // [B, C]
+  ag::Variable gamma_x = ag::ExpNegRelu(
+      ag::Add(ag::Mul(delta, decay_x_w_), decay_x_b_));  // [B, C]
   ag::Variable one_minus_m =
       ag::Constant(Sub(Tensor::Ones(obs.mask.shape()), obs.mask));
   ag::Variable x_hat = ag::Add(ag::Mul(m, x),
                                ag::Mul(one_minus_m, ag::Mul(gamma_x, x)));
   ag::Variable gamma_h =
-      ag::Exp(ag::Neg(ag::Relu(decay_h_.Forward(delta))));  // [B, H]
+      ag::ExpNegRelu(decay_h_.Forward(delta));  // [B, H]
   ag::Variable u = ag::Concat({x_hat, m}, 1);               // [B, 2C]
   ag::Variable xw = cell_.PrecomputeInput(u);
   ag::Variable decayed = ag::Mul(gamma_h, ag::Constant(h_prev));

@@ -28,6 +28,9 @@ struct OpStats {
   int64_t pool_allocs = 0;  // pool-eligible allocations (hit or miss)
   int64_t pool_hits = 0;
   int64_t tape_nodes = 0;   // autograd nodes recorded under this op
+  int64_t fused_calls = 0;           // fused-kernel invocations
+  int64_t fused_kernels_avoided = 0; // composed kernel passes not run
+  int64_t fused_bytes_avoided = 0;   // temporary bytes not allocated
 };
 
 std::atomic<bool> g_enabled{false};
@@ -112,6 +115,16 @@ void RecordTapeNode() {
   ++Table()[op].tape_nodes;
 }
 
+void RecordFusion(int64_t kernels_avoided, int64_t bytes_avoided) {
+  if (!Enabled()) return;
+  const char* op = tls_current_op ? tls_current_op : "(outside op)";
+  std::lock_guard<std::mutex> lock(g_mu);
+  OpStats& s = Table()[op];
+  ++s.fused_calls;
+  s.fused_kernels_avoided += kernels_avoided;
+  s.fused_bytes_avoided += bytes_avoided;
+}
+
 ScopedOp::ScopedOp(const char* name) {
   if (!Enabled()) return;
   name_ = name;
@@ -144,7 +157,11 @@ void Report(std::ostream& os) {
   os << std::left << std::setw(18) << "op" << std::right << std::setw(12)
      << "calls" << std::setw(12) << "total ms" << std::setw(12) << "ns/call"
      << std::setw(12) << "alloc" << std::setw(10) << "hit%" << std::setw(10)
-     << "tape" << "\n";
+     << "tape" << std::setw(10) << "fused" << std::setw(12) << "saved"
+     << "\n";
+  int64_t total_fused_calls = 0;
+  int64_t total_kernels_avoided = 0;
+  int64_t total_bytes_avoided = 0;
   for (const auto& [name, s] : rows) {
     os << std::left << std::setw(18) << name << std::right << std::setw(12)
        << s.calls << std::setw(12) << std::fixed << std::setprecision(2)
@@ -159,8 +176,23 @@ void Report(std::ostream& os) {
     } else {
       os << std::setw(10) << "-";
     }
-    os << std::setw(10) << s.tape_nodes << "\n";
+    os << std::setw(10) << s.tape_nodes;
+    // Fusion accounting: invocation count and temporary bytes the composed
+    // graph would have allocated but the fused kernel did not.
+    if (s.fused_calls > 0) {
+      os << std::setw(10) << s.fused_calls << std::setw(12)
+         << HumanBytes(s.fused_bytes_avoided);
+      total_fused_calls += s.fused_calls;
+      total_kernels_avoided += s.fused_kernels_avoided;
+      total_bytes_avoided += s.fused_bytes_avoided;
+    } else {
+      os << std::setw(10) << "-" << std::setw(12) << "-";
+    }
+    os << "\n";
   }
+  os << "fusion: " << total_fused_calls << " fused calls, "
+     << total_kernels_avoided << " kernel passes avoided, "
+     << HumanBytes(total_bytes_avoided) << " of temporaries not allocated\n";
   const mem::PoolStats pool = mem::Pool::Global().Stats();
   os << "pool: " << pool.acquires << " acquires, " << pool.hits << " hits ("
      << std::fixed << std::setprecision(1) << 100.0 * pool.hit_rate()

@@ -45,6 +45,15 @@ void RecordAlloc(int64_t bytes, AllocKind kind);
 // confirms the no-grad inference path builds none.
 void RecordTapeNode();
 
+// Records one fused-kernel invocation against the current thread's open op
+// scope: `kernels_avoided` separate kernel passes and `bytes_avoided` bytes
+// of intermediate temporaries that the composed graph would have run /
+// allocated but the fused kernel did not. Called by the fused elementwise
+// and recurrent gate kernels; keeps the pool-hit-rate story interpretable
+// after fusion removes the allocations it used to measure (a fused op's
+// alloc column shrinks, and this column says where the traffic went).
+void RecordFusion(int64_t kernels_avoided, int64_t bytes_avoided);
+
 // Writes the per-op table plus pool / dispatch summaries. Unconditional:
 // prints whatever has been collected (an empty table when profiling never
 // ran). Marks the report as delivered so the at-exit hook stays quiet.

@@ -176,6 +176,24 @@ T ParallelReduce(int64_t begin, int64_t end, int64_t grain, T identity,
 // large enough that chunk dispatch (~1 us) stays negligible.
 inline constexpr int64_t kElementGrain = 1 << 15;
 
+// Caps the number of chunks a ParallelFor produces at a few per thread.
+// Work-size-derived grains (e.g. "one chunk per N flops") can degenerate to
+// grain 1 on large batches of small items, producing thousands of chunks
+// whose dispatch and per-chunk setup (pool buffers, packing) swamp the
+// work — and get *worse* with more threads contending on the chunk queue.
+// Returns max(min_grain, ceil(items / (threads * kChunksPerThread))): the
+// work-derived floor is kept for load-balancing heavy items, but the chunk
+// count never exceeds kChunksPerThread per thread. Chunk layout affects
+// only scheduling, never per-element arithmetic, so kernels stay bitwise
+// identical across thread counts even though the grain depends on
+// NumThreads().
+inline constexpr int64_t kChunksPerThread = 4;
+inline int64_t BalancedGrain(int64_t items, int64_t min_grain) {
+  const int64_t target_chunks = NumThreads() * kChunksPerThread;
+  const int64_t cap_grain = (items + target_chunks - 1) / target_chunks;
+  return std::max<int64_t>(1, std::max(min_grain, cap_grain));
+}
+
 }  // namespace par
 }  // namespace elda
 

@@ -1,0 +1,393 @@
+// Scalar reference definitions and dispatched array kernels for the SIMD
+// transcendental contract (see simd_math.h).
+//
+// This file is compiled with -ffp-contract=off (see CMakeLists.txt): the
+// bitwise scalar==vector contract requires every fma to be an explicit
+// std::fma and every separate mul/add to stay separate.
+
+#include "tensor/simd_math.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace elda {
+namespace simd {
+namespace {
+
+bool EnvDisabled() {
+  const char* env = std::getenv("ELDA_SIMD");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+         std::strcmp(env, "OFF") == 0 || std::strcmp(env, "scalar") == 0;
+}
+
+bool DetectAvx2() {
+#if ELDA_SIMD_AVX2
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+struct Dispatch {
+  bool available = false;
+  bool env_enabled = false;  // available and not disabled by ELDA_SIMD
+  bool enabled = false;      // current state (ForceScalar can clear it)
+  Dispatch() {
+    available = DetectAvx2();
+    env_enabled = available && !EnvDisabled();
+    enabled = env_enabled;
+  }
+};
+
+Dispatch& D() {
+  static Dispatch d;  // thread-safe magic-static init
+  return d;
+}
+
+// The fixed 8-lane fold trees of the row-softmax reduction contract. Both
+// the scalar reference and the AVX2 path (after storing its accumulator
+// register) fold through these exact functions.
+inline float FoldMax8(const float* l) {
+  const float m01 = MaxPs(l[0], l[1]);
+  const float m23 = MaxPs(l[2], l[3]);
+  const float m45 = MaxPs(l[4], l[5]);
+  const float m67 = MaxPs(l[6], l[7]);
+  return MaxPs(MaxPs(m01, m23), MaxPs(m45, m67));
+}
+
+inline float FoldAdd8(const float* l) {
+  return ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+}
+
+#if ELDA_SIMD_AVX2
+
+// Mask with `tail` (1..7) active lanes for maskload/maskstore; an active
+// lane is all-ones so the same mask works as a blend/and operand.
+inline __m256i TailMask(int64_t tail) {
+  alignas(32) static const int32_t kMask[16] = {-1, -1, -1, -1, -1, -1, -1,
+                                                -1, 0,  0,  0,  0,  0,  0,
+                                                0,  0};
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMask + 8 - tail));
+}
+
+#endif  // ELDA_SIMD_AVX2
+
+}  // namespace
+
+bool Available() { return D().available; }
+
+bool Enabled() { return D().enabled; }
+
+void ForceScalar(bool force) { D().enabled = !force && D().env_enabled; }
+
+const char* ActivePath() { return Enabled() ? "avx2" : "scalar"; }
+
+float ExpRef(float x) {
+  float xc = MinPs(x, kExpHi);
+  xc = MaxPs(xc, kExpLo);
+  const float nf = std::fma(xc, kLog2e, kExpRoundMagic) - kExpRoundMagic;
+  float r = std::fma(nf, kExpNegC1, xc);
+  r = std::fma(nf, kExpNegC2, r);
+  float p = kExpP0;
+  p = std::fma(p, r, kExpP1);
+  p = std::fma(p, r, kExpP2);
+  p = std::fma(p, r, kExpP3);
+  p = std::fma(p, r, kExpP4);
+  p = std::fma(p, r, kExpP5);
+  const float r2 = r * r;
+  p = std::fma(p, r2, r);
+  p = p + 1.0f;
+  // nf is exactly integral, so the truncating cast equals the vector path's
+  // round-to-nearest cvtps2dq.
+  const int32_t n = static_cast<int32_t>(nf);
+  float y = p * BitsToFloat((n + 127) << 23);
+  y = (x > kExpHi) ? HUGE_VALF : y;
+  y = (x < kExpLo) ? 0.0f : y;
+  y = (x != x) ? x : y;
+  return y;
+}
+
+float SigmoidRef(float x) {
+  const float z = ExpRef(-std::fabs(x));
+  const float num = (x >= 0.0f) ? 1.0f : z;
+  return num / (1.0f + z);
+}
+
+float TanhRef(float x) {
+  float xc = MinPs(x, kTanhClamp);
+  xc = MaxPs(xc, -kTanhClamp);
+  const float x2 = xc * xc;
+  float p = kTanhAlpha13;
+  p = std::fma(x2, p, kTanhAlpha11);
+  p = std::fma(x2, p, kTanhAlpha9);
+  p = std::fma(x2, p, kTanhAlpha7);
+  p = std::fma(x2, p, kTanhAlpha5);
+  p = std::fma(x2, p, kTanhAlpha3);
+  p = std::fma(x2, p, kTanhAlpha1);
+  p = xc * p;
+  float q = kTanhBeta6;
+  q = std::fma(x2, q, kTanhBeta4);
+  q = std::fma(x2, q, kTanhBeta2);
+  q = std::fma(x2, q, kTanhBeta0);
+  float y = p / q;
+  y = (x != x) ? x : y;
+  return y;
+}
+
+void ExpArray(const float* x, float* y, int64_t n) {
+  int64_t i = 0;
+#if ELDA_SIMD_AVX2
+  if (Enabled()) {
+    for (; i + 8 <= n; i += 8) {
+      _mm256_storeu_ps(y + i, Exp8(_mm256_loadu_ps(x + i)));
+    }
+  }
+#endif
+  for (; i < n; ++i) y[i] = ExpRef(x[i]);
+}
+
+void SigmoidArray(const float* x, float* y, int64_t n) {
+  int64_t i = 0;
+#if ELDA_SIMD_AVX2
+  if (Enabled()) {
+    for (; i + 8 <= n; i += 8) {
+      _mm256_storeu_ps(y + i, Sigmoid8(_mm256_loadu_ps(x + i)));
+    }
+  }
+#endif
+  for (; i < n; ++i) y[i] = SigmoidRef(x[i]);
+}
+
+void TanhArray(const float* x, float* y, int64_t n) {
+  int64_t i = 0;
+#if ELDA_SIMD_AVX2
+  if (Enabled()) {
+    for (; i + 8 <= n; i += 8) {
+      _mm256_storeu_ps(y + i, Tanh8(_mm256_loadu_ps(x + i)));
+    }
+  }
+#endif
+  for (; i < n; ++i) y[i] = TanhRef(x[i]);
+}
+
+void AddSigmoidArray(const float* a, const float* b, float* y, int64_t n) {
+  int64_t i = 0;
+#if ELDA_SIMD_AVX2
+  if (Enabled()) {
+    for (; i + 8 <= n; i += 8) {
+      _mm256_storeu_ps(y + i, Sigmoid8(_mm256_add_ps(_mm256_loadu_ps(a + i),
+                                                     _mm256_loadu_ps(b + i))));
+    }
+  }
+#endif
+  for (; i < n; ++i) y[i] = SigmoidRef(a[i] + b[i]);
+}
+
+void AddTanhArray(const float* a, const float* b, float* y, int64_t n) {
+  int64_t i = 0;
+#if ELDA_SIMD_AVX2
+  if (Enabled()) {
+    for (; i + 8 <= n; i += 8) {
+      _mm256_storeu_ps(y + i, Tanh8(_mm256_add_ps(_mm256_loadu_ps(a + i),
+                                                  _mm256_loadu_ps(b + i))));
+    }
+  }
+#endif
+  for (; i < n; ++i) y[i] = TanhRef(a[i] + b[i]);
+}
+
+void ExpNegReluArray(const float* x, float* y, int64_t n) {
+  int64_t i = 0;
+#if ELDA_SIMD_AVX2
+  if (Enabled()) {
+    const __m256 zero = _mm256_setzero_ps();
+    const __m256 neg1 = _mm256_set1_ps(-1.0f);
+    for (; i + 8 <= n; i += 8) {
+      const __m256 relu = _mm256_max_ps(_mm256_loadu_ps(x + i), zero);
+      _mm256_storeu_ps(y + i, Exp8(_mm256_mul_ps(relu, neg1)));
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    y[i] = ExpRef((x[i] > 0.0f ? x[i] : 0.0f) * -1.0f);
+  }
+}
+
+void SigmoidGradArray(const float* g, const float* y, float* dx, int64_t n) {
+  int64_t i = 0;
+#if ELDA_SIMD_AVX2
+  if (Enabled()) {
+    const __m256 one = _mm256_set1_ps(1.0f);
+    for (; i + 8 <= n; i += 8) {
+      const __m256 yv = _mm256_loadu_ps(y + i);
+      const __m256 d = _mm256_mul_ps(yv, _mm256_sub_ps(one, yv));
+      _mm256_storeu_ps(dx + i, _mm256_mul_ps(_mm256_loadu_ps(g + i), d));
+    }
+  }
+#endif
+  for (; i < n; ++i) dx[i] = g[i] * (y[i] * (1.0f - y[i]));
+}
+
+void TanhGradArray(const float* g, const float* y, float* dx, int64_t n) {
+  int64_t i = 0;
+#if ELDA_SIMD_AVX2
+  if (Enabled()) {
+    const __m256 one = _mm256_set1_ps(1.0f);
+    for (; i + 8 <= n; i += 8) {
+      const __m256 yv = _mm256_loadu_ps(y + i);
+      const __m256 d = _mm256_sub_ps(one, _mm256_mul_ps(yv, yv));
+      _mm256_storeu_ps(dx + i, _mm256_mul_ps(_mm256_loadu_ps(g + i), d));
+    }
+  }
+#endif
+  for (; i < n; ++i) dx[i] = g[i] * (1.0f - y[i] * y[i]);
+}
+
+void ExpNegReluGradArray(const float* g, const float* y, const float* x,
+                         float* dx, int64_t n) {
+  int64_t i = 0;
+#if ELDA_SIMD_AVX2
+  if (Enabled()) {
+    const __m256 zero = _mm256_setzero_ps();
+    const __m256 one = _mm256_set1_ps(1.0f);
+    // The contract's negation is an exact sign flip; vmulps with -1 would
+    // leave the sign of a NaN product untouched (and compilers fold a
+    // constant * -1 to xor only sometimes), so both paths xor explicitly.
+    const __m256 sign = _mm256_set1_ps(-0.0f);
+    for (; i + 8 <= n; i += 8) {
+      const __m256 gy =
+          _mm256_mul_ps(_mm256_loadu_ps(g + i), _mm256_loadu_ps(y + i));
+      const __m256 mask = _mm256_blendv_ps(
+          zero, one, _mm256_cmp_ps(_mm256_loadu_ps(x + i), zero, _CMP_GT_OQ));
+      _mm256_storeu_ps(dx + i,
+                       _mm256_mul_ps(_mm256_xor_ps(gy, sign), mask));
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    dx[i] = (-(g[i] * y[i])) * (x[i] > 0.0f ? 1.0f : 0.0f);
+  }
+}
+
+void SoftmaxRow(const float* x, float* y, int64_t n) {
+  if (n <= 0) return;
+#if ELDA_SIMD_AVX2
+  if (Enabled()) {
+    const int64_t full = n & ~int64_t{7};
+    const int64_t tail = n - full;
+    const __m256i tmask =
+        tail > 0 ? TailMask(tail) : _mm256_setzero_si256();
+    const __m256 tmaskf = _mm256_castsi256_ps(tmask);
+    const __m256 neg_inf = _mm256_set1_ps(-HUGE_VALF);
+    // Pass 1: lane-blocked max.
+    __m256 mv = neg_inf;
+    for (int64_t j = 0; j < full; j += 8) {
+      mv = _mm256_max_ps(mv, _mm256_loadu_ps(x + j));
+    }
+    if (tail > 0) {
+      const __m256 xt = _mm256_blendv_ps(
+          neg_inf, _mm256_maskload_ps(x + full, tmask), tmaskf);
+      mv = _mm256_max_ps(mv, xt);
+    }
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, mv);
+    const float m = FoldMax8(lanes);
+    // Pass 2: e = exp(x - m) into y, lane-blocked sum.
+    const __m256 mb = _mm256_set1_ps(m);
+    __m256 sv = _mm256_setzero_ps();
+    for (int64_t j = 0; j < full; j += 8) {
+      const __m256 ev = Exp8(_mm256_sub_ps(_mm256_loadu_ps(x + j), mb));
+      _mm256_storeu_ps(y + j, ev);
+      sv = _mm256_add_ps(sv, ev);
+    }
+    if (tail > 0) {
+      const __m256 ev =
+          Exp8(_mm256_sub_ps(_mm256_maskload_ps(x + full, tmask), mb));
+      _mm256_maskstore_ps(y + full, tmask, ev);
+      sv = _mm256_add_ps(sv, _mm256_and_ps(ev, tmaskf));
+    }
+    _mm256_store_ps(lanes, sv);
+    const float inv = 1.0f / FoldAdd8(lanes);
+    // Pass 3: scale.
+    const __m256 iv = _mm256_set1_ps(inv);
+    for (int64_t j = 0; j < full; j += 8) {
+      _mm256_storeu_ps(y + j, _mm256_mul_ps(_mm256_loadu_ps(y + j), iv));
+    }
+    if (tail > 0) {
+      _mm256_maskstore_ps(
+          y + full, tmask,
+          _mm256_mul_ps(_mm256_maskload_ps(y + full, tmask), iv));
+    }
+    return;
+  }
+#endif
+  // Scalar reference: the same 8-lane-blocked reduction, spelled out.
+  // Padding lanes (j >= n up to the next multiple of 8) contribute -inf to
+  // the max and +0.0f to the sum, exactly as the vector tail does.
+  const int64_t padded = (n + 7) & ~int64_t{7};
+  float lanes[8];
+  for (int64_t l = 0; l < 8; ++l) lanes[l] = -HUGE_VALF;
+  for (int64_t j = 0; j < padded; ++j) {
+    const float v = j < n ? x[j] : -HUGE_VALF;
+    lanes[j & 7] = MaxPs(lanes[j & 7], v);
+  }
+  const float m = FoldMax8(lanes);
+  for (int64_t l = 0; l < 8; ++l) lanes[l] = 0.0f;
+  for (int64_t j = 0; j < padded; ++j) {
+    float e = 0.0f;
+    if (j < n) {
+      e = ExpRef(x[j] - m);
+      y[j] = e;
+    }
+    lanes[j & 7] = lanes[j & 7] + e;
+  }
+  const float inv = 1.0f / FoldAdd8(lanes);
+  for (int64_t j = 0; j < n; ++j) y[j] = y[j] * inv;
+}
+
+void SoftmaxGradRow(const float* g, const float* y, float* dx, int64_t n) {
+  if (n <= 0) return;
+#if ELDA_SIMD_AVX2
+  if (Enabled()) {
+    const int64_t full = n & ~int64_t{7};
+    const int64_t tail = n - full;
+    __m256 sv = _mm256_setzero_ps();
+    for (int64_t j = 0; j < full; j += 8) {
+      sv = _mm256_fmadd_ps(_mm256_loadu_ps(g + j), _mm256_loadu_ps(y + j),
+                           sv);
+    }
+    if (tail > 0) {
+      // Masked loads read +0 in inactive lanes; fma then adds an exact +0,
+      // matching the scalar reference's padded-lane adds.
+      const __m256i tmask = TailMask(tail);
+      sv = _mm256_fmadd_ps(_mm256_maskload_ps(g + full, tmask),
+                           _mm256_maskload_ps(y + full, tmask), sv);
+    }
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, sv);
+    const float dot = FoldAdd8(lanes);
+    const __m256 db = _mm256_set1_ps(dot);
+    for (int64_t j = 0; j < full; j += 8) {
+      const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(g + j), db);
+      _mm256_storeu_ps(dx + j, _mm256_mul_ps(_mm256_loadu_ps(y + j), d));
+    }
+    for (int64_t j = full; j < n; ++j) dx[j] = y[j] * (g[j] - dot);
+    return;
+  }
+#endif
+  const int64_t padded = (n + 7) & ~int64_t{7};
+  float lanes[8];
+  for (int64_t l = 0; l < 8; ++l) lanes[l] = 0.0f;
+  for (int64_t j = 0; j < padded; ++j) {
+    const float gv = j < n ? g[j] : 0.0f;
+    const float yv = j < n ? y[j] : 0.0f;
+    lanes[j & 7] = std::fma(gv, yv, lanes[j & 7]);
+  }
+  const float dot = FoldAdd8(lanes);
+  for (int64_t j = 0; j < n; ++j) dx[j] = y[j] * (g[j] - dot);
+}
+
+}  // namespace simd
+}  // namespace elda

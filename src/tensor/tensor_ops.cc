@@ -11,6 +11,7 @@
 #include "mem/pool.h"
 #include "mem/prof.h"
 #include "par/par.h"
+#include "tensor/simd_math.h"
 
 namespace elda {
 namespace {
@@ -150,17 +151,12 @@ Tensor BinaryBroadcast(const char* prof_name, const Tensor& a, const Tensor& b,
 // Scalar activation bodies shared by the elementwise kernels and the fused
 // recurrent gate kernels, so both paths run literally the same float
 // expressions (the fused kernels' bitwise-identity contract relies on it).
-inline float SigmoidScalar(float x) {
-  // Split by sign for numerical stability at large |x|. Both branches share
-  // exp(-|x|) (fabs is exact, so the bits match the sign-split form), which
-  // keeps the data-dependent branch off the exp call: the compiler emits a
-  // select over two cheap expressions instead of two exp paths, and random
-  // gate pre-activations stop paying a misprediction per element.
-  const float z = std::exp(-std::fabs(x));
-  return x >= 0.0f ? 1.0f / (1.0f + z) : z / (1.0f + z);
-}
+// Since the SIMD transcendental layer these delegate to the scalar
+// reference contract in simd_math.h, whose 8-lane AVX2 mirrors the
+// vectorized gate loops below embed — one contract, every path.
+inline float SigmoidScalar(float x) { return simd::SigmoidRef(x); }
 
-inline float TanhScalar(float x) { return std::tanh(x); }
+inline float TanhScalar(float x) { return simd::TanhRef(x); }
 
 template <typename F>
 Tensor UnaryOp(const char* prof_name, const Tensor& a, F f) {
@@ -539,9 +535,26 @@ Tensor MulScalar(const Tensor& a, float s) {
 Tensor Neg(const Tensor& a) {
   return UnaryOp("Neg", a, [](float x) { return -x; });
 }
-Tensor Exp(const Tensor& a) {
-  return UnaryOp("Exp", a, [](float x) { return std::exp(x); });
+// Exp/Sigmoid/Tanh dispatch whole chunks into the SIMD array kernels
+// instead of a per-element functor; chunk boundaries cannot affect
+// elementwise values, so any thread partition stays bitwise identical.
+namespace {
+template <void (*ArrayFn)(const float*, float*, int64_t)>
+Tensor UnarySimd(const char* prof_name, const Tensor& a) {
+  ELDA_PROF_SCOPE(prof_name);
+  ELDA_CHECK(a.defined());
+  Tensor out = Tensor::Empty(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  par::ParallelFor(0, a.size(), par::kElementGrain,
+                   [&](int64_t lo, int64_t hi) {
+                     ArrayFn(pa + lo, po + lo, hi - lo);
+                   });
+  return out;
 }
+}  // namespace
+
+Tensor Exp(const Tensor& a) { return UnarySimd<simd::ExpArray>("Exp", a); }
 Tensor Log(const Tensor& a) {
   return UnaryOp("Log", a, [](float x) { return std::log(std::max(x, 1e-12f)); });
 }
@@ -555,11 +568,9 @@ Tensor Square(const Tensor& a) {
   return UnaryOp("Square", a, [](float x) { return x * x; });
 }
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp("Sigmoid", a, [](float x) { return SigmoidScalar(x); });
+  return UnarySimd<simd::SigmoidArray>("Sigmoid", a);
 }
-Tensor Tanh(const Tensor& a) {
-  return UnaryOp("Tanh", a, [](float x) { return TanhScalar(x); });
-}
+Tensor Tanh(const Tensor& a) { return UnarySimd<simd::TanhArray>("Tanh", a); }
 Tensor Relu(const Tensor& a) {
   return UnaryOp("Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; });
 }
@@ -578,6 +589,126 @@ Tensor EqualScalar(const Tensor& a, float s, float tolerance) {
   return UnaryOp("EqualScalar", a, [s, tolerance](float x) {
     return std::fabs(x - s) <= tolerance ? 1.0f : 0.0f;
   });
+}
+
+// -- Fused elementwise chains ------------------------------------------------
+//
+// Each kernel runs a short composed chain (Add+Sigmoid, Relu+Neg+Exp, ...)
+// as one pass over memory. Per element they evaluate exactly the float
+// expression the composed kernels would, in the same order, against the
+// same transcendental reference contract — so fused and composed paths are
+// bitwise identical (tested in tests/simd_test.cc). RecordFusion feeds the
+// ELDA_PROF fusion columns: kernel passes and temporary allocations the
+// composed graph would have cost.
+
+namespace {
+constexpr int64_t kFloatBytes = static_cast<int64_t>(sizeof(float));
+
+template <void (*ArrayFn)(const float*, const float*, float*, int64_t)>
+Tensor FusedBinarySameShape(const Tensor& a, const Tensor& b) {
+  Tensor out = Tensor::Empty(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  par::ParallelFor(0, a.size(), par::kElementGrain,
+                   [&](int64_t lo, int64_t hi) {
+                     ArrayFn(pa + lo, pb + lo, po + lo, hi - lo);
+                   });
+  return out;
+}
+}  // namespace
+
+Tensor AddSigmoid(const Tensor& a, const Tensor& b) {
+  ELDA_CHECK(a.defined() && b.defined());
+  if (a.shape() == b.shape()) {
+    ELDA_PROF_SCOPE("AddSigmoid");
+    prof::RecordFusion(1, a.size() * kFloatBytes);
+    return FusedBinarySameShape<simd::AddSigmoidArray>(a, b);
+  }
+  // Broadcast shapes fall back to the (scalar, still single-pass) broadcast
+  // engine with the same per-element expression.
+  return BinaryBroadcast("AddSigmoid", a, b, [](float x, float y) {
+    return simd::SigmoidRef(x + y);
+  });
+}
+
+Tensor AddTanh(const Tensor& a, const Tensor& b) {
+  ELDA_CHECK(a.defined() && b.defined());
+  if (a.shape() == b.shape()) {
+    ELDA_PROF_SCOPE("AddTanh");
+    prof::RecordFusion(1, a.size() * kFloatBytes);
+    return FusedBinarySameShape<simd::AddTanhArray>(a, b);
+  }
+  return BinaryBroadcast("AddTanh", a, b, [](float x, float y) {
+    return simd::TanhRef(x + y);
+  });
+}
+
+Tensor ExpNegRelu(const Tensor& a) {
+  ELDA_PROF_SCOPE("ExpNegRelu");
+  ELDA_CHECK(a.defined());
+  prof::RecordFusion(2, 2 * a.size() * kFloatBytes);
+  Tensor out = Tensor::Empty(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  par::ParallelFor(0, a.size(), par::kElementGrain,
+                   [&](int64_t lo, int64_t hi) {
+                     simd::ExpNegReluArray(pa + lo, po + lo, hi - lo);
+                   });
+  return out;
+}
+
+Tensor SigmoidGrad(const Tensor& g, const Tensor& y) {
+  ELDA_PROF_SCOPE("SigmoidGrad");
+  ELDA_CHECK(g.shape() == y.shape());
+  prof::RecordFusion(3, 3 * g.size() * kFloatBytes);
+  return FusedBinarySameShape<simd::SigmoidGradArray>(g, y);
+}
+
+Tensor TanhGrad(const Tensor& g, const Tensor& y) {
+  ELDA_PROF_SCOPE("TanhGrad");
+  ELDA_CHECK(g.shape() == y.shape());
+  prof::RecordFusion(3, 3 * g.size() * kFloatBytes);
+  return FusedBinarySameShape<simd::TanhGradArray>(g, y);
+}
+
+Tensor ExpNegReluGrad(const Tensor& g, const Tensor& y, const Tensor& x) {
+  ELDA_PROF_SCOPE("ExpNegReluGrad");
+  ELDA_CHECK(g.shape() == y.shape());
+  ELDA_CHECK(g.shape() == x.shape());
+  prof::RecordFusion(3, 3 * g.size() * kFloatBytes);
+  Tensor out = Tensor::Empty(g.shape());
+  const float* pg = g.data();
+  const float* py = y.data();
+  const float* px = x.data();
+  float* po = out.data();
+  par::ParallelFor(0, g.size(), par::kElementGrain,
+                   [&](int64_t lo, int64_t hi) {
+                     simd::ExpNegReluGradArray(pg + lo, py + lo, px + lo,
+                                               po + lo, hi - lo);
+                   });
+  return out;
+}
+
+Tensor SoftmaxLastAxisGrad(const Tensor& g, const Tensor& y) {
+  ELDA_PROF_SCOPE("SoftmaxGrad");
+  ELDA_CHECK(g.shape() == y.shape());
+  const int64_t n = y.shape(-1);
+  ELDA_CHECK_GT(n, 0);
+  prof::RecordFusion(3, 3 * g.size() * kFloatBytes);
+  const int64_t rows = y.size() / n;
+  Tensor out = Tensor::Empty(g.shape());
+  const float* pg = g.data();
+  const float* py = y.data();
+  float* po = out.data();
+  const int64_t grain =
+      std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, n));
+  par::ParallelFor(0, rows, grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      simd::SoftmaxGradRow(pg + r * n, py + r * n, po + r * n, n);
+    }
+  });
+  return out;
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
@@ -620,8 +751,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   float* base_o = out.data();
   const int64_t flops_per_item = am * ak * bn;
   if (batch > 1) {
-    const int64_t grain = std::max<int64_t>(
-        1, kMatMulGrainFlops / std::max<int64_t>(1, flops_per_item));
+    // Flop-derived grain, capped to a few chunks per thread: a large batch
+    // of small matrices (flops_per_item > kMatMulGrainFlops => grain 1)
+    // must not degenerate into thousands of one-item chunks whose per-chunk
+    // pool buffers and B-packing cost more than the GEMMs themselves —
+    // which used to make 8 threads *slower* than 2 on BM_MatMulBatchedSmall.
+    const int64_t grain = par::BalancedGrain(
+        batch, kMatMulGrainFlops / std::max<int64_t>(1, flops_per_item));
     par::ParallelFor(0, batch, grain, [&](int64_t b0, int64_t b1) {
       if (packed) {
         mem::ScopedBuffer bp(PackedBFloats(ak, bn));
@@ -867,9 +1003,16 @@ Tensor GruGates(const Tensor& xw, const Tensor& hu, const Tensor& h,
   float* pz = capture ? z_out->data() : nullptr;
   float* pn = capture ? n_out->data() : nullptr;
   // Row-major loops: per-row pointer hoisting and the capture branch lifted
-  // out of the inner loop keep the hot path at three transcendental calls
-  // plus contiguous loads. Same float expressions, in the same order, as
-  // the composed Slice/Add/Sigmoid/Mul/Tanh/Sub kernels.
+  // out of the inner loop. Same float expressions, in the same order, as
+  // the composed Slice/Add/Sigmoid/Mul/Tanh/Sub kernels. The 8-lane AVX2
+  // body runs the same transcendental contract as the scalar tail
+  // (Sigmoid8/Tanh8 mirror SigmoidRef/TanhRef bitwise), so vector, tail,
+  // and scalar-dispatch elements all agree bit-for-bit.
+  prof::RecordFusion(10, 10 * batch * hidden *
+                             static_cast<int64_t>(sizeof(float)));
+#if ELDA_SIMD_AVX2
+  const bool vec = simd::Enabled();
+#endif
   const int64_t row_grain =
       std::max<int64_t>(1, par::kElementGrain / (3 * hidden));
   par::ParallelFor(0, batch, row_grain, [&](int64_t b0, int64_t b1) {
@@ -878,11 +1021,34 @@ Tensor GruGates(const Tensor& xw, const Tensor& hu, const Tensor& h,
       const float* ur = phu + b * 3 * hidden;
       const float* hp = ph + b * hidden;
       float* out = po + b * hidden;
+      int64_t k = 0;
       if (pr != nullptr) {
         float* rr = pr + b * hidden;
         float* zr = pz + b * hidden;
         float* nr = pn + b * hidden;
-        for (int64_t k = 0; k < hidden; ++k) {
+#if ELDA_SIMD_AVX2
+        if (vec) {
+          const __m256 one = _mm256_set1_ps(1.0f);
+          for (; k + 8 <= hidden; k += 8) {
+            const __m256 r = simd::Sigmoid8(_mm256_add_ps(
+                _mm256_loadu_ps(xr + k), _mm256_loadu_ps(ur + k)));
+            const __m256 z = simd::Sigmoid8(
+                _mm256_add_ps(_mm256_loadu_ps(xr + hidden + k),
+                              _mm256_loadu_ps(ur + hidden + k)));
+            const __m256 n = simd::Tanh8(_mm256_add_ps(
+                _mm256_loadu_ps(xr + 2 * hidden + k),
+                _mm256_mul_ps(r, _mm256_loadu_ps(ur + 2 * hidden + k))));
+            const __m256 h_next =
+                _mm256_add_ps(_mm256_mul_ps(_mm256_sub_ps(one, z), n),
+                              _mm256_mul_ps(z, _mm256_loadu_ps(hp + k)));
+            _mm256_storeu_ps(out + k, h_next);
+            _mm256_storeu_ps(rr + k, r);
+            _mm256_storeu_ps(zr + k, z);
+            _mm256_storeu_ps(nr + k, n);
+          }
+        }
+#endif
+        for (; k < hidden; ++k) {
           const float r = SigmoidScalar(xr[k] + ur[k]);
           const float z = SigmoidScalar(xr[hidden + k] + ur[hidden + k]);
           const float n =
@@ -893,7 +1059,26 @@ Tensor GruGates(const Tensor& xw, const Tensor& hu, const Tensor& h,
           nr[k] = n;
         }
       } else {
-        for (int64_t k = 0; k < hidden; ++k) {
+#if ELDA_SIMD_AVX2
+        if (vec) {
+          const __m256 one = _mm256_set1_ps(1.0f);
+          for (; k + 8 <= hidden; k += 8) {
+            const __m256 r = simd::Sigmoid8(_mm256_add_ps(
+                _mm256_loadu_ps(xr + k), _mm256_loadu_ps(ur + k)));
+            const __m256 z = simd::Sigmoid8(
+                _mm256_add_ps(_mm256_loadu_ps(xr + hidden + k),
+                              _mm256_loadu_ps(ur + hidden + k)));
+            const __m256 n = simd::Tanh8(_mm256_add_ps(
+                _mm256_loadu_ps(xr + 2 * hidden + k),
+                _mm256_mul_ps(r, _mm256_loadu_ps(ur + 2 * hidden + k))));
+            const __m256 h_next =
+                _mm256_add_ps(_mm256_mul_ps(_mm256_sub_ps(one, z), n),
+                              _mm256_mul_ps(z, _mm256_loadu_ps(hp + k)));
+            _mm256_storeu_ps(out + k, h_next);
+          }
+        }
+#endif
+        for (; k < hidden; ++k) {
           const float r = SigmoidScalar(xr[k] + ur[k]);
           const float z = SigmoidScalar(xr[hidden + k] + ur[hidden + k]);
           const float n =
@@ -938,7 +1123,13 @@ Tensor LstmGates(const Tensor& xw, const Tensor& hu, const Tensor& bias,
   float* po = capture ? o_out->data() : nullptr;
   float* ptc = capture ? tc_out->data() : nullptr;
   // Row-major loops with the capture branch lifted out of the inner loop;
-  // gate pre-activations exactly as Add(Add(xw, hu), bias).
+  // gate pre-activations exactly as Add(Add(xw, hu), bias). The 8-lane AVX2
+  // body mirrors the scalar expressions op for op (see GruGates).
+  prof::RecordFusion(16, 16 * batch * hidden *
+                             static_cast<int64_t>(sizeof(float)));
+#if ELDA_SIMD_AVX2
+  const bool vec = simd::Enabled();
+#endif
   const int64_t row_grain =
       std::max<int64_t>(1, par::kElementGrain / (4 * hidden));
   par::ParallelFor(0, batch, row_grain, [&](int64_t b0, int64_t b1) {
@@ -948,8 +1139,42 @@ Tensor LstmGates(const Tensor& xw, const Tensor& hu, const Tensor& bias,
       const float* cp = pc + b * hidden;
       float* hr = ph_new + b * hidden;
       float* cr = pc_new + b * hidden;
+      int64_t k = 0;
       if (pi != nullptr) {
-        for (int64_t k = 0; k < hidden; ++k) {
+#if ELDA_SIMD_AVX2
+        if (vec) {
+          for (; k + 8 <= hidden; k += 8) {
+            const __m256 i_g = simd::Sigmoid8(_mm256_add_ps(
+                _mm256_add_ps(_mm256_loadu_ps(xr + k),
+                              _mm256_loadu_ps(ur + k)),
+                _mm256_loadu_ps(pb + k)));
+            const __m256 f_g = simd::Sigmoid8(_mm256_add_ps(
+                _mm256_add_ps(_mm256_loadu_ps(xr + hidden + k),
+                              _mm256_loadu_ps(ur + hidden + k)),
+                _mm256_loadu_ps(pb + hidden + k)));
+            const __m256 g_g = simd::Tanh8(_mm256_add_ps(
+                _mm256_add_ps(_mm256_loadu_ps(xr + 2 * hidden + k),
+                              _mm256_loadu_ps(ur + 2 * hidden + k)),
+                _mm256_loadu_ps(pb + 2 * hidden + k)));
+            const __m256 o_g = simd::Sigmoid8(_mm256_add_ps(
+                _mm256_add_ps(_mm256_loadu_ps(xr + 3 * hidden + k),
+                              _mm256_loadu_ps(ur + 3 * hidden + k)),
+                _mm256_loadu_ps(pb + 3 * hidden + k)));
+            const __m256 c_new =
+                _mm256_add_ps(_mm256_mul_ps(f_g, _mm256_loadu_ps(cp + k)),
+                              _mm256_mul_ps(i_g, g_g));
+            const __m256 tc = simd::Tanh8(c_new);
+            _mm256_storeu_ps(hr + k, _mm256_mul_ps(o_g, tc));
+            _mm256_storeu_ps(cr + k, c_new);
+            _mm256_storeu_ps(pi + b * hidden + k, i_g);
+            _mm256_storeu_ps(pf + b * hidden + k, f_g);
+            _mm256_storeu_ps(pg + b * hidden + k, g_g);
+            _mm256_storeu_ps(po + b * hidden + k, o_g);
+            _mm256_storeu_ps(ptc + b * hidden + k, tc);
+          }
+        }
+#endif
+        for (; k < hidden; ++k) {
           const float i = SigmoidScalar((xr[k] + ur[k]) + pb[k]);
           const float f = SigmoidScalar(
               (xr[hidden + k] + ur[hidden + k]) + pb[hidden + k]);
@@ -968,7 +1193,35 @@ Tensor LstmGates(const Tensor& xw, const Tensor& hu, const Tensor& bias,
           ptc[b * hidden + k] = tc;
         }
       } else {
-        for (int64_t k = 0; k < hidden; ++k) {
+#if ELDA_SIMD_AVX2
+        if (vec) {
+          for (; k + 8 <= hidden; k += 8) {
+            const __m256 i_g = simd::Sigmoid8(_mm256_add_ps(
+                _mm256_add_ps(_mm256_loadu_ps(xr + k),
+                              _mm256_loadu_ps(ur + k)),
+                _mm256_loadu_ps(pb + k)));
+            const __m256 f_g = simd::Sigmoid8(_mm256_add_ps(
+                _mm256_add_ps(_mm256_loadu_ps(xr + hidden + k),
+                              _mm256_loadu_ps(ur + hidden + k)),
+                _mm256_loadu_ps(pb + hidden + k)));
+            const __m256 g_g = simd::Tanh8(_mm256_add_ps(
+                _mm256_add_ps(_mm256_loadu_ps(xr + 2 * hidden + k),
+                              _mm256_loadu_ps(ur + 2 * hidden + k)),
+                _mm256_loadu_ps(pb + 2 * hidden + k)));
+            const __m256 o_g = simd::Sigmoid8(_mm256_add_ps(
+                _mm256_add_ps(_mm256_loadu_ps(xr + 3 * hidden + k),
+                              _mm256_loadu_ps(ur + 3 * hidden + k)),
+                _mm256_loadu_ps(pb + 3 * hidden + k)));
+            const __m256 c_new =
+                _mm256_add_ps(_mm256_mul_ps(f_g, _mm256_loadu_ps(cp + k)),
+                              _mm256_mul_ps(i_g, g_g));
+            const __m256 tc = simd::Tanh8(c_new);
+            _mm256_storeu_ps(hr + k, _mm256_mul_ps(o_g, tc));
+            _mm256_storeu_ps(cr + k, c_new);
+          }
+        }
+#endif
+        for (; k < hidden; ++k) {
           const float i = SigmoidScalar((xr[k] + ur[k]) + pb[k]);
           const float f = SigmoidScalar(
               (xr[hidden + k] + ur[hidden + k]) + pb[hidden + k]);
@@ -1147,10 +1400,24 @@ Tensor Softmax(const Tensor& a, int64_t axis) {
   Tensor out = Tensor::Empty(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  // Lane space: softmax fibers (o, i), in the same o-major order the serial
-  // loop used; each lane's arithmetic is untouched.
   const int64_t grain =
       std::max<int64_t>(1, par::kElementGrain / std::max<int64_t>(1, n));
+  if (inner == 1 && n > 0) {
+    // Last-axis fast path: each fiber is one contiguous row, handled by the
+    // vectorized row kernel under the 8-lane-blocked reduction contract
+    // (simd_math.h). Row partitioning across threads never changes a row's
+    // arithmetic, so results stay bitwise identical across thread counts.
+    par::ParallelFor(0, outer, grain, [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        simd::SoftmaxRow(pa + o * n, po + o * n, n);
+      }
+    });
+    return out;
+  }
+  // General (strided) axis: serial per-fiber max/exp/sum/scale. Lane space:
+  // softmax fibers (o, i), in the same o-major order the serial loop used;
+  // each lane's arithmetic is untouched. The exp is the same scalar
+  // reference the fast path runs through its vector lanes.
   par::ParallelFor(0, outer * inner, grain, [&](int64_t l0, int64_t l1) {
     for (int64_t l = l0; l < l1; ++l) {
       const int64_t o = l / inner;
@@ -1160,7 +1427,7 @@ Tensor Softmax(const Tensor& a, int64_t axis) {
       for (int64_t k = 1; k < n; ++k) m = std::max(m, pa[base + k * inner]);
       float z = 0.0f;
       for (int64_t k = 0; k < n; ++k) {
-        const float e = std::exp(pa[base + k * inner] - m);
+        const float e = simd::ExpRef(pa[base + k * inner] - m);
         po[base + k * inner] = e;
         z += e;
       }

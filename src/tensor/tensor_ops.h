@@ -40,6 +40,10 @@ Tensor MulScalar(const Tensor& a, float s);
 
 // -- Element-wise unary --------------------------------------------------------
 
+// Transcendental note: Exp/Sigmoid/Tanh/Softmax evaluate the SIMD
+// transcendental contract of tensor/simd_math.h (polynomial kernels whose
+// scalar reference and AVX2 paths are bitwise identical), not libm. See
+// DESIGN.md "Elementwise execution" for the accuracy policy.
 Tensor Neg(const Tensor& a);
 Tensor Exp(const Tensor& a);
 Tensor Log(const Tensor& a);  // clamps input at 1e-12 to keep finite
@@ -58,6 +62,28 @@ Tensor GreaterThanScalar(const Tensor& a, float s);
 // the compared values are computed rather than stored constants (e.g.
 // standardised mask cells); pass 0.0f explicitly for exact bit equality.
 Tensor EqualScalar(const Tensor& a, float s, float tolerance = 1e-6f);
+
+// -- Fused elementwise chains -----------------------------------------------
+//
+// One memory pass instead of a short chain of composed kernels. Per element
+// each evaluates exactly the float expression of the composed chain it
+// replaces, in the same order, so fused and composed results are bitwise
+// identical (the autograd twins in autograd/ops.h rely on this to keep
+// streamed-vs-batch and checkpoint guarantees intact while dropping tape
+// nodes and temporaries).
+
+Tensor AddSigmoid(const Tensor& a, const Tensor& b);  // sigmoid(a + b)
+Tensor AddTanh(const Tensor& a, const Tensor& b);     // tanh(a + b)
+Tensor ExpNegRelu(const Tensor& a);                   // exp(-relu(a))
+
+// Fused backward kernels (parenthesization pinned to the composed graphs):
+Tensor SigmoidGrad(const Tensor& g, const Tensor& y);  // g * (y * (1 - y))
+Tensor TanhGrad(const Tensor& g, const Tensor& y);     // g * (1 - y*y)
+// (-(g * y)) * (x > 0 ? 1 : 0); the negation is an exact sign flip
+Tensor ExpNegReluGrad(const Tensor& g, const Tensor& y, const Tensor& x);
+// Per last-axis row: dx = y * (g - dot(g, y)), dot under the 8-lane-blocked
+// reduction contract of simd_math.h.
+Tensor SoftmaxLastAxisGrad(const Tensor& g, const Tensor& y);
 
 // -- Matrix multiplication ------------------------------------------------------
 
