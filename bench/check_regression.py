@@ -37,6 +37,14 @@ KEY_OPS = [
     "BM_FeatureInteractionFactored/37",
     "BM_EldaNetForwardBackward",
     "BM_EldaNetInference/256/1",
+    # Out-of-core data substrate (bench_loader --json_out, schema
+    # elda-bench-loader-v1; same {name, ns_per_iter} row shape so the files
+    # join here directly). ns_per_iter is ns/stay for generation and
+    # ns/batch for epoch drains; gated rows are the deterministic
+    # single-stream configurations.
+    "BM_ShardCohortGenerate",
+    "BM_ShardedLoaderEpoch/4/0",
+    "BM_ShardedLoaderEpoch/4/1",
 ]
 
 

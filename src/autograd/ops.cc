@@ -335,6 +335,47 @@ Variable Stack0(const std::vector<Variable>& parts) {
       });
 }
 
+Variable FreezeRows(const Variable& fresh, const Variable& prev,
+                    std::vector<uint8_t> keep) {
+  const Tensor& vf = fresh.value();
+  const Tensor& vp = prev.value();
+  ELDA_CHECK(vf.shape() == vp.shape());
+  ELDA_CHECK_GE(vf.dim(), 2);
+  const int64_t batch = vf.shape(vf.dim() - 2);
+  const int64_t width = vf.shape(vf.dim() - 1);
+  ELDA_CHECK_EQ(static_cast<int64_t>(keep.size()), batch);
+  const int64_t slices = vf.size() / (batch * width);
+
+  Tensor out = vf.Clone();
+  for (int64_t s = 0; s < slices; ++s) {
+    for (int64_t b = 0; b < batch; ++b) {
+      if (keep[b]) continue;
+      const int64_t offset = (s * batch + b) * width;
+      std::copy(vp.data() + offset, vp.data() + offset + width,
+                out.data() + offset);
+    }
+  }
+  return MakeOpResult(
+      out, {fresh, prev},
+      [keep, slices, batch, width](Node* n) {
+        // Each row's gradient belongs to exactly one parent: fresh where the
+        // row was kept, prev where it was frozen. The complementary rows are
+        // zero.
+        Tensor g_fresh = Tensor::Zeros(n->grad.shape());
+        Tensor g_prev = Tensor::Zeros(n->grad.shape());
+        for (int64_t s = 0; s < slices; ++s) {
+          for (int64_t b = 0; b < batch; ++b) {
+            const int64_t offset = (s * batch + b) * width;
+            Tensor& dst = keep[b] ? g_fresh : g_prev;
+            std::copy(n->grad.data() + offset,
+                      n->grad.data() + offset + width, dst.data() + offset);
+          }
+        }
+        AccumulateGrad(n->parents[0].get(), g_fresh);
+        AccumulateGrad(n->parents[1].get(), g_prev);
+      });
+}
+
 Variable Sum(const Variable& a, int64_t axis, bool keepdims) {
   const int64_t rank = a.value().dim();
   const int64_t norm_axis = axis < 0 ? axis + rank : axis;

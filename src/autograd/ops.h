@@ -98,6 +98,16 @@ Variable StepView(const Variable& a, int64_t t);
 // of the stacked gradient.
 Variable Stack0(const std::vector<Variable>& parts);
 
+// Row-frozen state update for ragged sweeps: row b of the result is fresh's
+// row where keep[b] != 0 and prev's row otherwise. Copy semantics — kept
+// rows are bitwise the fresh computation and frozen rows bitwise the prior
+// state (no mask arithmetic, which would not be bitwise-safe). The batch
+// axis is dim-2, covering both [B, H] and packed [S, B, H] states; the
+// backward routes each row's gradient to whichever parent it was copied
+// from.
+Variable FreezeRows(const Variable& fresh, const Variable& prev,
+                    std::vector<uint8_t> keep);
+
 // -- Reductions --------------------------------------------------------------------------
 Variable Sum(const Variable& a, int64_t axis, bool keepdims = false);
 Variable Mean(const Variable& a, int64_t axis, bool keepdims = false);

@@ -35,8 +35,10 @@ GruClassifier::GruClassifier(int64_t num_features, int64_t hidden_dim,
 ag::Variable GruClassifier::Forward(const data::Batch& batch,
                               nn::ForwardContext*) const {
   const int64_t batch_size = batch.x.shape(0);
+  // Ragged batches freeze each row past its length, so steps.back() row b
+  // is that stay's true final state (LengthsOrNull() is null when uniform).
   std::vector<ag::Variable> steps =
-      gru_.ForwardSteps(ag::Constant(batch.x));
+      gru_.ForwardSteps(ag::Constant(batch.x), batch.LengthsOrNull());
   return ag::Reshape(head_.Forward(steps.back()), {batch_size});
 }
 

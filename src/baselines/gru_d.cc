@@ -72,6 +72,7 @@ ag::Variable GruD::Forward(const data::Batch& batch,
 
   nn::SweepOptions opts;
   opts.label = "GruD/sweep";
+  opts.lengths = batch.LengthsOrNull();
   ag::Variable h0 = ag::Constant(Tensor::Zeros({batch_size, hidden_dim_}));
   nn::SweepResult sweep = nn::Sweep(
       steps, h0,

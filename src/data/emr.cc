@@ -1,5 +1,6 @@
 #include "data/emr.h"
 
+#include <algorithm>
 #include <numeric>
 
 namespace elda {
@@ -20,7 +21,27 @@ EmrSample TruncateToHour(const EmrSample& sample, int64_t hours) {
       truncated.value(t, c) = 0.0f;
     }
   }
+  truncated.length = std::min(sample.length, hours);
   return truncated;
+}
+
+LengthStats ComputeLengthStats(std::vector<int64_t> lengths) {
+  LengthStats stats;
+  if (lengths.empty()) return stats;
+  std::sort(lengths.begin(), lengths.end());
+  stats.count = static_cast<int64_t>(lengths.size());
+  stats.min = lengths.front();
+  stats.max = lengths.back();
+  int64_t total = 0;
+  for (int64_t len : lengths) total += len;
+  stats.mean = static_cast<double>(total) / static_cast<double>(stats.count);
+  auto quantile = [&](double q) {
+    int64_t idx = static_cast<int64_t>(q * static_cast<double>(stats.count - 1));
+    return lengths[idx];
+  };
+  stats.p50 = quantile(0.5);
+  stats.p95 = quantile(0.95);
+  return stats;
 }
 
 EmrDataset::EmrDataset(std::vector<std::string> feature_names,
@@ -28,7 +49,8 @@ EmrDataset::EmrDataset(std::vector<std::string> feature_names,
     : feature_names_(std::move(feature_names)), num_steps_(num_steps) {}
 
 void EmrDataset::Add(EmrSample sample) {
-  ELDA_CHECK_EQ(sample.num_steps, num_steps_);
+  ELDA_CHECK(sample.num_steps <= num_steps_);
+  ELDA_CHECK(sample.length >= 0 && sample.length <= sample.num_steps);
   ELDA_CHECK_EQ(sample.num_features, num_features());
   samples_.push_back(std::move(sample));
 }
@@ -54,11 +76,22 @@ double EmrDataset::AvgRecordsPerPatient() const {
 
 double EmrDataset::MissingRate() const {
   if (samples_.empty()) return 0.0;
-  const double cells = static_cast<double>(samples_.size()) * num_steps_ *
-                       num_features();
+  // Count per-sample grids so ragged cohorts measure missingness over real
+  // cells only. Uniform cohorts (every grid == num_steps_) are unchanged.
+  int64_t cell_count = 0;
   int64_t observed = 0;
-  for (const EmrSample& s : samples_) observed += s.NumRecords();
-  return 1.0 - static_cast<double>(observed) / cells;
+  for (const EmrSample& s : samples_) {
+    cell_count += s.num_steps * s.num_features;
+    observed += s.NumRecords();
+  }
+  return 1.0 - static_cast<double>(observed) / static_cast<double>(cell_count);
+}
+
+LengthStats EmrDataset::ComputeStayLengthStats() const {
+  std::vector<int64_t> lengths;
+  lengths.reserve(samples_.size());
+  for (const EmrSample& s : samples_) lengths.push_back(s.length);
+  return ComputeLengthStats(std::move(lengths));
 }
 
 SplitIndices SplitDataset(int64_t n, double train_fraction,

@@ -5,6 +5,15 @@
 // (roughly 80% of cells are unobserved in both PhysioNet2012 and MIMIC-III),
 // and labels for the two prediction tasks. Values at unobserved cells are
 // meaningless until the imputation pass in pipeline.h fills them.
+//
+// Ragged stays (valid-prefix contract): real admissions are not all 48
+// hours long, so every sample carries a `length` <= num_steps. Steps
+// [0, length) are real; any rows past `length` are padding whose mask is 0
+// and whose values are meaningless. A sample generated ragged allocates its
+// grid at exactly its length (num_steps == length); a sample truncated on a
+// fixed grid keeps the grid but shrinks `length`. Uniform-length cohorts
+// (every length == num_steps) take the original dense fixed-T code paths
+// bit-for-bit.
 
 #ifndef ELDA_DATA_EMR_H_
 #define ELDA_DATA_EMR_H_
@@ -20,8 +29,11 @@ namespace elda {
 namespace data {
 
 struct EmrSample {
-  int64_t num_steps = 0;     // T
+  int64_t num_steps = 0;     // T (allocated grid rows)
   int64_t num_features = 0;  // |C|
+  // Valid-prefix length: steps [0, length) are real, the tail is padding
+  // (mask 0). Defaults to the full grid, which is the dense fixed-T case.
+  int64_t length = 0;
   // Row-major [T x C] grids.
   std::vector<float> values;
   std::vector<uint8_t> observed;
@@ -38,6 +50,7 @@ struct EmrSample {
   EmrSample(int64_t steps, int64_t features)
       : num_steps(steps),
         num_features(features),
+        length(steps),
         values(steps * features, 0.0f),
         observed(steps * features, 0) {}
 
@@ -62,10 +75,28 @@ struct EmrSample {
 
 // Returns a copy of `sample` truncated to its first `hours` of observations:
 // later cells become unobserved (imputation then treats them like any other
-// missing value). Used for risk re-estimation as an admission progresses.
+// missing value) and `length` becomes min(sample.length, hours), so
+// early-warning evaluation windows compose with ragged stays. The grid size
+// is preserved. Used for risk re-estimation as an admission progresses.
 EmrSample TruncateToHour(const EmrSample& sample, int64_t hours);
 
+// Length distribution of a set of stay lengths (bench/reporting helper).
+struct LengthStats {
+  int64_t count = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  double mean = 0.0;
+  int64_t p50 = 0;
+  int64_t p95 = 0;
+};
+LengthStats ComputeLengthStats(std::vector<int64_t> lengths);
+
 // A cohort of admissions plus feature metadata.
+//
+// `num_steps` is the grid capacity: every sample satisfies
+// sample.num_steps <= num_steps (ragged cohorts hold shorter grids). A
+// cohort where every sample's grid and length equal num_steps is uniform
+// and takes the dense fixed-T paths unchanged.
 class EmrDataset {
  public:
   EmrDataset() = default;
@@ -90,8 +121,11 @@ class EmrDataset {
   int64_t CountMortality() const;
   int64_t CountLosGt7() const;
   double AvgRecordsPerPatient() const;
-  // Fraction of grid cells with no observation.
+  // Fraction of grid cells with no observation (per-sample grids, so ragged
+  // cohorts are measured over real cells only).
   double MissingRate() const;
+  // Distribution of per-stay valid-prefix lengths.
+  LengthStats ComputeStayLengthStats() const;
 
  private:
   std::vector<std::string> feature_names_;

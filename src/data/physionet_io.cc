@@ -1,5 +1,6 @@
 #include "data/physionet_io.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -36,14 +37,25 @@ int64_t ParseHour(const std::string& time) {
 
 bool ParsePhysioNetRecord(std::istream& in,
                           const std::vector<std::string>& feature_names,
-                          int64_t num_steps, EmrSample* sample,
+                          const PhysioNetParseOptions& options,
+                          EmrSample* sample, ParseStats* stats,
                           std::string* error) {
   ELDA_CHECK(sample != nullptr);
+  ELDA_CHECK_GT(options.max_steps, 0);
   std::map<std::string, int64_t> index;
   for (size_t c = 0; c < feature_names.size(); ++c) {
     index[feature_names[c]] = static_cast<int64_t>(c);
   }
-  *sample = EmrSample(num_steps, static_cast<int64_t>(feature_names.size()));
+
+  // The ragged grid is sized by the record's true horizon, which is only
+  // known at the end, so measurements buffer until then.
+  struct Row {
+    int64_t hour;
+    int64_t feature;
+    float value;
+  };
+  std::vector<Row> rows;
+  ParseStats parsed;
 
   std::string line;
   if (!std::getline(in, line)) return Fail(error, "empty record");
@@ -65,7 +77,6 @@ bool ParsePhysioNetRecord(std::istream& in,
       return Fail(error, "line " + std::to_string(line_number) +
                              ": bad time '" + cells[0] + "'");
     }
-    if (hour >= num_steps) continue;  // beyond the modelling window
     auto it = index.find(cells[1]);
     if (it == index.end()) continue;  // static descriptor or unused param
     char* end = nullptr;
@@ -75,10 +86,38 @@ bool ParsePhysioNetRecord(std::istream& in,
                              ": bad value '" + cells[2] + "'");
     }
     if (value == -1.0f) continue;  // PhysioNet's "not measured" sentinel
-    sample->value(hour, it->second) = value;  // last write within hour wins
-    sample->set_observed(hour, it->second, true);
+    parsed.max_hour_seen = std::max(parsed.max_hour_seen, hour);
+    if (hour >= options.max_steps) {
+      // Beyond the modelling window: dropped, but counted rather than
+      // silently discarded.
+      ++parsed.truncated_measurements;
+      continue;
+    }
+    rows.push_back({hour, it->second, value});
   }
+
+  const int64_t steps =
+      options.ragged
+          ? std::max<int64_t>(
+                1, std::min(parsed.max_hour_seen + 1, options.max_steps))
+          : options.max_steps;
+  *sample = EmrSample(steps, static_cast<int64_t>(feature_names.size()));
+  for (const Row& row : rows) {
+    sample->value(row.hour, row.feature) = row.value;  // last in hour wins
+    sample->set_observed(row.hour, row.feature, true);
+  }
+  if (stats != nullptr) *stats = parsed;
   return true;
+}
+
+bool ParsePhysioNetRecord(std::istream& in,
+                          const std::vector<std::string>& feature_names,
+                          int64_t num_steps, EmrSample* sample,
+                          std::string* error) {
+  PhysioNetParseOptions options;
+  options.max_steps = num_steps;
+  return ParsePhysioNetRecord(in, feature_names, options, sample,
+                              /*stats=*/nullptr, error);
 }
 
 bool ParsePhysioNetOutcomes(std::istream& in,
@@ -115,7 +154,7 @@ bool ExportCohortCsv(const EmrDataset& cohort, const std::string& path,
   for (int64_t i = 0; i < cohort.size(); ++i) {
     const EmrSample& s = cohort.sample(i);
     out << "#labels," << i << "," << s.mortality_label << ","
-        << s.los_gt7_label << "," << s.condition << "\n";
+        << s.los_gt7_label << "," << s.condition << "," << s.length << "\n";
   }
   out << "patient,hour,feature,value\n";
   const auto& names = cohort.feature_names();
@@ -151,6 +190,7 @@ bool ImportCohortCsv(const std::string& path,
     float mortality = 0.0f;
     float los = 0.0f;
     int64_t condition = -1;
+    int64_t length = -1;  // -1: pre-length-column file, default to the grid
   };
   std::map<int64_t, Labels> labels;
   std::map<int64_t, EmrSample> samples;
@@ -162,11 +202,21 @@ bool ImportCohortCsv(const std::string& path,
     if (line.empty()) continue;
     if (line.rfind("#labels,", 0) == 0) {
       const auto cells = SplitCsvLine(line.substr(8));
-      if (cells.size() != 4) return Fail(error, "bad #labels line");
+      if (cells.size() != 4 && cells.size() != 5) {
+        return Fail(error, "bad #labels line");
+      }
       const int64_t patient = std::strtoll(cells[0].c_str(), nullptr, 10);
-      labels[patient] = {std::strtof(cells[1].c_str(), nullptr),
-                         std::strtof(cells[2].c_str(), nullptr),
-                         std::strtoll(cells[3].c_str(), nullptr, 10)};
+      Labels parsed;
+      parsed.mortality = std::strtof(cells[1].c_str(), nullptr);
+      parsed.los = std::strtof(cells[2].c_str(), nullptr);
+      parsed.condition = std::strtoll(cells[3].c_str(), nullptr, 10);
+      if (cells.size() == 5) {
+        parsed.length = std::strtoll(cells[4].c_str(), nullptr, 10);
+        if (parsed.length < 0 || parsed.length > num_steps) {
+          return Fail(error, "length out of range on a #labels line");
+        }
+      }
+      labels[patient] = parsed;
       continue;
     }
     if (line.rfind("patient,", 0) == 0) {
@@ -201,6 +251,9 @@ bool ImportCohortCsv(const std::string& path,
       sample.mortality_label = label_it->second.mortality;
       sample.los_gt7_label = label_it->second.los;
       sample.condition = label_it->second.condition;
+      if (label_it->second.length >= 0) {
+        sample.length = label_it->second.length;
+      }
     }
     sample.patient_id = patient;
     cohort->Add(std::move(sample));

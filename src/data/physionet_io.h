@@ -22,12 +22,44 @@
 namespace elda {
 namespace data {
 
-// Parses one PhysioNet2012 record stream into a [num_steps x features] grid
-// sample. Rows whose Parameter is not in `feature_names` (RecordID, Age,
-// Gender, Height, ICUType, ...) are skipped; repeated measurements within
-// the same hour keep the last value; measurements at or past `num_steps`
-// hours are dropped. Value -1 marks "not measured" in PhysioNet and is
-// skipped. Returns false (with a message in `error`) on malformed input.
+// What a record parse dropped or saw beyond the grid. Real PhysioNet stays
+// routinely chart past the 48 h modelling window; these counters make that
+// truncation visible instead of silent.
+struct ParseStats {
+  // In-vocabulary, measured rows dropped because their hour was at or past
+  // the grid cap.
+  int64_t truncated_measurements = 0;
+  // Largest hour seen on any in-vocabulary, measured row (kept or dropped);
+  // -1 if none. The record's true horizon is max_hour_seen + 1.
+  int64_t max_hour_seen = -1;
+};
+
+struct PhysioNetParseOptions {
+  // Hard cap on grid rows; rows at or past this hour are counted in
+  // ParseStats::truncated_measurements.
+  int64_t max_steps = 48;
+  // When set, the sample's grid is sized to the record's true horizon
+  // (max_hour_seen + 1, capped at max_steps, at least 1) and length equals
+  // that grid — the ragged contract of data/emr.h. When unset the grid is
+  // fixed at max_steps with length = max_steps (the paper's dense protocol).
+  bool ragged = false;
+};
+
+// Parses one PhysioNet2012 record stream into a grid sample. Rows whose
+// Parameter is not in `feature_names` (RecordID, Age, Gender, Height,
+// ICUType, ...) are skipped; repeated measurements within the same hour keep
+// the last value; value -1 marks "not measured" in PhysioNet and is skipped.
+// Measurements past the grid cap are dropped but *reported* through `stats`
+// (pass nullptr to ignore). Returns false (with a message in `error`) on
+// malformed input.
+bool ParsePhysioNetRecord(std::istream& in,
+                          const std::vector<std::string>& feature_names,
+                          const PhysioNetParseOptions& options,
+                          EmrSample* sample, ParseStats* stats = nullptr,
+                          std::string* error = nullptr);
+
+// Legacy fixed-grid entry point: options {num_steps, ragged=false}, no
+// stats. Behaviour (including silent truncation) is unchanged.
 bool ParsePhysioNetRecord(std::istream& in,
                           const std::vector<std::string>& feature_names,
                           int64_t num_steps, EmrSample* sample,
@@ -49,14 +81,17 @@ bool ParsePhysioNetOutcomes(std::istream& in,
 // -- Cohort round-trip ---------------------------------------------------------
 
 // Writes a cohort as a long-format CSV. Layout:
-//   #labels,<patient>,<mortality>,<los_gt7>,<condition>   (one per patient)
+//   #labels,<patient>,<mortality>,<los_gt7>,<condition>,<length>
 //   patient,hour,feature,value                            (header)
 //   0,3,Glucose,188.0                                     (observed cells)
 bool ExportCohortCsv(const EmrDataset& cohort, const std::string& path,
                      std::string* error = nullptr);
 
-// Reads a file written by ExportCohortCsv. `num_steps` must match the
-// original grid length.
+// Reads a file written by ExportCohortCsv. `num_steps` must be at least the
+// original grid length. Imported samples use the full `num_steps` grid with
+// length restored from the #labels line (files from before the length column
+// load with length = num_steps), so ragged cohorts round-trip with
+// valid-prefix equality.
 bool ImportCohortCsv(const std::string& path,
                      const std::vector<std::string>& feature_names,
                      int64_t num_steps, EmrDataset* cohort,

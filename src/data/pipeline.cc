@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace elda {
 namespace data {
@@ -69,69 +70,110 @@ void Standardizer::Restore(std::vector<float> means,
   clean_negative_ = clean_negative;
 }
 
+PreparedSample PrepareOne(const EmrSample& sample,
+                          const Standardizer& standardizer) {
+  ELDA_CHECK(standardizer.fitted());
+  EmrSample s = sample;  // copy; standardisation mutates
+  standardizer.Apply(&s);
+  const int64_t num_steps = s.num_steps;
+  const int64_t num_features = s.num_features;
+  PreparedSample p;
+  p.x = Tensor({num_steps, num_features});
+  p.mask = Tensor({num_steps, num_features});
+  p.delta = Tensor({num_steps, num_features});
+  p.length = s.length;
+  for (int64_t c = 0; c < num_features; ++c) {
+    float last_value = 0.0f;  // global mean in standardised space
+    float steps_since = 0.0f;
+    bool seen = false;
+    for (int64_t t = 0; t < num_steps; ++t) {
+      const bool obs = s.is_observed(t, c);
+      if (obs) {
+        last_value = s.value(t, c);
+        steps_since = 0.0f;
+        seen = true;
+      } else if (seen || t > 0) {
+        steps_since += 1.0f;
+      }
+      p.x.at({t, c}) = obs ? s.value(t, c) : last_value;
+      p.mask.at({t, c}) = obs ? 1.0f : 0.0f;
+      p.delta.at({t, c}) = steps_since;
+    }
+  }
+  p.mortality_label = s.mortality_label;
+  p.los_gt7_label = s.los_gt7_label;
+  p.condition = s.condition;
+  return p;
+}
+
 std::vector<PreparedSample> PrepareDataset(const EmrDataset& dataset,
                                            const Standardizer& standardizer) {
   ELDA_CHECK(standardizer.fitted());
-  const int64_t num_steps = dataset.num_steps();
-  const int64_t num_features = dataset.num_features();
   std::vector<PreparedSample> prepared;
   prepared.reserve(dataset.size());
   for (int64_t i = 0; i < dataset.size(); ++i) {
-    EmrSample s = dataset.sample(i);  // copy; standardisation mutates
-    standardizer.Apply(&s);
-    PreparedSample p;
-    p.x = Tensor({num_steps, num_features});
-    p.mask = Tensor({num_steps, num_features});
-    p.delta = Tensor({num_steps, num_features});
-    for (int64_t c = 0; c < num_features; ++c) {
-      float last_value = 0.0f;  // global mean in standardised space
-      float steps_since = 0.0f;
-      bool seen = false;
-      for (int64_t t = 0; t < num_steps; ++t) {
-        const bool obs = s.is_observed(t, c);
-        if (obs) {
-          last_value = s.value(t, c);
-          steps_since = 0.0f;
-          seen = true;
-        } else if (seen || t > 0) {
-          steps_since += 1.0f;
-        }
-        p.x.at({t, c}) = obs ? s.value(t, c) : last_value;
-        p.mask.at({t, c}) = obs ? 1.0f : 0.0f;
-        p.delta.at({t, c}) = steps_since;
-      }
-    }
-    p.mortality_label = s.mortality_label;
-    p.los_gt7_label = s.los_gt7_label;
-    p.condition = s.condition;
+    PreparedSample p = PrepareOne(dataset.sample(i), standardizer);
     p.source_index = i;
     prepared.push_back(std::move(p));
   }
   return prepared;
 }
 
+bool Batch::UniformLength() const {
+  if (lengths.empty()) return true;
+  const int64_t steps = x.shape(1);
+  for (int64_t len : lengths) {
+    if (len != steps) return false;
+  }
+  return true;
+}
+
+const std::vector<int64_t>* Batch::LengthsOrNull() const {
+  return UniformLength() ? nullptr : &lengths;
+}
+
 Batch MakeBatch(const std::vector<PreparedSample>& prepared,
                 const std::vector<int64_t>& indices, Task task) {
   ELDA_CHECK(!indices.empty());
-  const PreparedSample& first = prepared[indices[0]];
-  const int64_t steps = first.x.shape(0);
-  const int64_t features = first.x.shape(1);
+  const int64_t features = prepared[indices[0]].x.shape(1);
   const int64_t batch = static_cast<int64_t>(indices.size());
+  // Batch T is the longest grid present; shorter samples pad with zeros.
+  // Uniform cohorts hit the exact pre-ragged layout (full-grid copies over a
+  // zero-initialised tensor), so the dense path is bitwise unchanged.
+  int64_t steps = 0;
+  for (int64_t idx : indices) {
+    steps = std::max(steps, prepared[idx].x.shape(0));
+  }
   Batch out;
   out.x = Tensor({batch, steps, features});
   out.mask = Tensor({batch, steps, features});
   out.delta = Tensor({batch, steps, features});
   out.y = Tensor({batch});
   out.sample_indices = indices;
+  out.lengths.resize(batch);
   const int64_t grid = steps * features;
+  bool ragged = false;
   for (int64_t b = 0; b < batch; ++b) {
     const PreparedSample& p = prepared[indices[b]];
-    std::copy(p.x.data(), p.x.data() + grid, out.x.data() + b * grid);
-    std::copy(p.mask.data(), p.mask.data() + grid, out.mask.data() + b * grid);
-    std::copy(p.delta.data(), p.delta.data() + grid,
+    ELDA_CHECK_EQ(p.x.shape(1), features);
+    const int64_t row_grid = p.x.shape(0) * features;
+    std::copy(p.x.data(), p.x.data() + row_grid, out.x.data() + b * grid);
+    std::copy(p.mask.data(), p.mask.data() + row_grid,
+              out.mask.data() + b * grid);
+    std::copy(p.delta.data(), p.delta.data() + row_grid,
               out.delta.data() + b * grid);
     out.y[b] =
         task == Task::kMortality ? p.mortality_label : p.los_gt7_label;
+    out.lengths[b] = p.length;
+    ragged = ragged || p.length != steps;
+  }
+  if (ragged) {
+    out.step_mask = Tensor({batch, steps});
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t t = 0; t < out.lengths[b]; ++t) {
+        out.step_mask.at({b, t}) = 1.0f;
+      }
+    }
   }
   return out;
 }
@@ -161,6 +203,47 @@ bool Batcher::Next(Batch* batch) {
                                  indices_.begin() + end);
   *batch = MakeBatch(*prepared_, selection, task_);
   cursor_ = end;
+  return true;
+}
+
+std::string Batcher::ExportState() const {
+  std::string state;
+  const uint32_t magic = 0x42435253;  // "SRCB"
+  state.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  const uint64_t n = indices_.size();
+  state.append(reinterpret_cast<const char*>(&n), sizeof(n));
+  state.append(reinterpret_cast<const char*>(indices_.data()),
+               n * sizeof(int64_t));
+  const int64_t cursor = cursor_;
+  state.append(reinterpret_cast<const char*>(&cursor), sizeof(cursor));
+  return state;
+}
+
+bool Batcher::RestoreState(const std::string& state) {
+  if (state.size() < sizeof(uint32_t) + sizeof(uint64_t)) return false;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(state.data());
+  uint32_t magic;
+  std::memcpy(&magic, p, sizeof(magic));
+  if (magic != 0x42435253) return false;
+  uint64_t n;
+  std::memcpy(&n, p + 4, sizeof(n));
+  if (n != indices_.size() ||
+      state.size() != 12 + n * sizeof(int64_t) + sizeof(int64_t)) {
+    return false;
+  }
+  std::vector<int64_t> order(n);
+  std::memcpy(order.data(), p + 12, n * sizeof(int64_t));
+  {
+    std::vector<int64_t> a = indices_, b = order;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b) return false;
+  }
+  int64_t cursor;
+  std::memcpy(&cursor, p + 12 + n * sizeof(int64_t), sizeof(cursor));
+  if (cursor < 0 || cursor > static_cast<int64_t>(n)) return false;
+  indices_ = std::move(order);
+  cursor_ = cursor;
   return true;
 }
 

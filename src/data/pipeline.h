@@ -64,49 +64,97 @@ class Standardizer {
 };
 
 // A dataset after standardisation and imputation, as dense per-sample
-// tensors ready for batching.
+// tensors ready for batching. Tensors cover the sample's own grid (ragged
+// samples stay small until batching pads them).
 struct PreparedSample {
   Tensor x;      // [T, C] standardised, imputed
   Tensor mask;   // [T, C] 1 = observed
   Tensor delta;  // [T, C] steps since last observation (0 when observed now)
+  int64_t length = 0;  // valid-prefix length (== T for dense samples)
   float mortality_label = 0.0f;
   float los_gt7_label = 0.0f;
   int64_t condition = -1;
   int64_t source_index = -1;  // index into the raw dataset
 };
 
-// Applies the full pipeline (clean + standardise + impute + delta) to every
-// sample. The standardizer must already be fitted.
+// Applies the pipeline (clean + standardise + impute + delta) to one sample.
+// The standardizer must already be fitted. `source_index` is left at -1.
+PreparedSample PrepareOne(const EmrSample& sample,
+                          const Standardizer& standardizer);
+
+// Applies the full pipeline to every sample.
 std::vector<PreparedSample> PrepareDataset(const EmrDataset& dataset,
                                            const Standardizer& standardizer);
 
-// A dense mini-batch.
+// A dense mini-batch. T is the longest grid in the batch; shorter samples
+// are zero-padded on the right, with `lengths` recording each row's
+// valid-prefix (the ragged contract from data/emr.h).
 struct Batch {
   Tensor x;      // [B, T, C]
   Tensor mask;   // [B, T, C]
   Tensor delta;  // [B, T, C]
   Tensor y;      // [B]
+  // Per-row valid-prefix lengths. Always sized [B]; all-equal-to-T for
+  // uniform batches, which take the dense fixed-T code paths.
+  std::vector<int64_t> lengths;
+  // [B, T] step-validity mask (1 for t < lengths[b]). Materialized only for
+  // ragged batches; empty (0 elements) when the batch is uniform.
+  Tensor step_mask;
   std::vector<int64_t> sample_indices;  // into the prepared vector
+
+  // True when every row's length equals T (the dense case).
+  bool UniformLength() const;
+  // &lengths for ragged batches, nullptr for uniform ones — the form
+  // RecurrentSweep's SweepOptions consumes (null == dense fast path).
+  const std::vector<int64_t>* LengthsOrNull() const;
 };
 
 // Assembles one batch from `prepared` at the given indices for `task`.
 Batch MakeBatch(const std::vector<PreparedSample>& prepared,
                 const std::vector<int64_t>& indices, Task task);
 
+// An epoch-oriented stream of mini-batches. Implemented by the in-RAM
+// Batcher and the out-of-core ShardedLoader; Trainer::TrainStreamed consumes
+// this interface so the two are interchangeable.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  // Starts a new epoch (reshuffles the visit order).
+  virtual void StartEpoch() = 0;
+  // Fills `batch` with the next mini-batch; returns false at epoch end. The
+  // final partial batch is emitted.
+  virtual bool Next(Batch* batch) = 0;
+  virtual int64_t NumBatchesPerEpoch() const = 0;
+
+  // Checkpoint/resume: an opaque byte string capturing the cursor (visit
+  // order, position, and any rng driving future shuffles) such that
+  // RestoreState + Next replays the remaining stream bit-for-bit. Exported
+  // through the elda::health sectioned-container path by the trainer.
+  virtual std::string ExportState() const = 0;
+  // Returns false (leaving the source untouched) on a malformed or
+  // incompatible state string.
+  virtual bool RestoreState(const std::string& state) = 0;
+};
+
 // Iterates mini-batches over a fixed index set, reshuffling every epoch.
-class Batcher {
+class Batcher : public BatchSource {
  public:
   Batcher(const std::vector<PreparedSample>* prepared,
           std::vector<int64_t> indices, int64_t batch_size, Task task,
           Rng* rng);
 
   // Starts a new epoch (reshuffles).
-  void StartEpoch();
+  void StartEpoch() override;
   // Fills `batch` with the next mini-batch; returns false at epoch end. The
   // final partial batch is emitted.
-  bool Next(Batch* batch);
+  bool Next(Batch* batch) override;
 
-  int64_t NumBatchesPerEpoch() const;
+  int64_t NumBatchesPerEpoch() const override;
+
+  // BatchSource state: the current permutation plus the intra-epoch cursor.
+  std::string ExportState() const override;
+  bool RestoreState(const std::string& state) override;
 
   // Checkpoint/resume support: the current index permutation. StartEpoch's
   // shuffle permutes this order in place, so restoring it (together with the

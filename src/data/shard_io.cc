@@ -1,0 +1,309 @@
+#include "data/shard_io.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "health/crc32.h"
+#include "util/logging.h"
+
+namespace elda {
+namespace data {
+namespace {
+
+constexpr uint32_t kHeaderMagic = 0x53444C45;  // "ELDS" little-endian
+constexpr uint32_t kMetaMagic = 0x4D444C45;    // "ELDM"
+constexpr uint32_t kRecordMagic = 0x52444C45;  // "ELDR"
+
+// header: magic | version | num_features | flags | reserved | crc
+constexpr uint64_t kHeaderSize = 4 + 4 + 4 + 4 + 8 + 4;
+constexpr uint64_t kFrameHeaderSize = 8;  // frame_magic | payload_size
+// payload prefix before the value/observed grids:
+// length | num_steps | num_features | mortality | los | patient_id | cond
+constexpr uint32_t kRecordPrefixSize = 4 + 4 + 4 + 4 + 4 + 8 + 8;
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(const uint8_t* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+std::string ShardPath(const std::string& prefix, int64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "-%05lld.elds",
+                static_cast<long long>(index));
+  return prefix + buf;
+}
+
+std::vector<std::string> ListShards(const std::string& prefix) {
+  std::vector<std::string> paths;
+  for (int64_t i = 0;; ++i) {
+    std::string path = ShardPath(prefix, i);
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) break;
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+// ---------------------------------------------------------------------------
+// ShardWriter
+
+ShardWriter::ShardWriter(const std::string& path,
+                         std::vector<std::string> feature_names)
+    : path_(path), feature_names_(std::move(feature_names)) {
+  file_ = std::fopen(path.c_str(), "wb");
+  ELDA_CHECK(file_ != nullptr) << "cannot create shard " << path;
+
+  std::string header;
+  AppendPod<uint32_t>(&header, kHeaderMagic);
+  AppendPod<uint32_t>(&header, kShardFormatVersion);
+  AppendPod<uint32_t>(&header, static_cast<uint32_t>(feature_names_.size()));
+  AppendPod<uint32_t>(&header, 0);  // flags
+  AppendPod<uint64_t>(&header, 0);  // reserved
+  AppendPod<uint32_t>(&header,
+                      health::Crc32(header.data(), header.size()));
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    failed_ = true;
+  }
+
+  std::string meta;
+  AppendPod<uint32_t>(&meta, static_cast<uint32_t>(feature_names_.size()));
+  for (const std::string& name : feature_names_) {
+    AppendPod<uint32_t>(&meta, static_cast<uint32_t>(name.size()));
+    meta.append(name);
+  }
+  WriteFrame(kMetaMagic, meta);
+}
+
+ShardWriter::~ShardWriter() { Close(); }
+
+void ShardWriter::WriteFrame(uint32_t frame_magic, const std::string& payload) {
+  if (file_ == nullptr || failed_) return;
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size() + 4);
+  AppendPod<uint32_t>(&frame, frame_magic);
+  AppendPod<uint32_t>(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  AppendPod<uint32_t>(&frame, health::Crc32(payload.data(), payload.size()));
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    failed_ = true;
+  }
+}
+
+void ShardWriter::Append(const EmrSample& sample) {
+  ELDA_CHECK_EQ(sample.num_features,
+                static_cast<int64_t>(feature_names_.size()));
+  ELDA_CHECK(sample.length >= 0 && sample.length <= sample.num_steps);
+  const size_t cells = static_cast<size_t>(sample.num_steps) *
+                       static_cast<size_t>(sample.num_features);
+  std::string payload;
+  payload.reserve(kRecordPrefixSize + cells * (sizeof(float) + 1));
+  AppendPod<uint32_t>(&payload, static_cast<uint32_t>(sample.length));
+  AppendPod<uint32_t>(&payload, static_cast<uint32_t>(sample.num_steps));
+  AppendPod<uint32_t>(&payload, static_cast<uint32_t>(sample.num_features));
+  AppendPod<float>(&payload, sample.mortality_label);
+  AppendPod<float>(&payload, sample.los_gt7_label);
+  AppendPod<int64_t>(&payload, sample.patient_id);
+  AppendPod<int64_t>(&payload, sample.condition);
+  payload.append(reinterpret_cast<const char*>(sample.values.data()),
+                 cells * sizeof(float));
+  payload.append(reinterpret_cast<const char*>(sample.observed.data()), cells);
+  WriteFrame(kRecordMagic, payload);
+  ++num_records_;
+}
+
+bool ShardWriter::Close() {
+  if (file_ == nullptr) return !failed_;
+  if (std::fflush(file_) != 0) failed_ = true;
+  if (std::fclose(file_) != 0) failed_ = true;
+  file_ = nullptr;
+  return !failed_;
+}
+
+// ---------------------------------------------------------------------------
+// ShardReader
+
+ShardReader::ShardReader(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    Fail("cannot open shard " + path);
+    return;
+  }
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    Fail("cannot stat shard " + path);
+    return;
+  }
+  map_size_ = static_cast<uint64_t>(st.st_size);
+  if (map_size_ < kHeaderSize) {
+    Fail("shard too short for header: " + path);
+    return;
+  }
+  void* map = ::mmap(nullptr, map_size_, PROT_READ, MAP_PRIVATE, fd_, 0);
+  if (map == MAP_FAILED) {
+    map_ = nullptr;
+    Fail("mmap failed for shard " + path);
+    return;
+  }
+  map_ = static_cast<const uint8_t*>(map);
+
+  const uint32_t magic = ReadPod<uint32_t>(map_);
+  const uint32_t version = ReadPod<uint32_t>(map_ + 4);
+  num_features_ = ReadPod<uint32_t>(map_ + 8);
+  const uint32_t header_crc = ReadPod<uint32_t>(map_ + kHeaderSize - 4);
+  if (magic != kHeaderMagic) {
+    Fail("bad shard magic: " + path);
+    return;
+  }
+  if (version != kShardFormatVersion) {
+    Fail("unsupported shard version: " + path);
+    return;
+  }
+  if (health::Crc32(map_, kHeaderSize - 4) != header_crc) {
+    Fail("header CRC mismatch: " + path);
+    return;
+  }
+  ScanFrames();
+  ok_ = true;
+}
+
+ShardReader::~ShardReader() {
+  if (map_ != nullptr) ::munmap(const_cast<uint8_t*>(map_), map_size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ShardReader::Fail(std::string message) {
+  ok_ = false;
+  if (error_.empty()) error_ = std::move(message);
+}
+
+void ShardReader::ScanFrames() {
+  uint64_t offset = kHeaderSize;
+  while (offset + kFrameHeaderSize <= map_size_) {
+    const uint32_t frame_magic = ReadPod<uint32_t>(map_ + offset);
+    const uint32_t payload_size = ReadPod<uint32_t>(map_ + offset + 4);
+    if (frame_magic != kMetaMagic && frame_magic != kRecordMagic) {
+      tail_truncated_ = true;  // chain broken; keep the valid prefix
+      return;
+    }
+    const uint64_t frame_end =
+        offset + kFrameHeaderSize + static_cast<uint64_t>(payload_size) + 4;
+    if (frame_end > map_size_) {
+      tail_truncated_ = true;  // torn tail: writer died mid-record
+      return;
+    }
+    const uint8_t* payload = map_ + offset + kFrameHeaderSize;
+    if (frame_magic == kMetaMagic) {
+      const uint32_t crc = ReadPod<uint32_t>(payload + payload_size);
+      if (health::Crc32(payload, payload_size) == crc) {
+        ParseMeta(payload, payload_size);
+      } else {
+        ++num_quarantined_;
+      }
+    } else {
+      RecordRef ref;
+      ref.payload_offset = offset + kFrameHeaderSize;
+      ref.payload_size = payload_size;
+      records_.push_back(ref);
+    }
+    offset = frame_end;
+  }
+  if (offset != map_size_) tail_truncated_ = true;
+}
+
+bool ShardReader::ParseMeta(const uint8_t* payload, uint32_t size) {
+  if (size < 4) return false;
+  const uint32_t count = ReadPod<uint32_t>(payload);
+  uint32_t pos = 4;
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (pos + 4 > size) return false;
+    const uint32_t len = ReadPod<uint32_t>(payload + pos);
+    pos += 4;
+    if (pos + len > size) return false;
+    names.emplace_back(reinterpret_cast<const char*>(payload + pos), len);
+    pos += len;
+  }
+  feature_names_ = std::move(names);
+  return true;
+}
+
+int64_t ShardReader::PeekLength(int64_t i) const {
+  ELDA_CHECK(i >= 0 && i < size());
+  const RecordRef& ref = records_[static_cast<size_t>(i)];
+  if (ref.payload_size < 4) return -1;
+  return ReadPod<uint32_t>(map_ + ref.payload_offset);
+}
+
+bool ShardReader::PeekShape(int64_t i, int64_t* length,
+                            int64_t* num_steps) const {
+  ELDA_CHECK(i >= 0 && i < size());
+  const RecordRef& ref = records_[static_cast<size_t>(i)];
+  if (ref.payload_size < 8) return false;
+  *length = ReadPod<uint32_t>(map_ + ref.payload_offset);
+  *num_steps = ReadPod<uint32_t>(map_ + ref.payload_offset + 4);
+  return true;
+}
+
+bool ShardReader::Read(int64_t i, EmrSample* out) {
+  ELDA_CHECK(i >= 0 && i < size());
+  const RecordRef& ref = records_[static_cast<size_t>(i)];
+  const uint8_t* payload = map_ + ref.payload_offset;
+  const uint32_t stored_crc =
+      ReadPod<uint32_t>(payload + ref.payload_size);
+  if (health::Crc32(payload, ref.payload_size) != stored_crc) {
+    ++num_quarantined_;
+    return false;
+  }
+  if (ref.payload_size < kRecordPrefixSize) {
+    ++num_quarantined_;
+    return false;
+  }
+  const int64_t length = ReadPod<uint32_t>(payload);
+  const int64_t num_steps = ReadPod<uint32_t>(payload + 4);
+  const int64_t num_features = ReadPod<uint32_t>(payload + 8);
+  const uint64_t cells =
+      static_cast<uint64_t>(num_steps) * static_cast<uint64_t>(num_features);
+  if (num_features != num_features_ || length > num_steps ||
+      ref.payload_size !=
+          kRecordPrefixSize + cells * (sizeof(float) + 1)) {
+    ++num_quarantined_;
+    return false;
+  }
+  EmrSample sample(num_steps, num_features);
+  sample.length = length;
+  sample.mortality_label = ReadPod<float>(payload + 12);
+  sample.los_gt7_label = ReadPod<float>(payload + 16);
+  sample.patient_id = ReadPod<int64_t>(payload + 20);
+  sample.condition = ReadPod<int64_t>(payload + 28);
+  std::memcpy(sample.values.data(), payload + kRecordPrefixSize,
+              cells * sizeof(float));
+  std::memcpy(sample.observed.data(),
+              payload + kRecordPrefixSize + cells * sizeof(float), cells);
+  *out = std::move(sample);
+  return true;
+}
+
+void ShardReader::ReleasePages() {
+  if (map_ == nullptr || map_size_ == 0) return;
+  // Best-effort: dropping clean mapped pages only affects residency, never
+  // correctness, so the return value is deliberately ignored.
+  ::madvise(const_cast<uint8_t*>(map_), map_size_, MADV_DONTNEED);
+}
+
+}  // namespace data
+}  // namespace elda

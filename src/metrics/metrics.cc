@@ -20,7 +20,49 @@ int64_t CountPositives(const std::vector<float>& labels) {
   return positives;
 }
 
+// Compacts (scores, labels) down to the entries with valid != 0, preserving
+// order, so the masked metrics delegate to the dense implementations and
+// stay bitwise identical to scoring the valid entries directly.
+void FilterValid(const std::vector<float>& scores,
+                 const std::vector<float>& labels,
+                 const std::vector<uint8_t>& valid,
+                 std::vector<float>* kept_scores,
+                 std::vector<float>* kept_labels) {
+  ELDA_CHECK_EQ(scores.size(), labels.size());
+  ELDA_CHECK_EQ(scores.size(), valid.size());
+  kept_scores->reserve(scores.size());
+  kept_labels->reserve(labels.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (valid[i] == 0) continue;
+    kept_scores->push_back(scores[i]);
+    kept_labels->push_back(labels[i]);
+  }
+}
+
 }  // namespace
+
+double BceLoss(const std::vector<float>& scores,
+               const std::vector<float>& labels,
+               const std::vector<uint8_t>& valid) {
+  std::vector<float> s, y;
+  FilterValid(scores, labels, valid, &s, &y);
+  return BceLoss(s, y);
+}
+
+double AucRoc(const std::vector<float>& scores,
+              const std::vector<float>& labels,
+              const std::vector<uint8_t>& valid) {
+  std::vector<float> s, y;
+  FilterValid(scores, labels, valid, &s, &y);
+  return AucRoc(s, y);
+}
+
+double AucPr(const std::vector<float>& scores, const std::vector<float>& labels,
+             const std::vector<uint8_t>& valid) {
+  std::vector<float> s, y;
+  FilterValid(scores, labels, valid, &s, &y);
+  return AucPr(s, y);
+}
 
 double BceLoss(const std::vector<float>& scores,
                const std::vector<float>& labels) {

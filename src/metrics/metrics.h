@@ -38,6 +38,22 @@ double AucRoc(const std::vector<float>& scores,
 double AucPr(const std::vector<float>& scores,
              const std::vector<float>& labels);
 
+// -- Mask-aware overloads ---------------------------------------------------
+//
+// For ragged/per-step scoring (e.g. decompensation over variable-length
+// stays): entries with valid[i] == 0 are padding and are excluded before the
+// metric is computed, so the result is bitwise identical to calling the
+// dense overload on just the valid entries in order. `valid` must match
+// `scores`/`labels` in size.
+double BceLoss(const std::vector<float>& scores,
+               const std::vector<float>& labels,
+               const std::vector<uint8_t>& valid);
+double AucRoc(const std::vector<float>& scores,
+              const std::vector<float>& labels,
+              const std::vector<uint8_t>& valid);
+double AucPr(const std::vector<float>& scores, const std::vector<float>& labels,
+             const std::vector<uint8_t>& valid);
+
 // Classification accuracy at the given probability threshold.
 double Accuracy(const std::vector<float>& scores,
                 const std::vector<float>& labels, float threshold = 0.5f);

@@ -108,12 +108,18 @@ Gru::Gru(int64_t input_size, int64_t hidden_size, Rng* rng)
   RegisterSubmodule("cell", &cell_);
 }
 
-ag::Variable Gru::Forward(const ag::Variable& x) const {
-  return GruSweep(cell_, x).Stacked();
+ag::Variable Gru::Forward(const ag::Variable& x,
+                          const std::vector<int64_t>* lengths) const {
+  SweepOptions options;
+  options.lengths = lengths;
+  return GruSweep(cell_, x, options).Stacked();
 }
 
-std::vector<ag::Variable> Gru::ForwardSteps(const ag::Variable& x) const {
-  return GruSweep(cell_, x).steps;
+std::vector<ag::Variable> Gru::ForwardSteps(
+    const ag::Variable& x, const std::vector<int64_t>* lengths) const {
+  SweepOptions options;
+  options.lengths = lengths;
+  return GruSweep(cell_, x, options).steps;
 }
 
 }  // namespace nn

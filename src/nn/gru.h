@@ -69,12 +69,19 @@ class Gru : public Module {
   Gru(int64_t input_size, int64_t hidden_size, Rng* rng);
 
   // x: [B, T, input] -> all hidden states [B, T, hidden]; the initial state
-  // is zero. The last step's state is Slice(result, 1, T-1, 1).
-  ag::Variable Forward(const ag::Variable& x) const;
+  // is zero. The last step's state is Slice(result, 1, T-1, 1). `lengths`
+  // (optional, [B] valid-prefix lengths) freezes each row's state past its
+  // length — see SweepOptions::lengths for the bitwise contract.
+  ag::Variable Forward(const ag::Variable& x,
+                       const std::vector<int64_t>* lengths = nullptr) const;
 
   // As Forward but exposes the per-step states, which some models (RETAIN,
-  // ELDA's time module) consume individually without re-slicing.
-  std::vector<ag::Variable> ForwardSteps(const ag::Variable& x) const;
+  // ELDA's time module) consume individually without re-slicing. With
+  // `lengths`, row b of every step t >= lengths[b] carries its frozen final
+  // state, so .back() rows equal solo runs at each row's true length.
+  std::vector<ag::Variable> ForwardSteps(
+      const ag::Variable& x,
+      const std::vector<int64_t>* lengths = nullptr) const;
 
   const GruCell& cell() const { return cell_; }
 

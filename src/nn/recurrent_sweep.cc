@@ -40,13 +40,48 @@ SweepResult Sweep(
     const SweepOptions& options) {
   ELDA_PROF_SCOPE(options.label);
   ELDA_CHECK_GE(num_steps, 1);
+  // Uniform batches (every row runs the full horizon) take the dense path:
+  // no per-step keep masks, no FreezeRows nodes, bitwise the pre-ragged
+  // sweep.
+  const std::vector<int64_t>* lengths = options.lengths;
+  if (lengths != nullptr) {
+    bool uniform = true;
+    for (int64_t len : *lengths) {
+      ELDA_CHECK(len >= 0 && len <= num_steps);
+      uniform = uniform && len == num_steps;
+    }
+    if (uniform) lengths = nullptr;
+  }
+  const int64_t batch =
+      lengths == nullptr
+          ? 0
+          : initial_state.value().shape(initial_state.value().dim() - 2);
+  if (lengths != nullptr) {
+    ELDA_CHECK_EQ(static_cast<int64_t>(lengths->size()), batch);
+  }
   SweepResult result;
   result.reversed = options.reversed;
   result.steps.resize(num_steps);
   ag::Variable state = initial_state;
   for (int64_t s = 0; s < num_steps; ++s) {
     const int64_t t = options.reversed ? num_steps - 1 - s : s;
-    state = step(t, state);
+    if (lengths == nullptr) {
+      state = step(t, state);
+    } else {
+      std::vector<uint8_t> keep(batch);
+      int64_t num_kept = 0;
+      for (int64_t b = 0; b < batch; ++b) {
+        keep[b] = t < (*lengths)[b] ? 1 : 0;
+        num_kept += keep[b];
+      }
+      if (num_kept == batch) {
+        state = step(t, state);
+      } else if (num_kept > 0) {
+        state = ag::FreezeRows(step(t, state), state, std::move(keep));
+      }
+      // num_kept == 0: every row is past its length at this step; the state
+      // (and the filed step) carry forward unchanged.
+    }
     result.steps[t] = state;
   }
   return result;

@@ -38,6 +38,16 @@ struct SweepOptions {
   // last() is the final state the sweep computed (steps.front() when
   // reversed).
   bool reversed = false;
+  // Optional per-row valid-prefix lengths [B] for ragged batches. Row b's
+  // state freezes at steps t >= lengths[b]: the kept rows run the normal
+  // cell step while frozen rows copy their prior state (ag::FreezeRows), so
+  // row b of the final state is bitwise identical to sweeping that row
+  // alone at its true length. Reversed sweeps hold frozen rows at the
+  // initial state until t < lengths[b], matching a solo reversed run.
+  // nullptr — or every length equal to the step count — takes the dense
+  // fixed-T path with zero extra tape nodes. The pointee must outlive the
+  // sweep call.
+  const std::vector<int64_t>* lengths = nullptr;
   // ELDA_PROF scope name billed with the whole sweep (forward pass only).
   const char* label = "RecurrentSweep";
 };

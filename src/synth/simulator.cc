@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "data/shard_io.h"
 
 namespace elda {
 namespace synth {
@@ -145,6 +148,58 @@ data::EmrSample RealisePatient(const PatientDraw& draw, int64_t num_steps,
     }
   }
   return sample;
+}
+
+// Samples a condition from the (unnormalised) mix. One parent-rng Uniform.
+Condition SampleCondition(const CohortConfig& config, double mix_total,
+                          Rng* rng) {
+  double u = rng->Uniform() * mix_total;
+  int64_t condition_index = 0;
+  for (size_t k = 0; k < config.condition_mix.size(); ++k) {
+    u -= config.condition_mix[k];
+    if (u <= 0.0) {
+      condition_index = static_cast<int64_t>(k);
+      break;
+    }
+  }
+  return static_cast<Condition>(condition_index);
+}
+
+// Condition-dependent stay length: log-normal around a typical stay that
+// scales with the archetype's admission severity (sicker archetypes stay
+// longer), clamped to [min_steps, max_steps]. Drawn from the patient's own
+// rng so the fixed-length path never consumes it.
+int64_t DrawStayLength(Condition condition, const CohortConfig& config,
+                       Rng* rng) {
+  const ConditionParams& params = ParamsFor(condition);
+  const double mean_log =
+      std::log(42.0) + 0.8 * (params.base_severity - 0.45);
+  const double hours = std::exp(mean_log + 0.55 * rng->Normal(0.0, 1.0));
+  const int64_t steps = static_cast<int64_t>(std::llround(hours));
+  return std::min(std::max(steps, config.min_steps), config.max_steps);
+}
+
+int64_t StepsForPatient(const CohortConfig& config, Condition condition,
+                        Rng* patient_rng) {
+  return config.variable_length
+             ? DrawStayLength(condition, config, patient_rng)
+             : config.num_steps;
+}
+
+// The outcome-model risk expressions, factored so the in-RAM and sharded
+// generators compute bitwise-identical values.
+double MortalityRisk(const RiskFeatures& r, double frailty) {
+  return 0.9 * r.terminal_severity + 0.45 * r.max_severity +
+         0.8 * std::min(r.glucose_lactate, 4.0f) +
+         0.6 * std::min(r.glucose_acidosis, 4.0f) +
+         0.7 * std::min(r.lactate_shock, 4.0f) +
+         0.5 * std::min(r.troponin_strain, 4.0f) + frailty;
+}
+
+double LosRisk(const RiskFeatures& r, double noise) {
+  return 1.0 * r.mean_severity + 0.35 * r.max_severity +
+         0.4 * std::min(r.glucose_lactate, 4.0f) +
+         0.3 * std::min(r.lactate_shock, 4.0f) + noise;
 }
 
 // Solves for the intercept b such that mean(sigmoid(scale*risk + b)) hits
@@ -354,7 +409,9 @@ CohortConfig SynthMimicIii() {
 data::EmrDataset GenerateCohort(const CohortConfig& config) {
   ELDA_CHECK_GT(config.num_admissions, 0);
   Rng rng(config.seed);
-  data::EmrDataset dataset(FeatureNames(), config.num_steps);
+  const int64_t grid =
+      config.variable_length ? config.max_steps : config.num_steps;
+  data::EmrDataset dataset(FeatureNames(), grid);
 
   // Normalise the condition mix into a CDF.
   double mix_total = 0.0;
@@ -367,39 +424,21 @@ data::EmrDataset GenerateCohort(const CohortConfig& config) {
   los_risks.reserve(config.num_admissions);
 
   for (int64_t i = 0; i < config.num_admissions; ++i) {
-    // Sample a condition from the mix.
-    double u = rng.Uniform() * mix_total;
-    int64_t condition_index = 0;
-    for (size_t k = 0; k < config.condition_mix.size(); ++k) {
-      u -= config.condition_mix[k];
-      if (u <= 0.0) {
-        condition_index = static_cast<int64_t>(k);
-        break;
-      }
-    }
-    const Condition condition = static_cast<Condition>(condition_index);
+    const Condition condition = SampleCondition(config, mix_total, &rng);
     Rng patient_rng = rng.Fork();
-    PatientDraw draw = DrawPatient(condition, config.num_steps, &patient_rng);
+    const int64_t steps = StepsForPatient(config, condition, &patient_rng);
+    PatientDraw draw = DrawPatient(condition, steps, &patient_rng);
     data::EmrSample sample =
-        RealisePatient(draw, config.num_steps, config.obs_rate_scale,
+        RealisePatient(draw, steps, config.obs_rate_scale,
                        /*dense=*/false, &patient_rng);
     sample.patient_id = i;
 
-    const RiskFeatures& r = draw.risk;
     // Unobserved heterogeneity (comorbidities, age, ...) keeps outcomes
     // realistically noisy: models should land in the paper's AUC band, not
     // near-perfect separation.
     const double frailty = rng.Normal(0.0, 1.2);
-    mortality_risks.push_back(
-        0.9 * r.terminal_severity + 0.45 * r.max_severity +
-        0.8 * std::min(r.glucose_lactate, 4.0f) +
-        0.6 * std::min(r.glucose_acidosis, 4.0f) +
-        0.7 * std::min(r.lactate_shock, 4.0f) +
-        0.5 * std::min(r.troponin_strain, 4.0f) + frailty);
-    los_risks.push_back(1.0 * r.mean_severity + 0.35 * r.max_severity +
-                        0.4 * std::min(r.glucose_lactate, 4.0f) +
-                        0.3 * std::min(r.lactate_shock, 4.0f) +
-                        rng.Normal(0.0, 0.9));
+    mortality_risks.push_back(MortalityRisk(draw.risk, frailty));
+    los_risks.push_back(LosRisk(draw.risk, rng.Normal(0.0, 0.9)));
     dataset.Add(std::move(sample));
   }
 
@@ -413,6 +452,90 @@ data::EmrDataset GenerateCohort(const CohortConfig& config) {
     s->los_gt7_label = rng.Bernoulli(p_los[i]) ? 1.0f : 0.0f;
   }
   return dataset;
+}
+
+ShardedCohortInfo GenerateCohortToShards(const CohortConfig& config,
+                                         const std::string& path_prefix,
+                                         int64_t samples_per_shard) {
+  ELDA_CHECK_GT(config.num_admissions, 0);
+  ELDA_CHECK_GT(samples_per_shard, 0);
+  double mix_total = 0.0;
+  for (double w : config.condition_mix) mix_total += w;
+  ELDA_CHECK_GT(mix_total, 0.0);
+
+  // Pass 1: replay the cohort rng stream computing risk features only (the
+  // realised grids are discarded), then continue the *same* stream through
+  // the calibrated label Bernoullis — exactly the draw order GenerateCohort
+  // uses. Each patient's rng is re-forked identically in pass 2, so values,
+  // lengths, and labels are all bitwise-identical to the in-RAM generator
+  // while only O(num_admissions) scalars stay resident.
+  std::vector<double> mortality_risks;
+  std::vector<double> los_risks;
+  mortality_risks.reserve(config.num_admissions);
+  los_risks.reserve(config.num_admissions);
+  std::vector<uint8_t> mortality_labels(config.num_admissions, 0);
+  std::vector<uint8_t> los_labels(config.num_admissions, 0);
+  {
+    Rng rng(config.seed);
+    for (int64_t i = 0; i < config.num_admissions; ++i) {
+      const Condition condition = SampleCondition(config, mix_total, &rng);
+      Rng patient_rng = rng.Fork();
+      const int64_t steps = StepsForPatient(config, condition, &patient_rng);
+      const PatientDraw draw = DrawPatient(condition, steps, &patient_rng);
+      const double frailty = rng.Normal(0.0, 1.2);
+      mortality_risks.push_back(MortalityRisk(draw.risk, frailty));
+      los_risks.push_back(LosRisk(draw.risk, rng.Normal(0.0, 0.9)));
+    }
+    const std::vector<double> p_mort = CalibrateProbabilities(
+        mortality_risks, /*scale=*/1.6, config.target_mortality_rate);
+    const std::vector<double> p_los = CalibrateProbabilities(
+        los_risks, /*scale=*/1.6, config.target_los_gt7_rate);
+    for (int64_t i = 0; i < config.num_admissions; ++i) {
+      mortality_labels[i] = rng.Bernoulli(p_mort[i]) ? 1 : 0;
+      los_labels[i] = rng.Bernoulli(p_los[i]) ? 1 : 0;
+    }
+  }
+
+  // Pass 2: regenerate the values from a fresh replay of the same seed and
+  // stream them straight to shards, one resident sample at a time.
+  ShardedCohortInfo info;
+  std::vector<int64_t> lengths;
+  lengths.reserve(config.num_admissions);
+  Rng rng(config.seed);
+  std::unique_ptr<data::ShardWriter> writer;
+  int64_t shard_index = 0;
+  for (int64_t i = 0; i < config.num_admissions; ++i) {
+    if (writer == nullptr || writer->num_records() == samples_per_shard) {
+      if (writer != nullptr) {
+        ELDA_CHECK(writer->Close()) << "shard write failed: "
+                                    << writer->path();
+      }
+      writer = std::make_unique<data::ShardWriter>(
+          data::ShardPath(path_prefix, shard_index), FeatureNames());
+      info.paths.push_back(writer->path());
+      ++shard_index;
+    }
+    const Condition condition = SampleCondition(config, mix_total, &rng);
+    Rng patient_rng = rng.Fork();
+    const int64_t steps = StepsForPatient(config, condition, &patient_rng);
+    const PatientDraw draw = DrawPatient(condition, steps, &patient_rng);
+    data::EmrSample sample =
+        RealisePatient(draw, steps, config.obs_rate_scale,
+                       /*dense=*/false, &patient_rng);
+    sample.patient_id = i;
+    sample.mortality_label = mortality_labels[i] ? 1.0f : 0.0f;
+    sample.los_gt7_label = los_labels[i] ? 1.0f : 0.0f;
+    // Keep the parent stream aligned with pass 1 (next patient's condition
+    // draw depends on it).
+    (void)rng.Normal(0.0, 1.2);
+    (void)rng.Normal(0.0, 0.9);
+    lengths.push_back(sample.length);
+    writer->Append(sample);
+  }
+  ELDA_CHECK(writer->Close()) << "shard write failed: " << writer->path();
+  info.num_samples = config.num_admissions;
+  info.length_stats = data::ComputeLengthStats(std::move(lengths));
+  return info;
 }
 
 data::EmrSample MakeDlaShowcasePatient(uint64_t seed) {

@@ -30,6 +30,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "data/emr.h"
 #include "synth/features.h"
@@ -63,6 +64,18 @@ struct CohortConfig {
   std::array<double, static_cast<size_t>(Condition::kNumConditions)>
       condition_mix = {0.40, 0.14, 0.07, 0.07, 0.14, 0.10, 0.08};
   uint64_t seed = 2022;
+
+  // -- Ragged stays ----------------------------------------------------------
+  // When set, each admission's stay length is drawn from the patient's own
+  // rng stream: log-normal around a condition-dependent typical stay (sicker
+  // archetypes stay longer), clamped to [min_steps, max_steps]. Generated
+  // samples then carry num_steps == length == the drawn stay (no padding in
+  // storage); the dataset grid is max_steps. With variable_length unset the
+  // fixed-grid path is taken and its rng stream — and therefore every value
+  // and label — is bitwise-unchanged from before this knob existed.
+  bool variable_length = false;
+  int64_t min_steps = 6;     // 6 hours
+  int64_t max_steps = 720;   // 30 days
 };
 
 // Cohort presets calibrated against the paper's Table I.
@@ -71,6 +84,25 @@ CohortConfig SynthMimicIii();
 
 // Generates a full cohort. Deterministic for a fixed config (incl. seed).
 data::EmrDataset GenerateCohort(const CohortConfig& config);
+
+// Summary of a sharded generation run.
+struct ShardedCohortInfo {
+  std::vector<std::string> paths;      // shard files, in index order
+  int64_t num_samples = 0;
+  data::LengthStats length_stats;      // stay-length distribution
+};
+
+// Streams the cohort to CRC-framed shards ("<prefix>-00000.elds", ...,
+// `samples_per_shard` records each) without ever materializing it: resident
+// memory is one sample plus O(num_admissions) risk/label scalars, so
+// million-stay cohorts generate in a bounded footprint. Label calibration
+// needs cohort-wide risk statistics, so generation runs in two passes over
+// the same rng stream (risks + labels first, values second); every value,
+// label, and length is bitwise-identical to GenerateCohort on the same
+// config. Read the result back with data::ShardReader / data::ShardedLoader.
+ShardedCohortInfo GenerateCohortToShards(const CohortConfig& config,
+                                         const std::string& path_prefix,
+                                         int64_t samples_per_shard = 4096);
 
 // The representative "Patient A" of Section V-D: a DM+DLA course whose
 // Glucose starts rising around hour 12 and restabilises by hour ~35, with

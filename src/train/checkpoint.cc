@@ -145,6 +145,10 @@ bool SaveTrainCheckpoint(const std::string& path, const TrainCheckpoint& ckpt,
   AppendTensorList(&best, ckpt.best_params);
   sections.push_back({"best", std::move(best)});
 
+  if (!ckpt.source_state.empty()) {
+    sections.push_back({"source", ckpt.source_state});
+  }
+
   return health::WriteSectionedFile(path, sections, error);
 }
 
@@ -244,6 +248,11 @@ bool LoadTrainCheckpoint(const std::string& path, TrainCheckpoint* ckpt,
       return false;
     }
   }
+
+  // Optional: streamed-loader cursor state (absent in older checkpoints and
+  // classic Train runs).
+  const health::Section* source = health::FindSection(sections, "source");
+  if (source != nullptr) parsed.source_state = source->payload;
 
   *ckpt = std::move(parsed);
   return true;

@@ -44,6 +44,10 @@ struct TrainCheckpoint {
   RngState rng;                     // shuffle / dropout stream
   std::vector<int64_t> batch_order; // batcher permutation at the boundary
   std::vector<Tensor> best_params;  // best-validation snapshot (may be empty)
+  // BatchSource::ExportState of the training stream (TrainStreamed runs;
+  // empty for the classic Train path). Optional section: checkpoints written
+  // before this field existed load with it empty.
+  std::string source_state;
 };
 
 // Atomic write of the checkpoint to `path`. Returns false with a message on

@@ -81,6 +81,10 @@ ag::Variable SequenceModel::StepForward(
     batch.mask = Tensor::Empty({g, len, cols});
     batch.delta = Tensor::Empty({g, len, cols});
     batch.y = Tensor::Zeros({g});
+    // Every row in this group has exactly `len` real steps, so the replayed
+    // batch is uniform; filling lengths keeps length-aware Forward
+    // implementations on their dense path explicitly.
+    batch.lengths.assign(static_cast<size_t>(g), len);
     for (int64_t gi = 0; gi < g; ++gi) {
       WindowReplayState* w = ws[group[gi]];
       w->x.CopyInto(batch.x.data() + gi * len * cols);

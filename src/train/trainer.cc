@@ -393,5 +393,286 @@ TrainResult Trainer::Train(SequenceModel* model,
   return result;
 }
 
+PredictResult Trainer::PredictSource(const SequenceModel* model,
+                                     data::BatchSource* source,
+                                     const InferenceOptions& options) {
+  ELDA_CHECK(source != nullptr);
+  par::ScopedNumThreads scoped_threads(options.num_threads);
+  PredictResult result;
+  ag::NoGradScope no_grad;
+  nn::ForwardContext ctx;
+  ctx.capture = options.capture;
+  source->StartEpoch();
+  data::Batch batch;
+  while (source->Next(&batch)) {
+    Tensor probs = Sigmoid(model->Forward(batch, &ctx).value());
+    for (int64_t i = 0; i < probs.size(); ++i) {
+      result.scores.push_back(probs[i]);
+      result.labels.push_back(batch.y[i]);
+    }
+  }
+  return result;
+}
+
+EvalResult Trainer::EvaluateSource(const SequenceModel* model,
+                                   data::BatchSource* source,
+                                   const InferenceOptions& options) {
+  const PredictResult predicted = PredictSource(model, source, options);
+  EvalResult result;
+  result.bce = metrics::BceLoss(predicted.scores, predicted.labels);
+  result.auc_roc = metrics::AucRoc(predicted.scores, predicted.labels);
+  result.auc_pr = metrics::AucPr(predicted.scores, predicted.labels);
+  return result;
+}
+
+TrainResult Trainer::TrainStreamed(SequenceModel* model,
+                                   data::BatchSource* train,
+                                   data::BatchSource* val,
+                                   data::BatchSource* test) const {
+  ELDA_CHECK(train != nullptr);
+  par::ScopedNumThreads scoped_threads(config_.num_threads);
+  TrainResult result;
+  result.num_parameters = model->NumParameters();
+  if (train->NumBatchesPerEpoch() == 0) {
+    result.status = health::TrainStatus::kEmptyTrainSplit;
+    result.status_message = "train source is empty; nothing to train on";
+    return result;
+  }
+  std::vector<ag::Variable> params = model->Parameters();
+  optim::Adam adam(params, config_.learning_rate);
+  Rng rng(config_.seed);  // dropout stream; the source owns its shuffle
+  health::HealthMonitor monitor(config_.health);
+  health::FaultInjector* inject = health::GlobalFaultInjector();
+  const bool checkpointing =
+      config_.checkpoint_every > 0 && !config_.checkpoint_path.empty();
+
+  double best_val_auc_pr = -1.0;
+  std::vector<Tensor> best_params;
+  int64_t epochs_without_improvement = 0;
+  double total_batch_seconds = 0.0;
+  int64_t total_batches = 0;
+  int64_t start_epoch = 0;
+  int64_t global_step = 0;
+
+  if (config_.resume && !config_.checkpoint_path.empty() &&
+      FileExists(config_.checkpoint_path)) {
+    TrainCheckpoint ckpt;
+    std::string err;
+    if (!LoadTrainCheckpoint(config_.checkpoint_path, &ckpt, &err) ||
+        !nn::DecodeParameters(model, ckpt.params_blob, &err)) {
+      result.status = health::TrainStatus::kCheckpointError;
+      result.status_message = err;
+      return result;
+    }
+    if (!train->RestoreState(ckpt.source_state)) {
+      result.status = health::TrainStatus::kCheckpointError;
+      result.status_message = config_.checkpoint_path +
+                              " holds a source state this train stream "
+                              "cannot restore";
+      return result;
+    }
+    adam.RestoreState(ckpt.adam);
+    rng.RestoreState(ckpt.rng);
+    start_epoch = ckpt.next_epoch;
+    best_val_auc_pr = ckpt.best_val_auc_pr;
+    best_params = std::move(ckpt.best_params);
+    epochs_without_improvement = ckpt.epochs_without_improvement;
+    total_batch_seconds = ckpt.total_batch_seconds;
+    total_batches = ckpt.total_batches;
+    global_step = ckpt.total_batches;
+    result.val = ckpt.best_val;
+    result.best_epoch = ckpt.best_epoch;
+    result.epochs_run = ckpt.epochs_run;
+    result.recoveries = ckpt.recoveries;
+    result.skipped_batches = ckpt.skipped_batches;
+    if (epochs_without_improvement > config_.patience) {
+      start_epoch = config_.max_epochs;
+    }
+    if (config_.verbose) {
+      std::cerr << model->name() << " resumed (streamed) from "
+                << config_.checkpoint_path << " at epoch " << start_epoch
+                << "\n";
+    }
+  }
+
+  // Snapshots capture the source's exported cursor alongside the usual
+  // params/adam/rng, so a rollback replays the epoch's exact batch stream.
+  struct StreamSnapshot {
+    std::vector<Tensor> params;
+    optim::AdamState adam;
+    RngState rng;
+    std::string source_state;
+  };
+  auto take_snapshot = [&]() {
+    StreamSnapshot snap;
+    snap.params.reserve(params.size());
+    for (const ag::Variable& p : params) {
+      snap.params.push_back(p.value().Clone());
+    }
+    snap.adam = adam.ExportState();
+    snap.rng = rng.SaveState();
+    snap.source_state = train->ExportState();
+    return snap;
+  };
+  auto restore_snapshot = [&](const StreamSnapshot& snap) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      *params[i].mutable_value() = snap.params[i].Clone();
+    }
+    adam.RestoreState(snap.adam);
+    rng.RestoreState(snap.rng);
+    ELDA_CHECK(train->RestoreState(snap.source_state));
+  };
+  auto write_checkpoint = [&](int64_t next_epoch) {
+    TrainCheckpoint ckpt;
+    ckpt.next_epoch = next_epoch;
+    ckpt.epochs_run = result.epochs_run;
+    ckpt.best_epoch = result.best_epoch;
+    ckpt.epochs_without_improvement = epochs_without_improvement;
+    ckpt.total_batches = total_batches;
+    ckpt.recoveries = result.recoveries;
+    ckpt.skipped_batches = result.skipped_batches;
+    ckpt.best_val_auc_pr = best_val_auc_pr;
+    ckpt.best_val = result.val;
+    ckpt.total_batch_seconds = total_batch_seconds;
+    ckpt.params_blob = nn::EncodeParameters(*model);
+    ckpt.adam = adam.ExportState();
+    ckpt.rng = rng.SaveState();
+    ckpt.source_state = train->ExportState();
+    ckpt.best_params.reserve(best_params.size());
+    for (const Tensor& t : best_params) {
+      ckpt.best_params.push_back(t.Clone());
+    }
+    std::string err;
+    if (!SaveTrainCheckpoint(config_.checkpoint_path, ckpt, &err)) {
+      ++result.checkpoint_write_failures;
+      std::cerr << model->name() << ": checkpoint write failed (" << err
+                << "); training continues\n";
+    }
+  };
+
+  nn::ForwardContext train_ctx;
+  train_ctx.training = true;
+  train_ctx.rng = &rng;
+
+  bool aborted = false;
+  for (int64_t epoch = start_epoch;
+       epoch < config_.max_epochs && !aborted; ++epoch) {
+    const StreamSnapshot boundary = take_snapshot();
+    double epoch_loss = 0.0;
+    int64_t epoch_batches = 0;
+    bool epoch_complete = false;
+    while (!epoch_complete && !aborted) {
+      train->StartEpoch();
+      epoch_loss = 0.0;
+      epoch_batches = 0;
+      bool rolled_back = false;
+      data::Batch batch;
+      while (train->Next(&batch)) {
+        Stopwatch sw;
+        adam.ZeroGrad();
+        ag::Variable logits = model->Forward(batch, &train_ctx);
+        ag::Variable loss = ag::BceWithLogits(logits, batch.y);
+        loss.Backward();
+        if (inject->ConsumePoisonGrad(global_step)) {
+          PoisonGradients(params);
+        }
+        const float grad_norm =
+            config_.clip_norm > 0.0f
+                ? optim::ClipGradNorm(params, config_.clip_norm)
+                : optim::GlobalGradNorm(params);
+        const double loss_value = loss.value()[0];
+        ++global_step;
+        const health::StepVerdict verdict =
+            monitor.Check(loss_value, grad_norm);
+        if (verdict != health::StepVerdict::kHealthy) {
+          if (config_.verbose) {
+            std::cerr << model->name() << " epoch " << epoch << " step "
+                      << global_step - 1 << ": "
+                      << health::StepVerdictName(verdict) << " (loss "
+                      << loss_value << ", grad norm " << grad_norm << ")\n";
+          }
+          if (config_.health.policy == health::RecoveryPolicy::kSkipBatch &&
+              result.skipped_batches < config_.health.max_skipped_batches) {
+            ++result.skipped_batches;
+            continue;
+          }
+          if (config_.health.policy == health::RecoveryPolicy::kRollback &&
+              result.recoveries < config_.health.max_rollbacks) {
+            ++result.recoveries;
+            const float halved_lr = adam.lr() * 0.5f;
+            restore_snapshot(boundary);
+            adam.set_lr(halved_lr);
+            monitor.Reset();
+            rolled_back = true;
+            break;
+          }
+          aborted = true;
+          result.status_message =
+              std::string("unhealthy step (") +
+              health::StepVerdictName(verdict) + ") at step " +
+              std::to_string(global_step - 1) + "; policy " +
+              (config_.health.policy == health::RecoveryPolicy::kAbort
+                   ? "abort"
+                   : "recovery budget exhausted");
+          break;
+        }
+        adam.Step();
+        monitor.Observe(loss_value);
+        total_batch_seconds += sw.Seconds();
+        ++total_batches;
+        epoch_loss += loss_value;
+        ++epoch_batches;
+      }
+      epoch_complete = !rolled_back;
+    }
+    if (aborted) {
+      result.epochs_run = epoch + 1;
+      break;
+    }
+    result.epochs_run = epoch + 1;
+
+    EvalResult epoch_val;
+    if (val != nullptr) epoch_val = EvaluateSource(model, val);
+    if (config_.verbose) {
+      std::cerr << model->name() << " epoch " << epoch << " train_bce="
+                << (epoch_batches > 0 ? epoch_loss / epoch_batches : 0.0)
+                << " val_auc_pr=" << epoch_val.auc_pr << "\n";
+    }
+    bool stop = false;
+    if (val != nullptr) {
+      if (epoch_val.auc_pr > best_val_auc_pr) {
+        best_val_auc_pr = epoch_val.auc_pr;
+        result.val = epoch_val;
+        result.best_epoch = epoch;
+        epochs_without_improvement = 0;
+        best_params.clear();
+        for (const ag::Variable& p : params) {
+          best_params.push_back(p.value().Clone());
+        }
+      } else if (++epochs_without_improvement > config_.patience) {
+        stop = true;
+      }
+    }
+    if (checkpointing && (epoch + 1) % config_.checkpoint_every == 0) {
+      write_checkpoint(epoch + 1);
+    }
+    if (stop) break;
+  }
+
+  if (!best_params.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      *params[i].mutable_value() = best_params[i];
+    }
+  }
+  if (test != nullptr) result.test = EvaluateSource(model, test);
+  result.status = aborted ? health::TrainStatus::kAborted
+                  : (result.recoveries > 0 || result.skipped_batches > 0)
+                      ? health::TrainStatus::kRecovered
+                      : health::TrainStatus::kOk;
+  result.train_seconds_per_batch =
+      total_batches > 0 ? total_batch_seconds / total_batches : 0.0;
+  return result;
+}
+
 }  // namespace train
 }  // namespace elda

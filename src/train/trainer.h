@@ -135,6 +135,35 @@ class Trainer {
                              data::Task task,
                              const InferenceOptions& options = {});
 
+  // -- Streamed (out-of-core) paths -----------------------------------------
+  //
+  // The same protocol as Train/Predict/Evaluate, but batches come from a
+  // data::BatchSource (the in-RAM Batcher or the out-of-core ShardedLoader),
+  // so cohorts never need to fit in memory. Checkpoints carry the source's
+  // exported cursor state instead of a batch order; with a self-contained
+  // source (ShardedLoader owns its shuffle rng) resume is bitwise. Labels
+  // ride in each batch's y, so no task/split arguments are needed.
+
+  // One full pass over `source` (StartEpoch + drain), graph-free; scores and
+  // labels in the source's epoch order.
+  static PredictResult PredictSource(const SequenceModel* model,
+                                     data::BatchSource* source,
+                                     const InferenceOptions& options = {});
+
+  // Metrics wrapper over PredictSource().
+  static EvalResult EvaluateSource(const SequenceModel* model,
+                                   data::BatchSource* source,
+                                   const InferenceOptions& options = {});
+
+  // Trains on `train`, selecting on `val` and reporting on `test` (either
+  // may be null: no early stopping / no test metrics respectively). Health
+  // policies, fault injection, and epoch-boundary checkpoint/resume match
+  // Train; the rollback and resume paths restore the training source via
+  // RestoreState.
+  TrainResult TrainStreamed(SequenceModel* model, data::BatchSource* train,
+                            data::BatchSource* val,
+                            data::BatchSource* test) const;
+
  private:
   TrainerConfig config_;
 };

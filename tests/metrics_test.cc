@@ -263,6 +263,69 @@ TEST(MetricsDeathTest, RejectsNonBinaryLabels) {
   EXPECT_DEATH(AucRoc({0.5f, 0.6f}, {0.5f, 1.0f}), "binary");
 }
 
+// -- Masked (ragged-batch) overloads ----------------------------------------
+//
+// The valid-mask overloads exist for padded ragged batches: entries with
+// valid[i] == 0 are padding and must be excluded before any arithmetic, so
+// each masked metric is exactly the dense metric over the kept entries in
+// order.
+
+TEST(MaskedMetricsTest, EqualDenseMetricsOverValidEntries) {
+  Rng rng(4021);
+  std::vector<float> scores, labels, kept_scores, kept_labels;
+  std::vector<uint8_t> valid;
+  for (int i = 0; i < 400; ++i) {
+    const float s = static_cast<float>(rng.Uniform());
+    const float y = rng.Uniform() < 0.3 ? 1.0f : 0.0f;
+    const uint8_t v = rng.Uniform() < 0.6 ? 1 : 0;
+    scores.push_back(s);
+    labels.push_back(y);
+    valid.push_back(v);
+    if (v) {
+      kept_scores.push_back(s);
+      kept_labels.push_back(y);
+    }
+  }
+  // Exact equality, not NEAR: the masked overload must run the identical
+  // float/double arithmetic as the dense one on the filtered vectors.
+  EXPECT_EQ(BceLoss(scores, labels, valid), BceLoss(kept_scores, kept_labels));
+  EXPECT_EQ(AucRoc(scores, labels, valid), AucRoc(kept_scores, kept_labels));
+  EXPECT_EQ(AucPr(scores, labels, valid), AucPr(kept_scores, kept_labels));
+}
+
+TEST(MaskedMetricsTest, AllValidMaskIsTheDenseMetric) {
+  const std::vector<float> scores = {0.9f, 0.2f, 0.7f, 0.4f, 0.6f};
+  const std::vector<float> labels = {1, 0, 1, 0, 1};
+  const std::vector<uint8_t> all(scores.size(), 1);
+  EXPECT_EQ(BceLoss(scores, labels, all), BceLoss(scores, labels));
+  EXPECT_EQ(AucRoc(scores, labels, all), AucRoc(scores, labels));
+  EXPECT_EQ(AucPr(scores, labels, all), AucPr(scores, labels));
+}
+
+TEST(MaskedMetricsTest, PaddingEntriesAreNeverTouched) {
+  // Padding positions hold garbage (non-binary labels, out-of-range scores)
+  // that would trip the dense overloads' validation; the mask must filter
+  // them out before any check or arithmetic sees them.
+  const std::vector<float> scores = {0.9f, 99.0f, 0.2f, -3.0f, 0.7f};
+  const std::vector<float> labels = {1.0f, 0.5f, 0.0f, 7.0f, 1.0f};
+  const std::vector<uint8_t> valid = {1, 0, 1, 0, 1};
+  EXPECT_EQ(BceLoss(scores, labels, valid),
+            BceLoss({0.9f, 0.2f, 0.7f}, {1, 0, 1}));
+  EXPECT_EQ(AucRoc(scores, labels, valid),
+            AucRoc({0.9f, 0.2f, 0.7f}, {1, 0, 1}));
+  EXPECT_EQ(AucPr(scores, labels, valid),
+            AucPr({0.9f, 0.2f, 0.7f}, {1, 0, 1}));
+}
+
+TEST(MaskedMetricsTest, AllPaddingDegeneratesLikeEmptyInput) {
+  const std::vector<float> scores = {0.5f, 0.6f};
+  const std::vector<float> labels = {1, 0};
+  const std::vector<uint8_t> none = {0, 0};
+  EXPECT_DOUBLE_EQ(BceLoss(scores, labels, none), 0.0);
+  EXPECT_DOUBLE_EQ(AucRoc(scores, labels, none), 0.5);
+  EXPECT_DOUBLE_EQ(AucPr(scores, labels, none), 0.0);
+}
+
 }  // namespace
 }  // namespace metrics
 }  // namespace elda

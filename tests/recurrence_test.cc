@@ -210,6 +210,151 @@ TEST(RecurrenceTest, ReversedSweepMatchesReverseTimeComposition) {
                      RefReverseTime(x).value());
 }
 
+// -- Ragged (valid-prefix) sweeps --------------------------------------------
+//
+// SweepOptions::lengths freezes row b at steps t >= lengths[b]. The contract
+// is bitwise: each kept prefix must equal a solo sweep of that row alone at
+// its true length, frozen steps must copy the last computed state (forward)
+// or hold the initial state (reversed), and uniform lengths must collapse to
+// the dense fixed-T path with zero extra tape nodes.
+
+Tensor RowPrefix(const Tensor& x, int64_t row, int64_t len) {
+  const int64_t steps = x.shape(1);
+  const int64_t input = x.shape(2);
+  Tensor out = Tensor::Zeros({1, len, input});
+  const float* src = x.data() + row * steps * input;
+  std::copy(src, src + len * input, out.data());
+  return out;
+}
+
+void ExpectRowBitwiseEqual(const Tensor& full, int64_t row,
+                           const Tensor& solo) {
+  const int64_t width = full.shape(1);
+  ASSERT_EQ(solo.size(), width);
+  const float* pa = full.data() + row * width;
+  const float* pb = solo.data();
+  for (int64_t i = 0; i < width; ++i) {
+    ASSERT_EQ(pa[i], pb[i]) << "column " << i;
+  }
+}
+
+TEST(RecurrenceTest, RaggedSweepRowsBitwiseMatchSoloRuns) {
+  const int64_t batch = 5, steps = 9, input = 3;
+  const std::vector<int64_t> lengths = {9, 3, 7, 1, 9};
+  Rng rng(101);
+  nn::GruCell gru_cell(input, 6, &rng);
+  nn::LstmCell lstm_cell(input, 6, &rng);
+  Rng data_rng(102);
+  ag::Variable x = ag::Constant(
+      Tensor::Normal({batch, steps, input}, 0.0f, 1.0f, &data_rng));
+  nn::SweepOptions ragged;
+  ragged.lengths = &lengths;
+  for (const bool use_lstm : {false, true}) {
+    SCOPED_TRACE(use_lstm ? "lstm" : "gru");
+    const nn::SweepResult sweep =
+        use_lstm ? nn::LstmSweep(lstm_cell, x, ragged)
+                 : nn::GruSweep(gru_cell, x, ragged);
+    ASSERT_EQ(sweep.steps.size(), static_cast<size_t>(steps));
+    for (int64_t b = 0; b < batch; ++b) {
+      SCOPED_TRACE(::testing::Message() << "row " << b);
+      ag::Variable solo_x =
+          ag::Constant(RowPrefix(x.value(), b, lengths[b]));
+      const nn::SweepResult solo = use_lstm
+                                       ? nn::LstmSweep(lstm_cell, solo_x)
+                                       : nn::GruSweep(gru_cell, solo_x);
+      // The kept prefix runs the normal cell step: bitwise equal to the
+      // solo run at every chronological step.
+      for (int64_t t = 0; t < lengths[b]; ++t) {
+        ExpectRowBitwiseEqual(sweep.steps[t].value(), b,
+                              solo.steps[t].value());
+      }
+      // Frozen steps copy the state computed at the row's final valid step,
+      // so the batch-final state is the solo run's final state.
+      for (int64_t t = lengths[b]; t < steps; ++t) {
+        ExpectRowBitwiseEqual(sweep.steps[t].value(), b,
+                              solo.last().value());
+      }
+      ExpectRowBitwiseEqual(sweep.last().value(), b, solo.last().value());
+    }
+  }
+}
+
+TEST(RecurrenceTest, RaggedReversedSweepMatchesSoloReversedRuns) {
+  const int64_t batch = 4, steps = 8, input = 3, hidden = 5;
+  const std::vector<int64_t> lengths = {8, 2, 5, 1};
+  Rng rng(111);
+  nn::GruCell cell(input, hidden, &rng);
+  Rng data_rng(112);
+  ag::Variable x = ag::Constant(
+      Tensor::Normal({batch, steps, input}, 0.0f, 1.0f, &data_rng));
+  nn::SweepOptions ragged_reversed;
+  ragged_reversed.reversed = true;
+  ragged_reversed.lengths = &lengths;
+  const nn::SweepResult sweep = nn::GruSweep(cell, x, ragged_reversed);
+  const Tensor zero_state = Tensor::Zeros({1, hidden});
+  for (int64_t b = 0; b < batch; ++b) {
+    SCOPED_TRACE(::testing::Message() << "row " << b);
+    ag::Variable solo_x = ag::Constant(RowPrefix(x.value(), b, lengths[b]));
+    nn::SweepOptions solo_reversed;
+    solo_reversed.reversed = true;
+    const nn::SweepResult solo = nn::GruSweep(cell, solo_x, solo_reversed);
+    // A reversed sweep walks t = T-1 .. 0; rows past their length hold the
+    // initial state until the sweep enters their valid prefix.
+    for (int64_t t = lengths[b]; t < steps; ++t) {
+      ExpectRowBitwiseEqual(sweep.steps[t].value(), b, zero_state);
+    }
+    for (int64_t t = 0; t < lengths[b]; ++t) {
+      ExpectRowBitwiseEqual(sweep.steps[t].value(), b,
+                            solo.steps[t].value());
+    }
+    ExpectRowBitwiseEqual(sweep.last().value(), b, solo.last().value());
+  }
+}
+
+TEST(RecurrenceTest, UniformLengthsTakeTheDenseFixedPathBitwise) {
+  Rng rng(121);
+  nn::GruCell cell(3, 6, &rng);
+  Rng data_rng(122);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({4, 7, 3}, 0.0f, 1.0f, &data_rng));
+  const std::vector<int64_t> uniform(4, 7);
+  nn::SweepOptions ragged;
+  ragged.lengths = &uniform;
+
+  const Tensor dense = nn::GruSweep(cell, x).Stacked().value().Clone();
+  ExpectBitwiseEqual(nn::GruSweep(cell, x, ragged).Stacked().value(), dense);
+
+  // Uniform lengths must not cost a single extra tape node over the dense
+  // sweep (the FreezeRows copies are skipped entirely).
+  int64_t before = ag::TapeNodesAllocated();
+  { ag::Variable keep = nn::GruSweep(cell, x).Stacked(); }
+  const int64_t dense_nodes = ag::TapeNodesAllocated() - before;
+  before = ag::TapeNodesAllocated();
+  { ag::Variable keep = nn::GruSweep(cell, x, ragged).Stacked(); }
+  const int64_t uniform_nodes = ag::TapeNodesAllocated() - before;
+  EXPECT_EQ(uniform_nodes, dense_nodes);
+}
+
+TEST(RecurrenceTest, RaggedSweepGradCheck) {
+  Rng rng(131);
+  nn::GruCell cell(2, 3, &rng);
+  Rng data_rng(132);
+  ag::Variable x =
+      ag::Constant(Tensor::Normal({3, 4, 2}, 0.0f, 1.0f, &data_rng));
+  const std::vector<int64_t> lengths = {4, 2, 3};
+  nn::SweepOptions ragged;
+  ragged.lengths = &lengths;
+  std::string error;
+  ag::GradCheckOptions options;
+  options.max_elements_per_param = 24;
+  EXPECT_TRUE(ag::CheckGradients(
+      [&] {
+        return ag::SumAll(ag::Square(nn::GruSweep(cell, x, ragged).Stacked()));
+      },
+      cell.Parameters(), options, &error))
+      << error;
+}
+
 // -- Gradients through the fused path ----------------------------------------
 
 TEST(RecurrenceTest, ReversedSweepGradCheck) {
