@@ -1,7 +1,9 @@
 // Extension bench (beyond the paper): multi-task ELDA — one shared
 // dual-interaction trunk with two prediction heads trained jointly on
 // in-hospital mortality and LOS > 7d, compared with two independently
-// trained single-task ELDA-Nets on the same cohort.
+// trained single-task ELDA-Nets on the same cohort. The joint deployment
+// goes through the unified encoder/head framework (train/task_head.h) and
+// the Trainer's multi-task loop.
 //
 // Expected shape: the joint model reaches comparable per-task quality with
 // ~little more than half the parameters (and half the training compute) of
@@ -14,6 +16,7 @@
 #include "bench/bench_common.h"
 #include "core/multitask.h"
 #include "train/experiment.h"
+#include "train/trainer.h"
 
 int main(int argc, char** argv) {
   using namespace elda;
@@ -33,18 +36,20 @@ int main(int argc, char** argv) {
                       "params", "trainings"});
 
   // Joint model (trained once, on the mortality experiment's split so both
-  // heads see identical data).
+  // heads see identical data; LOS labels ride in the batch's y_los slab).
   {
     core::EldaNetConfig net_config = core::EldaNetConfig::Full();
     net_config.seed = 5;
-    core::MultiTaskEldaNet net(net_config);
-    core::MultiTaskResult result = core::TrainMultiTask(
-        &net, mortality.prepared(), mortality.split(),
-        scale.trainer.max_epochs, scale.trainer.batch_size,
-        scale.trainer.learning_rate, /*seed=*/5);
+    core::MultiTaskElda elda = core::MakeMultiTaskElda(net_config);
+    train::TrainerConfig trainer_config = scale.trainer;
+    trainer_config.seed = 5;
+    train::Trainer trainer(trainer_config);
+    train::MultiTaskTrainResult result = trainer.TrainMultiTask(
+        elda.trunk.get(), elda.heads.get(), mortality.prepared(),
+        mortality.split(), data::Task::kMortality);
     table.AddRow({"multi-task (shared trunk)",
-                  TablePrinter::Num(result.mortality_auc_pr, 3),
-                  TablePrinter::Num(result.los_auc_pr, 3),
+                  TablePrinter::Num(result.test.ForTask("mortality").auc_pr, 3),
+                  TablePrinter::Num(result.test.ForTask("los").auc_pr, 3),
                   std::to_string(result.num_parameters), "1"});
     std::cout << "." << std::flush;
   }

@@ -13,6 +13,15 @@
 // a machine-readable BENCH_table3.json with the measured columns per model
 // (override the path with --json_out=PATH).
 //
+// Beyond the paper's table, two workload-quality columns ride along: each
+// model is trained once through the multi-task loop (mortality +
+// phenotyping heads) and then scored on the test split for per-step
+// decompensation (the parameterless DecompensationHead reuses the trained
+// readout over the per-step encoding — models without one show "-") and
+// phenotyping AUC-ROC. The JSON schema is "elda-bench-table3-v3"; the AUC
+// fields are reported by bench/check_regression.py but never gate (quality
+// at one bench epoch is noisy by design; -1 marks not-applicable).
+//
 // Flags: --batches N (timing batches per model), --admissions, --full,
 // --json_out PATH, --threads N (thread count for the parallel
 // batched-prediction columns; the table reports ms/admission at 1 thread
@@ -27,6 +36,7 @@
 #include "mem/prof.h"
 #include "optim/optimizer.h"
 #include "train/experiment.h"
+#include "train/task_head.h"
 #include "util/stopwatch.h"
 
 namespace elda {
@@ -103,7 +113,7 @@ int main(int argc, char** argv) {
                       "infer ms/adm B=256",
                       "batch ms/adm (1 thr)",
                       "batch ms/adm (" + std::to_string(par_threads) + " thr)",
-                      "speedup"});
+                      "speedup", "decomp AUC", "pheno AUC"});
   struct JsonRow {
     std::string name;
     int64_t params = 0;
@@ -112,6 +122,8 @@ int main(int argc, char** argv) {
     double infer_ms_per_adm_b256 = 0.0;
     double batch_ms_serial = 0.0;
     double batch_ms_parallel = 0.0;
+    double decomp_auc_roc = -1.0;  // -1: model has no per-step encoding
+    double pheno_auc_roc = -1.0;
   };
   std::vector<JsonRow> json_rows;
   for (const std::string& name : baselines::AllModelNames()) {
@@ -188,6 +200,37 @@ int main(int argc, char** argv) {
     const double parallel_ms =
         parallel_watch.Milliseconds() / test_indices.size();
 
+    // Workload quality: train a fresh copy through the multi-task loop
+    // (mortality drives the trunk readout, phenotyping adds its linear
+    // head), then score the test split. Decompensation evaluates after
+    // training — the head is parameterless, so the trained readout over the
+    // per-step encoding is the per-step risk; training itself stays on the
+    // cheap terminal path.
+    double decomp_auc = -1.0;
+    double pheno_auc = -1.0;
+    {
+      auto fresh = baselines::MakeModel(name, cohort.num_features(), 3);
+      train::MultiHead heads;
+      heads.Add(std::make_unique<train::BinaryTerminalHead>(), 1.0f);
+      heads.Add(std::make_unique<train::PhenotypeHead>(
+                    fresh->encoding_dim(), data::kNumPhenotypes, /*seed=*/41),
+                0.5f);
+      train::TrainerConfig trainer_config = scale.trainer;
+      trainer_config.seed = 3;
+      train::MultiTaskTrainResult trained =
+          train::Trainer(trainer_config)
+              .TrainMultiTask(fresh.get(), &heads, experiment.prepared(),
+                              experiment.split(), experiment.task());
+      pheno_auc = trained.test.ForTask("phenotyping").auc_roc;
+      if (fresh->has_step_encoding()) {
+        heads.Add(std::make_unique<train::DecompensationHead>(), 1.0f);
+        train::MultiTaskEvalResult eval = train::Trainer::EvaluateMultiTask(
+            fresh.get(), &heads, experiment.prepared(),
+            experiment.split().test, experiment.task());
+        decomp_auc = eval.ForTask("decompensation").auc_roc;
+      }
+    }
+
     const PaperRow& paper = PaperFor(name);
     table.AddRow({name, paper.params, std::to_string(model->NumParameters()),
                   paper.train_s, TablePrinter::Num(train_s, 3),
@@ -195,7 +238,9 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(predict_ms_b256, 2),
                   TablePrinter::Num(serial_ms, 2),
                   TablePrinter::Num(parallel_ms, 2),
-                  TablePrinter::Num(serial_ms / parallel_ms, 2)});
+                  TablePrinter::Num(serial_ms / parallel_ms, 2),
+                  decomp_auc < 0.0 ? "-" : TablePrinter::Num(decomp_auc, 3),
+                  TablePrinter::Num(pheno_auc, 3)});
     JsonRow row;
     row.name = name;
     row.params = model->NumParameters();
@@ -204,6 +249,8 @@ int main(int argc, char** argv) {
     row.infer_ms_per_adm_b256 = predict_ms_b256;
     row.batch_ms_serial = serial_ms;
     row.batch_ms_parallel = parallel_ms;
+    row.decomp_auc_roc = decomp_auc;
+    row.pheno_auc_roc = pheno_auc;
     json_rows.push_back(std::move(row));
     std::cout << "." << std::flush;
   }
@@ -214,7 +261,7 @@ int main(int argc, char** argv) {
       // Top-level keys (schema/threads/git_rev/benchmarks) are shared with
       // bench_micro_substrate's --json_out so result files aggregate
       // uniformly.
-      out << "{\n  \"schema\": \"elda-bench-table3-v2\",\n"
+      out << "{\n  \"schema\": \"elda-bench-table3-v3\",\n"
           << "  \"threads\": " << par_threads << ",\n"
           << "  \"git_rev\": \"" << bench::GitRev() << "\",\n"
           << "  \"benchmarks\": [\n";
@@ -226,6 +273,8 @@ int main(int argc, char** argv) {
             << ", \"infer_ms_per_adm_b256\": " << r.infer_ms_per_adm_b256
             << ", \"batch_ms_per_adm_serial\": " << r.batch_ms_serial
             << ", \"batch_ms_per_adm_parallel\": " << r.batch_ms_parallel
+            << ", \"decomp_auc_roc\": " << r.decomp_auc_roc
+            << ", \"pheno_auc_roc\": " << r.pheno_auc_roc
             << "}" << (i + 1 < json_rows.size() ? "," : "") << "\n";
       }
       out << "  ]\n}\n";

@@ -17,6 +17,12 @@ recorded them.
 Accepts both the v1 schema ("results") and the v2 schema ("benchmarks").
 Rows present in only one file are reported and skipped. --all widens the
 gate to every joined row.
+
+Table-3 files (schema elda-bench-table3-v3) additionally carry workload
+quality columns (decomp_auc_roc / pheno_auc_roc, -1 = not applicable).
+Those are joined and reported as an informational section but never gate:
+quality at one bench epoch is noisy by design, and the bitwise contracts
+that actually pin model behaviour live in the test suite.
 """
 
 import argparse
@@ -48,20 +54,32 @@ KEY_OPS = [
 ]
 
 
+# Informational quality metrics (reported, never gated). Values < 0 mean
+# "not applicable for this model" and are skipped.
+QUALITY_METRICS = ["decomp_auc_roc", "pheno_auc_roc"]
+
+
 def load_rows(path):
     with open(path) as f:
         doc = json.load(f)
     rows = doc.get("benchmarks", doc.get("results", []))
     out = {}
+    quality = {}
     for row in rows:
         name = row.get("name")
+        if name is None:
+            continue
         ns = row.get("ns_per_iter")
-        if name is not None and ns is not None:
+        if ns is not None:
             out[name] = float(ns)
-    if not out:
+        metrics = {m: float(row[m]) for m in QUALITY_METRICS
+                   if row.get(m) is not None and float(row[m]) >= 0.0}
+        if metrics:
+            quality[name] = metrics
+    if not out and not quality:
         raise SystemExit(f"{path}: no benchmark rows found "
                          "(expected 'benchmarks' or 'results')")
-    return out
+    return out, quality
 
 
 def main():
@@ -81,8 +99,8 @@ def main():
                         help="gate every joined row, not just the key ops")
     args = parser.parse_args()
 
-    fresh = load_rows(args.fresh)
-    base = load_rows(args.baseline)
+    fresh, fresh_quality = load_rows(args.fresh)
+    base, base_quality = load_rows(args.baseline)
 
     joined = sorted(set(fresh) & set(base))
     gated = set(joined) if args.all else {n for n in KEY_OPS if n in joined}
@@ -110,6 +128,20 @@ def main():
         print(f"{name:<40} {'(new, no baseline)':>30}")
     if missing_keys:
         print(f"note: key ops absent from the join: {', '.join(missing_keys)}")
+
+    quality_join = sorted(set(fresh_quality) & set(base_quality))
+    if quality_join:
+        print("\nworkload quality (informational, not gated):")
+        print(f"{'model / metric':<40} {'baseline':>10} {'fresh':>10} "
+              f"{'delta':>8}")
+        for name in quality_join:
+            for metric in QUALITY_METRICS:
+                old = base_quality[name].get(metric)
+                new = fresh_quality[name].get(metric)
+                if old is None or new is None:
+                    continue
+                print(f"{name + ' ' + metric:<40} {old:>10.3f} {new:>10.3f} "
+                      f"{new - old:>+8.3f}")
 
     if failures:
         print(f"\nFAIL: {len(failures)} key op(s) regressed more than "

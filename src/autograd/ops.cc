@@ -472,5 +472,42 @@ Variable BceWithLogits(const Variable& logits, const Tensor& targets) {
   });
 }
 
+Variable MaskedBceWithLogits(const Variable& logits, const Tensor& targets,
+                             const std::vector<uint8_t>& valid) {
+  const Tensor& z = logits.value();
+  ELDA_CHECK_EQ(z.size(), targets.size());
+  ELDA_CHECK_EQ(z.size(), static_cast<int64_t>(valid.size()));
+  const int64_t n_items = z.size();
+  double loss = 0.0;
+  int64_t n_valid = 0;
+  for (int64_t i = 0; i < n_items; ++i) {
+    if (!valid[i]) continue;
+    const float zi = z[i];
+    const float yi = targets[i];
+    loss += std::max(zi, 0.0f) - zi * yi + std::log1p(std::exp(-std::fabs(zi)));
+    ++n_valid;
+  }
+  Tensor value = Tensor::Scalar(
+      n_valid == 0 ? 0.0f : static_cast<float>(loss / n_valid));
+  Tensor zt = z;
+  Tensor yt = targets;
+  std::vector<uint8_t> keep = valid;
+  return MakeOpResult(
+      value, {logits}, [zt, yt, keep, n_items, n_valid](Node* n) {
+        if (n_valid == 0) return;
+        // d/dz = (sigmoid(z) - y) / n_valid on valid cells, exactly 0 on
+        // masked ones (their sigmoid may be NaN and is discarded unread).
+        Tensor s = elda::Sigmoid(zt);
+        Tensor g = Tensor::Zeros(zt.shape());
+        float* p = g.data();
+        const float* sp = s.data();
+        const float scale = n->grad[0] / static_cast<float>(n_valid);
+        for (int64_t i = 0; i < n_items; ++i) {
+          if (keep[i]) p[i] = (sp[i] - yt[i]) * scale;
+        }
+        AccumulateGrad(n->parents[0].get(), g);
+      });
+}
+
 }  // namespace ag
 }  // namespace elda

@@ -133,6 +133,16 @@ Variable Dropout(const Variable& a, float rate, bool training, Rng* rng);
 // Targets are treated as constants. Returns a scalar.
 Variable BceWithLogits(const Variable& logits, const Tensor& targets);
 
+// Masked variant for per-step losses over ragged sequences: the mean runs
+// over cells with valid[i] != 0 only. Selection, not multiplication — cells
+// with valid[i] == 0 are never read (they may legitimately hold the
+// quiet-NaN logits a model emits below min_steps_to_score()) and receive a
+// zero gradient. With every cell valid the loss and gradient are bitwise
+// identical to BceWithLogits. An all-invalid mask yields loss 0 with no
+// gradient. `valid` must match `logits` in size.
+Variable MaskedBceWithLogits(const Variable& logits, const Tensor& targets,
+                             const std::vector<uint8_t>& valid);
+
 }  // namespace ag
 }  // namespace elda
 

@@ -46,8 +46,8 @@ ConCare::ConCare(int64_t num_features, int64_t per_feature_hidden,
   RegisterSubmodule("out", &out_);
 }
 
-ag::Variable ConCare::Forward(const data::Batch& batch,
-                              nn::ForwardContext*) const {
+ag::Variable ConCare::EncodeTerminal(const data::Batch& batch,
+                                     nn::ForwardContext*) const {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   ag::Variable x = ag::Constant(batch.x);
@@ -74,9 +74,12 @@ ag::Variable ConCare::Forward(const data::Batch& batch,
   ag::Variable mixed = ag::MatMul(attention, v);  // [B, C, u]
   // Residual connection keeps each feature's own evidence.
   ag::Variable rep = ag::AddTanh(features, mixed);
-  ag::Variable flat =
-      ag::Reshape(rep, {batch_size, num_features_ * hidden_});
-  return ag::Reshape(out_.Forward(flat), {batch_size});
+  return ag::Reshape(rep, {batch_size, num_features_ * hidden_});
+}
+
+ag::Variable ConCare::Readout(const ag::Variable& rep,
+                              nn::ForwardContext*) const {
+  return ag::Reshape(out_.Forward(rep), {rep.value().shape(0)});
 }
 
 std::unique_ptr<nn::StepState> ConCare::MakeStepState(

@@ -23,9 +23,14 @@ namespace baselines {
 class ConCare : public train::SequenceModel {
  public:
   ConCare(int64_t num_features, int64_t per_feature_hidden, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch,
+  // Encoding: the attended per-feature summaries flattened to [B, C*u].
+  // Cross-feature attention reads all feature summaries at once, so the
+  // base prefix replay provides per-step encodings.
+  ag::Variable EncodeTerminal(const data::Batch& batch,
+                              nn::ForwardContext* ctx) const override;
+  ag::Variable Readout(const ag::Variable& rep,
                        nn::ForwardContext* ctx) const override;
-  using train::SequenceModel::Forward;
+  int64_t encoding_dim() const override { return num_features_ * hidden_; }
   std::string name() const override { return "ConCare"; }
 
   // Streaming: one resident [C, u] slab of per-feature GRU states; each

@@ -55,8 +55,8 @@ std::string Dipole::name() const {
   return "Dipole";
 }
 
-ag::Variable Dipole::Forward(const data::Batch& batch,
-                             nn::ForwardContext* ctx) const {
+ag::Variable Dipole::EncodeTerminal(const data::Batch& batch,
+                                    nn::ForwardContext* ctx) const {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   const int64_t state = 2 * hidden_dim_;
@@ -110,7 +110,12 @@ ag::Variable Dipole::Forward(const data::Batch& batch,
       {batch_size, state});
   ag::Variable combined =
       ag::Tanh(combine_.Forward(ag::Concat({context, h_last}, 1)));
-  return ag::Reshape(out_.Forward(combined), {batch_size});
+  return combined;  // [B, 2H]
+}
+
+ag::Variable Dipole::Readout(const ag::Variable& rep,
+                             nn::ForwardContext*) const {
+  return ag::Reshape(out_.Forward(rep), {rep.value().shape(0)});
 }
 
 }  // namespace baselines

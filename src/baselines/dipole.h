@@ -31,10 +31,13 @@ class Dipole : public train::SequenceModel {
   // With a capture sink in `ctx`, records the attention over the T-1
   // earlier steps under "time_attention" as [B, T-1] (the same key
   // EldaNet's time module uses, so interpretation tooling can compare the
-  // two without special-casing).
-  ag::Variable Forward(const data::Batch& batch,
+  // two without special-casing). The backward GRU makes the encoding
+  // window-global, so per-step encodings use the base prefix replay.
+  ag::Variable EncodeTerminal(const data::Batch& batch,
+                              nn::ForwardContext* ctx) const override;
+  ag::Variable Readout(const ag::Variable& rep,
                        nn::ForwardContext* ctx) const override;
-  using train::SequenceModel::Forward;
+  int64_t encoding_dim() const override { return 2 * hidden_dim_; }
   std::string name() const override;
 
   // Streaming: the backward GRU reads the window in reverse time, so every

@@ -32,14 +32,31 @@ GruClassifier::GruClassifier(int64_t num_features, int64_t hidden_dim,
   RegisterSubmodule("head", &head_);
 }
 
-ag::Variable GruClassifier::Forward(const data::Batch& batch,
-                              nn::ForwardContext*) const {
-  const int64_t batch_size = batch.x.shape(0);
+ag::Variable GruClassifier::EncodeTerminal(const data::Batch& batch,
+                                           nn::ForwardContext*) const {
   // Ragged batches freeze each row past its length, so steps.back() row b
   // is that stay's true final state (LengthsOrNull() is null when uniform).
   std::vector<ag::Variable> steps =
       gru_.ForwardSteps(ag::Constant(batch.x), batch.LengthsOrNull());
-  return ag::Reshape(head_.Forward(steps.back()), {batch_size});
+  return steps.back();
+}
+
+ag::Variable GruClassifier::Readout(const ag::Variable& rep,
+                                    nn::ForwardContext*) const {
+  return ag::Reshape(head_.Forward(rep), {rep.value().shape(0)});
+}
+
+int64_t GruClassifier::encoding_dim() const {
+  return gru_.cell().hidden_size();
+}
+
+ag::Variable GruClassifier::EncodeSteps(const data::Batch& batch,
+                                        nn::ForwardContext*) const {
+  // One sweep; state t is bitwise the prefix-replay encoding because the
+  // recurrence is causal and every kernel computes rows independently.
+  std::vector<ag::Variable> steps =
+      gru_.ForwardSteps(ag::Constant(batch.x), batch.LengthsOrNull());
+  return ag::Transpose01(ag::Stack0(steps));  // [B, T, H]
 }
 
 std::unique_ptr<nn::StepState> GruClassifier::MakeStepState(

@@ -16,9 +16,16 @@ namespace baselines {
 class GruClassifier : public train::SequenceModel {
  public:
   GruClassifier(int64_t num_features, int64_t hidden_dim, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch,
+  ag::Variable EncodeTerminal(const data::Batch& batch,
+                              nn::ForwardContext* ctx) const override;
+  ag::Variable Readout(const ag::Variable& rep,
                        nn::ForwardContext* ctx) const override;
-  using train::SequenceModel::Forward;
+  int64_t encoding_dim() const override;
+  // Single-sweep per-step encodings: the recurrence is causal, so state t of
+  // one full sweep equals state t of the prefix sweep bitwise (the same
+  // fused kernels visit the same rows) — no O(T^2) prefix replay.
+  ag::Variable EncodeSteps(const data::Batch& batch,
+                           nn::ForwardContext* ctx) const override;
   std::string name() const override { return "GRU"; }
 
   // Streaming: resident hidden state, one fused cell step per observation.

@@ -40,8 +40,7 @@ GruD::GruD(int64_t num_features, int64_t hidden_dim, uint64_t seed)
   RegisterSubmodule("out", &out_);
 }
 
-ag::Variable GruD::Forward(const data::Batch& batch,
-                              nn::ForwardContext*) const {
+nn::SweepResult GruD::RunSweep(const data::Batch& batch) const {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   // All decay math is loop-invariant (each step reads only its own rows of
@@ -83,7 +82,24 @@ ag::Variable GruD::Forward(const data::Batch& batch,
             ag::RowsView(xw_all, t * batch_size, batch_size), decayed);
       },
       opts);
-  return ag::Reshape(out_.Forward(sweep.last()), {batch_size});
+  return sweep;
+}
+
+ag::Variable GruD::EncodeTerminal(const data::Batch& batch,
+                                  nn::ForwardContext*) const {
+  return RunSweep(batch).last();
+}
+
+ag::Variable GruD::Readout(const ag::Variable& rep,
+                           nn::ForwardContext*) const {
+  return ag::Reshape(out_.Forward(rep), {rep.value().shape(0)});
+}
+
+ag::Variable GruD::EncodeSteps(const data::Batch& batch,
+                               nn::ForwardContext*) const {
+  // One sweep; state t is bitwise the prefix encoding (decay factors read
+  // only step t's delta row, the cell is causal, kernels are row-strict).
+  return RunSweep(batch).Stacked();  // [B, T, H]
 }
 
 std::unique_ptr<nn::StepState> GruD::MakeStepState(

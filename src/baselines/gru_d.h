@@ -19,6 +19,7 @@
 
 #include "nn/gru.h"
 #include "nn/linear.h"
+#include "nn/recurrent_sweep.h"
 #include "train/sequence_model.h"
 
 namespace elda {
@@ -27,9 +28,15 @@ namespace baselines {
 class GruD : public train::SequenceModel {
  public:
   GruD(int64_t num_features, int64_t hidden_dim, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch,
+  ag::Variable EncodeTerminal(const data::Batch& batch,
+                              nn::ForwardContext* ctx) const override;
+  ag::Variable Readout(const ag::Variable& rep,
                        nn::ForwardContext* ctx) const override;
-  using train::SequenceModel::Forward;
+  int64_t encoding_dim() const override { return hidden_dim_; }
+  // Single-sweep per-step encodings: decay + cell are causal, so sweep state
+  // t is bitwise the prefix encoding — no O(T^2) prefix replay.
+  ag::Variable EncodeSteps(const data::Batch& batch,
+                           nn::ForwardContext* ctx) const override;
   std::string name() const override { return "GRU-D"; }
 
   // Streaming: decay factors depend only on the current delta row, so the
@@ -43,6 +50,9 @@ class GruD : public train::SequenceModel {
   bool has_incremental_step() const override { return true; }
 
  private:
+  // Decay math + hoisted GEMM + decayed sweep shared by both encoders.
+  nn::SweepResult RunSweep(const data::Batch& batch) const;
+
   Rng rng_;
   int64_t num_features_;
   int64_t hidden_dim_;

@@ -22,8 +22,8 @@ Retain::Retain(int64_t num_features, int64_t embed_dim, uint64_t seed)
   RegisterSubmodule("out", &out_);
 }
 
-ag::Variable Retain::Forward(const data::Batch& batch,
-                              nn::ForwardContext*) const {
+ag::Variable Retain::EncodeTerminal(const data::Batch& batch,
+                                    nn::ForwardContext*) const {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   ag::Variable v = embed_.Forward(ag::Constant(batch.x));  // [B, T, m]
@@ -45,7 +45,12 @@ ag::Variable Retain::Forward(const data::Batch& batch,
   ag::Variable context = ag::Reshape(
       ag::MatMul(ag::Reshape(alpha, {batch_size, 1, steps}), gated),
       {batch_size, embed_dim_});
-  return ag::Reshape(out_.Forward(context), {batch_size});
+  return context;
+}
+
+ag::Variable Retain::Readout(const ag::Variable& rep,
+                             nn::ForwardContext*) const {
+  return ag::Reshape(out_.Forward(rep), {rep.value().shape(0)});
 }
 
 }  // namespace baselines

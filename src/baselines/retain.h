@@ -18,9 +18,14 @@ namespace baselines {
 class Retain : public train::SequenceModel {
  public:
   Retain(int64_t num_features, int64_t embed_dim, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch,
+  // The reverse-time attention reads the whole window, so the per-visit
+  // context is the encoding; per-step encodings go through the base prefix
+  // replay (attention over a prefix differs from a slice of the full pass).
+  ag::Variable EncodeTerminal(const data::Batch& batch,
+                              nn::ForwardContext* ctx) const override;
+  ag::Variable Readout(const ag::Variable& rep,
                        nn::ForwardContext* ctx) const override;
-  using train::SequenceModel::Forward;
+  int64_t encoding_dim() const override { return embed_dim_; }
   std::string name() const override { return "RETAIN"; }
 
  private:

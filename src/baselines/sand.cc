@@ -103,8 +103,8 @@ Sand::Sand(const Config& config, uint64_t seed)
   RegisterSubmodule("out", &out_);
 }
 
-ag::Variable Sand::Forward(const data::Batch& batch,
-                           nn::ForwardContext* ctx) const {
+ag::Variable Sand::EncodeTerminal(const data::Batch& batch,
+                                  nn::ForwardContext* ctx) const {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   const int64_t d = config_.model_dim;
@@ -137,9 +137,13 @@ ag::Variable Sand::Forward(const data::Batch& batch,
   ag::Variable interpolated =
       ag::MatMul(ag::Constant(constants->interpolation),
                  h);  // [B, M, D] (shared lhs)
-  ag::Variable flat = ag::Reshape(
+  return ag::Reshape(
       interpolated, {batch_size, config_.interpolation_factors * d});
-  return ag::Reshape(out_.Forward(flat), {batch_size});
+}
+
+ag::Variable Sand::Readout(const ag::Variable& rep,
+                           nn::ForwardContext*) const {
+  return ag::Reshape(out_.Forward(rep), {rep.value().shape(0)});
 }
 
 }  // namespace baselines

@@ -29,9 +29,16 @@ class Sand : public train::SequenceModel {
   };
 
   Sand(const Config& config, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch,
+  // Encoding: the dense-interpolation summary flattened to [B, M*D]. The
+  // interpolation weights depend on the window length T, so per-step
+  // encodings use the base prefix replay.
+  ag::Variable EncodeTerminal(const data::Batch& batch,
+                              nn::ForwardContext* ctx) const override;
+  ag::Variable Readout(const ag::Variable& rep,
                        nn::ForwardContext* ctx) const override;
-  using train::SequenceModel::Forward;
+  int64_t encoding_dim() const override {
+    return config_.interpolation_factors * config_.model_dim;
+  }
   std::string name() const override { return "SAnD"; }
 
  private:

@@ -53,8 +53,8 @@ StageNet::StageNet(int64_t num_features, int64_t hidden_dim,
   RegisterSubmodule("out", &out_);
 }
 
-ag::Variable StageNet::Forward(const data::Batch& batch,
-                              nn::ForwardContext*) const {
+ag::Variable StageNet::EncodeTerminal(const data::Batch& batch,
+                                      nn::ForwardContext*) const {
   const int64_t batch_size = batch.x.shape(0);
   const int64_t steps = batch.x.shape(1);
   ELDA_CHECK_GE(steps, conv_kernel_);
@@ -86,8 +86,12 @@ ag::Variable StageNet::Forward(const data::Batch& batch,
   ag::Variable pooled = ag::Mean(conv, /*axis=*/1);  // [B, channels]
 
   ag::Variable h_last = sweep.steps.back();  // [B, H]
-  ag::Variable rep = ag::Concat({h_last, pooled}, 1);
-  return ag::Reshape(out_.Forward(rep), {batch_size});
+  return ag::Concat({h_last, pooled}, 1);  // [B, H + channels]
+}
+
+ag::Variable StageNet::Readout(const ag::Variable& rep,
+                               nn::ForwardContext*) const {
+  return ag::Reshape(out_.Forward(rep), {rep.value().shape(0)});
 }
 
 std::unique_ptr<nn::StepState> StageNet::MakeStepState(

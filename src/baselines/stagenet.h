@@ -23,9 +23,13 @@ class StageNet : public train::SequenceModel {
  public:
   StageNet(int64_t num_features, int64_t hidden_dim, int64_t conv_kernel,
            int64_t conv_channels, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch,
+  ag::Variable EncodeTerminal(const data::Batch& batch,
+                              nn::ForwardContext* ctx) const override;
+  ag::Variable Readout(const ag::Variable& rep,
                        nn::ForwardContext* ctx) const override;
-  using train::SequenceModel::Forward;
+  int64_t encoding_dim() const override {
+    return hidden_dim_ + conv_channels_;
+  }
   std::string name() const override { return "StageNet"; }
 
   // Streaming: resident LSTM state plus a ring of the last K-1 staged

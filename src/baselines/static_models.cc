@@ -12,14 +12,20 @@ ag::Variable TimeMeanInput(const data::Batch& batch) {
 }
 
 LogisticRegression::LogisticRegression(int64_t num_features, uint64_t seed)
-    : rng_(seed), linear_(num_features, 1, /*use_bias=*/true, &rng_) {
+    : rng_(seed),
+      num_features_(num_features),
+      linear_(num_features, 1, /*use_bias=*/true, &rng_) {
   RegisterSubmodule("linear", &linear_);
 }
 
-ag::Variable LogisticRegression::Forward(const data::Batch& batch,
-                              nn::ForwardContext*) const {
-  const int64_t batch_size = batch.x.shape(0);
-  return ag::Reshape(linear_.Forward(TimeMeanInput(batch)), {batch_size});
+ag::Variable LogisticRegression::EncodeTerminal(const data::Batch& batch,
+                                                nn::ForwardContext*) const {
+  return TimeMeanInput(batch);
+}
+
+ag::Variable LogisticRegression::Readout(const ag::Variable& rep,
+                                         nn::ForwardContext*) const {
+  return ag::Reshape(linear_.Forward(rep), {rep.value().shape(0)});
 }
 
 FactorizationMachine::FactorizationMachine(int64_t num_features,
@@ -32,10 +38,15 @@ FactorizationMachine::FactorizationMachine(int64_t num_features,
                                 &rng_));
 }
 
-ag::Variable FactorizationMachine::Forward(const data::Batch& batch,
-                              nn::ForwardContext*) const {
-  const int64_t batch_size = batch.x.shape(0);
-  ag::Variable x = TimeMeanInput(batch);  // [B, C]
+ag::Variable FactorizationMachine::EncodeTerminal(const data::Batch& batch,
+                                                  nn::ForwardContext*) const {
+  return TimeMeanInput(batch);
+}
+
+ag::Variable FactorizationMachine::Readout(const ag::Variable& rep,
+                                           nn::ForwardContext*) const {
+  const int64_t batch_size = rep.value().shape(0);
+  const ag::Variable& x = rep;  // [B, C]
   // xv_i = v_i * x_i : [B, C, 1] * [C, k] -> [B, C, k].
   ag::Variable xv = ag::Mul(ag::Reshape(x, {batch_size, num_features_, 1}),
                             factors_);
@@ -71,12 +82,17 @@ AttentionalFactorizationMachine::AttentionalFactorizationMachine(
   }
 }
 
-ag::Variable AttentionalFactorizationMachine::Forward(
+ag::Variable AttentionalFactorizationMachine::EncodeTerminal(
     const data::Batch& batch, nn::ForwardContext*) const {
-  const int64_t batch_size = batch.x.shape(0);
+  return TimeMeanInput(batch);
+}
+
+ag::Variable AttentionalFactorizationMachine::Readout(
+    const ag::Variable& rep, nn::ForwardContext*) const {
+  const int64_t batch_size = rep.value().shape(0);
   const int64_t c = num_features_;
   const int64_t k = factor_dim_;
-  ag::Variable x = TimeMeanInput(batch);  // [B, C]
+  const ag::Variable& x = rep;  // [B, C]
   ag::Variable xv =
       ag::Mul(ag::Reshape(x, {batch_size, c, 1}), factors_);  // [B, C, k]
   // All pairwise element-wise products via broadcasting:

@@ -19,17 +19,26 @@ namespace baselines {
 // Collapses [B, T, C] to the time-mean [B, C].
 ag::Variable TimeMeanInput(const data::Batch& batch);
 
+// The non-temporal models share a terminal-only encoding: the time-mean of
+// the input is the whole representation (encoding_dim == C), and everything
+// model-specific lives in Readout. They have no per-step state, so
+// has_step_encoding() is false and EncodeSteps CHECK-fails.
+
 // y = sigmoid(w . mean_t(x) + b).
 class LogisticRegression : public train::SequenceModel {
  public:
   LogisticRegression(int64_t num_features, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch,
+  ag::Variable EncodeTerminal(const data::Batch& batch,
+                              nn::ForwardContext* ctx) const override;
+  ag::Variable Readout(const ag::Variable& rep,
                        nn::ForwardContext* ctx) const override;
-  using train::SequenceModel::Forward;
+  int64_t encoding_dim() const override { return num_features_; }
+  bool has_step_encoding() const override { return false; }
   std::string name() const override { return "LR"; }
 
  private:
   Rng rng_;
+  int64_t num_features_;
   nn::Linear linear_;
 };
 
@@ -39,9 +48,12 @@ class FactorizationMachine : public train::SequenceModel {
  public:
   FactorizationMachine(int64_t num_features, int64_t factor_dim,
                        uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch,
+  ag::Variable EncodeTerminal(const data::Batch& batch,
+                              nn::ForwardContext* ctx) const override;
+  ag::Variable Readout(const ag::Variable& rep,
                        nn::ForwardContext* ctx) const override;
-  using train::SequenceModel::Forward;
+  int64_t encoding_dim() const override { return num_features_; }
+  bool has_step_encoding() const override { return false; }
   std::string name() const override { return "FM"; }
 
  protected:
@@ -59,9 +71,12 @@ class AttentionalFactorizationMachine : public train::SequenceModel {
  public:
   AttentionalFactorizationMachine(int64_t num_features, int64_t factor_dim,
                                   int64_t attention_dim, uint64_t seed);
-  ag::Variable Forward(const data::Batch& batch,
+  ag::Variable EncodeTerminal(const data::Batch& batch,
+                              nn::ForwardContext* ctx) const override;
+  ag::Variable Readout(const ag::Variable& rep,
                        nn::ForwardContext* ctx) const override;
-  using train::SequenceModel::Forward;
+  int64_t encoding_dim() const override { return num_features_; }
+  bool has_step_encoding() const override { return false; }
   std::string name() const override { return "AFM"; }
 
  private:

@@ -114,9 +114,8 @@ EldaNet::EldaNet(const EldaNetConfig& config)
   RegisterSubmodule("prediction", prediction_.get());
 }
 
-ag::Variable EldaNet::Forward(const data::Batch& batch,
-                              nn::ForwardContext* ctx) const {
-  const int64_t batch_size = batch.x.shape(0);
+ag::Variable EldaNet::EncodeTerminal(const data::Batch& batch,
+                                     nn::ForwardContext* ctx) const {
   ELDA_CHECK_EQ(batch.x.shape(2), config_.num_features);
   ag::Variable x = ag::Constant(batch.x);
 
@@ -134,7 +133,17 @@ ag::Variable EldaNet::Forward(const data::Batch& batch,
     // instead of stacking all T states and slicing one back off.
     representation = plain_gru_->ForwardSteps(temporal_input).back();
   }
-  return ag::Reshape(prediction_->Forward(representation), {batch_size});
+  return representation;
+}
+
+ag::Variable EldaNet::Readout(const ag::Variable& rep,
+                              nn::ForwardContext*) const {
+  return ag::Reshape(prediction_->Forward(rep), {rep.value().shape(0)});
+}
+
+int64_t EldaNet::encoding_dim() const {
+  return config_.use_time_interactions ? time_->output_dim()
+                                       : config_.hidden_dim;
 }
 
 std::unique_ptr<nn::StepState> EldaNet::MakeStepState(

@@ -48,9 +48,18 @@ class EldaNet : public train::SequenceModel {
   // With a capture sink in `ctx`, the interpretation surfaces land under
   // "feature_attention" ([B, T, C, C]; absent for ELDA-Net-T) and
   // "time_attention" ([B, T-1]; absent for the -F variants).
-  ag::Variable Forward(const data::Batch& batch,
+  //
+  // The encoding is the representation the prediction head reads: the
+  // time-interaction output (Full/-T) or the plain GRU's final state (the
+  // -F variants). V_m (bi) embeddings are window-global — a feature's
+  // first observation retroactively changes earlier embeddings — so
+  // per-step encodings use the base prefix replay; a single causal sweep
+  // would diverge from the streamed path.
+  ag::Variable EncodeTerminal(const data::Batch& batch,
+                              nn::ForwardContext* ctx) const override;
+  ag::Variable Readout(const ag::Variable& rep,
                        nn::ForwardContext* ctx) const override;
-  using train::SequenceModel::Forward;
+  int64_t encoding_dim() const override;
   std::string name() const override { return config_.display_name; }
 
   const EldaNetConfig& config() const { return config_; }

@@ -1,127 +1,19 @@
 #include "core/multitask.h"
 
-#include "metrics/metrics.h"
-#include "tensor/tensor_ops.h"
-
 namespace elda {
 namespace core {
 
-MultiTaskEldaNet::MultiTaskEldaNet(const EldaNetConfig& config)
-    : config_(config), rng_(config.seed) {
-  ELDA_CHECK(config_.use_feature_module && config_.use_time_interactions)
+MultiTaskElda MakeMultiTaskElda(const EldaNetConfig& config) {
+  ELDA_CHECK(config.use_feature_module && config.use_time_interactions)
       << "the multi-task trunk uses the full ELDA-Net";
-  const bool bi_variant =
-      config_.embedding == EmbeddingVariant::kBiDirectional ||
-      config_.embedding == EmbeddingVariant::kBiDirectionalStar;
-  embedding_ = std::make_unique<BiDirectionalEmbedding>(
-      config_.num_features, config_.embed_dim, config_.embedding,
-      config_.lower, config_.upper, bi_variant, &rng_);
-  feature_ = std::make_unique<FeatureInteraction>(
-      config_.num_features, config_.embed_dim, config_.compression, &rng_);
-  time_ = std::make_unique<TimeInteraction>(feature_->output_dim(),
-                                            config_.hidden_dim, &rng_);
-  mortality_head_ =
-      std::make_unique<nn::Linear>(time_->output_dim(), 1, true, &rng_);
-  los_head_ =
-      std::make_unique<nn::Linear>(time_->output_dim(), 1, true, &rng_);
-  RegisterSubmodule("embedding", embedding_.get());
-  RegisterSubmodule("feature_interaction", feature_.get());
-  RegisterSubmodule("time_interaction", time_.get());
-  RegisterSubmodule("mortality_head", mortality_head_.get());
-  RegisterSubmodule("los_head", los_head_.get());
-}
-
-MultiTaskEldaNet::Logits MultiTaskEldaNet::Forward(
-    const data::Batch& batch, nn::ForwardContext* ctx) const {
-  const int64_t batch_size = batch.x.shape(0);
-  ag::Variable x = ag::Constant(batch.x);
-  ag::Variable e = embedding_->Forward(x, batch.mask);
-  ag::Variable trunk = time_->Forward(feature_->Forward(e, ctx), ctx);
-  Logits logits;
-  logits.mortality =
-      ag::Reshape(mortality_head_->Forward(trunk), {batch_size});
-  logits.los_gt7 = ag::Reshape(los_head_->Forward(trunk), {batch_size});
-  return logits;
-}
-
-ag::Variable MultiTaskEldaNet::JointLoss(const Logits& logits,
-                                         const Tensor& mortality_labels,
-                                         const Tensor& los_labels) {
-  ag::Variable loss_mortality =
-      ag::BceWithLogits(logits.mortality, mortality_labels);
-  ag::Variable loss_los = ag::BceWithLogits(logits.los_gt7, los_labels);
-  return ag::MulScalar(ag::Add(loss_mortality, loss_los), 0.5f);
-}
-
-namespace {
-
-Tensor LosLabels(const std::vector<data::PreparedSample>& prepared,
-                 const std::vector<int64_t>& indices) {
-  Tensor y({static_cast<int64_t>(indices.size())});
-  for (size_t i = 0; i < indices.size(); ++i) {
-    y[i] = prepared[indices[i]].los_gt7_label;
-  }
-  return y;
-}
-
-}  // namespace
-
-MultiTaskResult TrainMultiTask(
-    MultiTaskEldaNet* net,
-    const std::vector<data::PreparedSample>& prepared,
-    const data::SplitIndices& split, int64_t max_epochs, int64_t batch_size,
-    float learning_rate, uint64_t seed) {
-  ELDA_CHECK(net != nullptr);
-  MultiTaskResult result;
-  result.num_parameters = net->NumParameters();
-  std::vector<ag::Variable> params = net->Parameters();
-  optim::Adam adam(params, learning_rate);
-  Rng rng(seed);
-  // Batches are drawn with mortality labels; LOS labels are looked up from
-  // the prepared samples via the batch's index list.
-  data::Batcher batcher(&prepared, split.train, batch_size,
-                        data::Task::kMortality, &rng);
-  nn::ForwardContext train_ctx;
-  train_ctx.training = true;
-  train_ctx.rng = &rng;
-  for (int64_t epoch = 0; epoch < max_epochs; ++epoch) {
-    batcher.StartEpoch();
-    data::Batch batch;
-    while (batcher.Next(&batch)) {
-      adam.ZeroGrad();
-      MultiTaskEldaNet::Logits logits = net->Forward(batch, &train_ctx);
-      Tensor los = LosLabels(prepared, batch.sample_indices);
-      net->JointLoss(logits, batch.y, los).Backward();
-      optim::ClipGradNorm(params, 5.0f);
-      adam.Step();
-    }
-  }
-  // Test evaluation for both heads: graph-free forward passes.
-  ag::NoGradScope no_grad;
-  std::vector<float> mortality_scores, los_scores, mortality_labels,
-      los_labels;
-  for (size_t start = 0; start < split.test.size(); start += 256) {
-    const size_t end = std::min(split.test.size(), start + 256);
-    std::vector<int64_t> chunk(split.test.begin() + start,
-                               split.test.begin() + end);
-    data::Batch batch =
-        data::MakeBatch(prepared, chunk, data::Task::kMortality);
-    MultiTaskEldaNet::Logits logits = net->Forward(batch);
-    Tensor pm = Sigmoid(logits.mortality.value());
-    Tensor pl = Sigmoid(logits.los_gt7.value());
-    for (int64_t i = 0; i < pm.size(); ++i) {
-      mortality_scores.push_back(pm[i]);
-      los_scores.push_back(pl[i]);
-      mortality_labels.push_back(batch.y[i]);
-      los_labels.push_back(prepared[chunk[i]].los_gt7_label);
-    }
-  }
-  result.mortality_auc_pr = metrics::AucPr(mortality_scores, mortality_labels);
-  result.mortality_auc_roc =
-      metrics::AucRoc(mortality_scores, mortality_labels);
-  result.los_auc_pr = metrics::AucPr(los_scores, los_labels);
-  result.los_auc_roc = metrics::AucRoc(los_scores, los_labels);
-  return result;
+  MultiTaskElda elda;
+  elda.trunk = std::make_unique<EldaNet>(config);
+  elda.heads = std::make_unique<train::MultiHead>();
+  elda.heads->Add(std::make_unique<train::BinaryTerminalHead>(), 0.5f);
+  elda.heads->Add(std::make_unique<train::LosHead>(elda.trunk->encoding_dim(),
+                                                   config.seed + 1),
+                  0.5f);
+  return elda;
 }
 
 }  // namespace core

@@ -3,67 +3,44 @@
 // The paper trains one ELDA-Net per application (in-hospital mortality,
 // LOS > 7d) on the same 48-hour input. Since both tasks share the dual
 // interaction structure, a single trunk (embedding + feature-level +
-// time-level modules) with two prediction heads amortises the expensive
-// interaction computation and regularises each task with the other — the
-// natural "future work" step for deploying ELDA on multiple endpoints.
+// time-level modules) with per-task heads amortises the expensive
+// interaction computation and regularises each task with the other.
+//
+// This used to be a bespoke MultiTaskEldaNet class with its own two linear
+// heads, a JointLoss that took the LOS labels as a side argument, and a
+// standalone TrainMultiTask harness. All three folded into the general
+// encoder/head framework (train/task_head.h): the trunk is a plain EldaNet,
+// mortality rides through the trunk's own readout (BinaryTerminalHead), LOS
+// gets a head-owned linear layer (LosHead), labels ride in the multi-task
+// data::Batch slabs, and training goes through the unified
+// train::Trainer::TrainMultiTask loop — checkpoint/resume, health policies
+// and masked metrics included.
 
 #ifndef ELDA_CORE_MULTITASK_H_
 #define ELDA_CORE_MULTITASK_H_
 
 #include <memory>
-#include <string>
 
 #include "core/elda_net.h"
-#include "nn/linear.h"
-#include "optim/optimizer.h"
+#include "train/task_head.h"
 
 namespace elda {
 namespace core {
 
-class MultiTaskEldaNet : public nn::Module {
- public:
-  explicit MultiTaskEldaNet(const EldaNetConfig& config);
-
-  struct Logits {
-    ag::Variable mortality;  // [B]
-    ag::Variable los_gt7;    // [B]
-  };
-
-  // Shared trunk, two heads. Uses x and mask like EldaNet. With a capture
-  // sink in `ctx`, the shared trunk's interpretation surfaces land under
-  // "feature_attention" and "time_attention" (see EldaNet::Forward).
-  Logits Forward(const data::Batch& batch,
-                 nn::ForwardContext* ctx = nullptr) const;
-
-  // Joint loss: mean of the two BCE terms; `los_labels` must be passed
-  // separately because data::Batch carries one task's labels.
-  ag::Variable JointLoss(const Logits& logits, const Tensor& mortality_labels,
-                         const Tensor& los_labels);
-
- private:
-  EldaNetConfig config_;
-  Rng rng_;
-  std::unique_ptr<BiDirectionalEmbedding> embedding_;
-  std::unique_ptr<FeatureInteraction> feature_;
-  std::unique_ptr<TimeInteraction> time_;
-  std::unique_ptr<nn::Linear> mortality_head_;
-  std::unique_ptr<nn::Linear> los_head_;
+// One full ELDA-Net trunk plus its task heads. Train and evaluate with
+// train::Trainer::TrainMultiTask(elda.trunk.get(), elda.heads.get(), ...).
+struct MultiTaskElda {
+  std::unique_ptr<EldaNet> trunk;
+  std::unique_ptr<train::MultiHead> heads;
 };
 
-// Trains a MultiTaskEldaNet jointly on both labels and reports per-task test
-// AUC-PR. Small, self-contained harness for the extension bench/example.
-struct MultiTaskResult {
-  double mortality_auc_pr = 0.0;
-  double mortality_auc_roc = 0.0;
-  double los_auc_pr = 0.0;
-  double los_auc_roc = 0.0;
-  int64_t num_parameters = 0;
-};
-MultiTaskResult TrainMultiTask(MultiTaskEldaNet* net,
-                               const std::vector<data::PreparedSample>& prepared,
-                               const data::SplitIndices& split,
-                               int64_t max_epochs, int64_t batch_size,
-                               float learning_rate, uint64_t seed);
+// Assembles the joint mortality + LOS deployment: BinaryTerminalHead
+// (mortality via the trunk's readout) and LosHead, each at weight 0.5, so
+// the joint loss is the mean of the two task BCEs. Requires the full
+// ELDA-Net trunk (both interaction modules). The LOS head's parameters are
+// initialised from config.seed + 1, leaving the trunk's own init stream
+// untouched.
+MultiTaskElda MakeMultiTaskElda(const EldaNetConfig& config);
 
 }  // namespace core
 }  // namespace elda

@@ -28,6 +28,12 @@
 namespace elda {
 namespace data {
 
+// Number of phenotype labels a multi-task sample carries: the 7 condition
+// archetypes one-hot, plus acute-episode-occurred, high-peak-severity, and
+// prolonged-elevation flags (all derived deterministically from the
+// simulator's latent trajectory; see synth/simulator.cc).
+inline constexpr int64_t kNumPhenotypes = 10;
+
 struct EmrSample {
   int64_t num_steps = 0;     // T (allocated grid rows)
   int64_t num_features = 0;  // |C|
@@ -40,6 +46,20 @@ struct EmrSample {
 
   float mortality_label = 0.0f;  // 1 = died in hospital
   float los_gt7_label = 0.0f;    // 1 = length of stay > 7 days
+
+  // -- Multi-task labels ------------------------------------------------------
+  // Optional; empty on legacy samples (v1 shards, hand-built fixtures).
+  // When present:
+  //   decomp_labels  [num_steps]: step t is 1 when the patient decompensates
+  //     in the near-term window after hour t (forward-looking; padding rows
+  //     past `length` are meaningless and must be masked by consumers).
+  //   phenotype_labels [kNumPhenotypes]: admission-level binary phenotypes.
+  std::vector<float> decomp_labels;
+  std::vector<float> phenotype_labels;
+
+  bool has_multitask_labels() const {
+    return !decomp_labels.empty() && !phenotype_labels.empty();
+  }
 
   // Provenance fields filled by the synthetic generator; -1 when unknown.
   // `condition` holds a synth::Condition for cohort-level analyses.

@@ -102,6 +102,8 @@ PreparedSample PrepareOne(const EmrSample& sample,
   }
   p.mortality_label = s.mortality_label;
   p.los_gt7_label = s.los_gt7_label;
+  p.decomp_labels = s.decomp_labels;
+  p.phenotype_labels = s.phenotype_labels;
   p.condition = s.condition;
   return p;
 }
@@ -149,8 +151,22 @@ Batch MakeBatch(const std::vector<PreparedSample>& prepared,
   out.mask = Tensor({batch, steps, features});
   out.delta = Tensor({batch, steps, features});
   out.y = Tensor({batch});
+  out.y_los = Tensor({batch});
   out.sample_indices = indices;
   out.lengths.resize(batch);
+  // Multi-task slabs materialize only when every selected sample carries
+  // them (a mixed batch means a legacy source; heads must not train on it).
+  bool multitask = true;
+  for (int64_t idx : indices) {
+    const PreparedSample& p = prepared[idx];
+    multitask = multitask && !p.decomp_labels.empty() &&
+                static_cast<int64_t>(p.phenotype_labels.size()) ==
+                    kNumPhenotypes;
+  }
+  if (multitask) {
+    out.y_decomp = Tensor({batch, steps});
+    out.y_pheno = Tensor({batch, kNumPhenotypes});
+  }
   const int64_t grid = steps * features;
   bool ragged = false;
   for (int64_t b = 0; b < batch; ++b) {
@@ -164,6 +180,16 @@ Batch MakeBatch(const std::vector<PreparedSample>& prepared,
               out.delta.data() + b * grid);
     out.y[b] =
         task == Task::kMortality ? p.mortality_label : p.los_gt7_label;
+    out.y_los[b] = p.los_gt7_label;
+    if (multitask) {
+      const int64_t row_steps =
+          std::min(steps, static_cast<int64_t>(p.decomp_labels.size()));
+      std::copy(p.decomp_labels.data(), p.decomp_labels.data() + row_steps,
+                out.y_decomp.data() + b * steps);
+      std::copy(p.phenotype_labels.data(),
+                p.phenotype_labels.data() + kNumPhenotypes,
+                out.y_pheno.data() + b * kNumPhenotypes);
+    }
     out.lengths[b] = p.length;
     ragged = ragged || p.length != steps;
   }

@@ -73,6 +73,10 @@ struct PreparedSample {
   int64_t length = 0;  // valid-prefix length (== T for dense samples)
   float mortality_label = 0.0f;
   float los_gt7_label = 0.0f;
+  // Multi-task labels carried through from EmrSample; empty on legacy
+  // samples (see data/emr.h).
+  std::vector<float> decomp_labels;     // [T] per-step decompensation
+  std::vector<float> phenotype_labels;  // [kNumPhenotypes]
   int64_t condition = -1;
   int64_t source_index = -1;  // index into the raw dataset
 };
@@ -93,7 +97,15 @@ struct Batch {
   Tensor x;      // [B, T, C]
   Tensor mask;   // [B, T, C]
   Tensor delta;  // [B, T, C]
-  Tensor y;      // [B]
+  Tensor y;      // [B] the primary task's labels (Task passed to MakeBatch)
+  // -- Multi-task label slabs -------------------------------------------------
+  // y_los is always filled (it is free). y_decomp / y_pheno materialize only
+  // when every sample in the batch carries multi-task labels; otherwise they
+  // stay undefined — check has_multitask_labels(). Padding cells of y_decomp
+  // (t >= lengths[b]) are zero and must be masked via lengths/step_mask.
+  Tensor y_los;     // [B] LOS>7d labels
+  Tensor y_decomp;  // [B, T] per-step decompensation targets
+  Tensor y_pheno;   // [B, kNumPhenotypes]
   // Per-row valid-prefix lengths. Always sized [B]; all-equal-to-T for
   // uniform batches, which take the dense fixed-T code paths.
   std::vector<int64_t> lengths;
@@ -101,6 +113,11 @@ struct Batch {
   // ragged batches; empty (0 elements) when the batch is uniform.
   Tensor step_mask;
   std::vector<int64_t> sample_indices;  // into the prepared vector
+
+  // True when the multi-task label slabs (y_decomp / y_pheno) are present.
+  bool has_multitask_labels() const {
+    return y_decomp.defined() && y_pheno.defined();
+  }
 
   // True when every row's length equals T (the dense case).
   bool UniformLength() const;

@@ -121,6 +121,22 @@ void ShardWriter::Append(const EmrSample& sample) {
   payload.append(reinterpret_cast<const char*>(sample.values.data()),
                  cells * sizeof(float));
   payload.append(reinterpret_cast<const char*>(sample.observed.data()), cells);
+  // v2 label trailer. Counts are validated here so a malformed sample fails
+  // at write time, not as a quarantined record at read time.
+  const uint32_t num_decomp =
+      static_cast<uint32_t>(sample.decomp_labels.size());
+  ELDA_CHECK(num_decomp == 0 ||
+             num_decomp == static_cast<uint32_t>(sample.num_steps));
+  const uint32_t num_pheno =
+      static_cast<uint32_t>(sample.phenotype_labels.size());
+  ELDA_CHECK(num_pheno == 0 ||
+             num_pheno == static_cast<uint32_t>(kNumPhenotypes));
+  AppendPod<uint32_t>(&payload, num_decomp);
+  payload.append(reinterpret_cast<const char*>(sample.decomp_labels.data()),
+                 num_decomp * sizeof(float));
+  AppendPod<uint32_t>(&payload, num_pheno);
+  payload.append(reinterpret_cast<const char*>(sample.phenotype_labels.data()),
+                 num_pheno * sizeof(float));
   WriteFrame(kRecordMagic, payload);
   ++num_records_;
 }
@@ -168,10 +184,11 @@ ShardReader::ShardReader(const std::string& path) : path_(path) {
     Fail("bad shard magic: " + path);
     return;
   }
-  if (version != kShardFormatVersion) {
+  if (version < kMinShardFormatVersion || version > kShardFormatVersion) {
     Fail("unsupported shard version: " + path);
     return;
   }
+  version_ = version;
   if (health::Crc32(map_, kHeaderSize - 4) != header_crc) {
     Fail("header CRC mismatch: " + path);
     return;
@@ -278,9 +295,14 @@ bool ShardReader::Read(int64_t i, EmrSample* out) {
   const int64_t num_features = ReadPod<uint32_t>(payload + 8);
   const uint64_t cells =
       static_cast<uint64_t>(num_steps) * static_cast<uint64_t>(num_features);
-  if (num_features != num_features_ || length > num_steps ||
-      ref.payload_size !=
-          kRecordPrefixSize + cells * (sizeof(float) + 1)) {
+  const uint64_t grids_end =
+      kRecordPrefixSize + cells * (sizeof(float) + 1);
+  // v1 payloads end at the grids; v2 payloads carry the label trailer
+  // (validated below once the counts are decoded).
+  const bool size_ok = version_ == 1
+                           ? ref.payload_size == grids_end
+                           : ref.payload_size >= grids_end + 8;
+  if (num_features != num_features_ || length > num_steps || !size_ok) {
     ++num_quarantined_;
     return false;
   }
@@ -294,6 +316,36 @@ bool ShardReader::Read(int64_t i, EmrSample* out) {
               cells * sizeof(float));
   std::memcpy(sample.observed.data(),
               payload + kRecordPrefixSize + cells * sizeof(float), cells);
+  if (version_ >= 2) {
+    uint64_t pos = grids_end;
+    const uint32_t num_decomp = ReadPod<uint32_t>(payload + pos);
+    pos += 4;
+    const bool decomp_ok =
+        (num_decomp == 0 ||
+         num_decomp == static_cast<uint32_t>(num_steps)) &&
+        pos + num_decomp * sizeof(float) + 4 <= ref.payload_size;
+    if (!decomp_ok) {
+      ++num_quarantined_;
+      return false;
+    }
+    sample.decomp_labels.resize(num_decomp);
+    std::memcpy(sample.decomp_labels.data(), payload + pos,
+                num_decomp * sizeof(float));
+    pos += num_decomp * sizeof(float);
+    const uint32_t num_pheno = ReadPod<uint32_t>(payload + pos);
+    pos += 4;
+    const bool pheno_ok =
+        (num_pheno == 0 ||
+         num_pheno == static_cast<uint32_t>(kNumPhenotypes)) &&
+        pos + num_pheno * sizeof(float) == ref.payload_size;
+    if (!pheno_ok) {
+      ++num_quarantined_;
+      return false;
+    }
+    sample.phenotype_labels.resize(num_pheno);
+    std::memcpy(sample.phenotype_labels.data(), payload + pos,
+                num_pheno * sizeof(float));
+  }
   *out = std::move(sample);
   return true;
 }

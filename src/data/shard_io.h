@@ -15,6 +15,15 @@
 //   | f32 mortality | f32 los_gt7 | i64 patient_id | i64 condition
 //   | f32 values[num_steps * num_features]
 //   | u8  observed[num_steps * num_features]
+//   | u32 num_decomp  | f32 decomp[num_decomp]        (v2 label trailer)
+//   | u32 num_pheno   | f32 phenotype[num_pheno]
+//
+// The v2 label trailer rides at the very END of the payload so the
+// PeekLength / PeekShape prefix reads are layout-identical across versions.
+// num_decomp is 0 or num_steps; num_pheno is 0 or kNumPhenotypes (samples
+// without multi-task labels write empty counts). v1 shards have no trailer;
+// readers accept both versions and surface v1 records with empty label
+// vectors.
 //
 // Floats are stored as raw IEEE-754 bit patterns, so a write/read round
 // trip is bitwise. Writers stream records through a bounded buffer
@@ -43,7 +52,10 @@
 namespace elda {
 namespace data {
 
-inline constexpr uint32_t kShardFormatVersion = 1;
+// v2 appended the multi-task label trailer (writers emit v2; readers accept
+// v1 and v2 — v1 records simply decode with empty label vectors).
+inline constexpr uint32_t kShardFormatVersion = 2;
+inline constexpr uint32_t kMinShardFormatVersion = 1;
 
 // Canonical shard file name: "<prefix>-<index padded to 5>.elds".
 std::string ShardPath(const std::string& prefix, int64_t index);
@@ -99,6 +111,8 @@ class ShardReader {
 
   int64_t size() const { return static_cast<int64_t>(records_.size()); }
   int64_t num_features() const { return num_features_; }
+  // Format version of the open shard (1 = no label trailer).
+  uint32_t version() const { return version_; }
   const std::vector<std::string>& feature_names() const {
     return feature_names_;
   }
@@ -146,6 +160,7 @@ class ShardReader {
 
   bool ok_ = false;
   std::string error_;
+  uint32_t version_ = kShardFormatVersion;
   int64_t num_features_ = 0;
   std::vector<std::string> feature_names_;
   std::vector<RecordRef> records_;

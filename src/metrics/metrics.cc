@@ -20,9 +20,12 @@ int64_t CountPositives(const std::vector<float>& labels) {
   return positives;
 }
 
-// Compacts (scores, labels) down to the entries with valid != 0, preserving
-// order, so the masked metrics delegate to the dense implementations and
-// stay bitwise identical to scoring the valid entries directly.
+// Compacts (scores, labels) down to the entries with valid != 0 AND a finite
+// score, preserving order, so the masked metrics delegate to the dense
+// implementations and stay bitwise identical to scoring the kept entries
+// directly. Non-finite scores are the serve path's "not scorable yet"
+// sentinel (quiet-NaN logits below min_steps_to_score()); including one in a
+// mean would poison the whole metric, so they are excluded like padding.
 void FilterValid(const std::vector<float>& scores,
                  const std::vector<float>& labels,
                  const std::vector<uint8_t>& valid,
@@ -33,7 +36,7 @@ void FilterValid(const std::vector<float>& scores,
   kept_scores->reserve(scores.size());
   kept_labels->reserve(labels.size());
   for (size_t i = 0; i < scores.size(); ++i) {
-    if (valid[i] == 0) continue;
+    if (valid[i] == 0 || !std::isfinite(scores[i])) continue;
     kept_scores->push_back(scores[i]);
     kept_labels->push_back(labels[i]);
   }

@@ -43,8 +43,10 @@ double AucPr(const std::vector<float>& scores,
 // For ragged/per-step scoring (e.g. decompensation over variable-length
 // stays): entries with valid[i] == 0 are padding and are excluded before the
 // metric is computed, so the result is bitwise identical to calling the
-// dense overload on just the valid entries in order. `valid` must match
-// `scores`/`labels` in size.
+// dense overload on just the kept entries in order. Entries whose score is
+// not finite are excluded too: the streaming path emits quiet-NaN risks for
+// steps below a model's min_steps_to_score(), and one NaN would otherwise
+// poison the mean. `valid` must match `scores`/`labels` in size.
 double BceLoss(const std::vector<float>& scores,
                const std::vector<float>& labels,
                const std::vector<uint8_t>& valid);

@@ -297,5 +297,31 @@ ServiceStats InferenceService::stats() const {
   return s;
 }
 
+std::vector<float> StreamDecompensation(InferenceService* service,
+                                        SessionId id,
+                                        const data::PreparedSample& sample,
+                                        int64_t num_steps) {
+  ELDA_CHECK(service != nullptr);
+  const int64_t features = sample.x.shape(1);
+  const int64_t steps =
+      num_steps < 0 ? sample.x.shape(0)
+                    : std::min<int64_t>(num_steps, sample.x.shape(0));
+  std::vector<float> risks;
+  risks.reserve(steps);
+  for (int64_t t = 0; t < steps; ++t) {
+    Observation obs;
+    obs.x.assign(sample.x.data() + t * features,
+                 sample.x.data() + (t + 1) * features);
+    obs.mask.assign(sample.mask.data() + t * features,
+                    sample.mask.data() + (t + 1) * features);
+    obs.delta.assign(sample.delta.data() + t * features,
+                     sample.delta.data() + (t + 1) * features);
+    const StepResult result = service->Observe(id, std::move(obs));
+    if (!result.ok) break;
+    risks.push_back(result.risk);
+  }
+  return risks;
+}
+
 }  // namespace serve
 }  // namespace elda

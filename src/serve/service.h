@@ -212,6 +212,24 @@ class InferenceService {
   bool maint_stop_ = false;
 };
 
+// -- Decompensation routing --------------------------------------------------
+//
+// Streamed per-step decompensation rides the existing StepForward path: the
+// batch DecompensationHead (train/task_head.h) scores step t of row b as the
+// model's readout over the prefix encoding — exactly what StepForward emits
+// for the same window. This helper replays one prepared sample's first
+// `num_steps` rows (its full grid when num_steps < 0) through an admitted
+// session and returns the per-step risk trajectory [T]: entry t is
+// bitwise-equal to the sigmoid of the batch head's (b, t) logit, with quiet
+// NaN on warm-up steps below min_steps_to_score(), provided the stay fits
+// the session's window capacity (past it, replay models score the retained
+// suffix). Scores through Observe, so it works in sync and async modes and
+// respects backpressure; a non-kOk step aborts and returns the risks so far.
+std::vector<float> StreamDecompensation(InferenceService* service,
+                                        SessionId id,
+                                        const data::PreparedSample& sample,
+                                        int64_t num_steps = -1);
+
 }  // namespace serve
 }  // namespace elda
 

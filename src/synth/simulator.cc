@@ -106,6 +106,52 @@ PatientDraw DrawPatient(Condition condition, int64_t num_steps, Rng* rng) {
   return draw;
 }
 
+// Multi-task labels derived deterministically from the latent trajectory —
+// no rng draws, so the fixed-length path, the ragged path, and both passes
+// of the sharded generator keep their existing streams bitwise-unchanged.
+void AttachTrajectoryLabels(const Trajectory& trajectory,
+                            data::EmrSample* sample) {
+  const int64_t num_steps =
+      static_cast<int64_t>(trajectory.severity.size());
+  // Per-step decompensation: does latent severity cross the crisis band in
+  // the near-term window after hour t? Forward-looking over (t, t+6]; the
+  // final hour, with no lookahead left, labels its own state.
+  constexpr int64_t kHorizon = 6;
+  constexpr float kCrisisSeverity = 2.0f;
+  sample->decomp_labels.assign(static_cast<size_t>(num_steps), 0.0f);
+  for (int64_t t = 0; t < num_steps; ++t) {
+    float peak = t + 1 < num_steps ? 0.0f : trajectory.severity[t];
+    const int64_t hi = std::min(t + kHorizon, num_steps - 1);
+    for (int64_t u = t + 1; u <= hi; ++u) {
+      peak = std::max(peak, trajectory.severity[u]);
+    }
+    sample->decomp_labels[static_cast<size_t>(t)] =
+        peak >= kCrisisSeverity ? 1.0f : 0.0f;
+  }
+  // Admission-level phenotypes: condition archetype one-hot plus three
+  // trajectory-shape flags (acute episode, high peak, prolonged elevation).
+  sample->phenotype_labels.assign(
+      static_cast<size_t>(data::kNumPhenotypes), 0.0f);
+  const int64_t condition = static_cast<int64_t>(trajectory.condition);
+  if (condition >= 0 &&
+      condition < static_cast<int64_t>(Condition::kNumConditions)) {
+    sample->phenotype_labels[static_cast<size_t>(condition)] = 1.0f;
+  }
+  float max_episode = 0.0f;
+  float max_severity = 0.0f;
+  int64_t elevated_steps = 0;
+  for (int64_t t = 0; t < num_steps; ++t) {
+    max_episode = std::max(max_episode, trajectory.episode[t]);
+    max_severity = std::max(max_severity, trajectory.severity[t]);
+    elevated_steps += trajectory.severity[t] >= 1.5f;
+  }
+  const size_t base = static_cast<size_t>(Condition::kNumConditions);
+  sample->phenotype_labels[base + 0] = max_episode > 0.5f ? 1.0f : 0.0f;
+  sample->phenotype_labels[base + 1] = max_severity >= 2.5f ? 1.0f : 0.0f;
+  sample->phenotype_labels[base + 2] =
+      2 * elevated_steps >= num_steps ? 1.0f : 0.0f;
+}
+
 // Converts a z grid into raw feature values with the observation process
 // applied. `obs_scale` calibrates density; `dense` forces near-complete
 // observation (used by the showcase patient).
@@ -114,6 +160,7 @@ data::EmrSample RealisePatient(const PatientDraw& draw, int64_t num_steps,
   const auto& table = FeatureTable();
   data::EmrSample sample(num_steps, kNumFeatures);
   sample.condition = static_cast<int64_t>(draw.trajectory.condition);
+  AttachTrajectoryLabels(draw.trajectory, &sample);
   for (int64_t t = 0; t < num_steps; ++t) {
     const float severity = draw.trajectory.severity[t];
     const float episode = draw.trajectory.episode[t];

@@ -1,5 +1,7 @@
 #include "train/sequence_model.h"
 
+#include <algorithm>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <utility>
@@ -37,6 +39,52 @@ struct WindowReplayState : nn::StepState {
 };
 
 }  // namespace
+
+ag::Variable SequenceModel::EncodeSteps(const data::Batch& batch,
+                                        nn::ForwardContext* ctx) const {
+  ELDA_CHECK(has_step_encoding())
+      << name() << " exposes a terminal-only encoding (no per-step state)";
+  const int64_t b = batch.x.shape(0);
+  const int64_t t_total = batch.x.shape(1);
+  const int64_t c = batch.x.shape(2);
+  const int64_t h = encoding_dim();
+  const int64_t min_steps = min_steps_to_score();
+  // Prefix replay: encoding t is EncodeTerminal over the first t+1 steps —
+  // exactly the window a streaming client's state has absorbed at step t, so
+  // Readout over these rows is bitwise-equal to the StepForward risk stream.
+  std::vector<ag::Variable> per_step;
+  per_step.reserve(static_cast<size_t>(t_total));
+  for (int64_t t = 0; t < t_total; ++t) {
+    const int64_t len = t + 1;
+    if (len < min_steps) {
+      per_step.push_back(ag::Constant(
+          Tensor::Full({b, h}, std::numeric_limits<float>::quiet_NaN())));
+      continue;
+    }
+    data::Batch prefix;
+    prefix.x = Tensor::Empty({b, len, c});
+    prefix.mask = Tensor::Empty({b, len, c});
+    prefix.delta = Tensor::Empty({b, len, c});
+    prefix.y = Tensor::Zeros({b});
+    prefix.lengths.resize(static_cast<size_t>(b));
+    const size_t bytes = static_cast<size_t>(len * c) * sizeof(float);
+    for (int64_t row = 0; row < b; ++row) {
+      const int64_t src = row * t_total * c;
+      std::memcpy(prefix.x.data() + row * len * c, batch.x.data() + src,
+                  bytes);
+      std::memcpy(prefix.mask.data() + row * len * c, batch.mask.data() + src,
+                  bytes);
+      std::memcpy(prefix.delta.data() + row * len * c,
+                  batch.delta.data() + src, bytes);
+      const int64_t full = batch.lengths.empty()
+                               ? t_total
+                               : batch.lengths[static_cast<size_t>(row)];
+      prefix.lengths[static_cast<size_t>(row)] = std::min(full, len);
+    }
+    per_step.push_back(EncodeTerminal(prefix, ctx));
+  }
+  return ag::Transpose01(ag::Stack0(per_step));  // [T, B, H] -> [B, T, H]
+}
 
 std::unique_ptr<nn::StepState> SequenceModel::MakeStepState(
     int64_t window_capacity) const {

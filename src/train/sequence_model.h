@@ -30,21 +30,78 @@ struct StepBatch {
   int64_t size() const { return x.defined() ? x.shape(0) : 0; }
 };
 
+// Encoding bundle returned by SequenceModel::Encode. `terminal` is always
+// defined; `steps` only when per-step encodings were requested (and the
+// model supports them).
+struct Encoding {
+  ag::Variable terminal;  // [B, H], H = encoding_dim()
+  ag::Variable steps;     // [B, T, H]; rows below min_steps_to_score are NaN
+};
+
 class SequenceModel : public nn::Module {
  public:
-  // Computes pre-sigmoid risk logits [B] for a batch. Models are free to use
-  // any of x / mask / delta. Logically const and safe to call concurrently:
-  // all per-call state (train/eval mode, the dropout RNG stream, captured
-  // interpretation surfaces) lives in `ctx`, which the caller owns — one
-  // context per thread. `ctx` is never null.
-  virtual ag::Variable Forward(const data::Batch& batch,
+  // -- Encoder / readout decomposition --------------------------------------
+  //
+  // Every model is a sequence *encoder* (batch -> representation) plus a
+  // binary-risk *readout* (representation rows -> pre-sigmoid logits). Task
+  // heads (train/task_head.h) build on this split: the terminal mortality
+  // head recomposes exactly the legacy Forward, per-step decompensation
+  // applies the readout to each step's encoding, and phenotype / LOS heads
+  // attach their own linear layers to the terminal encoding.
+
+  // Terminal representation [B, encoding_dim()] — the vector the model's own
+  // readout consumes. Models are free to use any of x / mask / delta.
+  // Logically const and safe to call concurrently: all per-call state
+  // (train/eval mode, the dropout RNG stream, captured interpretation
+  // surfaces) lives in `ctx`, which the caller owns — one context per
+  // thread. `ctx` is never null.
+  virtual ag::Variable EncodeTerminal(const data::Batch& batch,
+                                      nn::ForwardContext* ctx) const = 0;
+
+  // Maps representation rows [N, encoding_dim()] to pre-sigmoid risk logits
+  // [N]. Every implementation is row-independent (strict-k GEMM, per-row
+  // softmax), so scoring rows in any batching produces identical floats.
+  virtual ag::Variable Readout(const ag::Variable& rep,
                                nn::ForwardContext* ctx) const = 0;
 
+  // Width of the representation rows EncodeTerminal/EncodeSteps produce.
+  virtual int64_t encoding_dim() const = 0;
+
+  // Per-step representations [B, T, H]: entry (b, t) is EncodeTerminal over
+  // the prefix [0, t] of row b, so Readout over it is the model's rolling
+  // risk — the decompensation workload. Steps below min_steps_to_score()
+  // hold quiet-NaN rows. The base implementation replays each prefix through
+  // EncodeTerminal (correct for every model, O(T) forwards); models with a
+  // causal recurrence may override with a single-sweep version. Only valid
+  // when has_step_encoding() is true.
+  virtual ag::Variable EncodeSteps(const data::Batch& batch,
+                                   nn::ForwardContext* ctx) const;
+
+  // False for models with no natural per-step state (LR / FM / AFM collapse
+  // time before encoding); they expose a terminal-only encoding and
+  // EncodeSteps CHECK-fails.
+  virtual bool has_step_encoding() const { return true; }
+
+  // Bundles the terminal (and optionally per-step) encodings.
+  Encoding Encode(const data::Batch& batch, nn::ForwardContext* ctx,
+                  bool want_steps = false) const {
+    Encoding enc;
+    enc.terminal = EncodeTerminal(batch, ctx);
+    if (want_steps) enc.steps = EncodeSteps(batch, ctx);
+    return enc;
+  }
+
+  // Pre-sigmoid risk logits [B] for a batch: the legacy monolithic-classifier
+  // entry point, now the fixed composition Readout(EncodeTerminal(.)). Each
+  // model's split preserves its pre-decomposition op sequence exactly, so
+  // this is bitwise-identical to the former virtual Forward.
+  ag::Variable Forward(const data::Batch& batch, nn::ForwardContext* ctx) const {
+    return Readout(EncodeTerminal(batch, ctx), ctx);
+  }
+
   // Convenience overload: inference-mode forward (dropout off, nothing
-  // captured). Derived classes re-expose it with
-  // `using train::SequenceModel::Forward;`. Note this fixes the mode
-  // regardless of Module::training(); training runs must pass an explicit
-  // context.
+  // captured). Note this fixes the mode regardless of Module::training();
+  // training runs must pass an explicit context.
   ag::Variable Forward(const data::Batch& batch) const {
     nn::ForwardContext ctx;
     return Forward(batch, &ctx);

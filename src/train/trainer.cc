@@ -393,6 +393,310 @@ TrainResult Trainer::Train(SequenceModel* model,
   return result;
 }
 
+const EvalResult& MultiTaskEvalResult::ForTask(const std::string& task) const {
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i] == task) return per_task[i];
+  }
+  ELDA_CHECK(false) << "no head evaluated for task " << task;
+  return per_task.front();  // unreachable
+}
+
+MultiTaskEvalResult Trainer::EvaluateMultiTask(
+    const SequenceModel* model, const MultiHead* heads,
+    const std::vector<data::PreparedSample>& prepared,
+    const std::vector<int64_t>& indices, data::Task task,
+    const InferenceOptions& options) {
+  ELDA_CHECK(model != nullptr && heads != nullptr && heads->size() > 0);
+  const int64_t num_heads = heads->size();
+  MultiTaskEvalResult result;
+  result.tasks.reserve(num_heads);
+  for (int64_t h = 0; h < num_heads; ++h) {
+    result.tasks.push_back(heads->head(h).task_name());
+  }
+  // Flattened (score, label, valid) accumulators per head, across batches.
+  std::vector<std::vector<float>> scores(num_heads), labels(num_heads);
+  std::vector<std::vector<uint8_t>> valid(num_heads);
+
+  par::ScopedNumThreads scoped_threads(options.num_threads);
+  ag::NoGradScope no_grad;
+  nn::ForwardContext ctx;
+  ctx.capture = options.capture;
+  const bool want_steps = heads->wants_steps();
+  const int64_t batch_size = std::max<int64_t>(1, options.batch_size);
+  const int64_t count = static_cast<int64_t>(indices.size());
+  for (int64_t start = 0; start < count; start += batch_size) {
+    const int64_t end = std::min(count, start + batch_size);
+    std::vector<int64_t> chunk(indices.begin() + start, indices.begin() + end);
+    data::Batch batch = data::MakeBatch(prepared, chunk, task);
+    Encoding enc = model->Encode(batch, &ctx, want_steps);
+    for (int64_t h = 0; h < num_heads; ++h) {
+      const TaskHead& head = heads->head(h);
+      Tensor probs = Sigmoid(head.Logits(*model, enc, &ctx).value());
+      head.Collect(*model, probs, batch, &scores[h], &labels[h], &valid[h]);
+    }
+  }
+  result.per_task.resize(num_heads);
+  for (int64_t h = 0; h < num_heads; ++h) {
+    EvalResult& er = result.per_task[h];
+    er.bce = metrics::BceLoss(scores[h], labels[h], valid[h]);
+    er.auc_roc = metrics::AucRoc(scores[h], labels[h], valid[h]);
+    er.auc_pr = metrics::AucPr(scores[h], labels[h], valid[h]);
+    result.mean_auc_pr += er.auc_pr / num_heads;
+  }
+  return result;
+}
+
+MultiTaskTrainResult Trainer::TrainMultiTask(
+    SequenceModel* model, MultiHead* heads,
+    const std::vector<data::PreparedSample>& prepared,
+    const data::SplitIndices& split, data::Task task) const {
+  ELDA_CHECK(model != nullptr && heads != nullptr && heads->size() > 0);
+  par::ScopedNumThreads scoped_threads(config_.num_threads);
+  // The optimizer, checkpoint blob, and best-params snapshots cover the
+  // trunk first, then each head in Add order.
+  ModelWithHead bundle(model, heads);
+  MultiTaskTrainResult result;
+  result.num_parameters = bundle.NumParameters();
+  if (split.train.empty()) {
+    result.status = health::TrainStatus::kEmptyTrainSplit;
+    result.status_message = "train split is empty; nothing to train on";
+    return result;
+  }
+  std::vector<ag::Variable> params = bundle.Parameters();
+  optim::Adam adam(params, config_.learning_rate);
+  Rng rng(config_.seed);
+  data::Batcher batcher(&prepared, split.train, config_.batch_size, task,
+                        &rng);
+  health::HealthMonitor monitor(config_.health);
+  health::FaultInjector* inject = health::GlobalFaultInjector();
+  const bool checkpointing =
+      config_.checkpoint_every > 0 && !config_.checkpoint_path.empty();
+  const bool want_steps = heads->wants_steps();
+
+  double best_val_auc_pr = -1.0;  // mean across heads
+  std::vector<Tensor> best_params;
+  int64_t epochs_without_improvement = 0;
+  double total_batch_seconds = 0.0;
+  int64_t total_batches = 0;
+  int64_t start_epoch = 0;
+  int64_t global_step = 0;
+
+  if (config_.resume && !config_.checkpoint_path.empty() &&
+      FileExists(config_.checkpoint_path)) {
+    TrainCheckpoint ckpt;
+    std::string err;
+    if (!LoadTrainCheckpoint(config_.checkpoint_path, &ckpt, &err) ||
+        !nn::DecodeParameters(&bundle, ckpt.params_blob, &err)) {
+      result.status = health::TrainStatus::kCheckpointError;
+      result.status_message = err;
+      return result;
+    }
+    std::vector<int64_t> expected = split.train, stored = ckpt.batch_order;
+    std::sort(expected.begin(), expected.end());
+    std::sort(stored.begin(), stored.end());
+    if (expected != stored) {
+      result.status = health::TrainStatus::kCheckpointError;
+      result.status_message = config_.checkpoint_path +
+                              " was written for a different train split";
+      return result;
+    }
+    adam.RestoreState(ckpt.adam);
+    rng.RestoreState(ckpt.rng);
+    batcher.RestoreOrder(ckpt.batch_order);
+    start_epoch = ckpt.next_epoch;
+    best_val_auc_pr = ckpt.best_val_auc_pr;
+    best_params = std::move(ckpt.best_params);
+    epochs_without_improvement = ckpt.epochs_without_improvement;
+    total_batch_seconds = ckpt.total_batch_seconds;
+    total_batches = ckpt.total_batches;
+    global_step = ckpt.total_batches;
+    result.best_epoch = ckpt.best_epoch;
+    result.epochs_run = ckpt.epochs_run;
+    result.recoveries = ckpt.recoveries;
+    result.skipped_batches = ckpt.skipped_batches;
+    if (epochs_without_improvement > config_.patience) {
+      start_epoch = config_.max_epochs;
+    }
+    if (config_.verbose) {
+      std::cerr << model->name() << " resumed (multi-task) from "
+                << config_.checkpoint_path << " at epoch " << start_epoch
+                << "\n";
+    }
+  }
+
+  auto take_snapshot = [&]() {
+    RunSnapshot snap;
+    snap.params.reserve(params.size());
+    for (const ag::Variable& p : params) {
+      snap.params.push_back(p.value().Clone());
+    }
+    snap.adam = adam.ExportState();
+    snap.rng = rng.SaveState();
+    snap.order = batcher.order();
+    return snap;
+  };
+  auto restore_snapshot = [&](const RunSnapshot& snap) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      *params[i].mutable_value() = snap.params[i].Clone();
+    }
+    adam.RestoreState(snap.adam);
+    rng.RestoreState(snap.rng);
+    batcher.RestoreOrder(snap.order);
+  };
+  auto write_checkpoint = [&](int64_t next_epoch) {
+    TrainCheckpoint ckpt;
+    ckpt.next_epoch = next_epoch;
+    ckpt.epochs_run = result.epochs_run;
+    ckpt.best_epoch = result.best_epoch;
+    ckpt.epochs_without_improvement = epochs_without_improvement;
+    ckpt.total_batches = total_batches;
+    ckpt.recoveries = result.recoveries;
+    ckpt.skipped_batches = result.skipped_batches;
+    ckpt.best_val_auc_pr = best_val_auc_pr;
+    ckpt.total_batch_seconds = total_batch_seconds;
+    ckpt.params_blob = nn::EncodeParameters(bundle);
+    ckpt.adam = adam.ExportState();
+    ckpt.rng = rng.SaveState();
+    ckpt.batch_order = batcher.order();
+    ckpt.best_params.reserve(best_params.size());
+    for (const Tensor& t : best_params) {
+      ckpt.best_params.push_back(t.Clone());
+    }
+    std::string err;
+    if (!SaveTrainCheckpoint(config_.checkpoint_path, ckpt, &err)) {
+      ++result.checkpoint_write_failures;
+      std::cerr << model->name() << ": checkpoint write failed (" << err
+                << "); training continues\n";
+    }
+  };
+
+  nn::ForwardContext train_ctx;
+  train_ctx.training = true;
+  train_ctx.rng = &rng;
+
+  bool aborted = false;
+  for (int64_t epoch = start_epoch;
+       epoch < config_.max_epochs && !aborted; ++epoch) {
+    const RunSnapshot boundary = take_snapshot();
+    double epoch_loss = 0.0;
+    int64_t epoch_batches = 0;
+    bool epoch_complete = false;
+    while (!epoch_complete && !aborted) {
+      batcher.StartEpoch();
+      epoch_loss = 0.0;
+      epoch_batches = 0;
+      bool rolled_back = false;
+      data::Batch batch;
+      while (batcher.Next(&batch)) {
+        Stopwatch sw;
+        adam.ZeroGrad();
+        Encoding enc = model->Encode(batch, &train_ctx, want_steps);
+        ag::Variable loss = heads->JointLoss(*model, enc, batch, &train_ctx);
+        loss.Backward();
+        if (inject->ConsumePoisonGrad(global_step)) {
+          PoisonGradients(params);
+        }
+        const float grad_norm =
+            config_.clip_norm > 0.0f
+                ? optim::ClipGradNorm(params, config_.clip_norm)
+                : optim::GlobalGradNorm(params);
+        const double loss_value = loss.value()[0];
+        ++global_step;
+        const health::StepVerdict verdict =
+            monitor.Check(loss_value, grad_norm);
+        if (verdict != health::StepVerdict::kHealthy) {
+          if (config_.verbose) {
+            std::cerr << model->name() << " epoch " << epoch << " step "
+                      << global_step - 1 << ": "
+                      << health::StepVerdictName(verdict) << " (loss "
+                      << loss_value << ", grad norm " << grad_norm << ")\n";
+          }
+          if (config_.health.policy == health::RecoveryPolicy::kSkipBatch &&
+              result.skipped_batches < config_.health.max_skipped_batches) {
+            ++result.skipped_batches;
+            continue;
+          }
+          if (config_.health.policy == health::RecoveryPolicy::kRollback &&
+              result.recoveries < config_.health.max_rollbacks) {
+            ++result.recoveries;
+            const float halved_lr = adam.lr() * 0.5f;
+            restore_snapshot(boundary);
+            adam.set_lr(halved_lr);
+            monitor.Reset();
+            rolled_back = true;
+            break;
+          }
+          aborted = true;
+          result.status_message =
+              std::string("unhealthy step (") +
+              health::StepVerdictName(verdict) + ") at step " +
+              std::to_string(global_step - 1) + "; policy " +
+              (config_.health.policy == health::RecoveryPolicy::kAbort
+                   ? "abort"
+                   : "recovery budget exhausted");
+          break;
+        }
+        adam.Step();
+        monitor.Observe(loss_value);
+        total_batch_seconds += sw.Seconds();
+        ++total_batches;
+        epoch_loss += loss_value;
+        ++epoch_batches;
+      }
+      epoch_complete = !rolled_back;
+    }
+    if (aborted) {
+      result.epochs_run = epoch + 1;
+      break;
+    }
+    result.epochs_run = epoch + 1;
+
+    const MultiTaskEvalResult val =
+        EvaluateMultiTask(model, heads, prepared, split.val, task);
+    if (config_.verbose) {
+      std::cerr << model->name() << " epoch " << epoch << " train_joint="
+                << (epoch_batches > 0 ? epoch_loss / epoch_batches : 0.0)
+                << " val_mean_auc_pr=" << val.mean_auc_pr << "\n";
+    }
+    bool stop = false;
+    if (val.mean_auc_pr > best_val_auc_pr) {
+      best_val_auc_pr = val.mean_auc_pr;
+      result.best_epoch = epoch;
+      epochs_without_improvement = 0;
+      best_params.clear();
+      for (const ag::Variable& p : params) {
+        best_params.push_back(p.value().Clone());
+      }
+    } else if (++epochs_without_improvement > config_.patience) {
+      stop = true;
+    }
+    if (checkpointing && (epoch + 1) % config_.checkpoint_every == 0) {
+      write_checkpoint(epoch + 1);
+    }
+    if (stop) break;
+  }
+
+  if (!best_params.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      *params[i].mutable_value() = best_params[i];
+    }
+  }
+  // Val/test metrics are (re)computed on the restored best parameters rather
+  // than carried through the checkpoint, so interrupted-and-resumed runs
+  // report bitwise-identical numbers to uninterrupted ones.
+  if (!aborted) {
+    result.val = EvaluateMultiTask(model, heads, prepared, split.val, task);
+    result.test = EvaluateMultiTask(model, heads, prepared, split.test, task);
+  }
+  result.status = aborted ? health::TrainStatus::kAborted
+                  : (result.recoveries > 0 || result.skipped_batches > 0)
+                      ? health::TrainStatus::kRecovered
+                      : health::TrainStatus::kOk;
+  result.train_seconds_per_batch =
+      total_batches > 0 ? total_batch_seconds / total_batches : 0.0;
+  return result;
+}
+
 PredictResult Trainer::PredictSource(const SequenceModel* model,
                                      data::BatchSource* source,
                                      const InferenceOptions& options) {

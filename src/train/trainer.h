@@ -18,6 +18,7 @@
 #include "data/pipeline.h"
 #include "health/health.h"
 #include "train/sequence_model.h"
+#include "train/task_head.h"
 
 namespace elda {
 namespace train {
@@ -86,6 +87,39 @@ struct EvalResult {
   double auc_pr = 0.0;
 };
 
+// Per-head metrics for a multi-task evaluation, in the MultiHead's Add
+// order. Per-step heads (decompensation) report masked, micro-averaged
+// metrics over valid (score, label) cells: padding steps are excluded by
+// the validity mask and warm-up steps by the non-finite-score rule (see
+// metrics/metrics.h).
+struct MultiTaskEvalResult {
+  std::vector<std::string> tasks;    // task_name per head
+  std::vector<EvalResult> per_task;  // aligned with `tasks`
+  // Unweighted mean AUC-PR across heads — the model-selection metric of the
+  // multi-task loop. With a single head this is that head's AUC-PR, so
+  // single-task training through MultiHead early-stops identically to the
+  // legacy loop.
+  double mean_auc_pr = 0.0;
+
+  // Metrics for a task by name; CHECK-fails when absent.
+  const EvalResult& ForTask(const std::string& task) const;
+};
+
+struct MultiTaskTrainResult {
+  MultiTaskEvalResult val;   // best-epoch parameters, validation split
+  MultiTaskEvalResult test;  // best-epoch parameters, test split
+  int64_t epochs_run = 0;
+  int64_t best_epoch = 0;
+  int64_t num_parameters = 0;  // trunk + heads
+  double train_seconds_per_batch = 0.0;
+
+  health::TrainStatus status = health::TrainStatus::kOk;
+  std::string status_message;
+  int64_t recoveries = 0;
+  int64_t skipped_batches = 0;
+  int64_t checkpoint_write_failures = 0;
+};
+
 struct TrainResult {
   EvalResult val;
   EvalResult test;
@@ -134,6 +168,34 @@ class Trainer {
                              const std::vector<int64_t>& indices,
                              data::Task task,
                              const InferenceOptions& options = {});
+
+  // -- Multi-task (encoder + task heads) ------------------------------------
+  //
+  // Trains one encoder trunk under a MultiHead's weighted joint loss. The
+  // optimizer, gradient clipping, health monitoring, and epoch-boundary
+  // checkpoint/resume cover trunk AND head parameters (bundled via
+  // ModelWithHead, trunk first); an interrupted-and-resumed run converges to
+  // bitwise-identical parameters. `task` fixes which primary label rides in
+  // batch.y (what BinaryTerminalHead trains on); per-step and per-head
+  // labels come from the batch's multi-task slabs. Model selection monitors
+  // the unweighted mean AUC-PR across heads, and with a single
+  // BinaryTerminalHead of weight 1 the whole loop — batches, dropout draws,
+  // losses, updates, early stopping — is bitwise the single-task Train().
+  MultiTaskTrainResult TrainMultiTask(
+      SequenceModel* model, MultiHead* heads,
+      const std::vector<data::PreparedSample>& prepared,
+      const data::SplitIndices& split,
+      data::Task task = data::Task::kMortality) const;
+
+  // Graph-free multi-task evaluation: one encoding bundle per minibatch,
+  // every head scored over it, masked metrics per head. Minibatch
+  // composition matches Predict(), and head logits are batching-independent,
+  // so scores are bitwise stable across batch sizes.
+  static MultiTaskEvalResult EvaluateMultiTask(
+      const SequenceModel* model, const MultiHead* heads,
+      const std::vector<data::PreparedSample>& prepared,
+      const std::vector<int64_t>& indices, data::Task task,
+      const InferenceOptions& options = {});
 
   // -- Streamed (out-of-core) paths -----------------------------------------
   //

@@ -1,0 +1,401 @@
+// Task-head contracts over the encoder/readout decomposition:
+//
+//  * BinaryTerminalHead recomposes the legacy monolithic Forward bitwise for
+//    every registry model, at every thread count.
+//  * The terminal column of EncodeSteps equals EncodeTerminal bitwise.
+//  * Streamed decompensation (StepForward via serve::StreamDecompensation)
+//    equals the batch DecompensationHead per step, bitwise, for every model
+//    with a step encoding.
+//  * Single-task training through the multi-task loop reproduces the legacy
+//    Trainer::Train parameters bitwise, across thread counts.
+//  * Multi-task kill-and-resume converges to bitwise-identical parameters.
+//  * Every head's loss passes a numerical gradient check.
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "baselines/baselines.h"
+#include "baselines/gru_classifier.h"
+#include "gtest/gtest.h"
+#include "par/par.h"
+#include "serve/service.h"
+#include "synth/simulator.h"
+#include "tensor/tensor_ops.h"
+#include "train/experiment.h"
+#include "train/task_head.h"
+#include "train/trainer.h"
+
+namespace elda {
+namespace {
+
+std::vector<std::string> AllRegistryNames() {
+  std::vector<std::string> names = baselines::AllModelNames();
+  names.push_back("ELDA-Net-Fbi*");
+  names.push_back("ELDA-Net-Ffm*");
+  return names;
+}
+
+// Bitwise float equality with NaN == NaN (warm-up steps are quiet NaN).
+bool BitEqual(float a, float b) {
+  if (std::isnan(a) && std::isnan(b)) return true;
+  uint32_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+bool BitEqualTensors(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (!BitEqual(a.data()[i], b.data()[i])) return false;
+  }
+  return true;
+}
+
+// A batch carrying every label slab (uniform lengths).
+data::Batch MultiTaskBatch(int64_t batch, int64_t steps, int64_t features,
+                           uint64_t seed) {
+  Rng rng(seed);
+  data::Batch b;
+  b.x = Tensor::Normal({batch, steps, features}, 0.0f, 1.0f, &rng);
+  b.mask = Tensor({batch, steps, features});
+  for (int64_t i = 0; i < b.mask.size(); ++i) {
+    b.mask[i] = rng.Bernoulli(0.6) ? 1.0f : 0.0f;
+  }
+  b.delta = Tensor({batch, steps, features});
+  for (int64_t i = 0; i < b.delta.size(); ++i) {
+    b.delta[i] = static_cast<float>(rng.Uniform() * 3.0);
+  }
+  b.y = Tensor({batch});
+  b.y_los = Tensor({batch});
+  b.y_decomp = Tensor({batch, steps});
+  b.y_pheno = Tensor({batch, data::kNumPhenotypes});
+  for (int64_t i = 0; i < batch; ++i) {
+    b.y[i] = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+    b.y_los[i] = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  for (int64_t i = 0; i < b.y_decomp.size(); ++i) {
+    b.y_decomp[i] = rng.Bernoulli(0.3) ? 1.0f : 0.0f;
+  }
+  for (int64_t i = 0; i < b.y_pheno.size(); ++i) {
+    b.y_pheno[i] = rng.Bernoulli(0.4) ? 1.0f : 0.0f;
+  }
+  b.lengths.assign(batch, steps);
+  return b;
+}
+
+// -- BinaryTerminalHead == legacy Forward, whole registry, all threads ------
+
+TEST(HeadsTest, BinaryTerminalHeadMatchesForwardForEveryRegistryModel) {
+  const int64_t features = 5;
+  const data::Batch batch = MultiTaskBatch(4, 6, features, 77);
+  const train::BinaryTerminalHead head;
+  for (const std::string& name : AllRegistryNames()) {
+    SCOPED_TRACE(name);
+    auto model = baselines::MakeModel(name, features, /*seed=*/3);
+    Tensor reference;
+    for (int64_t threads : {1, 2, 8}) {
+      SCOPED_TRACE(threads);
+      par::ScopedNumThreads scoped(threads);
+      nn::ForwardContext ctx;
+      train::Encoding enc = model->Encode(batch, &ctx);
+      EXPECT_EQ(enc.terminal.value().shape(1), model->encoding_dim());
+      const Tensor head_logits = head.Logits(*model, enc, &ctx).value();
+      const Tensor forward = model->Forward(batch).value();
+      EXPECT_TRUE(BitEqualTensors(head_logits, forward));
+      if (!reference.defined()) {
+        reference = head_logits.Clone();
+      } else {
+        EXPECT_TRUE(BitEqualTensors(head_logits, reference))
+            << "thread count changed the terminal head logits";
+      }
+    }
+  }
+}
+
+TEST(HeadsTest, TerminalColumnOfEncodeStepsMatchesEncodeTerminal) {
+  const int64_t features = 5;
+  const int64_t steps = 4;
+  const data::Batch batch = MultiTaskBatch(2, steps, features, 13);
+  for (const std::string& name : AllRegistryNames()) {
+    SCOPED_TRACE(name);
+    auto model = baselines::MakeModel(name, features, /*seed=*/9);
+    if (!model->has_step_encoding()) continue;
+    nn::ForwardContext ctx;
+    train::Encoding enc = model->Encode(batch, &ctx, /*want_steps=*/true);
+    ASSERT_TRUE(enc.steps.defined());
+    const Tensor& per_step = enc.steps.value();
+    ASSERT_EQ(per_step.shape(),
+              (std::vector<int64_t>{2, steps, model->encoding_dim()}));
+    const Tensor& terminal = enc.terminal.value();
+    const int64_t dim = model->encoding_dim();
+    for (int64_t b = 0; b < 2; ++b) {
+      for (int64_t h = 0; h < dim; ++h) {
+        EXPECT_TRUE(BitEqual(per_step.at({b, steps - 1, h}),
+                             terminal.at({b, h})))
+            << "row " << b << " dim " << h;
+      }
+    }
+  }
+}
+
+TEST(HeadsTest, StaticModelsExposeTerminalOnlyEncoding) {
+  for (const char* name : {"LR", "FM", "AFM"}) {
+    SCOPED_TRACE(name);
+    auto model = baselines::MakeModel(name, 5, /*seed=*/3);
+    EXPECT_FALSE(model->has_step_encoding());
+  }
+}
+
+// -- Streamed decompensation == batch head, per step, bitwise ---------------
+
+TEST(HeadsTest, StreamedDecompensationMatchesBatchHeadForEveryModel) {
+  const int64_t features = 5;
+  const int64_t steps = 6;
+  Rng rng(21);
+  // One prepared sample; its rows stream through the serving path.
+  data::PreparedSample sample;
+  sample.x = Tensor::Normal({steps, features}, 0.0f, 1.0f, &rng);
+  sample.mask = Tensor({steps, features});
+  for (int64_t i = 0; i < sample.mask.size(); ++i) {
+    sample.mask[i] = rng.Bernoulli(0.6) ? 1.0f : 0.0f;
+  }
+  sample.delta = Tensor({steps, features});
+  for (int64_t i = 0; i < sample.delta.size(); ++i) {
+    sample.delta[i] = static_cast<float>(rng.Uniform() * 3.0);
+  }
+  sample.length = steps;
+  const std::vector<data::PreparedSample> prepared = {sample};
+  const data::Batch batch =
+      data::MakeBatch(prepared, {0}, data::Task::kMortality);
+
+  const train::DecompensationHead head;
+  for (const std::string& name : AllRegistryNames()) {
+    SCOPED_TRACE(name);
+    auto model = baselines::MakeModel(name, features, /*seed=*/11);
+    if (!model->has_step_encoding()) continue;
+
+    // Batch path: readout over every row of the per-step encoding.
+    nn::ForwardContext ctx;
+    train::Encoding enc = model->Encode(batch, &ctx, /*want_steps=*/true);
+    const Tensor batch_probs =
+        Sigmoid(head.Logits(*model, enc, &ctx).value());
+
+    // Streaming path: the same rows through StepForward.
+    serve::ServeConfig config;
+    config.async = false;
+    config.window_capacity = steps + 1;
+    serve::InferenceService service(model.get(), config);
+    const serve::SessionId id = service.Admit("p0");
+    ASSERT_NE(id, serve::kInvalidSession);
+    const std::vector<float> streamed =
+        serve::StreamDecompensation(&service, id, sample);
+    ASSERT_EQ(static_cast<int64_t>(streamed.size()), steps);
+    for (int64_t t = 0; t < steps; ++t) {
+      EXPECT_TRUE(BitEqual(streamed[t], batch_probs.at({0, t})))
+          << "step " << t << ": streamed " << streamed[t] << " vs batch "
+          << batch_probs.at({0, t});
+    }
+    // Warm-up steps are NaN on both paths.
+    for (int64_t t = 0; t + 1 < model->min_steps_to_score(); ++t) {
+      EXPECT_TRUE(std::isnan(streamed[t]));
+    }
+  }
+}
+
+// -- Training equivalence and checkpoint/resume -----------------------------
+
+synth::CohortConfig TinyCohort(int64_t admissions) {
+  synth::CohortConfig config = synth::SynthPhysioNet2012();
+  config.num_admissions = admissions;
+  return config;
+}
+
+std::unique_ptr<train::MultiHead> FullHeads(
+    const train::SequenceModel& model) {
+  auto heads = std::make_unique<train::MultiHead>();
+  heads->Add(std::make_unique<train::BinaryTerminalHead>(), 1.0f);
+  heads->Add(std::make_unique<train::DecompensationHead>(), 0.5f);
+  heads->Add(std::make_unique<train::PhenotypeHead>(
+                 model.encoding_dim(), data::kNumPhenotypes, /*seed=*/91),
+             0.5f);
+  heads->Add(std::make_unique<train::LosHead>(model.encoding_dim(),
+                                              /*seed=*/92),
+             0.5f);
+  return heads;
+}
+
+TEST(HeadsTest, SingleBinaryHeadTrainingMatchesLegacyTrainBitwise) {
+  data::EmrDataset cohort = synth::GenerateCohort(TinyCohort(60));
+  train::PreparedExperiment experiment(cohort, data::Task::kMortality);
+  train::TrainerConfig config;
+  config.max_epochs = 2;
+  config.batch_size = 16;
+  config.seed = 3;
+
+  baselines::GruClassifier legacy(experiment.num_features(), 8, /*seed=*/5);
+  train::Trainer trainer(config);
+  const train::TrainResult legacy_result = trainer.Train(
+      &legacy, experiment.prepared(), experiment.split(),
+      data::Task::kMortality);
+  ASSERT_EQ(legacy_result.status, health::TrainStatus::kOk);
+
+  for (int64_t threads : {1, 2}) {
+    SCOPED_TRACE(threads);
+    baselines::GruClassifier model(experiment.num_features(), 8, /*seed=*/5);
+    train::MultiHead heads;
+    heads.Add(std::make_unique<train::BinaryTerminalHead>(), 1.0f);
+    train::TrainerConfig threaded = config;
+    threaded.num_threads = threads;
+    train::Trainer multi_trainer(threaded);
+    const train::MultiTaskTrainResult result = multi_trainer.TrainMultiTask(
+        &model, &heads, experiment.prepared(), experiment.split(),
+        data::Task::kMortality);
+    ASSERT_EQ(result.status, health::TrainStatus::kOk);
+    EXPECT_EQ(result.best_epoch, legacy_result.best_epoch);
+    const auto& legacy_params = legacy.Parameters();
+    const auto& multi_params = model.Parameters();
+    ASSERT_EQ(legacy_params.size(), multi_params.size());
+    for (size_t i = 0; i < legacy_params.size(); ++i) {
+      EXPECT_TRUE(BitEqualTensors(legacy_params[i].value(),
+                                  multi_params[i].value()))
+          << "parameter " << i << " diverged from the legacy loop";
+    }
+    // The single-head mean AUC-PR is the head's own AUC-PR, and the masked
+    // metric over all-valid finite scores is the dense metric bitwise.
+    EXPECT_DOUBLE_EQ(result.val.mean_auc_pr, legacy_result.val.auc_pr);
+  }
+}
+
+TEST(HeadsTest, MultiTaskKillAndResumeIsBitwise) {
+  data::EmrDataset cohort = synth::GenerateCohort(TinyCohort(48));
+  train::PreparedExperiment experiment(cohort, data::Task::kMortality);
+  const int64_t features = experiment.num_features();
+  // Every train batch must carry the multi-task slabs (synth cohorts
+  // attach trajectory-derived labels to every sample).
+  {
+    data::Batch probe = data::MakeBatch(experiment.prepared(),
+                                        experiment.split().train,
+                                        data::Task::kMortality);
+    ASSERT_TRUE(probe.has_multitask_labels());
+  }
+
+  train::TrainerConfig config;
+  config.max_epochs = 3;
+  config.batch_size = 16;
+  config.seed = 7;
+
+  // Uninterrupted run.
+  baselines::GruClassifier model_a(features, 8, /*seed=*/5);
+  auto heads_a = FullHeads(model_a);
+  const train::MultiTaskTrainResult uninterrupted =
+      train::Trainer(config).TrainMultiTask(&model_a, heads_a.get(),
+                                            experiment.prepared(),
+                                            experiment.split(),
+                                            data::Task::kMortality);
+  ASSERT_EQ(uninterrupted.status, health::TrainStatus::kOk);
+
+  // Killed after epoch 1 (checkpoint written), resumed in a fresh process
+  // image: new model, new heads, parameters restored from the checkpoint.
+  const std::string path = testing::TempDir() + "/multitask_resume.ckpt";
+  std::remove(path.c_str());
+  {
+    train::TrainerConfig first = config;
+    first.max_epochs = 1;
+    first.checkpoint_path = path;
+    first.checkpoint_every = 1;
+    baselines::GruClassifier model(features, 8, /*seed=*/5);
+    auto heads = FullHeads(model);
+    const train::MultiTaskTrainResult partial =
+        train::Trainer(first).TrainMultiTask(&model, heads.get(),
+                                             experiment.prepared(),
+                                             experiment.split(),
+                                             data::Task::kMortality);
+    ASSERT_EQ(partial.status, health::TrainStatus::kOk);
+  }
+  baselines::GruClassifier model_b(features, 8, /*seed=*/999);  // overwritten
+  auto heads_b = FullHeads(model_b);
+  train::TrainerConfig resumed = config;
+  resumed.checkpoint_path = path;
+  resumed.checkpoint_every = 1;
+  resumed.resume = true;
+  const train::MultiTaskTrainResult resumed_result =
+      train::Trainer(resumed).TrainMultiTask(&model_b, heads_b.get(),
+                                             experiment.prepared(),
+                                             experiment.split(),
+                                             data::Task::kMortality);
+  ASSERT_EQ(resumed_result.status, health::TrainStatus::kOk);
+
+  train::ModelWithHead bundle_a(&model_a, heads_a.get());
+  train::ModelWithHead bundle_b(&model_b, heads_b.get());
+  const auto& params_a = bundle_a.Parameters();
+  const auto& params_b = bundle_b.Parameters();
+  ASSERT_EQ(params_a.size(), params_b.size());
+  for (size_t i = 0; i < params_a.size(); ++i) {
+    EXPECT_TRUE(BitEqualTensors(params_a[i].value(), params_b[i].value()))
+        << "parameter " << i << " diverged after resume";
+  }
+  EXPECT_EQ(resumed_result.best_epoch, uninterrupted.best_epoch);
+  for (size_t t = 0; t < uninterrupted.test.tasks.size(); ++t) {
+    EXPECT_DOUBLE_EQ(resumed_result.test.per_task[t].auc_pr,
+                     uninterrupted.test.per_task[t].auc_pr)
+        << uninterrupted.test.tasks[t];
+  }
+  std::remove(path.c_str());
+}
+
+// -- Gradient checks --------------------------------------------------------
+
+TEST(HeadsTest, EveryHeadLossPassesGradcheck) {
+  const int64_t features = 4;
+  const data::Batch batch = MultiTaskBatch(2, 4, features, 31);
+  baselines::GruClassifier model(features, 5, /*seed=*/17);
+  auto heads = FullHeads(model);
+  train::ModelWithHead bundle(&model, heads.get());
+  for (int64_t h = 0; h < heads->size(); ++h) {
+    const train::TaskHead& head = heads->head(h);
+    SCOPED_TRACE(head.task_name());
+    auto f = [&]() {
+      nn::ForwardContext ctx;
+      train::Encoding enc =
+          model.Encode(batch, &ctx, head.wants_steps());
+      return head.Loss(model, head.Logits(model, enc, &ctx), batch);
+    };
+    std::string error;
+    EXPECT_TRUE(ag::CheckGradients(f, bundle.Parameters(), {}, &error))
+        << error;
+  }
+}
+
+TEST(HeadsTest, JointLossPassesGradcheck) {
+  const int64_t features = 4;
+  const data::Batch batch = MultiTaskBatch(2, 4, features, 53);
+  baselines::GruClassifier model(features, 5, /*seed=*/23);
+  auto heads = FullHeads(model);
+  train::ModelWithHead bundle(&model, heads.get());
+  auto f = [&]() {
+    nn::ForwardContext ctx;
+    train::Encoding enc =
+        model.Encode(batch, &ctx, heads->wants_steps());
+    return heads->JointLoss(model, enc, batch, &ctx);
+  };
+  std::string error;
+  EXPECT_TRUE(ag::CheckGradients(f, bundle.Parameters(), {}, &error))
+      << error;
+}
+
+TEST(HeadsDeathTest, DecompensationRequiresStepEncoding) {
+  auto model = baselines::MakeModel("LR", 5, /*seed=*/3);
+  const data::Batch batch = MultiTaskBatch(2, 4, 5, 3);
+  const train::DecompensationHead head;
+  nn::ForwardContext ctx;
+  train::Encoding enc = model->Encode(batch, &ctx);
+  EXPECT_DEATH(head.Logits(*model, enc, &ctx), "per-step encoding");
+}
+
+}  // namespace
+}  // namespace elda

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -315,6 +316,24 @@ TEST(MaskedMetricsTest, PaddingEntriesAreNeverTouched) {
             AucRoc({0.9f, 0.2f, 0.7f}, {1, 0, 1}));
   EXPECT_EQ(AucPr(scores, labels, valid),
             AucPr({0.9f, 0.2f, 0.7f}, {1, 0, 1}));
+}
+
+TEST(MaskedMetricsTest, NonFiniteScoresAtValidCellsAreSkipped) {
+  // Warm-up steps below a model's min_steps_to_score() emit quiet-NaN risks
+  // but sit at valid (non-padding) positions; the masked metrics must skip
+  // them, matching the dense metric over the finite valid subset. One leaked
+  // NaN would poison the BCE mean and the AUC rankings.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> scores = {nan, 0.9f, inf, 0.2f, nan, 0.7f, 0.4f};
+  const std::vector<float> labels = {1, 1, 0, 0, 1, 1, 0};
+  const std::vector<uint8_t> valid = {1, 1, 1, 1, 0, 1, 1};
+  EXPECT_EQ(BceLoss(scores, labels, valid),
+            BceLoss({0.9f, 0.2f, 0.7f, 0.4f}, {1, 0, 1, 0}));
+  EXPECT_EQ(AucRoc(scores, labels, valid),
+            AucRoc({0.9f, 0.2f, 0.7f, 0.4f}, {1, 0, 1, 0}));
+  EXPECT_EQ(AucPr(scores, labels, valid),
+            AucPr({0.9f, 0.2f, 0.7f, 0.4f}, {1, 0, 1, 0}));
 }
 
 TEST(MaskedMetricsTest, AllPaddingDegeneratesLikeEmptyInput) {

@@ -5,6 +5,7 @@
 #include "synth/simulator.h"
 #include "tensor/tensor_ops.h"
 #include "train/experiment.h"
+#include "train/trainer.h"
 
 namespace elda {
 namespace core {
@@ -27,24 +28,31 @@ data::Batch TinyBatch(int64_t batch, int64_t steps, int64_t features,
   b.mask = Tensor::Ones({batch, steps, features});
   b.delta = Tensor::Zeros({batch, steps, features});
   b.y = Tensor({batch});
+  b.y_los = Tensor({batch});
   for (int64_t i = 0; i < batch; ++i) {
     b.y[i] = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+    b.y_los[i] = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
   }
+  b.lengths.assign(batch, steps);
   return b;
 }
 
 TEST(MultiTaskTest, ForwardProducesTwoHeads) {
-  MultiTaskEldaNet net(SmallConfig());
+  MultiTaskElda elda = MakeMultiTaskElda(SmallConfig());
   data::Batch batch = TinyBatch(3, 5, 6, 1);
   nn::CaptureSink sink;
   nn::ForwardContext ctx;
   ctx.capture = &sink;
-  MultiTaskEldaNet::Logits logits = net.Forward(batch, &ctx);
-  EXPECT_EQ(logits.mortality.value().shape(), (std::vector<int64_t>{3}));
-  EXPECT_EQ(logits.los_gt7.value().shape(), (std::vector<int64_t>{3}));
+  train::Encoding enc = elda.trunk->Encode(batch, &ctx);
+  std::vector<ag::Variable> logits = elda.heads->Logits(*elda.trunk, enc, &ctx);
+  ASSERT_EQ(logits.size(), 2u);
+  EXPECT_EQ(elda.heads->head(0).task_name(), "mortality");
+  EXPECT_EQ(elda.heads->head(1).task_name(), "los");
+  EXPECT_EQ(logits[0].value().shape(), (std::vector<int64_t>{3}));
+  EXPECT_EQ(logits[1].value().shape(), (std::vector<int64_t>{3}));
   for (int64_t i = 0; i < 3; ++i) {
-    EXPECT_TRUE(std::isfinite(logits.mortality.value()[i]));
-    EXPECT_TRUE(std::isfinite(logits.los_gt7.value()[i]));
+    EXPECT_TRUE(std::isfinite(logits[0].value()[i]));
+    EXPECT_TRUE(std::isfinite(logits[1].value()[i]));
   }
   // Shared trunk captures both attention surfaces.
   EXPECT_EQ(sink.Get("feature_attention").shape(),
@@ -53,47 +61,50 @@ TEST(MultiTaskTest, ForwardProducesTwoHeads) {
 }
 
 TEST(MultiTaskTest, HeadsAreIndependentAtInit) {
-  MultiTaskEldaNet net(SmallConfig());
+  MultiTaskElda elda = MakeMultiTaskElda(SmallConfig());
   data::Batch batch = TinyBatch(4, 5, 6, 2);
-  MultiTaskEldaNet::Logits logits = net.Forward(batch);
+  nn::ForwardContext ctx;
+  train::Encoding enc = elda.trunk->Encode(batch, &ctx);
+  std::vector<ag::Variable> logits = elda.heads->Logits(*elda.trunk, enc, &ctx);
   // Two differently initialised heads on the same trunk output.
-  EXPECT_GT(
-      MaxAbsDiff(logits.mortality.value(), logits.los_gt7.value()), 1e-4f);
+  EXPECT_GT(MaxAbsDiff(logits[0].value(), logits[1].value()), 1e-4f);
 }
 
 TEST(MultiTaskTest, JointLossBackpropagatesToTrunkAndBothHeads) {
-  MultiTaskEldaNet net(SmallConfig());
+  MultiTaskElda elda = MakeMultiTaskElda(SmallConfig());
+  train::ModelWithHead bundle(elda.trunk.get(), elda.heads.get());
   data::Batch batch = TinyBatch(4, 5, 6, 3);
-  Rng rng(4);
-  Tensor los({4});
-  for (int64_t i = 0; i < 4; ++i) los[i] = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
-  net.ZeroGrad();
-  MultiTaskEldaNet::Logits logits = net.Forward(batch);
-  net.JointLoss(logits, batch.y, los).Backward();
+  bundle.ZeroGrad();
+  nn::ForwardContext ctx;
+  train::Encoding enc = elda.trunk->Encode(batch, &ctx);
+  elda.heads->JointLoss(*elda.trunk, enc, batch, &ctx).Backward();
   int64_t with_grad = 0;
-  for (const auto& p : net.Parameters()) with_grad += p.has_grad();
-  EXPECT_EQ(with_grad, static_cast<int64_t>(net.Parameters().size()));
+  for (const auto& p : bundle.Parameters()) with_grad += p.has_grad();
+  EXPECT_EQ(with_grad, static_cast<int64_t>(bundle.Parameters().size()));
 }
 
 TEST(MultiTaskTest, JointLossIsMeanOfTaskLosses) {
-  MultiTaskEldaNet net(SmallConfig());
+  MultiTaskElda elda = MakeMultiTaskElda(SmallConfig());
   data::Batch batch = TinyBatch(4, 5, 6, 5);
-  Tensor los = batch.y;  // identical labels -> joint == each task's BCE mean
-  MultiTaskEldaNet::Logits logits = net.Forward(batch);
-  const float joint = net.JointLoss(logits, batch.y, los).value()[0];
-  const float lm = ag::BceWithLogits(logits.mortality, batch.y).value()[0];
-  const float ll = ag::BceWithLogits(logits.los_gt7, los).value()[0];
+  nn::ForwardContext ctx;
+  train::Encoding enc = elda.trunk->Encode(batch, &ctx);
+  std::vector<ag::Variable> logits = elda.heads->Logits(*elda.trunk, enc, &ctx);
+  const float joint =
+      elda.heads->JointLoss(*elda.trunk, enc, batch, &ctx).value()[0];
+  const float lm = ag::BceWithLogits(logits[0], batch.y).value()[0];
+  const float ll = ag::BceWithLogits(logits[1], batch.y_los).value()[0];
   EXPECT_NEAR(joint, 0.5f * (lm + ll), 1e-5f);
 }
 
 TEST(MultiTaskTest, SharedTrunkIsSmallerThanTwoNets) {
   EldaNetConfig config = SmallConfig();
-  MultiTaskEldaNet joint(config);
+  MultiTaskElda joint = MakeMultiTaskElda(config);
+  train::ModelWithHead bundle(joint.trunk.get(), joint.heads.get());
   EldaNet single(config);
-  // Two independent nets would double everything; the joint model adds only
-  // one extra head over a single net.
-  EXPECT_LT(joint.NumParameters(), 2 * single.NumParameters());
-  EXPECT_GT(joint.NumParameters(), single.NumParameters());
+  // Two independent nets would double everything; the joint deployment adds
+  // only one extra linear head over a single net.
+  EXPECT_LT(bundle.NumParameters(), 2 * single.NumParameters());
+  EXPECT_GT(bundle.NumParameters(), single.NumParameters());
 }
 
 TEST(MultiTaskTest, TrainsOnBothEndpointsEndToEnd) {
@@ -105,23 +116,34 @@ TEST(MultiTaskTest, TrainsOnBothEndpointsEndToEnd) {
   config.embed_dim = 8;
   config.compression = 2;
   config.hidden_dim = 12;
-  MultiTaskEldaNet net(config);
-  MultiTaskResult result =
-      TrainMultiTask(&net, experiment.prepared(), experiment.split(),
-                     /*max_epochs=*/3, /*batch_size=*/32,
-                     /*learning_rate=*/1e-3f, /*seed=*/1);
-  EXPECT_EQ(result.num_parameters, net.NumParameters());
+  MultiTaskElda elda = MakeMultiTaskElda(config);
+  train::TrainerConfig trainer_config;
+  trainer_config.max_epochs = 3;
+  trainer_config.batch_size = 32;
+  trainer_config.seed = 1;
+  train::Trainer trainer(trainer_config);
+  train::MultiTaskTrainResult result = trainer.TrainMultiTask(
+      elda.trunk.get(), elda.heads.get(), experiment.prepared(),
+      experiment.split(), data::Task::kMortality);
+  train::ModelWithHead bundle(elda.trunk.get(), elda.heads.get());
+  EXPECT_EQ(result.num_parameters, bundle.NumParameters());
+  ASSERT_EQ(result.test.tasks,
+            (std::vector<std::string>{"mortality", "los"}));
   // Both endpoints evaluated on the test split with sane metric ranges.
-  for (double v : {result.mortality_auc_pr, result.mortality_auc_roc,
-                   result.los_auc_pr, result.los_auc_roc}) {
+  for (double v :
+       {result.test.ForTask("mortality").auc_pr,
+        result.test.ForTask("mortality").auc_roc,
+        result.test.ForTask("los").auc_pr,
+        result.test.ForTask("los").auc_roc}) {
     EXPECT_GE(v, 0.0);
     EXPECT_LE(v, 1.0);
   }
+  EXPECT_EQ(result.status, health::TrainStatus::kOk);
 }
 
 TEST(MultiTaskDeathTest, RequiresFullTrunk) {
   EldaNetConfig config = EldaNetConfig::VariantT();
-  EXPECT_DEATH(MultiTaskEldaNet net(config), "full ELDA-Net");
+  EXPECT_DEATH(MakeMultiTaskElda(config), "full ELDA-Net");
 }
 
 }  // namespace

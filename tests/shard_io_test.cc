@@ -396,18 +396,22 @@ class TinyGruModel : public train::SequenceModel {
     RegisterSubmodule("head", &head_);
   }
 
-  ag::Variable Forward(const data::Batch& batch,
-                       nn::ForwardContext*) const override {
+  ag::Variable EncodeTerminal(const data::Batch& batch,
+                              nn::ForwardContext*) const override {
     const int64_t b = batch.x.shape(0);
     const int64_t t = batch.x.shape(1);
     ag::Variable h =
         gru_.Forward(ag::Constant(batch.x), batch.LengthsOrNull());
-    ag::Variable last =
-        ag::Reshape(ag::Slice(h, 1, t - 1, 1), {b, gru_.cell().hidden_size()});
-    return ag::Reshape(head_.Forward(last), {b});
+    return ag::Reshape(ag::Slice(h, 1, t - 1, 1),
+                       {b, gru_.cell().hidden_size()});
   }
 
-  using train::SequenceModel::Forward;
+  ag::Variable Readout(const ag::Variable& rep,
+                       nn::ForwardContext*) const override {
+    return ag::Reshape(head_.Forward(rep), {rep.value().shape(0)});
+  }
+
+  int64_t encoding_dim() const override { return gru_.cell().hidden_size(); }
   std::string name() const override { return "TinyGRU"; }
 
  private:
